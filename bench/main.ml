@@ -1,0 +1,22 @@
+(* Benchmark/experiment harness.
+
+   [dune exec bench/main.exe] runs the full experiment matrix (E1–E11, the
+   reproduction of the paper's theorems — the paper has no tables/figures)
+   followed by the bechamel timing benches (B1–B5).
+
+   [dune exec bench/main.exe -- experiments] / [-- timing] run one half. *)
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let ok =
+    match what with
+    | "experiments" -> Experiments.run_all ()
+    | "timing" ->
+      Timing.run_all ();
+      true
+    | _ ->
+      let ok = Experiments.run_all () in
+      Timing.run_all ();
+      ok
+  in
+  if not ok then exit 1

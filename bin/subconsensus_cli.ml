@@ -1,0 +1,323 @@
+(* Command-line driver: run, model-check and trace the paper's algorithms.
+
+   Examples:
+     subconsensus_cli alg2 -k 4 --exhaustive
+     subconsensus_cli alg2 -k 6 --seeds 500
+     subconsensus_cli alg5 -k 3 --participants 0,1,2
+     subconsensus_cli alg6 -n 12 -k 3 --seeds 200
+     subconsensus_cli attempt --style mirror -k 3
+     subconsensus_cli trace -k 3 --seed 7 *)
+
+open Cmdliner
+open Subc_sim
+module Task = Subc_tasks.Task
+
+let inputs_of k = List.init k (fun i -> Value.Int (100 + i))
+
+let report_exhaustive store programs inputs task =
+  match Subc_check.Task_check.exhaustive store ~programs ~inputs ~task with
+  | Ok stats ->
+    Format.printf "all executions satisfy %s@.%a@." task.Task.name
+      Explore.pp_stats stats;
+    0
+  | Error (reason, trace) ->
+    Format.printf "VIOLATION of %s: %s@.%a@." task.Task.name reason Trace.pp
+      trace;
+    1
+
+let report_sampled store programs inputs task n_seeds =
+  let seeds = List.init n_seeds (fun i -> i + 1) in
+  let s = Subc_check.Task_check.sample store ~programs ~inputs ~task ~seeds in
+  Format.printf "%a@." Subc_check.Task_check.pp_sample_stats s;
+  (match s.Subc_check.Task_check.first_violation with
+  | Some (reason, trace) ->
+    Format.printf "first violation: %s@.%a@." reason Trace.pp trace
+  | None -> ());
+  if s.Subc_check.Task_check.violations = 0 then 0 else 1
+
+(* Shared flags. *)
+let k_arg = Arg.(value & opt int 3 & info [ "k" ] ~doc:"WRN arity $(docv).")
+let exhaustive_arg =
+  Arg.(value & flag & info [ "exhaustive" ] ~doc:"Model-check all schedules.")
+let seeds_arg =
+  Arg.(value & opt int 200 & info [ "seeds" ] ~doc:"Number of random runs.")
+
+let alg2_cmd =
+  let run k exhaustive n_seeds =
+    let store, t = Subc_core.Alg2.alloc Store.empty ~k ~one_shot:true in
+    let inputs = inputs_of k in
+    let programs = List.mapi (fun i v -> Subc_core.Alg2.propose t ~i v) inputs in
+    let task = Task.conj (Task.set_consensus (k - 1)) Task.all_decided in
+    if exhaustive then report_exhaustive store programs inputs task
+    else report_sampled store programs inputs task n_seeds
+  in
+  Cmd.v
+    (Cmd.info "alg2" ~doc:"(k-1)-set consensus from one WRN_k (Algorithm 2).")
+    Term.(const run $ k_arg $ exhaustive_arg $ seeds_arg)
+
+let alg3_cmd =
+  let run k exhaustive n_seeds ids =
+    let ids =
+      match ids with
+      | [] -> List.init k (fun i -> (i * 37) mod 1000)
+      | ids -> ids
+    in
+    let store, t =
+      Subc_core.Alg3.alloc Store.empty ~k ~flavor:Subc_core.Alg3.Relaxed_wrn
+        ~renamer:Subc_core.Alg3.Rename_snapshot ()
+    in
+    let inputs = List.map (fun id -> Value.Int (1000 + id)) ids in
+    let programs =
+      List.mapi
+        (fun slot id ->
+          Subc_core.Alg3.propose t ~slot ~id (Value.Int (1000 + id)))
+        ids
+    in
+    let task = Task.conj (Task.set_consensus (k - 1)) Task.all_decided in
+    Format.printf "sweep of %d relaxed WRN_%d instances@."
+      (Subc_core.Alg3.instances t) k;
+    if exhaustive then report_exhaustive store programs inputs task
+    else report_sampled store programs inputs task n_seeds
+  in
+  let ids_arg =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "ids" ] ~doc:"Comma-separated participant identifiers.")
+  in
+  Cmd.v
+    (Cmd.info "alg3"
+       ~doc:"(k-1)-set consensus for k participants out of many (Algorithm 3).")
+    Term.(const run $ k_arg $ exhaustive_arg $ seeds_arg $ ids_arg)
+
+let alg5_cmd =
+  let run k participants =
+    let participants =
+      match participants with [] -> List.init k Fun.id | ps -> ps
+    in
+    let store, t = Subc_core.Alg5.alloc Store.empty ~k () in
+    let programs =
+      List.map (fun i -> Subc_core.Alg5.wrn t ~i (Value.Int (100 + i))) participants
+    in
+    let ops i =
+      let idx = List.nth participants i in
+      Op.make "wrn" [ Value.Int idx; Value.Int (100 + idx) ]
+    in
+    let spec = Subc_objects.One_shot_wrn.model ~k in
+    let config = Config.make store programs in
+    let bad = ref 0 and terminals = ref 0 in
+    let stats =
+      Explore.iter_terminals config ~f:(fun final trace ->
+          incr terminals;
+          let history = Subc_check.Linearizability.history ~ops final trace in
+          if Subc_check.Linearizability.check ~spec history = None then begin
+            incr bad;
+            Format.printf "NON-LINEARIZABLE:@.%a@."
+              Subc_check.Linearizability.pp_history history
+          end)
+    in
+    Format.printf
+      "explored %d states, %d terminals, %d non-linearizable histories@."
+      stats.Explore.states !terminals !bad;
+    if !bad = 0 then 0 else 1
+  in
+  let participants_arg =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "participants" ] ~doc:"Indices that invoke the 1sWRN.")
+  in
+  Cmd.v
+    (Cmd.info "alg5"
+       ~doc:
+         "Model-check the linearizability of 1sWRN_k from strong set \
+          election (Algorithm 5).")
+    Term.(const run $ k_arg $ participants_arg)
+
+let alg6_cmd =
+  let run n k exhaustive n_seeds =
+    let store, t = Subc_core.Alg6.alloc Store.empty ~n ~k ~one_shot:true in
+    let inputs = inputs_of n in
+    let programs = List.mapi (fun i v -> Subc_core.Alg6.propose t ~i v) inputs in
+    let m = Subc_core.Alg6.agreement_bound ~n ~k in
+    Format.printf "agreement bound m = %d (n=%d, k=%d)@." m n k;
+    let task = Task.conj (Task.set_consensus m) Task.all_decided in
+    if exhaustive then report_exhaustive store programs inputs task
+    else report_sampled store programs inputs task n_seeds
+  in
+  let n_arg = Arg.(value & opt int 6 & info [ "n" ] ~doc:"Process count.") in
+  Cmd.v
+    (Cmd.info "alg6" ~doc:"m-set consensus for n processes (Algorithm 6).")
+    Term.(const run $ n_arg $ k_arg $ exhaustive_arg $ seeds_arg)
+
+let attempt_cmd =
+  let run style k =
+    let style =
+      match style with
+      | "mirror" -> Subc_classic.Wrn_attempts.Mirror_alg2
+      | "same-index" -> Subc_classic.Wrn_attempts.Same_index
+      | "announce" -> Subc_classic.Wrn_attempts.Adjacent_announce
+      | "busy-wait" -> Subc_classic.Wrn_attempts.Busy_wait
+      | s -> Fmt.failwith "unknown style %S" s
+    in
+    let store, t = Subc_classic.Wrn_attempts.alloc Store.empty ~k ~style in
+    let programs =
+      [
+        Subc_classic.Wrn_attempts.propose t ~me:0 (Value.Int 0);
+        Subc_classic.Wrn_attempts.propose t ~me:1 (Value.Int 1);
+      ]
+    in
+    let config = Config.make store programs in
+    (match
+       Subc_check.Valence.check_consensus config
+         ~inputs:[ Value.Int 0; Value.Int 1 ]
+     with
+    | Subc_check.Valence.Solves stats ->
+      Format.printf "solves 2-consensus (%a)@." Explore.pp_stats stats
+    | Subc_check.Valence.Violation { reason; trace } ->
+      Format.printf "violation: %s@.%a@." reason Trace.pp trace
+    | Subc_check.Valence.Diverges { trace } ->
+      Format.printf "diverges; lasso schedule %a@." Value.pp
+        (Value.of_int_list (Trace.schedule trace))
+    | Subc_check.Valence.Unknown { detail } ->
+      Format.printf "unknown: %s@." detail);
+    0
+  in
+  let style_arg =
+    Arg.(
+      value
+      & opt string "mirror"
+      & info [ "style" ]
+          ~doc:"Protocol style: mirror | same-index | announce | busy-wait.")
+  in
+  Cmd.v
+    (Cmd.info "attempt"
+       ~doc:"Verdict on a 2-consensus attempt over WRN_k (Lemma 38 / E6).")
+    Term.(const run $ style_arg $ k_arg)
+
+let trace_cmd =
+  let run k seed =
+    let store, t = Subc_core.Alg2.alloc Store.empty ~k ~one_shot:true in
+    let inputs = inputs_of k in
+    let programs = List.mapi (fun i v -> Subc_core.Alg2.propose t ~i v) inputs in
+    let config = Config.make store programs in
+    let r = Runner.run (Runner.Random seed) config in
+    Format.printf "%a@.decisions: %a@." Trace.pp r.Runner.trace Value.pp
+      (Value.Vec (Config.decisions r.Runner.final));
+    0
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print one full execution of Algorithm 2.")
+    Term.(const run $ k_arg $ seed_arg)
+
+let power_cmd =
+  let run n k =
+    let module P = Subc_classic.Set_consensus_power in
+    let families =
+      [
+        P.Registers; P.Wrn_objects 3; P.Wrn_objects 4; P.Sse_object 3;
+        P.Two_consensus_pairs; P.Cas_object;
+      ]
+    in
+    List.iter
+      (fun family ->
+        if P.applicable family ~n then begin
+          let verdict =
+            match P.verdict family ~n ~k with
+            | `Solves -> "solves"
+            | `Violates -> "fails"
+            | `Diverges -> "diverges"
+            | `Unknown -> "unknown"
+          in
+          Format.printf "%-20s (%d,%d)-set consensus: %-8s (predicted %s)@."
+            (P.family_name family) n k verdict
+            (if P.predicted family ~n ~k then "solves" else "fails")
+        end)
+      families;
+    0
+  in
+  let n_arg = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Process count.") in
+  let k_bound = Arg.(value & opt int 2 & info [ "agree" ] ~doc:"Agreement bound.") in
+  Cmd.v
+    (Cmd.info "power"
+       ~doc:"Which object families solve (n,k)-set consensus (experiment E13).")
+    Term.(const run $ n_arg $ k_bound)
+
+let bg_cmd =
+  let run simulators m seed =
+    let codes =
+      List.init m (fun p ->
+          Subc_bgsim.Sim_code.write_then_snapshot (Value.Int (100 + p)) Fun.id)
+    in
+    let store, bg = Subc_bgsim.Bg.alloc Store.empty ~simulators ~codes in
+    let programs = List.init simulators (fun me -> Subc_bgsim.Bg.simulate bg ~me) in
+    let config = Config.make store programs in
+    let r = Runner.run (Runner.Random seed) config in
+    Format.printf "%d real steps@." r.Runner.steps;
+    List.iteri
+      (fun s out ->
+        match out with
+        | Some view ->
+          Format.printf "simulator %d: %a@." s Value.pp view
+        | None -> Format.printf "simulator %d: (unfinished)@." s)
+      (List.init simulators (fun s -> Config.decision r.Runner.final s));
+    0
+  in
+  let sims_arg =
+    Arg.(value & opt int 2 & info [ "simulators" ] ~doc:"Real simulators.")
+  in
+  let m_arg =
+    Arg.(value & opt int 3 & info [ "m" ] ~doc:"Simulated processes.")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  Cmd.v
+    (Cmd.info "bg" ~doc:"Run the Borowsky–Gafni simulation on a random schedule.")
+    Term.(const run $ sims_arg $ m_arg $ seed_arg)
+
+let critical_cmd =
+  let run k style =
+    let style =
+      match style with
+      | "mirror" -> Subc_classic.Wrn_attempts.Mirror_alg2
+      | "same-index" -> Subc_classic.Wrn_attempts.Same_index
+      | "announce" -> Subc_classic.Wrn_attempts.Adjacent_announce
+      | "busy-wait" -> Subc_classic.Wrn_attempts.Busy_wait
+      | s -> Fmt.failwith "unknown style %S" s
+    in
+    let store, t = Subc_classic.Wrn_attempts.alloc Store.empty ~k ~style in
+    let programs =
+      [
+        Subc_classic.Wrn_attempts.propose t ~me:0 (Value.Int 0);
+        Subc_classic.Wrn_attempts.propose t ~me:1 (Value.Int 1);
+      ]
+    in
+    let config = Config.make store programs in
+    (match Subc_check.Valence.find_critical config with
+    | Some crit ->
+      Format.printf "%a@." Subc_check.Valence.pp_critical crit
+    | None -> Format.printf "the initial configuration is univalent@.");
+    0
+  in
+  let style_arg =
+    Arg.(
+      value & opt string "mirror"
+      & info [ "style" ] ~doc:"mirror | same-index | announce | busy-wait.")
+  in
+  Cmd.v
+    (Cmd.info "critical"
+       ~doc:
+         "Descend to a critical configuration of a 2-consensus protocol \
+          over WRN_k (the Lemma 38 structure).")
+    Term.(const run $ k_arg $ style_arg)
+
+let () =
+  let doc = "sub-consensus deterministic objects: runners and model checkers" in
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "subconsensus_cli" ~doc)
+          [
+            alg2_cmd; alg3_cmd; alg5_cmd; alg6_cmd; attempt_cmd; trace_cmd;
+            power_cmd; bg_cmd; critical_cmd;
+          ]))

@@ -1,0 +1,139 @@
+open Subc_sim
+open Program.Syntax
+module Register = Subc_objects.Register
+module Snapshot_api = Subc_rwmem.Snapshot_api
+
+type t = {
+  n : int;  (* simulators *)
+  m : int;  (* simulated processes *)
+  (* Write matrix: component s*m + p is the latest simulated write of
+     process p known to simulator s, as Pair (write_count, value). *)
+  matrix : Snapshot_api.t;
+  (* agreements.(p).(s) decides process p's s-th snapshot. *)
+  agreements : Safe_agreement.t array array;
+  decisions : Store.handle list;
+  codes : Sim_code.t list;
+}
+
+let m t = t.m
+
+let alloc store ~simulators ~codes =
+  let n = simulators and m = List.length codes in
+  let store, matrix = Snapshot_api.primitive store (n * m) in
+  let store, agreements =
+    List.fold_left
+      (fun (store, rows) code ->
+        let bound = max 1 (Sim_code.snapshots_bound code) in
+        let store, row =
+          List.fold_left
+            (fun (store, row) _ ->
+              let store, sa = Safe_agreement.alloc store ~slots:n in
+              (store, sa :: row))
+            (store, [])
+            (List.init bound Fun.id)
+        in
+        (store, Array.of_list (List.rev row) :: rows))
+      (store, []) codes
+  in
+  let agreements = Array.of_list (List.rev agreements) in
+  let store, decisions = Store.alloc_many store m Register.model_bot in
+  (store, { n; m; matrix; agreements; decisions; codes })
+
+(* Per-simulated-process bookkeeping, local to one simulator. *)
+type proc_state = {
+  cont : Sim_code.t;
+  writes : int;
+  snaps : int;
+  joined : bool;  (* already joined the current snapshot's agreement *)
+  decided : Value.t option;
+}
+
+let initial_states t =
+  List.map
+    (fun code -> { cont = code; writes = 0; snaps = 0; joined = false; decided = None })
+    t.codes
+
+(* Extract, for each simulated process, the latest write across all
+   simulator rows of a real matrix snapshot. *)
+let view_of_matrix t view =
+  let cells = Value.to_vec view in
+  let latest q =
+    List.fold_left
+      (fun best s ->
+        match List.nth cells ((s * t.m) + q) with
+        | Value.Pair (Value.Int count, v) -> (
+          match best with
+          | Some (c, _) when c >= count -> best
+          | _ -> Some (count, v))
+        | _ -> best)
+      None
+      (List.init t.n Fun.id)
+  in
+  Value.Vec
+    (List.init t.m (fun q ->
+         match latest q with Some (_, v) -> v | None -> Value.Bot))
+
+(* Advance simulated process [p] by as much as possible without blocking;
+   returns (new state, made_progress). *)
+let advance t ~me p st =
+  match st.decided with
+  | Some _ -> Program.return (st, false)
+  | None -> (
+    match st.cont with
+    | Sim_code.Return v ->
+      let* () = Register.write (List.nth t.decisions p) v in
+      Program.return ({ st with decided = Some v }, true)
+    | Sim_code.Write (v, rest) ->
+      let cell = (me * t.m) + p in
+      let* () =
+        t.matrix.Snapshot_api.update ~me:cell
+          (Value.Pair (Value.Int (st.writes + 1), v))
+      in
+      Program.return
+        ({ st with cont = rest; writes = st.writes + 1 }, true)
+    | Sim_code.Snapshot k ->
+      let sa = t.agreements.(p).(st.snaps) in
+      let* st =
+        if st.joined then Program.return st
+        else
+          let* raw = t.matrix.Snapshot_api.scan in
+          let candidate = view_of_matrix t raw in
+          let* () = Safe_agreement.join sa ~me candidate in
+          Program.return { st with joined = true }
+      in
+      let* resolved = Safe_agreement.resolve sa in
+      (match resolved with
+      | Some view ->
+        Program.return
+          ( { st with cont = k view; snaps = st.snaps + 1; joined = false },
+            true )
+      | None -> Program.return (st, false)))
+
+let simulate t ~me =
+  let decided_count states =
+    List.length (List.filter (fun st -> st.decided <> None) states)
+  in
+  let output states =
+    Value.Vec
+      (List.map
+         (fun st -> Option.value st.decided ~default:Value.Bot)
+         states)
+  in
+  (* Sweep the simulated processes round-robin; stop when everything is
+     decided, or when a sweep makes no progress and at most n−1 simulated
+     processes (the ones blocked in someone's window) remain. *)
+  let rec sweep states progressed idx =
+    if idx >= t.m then
+      if decided_count states = t.m then Program.return (output states)
+      else if (not progressed) && decided_count states >= t.m - (t.n - 1)
+      then Program.return (output states)
+      else sweep states false 0
+    else
+      let st = List.nth states idx in
+      let* st', moved = advance t ~me idx st in
+      let states =
+        List.mapi (fun i s -> if i = idx then st' else s) states
+      in
+      sweep states (progressed || moved) (idx + 1)
+  in
+  sweep (initial_states t) false 0

@@ -1,0 +1,36 @@
+(** The Borowsky–Gafni simulation.
+
+    [n] real simulators jointly execute [m] simulated processes running
+    single-writer/atomic-snapshot full-information protocols
+    ([Sim_code.t]), such that the simulated execution is a legal execution
+    of the simulated system.  Each simulated snapshot is agreed through a
+    {!Safe_agreement} instance: a simulator proposes as candidate a {e real}
+    atomic snapshot of the write matrix (one row per simulator, the latest
+    simulated write it knows per simulated process), which is what makes
+    the agreed views consistent cuts.
+
+    Progress: a simulator abandons a simulated process whose agreement is
+    mid-window and returns once every simulated process is decided or only
+    blocked ones remain — at most one simulated process per stalled
+    simulator, the classic n−1-resilience trade of BG.
+
+    This is the machinery behind the paper's reference [9]
+    (strong set election from set consensus) and behind the set-consensus
+    hierarchy results [8, 10, 16] the paper builds on (Theorem 41); the
+    repository uses it to *demonstrate* the simulation on small instances
+    validated by the model checker. *)
+
+open Subc_sim
+
+type t
+
+val m : t -> int
+
+(** [alloc store ~simulators ~codes] — [codes] are the simulated
+    processes' programs. *)
+val alloc : Store.t -> simulators:int -> codes:Sim_code.t list -> Store.t * t
+
+(** [simulate t ~me] — simulator [me]'s whole program.  Returns the vector
+    of simulated decisions this simulator knows when it stops ({m \bot}
+    for simulated processes still blocked). *)
+val simulate : t -> me:int -> Value.t Program.t

@@ -1,0 +1,38 @@
+open Subc_sim
+open Program.Syntax
+module Register = Subc_objects.Register
+module Snapshot_api = Subc_rwmem.Snapshot_api
+
+type t = {
+  slots : int;
+  values : Store.handle list;  (* announced proposals, one SWMR each *)
+  levels : Snapshot_api.t;  (* 0/absent, 1 = in window, 2 = committed *)
+}
+
+let alloc store ~slots =
+  let store, values = Store.alloc_many store slots Register.model_bot in
+  let store, levels = Snapshot_api.primitive store slots in
+  (store, { slots; values; levels })
+
+let level_of cell = match cell with Value.Int l -> l | _ -> 0
+
+let join t ~me v =
+  assert (0 <= me && me < t.slots);
+  let* () = Register.write (List.nth t.values me) v in
+  let* () = t.levels.Snapshot_api.update ~me (Value.Int 1) in
+  let* view = t.levels.Snapshot_api.scan in
+  let committed =
+    List.exists (fun c -> level_of c = 2) (Value.to_vec view)
+  in
+  t.levels.Snapshot_api.update ~me (Value.Int (if committed then 0 else 2))
+
+let resolve t =
+  let* view = t.levels.Snapshot_api.scan in
+  let cells = List.mapi (fun i c -> (i, level_of c)) (Value.to_vec view) in
+  if List.exists (fun (_, l) -> l = 1) cells then Program.return None
+  else
+    match List.find_opt (fun (_, l) -> l = 2) cells with
+    | None -> Program.return None
+    | Some (winner, _) ->
+      let+ v = Register.read (List.nth t.values winner) in
+      Some v

@@ -1,0 +1,34 @@
+(** Safe agreement (Borowsky–Gafni) from registers and snapshots.
+
+    The agreement core of the BG simulation: validity and agreement always
+    hold, and the protocol is wait-free {e except} inside a bounded
+    "unsafe window" — if a participant stops between entering and leaving
+    the window, resolution can be delayed forever, which is exactly the
+    price the simulation pays (one simulated process per dead simulator).
+
+    The protocol is split so callers never block:
+
+    - [join t ~me v] (wait-free, 3 steps): announce [v], raise my level to
+      1, scan; if somebody already reached level 2 drop to level 0, else
+      commit to level 2.  The window is the span between the level-1
+      update and the final level update.
+    - [resolve t] (one scan + maybe one read): if nobody is at level 1,
+      the level-2 set is frozen; return the value announced by its
+      minimal member.  Returns [None] while some participant is mid-window.
+
+    Agreement: all resolutions see the same frozen level-2 set, hence pick
+    the same minimal member. *)
+
+open Subc_sim
+
+type t
+
+(** [alloc store ~slots] — at most [slots] participants, one slot each. *)
+val alloc : Store.t -> slots:int -> Store.t * t
+
+(** [join t ~me v] — call at most once per slot. *)
+val join : t -> me:int -> Value.t -> unit Program.t
+
+(** [resolve t] — [None] while unsafe; may be called repeatedly by
+    anyone. *)
+val resolve : t -> Value.t option Program.t

@@ -1,0 +1,23 @@
+open Subc_sim
+
+type t =
+  | Return of Value.t
+  | Write of Value.t * t
+  | Snapshot of (Value.t -> t)
+
+(* The bound explores the continuation with an all-⊥ snapshot; for
+   full-information protocols the number of snapshot steps does not depend
+   on the values read.  [fuel] guards against unbounded codes. *)
+let snapshots_bound ?(fuel = 1000) code =
+  let rec go code count fuel =
+    if fuel = 0 then invalid_arg "Sim_code.snapshots_bound: fuel exhausted"
+    else
+      match code with
+      | Return _ -> count
+      | Write (_, rest) -> go rest count (fuel - 1)
+      | Snapshot k -> go (k Value.Bot) (count + 1) (fuel - 1)
+  in
+  go code 0 fuel
+
+let write_then_snapshot v f =
+  Write (v, Snapshot (fun view -> Return (f view)))

@@ -1,0 +1,27 @@
+(** Programs of {e simulated} processes.
+
+    The BG simulation runs full-information protocols over single-writer
+    memory with atomic snapshots, so a simulated process's program is a
+    sequence of exactly two kinds of steps — write my register, snapshot
+    all registers — ending in an output.  Writes carry no information back
+    and need no agreement; every snapshot's result is agreed upon by the
+    simulators through safe agreement. *)
+
+open Subc_sim
+
+type t =
+  | Return of Value.t
+  | Write of Value.t * t  (** write own register, then continue *)
+  | Snapshot of (Value.t -> t)
+      (** receive the snapshot (a vector of all simulated registers,
+          {m \bot} for never-written) *)
+
+(** [snapshots_bound code] — an upper bound on the number of snapshot
+    steps [code] can take, assuming continuations do not grow the program
+    beyond [fuel] unfolding steps.  @raise Invalid_argument if the bound
+    [fuel] is exceeded (the code may not be bounded). *)
+val snapshots_bound : ?fuel:int -> t -> int
+
+(** [write_then_snapshot v f] — the one-round full-information protocol:
+    write [v], snapshot, return [f view]. *)
+val write_then_snapshot : Value.t -> (Value.t -> Value.t) -> t

@@ -1,0 +1,44 @@
+open Subc_sim
+
+type harness = { store : Store.t; programs : Value.t Program.t list }
+type failure = { outcome : Value.t list; trace : Trace.t }
+
+let outcomes_with_traces ?max_states harness =
+  let config = Config.make harness.store harness.programs in
+  let acc = ref [] in
+  let stats =
+    Explore.iter_terminals ?max_states config ~f:(fun final trace ->
+        acc := (Config.decisions final, trace) :: !acc)
+  in
+  if stats.Explore.limited then failwith "Refinement: state limit reached";
+  !acc
+
+let outcomes ?max_states harness =
+  List.sort_uniq compare (List.map fst (outcomes_with_traces ?max_states harness))
+
+let refines ?max_states () ~impl ~spec =
+  let spec_outcomes = outcomes ?max_states spec in
+  let impl_outcomes = outcomes_with_traces ?max_states impl in
+  match
+    List.find_opt
+      (fun (o, _) -> not (List.mem o spec_outcomes))
+      impl_outcomes
+  with
+  | Some (outcome, trace) -> Error { outcome; trace }
+  | None ->
+    Ok
+      ( List.length (List.sort_uniq compare (List.map fst impl_outcomes)),
+        List.length spec_outcomes )
+
+let equivalent ?max_states () ~impl ~spec =
+  match refines ?max_states () ~impl ~spec with
+  | Error _ as e -> e
+  | Ok (n_impl, n_spec) -> (
+    match refines ?max_states () ~impl:spec ~spec:impl with
+    | Error _ as e -> e
+    | Ok _ ->
+      if n_impl = n_spec then Ok n_impl
+      else
+        (* Containment both ways with equal cardinality is equality; unequal
+           cardinalities here would be contradictory. *)
+        Ok n_impl)

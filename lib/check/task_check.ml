@@ -1,0 +1,105 @@
+open Subc_sim
+module Task = Subc_tasks.Task
+
+let exhaustive ?max_states store ~programs ~inputs ~task =
+  let config = Config.make store programs in
+  match
+    Explore.check_terminals ?max_states config ~ok:(fun c ->
+        Task.satisfies task ~inputs c)
+  with
+  | Ok stats -> Ok stats
+  | Error (c, trace, _stats) ->
+    let reason = Option.value ~default:"?" (Task.explain task ~inputs c) in
+    Error (reason, trace)
+
+let wait_free ?max_states store ~programs =
+  let config = Config.make store programs in
+  match Explore.find_cycle ?max_states config with
+  | Some _, _ -> Error "infinite schedule (protocol not wait-free)"
+  | None, stats ->
+    if stats.Explore.limited then Error "state limit reached"
+    else if stats.Explore.hung_terminals > 0 then
+      Error "some execution hangs a process (illegal object use)"
+    else Ok stats
+
+type sample_stats = {
+  runs : int;
+  violations : int;
+  first_violation : (string * Trace.t) option;
+  distinct_counts : int array;
+}
+
+let sample ?max_steps store ~programs ~inputs ~task ~seeds =
+  let config = Config.make store programs in
+  let n = List.length programs in
+  let distinct_counts = Array.make (max n 1) 0 in
+  let violations = ref 0 in
+  let first_violation = ref None in
+  List.iter
+    (fun seed ->
+      let r = Runner.run ?max_steps (Runner.Random seed) config in
+      let d =
+        List.length (Task.distinct (Config.decisions r.Runner.final))
+      in
+      if d > 0 && d <= n then
+        distinct_counts.(d - 1) <- distinct_counts.(d - 1) + 1;
+      match Task.explain task ~inputs r.Runner.final with
+      | None -> ()
+      | Some reason ->
+        incr violations;
+        if !first_violation = None then
+          first_violation := Some (reason, r.Runner.trace))
+    seeds;
+  {
+    runs = List.length seeds;
+    violations = !violations;
+    first_violation = !first_violation;
+    distinct_counts;
+  }
+
+let sample_crashed ?(max_prefix = 40) store ~programs ~inputs ~task ~seeds =
+  let config = Config.make store programs in
+  let n = List.length programs in
+  let distinct_counts = Array.make (max n 1) 0 in
+  let violations = ref 0 in
+  let first_violation = ref None in
+  List.iter
+    (fun seed ->
+      let rng = Random.State.make [| seed; 0x5eed |] in
+      let prefix = Random.State.int rng (max_prefix + 1) in
+      let survivors =
+        let chosen =
+          List.filter
+            (fun _ -> Random.State.bool rng)
+            (List.init n Fun.id)
+        in
+        if chosen = [] then [ Random.State.int rng n ] else chosen
+      in
+      let before = Runner.run ~max_steps:prefix (Runner.Random seed) config in
+      let after = Runner.run (Runner.Only survivors) before.Runner.final in
+      let d =
+        List.length (Task.distinct (Config.decisions after.Runner.final))
+      in
+      if d > 0 && d <= n then
+        distinct_counts.(d - 1) <- distinct_counts.(d - 1) + 1;
+      match Task.explain task ~inputs after.Runner.final with
+      | None -> ()
+      | Some reason ->
+        incr violations;
+        if !first_violation = None then
+          first_violation := Some (reason, after.Runner.trace))
+    seeds;
+  {
+    runs = List.length seeds;
+    violations = !violations;
+    first_violation = !first_violation;
+    distinct_counts;
+  }
+
+let pp_sample_stats ppf s =
+  Format.fprintf ppf "runs=%d violations=%d distinct-decisions=[%s]" s.runs
+    s.violations
+    (String.concat "; "
+       (Array.to_list
+          (Array.mapi (fun i c -> Printf.sprintf "%d:%d" (i + 1) c)
+             s.distinct_counts)))

@@ -1,0 +1,62 @@
+(** Task-conformance checking: exhaustive (model checker) and randomized
+    (seeded adversaries), plus decision-distribution measurement for the
+    experiment tables. *)
+
+open Subc_sim
+module Task = Subc_tasks.Task
+
+(** [exhaustive store ~programs ~inputs ~task] checks [task] on every
+    reachable terminal configuration. *)
+val exhaustive :
+  ?max_states:int ->
+  Store.t ->
+  programs:Value.t Program.t list ->
+  inputs:Value.t list ->
+  task:Task.t ->
+  (Explore.stats, string * Trace.t) result
+
+(** [wait_free store ~programs] checks that no adversarial schedule runs
+    forever and no process hangs. *)
+val wait_free :
+  ?max_states:int ->
+  Store.t ->
+  programs:Value.t Program.t list ->
+  (Explore.stats, string) result
+
+type sample_stats = {
+  runs : int;
+  violations : int;
+  first_violation : (string * Trace.t) option;
+  (* Distribution of the number of distinct decided values: entry [d] is
+     how many runs decided exactly [d+1] distinct values. *)
+  distinct_counts : int array;
+}
+
+(** [sample store ~programs ~inputs ~task ~seeds] runs once per seed under
+    the random adversary. *)
+val sample :
+  ?max_steps:int ->
+  Store.t ->
+  programs:Value.t Program.t list ->
+  inputs:Value.t list ->
+  task:Task.t ->
+  seeds:int list ->
+  sample_stats
+
+val pp_sample_stats : Format.formatter -> sample_stats -> unit
+
+(** [sample_crashed store ~programs ~inputs ~task ~seeds] — fault
+    injection: each seeded run executes a random prefix under the random
+    adversary, then {e crashes} a random subset of processes (they never
+    take another step) and runs the survivors to completion.  The task is
+    evaluated on the partial outcomes — wait-free algorithms must keep
+    their safety properties whatever the crash pattern, because a crashed
+    process is indistinguishable from a slow one. *)
+val sample_crashed :
+  ?max_prefix:int ->
+  Store.t ->
+  programs:Subc_sim.Value.t Subc_sim.Program.t list ->
+  inputs:Subc_sim.Value.t list ->
+  task:Task.t ->
+  seeds:int list ->
+  sample_stats

@@ -1,0 +1,139 @@
+open Subc_sim
+module Task = Subc_tasks.Task
+
+type verdict =
+  | Solves of Explore.stats
+  | Violation of { reason : string; trace : Trace.t }
+  | Diverges of { trace : Trace.t }
+  | Unknown of { detail : string }
+
+let pp_verdict ppf = function
+  | Solves stats -> Format.fprintf ppf "solves (%a)" Explore.pp_stats stats
+  | Violation { reason; _ } -> Format.fprintf ppf "violation: %s" reason
+  | Diverges _ -> Format.fprintf ppf "diverges (infinite schedule found)"
+  | Unknown { detail } -> Format.fprintf ppf "unknown: %s" detail
+
+let consensus_ok ~inputs config =
+  let os = Task.outcomes ~inputs config in
+  match Task.all_decided.Task.check os with
+  | Error e -> Error e
+  | Ok () -> Task.consensus.Task.check os
+
+let check_consensus ?max_states config ~inputs =
+  match
+    Explore.check_terminals ?max_states config ~ok:(fun c ->
+        Result.is_ok (consensus_ok ~inputs c))
+  with
+  | Error (c, trace, _stats) ->
+    let reason =
+      match consensus_ok ~inputs c with Error e -> e | Ok () -> assert false
+    in
+    Violation { reason; trace }
+  | Ok stats when stats.Explore.limited ->
+    Unknown { detail = "state limit reached while checking terminals" }
+  | Ok stats -> (
+    match Explore.find_cycle ?max_states config with
+    | Some trace, _ -> Diverges { trace }
+    | None, cycle_stats ->
+      if cycle_stats.Explore.limited then
+        Unknown { detail = "state limit reached while searching cycles" }
+      else Solves stats)
+
+module Vtbl = Hashtbl
+
+let fingerprint config = Digest.string (Marshal.to_string (Config.key config) [])
+
+(* Memoized valence computation: the union over all reachable terminals of
+   the decided values. *)
+type valence_ctx = {
+  memo : (string, Value.t list) Vtbl.t;
+  mutable budget : int;
+}
+
+let rec valence_rec ctx config =
+  let key = fingerprint config in
+  match Vtbl.find_opt ctx.memo key with
+  | Some vs -> vs
+  | None ->
+    ctx.budget <- ctx.budget - 1;
+    if ctx.budget < 0 then []
+    else begin
+      let vs =
+        match Config.running config with
+        | [] -> Task.distinct (Config.decisions config)
+        | runnable ->
+          List.concat_map
+            (fun i ->
+              List.concat_map
+                (fun (c', _) -> valence_rec ctx c')
+                (Step.step config i))
+            runnable
+          |> Task.distinct
+      in
+      Vtbl.replace ctx.memo key vs;
+      vs
+    end
+
+let make_ctx max_states =
+  { memo = Vtbl.create 1024; budget = Option.value max_states ~default:5_000_000 }
+
+let valence ?max_states config =
+  valence_rec (make_ctx max_states) config
+
+type successor_valence = {
+  proc : int;
+  event : Step.event;
+  valence : Value.t list;
+}
+
+type critical = {
+  config : Config.t;
+  trace : Trace.t;
+  successors : successor_valence list;
+}
+
+let successors_of ctx config =
+  List.concat_map
+    (fun i ->
+      List.map
+        (fun (c', event) ->
+          { proc = i; event; valence = valence_rec ctx c' })
+        (Step.step config i))
+    (Config.running config)
+
+let find_critical ?max_states config =
+  let ctx = make_ctx max_states in
+  let bivalent c = List.length (valence_rec ctx c) >= 2 in
+  if not (bivalent config) then None
+  else
+    let rec descend config rev_trace =
+      if List.length rev_trace > 100_000 then None
+      else
+      let succs = successors_of ctx config in
+      match
+        List.find_opt (fun s -> List.length s.valence >= 2) succs
+      with
+      | None ->
+        Some { config; trace = List.rev rev_trace; successors = succs }
+      | Some s -> (
+        (* Follow one bivalent successor; replay the step to recover the
+           configuration. *)
+        let next =
+          List.find_map
+            (fun (c', e) -> if e = s.event then Some c' else None)
+            (Step.step config s.proc)
+        in
+        match next with
+        | Some c' -> descend c' (s.event :: rev_trace)
+        | None -> None)
+    in
+    descend config []
+
+let pp_critical ppf c =
+  Format.fprintf ppf
+    "@[<v>critical configuration after %d steps:@,%a@,pending steps:@,%a@]"
+    (Trace.length c.trace) Trace.pp c.trace
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf s ->
+         Format.fprintf ppf "  %a  =>  valence %a" Step.pp_event s.event
+           Value.pp (Value.Vec s.valence)))
+    c.successors

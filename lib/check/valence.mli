@@ -1,0 +1,55 @@
+(** Critical-configuration (valence) analysis — the engine behind the
+    Section 6 experiments.
+
+    For a consensus protocol given as an initial configuration, the valence
+    of a configuration is the set of values some execution from it decides.
+    A configuration is bivalent if its valence has ≥ 2 values, univalent
+    otherwise; a critical configuration is a bivalent one all of whose
+    successors are univalent (FLP / Herlihy).
+
+    [check_consensus] is the full verdict: does the protocol solve
+    consensus (agreement + validity on every reachable terminal, and no
+    infinite schedule)?  [find_critical] reproduces the proof structure of
+    Lemma 38 mechanically: it descends from the initial configuration
+    through bivalent successors to a critical configuration and reports the
+    pending steps. *)
+
+open Subc_sim
+
+type verdict =
+  | Solves of Explore.stats
+  | Violation of { reason : string; trace : Trace.t }
+  | Diverges of { trace : Trace.t }
+      (** an adversarial schedule revisits a configuration: the protocol is
+          not wait-free *)
+  | Unknown of { detail : string }  (** state limit exhausted *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** [check_consensus config ~inputs] — [inputs.(i)] is process [i]'s
+    proposal; terminals must satisfy validity and agreement over decided
+    values, and every process must decide (no hung terminals). *)
+val check_consensus :
+  ?max_states:int -> Config.t -> inputs:Value.t list -> verdict
+
+(** [valence config] — all values reachable as decisions from [config].
+    Decisions are the outputs of terminated processes. *)
+val valence : ?max_states:int -> Config.t -> Value.t list
+
+type successor_valence = {
+  proc : int;  (** the process whose step was taken *)
+  event : Step.event;
+  valence : Value.t list;
+}
+
+type critical = {
+  config : Config.t;
+  trace : Trace.t;  (** schedule from the initial configuration *)
+  successors : successor_valence list;
+}
+
+(** [find_critical config] — [None] if the initial configuration is already
+    univalent (or no critical configuration exists within the bound). *)
+val find_critical : ?max_states:int -> Config.t -> critical option
+
+val pp_critical : Format.formatter -> critical -> unit

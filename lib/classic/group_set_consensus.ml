@@ -1,0 +1,17 @@
+open Subc_sim
+
+type t = { n : int; group_size : int; groups : Store.handle list }
+
+let agreement_bound ~n ~group_size = (n + group_size - 1) / group_size
+
+let alloc store ~n ~group_size =
+  let n_groups = agreement_bound ~n ~group_size in
+  let store, groups =
+    Store.alloc_many store n_groups Subc_objects.Consensus_obj.model
+  in
+  (store, { n; group_size; groups })
+
+let propose t ~i v =
+  assert (0 <= i && i < t.n);
+  let group = List.nth t.groups (i / t.group_size) in
+  Subc_objects.Consensus_obj.propose group v

@@ -1,0 +1,15 @@
+(** Baseline: k-set consensus for n processes from consensus objects —
+    partition the processes into k groups, one consensus object each.
+
+    Used by experiment E7 to contrast the WRN ratio (k−1)/k with what full
+    consensus groups achieve (⌈n/m⌉-set consensus from m-process groups). *)
+
+open Subc_sim
+
+type t
+
+(** [alloc store ~n ~group_size] gives ⌈n/group_size⌉-set consensus. *)
+val alloc : Store.t -> n:int -> group_size:int -> Store.t * t
+
+val agreement_bound : n:int -> group_size:int -> int
+val propose : t -> i:int -> Value.t -> Value.t Program.t

@@ -1,0 +1,21 @@
+open Subc_sim
+open Program.Syntax
+
+type t = Cas of Store.handle | Obj of Store.handle
+
+let alloc_cas store =
+  let store, h = Store.alloc store Subc_objects.Cas_obj.model_bot in
+  (store, Cas h)
+
+let alloc_consensus_object store =
+  let store, h = Store.alloc store Subc_objects.Consensus_obj.model in
+  (store, Obj h)
+
+let propose t v =
+  match t with
+  | Obj h -> Subc_objects.Consensus_obj.propose h v
+  | Cas h ->
+    let* _won =
+      Subc_objects.Cas_obj.compare_and_swap h ~expected:Value.Bot ~desired:v
+    in
+    Subc_objects.Cas_obj.read h

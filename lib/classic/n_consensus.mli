@@ -1,0 +1,12 @@
+(** n-process consensus from compare-and-swap (infinite consensus number)
+    and from the consensus-object primitive — the top of the hierarchy. *)
+
+open Subc_sim
+
+type t
+
+val alloc_cas : Store.t -> Store.t * t
+val alloc_consensus_object : Store.t -> Store.t * t
+
+(** [propose t v] — any number of processes. *)
+val propose : t -> Value.t -> Value.t Program.t

@@ -1,0 +1,21 @@
+open Subc_sim
+open Program.Syntax
+module Snapshot_api = Subc_rwmem.Snapshot_api
+
+type t = { k : int; announce : Snapshot_api.t }
+
+let alloc store ~k =
+  let store, announce = Snapshot_api.primitive store k in
+  (store, { k; announce })
+
+let propose t ~i v =
+  assert (0 <= i && i < t.k);
+  let* () = t.announce.Snapshot_api.update ~me:i v in
+  let* view = t.announce.Snapshot_api.scan in
+  let seen = List.filter (fun c -> not (Value.is_bot c)) (Value.to_vec view) in
+  let min_seen =
+    List.fold_left
+      (fun acc c -> if Value.compare c acc < 0 then c else acc)
+      v seen
+  in
+  Program.return min_seen

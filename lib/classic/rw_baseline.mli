@@ -1,0 +1,14 @@
+(** The register-only baseline of experiment E2.
+
+    With registers alone, k processes can only solve the trivial k-set
+    consensus: this "best-effort" protocol (announce, snapshot, adopt the
+    minimum proposal seen) guarantees validity but an adversary can drive
+    it to k distinct decisions — which the model checker exhibits — whereas
+    one WRN{_k} object guarantees k−1 (Corollary 10). *)
+
+open Subc_sim
+
+type t
+
+val alloc : Store.t -> k:int -> Store.t * t
+val propose : t -> i:int -> Value.t -> Value.t Program.t

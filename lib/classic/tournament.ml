@@ -1,0 +1,29 @@
+open Subc_sim
+open Program.Syntax
+module Consensus_obj = Subc_objects.Consensus_obj
+
+(* The tree is stored as a heap-indexed array of consensus objects:
+   node 1 is the root, node [v] has children [2v] and [2v+1]; leaves are
+   [width + slot] for a power-of-two [width] ≥ n. *)
+type t = { width : int; nodes : Store.handle list }
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (2 * k)
+
+let alloc store ~n =
+  assert (n >= 1);
+  let width = next_pow2 n 1 in
+  let store, nodes = Store.alloc_many store (2 * width) Consensus_obj.model in
+  (store, { width; nodes })
+
+let node t v = List.nth t.nodes v
+
+let play t ~me =
+  assert (0 <= me && me < t.width);
+  let rec climb v =
+    if v < 1 then Program.return true
+    else
+      let* winner = Consensus_obj.propose (node t v) (Value.Int me) in
+      if Value.equal winner (Value.Int me) then climb (v / 2)
+      else Program.return false
+  in
+  climb ((t.width + me) / 2)

@@ -1,0 +1,26 @@
+(** n-process one-shot leader election (test-and-set) from 2-process
+    consensus objects, by binary tournament — the Common2-style positive
+    direction that frames the paper's introduction: consensus number 2
+    suffices for n-process test-and-set-like objects.
+
+    Each internal node of a complete binary tree holds one consensus
+    object; a process starts at its leaf and climbs, at each node proposing
+    its identifier.  It advances iff the node decided its identifier (it
+    was first there); otherwise it loses.  At most one process advances
+    from each subtree, so every node sees at most two competitors, and the
+    unique process that wins the root is the leader:
+
+    - exactly one participant wins;
+    - a participant that runs after some participant completed never wins
+      unless that one lost (first-wins semantics);
+    - wait-free: ⌈log₂ n⌉ steps. *)
+
+open Subc_sim
+
+type t
+
+(** [alloc store ~n] builds the tree for [n] slots. *)
+val alloc : Store.t -> n:int -> Store.t * t
+
+(** [play t ~me] returns [true] iff [me] (a slot in [0, n)) is the leader. *)
+val play : t -> me:int -> bool Program.t

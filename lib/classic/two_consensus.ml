@@ -1,0 +1,57 @@
+open Subc_sim
+open Program.Syntax
+module Register = Subc_objects.Register
+
+type mechanism =
+  | Swap of Store.handle
+  | Wrn2 of Store.handle
+  | Tas of Store.handle
+  | Queue of Store.handle
+
+type t = { mechanism : mechanism; proposals : Store.handle list }
+
+let alloc_proposals store =
+  Store.alloc_many store 2 Register.model_bot
+
+let alloc_swap store =
+  let store, s = Store.alloc store Subc_objects.Swap_obj.model_bot in
+  let store, proposals = alloc_proposals store in
+  (store, { mechanism = Swap s; proposals })
+
+let alloc_wrn2 store =
+  let store, w = Store.alloc store (Subc_objects.Wrn.model ~k:2) in
+  let store, proposals = alloc_proposals store in
+  (store, { mechanism = Wrn2 w; proposals })
+
+let alloc_test_and_set store =
+  let store, b = Store.alloc store Subc_objects.Tas_obj.model in
+  let store, proposals = alloc_proposals store in
+  (store, { mechanism = Tas b; proposals })
+
+let alloc_queue store =
+  let store, q =
+    Store.alloc store (Subc_objects.Queue_obj.model [ Value.Sym "win" ])
+  in
+  let store, proposals = alloc_proposals store in
+  (store, { mechanism = Queue q; proposals })
+
+let other_proposal t ~me = Register.read (List.nth t.proposals (1 - me))
+
+let propose t ~me v =
+  assert (me = 0 || me = 1);
+  let* () = Register.write (List.nth t.proposals me) v in
+  match t.mechanism with
+  | Wrn2 w ->
+    (* WRN₂ is a swap: the second invoker reads the first's value. *)
+    let* r = Subc_objects.Wrn.wrn w me v in
+    if Value.is_bot r then Program.return v else Program.return r
+  | Swap s ->
+    let* r = Subc_objects.Swap_obj.swap s (Value.Int me) in
+    if Value.is_bot r then Program.return v else other_proposal t ~me
+  | Tas b ->
+    let* already_set = Subc_objects.Tas_obj.test_and_set b in
+    if already_set then other_proposal t ~me else Program.return v
+  | Queue q ->
+    let* token = Subc_objects.Queue_obj.dequeue q in
+    if Value.equal token (Value.Sym "win") then Program.return v
+    else other_proposal t ~me

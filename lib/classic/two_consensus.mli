@@ -1,0 +1,20 @@
+(** Herlihy's classic 2-process consensus protocols from consensus-number-2
+    objects — the upper boundary of the paper's band.
+
+    Each [alloc_*] returns a two-process protocol [propose ~me v] that
+    solves consensus for processes 0 and 1; the model checker verifies
+    agreement, validity and wait-freedom exhaustively (experiment E6's
+    positive half).  [alloc_wrn2] is the paper's observation that WRN{_2}
+    {e is} a swap object: the protocol uses a WRN{_2} directly. *)
+
+open Subc_sim
+
+type t
+
+val alloc_swap : Store.t -> Store.t * t
+val alloc_wrn2 : Store.t -> Store.t * t
+val alloc_test_and_set : Store.t -> Store.t * t
+val alloc_queue : Store.t -> Store.t * t
+
+(** [propose t ~me v] — [me] ∈ {0, 1}. *)
+val propose : t -> me:int -> Value.t -> Value.t Program.t

@@ -1,0 +1,46 @@
+open Subc_sim
+open Program.Syntax
+module Consensus_obj = Subc_objects.Consensus_obj
+
+type t = { n : int; spec : Obj_model.t; cells : Store.handle list }
+
+let alloc store ~n ~spec =
+  let store, cells = Store.alloc_many store n Consensus_obj.model in
+  (store, { n; spec; cells })
+
+(* Replay a decided prefix through the sequential specification. *)
+let replay spec ops =
+  List.fold_left
+    (fun state (_, op) ->
+      match spec.Obj_model.apply state op with
+      | [ (state', _) ] -> state'
+      | _ -> invalid_arg "Universal: specification must be deterministic")
+    spec.Obj_model.init ops
+
+let decode_decision v =
+  match v with
+  | Value.Pair (Value.Int who, Value.Pair (Value.Sym name, Value.Vec args)) ->
+    (who, Op.make name args)
+  | _ -> invalid_arg "Universal: malformed cell decision"
+
+let encode ~me op =
+  Value.Pair
+    (Value.Int me, Value.Pair (Value.Sym op.Op.name, Value.Vec op.Op.args))
+
+let perform t ~me op =
+  assert (0 <= me && me < t.n);
+  let mine = encode ~me op in
+  let rec claim cell prefix =
+    if cell >= t.n then invalid_arg "Universal: more operations than cells"
+    else
+      let* decided = Consensus_obj.propose (List.nth t.cells cell) mine in
+      let who, dop = decode_decision decided in
+      if who = me then begin
+        let state = replay t.spec (List.rev prefix) in
+        match t.spec.Obj_model.apply state dop with
+        | [ (_, response) ] -> Program.return response
+        | _ -> invalid_arg "Universal: specification must be deterministic"
+      end
+      else claim (cell + 1) ((who, dop) :: prefix)
+  in
+  claim 0 []

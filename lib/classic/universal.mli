@@ -1,0 +1,30 @@
+(** Herlihy's universal construction, bounded one-shot variant: any
+    deterministic sequential object, implemented for [n] processes from
+    consensus objects and registers.
+
+    A chain of [n] cells, each holding one consensus object, decides the
+    global order of operations: a process repeatedly proposes its
+    (identifier, operation) pair at the first undecided cell; whichever
+    pair wins occupies that slot in the linearization.  After its own
+    operation wins some cell [c], the process replays the decided prefix
+    through the sequential specification to compute its response.  Each
+    process performs at most one operation here, so [n] cells suffice and
+    the construction is wait-free (a process loses a cell only to a
+    distinct winner, and there are at most n−1 others).
+
+    This is the "n-consensus objects are universal for n processes" half
+    of Herlihy's programme that the consensus hierarchy — and hence this
+    paper's refinement of it — is built on. *)
+
+open Subc_sim
+
+type t
+
+(** [alloc store ~n ~spec] — [spec] is the deterministic sequential object
+    to implement (its nondeterministic transitions must be singletons). *)
+val alloc : Store.t -> n:int -> spec:Obj_model.t -> Store.t * t
+
+(** [perform t ~me op] — process [me]'s one operation; returns the response
+    the sequential specification gives at this operation's linearization
+    point. *)
+val perform : t -> me:int -> Op.t -> Value.t Program.t

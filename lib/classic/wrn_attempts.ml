@@ -1,0 +1,49 @@
+open Subc_sim
+open Program.Syntax
+module Register = Subc_objects.Register
+module Wrn = Subc_objects.Wrn
+
+type style = Mirror_alg2 | Same_index | Adjacent_announce | Busy_wait
+
+type t = {
+  k : int;
+  style : style;
+  wrn : Store.handle;
+  proposals : Store.handle list;
+}
+
+let alloc store ~k ~style =
+  assert (k >= 2);
+  let store, wrn = Store.alloc store (Wrn.model ~k) in
+  let store, proposals = Store.alloc_many store 2 Register.model_bot in
+  (store, { k; style; wrn; proposals })
+
+let k t = t.k
+
+let decide_own_or r ~own = if Value.is_bot r then own else r
+
+let propose t ~me v =
+  assert (me = 0 || me = 1);
+  match t.style with
+  | Mirror_alg2 ->
+    let+ r = Wrn.wrn t.wrn me v in
+    decide_own_or r ~own:v
+  | Same_index ->
+    let+ r = Wrn.wrn t.wrn 0 v in
+    decide_own_or r ~own:v
+  | Adjacent_announce ->
+    let* () = Register.write (List.nth t.proposals me) v in
+    let* r = Wrn.wrn t.wrn me (Value.Int me) in
+    if Value.is_bot r then Program.return v
+    else Register.read (List.nth t.proposals (1 - me))
+  | Busy_wait ->
+    if me = 0 then
+      let+ r = Wrn.wrn t.wrn 0 v in
+      decide_own_or r ~own:v
+    else
+      let rec retry () =
+        let* () = Program.checkpoint (Value.Sym "busy-wait") in
+        let* r = Wrn.wrn t.wrn 1 v in
+        if Value.is_bot r then retry () else Program.return r
+      in
+      retry ()

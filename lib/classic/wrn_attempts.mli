@@ -1,0 +1,33 @@
+(** Candidate 2-process consensus protocols over WRN{_k} (k ≥ 3) — all
+    doomed by Lemma 38, each exhibiting one of its failure modes.
+
+    Lemma 38 proves no wait-free 2-process consensus algorithm exists from
+    registers and WRN{_k} objects with k ≥ 3: at a critical configuration
+    the two pending WRN steps either use the same index (the writes commute
+    for the reader of a third cell) or different indices, at least one pair
+    of which is non-adjacent modulo k (the steps commute for a solo run).
+    These constructive candidates let the model checker exhibit concrete
+    violating schedules (experiment E6), complementing the exhaustively
+    verified success of the very same protocol shapes on WRN{_2}. *)
+
+open Subc_sim
+
+type style =
+  | Mirror_alg2
+      (** run Algorithm 2's two-process pattern on indices 0 and 1 — for
+          k ≥ 3, process 1 reads cell 2, which nobody writes *)
+  | Same_index  (** both processes use index 0: writes overwrite silently *)
+  | Adjacent_announce
+      (** announce proposals in registers, then WRN on adjacent indices —
+          the asymmetry leaves process 1 blind *)
+  | Busy_wait
+      (** process 1 retries until it sees its neighbor's cell — not
+          wait-free: the checker finds an infinite schedule *)
+
+type t
+
+val k : t -> int
+val alloc : Store.t -> k:int -> style:style -> Store.t * t
+
+(** [propose t ~me v] — [me] ∈ {0, 1}. *)
+val propose : t -> me:int -> Value.t -> Value.t Program.t

@@ -1,0 +1,19 @@
+open Subc_sim
+open Program.Syntax
+
+type t = { wrn : Store.handle; k : int }
+
+let k t = t.k
+
+let alloc store ~k ~one_shot =
+  let model =
+    if one_shot then Subc_objects.One_shot_wrn.model ~k
+    else Subc_objects.Wrn.model ~k
+  in
+  let store, wrn = Store.alloc store model in
+  (store, { wrn; k })
+
+let propose t ~i v =
+  assert (0 <= i && i < t.k);
+  let* r = Subc_objects.Wrn.wrn t.wrn i v in
+  if Value.is_bot r then Program.return v else Program.return r

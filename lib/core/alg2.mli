@@ -1,0 +1,22 @@
+(** Algorithm 2 — (k−1)-set consensus for k processes from one WRN{_k}.
+
+    Process {m P_i} invokes [wrn i v_i]; on {m \bot} it decides its own
+    proposal, otherwise it decides the returned value.  The paper proves
+    (Claims 3–8): the first invoker decides its own value, the last decides
+    its successor's, and the last invoker's proposal is decided by nobody —
+    at most k−1 distinct decisions (Corollary 9).  Since (k−1)-set consensus
+    for k processes is unsolvable from registers, WRN{_k} is strictly
+    stronger than registers (Corollary 10). *)
+
+open Subc_sim
+
+type t
+
+val k : t -> int
+
+(** [alloc store ~k ~one_shot] — with [one_shot] the underlying object is
+    1sWRN{_k} (legal here: each index is used at most once). *)
+val alloc : Store.t -> k:int -> one_shot:bool -> Store.t * t
+
+(** [propose t ~i v] — process [i]'s program, deciding a value. *)
+val propose : t -> i:int -> Value.t -> Value.t Program.t

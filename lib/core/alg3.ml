@@ -1,0 +1,93 @@
+open Subc_sim
+open Program.Syntax
+
+type flavor = Plain_wrn | Relaxed_wrn
+
+type renamer =
+  | Rename_grid
+  | Rename_snapshot
+  | Rename_immediate
+  | Rename_identity of int
+
+type instance = Plain of Store.handle | Relaxed of Alg4.t
+
+type rename_state =
+  | Grid of Subc_renaming.Grid_renaming.t
+  | Snapshot of Subc_renaming.Snapshot_renaming.t
+  | Immediate of Subc_renaming.Is_renaming.t
+  | Identity of int
+
+type t = {
+  k : int;
+  (* One WRN instance per function of the family, in sweep order. *)
+  sweep : (Function_family.func * instance) list;
+  rename : rename_state;
+}
+
+let instances t = List.length t.sweep
+let k t = t.k
+
+let alloc store ~k ~flavor ~renamer ?family () =
+  let store, rename, name_bound =
+    match renamer with
+    | Rename_grid ->
+      let store, g = Subc_renaming.Grid_renaming.alloc store ~k in
+      (store, Grid g, Subc_renaming.Grid_renaming.bound ~k)
+    | Rename_snapshot ->
+      let store, s =
+        Subc_renaming.Snapshot_renaming.alloc store ~slots:k
+          ~snapshot:Subc_rwmem.Snapshot_api.primitive
+      in
+      (store, Snapshot s, Subc_renaming.Snapshot_renaming.bound ~k)
+    | Rename_immediate ->
+      let store, r = Subc_renaming.Is_renaming.alloc store ~k in
+      (store, Immediate r, Subc_renaming.Is_renaming.bound ~k)
+    | Rename_identity bound -> (store, Identity bound, bound)
+  in
+  let family =
+    match family with
+    | Some fs -> fs
+    | None -> Function_family.covering ~names:name_bound ~k
+  in
+  let alloc_instance store =
+    match flavor with
+    | Plain_wrn ->
+      let store, h = Store.alloc store (Subc_objects.Wrn.model ~k) in
+      (store, Plain h)
+    | Relaxed_wrn ->
+      let store, a = Alg4.alloc store ~k in
+      (store, Relaxed a)
+  in
+  let store, sweep =
+    List.fold_left
+      (fun (store, acc) f ->
+        let store, inst = alloc_instance store in
+        (store, (f, inst) :: acc))
+      (store, []) family
+  in
+  (store, { k; sweep = List.rev sweep; rename })
+
+let rename t ~slot ~id =
+  match t.rename with
+  | Grid g -> Subc_renaming.Grid_renaming.rename g ~me:id
+  | Snapshot s -> Subc_renaming.Snapshot_renaming.rename s ~slot ~id
+  | Immediate r -> Subc_renaming.Is_renaming.rename r ~slot ~id
+  | Identity bound ->
+    assert (0 <= id && id < bound);
+    Program.return id
+
+let invoke_instance inst ~i v =
+  match inst with
+  | Plain h -> Subc_objects.Wrn.wrn h i v
+  | Relaxed a -> Alg4.rlx_wrn a ~i v
+
+let propose t ~slot ~id v =
+  let* j = rename t ~slot ~id in
+  let rec sweep = function
+    | [] -> Program.return v
+    | (f, inst) :: rest ->
+      let i = Function_family.apply f j in
+      let* r = invoke_instance inst ~i v in
+      if Value.is_bot r then sweep rest else Program.return r
+  in
+  sweep t.sweep

@@ -1,0 +1,50 @@
+(** Algorithm 3 — (k−1)-set consensus for k participants out of many.
+
+    Participants first acquire small names through wait-free register-only
+    renaming, then sweep an array of WRN{_k} objects — one per function of
+    the family {m \mathcal{F}} mapping names to WRN indices, in a fixed
+    order.  A process decides the first non-{m \bot} response it receives,
+    or its own proposal after a full sweep.  Some iteration {m \ell^*}
+    maps the ≤ k actual names onto all k indices, which forces a process to
+    decide another's proposal there, and the last such proposal is decided
+    by nobody (Claims 11–17).
+
+    The array can hold plain WRN{_k} objects (processes may collide on an
+    index — legal for the multi-shot object) or {e relaxed} WRN{_k}
+    (Algorithm 4) built on 1sWRN{_k}, which tolerates collisions by giving
+    up; correctness persists because iteration {m \ell^*} is collision-free
+    (Claim 21). *)
+
+open Subc_sim
+
+type flavor = Plain_wrn | Relaxed_wrn
+
+type renamer =
+  | Rename_grid  (** splitter-grid renaming, names < k(k+1)/2 *)
+  | Rename_snapshot  (** snapshot renaming on the primitive snapshot *)
+  | Rename_immediate  (** immediate-snapshot (participating-set) renaming *)
+  | Rename_identity of int
+      (** no renaming: identifiers are already small names < the given
+          bound (used to keep exhaustive instances small) *)
+
+type t
+
+(** [alloc store ~k ~flavor ~renamer ()] — [?family] defaults to
+    [Function_family.covering] over the renamer's name bound. *)
+val alloc :
+  Store.t ->
+  k:int ->
+  flavor:flavor ->
+  renamer:renamer ->
+  ?family:Function_family.func list ->
+  unit ->
+  Store.t * t
+
+(** Number of WRN instances allocated (the family size). *)
+val instances : t -> int
+
+val k : t -> int
+
+(** [propose t ~slot ~id v] — [slot] < k indexes per-participant renaming
+    state; [id] is the participant's original name. *)
+val propose : t -> slot:int -> id:int -> Value.t -> Value.t Program.t

@@ -1,0 +1,20 @@
+open Subc_sim
+open Program.Syntax
+module Counter = Subc_objects.Counter_obj
+
+type t = { wrn1s : Store.handle; guards : Store.handle list; k : int }
+
+let k t = t.k
+
+let alloc store ~k =
+  let store, wrn1s = Store.alloc store (Subc_objects.One_shot_wrn.model ~k) in
+  let store, guards = Store.alloc_many store k Counter.model in
+  (store, { wrn1s; guards; k })
+
+let rlx_wrn t ~i v =
+  assert (0 <= i && i < t.k);
+  let guard = List.nth t.guards i in
+  let* () = Counter.inc guard in
+  let* c = Counter.read guard in
+  if c = 1 then Subc_objects.One_shot_wrn.wrn t.wrn1s i v
+  else Program.return Value.Bot

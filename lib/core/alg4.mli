@@ -1,0 +1,24 @@
+(** Algorithm 4 — relaxed WRN{_k} from 1sWRN{_k} and counters.
+
+    Each index [i] is guarded by an atomic counter [A.(i)]: a caller first
+    increments the counter, then reads it; only a caller that reads exactly
+    1 invokes the underlying 1sWRN (it is then the unique process ever to do
+    so with that index — the flag principle, Claim 19); every other caller
+    gives up and returns {m \bot}.
+
+    When exactly k processes arrive with k distinct indices, every one of
+    them reaches the 1sWRN (Claim 21), so the relaxed object behaves like a
+    real WRN{_k} in the iteration {m \ell^*} that Algorithm 3's proof
+    relies on. *)
+
+open Subc_sim
+
+type t
+
+val k : t -> int
+
+val alloc : Store.t -> k:int -> Store.t * t
+
+(** [rlx_wrn t ~i v] — may return {m \bot} even after other invocations
+    wrote, but never uses the one-shot object illegally. *)
+val rlx_wrn : t -> i:int -> Value.t -> Value.t Program.t

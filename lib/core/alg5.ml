@@ -1,0 +1,69 @@
+open Subc_sim
+open Program.Syntax
+module Register = Subc_objects.Register
+module Sse = Subc_objects.Sse_obj
+module Snapshot_api = Subc_rwmem.Snapshot_api
+
+type t = {
+  k : int;
+  sse : Store.handle;
+  doorway : Store.handle;
+  r : Snapshot_api.t;  (* announced values, one component per index *)
+  o : Snapshot_api.t;  (* published views, one component per index *)
+}
+
+let k t = t.k
+
+let opened = Value.Sym "opened"
+let closed = Value.Sym "closed"
+
+let alloc store ~k ?(register_snapshots = false) () =
+  let snapshot =
+    if register_snapshots then Snapshot_api.register_based
+    else Snapshot_api.primitive
+  in
+  let store, sse = Store.alloc store (Sse.model ~k ~j:(k - 1)) in
+  let store, doorway = Store.alloc store (Register.model opened) in
+  let store, r = snapshot store k in
+  let store, o = snapshot store k in
+  (store, { k; sse; doorway; r; o })
+
+let wrn t ~i v =
+  assert (0 <= i && i < t.k);
+  assert (not (Value.is_bot v));
+  let succ_i = (i + 1) mod t.k in
+  (* Line 6: announce the value at index i. *)
+  let* () = t.r.Snapshot_api.update ~me:i v in
+  (* Lines 7–12: the doorway and the strong set election. *)
+  let* d = Register.read t.doorway in
+  let* won =
+    if Value.equal d opened then
+      let* () = Register.write t.doorway closed in
+      let* w = Sse.propose t.sse i in
+      Program.return (w = i)
+    else Program.return false
+  in
+  if won then Program.return Value.Bot
+  else
+    (* Line 13: snapshot the announcements. *)
+    let* sr = t.r.Snapshot_api.scan in
+    (* Line 14: publish the observed view. *)
+    let* () = t.o.Snapshot_api.update ~me:i sr in
+    (* Line 15: snapshot the published views. *)
+    let* so = t.o.Snapshot_api.scan in
+    (* Lines 16–20: if some view saw our value but not our successor's, we
+       started before our successor finished — return ⊥. *)
+    let conflict =
+      List.exists
+        (fun view ->
+          match view with
+          | Value.Vec _ ->
+            Value.equal (Value.vec_get view i) v
+            && Value.is_bot (Value.vec_get view succ_i)
+          | _ -> false)
+        (Value.to_vec so)
+    in
+    if conflict then Program.return Value.Bot
+    else
+      (* Line 21. *)
+      Program.return (Value.vec_get sr succ_i)

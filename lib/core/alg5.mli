@@ -1,0 +1,37 @@
+(** Algorithm 5 — a linearizable 1sWRN{_k} from (k,k−1)-strong set election,
+    registers and snapshots (Section 5).
+
+    The construction:
+
+    + announce the value at index [i] in the announcement array [R];
+    + the {e doorway}: a process that reads the doorway open closes it and
+      runs the strong set election — a {e winner} (self-elected) returns
+      {m \bot}, guaranteeing a first linearized operation;
+    + everyone else snapshots [R], publishes the observed view in [O],
+      snapshots [O], and returns {m \bot} if some published view saw this
+      invocation's value but not its successor's — the double-snapshot
+      conflict detection that restores linearizability (the {m w_1 w_2 w_3}
+      counterexample of Section 5);
+    + otherwise it returns the announced value of its successor index.
+
+    Corollary 37: the construction is a linearizable implementation of
+    1sWRN{_k}; combined with Algorithm 2, 1sWRN{_k} and (k,k−1)-set
+    consensus are equivalent (Theorem 2).
+
+    The strong set election is the primitive object of substitution S2
+    (see DESIGN.md and [Subc_objects.Sse_obj]). *)
+
+open Subc_sim
+
+type t
+
+val k : t -> int
+
+(** [alloc store ~k ~register_snapshots] — with [register_snapshots] the
+    two snapshots are the register-only AADGMS implementation instead of
+    the primitive object (bigger state space, full-stack run). *)
+val alloc : Store.t -> k:int -> ?register_snapshots:bool -> unit -> Store.t * t
+
+(** [wrn t ~i v] — the implemented one-shot operation; each index may be
+    used at most once, values must be distinct and not {m \bot}. *)
+val wrn : t -> i:int -> Value.t -> Value.t Program.t

@@ -1,0 +1,65 @@
+open Subc_sim
+
+type edge = { src : int; dst : int }
+type t = { k : int; edges : edge list }
+
+let of_results ~k results =
+  assert (List.length results = k);
+  let edges =
+    List.concat
+      (List.mapi
+         (fun i result ->
+           let succ = (i + 1) mod k in
+           match result with
+           | None -> []
+           | Some v when Value.is_bot v -> [ { src = i; dst = succ } ]
+           | Some _ -> [ { src = succ; dst = i } ])
+         results)
+  in
+  { k; edges }
+
+let neighbour_edges_exclusive g =
+  List.for_all
+    (fun i ->
+      let succ = (i + 1) mod g.k in
+      let fwd = List.mem { src = i; dst = succ } g.edges in
+      let bwd = List.mem { src = succ; dst = i } g.edges in
+      not (fwd && bwd))
+    (List.init g.k Fun.id)
+
+let successors g v =
+  List.filter_map (fun e -> if e.src = v then Some e.dst else None) g.edges
+
+let acyclic g =
+  (* DFS with colors over at most k nodes. *)
+  let color = Array.make g.k 0 in
+  let rec visit v =
+    match color.(v) with
+    | 1 -> false (* grey: back edge *)
+    | 2 -> true
+    | _ ->
+      color.(v) <- 1;
+      let ok = List.for_all visit (successors g v) in
+      color.(v) <- 2;
+      ok
+  in
+  List.for_all visit (List.init g.k Fun.id)
+
+let has_source_and_sink g =
+  let has_in = Array.make g.k false and has_out = Array.make g.k false in
+  List.iter
+    (fun e ->
+      has_in.(e.dst) <- true;
+      has_out.(e.src) <- true)
+    g.edges;
+  let source = ref false and sink = ref false in
+  for v = 0 to g.k - 1 do
+    if has_out.(v) && not has_in.(v) then source := true;
+    if has_in.(v) && not has_out.(v) then sink := true
+  done;
+  !source && !sink
+
+let pp ppf g =
+  Format.fprintf ppf "G(k=%d): %s" g.k
+    (String.concat ", "
+       (List.map (fun e -> Printf.sprintf "w%d->w%d" e.src e.dst) g.edges))

@@ -1,0 +1,36 @@
+(** The precedence graph G of Section 5's linearizability proof.
+
+    For an execution of k one-shot WRN invocations {m w_0, …, w_{k-1}}
+    (invocation {m w_i} uses index [i]), the paper defines a directed graph
+    on the invocations:
+
+    - if {m w_i} returned {m \bot}, an edge {m w_i \to w_{(i+1) \bmod k}};
+    - if {m w_i} returned {m v_{(i+1) \bmod k}}, an edge
+      {m w_{(i+1) \bmod k} \to w_i}.
+
+    Claims 27–30: between neighbours exactly one edge exists, G is acyclic,
+    has a source and a sink, and its edges form a partial order — the
+    skeleton from which the linearization {m \preceq} is built.  This
+    module rebuilds G from any terminal configuration of an Algorithm 5 (or
+    primitive 1sWRN) harness so the test suite can check those claims on
+    every reachable execution. *)
+
+type edge = { src : int; dst : int }
+
+type t = { k : int; edges : edge list }
+
+(** [of_results ~k results] — [results.(i)] is invocation [w_i]'s return
+    value ({m \bot} or its successor's value); invocations absent from the
+    execution are [None]. *)
+val of_results : k:int -> Subc_sim.Value.t option list -> t
+
+(** Claim 27: for participating neighbours, exactly one direction. *)
+val neighbour_edges_exclusive : t -> bool
+
+(** Corollary 28: no directed cycles. *)
+val acyclic : t -> bool
+
+(** Corollary 29 (for full participation): G has a source and a sink. *)
+val has_source_and_sink : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+open Subc_sim
+open Program.Syntax
+
+type t = { n : int; k : int; groups : Store.handle list }
+
+let agreement_bound ~n ~k =
+  ((k - 1) * (n / k)) + min (n mod k) (k - 1)
+
+let alloc store ~n ~k ~one_shot =
+  let model =
+    if one_shot then Subc_objects.One_shot_wrn.model ~k
+    else Subc_objects.Wrn.model ~k
+  in
+  let n_groups = (n + k - 1) / k in
+  let store, groups = Store.alloc_many store n_groups model in
+  (store, { n; k; groups })
+
+let propose t ~i v =
+  assert (0 <= i && i < t.n);
+  let group = List.nth t.groups (i / t.k) in
+  let* r = Subc_objects.Wrn.wrn group (i mod t.k) v in
+  if Value.is_bot r then Program.return v else Program.return r

@@ -1,0 +1,22 @@
+(** Algorithm 6 — m-set consensus for n processes from WRN{_k} objects
+    (Section 7.1).
+
+    Processes are partitioned into {m \lceil n/k \rceil} groups of at most
+    [k]; group [g] runs Algorithm 2 on its own WRN{_k}.  Each full group
+    contributes at most k−1 distinct decisions and the remainder group at
+    most its size, so the construction solves m-set consensus whenever
+    {m (k-1)/k \le m/n} (Lemma 39, Corollary 40) — e.g. WRN{_3} objects
+    implement (12,8)-set consensus. *)
+
+open Subc_sim
+
+type t
+
+(** The number of distinct decisions the construction guarantees:
+    {m (k-1)\lfloor n/k \rfloor + \min(n \bmod k,\, k-1)}. *)
+val agreement_bound : n:int -> k:int -> int
+
+val alloc : Store.t -> n:int -> k:int -> one_shot:bool -> Store.t * t
+
+(** [propose t ~i v] for process [i < n]. *)
+val propose : t -> i:int -> Value.t -> Value.t Program.t

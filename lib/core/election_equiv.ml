@@ -1,0 +1,37 @@
+open Subc_sim
+open Program.Syntax
+module Register = Subc_objects.Register
+
+type election = { slots : int; elect : me:int -> int Program.t }
+
+let election_of_set_consensus store ~slots ~k =
+  let store, sc =
+    Store.alloc store (Subc_objects.Set_consensus_obj.model ~n:slots ~k)
+  in
+  let elect ~me =
+    let+ leader = Subc_objects.Set_consensus_obj.propose sc (Value.Int me) in
+    Value.to_int leader
+  in
+  (store, { slots; elect })
+
+let election_of_one_shot_wrn store ~k =
+  let store, alg = Alg2.alloc store ~k ~one_shot:true in
+  let elect ~me =
+    let+ leader = Alg2.propose alg ~i:me (Value.Int me) in
+    Value.to_int leader
+  in
+  (store, { slots = k; elect })
+
+type t = { election : election; announcements : Store.handle list }
+
+let set_consensus_of_election store election =
+  let store, announcements =
+    Store.alloc_many store election.slots Register.model_bot
+  in
+  (store, { election; announcements })
+
+let propose t ~slot v =
+  assert (0 <= slot && slot < t.election.slots);
+  let* () = Register.write (List.nth t.announcements slot) v in
+  let* leader = t.election.elect ~me:slot in
+  Register.read (List.nth t.announcements leader)

@@ -1,0 +1,33 @@
+(** The Section 2 equivalence: k-set consensus ⇔ k-set election [3].
+
+    - Election from consensus is immediate: propose your identifier.
+    - Consensus from election: announce your value under your identifier,
+      run the election on identifiers, then adopt the announced value of
+      your elected leader.  Because validity of the election guarantees the
+      leader is a participant, and announcements precede proposals, the
+      leader's value is always readable. *)
+
+open Subc_sim
+
+(** A k-set-{e election} facility for slots {0,…,slots−1}: each slot
+    proposes itself once and gets an elected slot back. *)
+type election = { slots : int; elect : me:int -> int Program.t }
+
+(** [election_of_set_consensus store ~slots ~k] — the trivial direction,
+    backed by a (slots, k)-set-consensus object. *)
+val election_of_set_consensus :
+  Store.t -> slots:int -> k:int -> Store.t * election
+
+(** [election_of_one_shot_wrn store ~k] — an election backed by the
+    paper's 1sWRN{_k} via Algorithm 2 (slot [i] uses index [i]). *)
+val election_of_one_shot_wrn : Store.t -> k:int -> Store.t * election
+
+type t
+
+(** [set_consensus_of_election store election] — the interesting
+    direction: a set-consensus [propose] for arbitrary values. *)
+val set_consensus_of_election : Store.t -> election -> Store.t * t
+
+(** [propose t ~slot v] — decides a value; at most [k] distinct decisions,
+    where [k] is the election's agreement bound. *)
+val propose : t -> slot:int -> Value.t -> Value.t Program.t

@@ -1,0 +1,49 @@
+type func = int array
+
+let apply f j =
+  if j < 0 || j >= Array.length f then
+    invalid_arg (Printf.sprintf "Function_family.apply: name %d out of range" j)
+  else f.(j)
+
+let all ~names ~k =
+  (* Enumerate the k^names value tables as base-k numerals. *)
+  let total =
+    let rec pow acc i = if i = 0 then acc else pow (acc * k) (i - 1) in
+    pow 1 names
+  in
+  List.init total (fun idx ->
+      let f = Array.make names 0 in
+      let rec fill idx pos =
+        if pos < names then begin
+          f.(pos) <- idx mod k;
+          fill (idx / k) (pos + 1)
+        end
+      in
+      fill idx 0;
+      f)
+
+let subsets_of_size k names =
+  let rec choose start k =
+    if k = 0 then [ [] ]
+    else
+      List.concat
+        (List.init
+           (names - start - k + 1)
+           (fun d ->
+             let x = start + d in
+             List.map (fun rest -> x :: rest) (choose (x + 1) (k - 1))))
+  in
+  choose 0 k
+
+let covering ~names ~k =
+  assert (names >= k);
+  List.map
+    (fun subset ->
+      let f = Array.make names 0 in
+      List.iteri (fun rank name -> f.(name) <- rank) subset;
+      f)
+    (subsets_of_size k names)
+
+let covers f s k =
+  let image = List.sort_uniq compare (List.map (fun j -> f.(j)) s) in
+  image = List.init k (fun i -> i)

@@ -1,0 +1,24 @@
+(** The function family {m \mathcal{F}} of Algorithm 3.
+
+    Section 4.2 fixes an arbitrary ordering of {e all} functions from the
+    renamed namespace {0,…,N−1} onto the index space {0,…,k−1}; correctness
+    only uses the existence of a function mapping the ≤ k actual names onto
+    all of {0,…,k−1} (Claim 16).  Besides the paper's full family (size
+    {m k^N}), we provide a {e covering} family with one surjection per
+    k-subset of names (size {m \binom{N}{k}}), which satisfies the same
+    existence property and keeps instances tractable. *)
+
+(** A function {0,…,N−1} → {0,…,k−1} as its value table. *)
+type func = int array
+
+val apply : func -> int -> int
+
+(** [all ~names ~k] — the paper's full family, in a fixed order. *)
+val all : names:int -> k:int -> func list
+
+(** [covering ~names ~k] — for every size-[k] subset S of {0,…,names−1},
+    contains a function mapping S onto {0,…,k−1}. *)
+val covering : names:int -> k:int -> func list
+
+(** [covers f s k] — does [f] map the name set [s] onto {0,…,k−1}? *)
+val covers : func -> int list -> int -> bool

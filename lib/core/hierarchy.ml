@@ -1,0 +1,31 @@
+open Subc_sim
+open Program.Syntax
+
+let partition_bound ~n ~m ~j = (j * (n / m)) + min (n mod m) j
+
+let implementable ~n ~k ~m ~j = k >= j && partition_bound ~n ~m ~j <= k
+
+let separates ~k ~k' =
+  k < k'
+  && implementable ~n:k' ~k:(k' - 1) ~m:k ~j:(k - 1)
+  (* Necessary condition n/k ≤ m/j of Theorem 41, instantiated for
+     implementing (k,k−1) from (k′,k′−1): k/(k−1) ≤ k′/(k′−1) fails for
+     k < k′, so the converse implementation does not exist. *)
+  && k * (k' - 1) > k' * (k - 1)
+
+type t = { n : int; m : int; groups : Store.handle list }
+
+let alloc_set_consensus store ~n ~m ~j =
+  let n_groups = (n + m - 1) / m in
+  let store, groups =
+    Store.alloc_many store n_groups (Subc_objects.Set_consensus_obj.model ~n:m ~k:j)
+  in
+  (store, { n; m; groups })
+
+let propose t ~i v =
+  assert (0 <= i && i < t.n);
+  let group = List.nth t.groups (i / t.m) in
+  let* r = Subc_objects.Set_consensus_obj.propose group v in
+  Program.return r
+
+let alloc_one_shot_wrn store ~k' = Alg5.alloc store ~k:k' ()

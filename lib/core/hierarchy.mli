@@ -1,0 +1,47 @@
+(** Section 7.2 — the infinite hierarchy.
+
+    Theorem 41 (from [1, 16]) characterizes when (n,k)-set consensus is
+    wait-free implementable from (m,j)-set-consensus objects and registers.
+    This module implements the positive direction — the partition
+    construction — and the arithmetic feasibility test, from which
+    Corollary 42 derives the strict hierarchy of 1sWRN objects:
+    1sWRN{_{k'}} is implementable from 1sWRN{_k} for k < k′, but not
+    conversely.
+
+    The full executable chain for Corollary 42(2) is:
+    1sWRN{_k} {m \Rightarrow} (k,k−1)-set consensus (Algorithm 2)
+    {m \Rightarrow} (k′,k′−1)-set consensus (partition / Algorithm 6)
+    {m \Rightarrow} (k′,k′−1)-strong set election ([9]; substitution S2)
+    {m \Rightarrow} 1sWRN{_{k'}} (Algorithm 5). *)
+
+open Subc_sim
+
+(** [partition_bound ~n ~m ~j] is the number of distinct decisions the
+    partition construction guarantees: {m j\lfloor n/m\rfloor +
+    \min(n \bmod m, j)}. *)
+val partition_bound : n:int -> m:int -> j:int -> int
+
+(** [implementable ~n ~k ~m ~j] — can the partition construction implement
+    (n,k)-set consensus from (m,j)-set-consensus objects?  (The positive
+    direction of Theorem 41.) *)
+val implementable : n:int -> k:int -> m:int -> j:int -> bool
+
+(** [separates ~k ~k'] — Corollary 42: for k < k′, 1sWRN{_{k'}} is
+    implementable from 1sWRN{_k} but not conversely, because
+    (k,k−1)-set consensus is not implementable from (k′,k′−1)-set-consensus
+    objects (Theorem 41's necessary condition {m n/k \le m/j} fails). *)
+val separates : k:int -> k':int -> bool
+
+type t
+
+(** [alloc_set_consensus store ~n ~m ~j] — the partition construction:
+    {m \lceil n/m \rceil} groups, each sharing one (m,j)-set-consensus
+    object. *)
+val alloc_set_consensus : Store.t -> n:int -> m:int -> j:int -> Store.t * t
+
+val propose : t -> i:int -> Value.t -> Value.t Program.t
+
+(** [alloc_one_shot_wrn store ~k'] — the end of the Corollary 42 chain: a
+    linearizable 1sWRN{_{k'}} via Algorithm 5 (with the S2 strong-set-
+    election bridge). *)
+val alloc_one_shot_wrn : Store.t -> k':int -> Store.t * Alg5.t

@@ -1,0 +1,87 @@
+open Subc_sim
+open Program.Syntax
+module Sc = Subc_objects.Set_consensus_obj
+module Snapshot_api = Subc_rwmem.Snapshot_api
+
+type round = {
+  sc : Store.handle;  (* (k,k−1)-set-consensus object, proposals are ids *)
+  announce : Snapshot_api.t;  (* announced leaders *)
+}
+
+type t = {
+  k : int;
+  rounds : round list;  (* one for [alloc_naive], k for [alloc_iterated] *)
+  win : Snapshot_api.t option;  (* commit board, [alloc_iterated] only *)
+}
+
+let alloc_rounds store ~k ~n_rounds =
+  let rec build store acc = function
+    | 0 -> (store, List.rev acc)
+    | remaining ->
+      let store, sc = Store.alloc store (Sc.model ~n:k ~k:(k - 1)) in
+      let store, announce = Snapshot_api.primitive store k in
+      build store ({ sc; announce } :: acc) (remaining - 1)
+  in
+  build store [] n_rounds
+
+let alloc_naive store ~k =
+  let store, rounds = alloc_rounds store ~k ~n_rounds:1 in
+  (store, { k; rounds; win = None })
+
+let alloc_iterated store ~k =
+  let store, rounds = alloc_rounds store ~k ~n_rounds:k in
+  let store, win = Snapshot_api.primitive store k in
+  (store, { k; rounds; win = Some win })
+
+(* One announce-and-look round: propose own id, announce the leader it
+   returns, snapshot the announcements; the boolean is "someone elected
+   me". *)
+let round_step rnd ~i =
+  let* leader = Sc.propose rnd.sc (Value.Int i) in
+  let leader = Value.to_int leader in
+  let* () = rnd.announce.Snapshot_api.update ~me:i (Value.Int leader) in
+  let* view = rnd.announce.Snapshot_api.scan in
+  let elected_me =
+    List.exists (Value.equal (Value.Int i)) (Value.to_vec view)
+  in
+  Program.return (elected_me, leader)
+
+let elect_naive t ~i =
+  match t.rounds with
+  | [ rnd ] ->
+    let* elected_me, leader = round_step rnd ~i in
+    Program.return (if elected_me then i else leader)
+  | _ -> assert false
+
+(* First committed winner on the board (one atomic scan). *)
+let committed_winner board =
+  let+ view = board.Snapshot_api.scan in
+  List.find_map
+    (fun (j, c) -> if Value.is_bot c then None else Some j)
+    (List.mapi (fun j c -> (j, c)) (Value.to_vec view))
+
+let elect_iterated t board ~i =
+  let commit_and_win =
+    let* () = board.Snapshot_api.update ~me:i (Value.Bool true) in
+    Program.return i
+  in
+  let rec go = function
+    | [] ->
+      (* Unreachable — every round retires at least one participant — but
+         terminate safely rather than loop. *)
+      commit_and_win
+    | rnd :: rest ->
+      let* winner = committed_winner board in
+      (match winner with
+      | Some j when j <> i -> Program.return j
+      | Some _ | None ->
+        let* elected_me, _leader = round_step rnd ~i in
+        if elected_me then commit_and_win else go rest)
+  in
+  go t.rounds
+
+let elect t ~i =
+  assert (0 <= i && i < t.k);
+  match t.win with
+  | None -> elect_naive t ~i
+  | Some board -> elect_iterated t board ~i

@@ -1,0 +1,34 @@
+(** Candidate constructions of strong set election from set consensus —
+    and why they fail (experiment E11).
+
+    The paper invokes Borowsky–Gafni [9] for "(k,k−1)-strong set election
+    can be implemented using (k,k−1)-set consensus" without reproducing the
+    construction.  The two natural simple constructions below are {e not}
+    correct, and the model checker exhibits concrete counterexample
+    schedules for k = 3:
+
+    - [alloc_naive]: elect through set consensus, announce the leader,
+      snapshot, self-elect if anyone elected you.  Violates Self-Election —
+      a process can decide on a leader that never discovers it was elected
+      and decides on a third party.
+    - [alloc_iterated]: rounds of (set consensus + announce + snapshot),
+      with winners committing to a shared [win] board, losers deferring to
+      committed winners, and undecided processes moving to the next round.
+      Every round at least one participant decides, so it terminates — but
+      an adversary can suspend k−1 would-be winners between their snapshot
+      and their commit and let the remaining process win a later round
+      alone: k winners, violating (k−1)-agreement.
+
+    This is why substitution S2 (see DESIGN.md) models strong set election
+    as a primitive nondeterministic object with exactly the task's
+    guarantees, rather than shipping a subtly wrong construction. *)
+
+open Subc_sim
+
+type t
+
+val alloc_naive : Store.t -> k:int -> Store.t * t
+val alloc_iterated : Store.t -> k:int -> Store.t * t
+
+(** [elect t ~i] — participant [i]'s program; returns the elected index. *)
+val elect : t -> i:int -> int Program.t

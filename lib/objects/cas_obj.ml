@@ -1,0 +1,18 @@
+open Subc_sim
+
+let apply state op =
+  match (op.Op.name, op.Op.args) with
+  | "cas", [ expected; desired ] ->
+    if Value.equal state expected then (desired, Value.Bool true)
+    else (state, Value.Bool false)
+  | "read", [] -> (state, state)
+  | _ -> Obj_model.bad_op "cas" op
+
+let model init = Obj_model.deterministic ~kind:"cas" ~init apply
+let model_bot = model Value.Bot
+
+let compare_and_swap h ~expected ~desired =
+  Program.map Value.to_bool
+    (Program.invoke h (Op.make "cas" [ expected; desired ]))
+
+let read h = Program.invoke h (Op.make "read" [])

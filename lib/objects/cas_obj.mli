@@ -1,0 +1,16 @@
+(** Compare-and-swap register (infinite consensus number).
+
+    The top of the consensus hierarchy; used by [Subc_classic] to situate
+    the paper's sub-consensus band against universal objects. *)
+
+open Subc_sim
+
+val model : Value.t -> Obj_model.t
+val model_bot : Obj_model.t
+
+(** [compare_and_swap h ~expected ~desired] atomically replaces the value
+    with [desired] if it equals [expected]; returns whether it succeeded. *)
+val compare_and_swap :
+  Store.handle -> expected:Value.t -> desired:Value.t -> bool Program.t
+
+val read : Store.handle -> Value.t Program.t

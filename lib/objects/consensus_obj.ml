@@ -1,0 +1,11 @@
+open Subc_sim
+
+let apply state op =
+  match (op.Op.name, op.Op.args) with
+  | "propose", [ v ] ->
+    assert (not (Value.is_bot v));
+    if Value.is_bot state then (v, v) else (state, state)
+  | _ -> Obj_model.bad_op "consensus" op
+
+let model = Obj_model.deterministic ~kind:"consensus" ~init:Value.Bot apply
+let propose h v = Program.invoke h (Op.make "propose" [ v ])

@@ -1,0 +1,12 @@
+(** Consensus object: the first proposal sticks; every propose returns it.
+
+    Used as the upper baseline of the hierarchy experiments — the paper's
+    point is that WRN{_k} objects ({m k \ge 3}) {e cannot} implement this
+    object even for two processes. *)
+
+open Subc_sim
+
+val model : Obj_model.t
+
+(** [propose h v] ([v] must not be {m \bot}) returns the decided value. *)
+val propose : Store.handle -> Value.t -> Value.t Program.t

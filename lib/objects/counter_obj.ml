@@ -1,0 +1,11 @@
+open Subc_sim
+
+let apply state op =
+  match (op.Op.name, op.Op.args, state) with
+  | "inc", [], Value.Int n -> (Value.Int (n + 1), Value.Unit)
+  | "read", [], Value.Int n -> (state, Value.Int n)
+  | _ -> Obj_model.bad_op "counter" op
+
+let model = Obj_model.deterministic ~kind:"counter" ~init:(Value.Int 0) apply
+let inc h = Program.map (fun _ -> ()) (Program.invoke h (Op.make "inc" []))
+let read h = Program.map Value.to_int (Program.invoke h (Op.make "read" []))

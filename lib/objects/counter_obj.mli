@@ -1,0 +1,12 @@
+(** Atomic counter with increment and read, each a single step.
+
+    This is exactly the guard object of Algorithm 4: "a simple atomic
+    register that can be incremented and read (each operation is a single
+    step)".  A register-only construction is provided and verified in
+    [Subc_rwmem.Counter_impl]. *)
+
+open Subc_sim
+
+val model : Obj_model.t
+val inc : Store.handle -> unit Program.t
+val read : Store.handle -> int Program.t

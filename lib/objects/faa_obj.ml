@@ -1,0 +1,15 @@
+open Subc_sim
+
+let apply state op =
+  match (op.Op.name, op.Op.args, state) with
+  | "faa", [ Value.Int d ], Value.Int n -> (Value.Int (n + d), Value.Int n)
+  | "read", [], Value.Int n -> (state, Value.Int n)
+  | _ -> Obj_model.bad_op "fetch_and_add" op
+
+let model =
+  Obj_model.deterministic ~kind:"fetch_and_add" ~init:(Value.Int 0) apply
+
+let fetch_and_add h d =
+  Program.map Value.to_int (Program.invoke h (Op.make "faa" [ Value.Int d ]))
+
+let read h = Program.map Value.to_int (Program.invoke h (Op.make "read" []))

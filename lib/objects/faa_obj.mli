@@ -1,0 +1,10 @@
+(** Fetch-and-add register (consensus number 2). *)
+
+open Subc_sim
+
+val model : Obj_model.t
+
+(** [fetch_and_add h d] adds [d] and returns the {e previous} value. *)
+val fetch_and_add : Store.handle -> int -> int Program.t
+
+val read : Store.handle -> int Program.t

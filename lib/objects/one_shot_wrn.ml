@@ -1,0 +1,23 @@
+open Subc_sim
+
+let apply ~k state op =
+  match (op.Op.name, op.Op.args, state) with
+  | "wrn", [ Value.Int i; v ], Value.Pair (cells, used) ->
+    assert (0 <= i && i < k);
+    assert (not (Value.is_bot v));
+    if Value.to_bool (Value.vec_get used i) then Obj_model.hang
+    else
+      let cells' = Value.vec_set cells i v in
+      let used' = Value.vec_set used i (Value.Bool true) in
+      [ (Value.Pair (cells', used'), Value.vec_get cells' ((i + 1) mod k)) ]
+  | _ -> Obj_model.bad_op "one_shot_wrn" op
+
+let model ~k =
+  Obj_model.nondet
+    ~kind:(Printf.sprintf "one_shot_wrn(%d)" k)
+    ~init:
+      (Value.Pair
+         (Value.bot_vec k, Value.Vec (List.init k (fun _ -> Value.Bool false))))
+    (apply ~k)
+
+let wrn h i v = Program.invoke h (Op.make "wrn" [ Value.Int i; v ])

@@ -1,0 +1,17 @@
+(** The one-shot variant 1sWRN{_k} (Section 3).
+
+    Identical to WRN{_k}, except every index may be used at most once:
+    invoking [wrn] twice with the same index is illegal and "hangs the
+    system in a manner that cannot be detected by any process" — modeled as
+    an empty successor set.
+
+    Theorem 2: 1sWRN{_k} and (k,k−1)-set consensus have equivalent
+    synchronization power. *)
+
+open Subc_sim
+
+val model : k:int -> Obj_model.t
+val wrn : Store.handle -> int -> Value.t -> Value.t Program.t
+
+(** This sequential specification, restricted to legal histories, drives the
+    linearizability checking of Algorithm 5 (same [model ~k]). *)

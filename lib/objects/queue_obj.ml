@@ -1,0 +1,15 @@
+open Subc_sim
+
+let apply state op =
+  match (op.Op.name, op.Op.args, state) with
+  | "enq", [ v ], Value.Vec vs -> (Value.Vec (vs @ [ v ]), Value.Unit)
+  | "deq", [], Value.Vec [] -> (state, Value.Bot)
+  | "deq", [], Value.Vec (v :: vs) -> (Value.Vec vs, v)
+  | _ -> Obj_model.bad_op "queue" op
+
+let model init = Obj_model.deterministic ~kind:"queue" ~init:(Value.Vec init) apply
+
+let enqueue h v =
+  Program.map (fun _ -> ()) (Program.invoke h (Op.make "enq" [ v ]))
+
+let dequeue h = Program.invoke h (Op.make "deq" [])

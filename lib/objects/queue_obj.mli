@@ -1,0 +1,11 @@
+(** FIFO queue with enqueue and dequeue (consensus number 2). *)
+
+open Subc_sim
+
+(** [model init] is a queue holding [init] front-first. *)
+val model : Value.t list -> Obj_model.t
+
+val enqueue : Store.handle -> Value.t -> unit Program.t
+
+(** [dequeue h] returns the front element, or {m \bot} if empty. *)
+val dequeue : Store.handle -> Value.t Program.t

@@ -1,0 +1,14 @@
+open Subc_sim
+
+let apply state op =
+  match (op.Op.name, op.Op.args) with
+  | "read", [] -> (state, state)
+  | "write", [ v ] -> (v, Value.Unit)
+  | _ -> Obj_model.bad_op "register" op
+
+let model init = Obj_model.deterministic ~kind:"register" ~init apply
+let model_bot = model Value.Bot
+let read h = Program.invoke h (Op.make "read" [])
+
+let write h v =
+  Program.map (fun _ -> ()) (Program.invoke h (Op.make "write" [ v ]))

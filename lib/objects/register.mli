@@ -1,0 +1,18 @@
+(** Atomic multi-writer multi-reader read/write register.
+
+    The weakest object of the paper's hierarchy — everything below
+    2-consensus is measured against it.  SWMR registers are MWMR registers
+    used by a single writer; the simulator does not need to enforce the
+    single-writer discipline because every algorithm in this repository
+    respects it by construction (each is verified by the model checker). *)
+
+open Subc_sim
+
+(** [model init] is a register initialized to [init]. *)
+val model : Value.t -> Obj_model.t
+
+(** [model_bot] is a register initialized to {m \bot}. *)
+val model_bot : Obj_model.t
+
+val read : Store.handle -> Value.t Program.t
+val write : Store.handle -> Value.t -> unit Program.t

@@ -1,0 +1,32 @@
+open Subc_sim
+
+let dedup xs =
+  List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ]) [] xs
+
+let apply ~n ~k state op =
+  match (op.Op.name, op.Op.args, state) with
+  | "propose", [ v ], Value.Pair (Value.Vec chosen, Value.Int count) ->
+    if count >= n then Obj_model.hang
+    else
+      let extensions =
+        if chosen = [] then [ [ v ] ]
+        else if List.length chosen < k && not (List.mem v chosen) then
+          [ chosen; chosen @ [ v ] ]
+        else [ chosen ]
+      in
+      List.concat_map
+        (fun chosen' ->
+          let state' =
+            Value.Pair (Value.Vec chosen', Value.Int (count + 1))
+          in
+          List.map (fun r -> (state', r)) chosen')
+        extensions
+      |> dedup
+  | _ -> Obj_model.bad_op "set_consensus" op
+
+let model ~n ~k =
+  Obj_model.nondet ~kind:(Printf.sprintf "set_consensus(%d,%d)" n k)
+    ~init:(Value.Pair (Value.Vec [], Value.Int 0))
+    (apply ~n ~k)
+
+let propose h v = Program.invoke h (Op.make "propose" [ v ])

@@ -1,0 +1,17 @@
+(** The (n,k)-set-consensus nondeterministic object of Section 2.
+
+    State: a set of at most [k] adopted values plus a count of proposals.
+    The first [propose] adds its input to the set; later proposes may
+    nondeterministically add theirs while the set holds fewer than [k]
+    values.  Each of the first [n] proposes returns a nondeterministically
+    chosen member of the (post-transition) set.  Propose number [n+1]
+    onwards hangs the system undetectably (empty successor set).
+
+    All nondeterminism is resolved by the scheduler/model checker, i.e. by
+    the adversary — the object guarantees nothing beyond the (n,k)-set
+    consensus task. *)
+
+open Subc_sim
+
+val model : n:int -> k:int -> Obj_model.t
+val propose : Store.handle -> Value.t -> Value.t Program.t

@@ -1,0 +1,17 @@
+open Subc_sim
+
+let apply state op =
+  match (op.Op.name, op.Op.args) with
+  | "update", [ Value.Int i; v ] -> (Value.vec_set state i v, Value.Unit)
+  | "scan", [] -> (state, state)
+  | _ -> Obj_model.bad_op "snapshot" op
+
+let model ~n =
+  Obj_model.deterministic ~kind:"snapshot" ~init:(Value.bot_vec n) apply
+
+let update h i v =
+  Program.map
+    (fun _ -> ())
+    (Program.invoke h (Op.make "update" [ Value.Int i; v ]))
+
+let scan h = Program.invoke h (Op.make "scan" [])

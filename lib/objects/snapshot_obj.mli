@@ -1,0 +1,14 @@
+(** Atomic snapshot object with [n] components.
+
+    [update i v] atomically writes [v] into component [i]; [scan] atomically
+    reads all components.  Algorithm 5 of the paper takes snapshots of its
+    register arrays; a wait-free register-only implementation (justifying
+    this primitive) is built and verified in [Subc_rwmem.Snapshot_impl]. *)
+
+open Subc_sim
+
+val model : n:int -> Obj_model.t
+val update : Store.handle -> int -> Value.t -> unit Program.t
+
+(** [scan h] returns the vector of all components. *)
+val scan : Store.handle -> Value.t Program.t

@@ -1,0 +1,30 @@
+open Subc_sim
+
+let apply ~k ~j state op =
+  match (op.Op.name, op.Op.args, state) with
+  | "propose", [ Value.Int i ], Value.Pair (Value.Vec kings, used) ->
+    assert (0 <= i && i < k);
+    if Value.to_bool (Value.vec_get used i) then Obj_model.hang
+    else
+      let used' = Value.vec_set used i (Value.Bool true) in
+      let self_elect =
+        if List.length kings < j then
+          [ (Value.Pair (Value.Vec (kings @ [ Value.Int i ]), used'), Value.Int i) ]
+        else []
+      in
+      let defer =
+        List.map
+          (fun king -> (Value.Pair (Value.Vec kings, used'), king))
+          kings
+      in
+      self_elect @ defer
+  | _ -> Obj_model.bad_op "strong_set_election" op
+
+let model ~k ~j =
+  Obj_model.nondet
+    ~kind:(Printf.sprintf "strong_set_election(%d,%d)" k j)
+    ~init:(Value.Pair (Value.Vec [], Value.Vec (List.init k (fun _ -> Value.Bool false))))
+    (apply ~k ~j)
+
+let propose h i =
+  Program.map Value.to_int (Program.invoke h (Op.make "propose" [ Value.Int i ]))

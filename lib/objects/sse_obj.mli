@@ -1,0 +1,24 @@
+(** (k,j)-strong-set-election object (substitution S2 of DESIGN.md).
+
+    Algorithm 5 of the paper consumes a (k,k−1)-strong set election, which
+    Borowsky–Gafni [9] construct from (k,k−1)-set consensus.  Rather than
+    reproducing that construction, this object's transition relation is
+    {e exactly} the strong-set-election task guarantees and nothing more:
+
+    - each index in {0..k−1} may propose at most once (re-use hangs);
+    - a propose either {e self-elects} (joins the set of winners, provided
+      fewer than [j] winners exist) and returns its own index, or returns
+      the index of an {e already self-elected} winner;
+    - the choice is nondeterministic, i.e. adversarial.
+
+    Consequences, each matching the task: at most [j] distinct outputs
+    (winners only); validity (outputs are participants); Self-Election (an
+    output [i ≠ me] is only possible after [i]'s own propose returned [i]);
+    and the first propose always self-elects. *)
+
+open Subc_sim
+
+val model : k:int -> j:int -> Obj_model.t
+
+(** [propose h i] proposes index [i]; returns the elected index. *)
+val propose : Store.handle -> int -> int Program.t

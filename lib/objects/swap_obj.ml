@@ -1,0 +1,11 @@
+open Subc_sim
+
+let apply state op =
+  match (op.Op.name, op.Op.args) with
+  | "swap", [ v ] -> (v, state)
+  | "read", [] -> (state, state)
+  | _ -> Obj_model.bad_op "swap" op
+
+let model init = Obj_model.deterministic ~kind:"swap" ~init apply
+let model_bot = model Value.Bot
+let swap h v = Program.invoke h (Op.make "swap" [ v ])

@@ -1,0 +1,11 @@
+(** Atomic swap register: [swap v] writes [v] and returns the old value.
+
+    The paper observes that WRN{_2} {e is} a swap object, whose consensus
+    number is 2 (Herlihy); swap marks the upper boundary of the band of
+    objects this paper populates. *)
+
+open Subc_sim
+
+val model : Value.t -> Obj_model.t
+val model_bot : Obj_model.t
+val swap : Store.handle -> Value.t -> Value.t Program.t

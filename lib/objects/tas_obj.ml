@@ -1,0 +1,15 @@
+open Subc_sim
+
+let apply state op =
+  match (op.Op.name, op.Op.args) with
+  | "test_and_set", [] -> (Value.Bool true, state)
+  | "read", [] -> (state, state)
+  | _ -> Obj_model.bad_op "test_and_set" op
+
+let model =
+  Obj_model.deterministic ~kind:"test_and_set" ~init:(Value.Bool false) apply
+
+let test_and_set h =
+  Program.map Value.to_bool (Program.invoke h (Op.make "test_and_set" []))
+
+let read h = Program.map Value.to_bool (Program.invoke h (Op.make "read" []))

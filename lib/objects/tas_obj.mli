@@ -1,0 +1,11 @@
+(** Test-and-set bit (consensus number 2). *)
+
+open Subc_sim
+
+val model : Obj_model.t
+
+(** [test_and_set h] sets the bit and returns its {e previous} value; the
+    unique caller that sees [false] won the bit. *)
+val test_and_set : Store.handle -> bool Program.t
+
+val read : Store.handle -> bool Program.t

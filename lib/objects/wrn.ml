@@ -1,0 +1,17 @@
+open Subc_sim
+
+let apply ~k state op =
+  match (op.Op.name, op.Op.args) with
+  | "wrn", [ Value.Int i; v ] ->
+    assert (0 <= i && i < k);
+    assert (not (Value.is_bot v));
+    let state' = Value.vec_set state i v in
+    (state', Value.vec_get state' ((i + 1) mod k))
+  | _ -> Obj_model.bad_op "wrn" op
+
+let model ~k =
+  Obj_model.deterministic
+    ~kind:(Printf.sprintf "wrn(%d)" k)
+    ~init:(Value.bot_vec k) (apply ~k)
+
+let wrn h i v = Program.invoke h (Op.make "wrn" [ Value.Int i; v ])

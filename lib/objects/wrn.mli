@@ -1,0 +1,19 @@
+(** The Write-and-Read-Next object WRN{_k} (Algorithm 1) — the paper's
+    central deterministic object.
+
+    State: an array [A] of [k] cells, initially all {m \bot}.  The single
+    operation [wrn i v] (with [0 ≤ i < k] and [v ≠ ⊥]) atomically performs
+    [A.(i) <- v] and returns [A.((i+1) mod k)].
+
+    WRN{_2} is a swap object (consensus number 2); for [k ≥ 3] the paper
+    proves WRN{_k} has consensus number 1 yet cannot be implemented
+    non-blocking from registers — a deterministic object strictly between
+    registers and 2-consensus. *)
+
+open Subc_sim
+
+val model : k:int -> Obj_model.t
+
+(** [wrn h i v] writes [v] at index [i] and returns the value last written
+    at index [(i+1) mod k], or {m \bot}. *)
+val wrn : Store.handle -> int -> Value.t -> Value.t Program.t

@@ -1,0 +1,45 @@
+open Subc_sim
+open Program.Syntax
+module Splitter = Subc_rwmem.Splitter
+
+type t = { k : int; cells : (int * int * Splitter.t) list }
+
+let bound ~k = k * (k + 1) / 2
+
+(* Diagonal enumeration of the triangle { (r,d) | r+d < k }. *)
+let name_of ~r ~d =
+  let diag = r + d in
+  (diag * (diag + 1) / 2) + d
+
+let alloc store ~k =
+  let rec build store cells = function
+    | [] -> (store, List.rev cells)
+    | (r, d) :: rest ->
+      let store, s = Splitter.alloc store in
+      build store ((r, d, s) :: cells) rest
+  in
+  let coords =
+    List.concat
+      (List.init k (fun r -> List.init (k - r) (fun d -> (r, d))))
+  in
+  let store, cells = build store [] coords in
+  (store, { k; cells })
+
+let cell t ~r ~d =
+  let found =
+    List.find_opt (fun (r', d', _) -> r' = r && d' = d) t.cells
+  in
+  match found with
+  | Some (_, _, s) -> s
+  | None -> invalid_arg (Printf.sprintf "Grid_renaming: no cell (%d,%d)" r d)
+
+let rename t ~me =
+  let rec walk r d =
+    assert (r + d < t.k);
+    let* dir = Splitter.split (cell t ~r ~d) ~me in
+    match dir with
+    | Splitter.Stop -> Program.return (name_of ~r ~d)
+    | Splitter.Right -> walk r (d + 1)
+    | Splitter.Down -> walk (r + 1) d
+  in
+  walk 0 0

@@ -1,0 +1,20 @@
+(** One-shot renaming via a triangular grid of splitters (Moir–Anderson).
+
+    [k] participants with distinct identifiers each acquire a distinct name
+    in [0, k(k+1)/2).  A process walks the grid from the top-left corner,
+    moving right or down as its splitters direct, and takes the name of the
+    splitter where it stops; at most [k−p] competitors remain after [p]
+    moves, so every walk stops within the triangle. *)
+
+open Subc_sim
+
+type t
+
+(** Maximum number of distinct names: [k(k+1)/2]. *)
+val bound : k:int -> int
+
+val alloc : Store.t -> k:int -> Store.t * t
+
+(** [rename t ~me] returns this process's new name; [me] values must be
+    distinct across participants. *)
+val rename : t -> me:int -> int Program.t

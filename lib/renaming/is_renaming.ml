@@ -1,0 +1,24 @@
+open Subc_sim
+open Program.Syntax
+
+type t = { is : Subc_rwmem.Immediate_snapshot.t; k : int }
+
+let bound ~k = k * (k + 1) / 2
+
+let alloc store ~k =
+  let store, is = Subc_rwmem.Immediate_snapshot.alloc store ~n:k in
+  (store, { is; k })
+
+let rename t ~slot ~id =
+  assert (0 <= slot && slot < t.k);
+  let+ view = Subc_rwmem.Immediate_snapshot.run t.is ~me:slot (Value.Int id) in
+  let members =
+    List.filter_map
+      (fun c -> match c with Value.Int id' -> Some id' | _ -> None)
+      (Value.to_vec view)
+  in
+  let size = List.length members in
+  let rank = List.length (List.filter (fun id' -> id' < id) members) in
+  (* Triangle numbering: views of size s occupy names
+     [s(s−1)/2, s(s−1)/2 + s). *)
+  (size * (size - 1) / 2) + rank

@@ -1,0 +1,22 @@
+(** Order-preserving renaming from one immediate snapshot
+    (Borowsky–Gafni participating set).
+
+    A participant runs the one-shot immediate snapshot with its identifier
+    as value and takes the name determined by (|view|, rank of its
+    identifier inside the view).  Containment makes equal-sized views
+    {e equal}, so two processes share a view size only if they are both in
+    that common view, where their ranks differ — names are distinct.  With
+    k participants, |view| ≤ k and rank < |view|, so names fit in the
+    triangle of size k(k+1)/2, like the splitter grid but in O(k) steps. *)
+
+open Subc_sim
+
+type t
+
+val bound : k:int -> int
+
+val alloc : Store.t -> k:int -> Store.t * t
+
+(** [rename t ~slot ~id] — [slot] < k indexes the snapshot component; [id]
+    is the original name; both distinct across participants. *)
+val rename : t -> slot:int -> id:int -> int Program.t

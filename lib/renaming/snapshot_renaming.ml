@@ -1,0 +1,45 @@
+open Subc_sim
+open Program.Syntax
+module Snapshot_api = Subc_rwmem.Snapshot_api
+
+type t = Snapshot_api.t
+
+let bound ~k = (2 * k) - 1
+let alloc store ~slots ~snapshot = snapshot store slots
+
+let announced view =
+  List.filter_map
+    (fun c ->
+      match c with
+      | Value.Pair (Value.Int id, Value.Int prop) -> Some (id, prop)
+      | _ -> None)
+    (Value.to_vec view)
+
+(* [nth_free r taken] is the r-th (1-based) smallest positive integer not in
+   [taken]. *)
+let nth_free r taken =
+  let rec go candidate remaining =
+    if List.mem candidate taken then go (candidate + 1) remaining
+    else if remaining = 1 then candidate
+    else go (candidate + 1) (remaining - 1)
+  in
+  go 1 r
+
+let rename (t : t) ~slot ~id =
+  let rec attempt prop =
+    let* () = t.Snapshot_api.update ~me:slot (Value.pair (Value.Int id) (Value.Int prop)) in
+    let* view = t.Snapshot_api.scan in
+    let others = List.filter (fun (id', _) -> id' <> id) (announced view) in
+    let conflict = List.exists (fun (_, p) -> p = prop) others in
+    if not conflict then Program.return (prop - 1)
+    else
+      let ids = id :: List.map fst others in
+      let rank =
+        1 + List.length (List.filter (fun id' -> id' < id) ids)
+      in
+      let taken = List.map snd others in
+      attempt (nth_free rank taken)
+  in
+  (* Initial proposal: rank 1's first free name; any start works, conflicts
+     are resolved by the rank rule. *)
+  attempt 1

@@ -1,0 +1,31 @@
+(** One-shot (2k−1)-renaming from atomic snapshots (Attiya et al.).
+
+    Section 4.2 of the paper relies on wait-free register-only renaming of
+    [k] processes into {0,…,2k−2} [4, 6]; this is the classic snapshot-based
+    algorithm: announce (identifier, proposed name); on conflict, re-propose
+    the r-th smallest name not proposed by others, where r is the rank of
+    your identifier among the announced ones; on a conflict-free view, keep
+    the name.
+
+    With at most [k] participants, proposals never exceed 2k−1, giving
+    0-based names in [0, 2k−1). *)
+
+open Subc_sim
+
+type t
+
+(** Name bound for [k] participants: [2k−1]. *)
+val bound : k:int -> int
+
+(** [alloc store ~slots ~snapshot] — [slots] is the maximum number of
+    participants; each participant uses a distinct slot. *)
+val alloc :
+  Store.t ->
+  slots:int ->
+  snapshot:(Store.t -> int -> Store.t * Subc_rwmem.Snapshot_api.t) ->
+  Store.t * t
+
+(** [rename t ~slot ~id] — [slot] indexes this participant's snapshot
+    component, [id] is its original name; both must be distinct across
+    participants. *)
+val rename : t -> slot:int -> id:int -> int Program.t

@@ -1,0 +1,18 @@
+open Subc_sim
+
+type t = { regs : Store.handle list; n : int }
+
+let alloc_init store n init =
+  let store, regs = Store.alloc_many store n (Subc_objects.Register.model init) in
+  (store, { regs; n })
+
+let alloc store n = alloc_init store n Value.Bot
+
+let handle t i =
+  match List.nth_opt t.regs i with
+  | Some h -> h
+  | None -> invalid_arg (Printf.sprintf "Collect: index %d out of %d" i t.n)
+
+let write t i v = Subc_objects.Register.write (handle t i) v
+let read t i = Subc_objects.Register.read (handle t i)
+let collect t = Program.map_list Subc_objects.Register.read t.regs

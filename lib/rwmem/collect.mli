@@ -1,0 +1,19 @@
+(** Collects over arrays of SWMR registers. *)
+
+open Subc_sim
+
+type t = { regs : Store.handle list; n : int }
+
+(** [alloc store n] allocates [n] registers initialized to {m \bot}. *)
+val alloc : Store.t -> int -> Store.t * t
+
+(** [alloc_init store n init] allocates [n] registers initialized to [init]. *)
+val alloc_init : Store.t -> int -> Value.t -> Store.t * t
+
+(** [write t i v] writes register [i]. *)
+val write : t -> int -> Value.t -> unit Program.t
+
+val read : t -> int -> Value.t Program.t
+
+(** [collect t] reads all registers in index order (not atomic). *)
+val collect : t -> Value.t list Program.t

@@ -1,0 +1,20 @@
+open Subc_sim
+open Program.Syntax
+
+type t = Snapshot_api.t
+
+let alloc store ~contributors ~snapshot = snapshot store contributors
+
+let component_value view i =
+  match Value.vec_get view i with
+  | Value.Bot -> 0
+  | v -> Value.to_int v
+
+let inc (t : t) ~me =
+  let* view = t.Snapshot_api.scan in
+  t.Snapshot_api.update ~me (Value.Int (component_value view me + 1))
+
+let read (t : t) =
+  let+ view = t.Snapshot_api.scan in
+  List.init t.Snapshot_api.n (component_value view)
+  |> List.fold_left ( + ) 0

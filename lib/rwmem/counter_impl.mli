@@ -1,0 +1,26 @@
+(** Increment/read counter built from a snapshot.
+
+    Each contributor owns one component; [inc] bumps the caller's component
+    (scan to learn own value, then update); [read] scans and sums.  The
+    "flag principle" use in Algorithm 4 — at most one of two concurrent
+    inc-then-read callers can read 1 — holds because each [inc]'s update
+    precedes its caller's [read] scan, and the later of two scans sees both
+    updates.  Verified exhaustively in the tests (experiment E10). *)
+
+open Subc_sim
+
+type t
+
+(** [alloc store ~contributors ~snapshot] builds a counter for that many
+    contributors on the given snapshot facility. *)
+val alloc :
+  Store.t ->
+  contributors:int ->
+  snapshot:(Store.t -> int -> Store.t * Snapshot_api.t) ->
+  Store.t * t
+
+(** [inc t ~me] adds one to the caller's component. *)
+val inc : t -> me:int -> unit Program.t
+
+(** [read t] returns the current sum. *)
+val read : t -> int Program.t

@@ -1,0 +1,35 @@
+open Subc_sim
+open Program.Syntax
+
+type t = { values : Collect.t; levels : Collect.t; n : int }
+
+let alloc store ~n =
+  let store, values = Collect.alloc store n in
+  let store, levels = Collect.alloc store n in
+  (store, { values; levels; n })
+
+let run t ~me v =
+  let* () = Collect.write t.values me v in
+  let rec descend level =
+    let* () = Collect.write t.levels me (Value.Int level) in
+    let* announced = Collect.collect t.levels in
+    let at_or_below =
+      List.concat
+        (List.mapi
+           (fun p lv ->
+             match lv with
+             | Value.Int l when l <= level -> [ p ]
+             | _ -> [])
+           announced)
+    in
+    if List.length at_or_below >= level then
+      let* values = Collect.collect t.values in
+      let view =
+        List.mapi
+          (fun p value -> if List.mem p at_or_below then value else Value.Bot)
+          values
+      in
+      Program.return (Value.Vec view)
+    else descend (level - 1)
+  in
+  descend t.n

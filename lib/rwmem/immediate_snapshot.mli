@@ -1,0 +1,24 @@
+(** One-shot immediate snapshot (Borowsky–Gafni participating-set
+    algorithm) from registers.
+
+    Each of [n] processes writes a value and obtains a view — a set of
+    (process, value) pairs — such that:
+
+    - {e self-inclusion}: a process is in its own view;
+    - {e containment}: any two views are ordered by inclusion;
+    - {e immediacy}: if [q] is in [p]'s view then [q]'s view is contained in
+      [p]'s view.
+
+    The recursive level structure: a process descends one level at a time,
+    announcing its level, and returns the set of processes at or below its
+    level as soon as that set is at least as large as the level. *)
+
+open Subc_sim
+
+type t
+
+val alloc : Store.t -> n:int -> Store.t * t
+
+(** [run t ~me v] participates with value [v]; returns the view as a vector
+    of length [n] with {m \bot} for processes outside the view. *)
+val run : t -> me:int -> Value.t -> Value.t Program.t

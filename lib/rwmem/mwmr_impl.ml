@@ -1,0 +1,37 @@
+open Subc_sim
+open Program.Syntax
+
+type t = Collect.t
+
+(* Cell layout: Vec [timestamp; writer; value]; initially Bot. *)
+let cell ts writer v = Value.Vec [ Value.Int ts; Value.Int writer; v ]
+
+let decode c =
+  match c with
+  | Value.Vec [ Value.Int ts; Value.Int w; v ] -> Some (ts, w, v)
+  | _ -> None
+
+let alloc store ~writers = Collect.alloc store writers
+
+let newest cells =
+  List.fold_left
+    (fun best c ->
+      match (decode c, best) with
+      | None, _ -> best
+      | Some x, None -> Some x
+      | Some (ts, w, v), Some (bts, bw, _) ->
+        if (ts, w) > (bts, bw) then Some (ts, w, v) else best)
+    None cells
+
+let write (t : t) ~me v =
+  let* cells = Collect.collect t in
+  let ts =
+    1 + List.fold_left (fun acc c ->
+            match decode c with Some (ts, _, _) -> max acc ts | None -> acc)
+          0 cells
+  in
+  Collect.write t me (cell ts me v)
+
+let read (t : t) =
+  let+ cells = Collect.collect t in
+  match newest cells with Some (_, _, v) -> v | None -> Value.Bot

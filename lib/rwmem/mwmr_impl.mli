@@ -1,0 +1,22 @@
+(** Multi-writer register from single-writer registers
+    (Vitányi–Awerbuch-style, unbounded timestamps).
+
+    Each writer owns one SWMR cell holding (timestamp, writer, value).  A
+    write collects all cells, picks a timestamp above every one it saw, and
+    publishes; a read collects and returns the value with the lexically
+    largest (timestamp, writer) pair.  Ties are broken by writer identifier,
+    which makes concurrent writes linearizable in a fixed order.
+
+    This backfills the model's assumption that MWMR registers (e.g.
+    Algorithm 5's doorway) are available on SWMR hardware; the test suite
+    checks refinement against the primitive register. *)
+
+open Subc_sim
+
+type t
+
+(** [alloc store ~writers] — readers are unrestricted. *)
+val alloc : Store.t -> writers:int -> Store.t * t
+
+val write : t -> me:int -> Value.t -> unit Program.t
+val read : t -> Value.t Program.t

@@ -1,0 +1,25 @@
+open Subc_sim
+
+type t = {
+  n : int;
+  update : me:int -> Value.t -> unit Program.t;
+  scan : Value.t Program.t;
+}
+
+let primitive store n =
+  let store, h = Store.alloc store (Subc_objects.Snapshot_obj.model ~n) in
+  ( store,
+    {
+      n;
+      update = (fun ~me v -> Subc_objects.Snapshot_obj.update h me v);
+      scan = Subc_objects.Snapshot_obj.scan h;
+    } )
+
+let register_based store n =
+  let store, t = Snapshot_impl.alloc store n in
+  ( store,
+    {
+      n;
+      update = (fun ~me v -> Snapshot_impl.update t ~me v);
+      scan = Snapshot_impl.scan t;
+    } )

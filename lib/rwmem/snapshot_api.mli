@@ -1,0 +1,20 @@
+(** A common interface over the two snapshot facilities.
+
+    The paper's algorithms are written against this record so that every
+    construction can run either on the primitive atomic snapshot object
+    (small state spaces — exhaustive model checking) or on the register-only
+    implementation (full-stack integration runs). *)
+
+open Subc_sim
+
+type t = {
+  n : int;
+  update : me:int -> Value.t -> unit Program.t;
+  scan : Value.t Program.t;
+}
+
+(** [primitive store n] backs the interface with [Subc_objects.Snapshot_obj]. *)
+val primitive : Store.t -> int -> Store.t * t
+
+(** [register_based store n] backs it with [Snapshot_impl] (AADGMS). *)
+val register_based : Store.t -> int -> Store.t * t

@@ -1,0 +1,46 @@
+open Subc_sim
+open Program.Syntax
+
+type t = Collect.t
+
+let n (t : t) = t.Collect.n
+
+(* Register cell layout: Vec [seq; value; embedded_view]. *)
+let cell seq v view = Value.Vec [ Value.Int seq; v; view ]
+let seq_of c = Value.to_int (Value.vec_get c 0)
+let value_of c = Value.vec_get c 1
+let view_of c = Value.vec_get c 2
+
+let alloc store count =
+  let init = cell 0 Value.Bot (Value.bot_vec count) in
+  let store, regs = Collect.alloc_init store count init in
+  (store, regs)
+
+let values_of collects = Value.Vec (List.map value_of collects)
+
+let changed_indices prev cur =
+  List.concat
+    (List.mapi
+       (fun i c -> if seq_of (List.nth prev i) <> seq_of c then [ i ] else [])
+       cur)
+
+let scan t =
+  let rec go prev moved =
+    let* cur = Collect.collect t in
+    let changed = changed_indices prev cur in
+    if changed = [] then Program.return (values_of cur)
+    else
+      match List.find_opt (fun i -> List.mem i moved) changed with
+      | Some i ->
+        (* Component [i] completed a whole update inside our scan: its
+           embedded view is an atomic snapshot linearized within it. *)
+        Program.return (view_of (List.nth cur i))
+      | None -> go cur (moved @ changed)
+  in
+  let* first = Collect.collect t in
+  go first []
+
+let update t ~me v =
+  let* view = scan t in
+  let* own = Collect.read t me in
+  Collect.write t me (cell (seq_of own + 1) v view)

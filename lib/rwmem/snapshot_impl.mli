@@ -1,0 +1,33 @@
+(** Wait-free atomic snapshot from SWMR registers.
+
+    The classic Afek–Attiya–Dolev–Gafni–Merritt–Shavit construction with
+    unbounded sequence numbers and embedded scans:
+
+    - [scan] repeatedly double-collects; two identical collects form an
+      atomic snapshot; a component observed to change {e twice} belongs to a
+      writer whose whole [update] (including its embedded scan) happened
+      inside our scan, so its embedded view is returned instead;
+    - [update ~me v] performs a scan, then writes (seq+1, v, view) to its
+      own register.
+
+    A scan finishes after at most n+2 collects, so the construction is
+    wait-free.  Its linearizability is verified by the model checker and the
+    history checker in the test suite (experiment E10), which is what
+    justifies using the primitive [Subc_objects.Snapshot_obj] in the paper's
+    algorithms. *)
+
+open Subc_sim
+
+type t
+
+val n : t -> int
+
+(** [alloc store n] allocates the [n] underlying registers. *)
+val alloc : Store.t -> int -> Store.t * t
+
+(** [update t ~me v] sets component [me] to [v] (single-writer: only process
+    [me] may use this component). *)
+val update : t -> me:int -> Value.t -> unit Program.t
+
+(** [scan t] returns an atomic snapshot of all [n] components as a vector. *)
+val scan : t -> Value.t Program.t

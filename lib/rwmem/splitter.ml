@@ -1,0 +1,26 @@
+open Subc_sim
+open Program.Syntax
+module Register = Subc_objects.Register
+
+type t = { door : Store.handle; closed : Store.handle }
+type direction = Stop | Right | Down
+
+let alloc store =
+  let store, door = Store.alloc store Register.model_bot in
+  let store, closed = Store.alloc store (Register.model (Value.Bool false)) in
+  (store, { door; closed })
+
+let split t ~me =
+  let* () = Register.write t.door (Value.Int me) in
+  let* b = Register.read t.closed in
+  if Value.to_bool b then Program.return Right
+  else
+    let* () = Register.write t.closed (Value.Bool true) in
+    let* x = Register.read t.door in
+    if Value.equal x (Value.Int me) then Program.return Stop
+    else Program.return Down
+
+let direction_to_string = function
+  | Stop -> "stop"
+  | Right -> "right"
+  | Down -> "down"

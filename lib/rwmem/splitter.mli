@@ -1,0 +1,18 @@
+(** Lamport/Moir–Anderson splitter from two registers.
+
+    Of [p] concurrent visitors, at most one [Stop]s, at most [p−1] go
+    [Right] and at most [p−1] go [Down] — the building block of the
+    splitter-grid renaming network. *)
+
+open Subc_sim
+
+type t
+
+type direction = Stop | Right | Down
+
+val alloc : Store.t -> Store.t * t
+
+(** [split t ~me] — [me] must be distinct across concurrent visitors. *)
+val split : t -> me:int -> direction Program.t
+
+val direction_to_string : direction -> string

@@ -1,0 +1,82 @@
+type status =
+  | Running of Value.t Program.t
+  | Terminated of Value.t
+  | Hung
+
+type proc = { status : status; history : Value.t list; steps : int }
+type t = { store : Store.t; procs : proc array }
+
+(* Normalize a continuation: [Return] terminates, [Checkpoint] replaces the
+   response history with its key (see [Program.checkpoint]). *)
+let rec advance program history =
+  match program with
+  | Program.Return v -> (Terminated v, history)
+  | Program.Checkpoint (key, rest) -> advance rest [ key ]
+  | Program.Invoke _ -> (Running program, history)
+
+let make store programs =
+  let proc p =
+    let status, history = advance p [] in
+    { status; history; steps = 0 }
+  in
+  { store; procs = Array.of_list (List.map proc programs) }
+
+let n_procs c = Array.length c.procs
+
+let can_step proc =
+  match proc.status with
+  | Running _ -> true
+  | Terminated _ | Hung -> false
+
+let running c =
+  let acc = ref [] in
+  Array.iteri (fun i p -> if can_step p then acc := i :: !acc) c.procs;
+  List.rev !acc
+
+let is_terminal c = running c = []
+
+let decision c i =
+  match c.procs.(i).status with
+  | Terminated v -> Some v
+  | Running _ | Hung -> None
+
+let decisions c =
+  Array.to_list c.procs
+  |> List.filter_map (fun p ->
+         match p.status with
+         | Terminated v -> Some v
+         | Running _ | Hung -> None)
+
+let any_hung c =
+  Array.exists (fun p -> match p.status with Hung -> true | _ -> false) c.procs
+
+let proc_key p =
+  let status =
+    match p.status with
+    | Running _ -> Value.Sym "run"
+    | Terminated v -> Value.Tag ("done", v)
+    | Hung -> Value.Sym "hung"
+  in
+  Value.Pair (status, Value.Vec p.history)
+
+let key c =
+  let store_part =
+    Value.Vec
+      (List.map (fun (h, st) -> Value.Pair (Value.Int h, st)) (Store.contents c.store))
+  in
+  let procs_part = Value.Vec (Array.to_list (Array.map proc_key c.procs)) in
+  Value.Pair (store_part, procs_part)
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>store:@,%a" Store.pp c.store;
+  Array.iteri
+    (fun i p ->
+      let status =
+        match p.status with
+        | Running _ -> "running"
+        | Terminated v -> "terminated " ^ Value.to_string v
+        | Hung -> "hung"
+      in
+      Format.fprintf ppf "P%d: %s after %d steps@," i status p.steps)
+    c.procs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,52 @@
+(** Configurations.
+
+    A configuration specifies the state of every process and the value of
+    every shared object (Section 2).  Process state is the pending program
+    continuation plus the history of responses received so far; since
+    programs are deterministic functions of their response histories, the
+    pair (object states, response histories) canonically identifies a
+    configuration, which lets the model checker memoize configurations even
+    though continuations are closures. *)
+
+type status =
+  | Running of Value.t Program.t
+  | Terminated of Value.t  (** the process produced its output value *)
+  | Hung  (** the process invoked an operation with no successor *)
+
+type proc = {
+  status : status;
+  history : Value.t list;  (** responses received, newest first *)
+  steps : int;
+}
+
+type t = { store : Store.t; procs : proc array }
+
+(** [make store programs] starts one process per program; programs that are
+    already [Return v] start in the [Terminated v] state. *)
+val make : Store.t -> Value.t Program.t list -> t
+
+(** [advance program history] normalizes a continuation: [Return v] becomes
+    [Terminated v]; a [Checkpoint] replaces the history with its key. *)
+val advance : Value.t Program.t -> Value.t list -> status * Value.t list
+
+val n_procs : t -> int
+
+(** Indices of processes that can still take a step. *)
+val running : t -> int list
+
+(** A configuration is terminal when no process can take a step. *)
+val is_terminal : t -> bool
+
+(** [decision c i] is [Some v] iff process [i] terminated with output [v]. *)
+val decision : t -> int -> Value.t option
+
+(** All outputs of terminated processes, in process order. *)
+val decisions : t -> Value.t list
+
+val any_hung : t -> bool
+
+(** Canonical key for memoization: encodes object states, process response
+    histories and statuses as a single value. *)
+val key : t -> Value.t
+
+val pp : Format.formatter -> t -> unit

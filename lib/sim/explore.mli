@@ -1,0 +1,59 @@
+(** Exhaustive state-space exploration (model checking).
+
+    Explores {e all} interleavings of process steps {e and} all resolutions
+    of object nondeterminism, by depth-first search over configurations.
+    Configurations are memoized by their canonical key ([Config.key]), which
+    is sound because programs are deterministic functions of their response
+    histories.
+
+    For the bounded one-shot algorithms of the paper the state space is
+    finite and exploration is complete: a property checked here is a proof
+    for that instance size. *)
+
+type stats = {
+  states : int;  (** distinct canonical configurations visited *)
+  transitions : int;
+  terminals : int;  (** distinct terminal configurations *)
+  hung_terminals : int;  (** terminals in which some process hung *)
+  max_depth : int;
+  dedup_hits : int;  (** transitions into an already-visited configuration *)
+  cycles : int;  (** back-edges into the current DFS stack: each witnesses
+                     an infinite schedule (non-termination potential) *)
+  limited : bool;
+      (** true iff [max_states] or the depth bound was exhausted *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** [iter_terminals config ~f] visits every reachable terminal configuration
+    once, passing a witness trace. *)
+val iter_terminals :
+  ?max_states:int ->
+  ?max_depth:int ->
+  Config.t ->
+  f:(Config.t -> Trace.t -> unit) ->
+  stats
+
+(** [find_terminal config ~violates] returns the first reachable terminal
+    configuration satisfying [violates], with a witness trace. *)
+val find_terminal :
+  ?max_states:int ->
+  ?max_depth:int ->
+  Config.t ->
+  violates:(Config.t -> bool) ->
+  (Config.t * Trace.t) option * stats
+
+(** [check_terminals config ~ok] verifies [ok] on every reachable terminal:
+    [Ok stats] if all satisfy it, [Error (cex, trace, stats)] otherwise. *)
+val check_terminals :
+  ?max_states:int ->
+  ?max_depth:int ->
+  Config.t ->
+  ok:(Config.t -> bool) ->
+  (stats, Config.t * Trace.t * stats) result
+
+(** [find_cycle config] searches for an infinite schedule: a configuration
+    reachable from itself.  Returns the lasso trace (stem to the repeated
+    configuration).  Wait-free algorithms must return [None]. *)
+val find_cycle :
+  ?max_states:int -> ?max_depth:int -> Config.t -> Trace.t option * stats

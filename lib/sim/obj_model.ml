@@ -1,0 +1,16 @@
+type t = {
+  kind : string;
+  init : Value.t;
+  apply : Value.t -> Op.t -> (Value.t * Value.t) list;
+}
+
+let deterministic ~kind ~init f =
+  { kind; init; apply = (fun state op -> [ f state op ]) }
+
+let nondet ~kind ~init f = { kind; init; apply = f }
+
+let hang = []
+
+exception Bad_op of string * Op.t
+
+let bad_op kind op = raise (Bad_op (kind, op))

@@ -1,0 +1,44 @@
+(** Sequential object models.
+
+    Following Section 2 of the paper, a shared object is a set of states plus,
+    for every operation, a transition taking each state to a set of
+    (state, response) successors:
+
+    - a singleton successor set on every (state, op) makes the object
+      {e deterministic} — the paper's central notion;
+    - several successors make it {e nondeterministic} (e.g. the
+      (n,k)-set-consensus object of Section 2);
+    - an {e empty} successor set means the invocation "hangs the system in a
+      manner that cannot be detected by the processes" (illegal 1sWRN reuse,
+      exhausted set-consensus objects): the invoker never receives a
+      response.
+
+    Transitions must be pure: the simulator calls them repeatedly while
+    exploring interleavings. *)
+
+type t = {
+  kind : string;  (** object-class name, for traces and diagnostics *)
+  init : Value.t;  (** initial state *)
+  apply : Value.t -> Op.t -> (Value.t * Value.t) list;
+      (** [apply state op] = all (state', response) successors *)
+}
+
+(** [deterministic ~kind ~init f] wraps a deterministic transition. *)
+val deterministic :
+  kind:string -> init:Value.t -> (Value.t -> Op.t -> Value.t * Value.t) -> t
+
+(** [nondet ~kind ~init f] wraps a nondeterministic transition. *)
+val nondet :
+  kind:string ->
+  init:Value.t ->
+  (Value.t -> Op.t -> (Value.t * Value.t) list) ->
+  t
+
+(** The hang outcome: no successors. *)
+val hang : (Value.t * Value.t) list
+
+(** Raised by [apply] functions on operations the object does not support —
+    a programming error in algorithm code, never modeled nondeterminism. *)
+exception Bad_op of string * Op.t
+
+val bad_op : string -> Op.t -> 'a

@@ -1,0 +1,22 @@
+type t = { name : string; args : Value.t list }
+
+let make name args = { name; args }
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let pp ppf { name; args } =
+  match args with
+  | [] -> Format.pp_print_string ppf name
+  | _ ->
+    Format.fprintf ppf "%s(%a)" name
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Value.pp)
+      args
+
+let to_string op = Format.asprintf "%a" pp op
+
+let arg op i =
+  match List.nth_opt op.args i with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Op.arg: %s has no argument %d" op.name i)

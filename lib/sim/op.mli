@@ -1,0 +1,16 @@
+(** Operation descriptors.
+
+    An operation is a name plus a list of argument values; each shared object
+    interprets the operations it supports and rejects the rest.  Invoking an
+    operation is one atomic step of the paper's execution model. *)
+
+type t = { name : string; args : Value.t list }
+
+val make : string -> Value.t list -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [arg op i] is the [i]-th argument.  @raise Invalid_argument if absent. *)
+val arg : t -> int -> Value.t

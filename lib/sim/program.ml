@@ -1,0 +1,54 @@
+type 'a t =
+  | Return of 'a
+  | Invoke of Store.handle * Op.t * (Value.t -> 'a t)
+  | Checkpoint of Value.t * 'a t
+
+let return v = Return v
+
+let rec bind m f =
+  match m with
+  | Return v -> f v
+  | Invoke (h, op, k) -> Invoke (h, op, fun resp -> bind (k resp) f)
+  | Checkpoint (key, m) -> Checkpoint (key, bind m f)
+
+let map f m = bind m (fun v -> Return (f v))
+let invoke h op = Invoke (h, op, fun resp -> Return resp)
+let checkpoint key = Checkpoint (key, Return ())
+
+module Syntax = struct
+  let ( let* ) = bind
+  let ( let+ ) m f = map f m
+end
+
+open Syntax
+
+let rec for_ lo hi f =
+  if lo >= hi then return ()
+  else
+    let* () = f lo in
+    for_ (lo + 1) hi f
+
+let rec fold_range lo hi acc f =
+  if lo >= hi then return acc
+  else
+    let* acc = f acc lo in
+    fold_range (lo + 1) hi acc f
+
+let rec first_some lo hi f =
+  if lo >= hi then return None
+  else
+    let* r = f lo in
+    match r with Some _ -> return r | None -> first_some (lo + 1) hi f
+
+let rec iter_list f = function
+  | [] -> return ()
+  | x :: xs ->
+    let* () = f x in
+    iter_list f xs
+
+let rec map_list f = function
+  | [] -> return []
+  | x :: xs ->
+    let* y = f x in
+    let+ ys = map_list f xs in
+    y :: ys

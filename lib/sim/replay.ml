@@ -1,0 +1,43 @@
+type error = { at : int; reason : string }
+
+let step_matching config (event : Step.event) =
+  match Step.step config event.Step.proc with
+  | exception Invalid_argument reason -> Error reason
+  | successors -> (
+    let matches (_, (e : Step.event)) =
+      Op.equal e.Step.op event.Step.op
+      && e.Step.obj = event.Step.obj
+      && e.Step.resp = event.Step.resp
+    in
+    match List.find_opt matches successors with
+    | Some (config', _) -> Ok config'
+    | None -> Error "no successor matches the recorded event")
+
+let replay config trace =
+  let rec go config acc at = function
+    | [] -> Ok (List.rev acc)
+    | event :: rest -> (
+      match step_matching config event with
+      | Ok config' -> go config' (config' :: acc) (at + 1) rest
+      | Error reason -> Error { at; reason })
+  in
+  go config [] 0 trace
+
+let final config trace =
+  match replay config trace with
+  | Ok [] -> Ok config
+  | Ok configs -> Ok (List.nth configs (List.length configs - 1))
+  | Error e -> Error e
+
+let pp_annotated ppf (config, trace) =
+  match replay config trace with
+  | Error { at; reason } ->
+    Format.fprintf ppf "replay failed at event %d: %s" at reason
+  | Ok configs ->
+    Format.fprintf ppf "@[<v>";
+    List.iteri
+      (fun i (event, config') ->
+        Format.fprintf ppf "%3d. %a@,%a" i Step.pp_event event Store.pp
+          config'.Config.store)
+      (List.combine trace configs);
+    Format.fprintf ppf "@]"

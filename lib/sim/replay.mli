@@ -1,0 +1,26 @@
+(** Deterministic re-execution of recorded traces.
+
+    A trace plus the initial configuration determines the execution: each
+    event names the process that stepped and the response it received,
+    which also pins down the resolution of object nondeterminism.  Replay
+    recovers every intermediate configuration — used to pretty-print
+    counterexample schedules with full store states, and to assert that
+    traces produced by the runner and the model checker are faithful. *)
+
+type error = {
+  at : int;  (** index of the event that failed to replay *)
+  reason : string;
+}
+
+(** [replay config trace] returns the configurations {e after} each event
+    (so the list has one entry per event; the final configuration is the
+    last).  Fails if the trace does not correspond to an execution from
+    [config]. *)
+val replay : Config.t -> Trace.t -> (Config.t list, error) result
+
+(** [final config trace] — just the last configuration. *)
+val final : Config.t -> Trace.t -> (Config.t, error) result
+
+(** [pp_annotated ppf (config, trace)] prints the trace interleaved with
+    object states. *)
+val pp_annotated : Format.formatter -> Config.t * Trace.t -> unit

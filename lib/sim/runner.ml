@@ -1,0 +1,96 @@
+type strategy =
+  | Round_robin
+  | Random of int
+  | Fixed of int list
+  | Priority of int list
+  | Only of int list
+
+type result = {
+  final : Config.t;
+  trace : Trace.t;
+  steps : int;
+  completed : bool;
+}
+
+type scheduler = {
+  mutable pending : int list;  (* for Fixed *)
+  mutable last : int;  (* for Round_robin *)
+  rng : Random.State.t option;
+  kind : strategy;
+}
+
+let scheduler_of_strategy = function
+  | (Round_robin | Priority _ | Only _) as s ->
+    { pending = []; last = -1; rng = None; kind = s }
+  | Random seed as s ->
+    { pending = []; last = -1; rng = Some (Random.State.make [| seed |]); kind = s }
+  | Fixed sched as s -> { pending = sched; last = -1; rng = None; kind = s }
+
+let round_robin_next sched runnable =
+  let after = List.filter (fun i -> i > sched.last) runnable in
+  let next = match after with i :: _ -> i | [] -> List.hd runnable in
+  sched.last <- next;
+  next
+
+let next_proc sched runnable =
+  match sched.kind with
+  | Round_robin -> round_robin_next sched runnable
+  | Random _ ->
+    let rng = Option.get sched.rng in
+    List.nth runnable (Random.State.int rng (List.length runnable))
+  | Fixed _ ->
+    let rec pop () =
+      match sched.pending with
+      | [] -> round_robin_next sched runnable
+      | i :: rest ->
+        sched.pending <- rest;
+        if List.mem i runnable then i else pop ()
+    in
+    pop ()
+  | Priority order ->
+    let rec first = function
+      | [] -> List.hd runnable
+      | i :: rest -> if List.mem i runnable then i else first rest
+    in
+    first order
+  | Only _ -> assert false (* handled in the run loop *)
+
+let pick_successor sched successors =
+  match (sched.rng, successors) with
+  | _, [] -> assert false
+  | None, s :: _ -> s
+  | Some rng, _ ->
+    List.nth successors (Random.State.int rng (List.length successors))
+
+let run ?(max_steps = 1_000_000) strategy config =
+  let sched = scheduler_of_strategy strategy in
+  let rec loop config rev_trace steps =
+    if steps >= max_steps then
+      { final = config; trace = List.rev rev_trace; steps; completed = false }
+    else
+      match
+        (let all = Config.running config in
+         match strategy with
+         | Only survivors -> List.filter (fun i -> List.mem i survivors) all
+         | _ -> all)
+      with
+      | [] ->
+        {
+          final = config;
+          trace = List.rev rev_trace;
+          steps;
+          completed = Config.is_terminal config;
+        }
+      | runnable ->
+        let i =
+          match strategy with
+          | Only _ -> round_robin_next sched runnable
+          | _ -> next_proc sched runnable
+        in
+        let config, event = pick_successor sched (Step.step config i) in
+        loop config (event :: rev_trace) (steps + 1)
+  in
+  loop config [] 0
+
+let run_random_many ?max_steps ~seeds config =
+  List.map (fun seed -> run ?max_steps (Random seed) config) seeds

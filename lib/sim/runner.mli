@@ -1,0 +1,32 @@
+(** Schedulers: run a configuration to completion under a scheduling policy.
+
+    The scheduler is the paper's adversary.  [Random] draws both the next
+    process and the resolution of object nondeterminism from a seeded PRNG,
+    so runs are reproducible.  [Round_robin] and [Fixed] resolve object
+    nondeterminism by taking the first successor. *)
+
+type strategy =
+  | Round_robin
+  | Random of int  (** seed *)
+  | Fixed of int list
+      (** explicit process schedule; entries naming non-runnable processes
+          are skipped; when exhausted, falls back to round-robin *)
+  | Priority of int list
+      (** always steps the first runnable process in the given order — the
+          "solo run" adversary when the list is a single process first *)
+  | Only of int list
+      (** crash everyone else: schedule only the listed processes
+          (round-robin) and stop when none of them can run; [completed] is
+          false unless the configuration is fully terminal *)
+
+type result = {
+  final : Config.t;
+  trace : Trace.t;
+  steps : int;
+  completed : bool;  (** false iff [max_steps] was hit first *)
+}
+
+val run : ?max_steps:int -> strategy -> Config.t -> result
+
+(** [run_many ~seeds strategy config] runs once per seed with [Random seed]. *)
+val run_random_many : ?max_steps:int -> seeds:int list -> Config.t -> result list

@@ -1,0 +1,50 @@
+type event = {
+  proc : int;
+  obj : int;
+  obj_kind : string;
+  op : Op.t;
+  resp : Value.t option;
+}
+
+let pp_event ppf e =
+  match e.resp with
+  | Some r ->
+    Format.fprintf ppf "P%d: #%d:%s.%a -> %a" e.proc e.obj e.obj_kind Op.pp e.op
+      Value.pp r
+  | None ->
+    Format.fprintf ppf "P%d: #%d:%s.%a -> HANG" e.proc e.obj e.obj_kind Op.pp
+      e.op
+
+let step (c : Config.t) i =
+  let proc = c.procs.(i) in
+  match proc.Config.status with
+  | Config.Terminated _ | Config.Hung ->
+    invalid_arg (Printf.sprintf "Step.step: process %d cannot step" i)
+  | Config.Running (Program.Return _ | Program.Checkpoint _) ->
+    (* Normalized away by [Config.advance]; unreachable. *)
+    assert false
+  | Config.Running (Program.Invoke (h, op, k)) ->
+    let kind = Store.kind c.store (h : Store.handle) in
+    let with_proc status history =
+      let procs = Array.copy c.procs in
+      procs.(i) <-
+        { Config.status; history; steps = proc.Config.steps + 1 };
+      procs
+    in
+    let successors = Store.apply c.store h op in
+    let event resp =
+      { proc = i; obj = (h :> int); obj_kind = kind; op; resp }
+    in
+    (match successors with
+    | [] ->
+      let procs = with_proc Config.Hung proc.Config.history in
+      [ ({ c with procs }, event None) ]
+    | _ ->
+      List.map
+        (fun (store', resp) ->
+          let status, history =
+            Config.advance (k resp) (resp :: proc.Config.history)
+          in
+          let procs = with_proc status history in
+          ({ Config.store = store'; procs }, event (Some resp)))
+        successors)

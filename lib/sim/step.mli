@@ -1,0 +1,21 @@
+(** Operational semantics: one process takes one atomic step.
+
+    Stepping a running process applies its pending operation to the store.
+    Nondeterministic objects yield several successor configurations; an
+    empty successor set marks the process as hung — it will never receive a
+    response, and no other process can detect this (Section 2's
+    "hangs the system" semantics). *)
+
+type event = {
+  proc : int;
+  obj : int;  (** handle of the object operated on *)
+  obj_kind : string;
+  op : Op.t;
+  resp : Value.t option;  (** [None] when the invocation hung *)
+}
+
+val pp_event : Format.formatter -> event -> unit
+
+(** [step config i] is every successor of letting process [i] take one step.
+    @raise Invalid_argument if process [i] cannot step. *)
+val step : Config.t -> int -> (Config.t * event) list

@@ -1,0 +1,47 @@
+module Imap = Map.Make (Int)
+
+type handle = int
+
+type t = { next : int; objs : (Obj_model.t * Value.t) Imap.t }
+
+let empty = { next = 0; objs = Imap.empty }
+
+let alloc store model =
+  let h = store.next in
+  ( { next = h + 1; objs = Imap.add h (model, model.Obj_model.init) store.objs },
+    h )
+
+let alloc_many store n model =
+  let rec loop store acc n =
+    if n = 0 then (store, List.rev acc)
+    else
+      let store, h = alloc store model in
+      loop store (h :: acc) (n - 1)
+  in
+  loop store [] n
+
+let find store h =
+  match Imap.find_opt h store.objs with
+  | Some entry -> entry
+  | None -> invalid_arg (Printf.sprintf "Store: unknown handle %d" h)
+
+let state store h = snd (find store h)
+let kind store h = (fst (find store h)).Obj_model.kind
+
+let apply store h op =
+  let model, st = find store h in
+  let successors = model.Obj_model.apply st op in
+  List.map
+    (fun (st', resp) ->
+      ({ store with objs = Imap.add h (model, st') store.objs }, resp))
+    successors
+
+let contents store =
+  Imap.fold (fun h (_, st) acc -> (h, st) :: acc) store.objs []
+  |> List.rev
+
+let pp ppf store =
+  Imap.iter
+    (fun h (model, st) ->
+      Format.fprintf ppf "#%d:%s = %a@." h model.Obj_model.kind Value.pp st)
+    store.objs

@@ -1,0 +1,32 @@
+(** The shared memory: an immutable map from object handles to objects.
+
+    Persistence is essential: the model checker branches a configuration into
+    all successors without copying, and keeps millions of configurations
+    alive simultaneously. *)
+
+type handle = private int
+
+type t
+
+val empty : t
+
+(** [alloc store model] allocates a fresh object in its initial state. *)
+val alloc : t -> Obj_model.t -> t * handle
+
+(** [alloc_many store n model] allocates [n] objects of the same class. *)
+val alloc_many : t -> int -> Obj_model.t -> t * handle list
+
+(** [state store h] is the current state of object [h]. *)
+val state : t -> handle -> Value.t
+
+val kind : t -> handle -> string
+
+(** [apply store h op] is every (store', response) successor of performing
+    [op] on object [h]; the empty list means the invocation hangs. *)
+val apply : t -> handle -> Op.t -> (t * Value.t) list
+
+(** [contents store] lists (handle, state) pairs in increasing handle order;
+    used for configuration canonicalization. *)
+val contents : t -> (int * Value.t) list
+
+val pp : Format.formatter -> t -> unit

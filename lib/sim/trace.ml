@@ -1,0 +1,64 @@
+type t = Step.event list
+
+let empty = []
+let length = List.length
+
+let events_of t i = List.filter (fun e -> e.Step.proc = i) t
+
+let indexed t = List.mapi (fun idx e -> (idx, e)) t
+
+let first_step t i =
+  List.find_map
+    (fun (idx, e) -> if e.Step.proc = i then Some idx else None)
+    (indexed t)
+
+let last_step t i =
+  List.fold_left
+    (fun acc (idx, e) -> if e.Step.proc = i then Some idx else acc)
+    None (indexed t)
+
+let schedule t = List.map (fun e -> e.Step.proc) t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun idx e -> Format.fprintf ppf "%3d. %a@," idx Step.pp_event e)
+    t;
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t
+
+let pp_diagram ~n_procs ppf t =
+  let width = 26 in
+  (* Pad by codepoints, not bytes: responses routinely contain ⊥. *)
+  let display_len s =
+    String.fold_left
+      (fun acc c -> if Char.code c land 0xC0 <> 0x80 then acc + 1 else acc)
+      0 s
+  in
+  let pad s =
+    let len = display_len s in
+    if len >= width then s else s ^ String.make (width - len) ' '
+  in
+  let header =
+    String.concat " | "
+      (List.init n_procs (fun i -> pad (Printf.sprintf "P%d" i)))
+  in
+  Format.fprintf ppf "%s@." header;
+  Format.fprintf ppf "%s@."
+    (String.concat "-+-" (List.init n_procs (fun _ -> String.make width '-')));
+  List.iter
+    (fun (e : Step.event) ->
+      let cell =
+        match e.Step.resp with
+        | Some r ->
+          Printf.sprintf "%s->%s" (Op.to_string e.Step.op) (Value.to_string r)
+        | None -> Printf.sprintf "%s->HANG" (Op.to_string e.Step.op)
+      in
+      let row =
+        String.concat " | "
+          (List.init n_procs (fun i ->
+               pad (if i = e.Step.proc then cell else "")))
+      in
+      Format.fprintf ppf "%s@." row)
+    t

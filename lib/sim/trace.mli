@@ -1,0 +1,31 @@
+(** Executions as data: the sequence of events of a run.
+
+    A trace together with the initial configuration determines the whole
+    execution (programs are deterministic; each event records the resolved
+    nondeterministic choice).  Traces are the counterexamples produced by
+    the model checker and the raw material of the linearizability checker. *)
+
+type t = Step.event list  (** in execution order *)
+
+val empty : t
+val length : t -> int
+
+(** [events_of t i] are process [i]'s events, in order. *)
+val events_of : t -> int -> Step.event list
+
+(** [first_step t i] is the index in [t] of process [i]'s first event. *)
+val first_step : t -> int -> int option
+
+(** [last_step t i] is the index in [t] of process [i]'s last event. *)
+val last_step : t -> int -> int option
+
+(** The process schedule of the trace. *)
+val schedule : t -> int list
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [pp_diagram ~n_procs ppf t] renders a space-time diagram: one column
+    per process, one row per step, the acting process's column showing its
+    operation and response. *)
+val pp_diagram : n_procs:int -> Format.formatter -> t -> unit

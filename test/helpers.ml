@@ -1,0 +1,48 @@
+(* Shared test utilities. *)
+open Subc_sim
+
+let value : Value.t Alcotest.testable = Alcotest.testable Value.pp Value.equal
+
+(* Distinct proposal values for k processes: 100, 101, … *)
+let inputs k = List.init k (fun i -> Value.Int (100 + i))
+
+let check_exhaustive ?max_states store ~programs ~inputs ~task =
+  match
+    Subc_check.Task_check.exhaustive ?max_states store ~programs ~inputs ~task
+  with
+  | Ok stats ->
+    if stats.Subc_sim.Explore.limited then
+      Alcotest.fail "exhaustive check hit the state limit";
+    stats
+  | Error (reason, trace) ->
+    Alcotest.failf "task %s violated: %s@.%a" task.Subc_tasks.Task.name reason
+      Trace.pp trace
+
+let check_wait_free ?max_states store ~programs =
+  match Subc_check.Task_check.wait_free ?max_states store ~programs with
+  | Ok stats -> stats
+  | Error reason -> Alcotest.failf "wait-freedom violated: %s" reason
+
+let expect_violation ?max_states store ~programs ~inputs ~task =
+  match
+    Subc_check.Task_check.exhaustive ?max_states store ~programs ~inputs ~task
+  with
+  | Ok _ ->
+    Alcotest.failf "expected a violation of %s, found none"
+      task.Subc_tasks.Task.name
+  | Error (reason, trace) -> (reason, trace)
+
+(* Run under a fixed schedule (extended round-robin when exhausted). *)
+let run_fixed store ~programs ~schedule =
+  let config = Config.make store programs in
+  Runner.run (Runner.Fixed schedule) config
+
+let decision_exn final i =
+  match Config.decision final i with
+  | Some v -> v
+  | None -> Alcotest.failf "process %d did not decide" i
+
+let test name f = Alcotest.test_case name `Quick f
+let test_slow name f = Alcotest.test_case name `Slow f
+
+let seeds n = List.init n (fun i -> 7919 * (i + 1))

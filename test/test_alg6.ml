@@ -1,0 +1,78 @@
+(* Algorithm 6: m-set consensus for n processes from WRN_k objects
+   (experiment E7, Lemma 39, Corollary 40). *)
+open Subc_sim
+open Helpers
+module Alg6 = Subc_core.Alg6
+module Task = Subc_tasks.Task
+
+let setup ~n ~k ~one_shot =
+  let store, t = Alg6.alloc Store.empty ~n ~k ~one_shot in
+  let inputs = inputs n in
+  let programs = List.mapi (fun i v -> Alg6.propose t ~i v) inputs in
+  (store, programs, inputs)
+
+let exhaustive ~n ~k ~one_shot () =
+  let store, programs, inputs = setup ~n ~k ~one_shot in
+  let m = Alg6.agreement_bound ~n ~k in
+  let task = Task.conj (Task.set_consensus m) Task.all_decided in
+  ignore (check_exhaustive store ~programs ~inputs ~task)
+
+let sampled ~n ~k () =
+  let store, programs, inputs = setup ~n ~k ~one_shot:true in
+  let m = Alg6.agreement_bound ~n ~k in
+  let task = Task.conj (Task.set_consensus m) Task.all_decided in
+  let stats =
+    Subc_check.Task_check.sample store ~programs ~inputs ~task ~seeds:(seeds 100)
+  in
+  if stats.Subc_check.Task_check.violations > 0 then
+    Alcotest.failf "violations: %a" Subc_check.Task_check.pp_sample_stats stats
+
+let bound_tests =
+  [
+    test "bound formula matches the paper's ratio" (fun () ->
+        (* WRN₃ can implement (12,8)-set consensus (Section 7.1). *)
+        Alcotest.(check int) "n=12,k=3" 8 (Alg6.agreement_bound ~n:12 ~k:3);
+        Alcotest.(check int) "n=3,k=3" 2 (Alg6.agreement_bound ~n:3 ~k:3);
+        Alcotest.(check int) "n=4,k=3" 3 (Alg6.agreement_bound ~n:4 ~k:3);
+        Alcotest.(check int) "n=7,k=4" 6 (Alg6.agreement_bound ~n:7 ~k:4));
+    test "bound respects (k−1)/k ≤ m/n" (fun () ->
+        List.iter
+          (fun (n, k) ->
+            let m = Alg6.agreement_bound ~n ~k in
+            Alcotest.(check bool)
+              (Printf.sprintf "n=%d k=%d m=%d" n k m)
+              true
+              (m * k >= (k - 1) * n || m >= n))
+          [ (3, 3); (4, 3); (6, 3); (12, 3); (5, 4); (8, 4); (10, 5) ]);
+    test "bound is below n for n ≥ k (real agreement)" (fun () ->
+        List.iter
+          (fun (n, k) ->
+            Alcotest.(check bool) "m < n" true (Alg6.agreement_bound ~n ~k < n))
+          [ (3, 3); (4, 3); (6, 3); (12, 3); (5, 4); (10, 5) ]);
+  ]
+
+let run_tests =
+  [
+    test "n=3,k=3 exhaustive (= Algorithm 2)" (exhaustive ~n:3 ~k:3 ~one_shot:true);
+    test "n=4,k=3 exhaustive" (exhaustive ~n:4 ~k:3 ~one_shot:true);
+    test_slow "n=5,k=3 exhaustive" (exhaustive ~n:5 ~k:3 ~one_shot:true);
+    test_slow "n=6,k=3 exhaustive" (exhaustive ~n:6 ~k:3 ~one_shot:false);
+    test_slow "n=4,k=4 exhaustive" (exhaustive ~n:4 ~k:4 ~one_shot:true);
+    test "n=12,k=3 sampled (the paper's (12,8) example)" (sampled ~n:12 ~k:3);
+    test "n=10,k=5 sampled" (sampled ~n:10 ~k:5);
+    test "wait-free n=6,k=3" (fun () ->
+        let store, programs, _ = setup ~n:6 ~k:3 ~one_shot:true in
+        ignore (check_wait_free store ~programs));
+    test "lemma 39: each group alone solves (k−1)-set consensus" (fun () ->
+        (* Only group 1 (processes 3,4,5) participates. *)
+        let store, t = Alg6.alloc Store.empty ~n:6 ~k:3 ~one_shot:true in
+        let ids = [ 3; 4; 5 ] in
+        let inputs = List.map (fun i -> Value.Int (100 + i)) ids in
+        let programs =
+          List.map (fun i -> Alg6.propose t ~i (Value.Int (100 + i))) ids
+        in
+        let task = Task.conj (Task.set_consensus 2) Task.all_decided in
+        ignore (check_exhaustive store ~programs ~inputs ~task));
+  ]
+
+let suite = [ ("alg6.bounds", bound_tests); ("alg6.runs", run_tests) ]

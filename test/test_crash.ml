@@ -1,0 +1,125 @@
+(* Fault injection: wait-free safety must survive arbitrary crashes — a
+   crashed process is indistinguishable from a slow one, so validity and
+   agreement hold on the partial outcomes.  Also exercises the
+   linearizability checker's incomplete-operation path. *)
+open Subc_sim
+open Helpers
+module Task = Subc_tasks.Task
+module Task_check = Subc_check.Task_check
+module Lin = Subc_check.Linearizability
+
+let assert_no_crash_violations stats =
+  if stats.Task_check.violations > 0 then
+    Alcotest.failf "crash violations: %a" Task_check.pp_sample_stats stats
+
+let alg2_crash_safety ~k () =
+  let store, t = Subc_core.Alg2.alloc Store.empty ~k ~one_shot:true in
+  let inputs = inputs k in
+  let programs = List.mapi (fun i v -> Subc_core.Alg2.propose t ~i v) inputs in
+  (* No [all_decided] here: crashed processes legitimately never decide. *)
+  let task = Task.set_consensus (k - 1) in
+  assert_no_crash_violations
+    (Task_check.sample_crashed store ~programs ~inputs ~task ~seeds:(seeds 150))
+
+let alg6_crash_safety ~n ~k () =
+  let store, t = Subc_core.Alg6.alloc Store.empty ~n ~k ~one_shot:true in
+  let inputs = inputs n in
+  let programs = List.mapi (fun i v -> Subc_core.Alg6.propose t ~i v) inputs in
+  let task = Task.set_consensus (Subc_core.Alg6.agreement_bound ~n ~k) in
+  assert_no_crash_violations
+    (Task_check.sample_crashed store ~programs ~inputs ~task ~seeds:(seeds 150))
+
+let alg3_crash_safety ~k () =
+  let ids = [ 9; 2; 14 ] in
+  let store, t =
+    Subc_core.Alg3.alloc Store.empty ~k ~flavor:Subc_core.Alg3.Relaxed_wrn
+      ~renamer:Subc_core.Alg3.Rename_immediate ()
+  in
+  let inputs = List.map (fun id -> Value.Int (100 + id)) ids in
+  let programs =
+    List.mapi
+      (fun slot id -> Subc_core.Alg3.propose t ~slot ~id (Value.Int (100 + id)))
+      ids
+  in
+  let task = Task.set_consensus (k - 1) in
+  assert_no_crash_violations
+    (Task_check.sample_crashed store ~programs ~inputs ~task ~seeds:(seeds 100))
+
+let sse_object_crash_safety () =
+  let k = 3 in
+  let store, h =
+    Store.alloc Store.empty (Subc_objects.Sse_obj.model ~k ~j:(k - 1))
+  in
+  let programs =
+    List.init k (fun i ->
+        Program.map (fun w -> Value.Int w) (Subc_objects.Sse_obj.propose h i))
+  in
+  let inputs = List.init k (fun i -> Value.Int i) in
+  let task = Task.strong_set_election (k - 1) in
+  assert_no_crash_violations
+    (Task_check.sample_crashed store ~programs ~inputs ~task ~seeds:(seeds 150))
+
+(* Algorithm 5 under crashes: every partial execution's history — with its
+   incomplete operations — must still linearize against the 1sWRN spec. *)
+let alg5_crash_linearizability () =
+  let k = 3 in
+  let store, t = Subc_core.Alg5.alloc Store.empty ~k () in
+  let programs =
+    List.init k (fun i -> Subc_core.Alg5.wrn t ~i (Value.Int (100 + i)))
+  in
+  let ops i = Op.make "wrn" [ Value.Int i; Value.Int (100 + i) ] in
+  let spec = Subc_objects.One_shot_wrn.model ~k in
+  let config = Config.make store programs in
+  let incomplete_seen = ref 0 in
+  List.iter
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let prefix = Random.State.int rng 20 in
+      let survivor = Random.State.int rng k in
+      let before = Runner.run ~max_steps:prefix (Runner.Random seed) config in
+      let after = Runner.run (Runner.Only [ survivor ]) before.Runner.final in
+      let trace = before.Runner.trace @ after.Runner.trace in
+      let history = Lin.history ~ops after.Runner.final trace in
+      if List.exists (fun r -> r.Lin.result = None) history then
+        incr incomplete_seen;
+      match Lin.check ~spec history with
+      | Some _ -> ()
+      | None ->
+        Alcotest.failf "crashed run not linearizable (seed %d):@.%a" seed
+          Lin.pp_history history)
+    (seeds 200);
+  Alcotest.(check bool) "some runs had incomplete operations" true
+    (!incomplete_seen > 0)
+
+(* The space-time diagram renderer. *)
+let diagram_smoke () =
+  let store, t = Subc_core.Alg2.alloc Store.empty ~k:3 ~one_shot:true in
+  let programs =
+    List.mapi (fun i v -> Subc_core.Alg2.propose t ~i v) (inputs 3)
+  in
+  let config = Config.make store programs in
+  let r = Runner.run (Runner.Random 3) config in
+  let rendered =
+    Format.asprintf "%a" (Trace.pp_diagram ~n_procs:3) r.Runner.trace
+  in
+  Alcotest.(check bool) "has a header row" true
+    (String.length rendered > 0 && String.sub rendered 0 2 = "P0");
+  (* one row per step + header + rule *)
+  let lines = String.split_on_char '\n' (String.trim rendered) in
+  Alcotest.(check int) "rows" (Trace.length r.Runner.trace + 2)
+    (List.length lines)
+
+let suite =
+  [
+    ( "crash.safety",
+      [
+        test "Algorithm 2 (k=3)" (alg2_crash_safety ~k:3);
+        test "Algorithm 2 (k=5)" (alg2_crash_safety ~k:5);
+        test "Algorithm 6 (n=6,k=3)" (alg6_crash_safety ~n:6 ~k:3);
+        test "Algorithm 3 (k=3, relaxed, IS renaming)" (alg3_crash_safety ~k:3);
+        test "SSE object strong election" sse_object_crash_safety;
+        test "Algorithm 5 linearizable with incomplete ops"
+          alg5_crash_linearizability;
+      ] );
+    ("crash.diagram", [ test "space-time diagram renders" diagram_smoke ]);
+  ]

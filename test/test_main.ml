@@ -1,0 +1,10 @@
+(* Aggregates every suite; [dune runtest] runs them all. *)
+let () =
+  Alcotest.run "subconsensus"
+    (Test_sim.suite @ Test_objects.suite @ Test_rwmem.suite
+   @ Test_renaming.suite @ Test_tasks.suite @ Test_alg2.suite
+   @ Test_alg3.suite @ Test_alg4.suite @ Test_alg5.suite @ Test_alg6.suite
+   @ Test_hierarchy.suite @ Test_sse.suite @ Test_linearizability.suite
+   @ Test_valence.suite @ Test_classic.suite @ Test_bgsim.suite @ Test_power.suite
+   @ Test_edge.suite @ Test_refinement.suite @ Test_crash.suite
+   @ Test_properties.suite)

@@ -1,0 +1,309 @@
+(* Substrate 2: sequential and small-concurrent behavior of every primitive
+   object. *)
+open Subc_sim
+open Helpers
+module O = Subc_objects
+
+(* Apply a deterministic op directly to a model's state. *)
+let apply1 model state op =
+  match model.Obj_model.apply state op with
+  | [ (state', resp) ] -> (state', resp)
+  | [] -> Alcotest.fail "unexpected hang"
+  | _ -> Alcotest.fail "unexpected nondeterminism"
+
+let seq_run model ops =
+  List.fold_left
+    (fun (state, resps) op ->
+      let state', r = apply1 model state op in
+      (state', r :: resps))
+    (model.Obj_model.init, [])
+    ops
+  |> fun (state, resps) -> (state, List.rev resps)
+
+let register_tests =
+  [
+    test "read returns the last write" (fun () ->
+        let m = O.Register.model_bot in
+        let _, resps =
+          seq_run m
+            [ Op.make "read" []; Op.make "write" [ Value.Int 3 ]; Op.make "read" [] ]
+        in
+        Alcotest.(check (list value)) "responses"
+          [ Value.Bot; Value.Unit; Value.Int 3 ]
+          resps);
+    test "unsupported op raises Bad_op" (fun () ->
+        match O.Register.model_bot.Obj_model.apply Value.Bot (Op.make "pop" []) with
+        | exception Obj_model.Bad_op _ -> ()
+        | _ -> Alcotest.fail "expected Bad_op");
+  ]
+
+let snapshot_tests =
+  [
+    test "scan sees all updates" (fun () ->
+        let m = O.Snapshot_obj.model ~n:3 in
+        let _, resps =
+          seq_run m
+            [
+              Op.make "update" [ Value.Int 0; Value.Int 10 ];
+              Op.make "update" [ Value.Int 2; Value.Int 12 ];
+              Op.make "scan" [];
+            ]
+        in
+        Alcotest.check value "snapshot"
+          (Value.Vec [ Value.Int 10; Value.Bot; Value.Int 12 ])
+          (List.nth resps 2));
+  ]
+
+let counter_tests =
+  [
+    test "inc/read" (fun () ->
+        let m = O.Counter_obj.model in
+        let _, resps =
+          seq_run m [ Op.make "inc" []; Op.make "inc" []; Op.make "read" [] ]
+        in
+        Alcotest.check value "count" (Value.Int 2) (List.nth resps 2));
+  ]
+
+let swap_tests =
+  [
+    test "swap returns previous value" (fun () ->
+        let m = O.Swap_obj.model_bot in
+        let _, resps =
+          seq_run m
+            [ Op.make "swap" [ Value.Int 1 ]; Op.make "swap" [ Value.Int 2 ] ]
+        in
+        Alcotest.(check (list value)) "responses" [ Value.Bot; Value.Int 1 ] resps);
+  ]
+
+let tas_tests =
+  [
+    test "only the first caller wins" (fun () ->
+        let m = O.Tas_obj.model in
+        let _, resps =
+          seq_run m [ Op.make "test_and_set" []; Op.make "test_and_set" [] ]
+        in
+        Alcotest.(check (list value)) "responses"
+          [ Value.Bool false; Value.Bool true ]
+          resps);
+  ]
+
+let faa_tests =
+  [
+    test "fetch-and-add returns pre-value" (fun () ->
+        let m = O.Faa_obj.model in
+        let _, resps =
+          seq_run m
+            [ Op.make "faa" [ Value.Int 5 ]; Op.make "faa" [ Value.Int 2 ];
+              Op.make "read" [] ]
+        in
+        Alcotest.(check (list value)) "responses"
+          [ Value.Int 0; Value.Int 5; Value.Int 7 ]
+          resps);
+  ]
+
+let cas_tests =
+  [
+    test "cas succeeds once on the same expectation" (fun () ->
+        let m = O.Cas_obj.model_bot in
+        let _, resps =
+          seq_run m
+            [
+              Op.make "cas" [ Value.Bot; Value.Int 1 ];
+              Op.make "cas" [ Value.Bot; Value.Int 2 ];
+              Op.make "read" [];
+            ]
+        in
+        Alcotest.(check (list value)) "responses"
+          [ Value.Bool true; Value.Bool false; Value.Int 1 ]
+          resps);
+  ]
+
+let queue_tests =
+  [
+    test "fifo order, ⊥ when empty" (fun () ->
+        let m = O.Queue_obj.model [] in
+        let _, resps =
+          seq_run m
+            [
+              Op.make "deq" [];
+              Op.make "enq" [ Value.Int 1 ];
+              Op.make "enq" [ Value.Int 2 ];
+              Op.make "deq" [];
+              Op.make "deq" [];
+            ]
+        in
+        Alcotest.(check (list value)) "responses"
+          [ Value.Bot; Value.Unit; Value.Unit; Value.Int 1; Value.Int 2 ]
+          resps);
+  ]
+
+let wrn_tests =
+  [
+    test "wrn writes then reads the next cell" (fun () ->
+        let m = O.Wrn.model ~k:3 in
+        let _, resps =
+          seq_run m
+            [
+              Op.make "wrn" [ Value.Int 0; Value.Int 10 ];
+              Op.make "wrn" [ Value.Int 2; Value.Int 12 ];
+              Op.make "wrn" [ Value.Int 1; Value.Int 11 ];
+            ]
+        in
+        (* Writes A[0], reads A[1]=⊥; writes A[2], reads A[0]=10;
+           writes A[1], reads A[2]=12. *)
+        Alcotest.(check (list value)) "responses"
+          [ Value.Bot; Value.Int 10; Value.Int 12 ]
+          resps);
+    test "wrn k=2 behaves like swap for two users" (fun () ->
+        let m = O.Wrn.model ~k:2 in
+        let _, resps =
+          seq_run m
+            [
+              Op.make "wrn" [ Value.Int 0; Value.Int 10 ];
+              Op.make "wrn" [ Value.Int 1; Value.Int 11 ];
+            ]
+        in
+        Alcotest.(check (list value)) "responses" [ Value.Bot; Value.Int 10 ]
+          resps);
+    test "overwriting the same index is legal (multi-shot)" (fun () ->
+        let m = O.Wrn.model ~k:3 in
+        let _, resps =
+          seq_run m
+            [
+              Op.make "wrn" [ Value.Int 0; Value.Int 1 ];
+              Op.make "wrn" [ Value.Int 0; Value.Int 2 ];
+              Op.make "wrn" [ Value.Int 2; Value.Int 3 ];
+            ]
+        in
+        Alcotest.check value "third reads A[0]=2" (Value.Int 2)
+          (List.nth resps 2));
+  ]
+
+let one_shot_wrn_tests =
+  [
+    test "index reuse hangs" (fun () ->
+        let m = O.One_shot_wrn.model ~k:3 in
+        let state, _ =
+          apply1 m m.Obj_model.init (Op.make "wrn" [ Value.Int 0; Value.Int 1 ])
+        in
+        Alcotest.(check int) "no successors" 0
+          (List.length
+             (m.Obj_model.apply state (Op.make "wrn" [ Value.Int 0; Value.Int 2 ]))));
+    test "distinct indices behave like WRN" (fun () ->
+        let m = O.One_shot_wrn.model ~k:3 in
+        let state, r0 =
+          apply1 m m.Obj_model.init (Op.make "wrn" [ Value.Int 1; Value.Int 11 ])
+        in
+        let _, r1 = apply1 m state (Op.make "wrn" [ Value.Int 0; Value.Int 10 ]) in
+        Alcotest.check value "first reads ⊥" Value.Bot r0;
+        Alcotest.check value "second reads its successor" (Value.Int 11) r1);
+  ]
+
+let set_consensus_obj_tests =
+  [
+    test "first propose returns its own input" (fun () ->
+        let m = O.Set_consensus_obj.model ~n:3 ~k:2 in
+        let outcomes =
+          m.Obj_model.apply m.Obj_model.init (Op.make "propose" [ Value.Int 7 ])
+        in
+        Alcotest.(check int) "single outcome" 1 (List.length outcomes);
+        Alcotest.check value "returns own input" (Value.Int 7)
+          (snd (List.hd outcomes)));
+    test "set never exceeds k values" (fun () ->
+        let m = O.Set_consensus_obj.model ~n:4 ~k:2 in
+        let rec explore state depth =
+          if depth = 0 then ()
+          else
+            List.iter
+              (fun (state', _) ->
+                (match state' with
+                | Value.Pair (Value.Vec chosen, _) ->
+                  Alcotest.(check bool) "≤ k" true (List.length chosen <= 2)
+                | _ -> Alcotest.fail "bad state");
+                explore state' (depth - 1))
+              (m.Obj_model.apply state (Op.make "propose" [ Value.Int depth ]))
+        in
+        explore m.Obj_model.init 4);
+    test "propose n+1 hangs" (fun () ->
+        let m = O.Set_consensus_obj.model ~n:2 ~k:1 in
+        let step state v =
+          match m.Obj_model.apply state (Op.make "propose" [ Value.Int v ]) with
+          | (s, _) :: _ -> s
+          | [] -> Alcotest.fail "early hang"
+        in
+        let state = step (step m.Obj_model.init 1) 2 in
+        Alcotest.(check int) "hangs" 0
+          (List.length (m.Obj_model.apply state (Op.make "propose" [ Value.Int 3 ]))));
+    test "responses come from the chosen set" (fun () ->
+        let m = O.Set_consensus_obj.model ~n:3 ~k:2 in
+        let state, _ =
+          match m.Obj_model.apply m.Obj_model.init (Op.make "propose" [ Value.Int 1 ]) with
+          | [ x ] -> x
+          | _ -> Alcotest.fail "first is deterministic"
+        in
+        List.iter
+          (fun (state', resp) ->
+            match state' with
+            | Value.Pair (Value.Vec chosen, _) ->
+              Alcotest.(check bool) "member" true
+                (List.exists (Value.equal resp) chosen)
+            | _ -> Alcotest.fail "bad state")
+          (m.Obj_model.apply state (Op.make "propose" [ Value.Int 2 ])));
+  ]
+
+let sse_obj_tests =
+  [
+    test "first propose self-elects" (fun () ->
+        let m = O.Sse_obj.model ~k:3 ~j:2 in
+        let outcomes =
+          m.Obj_model.apply m.Obj_model.init (Op.make "propose" [ Value.Int 1 ])
+        in
+        Alcotest.(check int) "only self-election" 1 (List.length outcomes);
+        Alcotest.check value "returns self" (Value.Int 1) (snd (List.hd outcomes)));
+    test "at most j winners; losers defer to winners" (fun () ->
+        let m = O.Sse_obj.model ~k:3 ~j:2 in
+        let rec explore state pending self_elected =
+          match pending with
+          | [] ->
+            Alcotest.(check bool) "1 ≤ winners ≤ 2" true
+              (self_elected >= 1 && self_elected <= 2)
+          | i :: rest ->
+            List.iter
+              (fun (state', resp) ->
+                let won = Value.equal resp (Value.Int i) in
+                (if not won then
+                   match state' with
+                   | Value.Pair (Value.Vec kings, _) ->
+                     Alcotest.(check bool) "output is a king" true
+                       (List.exists (Value.equal resp) kings)
+                   | _ -> Alcotest.fail "bad state");
+                explore state' rest (if won then self_elected + 1 else self_elected))
+              (m.Obj_model.apply state (Op.make "propose" [ Value.Int i ]))
+        in
+        explore m.Obj_model.init [ 0; 1; 2 ] 0);
+    test "index reuse hangs" (fun () ->
+        let m = O.Sse_obj.model ~k:3 ~j:2 in
+        let state =
+          match m.Obj_model.apply m.Obj_model.init (Op.make "propose" [ Value.Int 0 ]) with
+          | [ (s, _) ] -> s
+          | _ -> Alcotest.fail "first is deterministic"
+        in
+        Alcotest.(check int) "hangs" 0
+          (List.length (m.Obj_model.apply state (Op.make "propose" [ Value.Int 0 ]))));
+  ]
+
+let suite =
+  [
+    ("objects.register", register_tests);
+    ("objects.snapshot", snapshot_tests);
+    ("objects.counter", counter_tests);
+    ("objects.swap", swap_tests);
+    ("objects.test-and-set", tas_tests);
+    ("objects.fetch-and-add", faa_tests);
+    ("objects.cas", cas_tests);
+    ("objects.queue", queue_tests);
+    ("objects.wrn", wrn_tests);
+    ("objects.one-shot-wrn", one_shot_wrn_tests);
+    ("objects.set-consensus", set_consensus_obj_tests);
+    ("objects.strong-set-election", sse_obj_tests);
+  ]

@@ -1,0 +1,97 @@
+(* Substrate 5: the task predicates themselves. *)
+open Subc_sim
+open Helpers
+module Task = Subc_tasks.Task
+
+let mk inputs outputs =
+  List.mapi
+    (fun proc (input, output) -> { Task.proc; input; output })
+    (List.combine inputs outputs)
+
+let ok task os = Alcotest.(check bool) "satisfied" true (Result.is_ok (task.Task.check os))
+let bad task os = Alcotest.(check bool) "violated" true (Result.is_error (task.Task.check os))
+
+let i n = Value.Int n
+
+let consensus_tests =
+  [
+    test "agreement holds" (fun () ->
+        ok Task.consensus
+          (mk [ i 1; i 2 ] [ Some (i 1); Some (i 1) ]));
+    test "disagreement fails" (fun () ->
+        bad Task.consensus (mk [ i 1; i 2 ] [ Some (i 1); Some (i 2) ]));
+    test "invalid output fails" (fun () ->
+        bad Task.consensus (mk [ i 1; i 2 ] [ Some (i 9); Some (i 9) ]));
+    test "undecided processes are ignored by agreement" (fun () ->
+        ok Task.consensus (mk [ i 1; i 2 ] [ Some (i 2); None ]));
+    test "all_decided catches the undecided" (fun () ->
+        bad Task.all_decided (mk [ i 1; i 2 ] [ Some (i 2); None ]));
+  ]
+
+let set_consensus_tests =
+  [
+    test "k distinct outputs pass k-agreement" (fun () ->
+        ok (Task.set_consensus 2)
+          (mk [ i 1; i 2; i 3 ] [ Some (i 1); Some (i 2); Some (i 1) ]));
+    test "k+1 distinct outputs fail" (fun () ->
+        bad (Task.set_consensus 2)
+          (mk [ i 1; i 2; i 3 ] [ Some (i 1); Some (i 2); Some (i 3) ]));
+    test "1-set consensus = consensus" (fun () ->
+        bad (Task.set_consensus 1)
+          (mk [ i 1; i 2 ] [ Some (i 1); Some (i 2) ]));
+  ]
+
+let strong_election_tests =
+  let t = Task.strong_set_election 2 in
+  [
+    test "self-election satisfied" (fun () ->
+        (* P0 and P2 defer to P1; P1 elects itself. *)
+        ok t (mk [ i 0; i 1; i 2 ] [ Some (i 1); Some (i 1); Some (i 1) ]));
+    test "self-election violated" (fun () ->
+        (* P0 decides on 1, but P1 decided on 2. *)
+        bad t (mk [ i 0; i 1; i 2 ] [ Some (i 1); Some (i 2); Some (i 2) ]));
+    test "undecided leader tolerated" (fun () ->
+        ok t (mk [ i 0; i 1; i 2 ] [ Some (i 1); None; Some (i 2) ]));
+    test "too many leaders fail k-agreement" (fun () ->
+        bad t (mk [ i 0; i 1; i 2 ] [ Some (i 0); Some (i 1); Some (i 2) ]));
+  ]
+
+let renaming_tests =
+  let t = Task.renaming ~bound:3 in
+  [
+    test "distinct names in range" (fun () ->
+        ok t (mk [ i 10; i 20 ] [ Some (i 0); Some (i 2) ]));
+    test "duplicate names fail" (fun () ->
+        bad t (mk [ i 10; i 20 ] [ Some (i 1); Some (i 1) ]));
+    test "out-of-range name fails" (fun () ->
+        bad t (mk [ i 10; i 20 ] [ Some (i 0); Some (i 3) ]));
+  ]
+
+let util_tests =
+  [
+    test "distinct preserves first-seen order" (fun () ->
+        Alcotest.(check (list value)) "dedup"
+          [ i 2; i 1; i 3 ]
+          (Task.distinct [ i 2; i 1; i 2; i 3; i 1 ]));
+    test "conj reports the first failing component" (fun () ->
+        let t = Task.conj Task.consensus Task.all_decided in
+        bad t (mk [ i 1 ] [ None ]));
+    test "outcomes pairs inputs with decisions" (fun () ->
+        let config =
+          Config.make Store.empty
+            [ Program.return (i 5); Program.return (i 6) ]
+        in
+        let os = Task.outcomes ~inputs:[ i 1; i 2 ] config in
+        Alcotest.(check int) "two outcomes" 2 (List.length os);
+        Alcotest.(check bool) "decisions recorded" true
+          ((List.hd os).Task.output = Some (i 5)));
+  ]
+
+let suite =
+  [
+    ("tasks.consensus", consensus_tests);
+    ("tasks.set-consensus", set_consensus_tests);
+    ("tasks.strong-election", strong_election_tests);
+    ("tasks.renaming", renaming_tests);
+    ("tasks.util", util_tests);
+  ]
