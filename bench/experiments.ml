@@ -635,6 +635,187 @@ let e14 () =
     ~header:[ "k"; "ops"; "protocols"; "solving"; "example solver"; "verdict" ]
     rows
 
+(* ----------------------------------------------------------------- E15 *)
+
+let e15 () =
+  let module Progress = Subc_check.Progress in
+  (* Algorithm 2, k=3: safety under EVERY schedule and every crash pattern
+     with <= f crashes, f = 0, 1, 2. *)
+  let alg2_rows =
+    let k = 3 in
+    let store, t = Alg2.alloc Store.empty ~k ~one_shot:true in
+    let inputs = List.init k (fun i -> Value.Int (100 + i)) in
+    let programs = List.mapi (fun i v -> Alg2.propose t ~i v) inputs in
+    let task = Task.set_consensus (k - 1) in
+    List.map
+      (fun f ->
+        let config = Config.make store programs in
+        let outcome, states, ok =
+          match
+            Explore.check_terminals ~max_crashes:f config ~ok:(fun c ->
+                Task.satisfies task ~inputs c)
+          with
+          | Ok stats ->
+            ( "safe", stats.Explore.states,
+              not stats.Explore.limited )
+          | Error (_, _, stats) -> ("VIOLATION", stats.Explore.states, false)
+        in
+        [
+          "Alg 2 (k=3) safety"; Printf.sprintf "exhaustive, f=%d" f;
+          string_of_int states; outcome;
+          check (Printf.sprintf "E15 alg2 f=%d" f) ok;
+        ])
+      [ 0; 1; 2 ]
+  in
+  (* Algorithm 5, k=3: every terminal under a one-crash budget linearizes
+     against the 1sWRN spec (crashed participants = incomplete operations). *)
+  let alg5_row =
+    let k = 3 in
+    let store, t = Alg5.alloc Store.empty ~k () in
+    let programs =
+      List.init k (fun i -> Alg5.wrn t ~i (Value.Int (100 + i)))
+    in
+    let ops i = Op.make "wrn" [ Value.Int i; Value.Int (100 + i) ] in
+    let spec = Subc_objects.One_shot_wrn.model ~k in
+    let config = Config.make store programs in
+    let bad = ref 0 in
+    let stats =
+      Explore.iter_terminals ~max_crashes:1 config ~f:(fun final trace ->
+          let history = Lin.history ~ops final trace in
+          if Lin.check ~spec history = None then incr bad)
+    in
+    [
+      "Alg 5 (k=3) linearizability"; "exhaustive, f=1";
+      string_of_int stats.Explore.states;
+      Printf.sprintf "%d bad / %d terminals (%d crashed)" !bad
+        stats.Explore.terminals stats.Explore.crashed_terminals;
+      check "E15 alg5 lin f=1" (!bad = 0 && not stats.Explore.limited);
+    ]
+  in
+  (* Wait-freedom certificates (solo-step bounds), crash budget included. *)
+  let progress_row name ~expect_bound store programs ~max_crashes =
+    match Progress.wait_free ~max_crashes store ~programs with
+    | Ok cert ->
+      [
+        name; Printf.sprintf "progress, f=%d" max_crashes;
+        string_of_int cert.Progress.configs;
+        Printf.sprintf "wait-free, solo bound %d" cert.Progress.solo_bound;
+        check ("E15 " ^ name)
+          (match expect_bound with
+          | Some b -> cert.Progress.solo_bound = b
+          | None -> true);
+      ]
+    | Error fail ->
+      [
+        name; Printf.sprintf "progress, f=%d" max_crashes; "-";
+        Format.asprintf "%a" Progress.pp_failure fail;
+        check ("E15 " ^ name) false;
+      ]
+  in
+  let alg2_progress =
+    let store, t = Alg2.alloc Store.empty ~k:3 ~one_shot:true in
+    let programs =
+      List.init 3 (fun i -> Alg2.propose t ~i (Value.Int (100 + i)))
+    in
+    progress_row "Alg 2 (k=3) wait-freedom" ~expect_bound:(Some 1) store
+      programs ~max_crashes:2
+  in
+  let alg5_progress =
+    let store, t = Alg5.alloc Store.empty ~k:3 () in
+    let programs =
+      List.init 3 (fun i -> Alg5.wrn t ~i (Value.Int (100 + i)))
+    in
+    progress_row "Alg 5 (k=3) wait-freedom" ~expect_bound:None store programs
+      ~max_crashes:1
+  in
+  (* A deliberately lock-free-only construction must produce a
+     counterexample schedule: the spinner solo-runs forever. *)
+  let spinner_row =
+    let store, reg = Store.alloc Store.empty Subc_objects.Register.model_bot in
+    let spinner =
+      let open Program.Syntax in
+      let rec spin () =
+        let* () = Program.checkpoint (Value.Sym "spin") in
+        let* v = Subc_objects.Register.read reg in
+        if Value.is_bot v then spin () else Program.return v
+      in
+      spin ()
+    in
+    let writer =
+      let open Program.Syntax in
+      let* () = Subc_objects.Register.write reg (Value.Int 1) in
+      Program.return (Value.Int 1)
+    in
+    match Progress.wait_free store ~programs:[ spinner; writer ] with
+    | Ok _ ->
+      [
+        "lock-free spinner"; "progress, f=0"; "-"; "no counterexample (?)";
+        check "E15 spinner" false;
+      ]
+    | Error (Progress.Non_terminating { proc; _ }) ->
+      [
+        "lock-free spinner"; "progress, f=0"; "-";
+        Printf.sprintf "NOT wait-free (P%d solo-spins)" proc;
+        check "E15 spinner" (proc = 0);
+      ]
+    | Error fail ->
+      [
+        "lock-free spinner"; "progress, f=0"; "-";
+        Format.asprintf "%a" Progress.pp_failure fail;
+        check "E15 spinner" false;
+      ]
+  in
+  (* BG simulation: a crashed simulator blocks at most one simulated
+     process — the surviving simulator still decides >= m-1 of them. *)
+  let bg_row =
+    let simulators = 2 and m = 3 in
+    let runs = ref 0 and ok = ref 0 and blocked_seen = ref 0 in
+    List.iter
+      (fun seed ->
+        List.iter
+          (fun s ->
+            incr runs;
+            let codes =
+              List.init m (fun p ->
+                  Subc_bgsim.Sim_code.write_then_snapshot
+                    (Value.Int (100 + p)) Fun.id)
+            in
+            let store, bg = Subc_bgsim.Bg.alloc Store.empty ~simulators ~codes in
+            let programs =
+              List.init simulators (fun me -> Subc_bgsim.Bg.simulate bg ~me)
+            in
+            let config = Config.make store programs in
+            let r =
+              Runner.run
+                (Runner.Crash_at { crashes = [ (s, 1) ]; seed = Some seed })
+                config
+            in
+            match Config.decision r.Runner.final 0 with
+            | Some (Value.Vec views) ->
+              let undecided =
+                List.length (List.filter Value.is_bot views)
+              in
+              if undecided > 0 then incr blocked_seen;
+              if r.Runner.completed && undecided <= 1 then incr ok
+            | _ -> ())
+          (List.init 12 (fun s -> s)))
+      (seeds 25);
+    [
+      "BG (2 sims, m=3), sim 1 dies"; "crash-at-step sweep";
+      string_of_int !runs;
+      Printf.sprintf "%d/%d runs block <= 1 simulated (%d blocked some)" !ok
+        !runs !blocked_seen;
+      check "E15 bg" (!ok = !runs);
+    ]
+  in
+  table
+    ~title:
+      "E15. Crash-resilience matrix: first-class crash faults, exhaustive \
+       sweeps and wait-freedom certificates"
+    ~header:[ "instance"; "crash model"; "states/runs"; "outcome"; "verdict" ]
+    (alg2_rows
+    @ [ alg5_row; alg2_progress; alg5_progress; spinner_row; bg_row ])
+
 (* ------------------------------------------------------------ scaling *)
 
 let scaling () =
@@ -698,6 +879,7 @@ let run_all () =
   e12 ();
   e13 ();
   e14 ();
+  e15 ();
   scaling ();
   Format.printf "@.=== experiments complete: %s ===@."
     (if !failures = 0 then "ALL PASS"

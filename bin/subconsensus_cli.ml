@@ -14,8 +14,15 @@ module Task = Subc_tasks.Task
 
 let inputs_of k = List.init k (fun i -> Value.Int (100 + i))
 
+(* A truncated search must not read as a verified one: exit 2 (and keep the
+   (LIMITED) marker of [pp_stats]) when any budget was exhausted. *)
 let report_exhaustive store programs inputs task =
   match Subc_check.Task_check.exhaustive store ~programs ~inputs ~task with
+  | Ok stats when stats.Explore.limited ->
+    Format.printf
+      "no violation found, but the search was truncated — NOT a proof@.%a@."
+      Explore.pp_stats stats;
+    2
   | Ok stats ->
     Format.printf "all executions satisfy %s@.%a@." task.Task.name
       Explore.pp_stats stats;
@@ -117,9 +124,10 @@ let alg5_cmd =
           end)
     in
     Format.printf
-      "explored %d states, %d terminals, %d non-linearizable histories@."
-      stats.Explore.states !terminals !bad;
-    if !bad = 0 then 0 else 1
+      "explored %d states, %d terminals, %d non-linearizable histories%s@."
+      stats.Explore.states !terminals !bad
+      (if stats.Explore.limited then " (LIMITED)" else "");
+    if !bad > 0 then 1 else if stats.Explore.limited then 2 else 0
   in
   let participants_arg =
     Arg.(
@@ -311,6 +319,134 @@ let critical_cmd =
           over WRN_k (the Lemma 38 structure).")
     Term.(const run $ k_arg $ style_arg)
 
+let crash_sweep_cmd =
+  let run alg k f max_states solo_limit =
+    let module Progress = Subc_check.Progress in
+    let code = ref 0 in
+    let bump c = code := max !code c in
+    let note_limited (stats : Explore.stats) =
+      if stats.Explore.limited then bump 2
+    in
+    let progress store programs =
+      match
+        Progress.wait_free ~max_states ~max_crashes:f ~solo_limit store
+          ~programs
+      with
+      | Ok cert ->
+        Format.printf "progress: %a@." Progress.pp_certificate cert
+      | Error (Progress.Limited _ as fail) ->
+        Format.printf "progress: %a@." Progress.pp_failure fail;
+        bump 2
+      | Error fail ->
+        Format.printf "progress: %a@." Progress.pp_failure fail;
+        bump 1
+    in
+    (match alg with
+    | "alg2" | "alg6" ->
+      let store, programs, inputs, bound =
+        if alg = "alg2" then begin
+          let store, t = Subc_core.Alg2.alloc Store.empty ~k ~one_shot:true in
+          let inputs = inputs_of k in
+          ( store,
+            List.mapi (fun i v -> Subc_core.Alg2.propose t ~i v) inputs,
+            inputs, k - 1 )
+        end
+        else begin
+          let n = 2 * k in
+          let store, t = Subc_core.Alg6.alloc Store.empty ~n ~k ~one_shot:true in
+          let inputs = inputs_of n in
+          ( store,
+            List.mapi (fun i v -> Subc_core.Alg6.propose t ~i v) inputs,
+            inputs, Subc_core.Alg6.agreement_bound ~n ~k )
+        end
+      in
+      (* No [all_decided]: crashed processes legitimately never decide. *)
+      let task = Task.set_consensus bound in
+      for f' = 0 to f do
+        let config = Config.make store programs in
+        match
+          Explore.check_terminals ~max_states ~max_crashes:f' config
+            ~ok:(fun c -> Task.satisfies task ~inputs c)
+        with
+        | Ok stats ->
+          Format.printf "f=%d: every crash pattern satisfies %s  (%a)@." f'
+            task.Task.name Explore.pp_stats stats;
+          note_limited stats
+        | Error (_, trace, _) ->
+          Format.printf "f=%d: VIOLATION of %s@.%a@." f' task.Task.name
+            Trace.pp trace;
+          bump 1
+      done;
+      progress store programs
+    | "alg5" ->
+      let store, t = Subc_core.Alg5.alloc Store.empty ~k () in
+      let participants = List.init k Fun.id in
+      let programs =
+        List.map
+          (fun i -> Subc_core.Alg5.wrn t ~i (Value.Int (100 + i)))
+          participants
+      in
+      let ops i = Op.make "wrn" [ Value.Int i; Value.Int (100 + i) ] in
+      let spec = Subc_objects.One_shot_wrn.model ~k in
+      let config = Config.make store programs in
+      let bad = ref 0 and terminals = ref 0 in
+      let stats =
+        Explore.iter_terminals ~max_states ~max_crashes:f config
+          ~f:(fun final trace ->
+            incr terminals;
+            let history =
+              Subc_check.Linearizability.history ~ops final trace
+            in
+            if Subc_check.Linearizability.check ~spec history = None then begin
+              incr bad;
+              Format.printf "NON-LINEARIZABLE under crashes:@.%a@."
+                Subc_check.Linearizability.pp_history history
+            end)
+      in
+      Format.printf
+        "f<=%d: %d states, %d terminals (%d with crashes), %d \
+         non-linearizable histories%s@."
+        f stats.Explore.states !terminals stats.Explore.crashed_terminals !bad
+        (if stats.Explore.limited then " (LIMITED)" else "");
+      if !bad > 0 then bump 1;
+      note_limited stats;
+      progress store programs
+    | s -> Fmt.failwith "unknown algorithm %S (expected alg2, alg5 or alg6)" s);
+    !code
+  in
+  let alg_arg =
+    Arg.(
+      value
+      & opt (enum [ ("alg2", "alg2"); ("alg5", "alg5"); ("alg6", "alg6") ])
+          "alg2"
+      & info [ "alg" ] ~docv:"ALG" ~doc:"Algorithm to sweep: $(docv).")
+  in
+  let crashes_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "max-crashes" ] ~docv:"F"
+          ~doc:"Crash budget $(docv) (sweep f = 0..$(docv)).")
+  in
+  let max_states_arg =
+    Arg.(
+      value & opt int 5_000_000
+      & info [ "max-states" ] ~doc:"State budget per exploration.")
+  in
+  let solo_limit_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "solo-limit" ] ~doc:"Solo-step bound for the progress checker.")
+  in
+  Cmd.v
+    (Cmd.info "crash-sweep"
+       ~doc:
+         "Exhaustive crash-fault sweep: verify safety under every crash \
+          pattern within the budget, then certify wait-freedom (solo-step \
+          bound).  Exits 1 on violation, 2 when any search was truncated.")
+    Term.(
+      const run $ alg_arg $ k_arg $ crashes_arg $ max_states_arg
+      $ solo_limit_arg)
+
 let () =
   let doc = "sub-consensus deterministic objects: runners and model checkers" in
   exit
@@ -319,5 +455,5 @@ let () =
           (Cmd.info "subconsensus_cli" ~doc)
           [
             alg2_cmd; alg3_cmd; alg5_cmd; alg6_cmd; attempt_cmd; trace_cmd;
-            power_cmd; bg_cmd; critical_cmd;
+            power_cmd; bg_cmd; critical_cmd; crash_sweep_cmd;
           ]))

@@ -1,0 +1,109 @@
+open Subc_sim
+
+type certificate = {
+  solo_bound : int;
+  configs : int;
+  stats : Explore.stats;
+}
+
+type failure =
+  | Non_terminating of { proc : int; prefix : Trace.t; spin : Trace.t }
+  | Hang of { proc : int; prefix : Trace.t; spin : Trace.t }
+  | Limited of Explore.stats
+
+let pp_certificate ppf c =
+  Format.fprintf ppf
+    "wait-free: every process terminates within %d solo steps from every \
+     reachable configuration (%d configurations, %a)"
+    c.solo_bound c.configs Explore.pp_stats c.stats
+
+let pp_failure ppf = function
+  | Non_terminating { proc; prefix; spin } ->
+    Format.fprintf ppf
+      "@[<v>NOT wait-free: process %d does not terminate running solo after \
+       the %d-step prefix@,%a@,solo continuation (truncated):@,%a@]"
+      proc (Trace.length prefix) Trace.pp prefix Trace.pp spin
+  | Hang { proc; prefix; spin } ->
+    Format.fprintf ppf
+      "@[<v>NOT wait-free: process %d hangs (illegal invocation) running \
+       solo after the %d-step prefix@,%a@,solo continuation:@,%a@]"
+      proc (Trace.length prefix) Trace.pp prefix Trace.pp spin
+  | Limited stats ->
+    Format.fprintf ppf "exploration truncated — no verdict (%a)"
+      Explore.pp_stats stats
+
+exception Failed of failure
+
+let fingerprint config = Digest.string (Marshal.to_string (Config.key config) [])
+
+(* Exact solo distance of process [p] from [config]: the number of steps [p]
+   needs to terminate running alone, maximized over object nondeterminism.
+   Memoized per (configuration, process); a revisit of a configuration on
+   the current solo path (possible only through [Program.checkpoint], which
+   resets the history) witnesses an infinite solo run. *)
+let solo_distance ~memo ~solo_limit ~prefix config0 p =
+  let onstack = Hashtbl.create 16 in
+  let rec go config depth rev_spin =
+    match config.Config.procs.(p).Config.status with
+    | Config.Terminated _ | Config.Crashed -> 0
+    | Config.Hung ->
+      raise
+        (Failed
+           (Hang { proc = p; prefix = Lazy.force prefix; spin = List.rev rev_spin }))
+    | Config.Running _ ->
+      let digest = fingerprint config in
+      let key = (digest, p) in
+      (match Hashtbl.find_opt memo key with
+      | Some d -> d
+      | None ->
+        if depth >= solo_limit || Hashtbl.mem onstack digest then
+          raise
+            (Failed
+               (Non_terminating
+                  { proc = p; prefix = Lazy.force prefix; spin = List.rev rev_spin }));
+        Hashtbl.add onstack digest ();
+        let d =
+          List.fold_left
+            (fun acc (config', event) ->
+              max acc (1 + go config' (depth + 1) (Trace.Sched event :: rev_spin)))
+            0
+            (Step.step config p)
+        in
+        Hashtbl.remove onstack digest;
+        Hashtbl.replace memo key d;
+        d)
+  in
+  go config0 0 []
+
+let wait_free ?max_states ?(max_crashes = 0) ?(solo_limit = 10_000) store
+    ~programs =
+  let config0 = Config.make store programs in
+  let memo = Hashtbl.create 4096 in
+  let bound = ref 0 in
+  let configs = ref 0 in
+  match
+    Explore.iter_reachable ?max_states ~max_crashes config0
+      ~f:(fun config prefix ->
+        incr configs;
+        List.iter
+          (fun p ->
+            bound := max !bound (solo_distance ~memo ~solo_limit ~prefix config p))
+          (Config.running config))
+  with
+  | stats when stats.Explore.limited -> Error (Limited stats)
+  | stats -> Ok { solo_bound = !bound; configs = !configs; stats }
+  | exception Failed f -> Error f
+
+let t_resilient ?max_states ~t store ~programs =
+  let config = Config.make store programs in
+  match Explore.find_cycle ?max_states ~max_crashes:t config with
+  | Some _, _ ->
+    Error
+      (Printf.sprintf
+         "infinite schedule with <= %d crashes (not %d-resilient terminating)"
+         t t)
+  | None, stats ->
+    if stats.Explore.limited then Error "state limit reached — no verdict"
+    else if stats.Explore.hung_terminals > 0 then
+      Error "some execution hangs a process (illegal object use)"
+    else Ok stats

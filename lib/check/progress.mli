@@ -1,0 +1,61 @@
+(** Progress properties: wait-freedom certificates and t-resilient
+    termination.
+
+    Every algorithm this repository reproduces makes a {e wait-free} claim:
+    each process terminates in a bounded number of its own steps regardless
+    of what the others do — including crashing.  [wait_free] certifies this
+    by exhaustive search: from {e every} reachable configuration (under
+    every interleaving and every crash pattern within the budget), every
+    running process must terminate within a bounded number of {e solo}
+    steps.  The certificate is the bound; the failure is a concrete
+    counterexample schedule — a reachable prefix after which some process
+    runs solo forever (the signature of a merely lock-free construction) or
+    hangs.
+
+    [t_resilient] checks the weaker property that no execution with at most
+    [t] crashes runs forever (and none hangs a process) — termination
+    rather than a per-process solo bound. *)
+
+open Subc_sim
+
+type certificate = {
+  solo_bound : int;
+      (** max over reachable configurations and running processes of the
+          number of solo steps needed to terminate *)
+  configs : int;  (** reachable configurations checked *)
+  stats : Explore.stats;
+}
+
+type failure =
+  | Non_terminating of { proc : int; prefix : Trace.t; spin : Trace.t }
+      (** after [prefix], [proc] running solo revisits a configuration or
+          exceeds the solo-step limit: an infinite solo run *)
+  | Hang of { proc : int; prefix : Trace.t; spin : Trace.t }
+      (** after [prefix], [proc] running solo performs an invocation with
+          no successor *)
+  | Limited of Explore.stats
+      (** the reachable-state exploration was truncated: no verdict *)
+
+val pp_certificate : Format.formatter -> certificate -> unit
+val pp_failure : Format.formatter -> failure -> unit
+
+(** [wait_free store ~programs] certifies wait-freedom.  [~max_crashes:f]
+    additionally quantifies the reachable prefix over every crash pattern
+    of at most [f] crashes.  [solo_limit] caps the solo search per process
+    (default 10000); exceeding it counts as non-termination. *)
+val wait_free :
+  ?max_states:int ->
+  ?max_crashes:int ->
+  ?solo_limit:int ->
+  Store.t ->
+  programs:Value.t Program.t list ->
+  (certificate, failure) result
+
+(** [t_resilient ~t store ~programs] checks that no schedule with at most
+    [t] crashes runs forever and none hangs a process. *)
+val t_resilient :
+  ?max_states:int ->
+  t:int ->
+  Store.t ->
+  programs:Value.t Program.t list ->
+  (Explore.stats, string) result

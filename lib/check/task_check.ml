@@ -57,37 +57,27 @@ let sample ?max_steps store ~programs ~inputs ~task ~seeds =
     distinct_counts;
   }
 
-let sample_crashed ?(max_prefix = 40) store ~programs ~inputs ~task ~seeds =
+let sample_crashed ?max_crashes store ~programs ~inputs ~task ~seeds =
   let config = Config.make store programs in
   let n = List.length programs in
+  let max_crashes = Option.value max_crashes ~default:(max 0 (n - 1)) in
   let distinct_counts = Array.make (max n 1) 0 in
   let violations = ref 0 in
   let first_violation = ref None in
   List.iter
     (fun seed ->
-      let rng = Random.State.make [| seed; 0x5eed |] in
-      let prefix = Random.State.int rng (max_prefix + 1) in
-      let survivors =
-        let chosen =
-          List.filter
-            (fun _ -> Random.State.bool rng)
-            (List.init n Fun.id)
-        in
-        if chosen = [] then [ Random.State.int rng n ] else chosen
-      in
-      let before = Runner.run ~max_steps:prefix (Runner.Random seed) config in
-      let after = Runner.run (Runner.Only survivors) before.Runner.final in
+      let r = Runner.run (Runner.Crash_random { seed; max_crashes }) config in
       let d =
-        List.length (Task.distinct (Config.decisions after.Runner.final))
+        List.length (Task.distinct (Config.decisions r.Runner.final))
       in
       if d > 0 && d <= n then
         distinct_counts.(d - 1) <- distinct_counts.(d - 1) + 1;
-      match Task.explain task ~inputs after.Runner.final with
+      match Task.explain task ~inputs r.Runner.final with
       | None -> ()
       | Some reason ->
         incr violations;
         if !first_violation = None then
-          first_violation := Some (reason, after.Runner.trace))
+          first_violation := Some (reason, r.Runner.trace))
     seeds;
   {
     runs = List.length seeds;

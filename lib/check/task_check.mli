@@ -46,14 +46,16 @@ val sample :
 val pp_sample_stats : Format.formatter -> sample_stats -> unit
 
 (** [sample_crashed store ~programs ~inputs ~task ~seeds] — fault
-    injection: each seeded run executes a random prefix under the random
-    adversary, then {e crashes} a random subset of processes (they never
-    take another step) and runs the survivors to completion.  The task is
-    evaluated on the partial outcomes — wait-free algorithms must keep
-    their safety properties whatever the crash pattern, because a crashed
-    process is indistinguishable from a slow one. *)
+    injection: each seeded run executes under the {!Runner.Crash_random}
+    adversary, which crashes up to [max_crashes] random processes (default
+    n−1) at random points.  Crashes are events of the trace, so the task is
+    evaluated against the true partial-outcome history and a violating
+    schedule replays deterministically, crashes included.  Wait-free
+    algorithms must keep their safety properties whatever the crash
+    pattern, because a crashed process is indistinguishable from a slow
+    one. *)
 val sample_crashed :
-  ?max_prefix:int ->
+  ?max_crashes:int ->
   Store.t ->
   programs:Subc_sim.Value.t Subc_sim.Program.t list ->
   inputs:Subc_sim.Value.t list ->

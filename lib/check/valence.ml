@@ -124,7 +124,7 @@ let find_critical ?max_states config =
             (Step.step config s.proc)
         in
         match next with
-        | Some c' -> descend c' (s.event :: rev_trace)
+        | Some c' -> descend c' (Trace.Sched s.event :: rev_trace)
         | None -> None)
     in
     descend config []

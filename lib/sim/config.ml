@@ -2,6 +2,7 @@ type status =
   | Running of Value.t Program.t
   | Terminated of Value.t
   | Hung
+  | Crashed
 
 type proc = { status : status; history : Value.t list; steps : int }
 type t = { store : Store.t; procs : proc array }
@@ -26,7 +27,7 @@ let n_procs c = Array.length c.procs
 let can_step proc =
   match proc.status with
   | Running _ -> true
-  | Terminated _ | Hung -> false
+  | Terminated _ | Hung | Crashed -> false
 
 let running c =
   let acc = ref [] in
@@ -38,17 +39,44 @@ let is_terminal c = running c = []
 let decision c i =
   match c.procs.(i).status with
   | Terminated v -> Some v
-  | Running _ | Hung -> None
+  | Running _ | Hung | Crashed -> None
 
 let decisions c =
   Array.to_list c.procs
   |> List.filter_map (fun p ->
          match p.status with
          | Terminated v -> Some v
-         | Running _ | Hung -> None)
+         | Running _ | Hung | Crashed -> None)
 
 let any_hung c =
   Array.exists (fun p -> match p.status with Hung -> true | _ -> false) c.procs
+
+let is_crashed c i = c.procs.(i).status = Crashed
+
+let crashed c =
+  let acc = ref [] in
+  Array.iteri (fun i p -> if p.status = Crashed then acc := i :: !acc) c.procs;
+  List.rev !acc
+
+let n_crashed c =
+  Array.fold_left
+    (fun n p -> if p.status = Crashed then n + 1 else n)
+    0 c.procs
+
+let any_crashed c = n_crashed c > 0
+
+(* The history is cleared on crash: a crashed process has no continuation,
+   so its response history can no longer influence the execution — dropping
+   it merges configurations that differ only in where the victim was when
+   it died, which is what makes exhaustive crash sweeps tractable. *)
+let crash c i =
+  match c.procs.(i).status with
+  | Running _ ->
+    let procs = Array.copy c.procs in
+    procs.(i) <- { c.procs.(i) with status = Crashed; history = [] };
+    { c with procs }
+  | Terminated _ | Hung | Crashed ->
+    invalid_arg (Printf.sprintf "Config.crash: process %d cannot crash" i)
 
 let proc_key p =
   let status =
@@ -56,6 +84,7 @@ let proc_key p =
     | Running _ -> Value.Sym "run"
     | Terminated v -> Value.Tag ("done", v)
     | Hung -> Value.Sym "hung"
+    | Crashed -> Value.Sym "crash"
   in
   Value.Pair (status, Value.Vec p.history)
 
@@ -76,6 +105,7 @@ let pp ppf c =
         | Running _ -> "running"
         | Terminated v -> "terminated " ^ Value.to_string v
         | Hung -> "hung"
+        | Crashed -> "crashed"
       in
       Format.fprintf ppf "P%d: %s after %d steps@," i status p.steps)
     c.procs;

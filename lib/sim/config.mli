@@ -6,12 +6,20 @@
     programs are deterministic functions of their response histories, the
     pair (object states, response histories) canonically identifies a
     configuration, which lets the model checker memoize configurations even
-    though continuations are closures. *)
+    though continuations are closures.
+
+    Crash faults are first-class: a process may transition to [Crashed], a
+    terminal status distinct from [Terminated] (it produced no output) and
+    from [Hung] (it was not the victim of an illegal invocation — the
+    adversary simply stopped it).  A crashed process never takes another
+    step; since a crashed process is indistinguishable from a slow one,
+    wait-free safety properties must hold on the surviving outcomes. *)
 
 type status =
   | Running of Value.t Program.t
   | Terminated of Value.t  (** the process produced its output value *)
   | Hung  (** the process invoked an operation with no successor *)
+  | Crashed  (** the adversary stopped the process; no output *)
 
 type proc = {
   status : status;
@@ -34,7 +42,8 @@ val n_procs : t -> int
 (** Indices of processes that can still take a step. *)
 val running : t -> int list
 
-(** A configuration is terminal when no process can take a step. *)
+(** A configuration is terminal when no process can take a step (all are
+    terminated, hung, or crashed). *)
 val is_terminal : t -> bool
 
 (** [decision c i] is [Some v] iff process [i] terminated with output [v]. *)
@@ -44,6 +53,21 @@ val decision : t -> int -> Value.t option
 val decisions : t -> Value.t list
 
 val any_hung : t -> bool
+
+(** [crash c i] — process [i] crashes: it never steps again and produces no
+    output.  Its response history is cleared (it can no longer influence
+    the execution), which lets the model checker merge configurations that
+    differ only in where the victim was when it died.
+    @raise Invalid_argument if process [i] is not running. *)
+val crash : t -> int -> t
+
+val is_crashed : t -> int -> bool
+
+(** Indices of crashed processes, in increasing order. *)
+val crashed : t -> int list
+
+val n_crashed : t -> int
+val any_crashed : t -> bool
 
 (** Canonical key for memoization: encodes object states, process response
     histories and statuses as a single value. *)

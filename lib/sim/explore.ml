@@ -3,6 +3,7 @@ type stats = {
   transitions : int;
   terminals : int;
   hung_terminals : int;
+  crashed_terminals : int;
   max_depth : int;
   dedup_hits : int;
   cycles : int;
@@ -11,10 +12,10 @@ type stats = {
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "states=%d transitions=%d terminals=%d hung=%d depth=%d dedup=%d \
-     cycles=%d%s"
-    s.states s.transitions s.terminals s.hung_terminals s.max_depth
-    s.dedup_hits s.cycles
+    "states=%d transitions=%d terminals=%d hung=%d crashed=%d depth=%d \
+     dedup=%d cycles=%d%s"
+    s.states s.transitions s.terminals s.hung_terminals s.crashed_terminals
+    s.max_depth s.dedup_hits s.cycles
     (if s.limited then " (LIMITED)" else "")
 
 (* Canonical configurations are interned as 16-byte digests: the visited
@@ -33,14 +34,17 @@ type state = {
   mutable transitions : int;
   mutable terminals : int;
   mutable hung_terminals : int;
+  mutable crashed_terminals : int;
   mutable max_depth : int;
   mutable dedup_hits : int;
   mutable cycles : int;
   mutable limited : bool;
   max_states : int;
   depth_limit : int;
+  max_crashes : int;
   mutable cycle_witness : Trace.t option;
   on_terminal : Config.t -> Trace.t -> unit;
+  on_visit : Config.t -> Trace.t Lazy.t -> unit;
   stop_on_cycle : bool;
 }
 
@@ -50,6 +54,7 @@ let stats_of st =
     transitions = st.transitions;
     terminals = st.terminals;
     hung_terminals = st.hung_terminals;
+    crashed_terminals = st.crashed_terminals;
     max_depth = st.max_depth;
     dedup_hits = st.dedup_hits;
     cycles = st.cycles;
@@ -57,49 +62,63 @@ let stats_of st =
   }
 
 (* DFS with memoization on canonical configuration keys.  [rev_trace] is the
-   path from the root, newest event first. *)
+   path from the root, newest event first.  Crash transitions are ordinary
+   transitions of the search: every running process may crash as long as the
+   crash budget is not exhausted.  The budget needs no separate memoization
+   key — crashed processes are part of the configuration, so the number of
+   crashes used is derivable from the configuration itself. *)
 let rec dfs st config rev_trace depth =
   if depth > st.max_depth then st.max_depth <- depth;
-  if depth > st.depth_limit then begin
-    st.limited <- true;
-    raise Stop
-  end;
-  let key = fingerprint config in
-  if Vtbl.mem st.onstack key then begin
-    (* Back-edge into the current DFS stack: an infinite schedule. *)
-    st.cycles <- st.cycles + 1;
-    if st.cycle_witness = None then st.cycle_witness <- Some (List.rev rev_trace);
-    if st.stop_on_cycle then raise Stop
-  end
-  else if Vtbl.mem st.visited key then st.dedup_hits <- st.dedup_hits + 1
-  else if st.states >= st.max_states then begin
-    st.limited <- true;
-    raise Stop
-  end
-  else begin
-    Vtbl.add st.visited key ();
-    st.states <- st.states + 1;
-    match Config.running config with
-    | [] ->
-      st.terminals <- st.terminals + 1;
-      if Config.any_hung config then
-        st.hung_terminals <- st.hung_terminals + 1;
-      st.on_terminal config (List.rev rev_trace)
-    | runnable ->
-      Vtbl.add st.onstack key ();
-      List.iter
-        (fun i ->
+  if depth > st.depth_limit then
+    (* Prune this branch only; siblings are still explored. *)
+    st.limited <- true
+  else
+    let key = fingerprint config in
+    if Vtbl.mem st.onstack key then begin
+      (* Back-edge into the current DFS stack: an infinite schedule. *)
+      st.cycles <- st.cycles + 1;
+      if st.cycle_witness = None then st.cycle_witness <- Some (List.rev rev_trace);
+      if st.stop_on_cycle then raise Stop
+    end
+    else if Vtbl.mem st.visited key then st.dedup_hits <- st.dedup_hits + 1
+    else if st.states >= st.max_states then begin
+      st.limited <- true;
+      raise Stop
+    end
+    else begin
+      Vtbl.add st.visited key ();
+      st.states <- st.states + 1;
+      st.on_visit config (lazy (List.rev rev_trace));
+      match Config.running config with
+      | [] ->
+        st.terminals <- st.terminals + 1;
+        if Config.any_hung config then
+          st.hung_terminals <- st.hung_terminals + 1;
+        if Config.any_crashed config then
+          st.crashed_terminals <- st.crashed_terminals + 1;
+        st.on_terminal config (List.rev rev_trace)
+      | runnable ->
+        Vtbl.add st.onstack key ();
+        List.iter
+          (fun i ->
+            List.iter
+              (fun (config', event) ->
+                st.transitions <- st.transitions + 1;
+                dfs st config' (Trace.Sched event :: rev_trace) (depth + 1))
+              (Step.step config i))
+          runnable;
+        if Config.n_crashed config < st.max_crashes then
           List.iter
-            (fun (config', event) ->
+            (fun (config', victim) ->
               st.transitions <- st.transitions + 1;
-              dfs st config' (event :: rev_trace) (depth + 1))
-            (Step.step config i))
-        runnable;
-      Vtbl.remove st.onstack key
-  end
+              dfs st config' (Trace.Crash victim :: rev_trace) (depth + 1))
+            (Step.crash_successors config);
+        Vtbl.remove st.onstack key
+    end
 
 let make_state ?(max_states = 5_000_000) ?(max_depth = 10_000)
-    ?(stop_on_cycle = false) on_terminal =
+    ?(max_crashes = 0) ?(stop_on_cycle = false)
+    ?(on_visit = fun _ _ -> ()) on_terminal =
   {
     visited = Vtbl.create 4096;
     onstack = Vtbl.create 256;
@@ -107,23 +126,33 @@ let make_state ?(max_states = 5_000_000) ?(max_depth = 10_000)
     transitions = 0;
     terminals = 0;
     hung_terminals = 0;
+    crashed_terminals = 0;
     max_depth = 0;
     dedup_hits = 0;
     cycles = 0;
     limited = false;
     max_states;
     depth_limit = max_depth;
+    max_crashes;
     cycle_witness = None;
     on_terminal;
+    on_visit;
     stop_on_cycle;
   }
 
-let iter_terminals ?max_states ?max_depth config ~f =
-  let st = make_state ?max_states ?max_depth f in
+let iter_terminals ?max_states ?max_depth ?max_crashes config ~f =
+  let st = make_state ?max_states ?max_depth ?max_crashes f in
   (try dfs st config [] 0 with Stop -> ());
   stats_of st
 
-let find_terminal ?max_states ?max_depth config ~violates =
+let iter_reachable ?max_states ?max_depth ?max_crashes config ~f =
+  let st =
+    make_state ?max_states ?max_depth ?max_crashes ~on_visit:f (fun _ _ -> ())
+  in
+  (try dfs st config [] 0 with Stop -> ());
+  stats_of st
+
+let find_terminal ?max_states ?max_depth ?max_crashes config ~violates =
   let found = ref None in
   let on_terminal c trace =
     if violates c then begin
@@ -131,20 +160,22 @@ let find_terminal ?max_states ?max_depth config ~violates =
       raise Stop
     end
   in
-  let st = make_state ?max_states ?max_depth on_terminal in
+  let st = make_state ?max_states ?max_depth ?max_crashes on_terminal in
   (try dfs st config [] 0 with Stop -> ());
   (!found, stats_of st)
 
-let check_terminals ?max_states ?max_depth config ~ok =
+let check_terminals ?max_states ?max_depth ?max_crashes config ~ok =
   match
-    find_terminal ?max_states ?max_depth config ~violates:(fun c -> not (ok c))
+    find_terminal ?max_states ?max_depth ?max_crashes config
+      ~violates:(fun c -> not (ok c))
   with
   | None, stats -> Ok stats
   | Some (c, trace), stats -> Error (c, trace, stats)
 
-let find_cycle ?max_states ?max_depth config =
+let find_cycle ?max_states ?max_depth ?max_crashes config =
   let st =
-    make_state ?max_states ?max_depth ~stop_on_cycle:true (fun _ _ -> ())
+    make_state ?max_states ?max_depth ?max_crashes ~stop_on_cycle:true
+      (fun _ _ -> ())
   in
   (try dfs st config [] 0 with Stop -> ());
   (st.cycle_witness, stats_of st)

@@ -6,6 +6,13 @@
     is sound because programs are deterministic functions of their response
     histories.
 
+    Crash faults are part of the transition relation: with [~max_crashes:f]
+    the search also branches on crashing any running process, as long as
+    fewer than [f] processes have crashed so far — so a property checked
+    with budget [f] holds under {e every} interleaving {e and} every crash
+    pattern of at most [f] crashes.  (The budget needs no extra memoization
+    state: crashed processes are part of the configuration key.)
+
     For the bounded one-shot algorithms of the paper the state space is
     finite and exploration is complete: a property checked here is a proof
     for that instance size. *)
@@ -15,12 +22,14 @@ type stats = {
   transitions : int;
   terminals : int;  (** distinct terminal configurations *)
   hung_terminals : int;  (** terminals in which some process hung *)
+  crashed_terminals : int;  (** terminals in which some process crashed *)
   max_depth : int;
   dedup_hits : int;  (** transitions into an already-visited configuration *)
   cycles : int;  (** back-edges into the current DFS stack: each witnesses
                      an infinite schedule (non-termination potential) *)
   limited : bool;
-      (** true iff [max_states] or the depth bound was exhausted *)
+      (** true iff [max_states] was exhausted or some branch was pruned at
+          the depth bound — the search is then {e not} a proof *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit
@@ -30,8 +39,21 @@ val pp_stats : Format.formatter -> stats -> unit
 val iter_terminals :
   ?max_states:int ->
   ?max_depth:int ->
+  ?max_crashes:int ->
   Config.t ->
   f:(Config.t -> Trace.t -> unit) ->
+  stats
+
+(** [iter_reachable config ~f] visits {e every} reachable configuration
+    (not just terminals) once, passing a lazy witness trace — forcing it is
+    linear in the depth, so callers that only need the trace on failure pay
+    nothing on the common path. *)
+val iter_reachable :
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?max_crashes:int ->
+  Config.t ->
+  f:(Config.t -> Trace.t Lazy.t -> unit) ->
   stats
 
 (** [find_terminal config ~violates] returns the first reachable terminal
@@ -39,6 +61,7 @@ val iter_terminals :
 val find_terminal :
   ?max_states:int ->
   ?max_depth:int ->
+  ?max_crashes:int ->
   Config.t ->
   violates:(Config.t -> bool) ->
   (Config.t * Trace.t) option * stats
@@ -48,6 +71,7 @@ val find_terminal :
 val check_terminals :
   ?max_states:int ->
   ?max_depth:int ->
+  ?max_crashes:int ->
   Config.t ->
   ok:(Config.t -> bool) ->
   (stats, Config.t * Trace.t * stats) result
@@ -56,4 +80,8 @@ val check_terminals :
     reachable from itself.  Returns the lasso trace (stem to the repeated
     configuration).  Wait-free algorithms must return [None]. *)
 val find_cycle :
-  ?max_states:int -> ?max_depth:int -> Config.t -> Trace.t option * stats
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?max_crashes:int ->
+  Config.t ->
+  Trace.t option * stats

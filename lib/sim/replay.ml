@@ -13,11 +13,18 @@ let step_matching config (event : Step.event) =
     | Some (config', _) -> Ok config'
     | None -> Error "no successor matches the recorded event")
 
+let apply config = function
+  | Trace.Sched event -> step_matching config event
+  | Trace.Crash i -> (
+    match Config.crash config i with
+    | config' -> Ok config'
+    | exception Invalid_argument reason -> Error reason)
+
 let replay config trace =
   let rec go config acc at = function
     | [] -> Ok (List.rev acc)
     | event :: rest -> (
-      match step_matching config event with
+      match apply config event with
       | Ok config' -> go config' (config' :: acc) (at + 1) rest
       | Error reason -> Error { at; reason })
   in
@@ -37,7 +44,7 @@ let pp_annotated ppf (config, trace) =
     Format.fprintf ppf "@[<v>";
     List.iteri
       (fun i (event, config') ->
-        Format.fprintf ppf "%3d. %a@,%a" i Step.pp_event event Store.pp
+        Format.fprintf ppf "%3d. %a@,%a" i Trace.pp_event event Store.pp
           config'.Config.store)
       (List.combine trace configs);
     Format.fprintf ppf "@]"

@@ -4,12 +4,15 @@ type strategy =
   | Fixed of int list
   | Priority of int list
   | Only of int list
+  | Crash_at of { crashes : (int * int) list; seed : int option }
+  | Crash_random of { seed : int; max_crashes : int }
 
 type result = {
   final : Config.t;
   trace : Trace.t;
   steps : int;
   completed : bool;
+  starved : int list;
 }
 
 type scheduler = {
@@ -25,6 +28,15 @@ let scheduler_of_strategy = function
   | Random seed as s ->
     { pending = []; last = -1; rng = Some (Random.State.make [| seed |]); kind = s }
   | Fixed sched as s -> { pending = sched; last = -1; rng = None; kind = s }
+  | Crash_at { seed; _ } as s ->
+    {
+      pending = [];
+      last = -1;
+      rng = Option.map (fun seed -> Random.State.make [| seed |]) seed;
+      kind = s;
+    }
+  | Crash_random { seed; _ } as s ->
+    { pending = []; last = -1; rng = Some (Random.State.make [| seed |]); kind = s }
 
 let round_robin_next sched runnable =
   let after = List.filter (fun i -> i > sched.last) runnable in
@@ -32,12 +44,17 @@ let round_robin_next sched runnable =
   sched.last <- next;
   next
 
+let random_next rng runnable =
+  List.nth runnable (Random.State.int rng (List.length runnable))
+
 let next_proc sched runnable =
   match sched.kind with
   | Round_robin -> round_robin_next sched runnable
-  | Random _ ->
-    let rng = Option.get sched.rng in
-    List.nth runnable (Random.State.int rng (List.length runnable))
+  | Random _ | Crash_random _ -> random_next (Option.get sched.rng) runnable
+  | Crash_at _ -> (
+    match sched.rng with
+    | Some rng -> random_next rng runnable
+    | None -> round_robin_next sched runnable)
   | Fixed _ ->
     let rec pop () =
       match sched.pending with
@@ -64,22 +81,67 @@ let pick_successor sched successors =
 
 let run ?(max_steps = 1_000_000) strategy config =
   let sched = scheduler_of_strategy strategy in
+  (* Crash plan for [Crash_at]: (step, proc) pairs, applied in step order. *)
+  let plan =
+    ref
+      (match strategy with
+      | Crash_at { crashes; _ } -> List.sort compare crashes
+      | _ -> [])
+  in
+  (* Crash every running process the adversary has scheduled to die before
+     the current step; crash events enter the trace. *)
+  let inject_crashes config rev_trace steps =
+    match strategy with
+    | Crash_at _ ->
+      let due, later = List.partition (fun (s, _) -> s <= steps) !plan in
+      plan := later;
+      List.fold_left
+        (fun (c, rt) (_, p) ->
+          if p >= 0 && p < Config.n_procs c && not (Config.is_terminal c)
+             && List.mem p (Config.running c)
+          then (Config.crash c p, Trace.Crash p :: rt)
+          else (c, rt))
+        (config, rev_trace) due
+    | Crash_random { max_crashes; _ } ->
+      let rng = Option.get sched.rng in
+      let running = Config.running config in
+      if
+        running <> []
+        && Config.n_crashed config < max_crashes
+        && Random.State.int rng 4 = 0
+      then
+        let victim = random_next rng running in
+        (Config.crash config victim, Trace.Crash victim :: rev_trace)
+      else (config, rev_trace)
+    | _ -> (config, rev_trace)
+  in
   let rec loop config rev_trace steps =
     if steps >= max_steps then
-      { final = config; trace = List.rev rev_trace; steps; completed = false }
+      {
+        final = config;
+        trace = List.rev rev_trace;
+        steps;
+        completed = false;
+        starved = [];
+      }
     else
+      let config, rev_trace = inject_crashes config rev_trace steps in
+      let all = Config.running config in
       match
-        (let all = Config.running config in
-         match strategy with
-         | Only survivors -> List.filter (fun i -> List.mem i survivors) all
-         | _ -> all)
+        (match strategy with
+        | Only survivors -> List.filter (fun i -> List.mem i survivors) all
+        | _ -> all)
       with
       | [] ->
+        (* With [Only], runnable non-survivors are starved, not finished:
+           the caller must be able to tell "terminated" from "everyone left
+           is filtered out". *)
         {
           final = config;
           trace = List.rev rev_trace;
           steps;
           completed = Config.is_terminal config;
+          starved = all;
         }
       | runnable ->
         let i =
@@ -88,7 +150,7 @@ let run ?(max_steps = 1_000_000) strategy config =
           | _ -> next_proc sched runnable
         in
         let config, event = pick_successor sched (Step.step config i) in
-        loop config (event :: rev_trace) (steps + 1)
+        loop config (Trace.Sched event :: rev_trace) (steps + 1)
   in
   loop config [] 0
 

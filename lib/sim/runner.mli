@@ -3,7 +3,13 @@
     The scheduler is the paper's adversary.  [Random] draws both the next
     process and the resolution of object nondeterminism from a seeded PRNG,
     so runs are reproducible.  [Round_robin] and [Fixed] resolve object
-    nondeterminism by taking the first successor. *)
+    nondeterminism by taking the first successor.
+
+    The crash adversaries make crashes events of the trace: [Crash_at]
+    crashes chosen processes at chosen steps (deterministic fault
+    injection), [Crash_random] crashes up to a budget of random victims at
+    random points (seeded, hence reproducible).  A crashed process never
+    takes another step; the run continues with the survivors. *)
 
 type strategy =
   | Round_robin
@@ -15,15 +21,32 @@ type strategy =
       (** always steps the first runnable process in the given order — the
           "solo run" adversary when the list is a single process first *)
   | Only of int list
-      (** crash everyone else: schedule only the listed processes
-          (round-robin) and stop when none of them can run; [completed] is
-          false unless the configuration is fully terminal *)
+      (** starve everyone else: schedule only the listed processes
+          (round-robin) and stop when none of them can run; if the
+          configuration is not fully terminal at that point, the runnable
+          non-survivors are reported in [starved] and [completed] is
+          false *)
+  | Crash_at of { crashes : (int * int) list; seed : int option }
+      (** crash-at-step adversary: each [(s, p)] crashes process [p] just
+          before the [s]-th scheduled step (if it is still running).
+          Scheduling is round-robin, or seeded-random when [seed] is
+          given. *)
+  | Crash_random of { seed : int; max_crashes : int }
+      (** crash-at-random adversary: seeded-random scheduling; before each
+          step, with probability 1/4, crashes a random running process as
+          long as fewer than [max_crashes] processes have crashed *)
 
 type result = {
   final : Config.t;
-  trace : Trace.t;
-  steps : int;
-  completed : bool;  (** false iff [max_steps] was hit first *)
+  trace : Trace.t;  (** includes [Trace.Crash] events for crash adversaries *)
+  steps : int;  (** scheduled steps (crashes are not counted) *)
+  completed : bool;
+      (** true iff the final configuration is terminal: false when
+          [max_steps] was hit first, or when [Only] starved runnable
+          processes *)
+  starved : int list;
+      (** processes that were still runnable when an [Only] run stopped —
+          empty for every other strategy and for completed runs *)
 }
 
 val run : ?max_steps:int -> strategy -> Config.t -> result

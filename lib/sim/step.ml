@@ -18,7 +18,7 @@ let pp_event ppf e =
 let step (c : Config.t) i =
   let proc = c.procs.(i) in
   match proc.Config.status with
-  | Config.Terminated _ | Config.Hung ->
+  | Config.Terminated _ | Config.Hung | Config.Crashed ->
     invalid_arg (Printf.sprintf "Step.step: process %d cannot step" i)
   | Config.Running (Program.Return _ | Program.Checkpoint _) ->
     (* Normalized away by [Config.advance]; unreachable. *)
@@ -48,3 +48,8 @@ let step (c : Config.t) i =
           let procs = with_proc status history in
           ({ Config.store = store'; procs }, event (Some resp)))
         successors)
+
+(* Crash transitions: instead of stepping, any running process can crash.
+   One successor per running process, paired with the victim's index. *)
+let crash_successors (c : Config.t) =
+  List.map (fun i -> (Config.crash c i, i)) (Config.running c)

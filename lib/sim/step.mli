@@ -19,3 +19,9 @@ val pp_event : Format.formatter -> event -> unit
 (** [step config i] is every successor of letting process [i] take one step.
     @raise Invalid_argument if process [i] cannot step. *)
 val step : Config.t -> int -> (Config.t * event) list
+
+(** [crash_successors config] is every successor obtained by crashing one
+    running process, paired with the victim's index.  The crash is a
+    transition of the operational semantics: the model checker uses it to
+    quantify over crash patterns (bounded by its crash budget). *)
+val crash_successors : Config.t -> (Config.t * int) list

@@ -1,28 +1,46 @@
-type t = Step.event list
+type event = Sched of Step.event | Crash of int
+type t = event list
 
 let empty = []
 let length = List.length
+let sched e = Sched e
+let crash_of i = Crash i
+let actor = function Sched e -> e.Step.proc | Crash i -> i
 
-let events_of t i = List.filter (fun e -> e.Step.proc = i) t
+let ops t = List.filter_map (function Sched e -> Some e | Crash _ -> None) t
+let crashes t = List.filter_map (function Crash i -> Some i | Sched _ -> None) t
+
+let events_of t i =
+  List.filter (fun (e : Step.event) -> e.Step.proc = i) (ops t)
 
 let indexed t = List.mapi (fun idx e -> (idx, e)) t
 
 let first_step t i =
   List.find_map
-    (fun (idx, e) -> if e.Step.proc = i then Some idx else None)
+    (fun (idx, ev) ->
+      match ev with
+      | Sched e when e.Step.proc = i -> Some idx
+      | Sched _ | Crash _ -> None)
     (indexed t)
 
 let last_step t i =
   List.fold_left
-    (fun acc (idx, e) -> if e.Step.proc = i then Some idx else acc)
+    (fun acc (idx, ev) ->
+      match ev with
+      | Sched e when e.Step.proc = i -> Some idx
+      | Sched _ | Crash _ -> acc)
     None (indexed t)
 
-let schedule t = List.map (fun e -> e.Step.proc) t
+let schedule t = List.map (fun (e : Step.event) -> e.Step.proc) (ops t)
+
+let pp_event ppf = function
+  | Sched e -> Step.pp_event ppf e
+  | Crash i -> Format.fprintf ppf "P%d: CRASH" i
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
   List.iteri
-    (fun idx e -> Format.fprintf ppf "%3d. %a@," idx Step.pp_event e)
+    (fun idx e -> Format.fprintf ppf "%3d. %a@," idx pp_event e)
     t;
   Format.fprintf ppf "@]"
 
@@ -48,17 +66,23 @@ let pp_diagram ~n_procs ppf t =
   Format.fprintf ppf "%s@."
     (String.concat "-+-" (List.init n_procs (fun _ -> String.make width '-')));
   List.iter
-    (fun (e : Step.event) ->
-      let cell =
-        match e.Step.resp with
-        | Some r ->
-          Printf.sprintf "%s->%s" (Op.to_string e.Step.op) (Value.to_string r)
-        | None -> Printf.sprintf "%s->HANG" (Op.to_string e.Step.op)
+    (fun ev ->
+      let proc, cell =
+        match ev with
+        | Sched e ->
+          let cell =
+            match e.Step.resp with
+            | Some r ->
+              Printf.sprintf "%s->%s" (Op.to_string e.Step.op)
+                (Value.to_string r)
+            | None -> Printf.sprintf "%s->HANG" (Op.to_string e.Step.op)
+          in
+          (e.Step.proc, cell)
+        | Crash i -> (i, "CRASH ††")
       in
       let row =
         String.concat " | "
-          (List.init n_procs (fun i ->
-               pad (if i = e.Step.proc then cell else "")))
+          (List.init n_procs (fun i -> pad (if i = proc then cell else "")))
       in
       Format.fprintf ppf "%s@." row)
     t

@@ -91,6 +91,160 @@ let alg5_crash_linearizability () =
   Alcotest.(check bool) "some runs had incomplete operations" true
     (!incomplete_seen > 0)
 
+(* --- exhaustive crash sweeps (the model checker quantifies over crash
+   patterns as well as interleavings) ------------------------------------ *)
+
+let alg2_harness ~k =
+  let store, t = Subc_core.Alg2.alloc Store.empty ~k ~one_shot:true in
+  let inputs = inputs k in
+  let programs = List.mapi (fun i v -> Subc_core.Alg2.propose t ~i v) inputs in
+  (store, programs, inputs)
+
+(* Acceptance criterion: Alg 2 k=3 verified exhaustively under every crash
+   pattern with at most 2 crashes. *)
+let alg2_exhaustive_crash_sweep () =
+  let store, programs, inputs = alg2_harness ~k:3 in
+  let task = Task.set_consensus 2 in
+  List.iter
+    (fun (f, expect_states) ->
+      let config = Config.make store programs in
+      match
+        Explore.check_terminals ~max_crashes:f config ~ok:(fun c ->
+            Task.satisfies task ~inputs c)
+      with
+      | Ok stats ->
+        Alcotest.(check bool)
+          (Printf.sprintf "f=%d not truncated" f)
+          false stats.Explore.limited;
+        Alcotest.(check int)
+          (Printf.sprintf "f=%d states" f)
+          expect_states stats.Explore.states;
+        if f > 0 then
+          Alcotest.(check bool)
+            (Printf.sprintf "f=%d reached crashed terminals" f)
+            true
+            (stats.Explore.crashed_terminals > 0)
+      | Error (_, trace, _) ->
+        Alcotest.failf "f=%d: crash pattern breaks safety:@.%a" f Trace.pp
+          trace)
+    [ (0, 16); (1, 31); (2, 37) ]
+
+(* --- determinism of the crash adversaries ----------------------------- *)
+
+let crash_random_deterministic () =
+  let store, programs, _ = alg2_harness ~k:4 in
+  let config = Config.make store programs in
+  List.iter
+    (fun seed ->
+      let run () =
+        Runner.run (Runner.Crash_random { seed; max_crashes = 3 }) config
+      in
+      let a = run () and b = run () in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: identical trace" seed)
+        (Trace.to_string a.Runner.trace)
+        (Trace.to_string b.Runner.trace);
+      Alcotest.(check (list int))
+        (Printf.sprintf "seed %d: identical crash victims" seed)
+        (Trace.crashes a.Runner.trace)
+        (Trace.crashes b.Runner.trace))
+    (seeds 20)
+
+(* A crash-containing trace is a complete certificate: replaying it
+   reproduces the terminal configuration, crashes included. *)
+let crash_trace_replays () =
+  let store, programs, _ = alg2_harness ~k:4 in
+  let config = Config.make store programs in
+  let replayed_crashes = ref 0 in
+  List.iter
+    (fun seed ->
+      let r = Runner.run (Runner.Crash_random { seed; max_crashes = 3 }) config in
+      match Replay.final config r.Runner.trace with
+      | Error { at; reason } ->
+        Alcotest.failf "seed %d: replay failed at %d: %s" seed at reason
+      | Ok final ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: same decisions" seed)
+          true
+          (Config.decisions final = Config.decisions r.Runner.final);
+        Alcotest.(check (list int))
+          (Printf.sprintf "seed %d: same crashed set" seed)
+          (Config.crashed r.Runner.final)
+          (Config.crashed final);
+        if Config.crashed final <> [] then incr replayed_crashes)
+    (seeds 30);
+  Alcotest.(check bool) "some replayed runs contained crashes" true
+    (!replayed_crashes > 0)
+
+let crash_at_deterministic () =
+  let store, programs, _ = alg2_harness ~k:4 in
+  let config = Config.make store programs in
+  let strategy = Runner.Crash_at { crashes = [ (1, 1); (2, 0) ]; seed = Some 5 } in
+  let a = Runner.run strategy config and b = Runner.run strategy config in
+  Alcotest.(check string) "identical trace"
+    (Trace.to_string a.Runner.trace)
+    (Trace.to_string b.Runner.trace);
+  Alcotest.(check (list int)) "both victims died" [ 0; 1 ]
+    (Config.crashed a.Runner.final)
+
+(* --- progress properties ---------------------------------------------- *)
+
+module Progress = Subc_check.Progress
+
+(* Acceptance criterion: wait-freedom certificate for Algorithm 2, even
+   under a crash budget. *)
+let alg2_wait_free_certificate () =
+  let store, programs, _ = alg2_harness ~k:3 in
+  match Progress.wait_free ~max_crashes:2 store ~programs with
+  | Ok cert ->
+    Alcotest.(check int) "solo bound" 1 cert.Progress.solo_bound;
+    Alcotest.(check int) "configs" 37 cert.Progress.configs
+  | Error f -> Alcotest.failf "not wait-free: %a" Progress.pp_failure f
+
+let alg5_wait_free_certificate () =
+  let k = 3 in
+  let store, t = Subc_core.Alg5.alloc Store.empty ~k () in
+  let programs =
+    List.init k (fun i -> Subc_core.Alg5.wrn t ~i (Value.Int (100 + i)))
+  in
+  match Progress.wait_free ~max_crashes:1 store ~programs with
+  | Ok cert ->
+    Alcotest.(check int) "solo bound" 5 cert.Progress.solo_bound
+  | Error f -> Alcotest.failf "not wait-free: %a" Progress.pp_failure f
+
+(* Acceptance criterion: a deliberately lock-free-only construction yields
+   a counterexample schedule, not a certificate. *)
+let spinner_counterexample () =
+  let store, reg = Store.alloc Store.empty Subc_objects.Register.model_bot in
+  let spinner =
+    let open Program.Syntax in
+    let rec spin () =
+      let* () = Program.checkpoint (Value.Sym "spin") in
+      let* v = Subc_objects.Register.read reg in
+      if Value.is_bot v then spin () else Program.return v
+    in
+    spin ()
+  in
+  let writer =
+    let open Program.Syntax in
+    let* () = Subc_objects.Register.write reg (Value.Int 1) in
+    Program.return (Value.Int 1)
+  in
+  match Progress.wait_free store ~programs:[ spinner; writer ] with
+  | Ok _ -> Alcotest.fail "spinner certified wait-free"
+  | Error (Progress.Non_terminating { proc; spin; _ }) ->
+    Alcotest.(check int) "the spinner is the culprit" 0 proc;
+    Alcotest.(check bool) "counterexample has a solo suffix" true
+      (Trace.length spin > 0)
+  | Error f -> Alcotest.failf "unexpected failure: %a" Progress.pp_failure f
+
+let alg2_t_resilient () =
+  let store, programs, _ = alg2_harness ~k:3 in
+  match Progress.t_resilient ~t:2 store ~programs with
+  | Ok stats ->
+    Alcotest.(check bool) "not truncated" false stats.Explore.limited
+  | Error reason -> Alcotest.failf "not 2-resilient: %s" reason
+
 (* The space-time diagram renderer. *)
 let diagram_smoke () =
   let store, t = Subc_core.Alg2.alloc Store.empty ~k:3 ~one_shot:true in
@@ -120,6 +274,26 @@ let suite =
         test "SSE object strong election" sse_object_crash_safety;
         test "Algorithm 5 linearizable with incomplete ops"
           alg5_crash_linearizability;
+      ] );
+    ( "crash.exhaustive",
+      [
+        test "Algorithm 2 (k=3) safe under every pattern, f <= 2"
+          alg2_exhaustive_crash_sweep;
+      ] );
+    ( "crash.determinism",
+      [
+        test "Crash_random: same seed, same trace" crash_random_deterministic;
+        test "Crash_at: deterministic, victims die" crash_at_deterministic;
+        test "crash traces replay to the same terminal config"
+          crash_trace_replays;
+      ] );
+    ( "crash.progress",
+      [
+        test "Algorithm 2 (k=3) wait-free cert, f=2" alg2_wait_free_certificate;
+        test "Algorithm 5 (k=3) wait-free cert, f=1" alg5_wait_free_certificate;
+        test "lock-free spinner: counterexample schedule"
+          spinner_counterexample;
+        test "Algorithm 2 (k=3) 2-resilient" alg2_t_resilient;
       ] );
     ("crash.diagram", [ test "space-time diagram renders" diagram_smoke ]);
   ]

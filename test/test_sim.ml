@@ -133,6 +133,20 @@ let runner_tests =
         let config = Config.make store programs in
         let r = Runner.run ~max_steps:1 Runner.Round_robin config in
         Alcotest.(check bool) "not completed" false r.Runner.completed);
+    test "Only: starved processes are reported" (fun () ->
+        let store, programs = two_writers () in
+        let config = Config.make store programs in
+        let r = Runner.run (Runner.Only [ 0 ]) config in
+        Alcotest.(check bool) "not completed" false r.Runner.completed;
+        Alcotest.(check (list int)) "P1 starved" [ 1 ] r.Runner.starved;
+        Alcotest.check value "P0 still decided" (Value.Int 1)
+          (decision_exn r.Runner.final 0));
+    test "Only with full set starves nobody" (fun () ->
+        let store, programs = two_writers () in
+        let config = Config.make store programs in
+        let r = Runner.run (Runner.Only [ 0; 1 ]) config in
+        Alcotest.(check bool) "completed" true r.Runner.completed;
+        Alcotest.(check (list int)) "nobody starved" [] r.Runner.starved);
     test "trace records intervals per process" (fun () ->
         let store, programs = two_writers () in
         let r = run_fixed store ~programs ~schedule:[ 0; 1; 1; 0 ] in
@@ -243,6 +257,25 @@ let explore_tests =
           Explore.iter_terminals ~max_states:5 config ~f:(fun _ _ -> ())
         in
         Alcotest.(check bool) "limited" true stats.Explore.limited);
+    test "depth limit prunes the branch, not the search" (fun () ->
+        let store, reg = Store.alloc Store.empty Register.model_bot in
+        let writer i =
+          let open Program.Syntax in
+          let* () = Register.write reg (Value.Int i) in
+          let* () = Register.write reg (Value.Int (10 + i)) in
+          Register.read reg
+        in
+        let config = Config.make store (List.init 3 writer) in
+        let max_depth = 2 in
+        let stats =
+          Explore.iter_terminals ~max_depth config ~f:(fun _ _ -> ())
+        in
+        Alcotest.(check bool) "limited" true stats.Explore.limited;
+        (* An abort-on-first-deep-branch search would visit at most
+           max_depth + 1 configurations; branch-local pruning keeps
+           exploring the siblings. *)
+        Alcotest.(check bool) "explored beyond the first deep branch" true
+          (stats.Explore.states > max_depth + 1));
   ]
 
 let replay_tests =
@@ -286,8 +319,10 @@ let replay_tests =
         let r = Runner.run (Runner.Random 5) config in
         let tampered =
           List.map
-            (fun (e : Step.event) ->
-              { e with Step.resp = Some (Value.Int 999) })
+            (function
+              | Trace.Sched e ->
+                Trace.Sched { e with Step.resp = Some (Value.Int 999) }
+              | Trace.Crash _ as ev -> ev)
             r.Runner.trace
         in
         Alcotest.(check bool) "rejected" true
