@@ -1,36 +1,325 @@
 (* Command-line driver: run, model-check and trace the paper's algorithms.
 
+   Every checking subcommand funnels its results through one output
+   contract: a [Subc_check.Verdict.t] printed either as human-readable
+   text or as one JSON object per line (--json), and the shared exit
+   codes 0 proved / 1 refuted / 2 limited (for sweeps, refuted wins over
+   limited).  --metrics streams observability events and a final metrics
+   snapshot; --reduction selects the state-space reductions.
+
    Examples:
-     subconsensus_cli alg2 -k 4 --exhaustive
+     subconsensus_cli check --alg alg2 -k 4
+     subconsensus_cli check --alg alg5 -k 3 --reduction full --json
+     subconsensus_cli explore --alg alg5 -k 3 --reduction full --metrics
+     subconsensus_cli crash-sweep --alg alg2 -k 3 --max-crashes 2
      subconsensus_cli alg2 -k 6 --seeds 500
-     subconsensus_cli alg5 -k 3 --participants 0,1,2
-     subconsensus_cli alg6 -n 12 -k 3 --seeds 200
      subconsensus_cli attempt --style mirror -k 3
      subconsensus_cli trace -k 3 --seed 7 *)
 
 open Cmdliner
 open Subc_sim
 module Task = Subc_tasks.Task
+module Obs = Subc_obs
+module Verdict = Subc_check.Verdict
 
 let inputs_of k = List.init k (fun i -> Value.Int (100 + i))
 
-(* A truncated search must not read as a verified one: exit 2 (and keep the
-   (LIMITED) marker of [pp_stats]) when any budget was exhausted. *)
-let report_exhaustive store programs inputs task =
-  match Subc_check.Task_check.exhaustive store ~programs ~inputs ~task with
-  | Ok stats when stats.Explore.limited ->
-    Format.printf
-      "no violation found, but the search was truncated — NOT a proof@.%a@."
-      Explore.pp_stats stats;
-    2
-  | Ok stats ->
-    Format.printf "all executions satisfy %s@.%a@." task.Task.name
-      Explore.pp_stats stats;
-    0
-  | Error (reason, trace) ->
-    Format.printf "VIOLATION of %s: %s@.%a@." task.Task.name reason Trace.pp
-      trace;
-    1
+(* ------------------------------------------------------------------ *)
+(* Shared output plumbing: sink setup, verdict reporting, exit codes.  *)
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Machine-readable output: one JSON object per verdict (and per \
+           observability event with $(b,--metrics)) on stdout.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Stream observability events (explorations, runs, spans) and \
+           print a metrics snapshot at exit.")
+
+let reduction_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("none", `None); ("sleep", `Sleep); ("sym", `Sym);
+             ("full", `Full) ])
+        `None
+    & info [ "reduction" ] ~docv:"RED"
+        ~doc:
+          "State-space reduction: $(b,none), $(b,sleep) (sleep sets), \
+           $(b,sym) (symmetry quotienting), or $(b,full) (both).  \
+           Algorithms with no symmetry group fall back to dead-state \
+           erasure for $(b,sym)/$(b,full).")
+
+let setup_obs ~json ~metrics =
+  if metrics then
+    Obs.Sink.set (if json then Obs.Sink.jsonl stdout else Obs.Sink.stderr_sink)
+
+let finish_obs ~metrics =
+  if metrics then begin
+    Obs.Metrics.emit_snapshot ();
+    List.iter
+      (fun (label, secs) ->
+        Obs.Sink.emit "span_total"
+          [ ("label", Obs.Sink.Str label); ("seconds", Obs.Sink.Float secs) ])
+      (Obs.Span.totals ());
+    Obs.Sink.flush ()
+  end
+
+let report ~json name v =
+  if json then print_endline (Verdict.to_json ~name v)
+  else Format.printf "@[<v>[%s] %a@]@." name Verdict.pp v
+
+(* The one exit-code contract: 0 proved / 1 refuted / 2 limited; over a
+   sweep, a refutation (conclusive) wins over a truncation. *)
+let finish ~metrics verdicts =
+  finish_obs ~metrics;
+  Verdict.combined_exit verdicts
+
+(* ------------------------------------------------------------------ *)
+(* Checkable instances: one constructor per algorithm family, shared by
+   the check, explore and crash-sweep subcommands.                      *)
+
+type checkable =
+  | Task_instance of {
+      store : Store.t;
+      programs : Value.t Program.t list;
+      inputs : Value.t list;
+      task : Task.t;
+      symmetry : Symmetry.t option;
+    }
+  | Lin_instance of {
+      store : Store.t;
+      programs : Value.t Program.t list;
+      ops : int -> Op.t;
+      spec : Obj_model.t;
+      symmetry : Symmetry.t option;
+    }
+
+(* Under a positive crash budget, [all_decided] is dropped: crashed
+   processes legitimately never decide. *)
+let task_for bound ~crashes =
+  if crashes > 0 then Task.set_consensus bound
+  else Task.conj (Task.set_consensus bound) Task.all_decided
+
+let alg2_instance ~k ~crashes =
+  let store, t = Subc_core.Alg2.alloc Store.empty ~k ~one_shot:true in
+  let inputs = inputs_of k in
+  let programs = List.mapi (fun i v -> Subc_core.Alg2.propose t ~i v) inputs in
+  Task_instance
+    {
+      store;
+      programs;
+      inputs;
+      task = task_for (k - 1) ~crashes;
+      symmetry = Some (Subc_core.Alg2.symmetry t ~input_base:100 ());
+    }
+
+let alg3_instance ~k ~crashes =
+  let ids = List.init k (fun i -> (i * 37) mod 1000) in
+  let store, t =
+    Subc_core.Alg3.alloc Store.empty ~k ~flavor:Subc_core.Alg3.Relaxed_wrn
+      ~renamer:Subc_core.Alg3.Rename_snapshot ()
+  in
+  let inputs = List.map (fun id -> Value.Int (1000 + id)) ids in
+  let programs =
+    List.mapi
+      (fun slot id -> Subc_core.Alg3.propose t ~slot ~id (Value.Int (1000 + id)))
+      ids
+  in
+  (* Identifier-asymmetric: no valid renaming group. *)
+  Task_instance
+    { store; programs; inputs; task = task_for (k - 1) ~crashes; symmetry = None }
+
+let alg5_instance ~k =
+  let store, t = Subc_core.Alg5.alloc Store.empty ~k () in
+  let programs =
+    List.init k (fun i -> Subc_core.Alg5.wrn t ~i (Value.Int (100 + i)))
+  in
+  let ops i = Op.make "wrn" [ Value.Int i; Value.Int (100 + i) ] in
+  let spec = Subc_objects.One_shot_wrn.model ~k in
+  Lin_instance
+    {
+      store;
+      programs;
+      ops;
+      spec;
+      symmetry = Some (Subc_core.Alg5.symmetry t ~input_base:100 ());
+    }
+
+let alg6_instance ~n ~k ~crashes =
+  let store, t = Subc_core.Alg6.alloc Store.empty ~n ~k ~one_shot:true in
+  let inputs = inputs_of n in
+  let programs = List.mapi (fun i v -> Subc_core.Alg6.propose t ~i v) inputs in
+  let m = Subc_core.Alg6.agreement_bound ~n ~k in
+  (* Per-group WRN objects have length-k vectors: the length-n positional
+     data action does not apply, so no symmetry group is exported. *)
+  Task_instance
+    { store; programs; inputs; task = task_for m ~crashes; symmetry = None }
+
+let instance_of alg ~n ~k ~crashes =
+  match alg with
+  | "alg2" -> alg2_instance ~k ~crashes
+  | "alg3" -> alg3_instance ~k ~crashes
+  | "alg5" -> alg5_instance ~k
+  | "alg6" -> alg6_instance ~n:(if n = 0 then 2 * k else n) ~k ~crashes
+  | s -> Fmt.failwith "unknown algorithm %S" s
+
+let instance_symmetry = function
+  | Task_instance { symmetry; _ } | Lin_instance { symmetry; _ } -> symmetry
+
+let instance_store_programs = function
+  | Task_instance { store; programs; _ } | Lin_instance { store; programs; _ }
+    ->
+    (store, programs)
+
+(* Resolve the --reduction choice against the instance's symmetry spec.
+   Algorithms with no valid renaming group still get the always-sound
+   dead-state erasure for sym/full. *)
+let reduction_of choice inst =
+  let sym () =
+    match instance_symmetry inst with
+    | Some s -> s
+    | None ->
+      Symmetry.erasure_only ~n:(List.length (snd (instance_store_programs inst)))
+  in
+  match choice with
+  | `None -> None
+  | `Sleep -> Some { Explore.symmetry = None; sleep_sets = true }
+  | `Sym -> Some (Explore.with_symmetry (sym ()))
+  | `Full -> Some (Explore.full_reduction (sym ()))
+
+let check_instance ?max_states ?max_crashes ?reduction inst =
+  match inst with
+  | Task_instance { store; programs; inputs; task; _ } ->
+    Subc_check.Task_check.check ?max_states ?max_crashes ?reduction store
+      ~programs ~inputs ~task
+  | Lin_instance { store; programs; ops; spec; _ } ->
+    Subc_check.Linearizability.check_harness ?max_states ?max_crashes
+      ?reduction store ~programs ~ops ~spec
+
+(* Shared flags. *)
+let k_arg = Arg.(value & opt int 3 & info [ "k" ] ~doc:"WRN arity $(docv).")
+let exhaustive_arg =
+  Arg.(value & flag & info [ "exhaustive" ] ~doc:"Model-check all schedules.")
+let seeds_arg =
+  Arg.(value & opt int 200 & info [ "seeds" ] ~doc:"Number of random runs.")
+let alg_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("alg2", "alg2"); ("alg3", "alg3"); ("alg5", "alg5");
+             ("alg6", "alg6") ])
+        "alg2"
+    & info [ "alg" ] ~docv:"ALG" ~doc:"Algorithm: $(docv).")
+let crashes_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "max-crashes" ] ~docv:"F" ~doc:"Crash budget $(docv).")
+let max_states_arg =
+  Arg.(
+    value & opt int 5_000_000
+    & info [ "max-states" ] ~doc:"State budget per exploration.")
+
+(* ------------------------------------------------------------------ *)
+(* check: one verdict per invocation, under the shared contract.       *)
+
+let check_cmd =
+  let run alg n k f max_states choice json metrics =
+    setup_obs ~json ~metrics;
+    let inst = instance_of alg ~n ~k ~crashes:f in
+    let reduction = reduction_of choice inst in
+    let v = check_instance ~max_states ~max_crashes:f ?reduction inst in
+    report ~json alg v;
+    finish ~metrics [ v ]
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "n" ] ~doc:"Process count (alg6; 0 means 2k).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Model-check an algorithm's defining property (task conformance \
+          for alg2/alg3/alg6, linearizability against 1sWRN for alg5) and \
+          report a verdict.  Exits 0 proved / 1 refuted / 2 limited.")
+    Term.(
+      const run $ alg_arg $ n_arg $ k_arg $ crashes_arg $ max_states_arg
+      $ reduction_arg $ json_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explore: raw state-space statistics, with or without reductions.    *)
+
+let stats_fields reduction (stats : Explore.stats) =
+  [
+    ("reduction", Obs.Sink.Str (Format.asprintf "%a" Explore.pp_reduction
+                                  (Option.value reduction ~default:Explore.no_reduction)));
+    ("states", Obs.Sink.Int stats.Explore.states);
+    ("transitions", Obs.Sink.Int stats.Explore.transitions);
+    ("terminals", Obs.Sink.Int stats.Explore.terminals);
+    ("dedup_hits", Obs.Sink.Int stats.Explore.dedup_hits);
+    ("sleep_skips", Obs.Sink.Int stats.Explore.sleep_skips);
+    ("max_depth", Obs.Sink.Int stats.Explore.max_depth);
+    ("limited", Obs.Sink.Bool stats.Explore.limited);
+    ("limit_reason",
+     Obs.Sink.Str
+       (Format.asprintf "%a" Explore.pp_limit_reason stats.Explore.limit_reason));
+  ]
+
+let explore_cmd =
+  let run alg n k f max_states choice json metrics =
+    setup_obs ~json ~metrics;
+    let inst = instance_of alg ~n ~k ~crashes:f in
+    let store, programs = instance_store_programs inst in
+    let reduction = reduction_of choice inst in
+    let config = Config.make store programs in
+    let stats =
+      Obs.Span.time "cli.explore" @@ fun () ->
+      Explore.iter_terminals ~max_states ~max_crashes:f ?reduction config
+        ~f:(fun _ _ -> ())
+    in
+    if json then
+      print_endline
+        (Obs.Sink.json_of_event
+           {
+             Obs.Sink.name = "explore";
+             fields = ("alg", Obs.Sink.Str alg) :: stats_fields reduction stats;
+           })
+    else
+      Format.printf "[%s] %a@.%a@." alg
+        Explore.pp_reduction
+        (Option.value reduction ~default:Explore.no_reduction)
+        Explore.pp_stats stats;
+    finish_obs ~metrics;
+    if stats.Explore.limited then 2 else 0
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "n" ] ~doc:"Process count (alg6; 0 means 2k).")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Explore an algorithm's state space and print exploration \
+          statistics (states, transitions, reduction effect, limit \
+          reason).  Exits 0, or 2 when the search was truncated.")
+    Term.(
+      const run $ alg_arg $ n_arg $ k_arg $ crashes_arg $ max_states_arg
+      $ reduction_arg $ json_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Per-algorithm commands (sampled runs keep their own reporting; the
+   exhaustive path uses the shared verdict contract).                  *)
 
 let report_sampled store programs inputs task n_seeds =
   let seeds = List.init n_seeds (fun i -> i + 1) in
@@ -42,133 +331,86 @@ let report_sampled store programs inputs task n_seeds =
   | None -> ());
   if s.Subc_check.Task_check.violations = 0 then 0 else 1
 
-(* Shared flags. *)
-let k_arg = Arg.(value & opt int 3 & info [ "k" ] ~doc:"WRN arity $(docv).")
-let exhaustive_arg =
-  Arg.(value & flag & info [ "exhaustive" ] ~doc:"Model-check all schedules.")
-let seeds_arg =
-  Arg.(value & opt int 200 & info [ "seeds" ] ~doc:"Number of random runs.")
+let run_task_alg name inst exhaustive n_seeds choice json metrics =
+  setup_obs ~json ~metrics;
+  match inst with
+  | Task_instance { store; programs; inputs; task; _ } ->
+    if exhaustive then begin
+      let reduction = reduction_of choice inst in
+      let v =
+        Subc_check.Task_check.check ?reduction store ~programs ~inputs ~task
+      in
+      report ~json name v;
+      finish ~metrics [ v ]
+    end
+    else report_sampled store programs inputs task n_seeds
+  | Lin_instance _ -> assert false
 
 let alg2_cmd =
-  let run k exhaustive n_seeds =
-    let store, t = Subc_core.Alg2.alloc Store.empty ~k ~one_shot:true in
-    let inputs = inputs_of k in
-    let programs = List.mapi (fun i v -> Subc_core.Alg2.propose t ~i v) inputs in
-    let task = Task.conj (Task.set_consensus (k - 1)) Task.all_decided in
-    if exhaustive then report_exhaustive store programs inputs task
-    else report_sampled store programs inputs task n_seeds
+  let run k exhaustive n_seeds choice json metrics =
+    run_task_alg "alg2" (alg2_instance ~k ~crashes:0) exhaustive n_seeds
+      choice json metrics
   in
   Cmd.v
     (Cmd.info "alg2" ~doc:"(k-1)-set consensus from one WRN_k (Algorithm 2).")
-    Term.(const run $ k_arg $ exhaustive_arg $ seeds_arg)
+    Term.(
+      const run $ k_arg $ exhaustive_arg $ seeds_arg $ reduction_arg
+      $ json_arg $ metrics_arg)
 
 let alg3_cmd =
-  let run k exhaustive n_seeds ids =
-    let ids =
-      match ids with
-      | [] -> List.init k (fun i -> (i * 37) mod 1000)
-      | ids -> ids
-    in
-    let store, t =
-      Subc_core.Alg3.alloc Store.empty ~k ~flavor:Subc_core.Alg3.Relaxed_wrn
-        ~renamer:Subc_core.Alg3.Rename_snapshot ()
-    in
-    let inputs = List.map (fun id -> Value.Int (1000 + id)) ids in
-    let programs =
-      List.mapi
-        (fun slot id ->
-          Subc_core.Alg3.propose t ~slot ~id (Value.Int (1000 + id)))
-        ids
-    in
-    let task = Task.conj (Task.set_consensus (k - 1)) Task.all_decided in
-    Format.printf "sweep of %d relaxed WRN_%d instances@."
-      (Subc_core.Alg3.instances t) k;
-    if exhaustive then report_exhaustive store programs inputs task
-    else report_sampled store programs inputs task n_seeds
-  in
-  let ids_arg =
-    Arg.(
-      value
-      & opt (list int) []
-      & info [ "ids" ] ~doc:"Comma-separated participant identifiers.")
+  let run k exhaustive n_seeds choice json metrics =
+    run_task_alg "alg3" (alg3_instance ~k ~crashes:0) exhaustive n_seeds
+      choice json metrics
   in
   Cmd.v
     (Cmd.info "alg3"
        ~doc:"(k-1)-set consensus for k participants out of many (Algorithm 3).")
-    Term.(const run $ k_arg $ exhaustive_arg $ seeds_arg $ ids_arg)
+    Term.(
+      const run $ k_arg $ exhaustive_arg $ seeds_arg $ reduction_arg
+      $ json_arg $ metrics_arg)
 
 let alg5_cmd =
-  let run k participants =
-    let participants =
-      match participants with [] -> List.init k Fun.id | ps -> ps
-    in
-    let store, t = Subc_core.Alg5.alloc Store.empty ~k () in
-    let programs =
-      List.map (fun i -> Subc_core.Alg5.wrn t ~i (Value.Int (100 + i))) participants
-    in
-    let ops i =
-      let idx = List.nth participants i in
-      Op.make "wrn" [ Value.Int idx; Value.Int (100 + idx) ]
-    in
-    let spec = Subc_objects.One_shot_wrn.model ~k in
-    let config = Config.make store programs in
-    let bad = ref 0 and terminals = ref 0 in
-    let stats =
-      Explore.iter_terminals config ~f:(fun final trace ->
-          incr terminals;
-          let history = Subc_check.Linearizability.history ~ops final trace in
-          if Subc_check.Linearizability.check ~spec history = None then begin
-            incr bad;
-            Format.printf "NON-LINEARIZABLE:@.%a@."
-              Subc_check.Linearizability.pp_history history
-          end)
-    in
-    Format.printf
-      "explored %d states, %d terminals, %d non-linearizable histories%s@."
-      stats.Explore.states !terminals !bad
-      (if stats.Explore.limited then " (LIMITED)" else "");
-    if !bad > 0 then 1 else if stats.Explore.limited then 2 else 0
-  in
-  let participants_arg =
-    Arg.(
-      value
-      & opt (list int) []
-      & info [ "participants" ] ~doc:"Indices that invoke the 1sWRN.")
+  let run k choice json metrics =
+    setup_obs ~json ~metrics;
+    let inst = alg5_instance ~k in
+    let reduction = reduction_of choice inst in
+    let v = check_instance ?reduction inst in
+    report ~json "alg5" v;
+    finish ~metrics [ v ]
   in
   Cmd.v
     (Cmd.info "alg5"
        ~doc:
          "Model-check the linearizability of 1sWRN_k from strong set \
           election (Algorithm 5).")
-    Term.(const run $ k_arg $ participants_arg)
+    Term.(const run $ k_arg $ reduction_arg $ json_arg $ metrics_arg)
 
 let alg6_cmd =
-  let run n k exhaustive n_seeds =
-    let store, t = Subc_core.Alg6.alloc Store.empty ~n ~k ~one_shot:true in
-    let inputs = inputs_of n in
-    let programs = List.mapi (fun i v -> Subc_core.Alg6.propose t ~i v) inputs in
-    let m = Subc_core.Alg6.agreement_bound ~n ~k in
-    Format.printf "agreement bound m = %d (n=%d, k=%d)@." m n k;
-    let task = Task.conj (Task.set_consensus m) Task.all_decided in
-    if exhaustive then report_exhaustive store programs inputs task
-    else report_sampled store programs inputs task n_seeds
+  let run n k exhaustive n_seeds choice json metrics =
+    let n = if n = 0 then 2 * k else n in
+    Format.printf "agreement bound m = %d (n=%d, k=%d)@."
+      (Subc_core.Alg6.agreement_bound ~n ~k) n k;
+    run_task_alg "alg6" (alg6_instance ~n ~k ~crashes:0) exhaustive n_seeds
+      choice json metrics
   in
   let n_arg = Arg.(value & opt int 6 & info [ "n" ] ~doc:"Process count.") in
   Cmd.v
     (Cmd.info "alg6" ~doc:"m-set consensus for n processes (Algorithm 6).")
-    Term.(const run $ n_arg $ k_arg $ exhaustive_arg $ seeds_arg)
+    Term.(
+      const run $ n_arg $ k_arg $ exhaustive_arg $ seeds_arg $ reduction_arg
+      $ json_arg $ metrics_arg)
+
+let style_of = function
+  | "mirror" -> Subc_classic.Wrn_attempts.Mirror_alg2
+  | "same-index" -> Subc_classic.Wrn_attempts.Same_index
+  | "announce" -> Subc_classic.Wrn_attempts.Adjacent_announce
+  | "busy-wait" -> Subc_classic.Wrn_attempts.Busy_wait
+  | s -> Fmt.failwith "unknown style %S" s
 
 let attempt_cmd =
-  let run style k =
-    let style =
-      match style with
-      | "mirror" -> Subc_classic.Wrn_attempts.Mirror_alg2
-      | "same-index" -> Subc_classic.Wrn_attempts.Same_index
-      | "announce" -> Subc_classic.Wrn_attempts.Adjacent_announce
-      | "busy-wait" -> Subc_classic.Wrn_attempts.Busy_wait
-      | s -> Fmt.failwith "unknown style %S" s
-    in
-    let store, t = Subc_classic.Wrn_attempts.alloc Store.empty ~k ~style in
+  let run style k json metrics =
+    setup_obs ~json ~metrics;
+    let store, t = Subc_classic.Wrn_attempts.alloc Store.empty ~k ~style:(style_of style) in
     let programs =
       [
         Subc_classic.Wrn_attempts.propose t ~me:0 (Value.Int 0);
@@ -176,20 +418,12 @@ let attempt_cmd =
       ]
     in
     let config = Config.make store programs in
-    (match
-       Subc_check.Valence.check_consensus config
-         ~inputs:[ Value.Int 0; Value.Int 1 ]
-     with
-    | Subc_check.Valence.Solves stats ->
-      Format.printf "solves 2-consensus (%a)@." Explore.pp_stats stats
-    | Subc_check.Valence.Violation { reason; trace } ->
-      Format.printf "violation: %s@.%a@." reason Trace.pp trace
-    | Subc_check.Valence.Diverges { trace } ->
-      Format.printf "diverges; lasso schedule %a@." Value.pp
-        (Value.of_int_list (Trace.schedule trace))
-    | Subc_check.Valence.Unknown { detail } ->
-      Format.printf "unknown: %s@." detail);
-    0
+    let v =
+      Subc_check.Valence.consensus_verdict config
+        ~inputs:[ Value.Int 0; Value.Int 1 ]
+    in
+    report ~json ("attempt/" ^ style) v;
+    finish ~metrics [ v ]
   in
   let style_arg =
     Arg.(
@@ -200,8 +434,10 @@ let attempt_cmd =
   in
   Cmd.v
     (Cmd.info "attempt"
-       ~doc:"Verdict on a 2-consensus attempt over WRN_k (Lemma 38 / E6).")
-    Term.(const run $ style_arg $ k_arg)
+       ~doc:
+         "Verdict on a 2-consensus attempt over WRN_k (Lemma 38 / E6).  \
+          Exits 0 solves / 1 violates or diverges / 2 unknown.")
+    Term.(const run $ style_arg $ k_arg $ json_arg $ metrics_arg)
 
 let trace_cmd =
   let run k seed =
@@ -285,15 +521,7 @@ let bg_cmd =
 
 let critical_cmd =
   let run k style =
-    let style =
-      match style with
-      | "mirror" -> Subc_classic.Wrn_attempts.Mirror_alg2
-      | "same-index" -> Subc_classic.Wrn_attempts.Same_index
-      | "announce" -> Subc_classic.Wrn_attempts.Adjacent_announce
-      | "busy-wait" -> Subc_classic.Wrn_attempts.Busy_wait
-      | s -> Fmt.failwith "unknown style %S" s
-    in
-    let store, t = Subc_classic.Wrn_attempts.alloc Store.empty ~k ~style in
+    let store, t = Subc_classic.Wrn_attempts.alloc Store.empty ~k ~style:(style_of style) in
     let programs =
       [
         Subc_classic.Wrn_attempts.propose t ~me:0 (Value.Int 0);
@@ -319,118 +547,45 @@ let critical_cmd =
           over WRN_k (the Lemma 38 structure).")
     Term.(const run $ k_arg $ style_arg)
 
+(* ------------------------------------------------------------------ *)
+(* crash-sweep: a verdict per crash budget plus a progress verdict, all
+   under the shared contract.                                          *)
+
 let crash_sweep_cmd =
-  let run alg k f max_states solo_limit =
-    let module Progress = Subc_check.Progress in
-    let code = ref 0 in
-    let bump c = code := max !code c in
-    let note_limited (stats : Explore.stats) =
-      if stats.Explore.limited then bump 2
+  let run alg k f max_states solo_limit choice json metrics =
+    setup_obs ~json ~metrics;
+    let verdicts = ref [] in
+    let note name v =
+      verdicts := v :: !verdicts;
+      report ~json name v
     in
-    let progress store programs =
-      match
-        Progress.wait_free ~max_states ~max_crashes:f ~solo_limit store
-          ~programs
-      with
-      | Ok cert ->
-        Format.printf "progress: %a@." Progress.pp_certificate cert
-      | Error (Progress.Limited _ as fail) ->
-        Format.printf "progress: %a@." Progress.pp_failure fail;
-        bump 2
-      | Error fail ->
-        Format.printf "progress: %a@." Progress.pp_failure fail;
-        bump 1
-    in
-    (match alg with
-    | "alg2" | "alg6" ->
-      let store, programs, inputs, bound =
-        if alg = "alg2" then begin
-          let store, t = Subc_core.Alg2.alloc Store.empty ~k ~one_shot:true in
-          let inputs = inputs_of k in
-          ( store,
-            List.mapi (fun i v -> Subc_core.Alg2.propose t ~i v) inputs,
-            inputs, k - 1 )
-        end
-        else begin
-          let n = 2 * k in
-          let store, t = Subc_core.Alg6.alloc Store.empty ~n ~k ~one_shot:true in
-          let inputs = inputs_of n in
-          ( store,
-            List.mapi (fun i v -> Subc_core.Alg6.propose t ~i v) inputs,
-            inputs, Subc_core.Alg6.agreement_bound ~n ~k )
-        end
-      in
-      (* No [all_decided]: crashed processes legitimately never decide. *)
-      let task = Task.set_consensus bound in
+    let inst = instance_of alg ~n:0 ~k ~crashes:f in
+    let reduction = reduction_of choice inst in
+    let store, programs = instance_store_programs inst in
+    (match inst with
+    | Task_instance { inputs; task; _ } ->
       for f' = 0 to f do
-        let config = Config.make store programs in
-        match
-          Explore.check_terminals ~max_states ~max_crashes:f' config
-            ~ok:(fun c -> Task.satisfies task ~inputs c)
-        with
-        | Ok stats ->
-          Format.printf "f=%d: every crash pattern satisfies %s  (%a)@." f'
-            task.Task.name Explore.pp_stats stats;
-          note_limited stats
-        | Error (_, trace, _) ->
-          Format.printf "f=%d: VIOLATION of %s@.%a@." f' task.Task.name
-            Trace.pp trace;
-          bump 1
-      done;
-      progress store programs
-    | "alg5" ->
-      let store, t = Subc_core.Alg5.alloc Store.empty ~k () in
-      let participants = List.init k Fun.id in
-      let programs =
-        List.map
-          (fun i -> Subc_core.Alg5.wrn t ~i (Value.Int (100 + i)))
-          participants
-      in
-      let ops i = Op.make "wrn" [ Value.Int i; Value.Int (100 + i) ] in
-      let spec = Subc_objects.One_shot_wrn.model ~k in
-      let config = Config.make store programs in
-      let bad = ref 0 and terminals = ref 0 in
-      let stats =
-        Explore.iter_terminals ~max_states ~max_crashes:f config
-          ~f:(fun final trace ->
-            incr terminals;
-            let history =
-              Subc_check.Linearizability.history ~ops final trace
-            in
-            if Subc_check.Linearizability.check ~spec history = None then begin
-              incr bad;
-              Format.printf "NON-LINEARIZABLE under crashes:@.%a@."
-                Subc_check.Linearizability.pp_history history
-            end)
-      in
-      Format.printf
-        "f<=%d: %d states, %d terminals (%d with crashes), %d \
-         non-linearizable histories%s@."
-        f stats.Explore.states !terminals stats.Explore.crashed_terminals !bad
-        (if stats.Explore.limited then " (LIMITED)" else "");
-      if !bad > 0 then bump 1;
-      note_limited stats;
-      progress store programs
-    | s -> Fmt.failwith "unknown algorithm %S (expected alg2, alg5 or alg6)" s);
-    !code
-  in
-  let alg_arg =
-    Arg.(
-      value
-      & opt (enum [ ("alg2", "alg2"); ("alg5", "alg5"); ("alg6", "alg6") ])
-          "alg2"
-      & info [ "alg" ] ~docv:"ALG" ~doc:"Algorithm to sweep: $(docv).")
+        note
+          (Printf.sprintf "%s/%s/f=%d" alg task.Task.name f')
+          (Subc_check.Task_check.check ~max_states ~max_crashes:f' ?reduction
+             store ~programs ~inputs ~task)
+      done
+    | Lin_instance { ops; spec; _ } ->
+      note
+        (Printf.sprintf "%s/linearizable/f<=%d" alg f)
+        (Subc_check.Linearizability.check_harness ~max_states ~max_crashes:f
+           ?reduction store ~programs ~ops ~spec));
+    note
+      (alg ^ "/wait-free")
+      (Subc_check.Progress.check_wait_free ~max_states ~max_crashes:f
+         ~solo_limit ?reduction store ~programs);
+    finish ~metrics (List.rev !verdicts)
   in
   let crashes_arg =
     Arg.(
       value & opt int 1
       & info [ "max-crashes" ] ~docv:"F"
           ~doc:"Crash budget $(docv) (sweep f = 0..$(docv)).")
-  in
-  let max_states_arg =
-    Arg.(
-      value & opt int 5_000_000
-      & info [ "max-states" ] ~doc:"State budget per exploration.")
   in
   let solo_limit_arg =
     Arg.(
@@ -440,12 +595,13 @@ let crash_sweep_cmd =
   Cmd.v
     (Cmd.info "crash-sweep"
        ~doc:
-         "Exhaustive crash-fault sweep: verify safety under every crash \
-          pattern within the budget, then certify wait-freedom (solo-step \
-          bound).  Exits 1 on violation, 2 when any search was truncated.")
+         "Exhaustive crash-fault sweep: verify the algorithm's property \
+          under every crash pattern within the budget, then certify \
+          wait-freedom (solo-step bound).  Exits 1 on any refutation, \
+          else 2 when any search was truncated.")
     Term.(
       const run $ alg_arg $ k_arg $ crashes_arg $ max_states_arg
-      $ solo_limit_arg)
+      $ solo_limit_arg $ reduction_arg $ json_arg $ metrics_arg)
 
 let () =
   let doc = "sub-consensus deterministic objects: runners and model checkers" in
@@ -454,6 +610,7 @@ let () =
        (Cmd.group
           (Cmd.info "subconsensus_cli" ~doc)
           [
-            alg2_cmd; alg3_cmd; alg5_cmd; alg6_cmd; attempt_cmd; trace_cmd;
-            power_cmd; bg_cmd; critical_cmd; crash_sweep_cmd;
+            check_cmd; explore_cmd; alg2_cmd; alg3_cmd; alg5_cmd; alg6_cmd;
+            attempt_cmd; trace_cmd; power_cmd; bg_cmd; critical_cmd;
+            crash_sweep_cmd;
           ]))

@@ -98,3 +98,37 @@ let check ~spec history =
       attempt matching
   in
   search spec.Obj_model.init []
+
+(* Harness-level checking: explore every terminal of a one-operation-per-
+   process harness and check each recorded history against the sequential
+   specification.  This is the loop the CLI and bench previously inlined. *)
+let check_harness ?max_states ?max_crashes ?reduction store ~programs ~ops
+    ~spec =
+  Subc_obs.Span.time "linearizability.check_harness" @@ fun () ->
+  let config = Config.make store programs in
+  let failure = ref None in
+  let histories = ref 0 in
+  let stats =
+    Explore.iter_terminals ?max_states ?max_crashes ?reduction config
+      ~f:(fun final trace ->
+        if !failure = None then begin
+          incr histories;
+          let h = history ~ops final trace in
+          if check ~spec h = None then failure := Some (h, trace)
+        end)
+  in
+  match !failure with
+  | Some (h, trace) ->
+    Verdict.refuted ~explore:stats ~trace
+      (Format.asprintf "@[<v>non-linearizable history:@,%a@]" pp_history h)
+  | None when stats.Explore.limited ->
+    Verdict.limited ~explore:stats
+      ~metrics:[ ("histories", float_of_int !histories) ]
+      "exploration truncated — not every history checked"
+  | None ->
+    Verdict.proved ~explore:stats
+      ~metrics:[ ("histories", float_of_int !histories) ]
+      (Printf.sprintf "all %d terminal histories linearizable%s" !histories
+         (match max_crashes with
+         | Some f when f > 0 -> Printf.sprintf " (crash budget %d)" f
+         | _ -> ""))

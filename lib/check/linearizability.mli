@@ -36,3 +36,22 @@ val history : ops:(int -> Op.t) -> Config.t -> Trace.t -> op_record list
 val check : spec:Obj_model.t -> op_record list -> op_record list option
 
 val pp_history : Format.formatter -> op_record list -> unit
+
+(** [check_harness store ~programs ~ops ~spec] explores every terminal of
+    the harness (under every crash pattern within [max_crashes]), builds
+    each execution's history with {!history}, and checks it with {!check}:
+    [Proved] when every history linearizes, [Refuted] with the offending
+    history and its schedule, [Limited] when the search was truncated.
+
+    A symmetry [reduction] checks one representative per orbit, which is
+    sound only when [spec] is equivariant under the chosen renamings (the
+    same caller obligation as {!Subc_sim.Symmetry}). *)
+val check_harness :
+  ?max_states:int ->
+  ?max_crashes:int ->
+  ?reduction:Explore.reduction ->
+  Store.t ->
+  programs:Value.t Program.t list ->
+  ops:(int -> Op.t) ->
+  spec:Obj_model.t ->
+  Verdict.t

@@ -75,14 +75,15 @@ let solo_distance ~memo ~solo_limit ~prefix config0 p =
   in
   go config0 0 []
 
-let wait_free ?max_states ?(max_crashes = 0) ?(solo_limit = 10_000) store
-    ~programs =
+let wait_free ?max_states ?(max_crashes = 0) ?(solo_limit = 10_000) ?reduction
+    store ~programs =
+  Subc_obs.Span.time "progress.wait_free" @@ fun () ->
   let config0 = Config.make store programs in
   let memo = Hashtbl.create 4096 in
   let bound = ref 0 in
   let configs = ref 0 in
   match
-    Explore.iter_reachable ?max_states ~max_crashes config0
+    Explore.iter_reachable ?max_states ~max_crashes ?reduction config0
       ~f:(fun config prefix ->
         incr configs;
         List.iter
@@ -94,9 +95,10 @@ let wait_free ?max_states ?(max_crashes = 0) ?(solo_limit = 10_000) store
   | stats -> Ok { solo_bound = !bound; configs = !configs; stats }
   | exception Failed f -> Error f
 
-let t_resilient ?max_states ~t store ~programs =
+let t_resilient ?max_states ?reduction ~t store ~programs =
+  Subc_obs.Span.time "progress.t_resilient" @@ fun () ->
   let config = Config.make store programs in
-  match Explore.find_cycle ?max_states ~max_crashes:t config with
+  match Explore.find_cycle ?max_states ~max_crashes:t ?reduction config with
   | Some _, _ ->
     Error
       (Printf.sprintf
@@ -107,3 +109,59 @@ let t_resilient ?max_states ~t store ~programs =
     else if stats.Explore.hung_terminals > 0 then
       Error "some execution hangs a process (illegal object use)"
     else Ok stats
+
+(* Verdict-typed entry points (the canonical API; the result-typed
+   functions above remain as building blocks). *)
+
+let check_wait_free ?max_states ?max_crashes ?solo_limit ?reduction store
+    ~programs =
+  match wait_free ?max_states ?max_crashes ?solo_limit ?reduction store ~programs with
+  | Ok cert ->
+    Verdict.proved ~explore:cert.stats
+      ~metrics:
+        [
+          ("solo_bound", float_of_int cert.solo_bound);
+          ("configs", float_of_int cert.configs);
+        ]
+      (Printf.sprintf
+         "wait-free: every process terminates within %d solo steps from \
+          every reachable configuration (%d configurations)"
+         cert.solo_bound cert.configs)
+  | Error (Limited stats) ->
+    Verdict.limited ~explore:stats "exploration truncated — no verdict"
+  | Error (Non_terminating { proc; prefix; spin }) ->
+    Verdict.refuted
+      ~trace:(prefix @ spin)
+      (Printf.sprintf
+         "process %d does not terminate running solo after a %d-step prefix"
+         proc (Trace.length prefix))
+  | Error (Hang { proc; prefix; spin }) ->
+    Verdict.refuted
+      ~trace:(prefix @ spin)
+      (Printf.sprintf
+         "process %d hangs (illegal invocation) running solo after a \
+          %d-step prefix"
+         proc (Trace.length prefix))
+
+let check_t_resilient ?max_states ?reduction ~t store ~programs =
+  Subc_obs.Span.time "progress.t_resilient" @@ fun () ->
+  let config = Config.make store programs in
+  match Explore.find_cycle ?max_states ~max_crashes:t ?reduction config with
+  | Some lasso, stats ->
+    Verdict.refuted ~explore:stats ~trace:lasso
+      (Printf.sprintf
+         "infinite schedule with <= %d crashes (not %d-resilient \
+          terminating)"
+         t t)
+  | None, stats ->
+    if stats.Explore.limited then
+      Verdict.limited ~explore:stats "state limit reached — no verdict"
+    else if stats.Explore.hung_terminals > 0 then
+      Verdict.refuted ~explore:stats ~trace:[]
+        "some execution hangs a process (illegal object use)"
+    else
+      Verdict.proved ~explore:stats
+        (Printf.sprintf
+           "every schedule with <= %d crashes terminates (no cycles, no \
+            hangs)"
+           t)

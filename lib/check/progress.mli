@@ -39,22 +39,48 @@ type failure =
 val pp_certificate : Format.formatter -> certificate -> unit
 val pp_failure : Format.formatter -> failure -> unit
 
-(** [wait_free store ~programs] certifies wait-freedom.  [~max_crashes:f]
-    additionally quantifies the reachable prefix over every crash pattern
-    of at most [f] crashes.  [solo_limit] caps the solo search per process
-    (default 10000); exceeding it counts as non-termination. *)
+(** [check_wait_free store ~programs] certifies wait-freedom.
+    [~max_crashes:f] additionally quantifies the reachable prefix over
+    every crash pattern of at most [f] crashes.  [solo_limit] caps the
+    solo search per process (default 10000); exceeding it counts as
+    non-termination.  [reduction] applies state-space reductions to the
+    reachable-prefix enumeration (symmetry only; sleep sets do not apply
+    to reachability).  The solo bound and configuration count are in the
+    verdict's metrics. *)
+val check_wait_free :
+  ?max_states:int ->
+  ?max_crashes:int ->
+  ?solo_limit:int ->
+  ?reduction:Explore.reduction ->
+  Store.t ->
+  programs:Value.t Program.t list ->
+  Verdict.t
+
+(** [check_t_resilient ~t store ~programs] checks that no schedule with at
+    most [t] crashes runs forever and none hangs a process. *)
+val check_t_resilient :
+  ?max_states:int ->
+  ?reduction:Explore.reduction ->
+  t:int ->
+  Store.t ->
+  programs:Value.t Program.t list ->
+  Verdict.t
+
+(** @deprecated Use {!check_wait_free}; this result-typed form remains for
+    one release as a building block. *)
 val wait_free :
   ?max_states:int ->
   ?max_crashes:int ->
   ?solo_limit:int ->
+  ?reduction:Explore.reduction ->
   Store.t ->
   programs:Value.t Program.t list ->
   (certificate, failure) result
 
-(** [t_resilient ~t store ~programs] checks that no schedule with at most
-    [t] crashes runs forever and none hangs a process. *)
+(** @deprecated Use {!check_t_resilient}. *)
 val t_resilient :
   ?max_states:int ->
+  ?reduction:Explore.reduction ->
   t:int ->
   Store.t ->
   programs:Value.t Program.t list ->

@@ -42,3 +42,41 @@ let equivalent ?max_states () ~impl ~spec =
         (* Containment both ways with equal cardinality is equality; unequal
            cardinalities here would be contradictory. *)
         Ok n_impl)
+
+(* Verdict-typed entry points.  Symmetry reduction is deliberately not
+   offered here: outcome vectors are compared literally between the two
+   harnesses, and quotienting each side independently could pick
+   different orbit representatives. *)
+let check_refines ?max_states () ~impl ~spec =
+  Subc_obs.Span.time "refinement.refines" @@ fun () ->
+  match refines ?max_states () ~impl ~spec with
+  | Ok (n_impl, n_spec) ->
+    Verdict.proved
+      ~metrics:
+        [
+          ("impl_outcomes", float_of_int n_impl);
+          ("spec_outcomes", float_of_int n_spec);
+        ]
+      (Printf.sprintf
+         "every implementation outcome (%d) is a specification outcome (%d)"
+         n_impl n_spec)
+  | Error { outcome; trace } ->
+    Verdict.refuted ~trace
+      (Format.asprintf
+         "outcome %a reachable in the implementation but not in the \
+          specification"
+         Value.pp (Value.Vec outcome))
+  | exception Failure msg -> Verdict.limited msg
+
+let check_equivalent ?max_states () ~impl ~spec =
+  Subc_obs.Span.time "refinement.equivalent" @@ fun () ->
+  match equivalent ?max_states () ~impl ~spec with
+  | Ok n ->
+    Verdict.proved
+      ~metrics:[ ("outcomes", float_of_int n) ]
+      (Printf.sprintf "identical outcome sets (%d outcomes)" n)
+  | Error { outcome; trace } ->
+    Verdict.refuted ~trace
+      (Format.asprintf "outcome %a reachable on one side only" Value.pp
+         (Value.Vec outcome))
+  | exception Failure msg -> Verdict.limited msg

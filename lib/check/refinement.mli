@@ -38,3 +38,13 @@ val refines :
 (** [equivalent ~impl ~spec] — containment in both directions. *)
 val equivalent :
   ?max_states:int -> unit -> impl:harness -> spec:harness -> (int, failure) result
+
+(** Verdict-typed forms of {!refines} and {!equivalent}.  A hit state
+    limit becomes [Limited].  No [?reduction] is offered: outcome vectors
+    are compared literally between the two harnesses, and quotienting each
+    side independently could pick different orbit representatives. *)
+val check_refines :
+  ?max_states:int -> unit -> impl:harness -> spec:harness -> Verdict.t
+
+val check_equivalent :
+  ?max_states:int -> unit -> impl:harness -> spec:harness -> Verdict.t

@@ -1,26 +1,44 @@
 open Subc_sim
 module Task = Subc_tasks.Task
 
-let exhaustive ?max_states store ~programs ~inputs ~task =
+let exhaustive ?max_states ?max_crashes ?reduction store ~programs ~inputs
+    ~task =
+  Subc_obs.Span.time "task_check.exhaustive" @@ fun () ->
   let config = Config.make store programs in
   match
-    Explore.check_terminals ?max_states config ~ok:(fun c ->
-        Task.satisfies task ~inputs c)
+    Explore.check_terminals ?max_states ?max_crashes ?reduction config
+      ~ok:(fun c -> Task.satisfies task ~inputs c)
   with
   | Ok stats -> Ok stats
   | Error (c, trace, _stats) ->
     let reason = Option.value ~default:"?" (Task.explain task ~inputs c) in
     Error (reason, trace)
 
-let wait_free ?max_states store ~programs =
+let wait_free ?max_states ?reduction store ~programs =
   let config = Config.make store programs in
-  match Explore.find_cycle ?max_states config with
+  match Explore.find_cycle ?max_states ?reduction config with
   | Some _, _ -> Error "infinite schedule (protocol not wait-free)"
   | None, stats ->
     if stats.Explore.limited then Error "state limit reached"
     else if stats.Explore.hung_terminals > 0 then
       Error "some execution hangs a process (illegal object use)"
     else Ok stats
+
+(* Verdict-typed entry point: exhaustive task conformance, classifying a
+   truncated search as [Limited] rather than a proof. *)
+let check ?max_states ?max_crashes ?reduction store ~programs ~inputs ~task =
+  match exhaustive ?max_states ?max_crashes ?reduction store ~programs ~inputs ~task with
+  | Error (reason, trace) -> Verdict.refuted ~trace reason
+  | Ok stats when stats.Explore.limited ->
+    Verdict.limited ~explore:stats
+      "exploration truncated before covering all terminals — no verdict"
+  | Ok stats ->
+    Verdict.proved ~explore:stats
+      (Printf.sprintf "task satisfied on all %d reachable terminals%s"
+         stats.Explore.terminals
+         (match max_crashes with
+         | Some f when f > 0 -> Printf.sprintf " (crash budget %d)" f
+         | _ -> ""))
 
 type sample_stats = {
   runs : int;

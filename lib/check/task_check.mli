@@ -5,20 +5,38 @@
 open Subc_sim
 module Task = Subc_tasks.Task
 
-(** [exhaustive store ~programs ~inputs ~task] checks [task] on every
-    reachable terminal configuration. *)
+(** [check store ~programs ~inputs ~task] checks [task] on every reachable
+    terminal configuration (under every crash pattern within
+    [max_crashes]): [Proved] when exhaustive and clean, [Refuted] with the
+    violating schedule, [Limited] when the search was truncated. *)
+val check :
+  ?max_states:int ->
+  ?max_crashes:int ->
+  ?reduction:Explore.reduction ->
+  Store.t ->
+  programs:Value.t Program.t list ->
+  inputs:Value.t list ->
+  task:Task.t ->
+  Verdict.t
+
+(** @deprecated Use {!check}; this result-typed form remains for one
+    release.  Note: an [Ok] with [stats.limited] set is {e not} a proof. *)
 val exhaustive :
   ?max_states:int ->
+  ?max_crashes:int ->
+  ?reduction:Explore.reduction ->
   Store.t ->
   programs:Value.t Program.t list ->
   inputs:Value.t list ->
   task:Task.t ->
   (Explore.stats, string * Trace.t) result
 
-(** [wait_free store ~programs] checks that no adversarial schedule runs
+(** @deprecated Use {!Progress.check_t_resilient} (with [t = 0]) or
+    {!Progress.check_wait_free}.  Checks that no adversarial schedule runs
     forever and no process hangs. *)
 val wait_free :
   ?max_states:int ->
+  ?reduction:Explore.reduction ->
   Store.t ->
   programs:Value.t Program.t list ->
   (Explore.stats, string) result

@@ -39,6 +39,35 @@ let check_consensus ?max_states config ~inputs =
         Unknown { detail = "state limit reached while searching cycles" }
       else Solves stats)
 
+(* Verdict-typed consensus check (the canonical API). *)
+let consensus_verdict ?max_states ?reduction config ~inputs =
+  Subc_obs.Span.time "valence.consensus" @@ fun () ->
+  match
+    Explore.check_terminals ?max_states ?reduction config ~ok:(fun c ->
+        Result.is_ok (consensus_ok ~inputs c))
+  with
+  | Error (c, trace, stats) ->
+    let reason =
+      match consensus_ok ~inputs c with Error e -> e | Ok () -> assert false
+    in
+    Verdict.refuted ~explore:stats ~trace reason
+  | Ok stats when stats.Explore.limited ->
+    Verdict.limited ~explore:stats
+      "state limit reached while checking terminals"
+  | Ok stats -> (
+    match Explore.find_cycle ?max_states ?reduction config with
+    | Some trace, cycle_stats ->
+      Verdict.refuted ~explore:cycle_stats ~trace
+        "infinite schedule (protocol not wait-free)"
+    | None, cycle_stats ->
+      if cycle_stats.Explore.limited then
+        Verdict.limited ~explore:cycle_stats
+          "state limit reached while searching cycles"
+      else
+        Verdict.proved ~explore:stats
+          "consensus: agreement + validity on every terminal, and every \
+           schedule terminates")
+
 module Vtbl = Hashtbl
 
 let fingerprint config = Digest.string (Marshal.to_string (Config.key config) [])

@@ -26,9 +26,19 @@ type verdict =
 
 val pp_verdict : Format.formatter -> verdict -> unit
 
-(** [check_consensus config ~inputs] — [inputs.(i)] is process [i]'s
+(** [consensus_verdict config ~inputs] — [inputs.(i)] is process [i]'s
     proposal; terminals must satisfy validity and agreement over decided
-    values, and every process must decide (no hung terminals). *)
+    values, every process must decide (no hung terminals), and no schedule
+    may run forever. *)
+val consensus_verdict :
+  ?max_states:int ->
+  ?reduction:Explore.reduction ->
+  Config.t ->
+  inputs:Value.t list ->
+  Verdict.t
+
+(** @deprecated Use {!consensus_verdict}; the ad-hoc [verdict] shape
+    remains for one release. *)
 val check_consensus :
   ?max_states:int -> Config.t -> inputs:Value.t list -> verdict
 

@@ -17,3 +17,8 @@ let propose t ~i v =
   assert (0 <= i && i < t.k);
   let* r = Subc_objects.Wrn.wrn t.wrn i v in
   if Value.is_bot r then Program.return v else Program.return r
+
+(* WRN's "read cell (i+1) mod k" is ring-structured: rotations are the
+   automorphisms, arbitrary transpositions are not. *)
+let symmetry t ?input_base () =
+  Symmetry.standard ~n:t.k ?input_base `Rotations

@@ -20,3 +20,9 @@ val alloc : Store.t -> k:int -> one_shot:bool -> Store.t * t
 
 (** [propose t ~i v] — process [i]'s program, deciding a value. *)
 val propose : t -> i:int -> Value.t -> Value.t Program.t
+
+(** [symmetry t ?input_base ()] — the rotation-group symmetry spec for the
+    standard one-invocation-per-process harness (proposals
+    [input_base..input_base+k-1] when given).  WRN's ring structure admits
+    rotations but not arbitrary renamings. *)
+val symmetry : t -> ?input_base:int -> unit -> Symmetry.t

@@ -67,3 +67,8 @@ let wrn t ~i v =
     else
       (* Line 21. *)
       Program.return (Value.vec_get sr succ_i)
+
+(* Alg5 implements WRN_k, so the ring structure again limits the valid
+   renamings to rotations of the k indices. *)
+let symmetry t ?input_base () =
+  Symmetry.standard ~n:t.k ?input_base `Rotations

@@ -35,3 +35,9 @@ val alloc : Store.t -> k:int -> ?register_snapshots:bool -> unit -> Store.t * t
 (** [wrn t ~i v] — the implemented one-shot operation; each index may be
     used at most once, values must be distinct and not {m \bot}. *)
 val wrn : t -> i:int -> Value.t -> Value.t Program.t
+
+(** [symmetry t ?input_base ()] — rotation-group symmetry spec for the
+    standard harness; see {!Alg2.symmetry}.  Sound because Alg5's state
+    (announcements, views, SSE winner) indexes processes only positionally
+    and the algorithm is uniform up to rotation. *)
+val symmetry : t -> ?input_base:int -> unit -> Symmetry.t

@@ -1,0 +1,42 @@
+(* Global counter/gauge registry. Counters are interned int refs so the hot
+   paths (explore inner loop) pay one Hashtbl lookup at setup and a bare
+   [incr] per event. *)
+
+type counter = { mutable count : int }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, float) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { count = 0 } in
+    Hashtbl.add counters name c;
+    c
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let value c = c.count
+let set_gauge name v = Hashtbl.replace gauges name v
+
+let find name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> Some (float_of_int c.count)
+  | None -> Hashtbl.find_opt gauges name
+
+let snapshot () =
+  let xs = ref [] in
+  Hashtbl.iter
+    (fun name c -> xs := (name, float_of_int c.count) :: !xs)
+    counters;
+  Hashtbl.iter (fun name v -> xs := (name, v) :: !xs) gauges;
+  List.sort (fun (a, _) (b, _) -> compare a b) !xs
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  Hashtbl.reset gauges
+
+let emit_snapshot ?(name = "metrics") () =
+  Sink.emit name
+    (List.map (fun (k, v) -> (k, Sink.Float v)) (snapshot ()))

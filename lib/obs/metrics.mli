@@ -1,0 +1,30 @@
+(** Process-global counters and gauges.
+
+    Counters are interned by name: look one up once with {!counter} (cheap
+    Hashtbl hit) and bump it with {!incr}/{!add} on hot paths (a bare field
+    mutation). Gauges hold the latest float value for derived quantities
+    such as states/sec or reduction ratios. {!snapshot} returns everything
+    for reporting; {!reset} zeroes the registry between experiment runs. *)
+
+type counter
+
+val counter : string -> counter
+(** Intern (or retrieve) the counter with the given name. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val set_gauge : string -> float -> unit
+
+val find : string -> float option
+(** Look up a counter or gauge by name. *)
+
+val snapshot : unit -> (string * float) list
+(** All counters and gauges, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero all counters and drop all gauges. *)
+
+val emit_snapshot : ?name:string -> unit -> unit
+(** Emit the current snapshot as a single event on the current {!Sink}. *)

@@ -1,0 +1,17 @@
+(** Per-phase wall-clock accumulation.
+
+    [time label f] runs [f], adds its duration to the running total for
+    [label], and emits a ["span"] event on the current {!Sink}. Durations
+    use [Sys.time] (CPU seconds) so the libraries stay free of a Unix
+    dependency; precise benchmarking remains bechamel's job. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** Run the thunk, accounting its duration under [label]. Exceptions
+    propagate after the span is recorded. *)
+
+val totals : unit -> (string * float) list
+(** Accumulated seconds per label, sorted by label. *)
+
+val total : string -> float option
+
+val reset : unit -> unit

@@ -1,3 +1,12 @@
+module Obs = Subc_obs
+
+type limit_reason = No_limit | Max_states | Max_depth
+
+let pp_limit_reason ppf = function
+  | No_limit -> Format.fprintf ppf "none"
+  | Max_states -> Format.fprintf ppf "max-states"
+  | Max_depth -> Format.fprintf ppf "max-depth"
+
 type stats = {
   states : int;
   transitions : int;
@@ -6,29 +15,140 @@ type stats = {
   crashed_terminals : int;
   max_depth : int;
   dedup_hits : int;
+  sleep_skips : int;
   cycles : int;
   limited : bool;
+  limit_reason : limit_reason;
 }
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "states=%d transitions=%d terminals=%d hung=%d crashed=%d depth=%d \
-     dedup=%d cycles=%d%s"
+     dedup=%d%s cycles=%d%s"
     s.states s.transitions s.terminals s.hung_terminals s.crashed_terminals
-    s.max_depth s.dedup_hits s.cycles
-    (if s.limited then " (LIMITED)" else "")
+    s.max_depth s.dedup_hits
+    (if s.sleep_skips > 0 then Printf.sprintf " sleep-skips=%d" s.sleep_skips
+     else "")
+    s.cycles
+    (if s.limited then
+       Format.asprintf " (LIMITED: %a)" pp_limit_reason s.limit_reason
+     else "")
+
+type reduction = { symmetry : Symmetry.t option; sleep_sets : bool }
+
+let no_reduction = { symmetry = None; sleep_sets = false }
+let with_symmetry sym = { symmetry = Some sym; sleep_sets = false }
+let full_reduction sym = { symmetry = Some sym; sleep_sets = true }
+
+let pp_reduction ppf r =
+  Format.fprintf ppf "symmetry=%s sleep-sets=%b"
+    (match r.symmetry with
+    | None -> "off"
+    | Some s -> Printf.sprintf "|G|=%d" (Symmetry.group_order s))
+    r.sleep_sets
+
+(* A transition identity, for sleep-set independence: a process step is
+   identified by (process, object handle) — all nondeterministic outcomes
+   of one invocation form one transition bundle — and a crash by its
+   victim.  Steps of distinct processes on distinct objects always
+   commute; steps on the {e same} object commute when the object model
+   says so (below).  Crashes of distinct victims commute (a crash touches
+   only the victim's local state), and a crash commutes with any step of
+   another process: the budget can only disable a sleeping crash, never
+   re-enable one, so budget exhaustion cannot unsoundly skip. *)
+type tr = Tstep of int * int | Tcrash of int
+
+(* Conditional (state-local) commutation of two operations on the same
+   object: both orders must yield the same final object state and the
+   same responses, for every resolution of nondeterminism, and neither
+   order may turn a completing invocation into a hang.  This is the
+   footprint-level independence — snapshot updates to distinct segments
+   commute, reads commute with reads — derived semantically from
+   [Obj_model.apply] rather than from declared footprints, and memoized
+   per (kind, object state, op pair). *)
+let commute_cache : (string * Value.t * Op.t * Op.t, bool) Hashtbl.t =
+  Hashtbl.create 256
+
+let ops_commute store h a b =
+  let st0 = Store.state store h in
+  let kind = Store.kind store h in
+  let key =
+    if Op.compare a b <= 0 then (kind, st0, a, b) else (kind, st0, b, a)
+  in
+  match Hashtbl.find_opt commute_cache key with
+  | Some r -> r
+  | None ->
+    let outcomes first second =
+      (* (final object state, first's resp, second's resp), one triple per
+         resolution of both invocations' nondeterminism; [Exit] when the
+         second invocation hangs after the first. *)
+      List.concat_map
+        (fun (s1, r1) ->
+          match Store.apply s1 h second with
+          | [] -> raise Exit
+          | ys -> List.map (fun (s2, r2) -> (Store.state s2 h, r1, r2)) ys)
+        (Store.apply store h first)
+    in
+    let r =
+      if Store.apply store h a = [] || Store.apply store h b = [] then
+        (* A hang is order-sensitive in general; stay conservative. *)
+        false
+      else
+        match
+          ( List.sort compare (outcomes a b),
+            List.sort compare
+              (List.map (fun (s, rb, ra) -> (s, ra, rb)) (outcomes b a)) )
+        with
+        | ab, ba -> ab = ba
+        | exception Exit -> false
+    in
+    Hashtbl.replace commute_cache key r;
+    r
+
+let pending config i =
+  match config.Config.procs.(i).Config.status with
+  | Config.Running (Program.Invoke (h, op, _)) -> (h, op)
+  | _ -> assert false
+
+(* Dependence of two transitions, conditional on the configuration where
+   both are enabled (Katz–Peled conditional independence: state-local
+   diamonds compose along any run that keeps the sleeping transition
+   asleep). *)
+let dependent_at config a b =
+  match (a, b) with
+  | Tstep (p, hp), Tstep (q, hq) ->
+    p = q
+    || (hp = hq
+       &&
+       let h, op_p = pending config p and _, op_q = pending config q in
+       not (ops_commute config.Config.store h op_p op_q))
+  | Tstep (p, _), Tcrash q | Tcrash q, Tstep (p, _) -> p = q
+  | Tcrash p, Tcrash q -> p = q
+
+let map_tr (pi : Symmetry.perm) = function
+  | Tstep (p, h) -> Tstep (pi.(p), h)
+  | Tcrash p -> Tcrash (pi.(p))
+
+let invert (pi : Symmetry.perm) =
+  let inv = Array.make (Array.length pi) 0 in
+  Array.iteri (fun i j -> inv.(j) <- i) pi;
+  inv
 
 (* Canonical configurations are interned as 16-byte digests: the visited
    set of a multi-million-state exploration must not retain the full
-   structured keys. *)
+   structured keys.  Each visited entry records which transitions have
+   already been explored from the state (in canonical coordinates): a
+   revisit under a different sleep set explores only the transitions not
+   yet covered, so each transition is taken at most once per state
+   (Godefroid's state-matching formulation of sleep sets). *)
 module Vtbl = Hashtbl
 
-let fingerprint config = Digest.string (Marshal.to_string (Config.key config) [])
+type visit_record = { mutable explored : tr list }
 
 exception Stop
 
 type state = {
-  visited : (string, unit) Vtbl.t;
+  visited : (string, visit_record) Vtbl.t;
   onstack : (string, unit) Vtbl.t;
   mutable states : int;
   mutable transitions : int;
@@ -37,11 +157,13 @@ type state = {
   mutable crashed_terminals : int;
   mutable max_depth : int;
   mutable dedup_hits : int;
+  mutable sleep_skips : int;
   mutable cycles : int;
-  mutable limited : bool;
+  mutable limit_reason : limit_reason;
   max_states : int;
   depth_limit : int;
   max_crashes : int;
+  reduction : reduction;
   mutable cycle_witness : Trace.t option;
   on_terminal : Config.t -> Trace.t -> unit;
   on_visit : Config.t -> Trace.t Lazy.t -> unit;
@@ -57,67 +179,147 @@ let stats_of st =
     crashed_terminals = st.crashed_terminals;
     max_depth = st.max_depth;
     dedup_hits = st.dedup_hits;
+    sleep_skips = st.sleep_skips;
     cycles = st.cycles;
-    limited = st.limited;
+    limited = st.limit_reason <> No_limit;
+    limit_reason = st.limit_reason;
   }
+
+(* Fingerprint of the canonical representative of [config]'s orbit, plus
+   the renaming that canonicalizes (identity when symmetry is off). *)
+let fingerprint st config =
+  match st.reduction.symmetry with
+  | None -> (Digest.string (Marshal.to_string (Config.key config) []), None)
+  | Some sym ->
+    let key, pi = Symmetry.canonical_key sym config in
+    (Digest.string (Marshal.to_string key []), Some pi)
 
 (* DFS with memoization on canonical configuration keys.  [rev_trace] is the
    path from the root, newest event first.  Crash transitions are ordinary
    transitions of the search: every running process may crash as long as the
    crash budget is not exhausted.  The budget needs no separate memoization
    key — crashed processes are part of the configuration, so the number of
-   crashes used is derivable from the configuration itself. *)
-let rec dfs st config rev_trace depth =
+   crashes used is derivable from the configuration itself.
+
+   [sleep] is the sleep set in concrete coordinates: transitions whose
+   exploration is covered by a sibling branch and must not be re-explored
+   here.  Sleep sets only prune transitions, never states: every reachable
+   state is still visited through some canonical interleaving, so terminal
+   verdicts are preserved.  (Completeness of the pruning assumes the state
+   graph is acyclic, which holds for all one-shot bounded algorithms; the
+   cycle-hunting entry points force sleep sets off.) *)
+let rec dfs st config rev_trace depth sleep =
   if depth > st.max_depth then st.max_depth <- depth;
-  if depth > st.depth_limit then
+  if depth > st.depth_limit then begin
     (* Prune this branch only; siblings are still explored. *)
-    st.limited <- true
+    if st.limit_reason = No_limit then st.limit_reason <- Max_depth
+  end
   else
-    let key = fingerprint config in
+    let key, pi = fingerprint st config in
     if Vtbl.mem st.onstack key then begin
-      (* Back-edge into the current DFS stack: an infinite schedule. *)
+      (* Back-edge into the current DFS stack: an infinite schedule (modulo
+         symmetry, when enabled). *)
       st.cycles <- st.cycles + 1;
       if st.cycle_witness = None then st.cycle_witness <- Some (List.rev rev_trace);
       if st.stop_on_cycle then raise Stop
     end
-    else if Vtbl.mem st.visited key then st.dedup_hits <- st.dedup_hits + 1
-    else if st.states >= st.max_states then begin
-      st.limited <- true;
-      raise Stop
-    end
     else begin
-      Vtbl.add st.visited key ();
-      st.states <- st.states + 1;
-      st.on_visit config (lazy (List.rev rev_trace));
-      match Config.running config with
-      | [] ->
-        st.terminals <- st.terminals + 1;
-        if Config.any_hung config then
-          st.hung_terminals <- st.hung_terminals + 1;
-        if Config.any_crashed config then
-          st.crashed_terminals <- st.crashed_terminals + 1;
-        st.on_terminal config (List.rev rev_trace)
-      | runnable ->
-        Vtbl.add st.onstack key ();
-        List.iter
-          (fun i ->
-            List.iter
-              (fun (config', event) ->
-                st.transitions <- st.transitions + 1;
-                dfs st config' (Trace.Sched event :: rev_trace) (depth + 1))
-              (Step.step config i))
-          runnable;
-        if Config.n_crashed config < st.max_crashes then
+      let record = Vtbl.find_opt st.visited key in
+      if record = None && st.states >= st.max_states then begin
+        st.limit_reason <- Max_states;
+        raise Stop
+      end
+      else begin
+        let first_visit = record = None in
+        let record =
+          match record with
+          | Some r -> r
+          | None ->
+            let r = { explored = [] } in
+            Vtbl.add st.visited key r;
+            st.states <- st.states + 1;
+            r
+        in
+        (* Canonical-coordinate transport: [to_canon] maps a transition of
+           this concrete configuration to the representative's frame (where
+           [record.explored] lives), [of_canon] maps back so previously
+           explored transitions can join children's sleep sets. *)
+        let to_canon, of_canon =
+          match pi with
+          | None -> ((fun e -> e), fun e -> e)
+          | Some pi ->
+            let inv = invert pi in
+            ((fun e -> map_tr pi e), fun e -> map_tr inv e)
+        in
+        if first_visit then st.on_visit config (lazy (List.rev rev_trace));
+        match Config.running config with
+        | [] ->
+          if first_visit then begin
+            st.terminals <- st.terminals + 1;
+            if Config.any_hung config then
+              st.hung_terminals <- st.hung_terminals + 1;
+            if Config.any_crashed config then
+              st.crashed_terminals <- st.crashed_terminals + 1;
+            st.on_terminal config (List.rev rev_trace)
+          end
+          else st.dedup_hits <- st.dedup_hits + 1
+        | runnable ->
+          let prev_explored = List.map of_canon record.explored in
+          Vtbl.add st.onstack key ();
+          (* Transitions taken at this node (now or on a previous visit);
+             each later branch sleeps on the earlier ones it is
+             independent of. *)
+          let done_here = ref prev_explored in
+          let took_any = ref false in
+          let child_sleep entry =
+            List.filter
+              (fun s -> not (dependent_at config s entry))
+              (List.rev_append !done_here sleep)
+          in
+          let visit_entry entry go =
+            if List.mem entry prev_explored then ()
+            else if st.reduction.sleep_sets && List.mem entry sleep then
+              st.sleep_skips <- st.sleep_skips + 1
+            else begin
+              let sleep' =
+                if st.reduction.sleep_sets then child_sleep entry else []
+              in
+              took_any := true;
+              go sleep';
+              done_here := entry :: !done_here;
+              record.explored <- to_canon entry :: record.explored
+            end
+          in
           List.iter
-            (fun (config', victim) ->
-              st.transitions <- st.transitions + 1;
-              dfs st config' (Trace.Crash victim :: rev_trace) (depth + 1))
-            (Step.crash_successors config);
-        Vtbl.remove st.onstack key
+            (fun i ->
+              let entry = Tstep (i, (fst (pending config i) :> int)) in
+              visit_entry entry (fun sleep' ->
+                  List.iter
+                    (fun (config', event) ->
+                      st.transitions <- st.transitions + 1;
+                      dfs st config'
+                        (Trace.Sched event :: rev_trace)
+                        (depth + 1) sleep')
+                    (Step.step config i)))
+            runnable;
+          if Config.n_crashed config < st.max_crashes then
+            List.iter
+              (fun (config', victim) ->
+                let entry = Tcrash victim in
+                visit_entry entry (fun sleep' ->
+                    st.transitions <- st.transitions + 1;
+                    dfs st config'
+                      (Trace.Crash victim :: rev_trace)
+                      (depth + 1) sleep'))
+              (Step.crash_successors config);
+          Vtbl.remove st.onstack key;
+          if (not first_visit) && not !took_any then
+            st.dedup_hits <- st.dedup_hits + 1
+      end
     end
 
 let make_state ?(max_states = 5_000_000) ?(max_depth = 10_000)
-    ?(max_crashes = 0) ?(stop_on_cycle = false)
+    ?(max_crashes = 0) ?(reduction = no_reduction) ?(stop_on_cycle = false)
     ?(on_visit = fun _ _ -> ()) on_terminal =
   {
     visited = Vtbl.create 4096;
@@ -129,30 +331,75 @@ let make_state ?(max_states = 5_000_000) ?(max_depth = 10_000)
     crashed_terminals = 0;
     max_depth = 0;
     dedup_hits = 0;
+    sleep_skips = 0;
     cycles = 0;
-    limited = false;
+    limit_reason = No_limit;
     max_states;
     depth_limit = max_depth;
     max_crashes;
+    reduction;
     cycle_witness = None;
     on_terminal;
     on_visit;
     stop_on_cycle;
   }
 
-let iter_terminals ?max_states ?max_depth ?max_crashes config ~f =
-  let st = make_state ?max_states ?max_depth ?max_crashes f in
-  (try dfs st config [] 0 with Stop -> ());
-  stats_of st
+(* Observability: cumulative counters are cheap and always on; a per-search
+   event is emitted only when a sink is installed. *)
+let m_states = Obs.Metrics.counter "explore.states"
+let m_transitions = Obs.Metrics.counter "explore.transitions"
+let m_dedup = Obs.Metrics.counter "explore.dedup_hits"
+let m_sleep = Obs.Metrics.counter "explore.sleep_skips"
+let m_searches = Obs.Metrics.counter "explore.searches"
 
-let iter_reachable ?max_states ?max_depth ?max_crashes config ~f =
-  let st =
-    make_state ?max_states ?max_depth ?max_crashes ~on_visit:f (fun _ _ -> ())
+let run_search label st config =
+  let t0 = Sys.time () in
+  (try dfs st config [] 0 [] with Stop -> ());
+  let s = stats_of st in
+  let dt = Sys.time () -. t0 in
+  Obs.Metrics.incr m_searches;
+  Obs.Metrics.add m_states s.states;
+  Obs.Metrics.add m_transitions s.transitions;
+  Obs.Metrics.add m_dedup s.dedup_hits;
+  Obs.Metrics.add m_sleep s.sleep_skips;
+  if Obs.Sink.get () != Obs.Sink.null then
+    Obs.Sink.emit "explore"
+      [
+        ("search", Obs.Sink.Str label);
+        ("states", Obs.Sink.Int s.states);
+        ("transitions", Obs.Sink.Int s.transitions);
+        ("terminals", Obs.Sink.Int s.terminals);
+        ("dedup_hits", Obs.Sink.Int s.dedup_hits);
+        ("sleep_skips", Obs.Sink.Int s.sleep_skips);
+        ("cycles", Obs.Sink.Int s.cycles);
+        ("limited", Obs.Sink.Bool s.limited);
+        ("seconds", Obs.Sink.Float dt);
+        ( "states_per_sec",
+          Obs.Sink.Float
+            (if dt > 0.0 then float_of_int s.states /. dt else 0.0) );
+      ];
+  s
+
+let iter_terminals ?max_states ?max_depth ?max_crashes ?reduction config ~f =
+  let st = make_state ?max_states ?max_depth ?max_crashes ?reduction f in
+  run_search "iter_terminals" st config
+
+(* Sleep sets are forced off: [iter_reachable] exists to enumerate every
+   reachable configuration (wait-freedom bounds quantify over all of them),
+   and sleep sets do not shrink the state set anyway — they only skip
+   redundant transitions, at the cost of the cycle caveat. *)
+let iter_reachable ?max_states ?max_depth ?max_crashes ?reduction config ~f =
+  let reduction =
+    Option.map (fun r -> { r with sleep_sets = false }) reduction
   in
-  (try dfs st config [] 0 with Stop -> ());
-  stats_of st
+  let st =
+    make_state ?max_states ?max_depth ?max_crashes ?reduction ~on_visit:f
+      (fun _ _ -> ())
+  in
+  run_search "iter_reachable" st config
 
-let find_terminal ?max_states ?max_depth ?max_crashes config ~violates =
+let find_terminal ?max_states ?max_depth ?max_crashes ?reduction config
+    ~violates =
   let found = ref None in
   let on_terminal c trace =
     if violates c then begin
@@ -160,22 +407,30 @@ let find_terminal ?max_states ?max_depth ?max_crashes config ~violates =
       raise Stop
     end
   in
-  let st = make_state ?max_states ?max_depth ?max_crashes on_terminal in
-  (try dfs st config [] 0 with Stop -> ());
-  (!found, stats_of st)
+  let st = make_state ?max_states ?max_depth ?max_crashes ?reduction on_terminal in
+  let stats = run_search "find_terminal" st config in
+  (!found, stats)
 
-let check_terminals ?max_states ?max_depth ?max_crashes config ~ok =
+let check_terminals ?max_states ?max_depth ?max_crashes ?reduction config ~ok =
   match
-    find_terminal ?max_states ?max_depth ?max_crashes config
+    find_terminal ?max_states ?max_depth ?max_crashes ?reduction config
       ~violates:(fun c -> not (ok c))
   with
   | None, stats -> Ok stats
   | Some (c, trace), stats -> Error (c, trace, stats)
 
-let find_cycle ?max_states ?max_depth ?max_crashes config =
+(* Sleep sets are forced off: skipping a transition at a state revisited on
+   the DFS stack could hide a back-edge.  Symmetry stays on — an orbit
+   back-edge still witnesses an infinite run (apply the automorphism
+   repeatedly to extend the lasso). *)
+let find_cycle ?max_states ?max_depth ?max_crashes ?reduction config =
+  let reduction =
+    Option.map (fun r -> { r with sleep_sets = false }) reduction
+  in
   let st =
-    make_state ?max_states ?max_depth ?max_crashes ~stop_on_cycle:true
+    make_state ?max_states ?max_depth ?max_crashes ?reduction
+      ~stop_on_cycle:true
       (fun _ _ -> ())
   in
-  (try dfs st config [] 0 with Stop -> ());
-  (st.cycle_witness, stats_of st)
+  let stats = run_search "find_cycle" st config in
+  (st.cycle_witness, stats)

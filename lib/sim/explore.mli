@@ -13,9 +13,39 @@
     pattern of at most [f] crashes.  (The budget needs no extra memoization
     state: crashed processes are part of the configuration key.)
 
+    {1 Reductions}
+
+    Two sound, opt-in reductions shrink the search (see DESIGN.md for the
+    soundness arguments):
+
+    - {b Symmetry quotienting} ([reduction.symmetry]): configurations are
+      memoized by the canonical representative of their orbit under a
+      process-renaming group ({!Symmetry.t}), so schedules differing only
+      in the identity of symmetric processes collapse.  Visited states drop
+      by up to the group order; the spec must be a true automorphism group
+      for the instance (caller obligation, cross-validated in tests).
+      Sound for terminal checking, reachability, and cycle detection.
+
+    - {b Sleep sets} ([reduction.sleep_sets]): a partial-order reduction
+      that skips re-exploring a transition already covered by an
+      independent sibling branch (two transitions are independent when they
+      involve distinct processes and distinct objects).  Prunes redundant
+      {e transitions} — terminal verdicts are preserved, visited states are
+      not reduced.  Assumes an acyclic state graph (true for all one-shot
+      bounded algorithms); the entry points that hunt cycles or enumerate
+      all reachable states ({!find_cycle}, {!iter_reachable}) force sleep
+      sets off.
+
     For the bounded one-shot algorithms of the paper the state space is
     finite and exploration is complete: a property checked here is a proof
     for that instance size. *)
+
+type limit_reason =
+  | No_limit
+  | Max_states  (** the state budget was exhausted; search aborted *)
+  | Max_depth  (** some branch was pruned at the depth bound *)
+
+val pp_limit_reason : Format.formatter -> limit_reason -> unit
 
 type stats = {
   states : int;  (** distinct canonical configurations visited *)
@@ -25,33 +55,51 @@ type stats = {
   crashed_terminals : int;  (** terminals in which some process crashed *)
   max_depth : int;
   dedup_hits : int;  (** transitions into an already-visited configuration *)
+  sleep_skips : int;  (** transitions skipped by the sleep-set reduction *)
   cycles : int;  (** back-edges into the current DFS stack: each witnesses
                      an infinite schedule (non-termination potential) *)
   limited : bool;
-      (** true iff [max_states] was exhausted or some branch was pruned at
-          the depth bound — the search is then {e not} a proof *)
+      (** true iff the search was truncated — it is then {e not} a proof;
+          [limit_reason] says why *)
+  limit_reason : limit_reason;
 }
 
 val pp_stats : Format.formatter -> stats -> unit
 
+(** Which reductions to apply.  The default ({!no_reduction}) reproduces
+    the plain exhaustive search exactly. *)
+type reduction = { symmetry : Symmetry.t option; sleep_sets : bool }
+
+val no_reduction : reduction
+val with_symmetry : Symmetry.t -> reduction
+val full_reduction : Symmetry.t -> reduction
+(** Symmetry quotienting {e and} sleep sets. *)
+
+val pp_reduction : Format.formatter -> reduction -> unit
+
 (** [iter_terminals config ~f] visits every reachable terminal configuration
-    once, passing a witness trace. *)
+    once, passing a witness trace.  Under symmetry, one representative per
+    terminal orbit is reported (checked properties must be
+    renaming-invariant). *)
 val iter_terminals :
   ?max_states:int ->
   ?max_depth:int ->
   ?max_crashes:int ->
+  ?reduction:reduction ->
   Config.t ->
   f:(Config.t -> Trace.t -> unit) ->
   stats
 
 (** [iter_reachable config ~f] visits {e every} reachable configuration
-    (not just terminals) once, passing a lazy witness trace — forcing it is
-    linear in the depth, so callers that only need the trace on failure pay
-    nothing on the common path. *)
+    (one representative per orbit under symmetry) once, passing a lazy
+    witness trace — forcing it is linear in the depth, so callers that only
+    need the trace on failure pay nothing on the common path.  Sleep sets
+    are forced off (they would not shrink the visited set anyway). *)
 val iter_reachable :
   ?max_states:int ->
   ?max_depth:int ->
   ?max_crashes:int ->
+  ?reduction:reduction ->
   Config.t ->
   f:(Config.t -> Trace.t Lazy.t -> unit) ->
   stats
@@ -62,6 +110,7 @@ val find_terminal :
   ?max_states:int ->
   ?max_depth:int ->
   ?max_crashes:int ->
+  ?reduction:reduction ->
   Config.t ->
   violates:(Config.t -> bool) ->
   (Config.t * Trace.t) option * stats
@@ -72,16 +121,22 @@ val check_terminals :
   ?max_states:int ->
   ?max_depth:int ->
   ?max_crashes:int ->
+  ?reduction:reduction ->
   Config.t ->
   ok:(Config.t -> bool) ->
   (stats, Config.t * Trace.t * stats) result
 
 (** [find_cycle config] searches for an infinite schedule: a configuration
-    reachable from itself.  Returns the lasso trace (stem to the repeated
-    configuration).  Wait-free algorithms must return [None]. *)
+    reachable from itself (modulo symmetry, when enabled — an orbit
+    back-edge extends to an infinite run by repeated application of the
+    automorphism).  Returns the lasso trace (stem to the repeated
+    configuration).  Sleep sets are forced off — skipping transitions at
+    on-stack states could hide back-edges.  Wait-free algorithms must
+    return [None]. *)
 val find_cycle :
   ?max_states:int ->
   ?max_depth:int ->
   ?max_crashes:int ->
+  ?reduction:reduction ->
   Config.t ->
   Trace.t option * stats

@@ -1,3 +1,5 @@
+module Obs = Subc_obs
+
 type strategy =
   | Round_robin
   | Random of int
@@ -79,6 +81,36 @@ let pick_successor sched successors =
   | Some rng, _ ->
     List.nth successors (Random.State.int rng (List.length successors))
 
+let m_runs = Obs.Metrics.counter "runner.runs"
+let m_steps = Obs.Metrics.counter "runner.steps"
+let m_crashes = Obs.Metrics.counter "runner.crashes_injected"
+let m_incomplete = Obs.Metrics.counter "runner.incomplete"
+
+let strategy_name = function
+  | Round_robin -> "round_robin"
+  | Random _ -> "random"
+  | Fixed _ -> "fixed"
+  | Priority _ -> "priority"
+  | Only _ -> "only"
+  | Crash_at _ -> "crash_at"
+  | Crash_random _ -> "crash_random"
+
+let observe strategy r =
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.add m_steps r.steps;
+  Obs.Metrics.add m_crashes (Config.n_crashed r.final);
+  if not r.completed then Obs.Metrics.incr m_incomplete;
+  if Obs.Sink.get () != Obs.Sink.null then
+    Obs.Sink.emit "run"
+      [
+        ("strategy", Obs.Sink.Str (strategy_name strategy));
+        ("steps", Obs.Sink.Int r.steps);
+        ("completed", Obs.Sink.Bool r.completed);
+        ("crashed", Obs.Sink.Int (Config.n_crashed r.final));
+        ("starved", Obs.Sink.Int (List.length r.starved));
+      ];
+  r
+
 let run ?(max_steps = 1_000_000) strategy config =
   let sched = scheduler_of_strategy strategy in
   (* Crash plan for [Crash_at]: (step, proc) pairs, applied in step order. *)
@@ -152,7 +184,7 @@ let run ?(max_steps = 1_000_000) strategy config =
         let config, event = pick_successor sched (Step.step config i) in
         loop config (Trace.Sched event :: rev_trace) (steps + 1)
   in
-  loop config [] 0
+  observe strategy (loop config [] 0)
 
 let run_random_many ?max_steps ~seeds config =
   List.map (fun seed -> run ?max_steps (Random seed) config) seeds

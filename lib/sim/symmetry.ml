@@ -1,0 +1,148 @@
+type perm = int array
+
+let identity n = Array.init n (fun i -> i)
+let apply (pi : perm) i = pi.(i)
+
+let rotations n =
+  List.init n (fun c -> Array.init n (fun i -> (i + c) mod n))
+
+(* All n! permutations of 0..n-1.  Only sensible for the tiny process
+   counts the checker handles exhaustively (n <= 6 or so). *)
+let all_perms n =
+  let rec insert_everywhere x = function
+    | [] -> [ [ x ] ]
+    | y :: ys as l ->
+      (x :: l) :: List.map (fun r -> y :: r) (insert_everywhere x ys)
+  in
+  let rec perms = function
+    | [] -> [ [] ]
+    | x :: xs -> List.concat_map (insert_everywhere x) (perms xs)
+  in
+  perms (List.init n (fun i -> i)) |> List.map Array.of_list
+
+type t = {
+  n : int;
+  perms : perm list;
+  act_data : perm -> Value.t -> Value.t;
+  erase_dead : bool;
+}
+
+let group_order t = List.length t.perms
+let n_procs t = t.n
+
+(* The standard data action for the repo's harness conventions:
+   - [Int i] with 0 <= i < n is a process index and is renamed (when
+     [map_ids]);
+   - [Int i] with base <= i < base + n is process i-base's proposal and is
+     renamed consistently (when [input_base] is given);
+   - a [Vec] of length exactly n is process-indexed (snapshot segments,
+     WRN cells, used-flags, scan views): entry i moves to slot pi(i) and
+     is itself acted on;
+   - everything else is traversed structurally.
+
+   This is a convention, not something the simulator can check: object
+   states and responses must index processes only through length-n vectors
+   and 0..n-1 integers.  The cross-validation suite (test_reduction)
+   checks it per algorithm family by comparing against unreduced search. *)
+let rec deep_act ~n ~map_ids ~input_base (pi : perm) v =
+  match v with
+  | Value.Int i when map_ids && 0 <= i && i < n -> Value.Int pi.(i)
+  | Value.Int i -> (
+    match input_base with
+    | Some b when b <= i && i < b + n -> Value.Int (b + pi.(i - b))
+    | _ -> v)
+  | Value.Vec vs when List.length vs = n ->
+    let arr = Array.make n Value.Bot in
+    List.iteri
+      (fun i x -> arr.(pi.(i)) <- deep_act ~n ~map_ids ~input_base pi x)
+      vs;
+    Value.Vec (Array.to_list arr)
+  | Value.Pair (a, b) ->
+    Value.Pair
+      (deep_act ~n ~map_ids ~input_base pi a,
+       deep_act ~n ~map_ids ~input_base pi b)
+  | Value.Vec vs -> Value.Vec (List.map (deep_act ~n ~map_ids ~input_base pi) vs)
+  | Value.Tag (s, x) -> Value.Tag (s, deep_act ~n ~map_ids ~input_base pi x)
+  | _ -> v
+
+let make ~n ~perms ?(erase_dead = true) act_data =
+  if perms = [] then invalid_arg "Symmetry.make: empty permutation group";
+  List.iter
+    (fun pi ->
+      if Array.length pi <> n then
+        invalid_arg "Symmetry.make: permutation arity mismatch")
+    perms;
+  { n; perms; act_data; erase_dead }
+
+let standard ~n ?input_base ?(map_ids = true) ?(erase_dead = true) grp =
+  let perms =
+    match grp with
+    | `Trivial -> [ identity n ]
+    | `Rotations -> rotations n
+    | `Full -> all_perms n
+  in
+  make ~n ~perms ~erase_dead (fun pi v -> deep_act ~n ~map_ids ~input_base pi v)
+
+let trivial ~n = standard ~n ~map_ids:false ~erase_dead:false `Trivial
+let erasure_only ~n = standard ~n ~map_ids:false ~erase_dead:true `Trivial
+
+(* Key of [c] under one renaming [pi].  Mirrors [Config.key] with three
+   differences: (1) object states and data values go through the symmetry
+   action; (2) process entry i is placed at slot pi(i); (3) with
+   [erase_dead], the response histories of finished (terminated or hung)
+   processes are dropped — they can no longer influence the execution, and
+   no checker reads stored histories, so configurations differing only in
+   how a finished process got there are merged.  Crashed histories are
+   already cleared by [Config.crash].  Additionally, in a terminal
+   configuration no object will ever be invoked again, so the whole store
+   is dead and is erased from the key. *)
+let key_under t (pi : perm) (c : Config.t) =
+  let act = t.act_data pi in
+  let terminal = t.erase_dead && Config.is_terminal c in
+  let store_part =
+    if terminal then Value.Sym "terminal"
+    else
+      Value.Vec
+        (List.map
+           (fun (h, st) -> Value.Pair (Value.Int h, act st))
+           (Store.contents c.Config.store))
+  in
+  let act_proc (p : Config.proc) =
+    let status =
+      match p.Config.status with
+      | Config.Running _ -> Value.Sym "run"
+      | Config.Terminated v -> Value.Tag ("done", act v)
+      | Config.Hung -> Value.Sym "hung"
+      | Config.Crashed -> Value.Sym "crash"
+    in
+    let history =
+      match p.Config.status with
+      | (Config.Terminated _ | Config.Hung) when t.erase_dead -> []
+      | _ ->
+        (* The history is a sequence of responses: act on each element,
+           never permute the list itself. *)
+        List.map act p.Config.history
+    in
+    Value.Pair (status, Value.Vec history)
+  in
+  let procs = Array.make t.n Value.Unit in
+  Array.iteri (fun i p -> procs.(pi.(i)) <- act_proc p) c.Config.procs;
+  Value.Pair (store_part, Value.Vec (Array.to_list procs))
+
+(* Canonical representative: minimum key over the group, together with the
+   permutation that achieves it (used to transport sleep sets into
+   canonical coordinates). *)
+let canonical_key t (c : Config.t) =
+  match t.perms with
+  | [] -> assert false
+  | pi0 :: rest ->
+    let best_key = ref (key_under t pi0 c) and best_pi = ref pi0 in
+    List.iter
+      (fun pi ->
+        let k = key_under t pi c in
+        if compare k !best_key < 0 then begin
+          best_key := k;
+          best_pi := pi
+        end)
+      rest;
+    (!best_key, !best_pi)

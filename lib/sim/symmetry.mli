@@ -1,0 +1,100 @@
+(** Process-symmetry specifications for state-space reduction.
+
+    Many of the paper's algorithms are {e symmetric}: every process runs the
+    same program up to renaming, and the objects treat process identities
+    uniformly (or, for ring-structured algorithms such as WRN's "read the
+    next cell", uniformly up to rotation).  If [pi] is an automorphism of
+    the transition system, then configurations [c] and [pi(c)] have
+    isomorphic futures, and the model checker only needs to explore one
+    representative per orbit.  This module describes the automorphism
+    group and its action on configurations; {!Explore} uses it to
+    canonicalize memoization keys.
+
+    {b Soundness is a caller obligation.}  The spec given to the explorer
+    must be a true automorphism group: processes in the same orbit must run
+    the same program modulo the data action, the checked property must be
+    invariant under the renaming (agreement, set-validity, termination and
+    step-count bounds all are; a property naming a specific process is
+    not), and object states must index processes only in ways the data
+    action understands.  The cross-validation suite ([test_reduction])
+    checks each algorithm family empirically by comparing reduced and
+    unreduced verdicts.
+
+    The group to use depends on the algorithm:
+    - full symmetric group ([`Full]) for read/write and snapshot-based
+      algorithms and for proposal-oblivious objects (set-consensus
+      objects, SSE);
+    - rotations only ([`Rotations]) for WRN-family rings, where process i
+      reads cell (i+1) mod k: an arbitrary transposition breaks the ring
+      structure, but rotating all indices preserves it;
+    - [`Trivial] when no renaming is valid (asymmetric programs); the spec
+      can still enable dead-history erasure. *)
+
+type perm = int array
+(** [pi.(i)] is the image of process [i]. *)
+
+val identity : int -> perm
+val apply : perm -> int -> int
+
+val rotations : int -> perm list
+(** The cyclic group: all [n] rotations of [0..n-1], identity included. *)
+
+val all_perms : int -> perm list
+(** The full symmetric group ([n!] elements) — only for tiny [n]. *)
+
+type t
+
+val make :
+  n:int ->
+  perms:perm list ->
+  ?erase_dead:bool ->
+  (perm -> Value.t -> Value.t) ->
+  t
+(** [make ~n ~perms act] builds a spec from an explicit group and data
+    action.  [erase_dead] (default true) additionally drops the response
+    histories of terminated/hung processes and the store of terminal
+    configurations from the memo key; this is sound independently of the
+    group because finished state can no longer influence the execution and
+    no checker reads it back. *)
+
+val standard :
+  n:int ->
+  ?input_base:int ->
+  ?map_ids:bool ->
+  ?erase_dead:bool ->
+  [ `Trivial | `Rotations | `Full ] ->
+  t
+(** The spec for the repo's standard harness conventions: process ids are
+    integers [0..n-1] (renamed when [map_ids], default true), proposals are
+    [input_base..input_base+n-1] (renamed consistently when given), and any
+    [Vec] of length exactly [n] inside object states, responses, or decided
+    values is process-indexed.  See {!deep_act}. *)
+
+val trivial : n:int -> t
+(** Identity group, no erasure: canonicalization is (an erased-field-free
+    rendering of) [Config.key].  Useful as an explicit "no symmetry". *)
+
+val erasure_only : n:int -> t
+(** Identity group with dead-history/terminal-store erasure: a reduction
+    that is sound for {e every} algorithm, symmetric or not. *)
+
+val deep_act :
+  n:int -> map_ids:bool -> input_base:int option -> perm -> Value.t -> Value.t
+(** The standard data action (exposed for property tests): renames process
+    ids and proposal values, permutes the slots of every length-[n] [Vec]
+    (recursing into entries), and traverses pairs/tags/other vectors
+    structurally. *)
+
+val n_procs : t -> int
+val group_order : t -> int
+
+val key_under : t -> perm -> Config.t -> Value.t
+(** The memoization key of a configuration under one fixed renaming
+    (exposed for property tests). *)
+
+val canonical_key : t -> Config.t -> Value.t * perm
+(** [canonical_key t c] is the minimum of [key_under t pi c] over the
+    group, with the permutation that achieves it.  The permutation is used
+    by {!Explore} to transport sleep sets into canonical coordinates.
+    Canonicalization is idempotent ([canonical_key] of any orbit member
+    yields the same key) and permutation-invariant. *)
