@@ -12,7 +12,26 @@ module Alg6 = Subc_core.Alg6
 module Hierarchy = Subc_core.Hierarchy
 module Valence = Subc_check.Valence
 module Task_check = Subc_check.Task_check
+module Progress = Subc_check.Progress
+module Verdict = Subc_check.Verdict
 module Lin = Subc_check.Linearizability
+
+(* Map the unified verdict back onto the e6/e9 table vocabulary: refutations
+   by an infinite schedule read "diverges", safety refutations "violation". *)
+let consensus_verdict_name config ~inputs =
+  match Valence.consensus_verdict config ~inputs with
+  | Verdict.Proved _ -> "solves"
+  | Verdict.Refuted { reason; _ } ->
+    let diverges =
+      let sub = "infinite schedule" in
+      let n = String.length sub in
+      let rec scan i =
+        i + n <= String.length reason && (String.sub reason i n = sub || scan (i + 1))
+      in
+      scan 0
+    in
+    if diverges then "diverges" else "violation"
+  | Verdict.Limited _ -> "unknown"
 
 let failures = ref 0
 
@@ -63,7 +82,7 @@ let e1 () =
         let programs = List.mapi (fun i v -> Alg2.propose t ~i v) inputs in
         let task = Task.conj (Task.set_consensus (k - 1)) Task.all_decided in
         let ok =
-          Result.is_ok (Task_check.exhaustive store ~programs ~inputs ~task)
+          Verdict.is_proved (Task_check.check store ~programs ~inputs ~task)
         in
         let best, stats = max_distinct_exhaustive store programs in
         [
@@ -147,7 +166,7 @@ let e3 () =
     let mode, ok =
       if exhaustive then
         ( "exhaustive",
-          Result.is_ok (Task_check.exhaustive store ~programs ~inputs ~task) )
+          Verdict.is_proved (Task_check.check store ~programs ~inputs ~task) )
       else
         let s =
           Task_check.sample store ~programs ~inputs ~task ~seeds:(seeds 300)
@@ -184,7 +203,7 @@ let e4 () =
       List.mapi (fun p i -> Alg4.rlx_wrn t ~i (Value.Int (100 + p))) indices
     in
     let legal =
-      match Task_check.wait_free store ~programs with Ok _ -> true | Error _ -> false
+      Verdict.is_proved (Progress.check_t_resilient ~t:0 store ~programs)
     in
     let config = Config.make store programs in
     let all_bot, _ =
@@ -263,11 +282,7 @@ let e6 () =
       ]
     in
     let config = Config.make store programs in
-    match Valence.check_consensus config ~inputs:[ Value.Int 0; Value.Int 1 ] with
-    | Valence.Solves _ -> "solves"
-    | Valence.Violation _ -> "violation"
-    | Valence.Diverges _ -> "diverges"
-    | Valence.Unknown _ -> "unknown"
+    consensus_verdict_name config ~inputs:[ Value.Int 0; Value.Int 1 ]
   in
   let styles =
     [
@@ -396,13 +411,7 @@ let e9 () =
   let config =
     Config.make store [ program 0 (Value.Int 0); program 1 (Value.Int 1) ]
   in
-  let v =
-    match Valence.check_consensus config ~inputs:[ Value.Int 0; Value.Int 1 ] with
-    | Valence.Violation _ -> "violation"
-    | Valence.Solves _ -> "solves"
-    | Valence.Diverges _ -> "diverges"
-    | Valence.Unknown _ -> "unknown"
-  in
+  let v = consensus_verdict_name config ~inputs:[ Value.Int 0; Value.Int 1 ] in
   Format.printf
     "@.E9. The S2 strong-set-election object cannot solve 2-consensus \
      (win/lose protocol): %s  [%s]@."
@@ -485,24 +494,24 @@ let e11 () =
   let store_n, tn = Subc_core.Sse_from_set_consensus.alloc_naive Store.empty ~k:3 in
   let naive =
     match
-      Task_check.exhaustive store_n ~programs:(elect_programs tn [ 0; 1; 2 ])
+      Task_check.check store_n ~programs:(elect_programs tn [ 0; 1; 2 ])
         ~inputs ~task
     with
-    | Ok _ -> "no violation (?)"
-    | Error (reason, trace) ->
+    | Verdict.Refuted { reason; trace; _ } ->
       Printf.sprintf "%s (schedule length %d)" reason (Trace.length trace)
+    | Verdict.Proved _ | Verdict.Limited _ -> "no violation (?)"
   in
   let store_i, ti =
     Subc_core.Sse_from_set_consensus.alloc_iterated Store.empty ~k:3
   in
   let iterated =
     match
-      Task_check.exhaustive ~max_states:4_000_000 store_i
+      Task_check.check ~max_states:4_000_000 store_i
         ~programs:(elect_programs ti [ 0; 1; 2 ]) ~inputs ~task
     with
-    | Ok _ -> "no violation (?)"
-    | Error (reason, trace) ->
+    | Verdict.Refuted { reason; trace; _ } ->
       Printf.sprintf "%s (schedule length %d)" reason (Trace.length trace)
+    | Verdict.Proved _ | Verdict.Limited _ -> "no violation (?)"
   in
   table
     ~title:
@@ -638,7 +647,6 @@ let e14 () =
 (* ----------------------------------------------------------------- E15 *)
 
 let e15 () =
-  let module Progress = Subc_check.Progress in
   (* Algorithm 2, k=3: safety under EVERY schedule and every crash pattern
      with <= f crashes, f = 0, 1, 2. *)
   let alg2_rows =
@@ -694,22 +702,31 @@ let e15 () =
   in
   (* Wait-freedom certificates (solo-step bounds), crash budget included. *)
   let progress_row name ~expect_bound store programs ~max_crashes =
-    match Progress.wait_free ~max_crashes store ~programs with
-    | Ok cert ->
+    match Progress.check_wait_free ~max_crashes store ~programs with
+    | Verdict.Proved _ as v ->
+      let metric key =
+        match List.assoc_opt key (Verdict.stats v).Verdict.metrics with
+        | Some x -> int_of_float x
+        | None -> -1
+      in
       [
         name; Printf.sprintf "progress, f=%d" max_crashes;
-        string_of_int cert.Progress.configs;
-        Printf.sprintf "wait-free, solo bound %d" cert.Progress.solo_bound;
+        string_of_int (metric "configs");
+        Printf.sprintf "wait-free, solo bound %d" (metric "solo_bound");
         check ("E15 " ^ name)
           (match expect_bound with
-          | Some b -> cert.Progress.solo_bound = b
+          | Some b -> metric "solo_bound" = b
           | None -> true);
       ]
-    | Error fail ->
+    | Verdict.Refuted { reason; _ } ->
+      [
+        name; Printf.sprintf "progress, f=%d" max_crashes; "-"; reason;
+        check ("E15 " ^ name) false;
+      ]
+    | Verdict.Limited _ ->
       [
         name; Printf.sprintf "progress, f=%d" max_crashes; "-";
-        Format.asprintf "%a" Progress.pp_failure fail;
-        check ("E15 " ^ name) false;
+        "exploration truncated"; check ("E15 " ^ name) false;
       ]
   in
   let alg2_progress =
@@ -746,22 +763,21 @@ let e15 () =
       let* () = Subc_objects.Register.write reg (Value.Int 1) in
       Program.return (Value.Int 1)
     in
-    match Progress.wait_free store ~programs:[ spinner; writer ] with
-    | Ok _ ->
+    match Progress.check_wait_free store ~programs:[ spinner; writer ] with
+    | Verdict.Refuted { reason; _ }
+      when String.length reason >= 9 && String.sub reason 0 9 = "process 0" ->
       [
-        "lock-free spinner"; "progress, f=0"; "-"; "no counterexample (?)";
+        "lock-free spinner"; "progress, f=0"; "-";
+        "NOT wait-free (P0 solo-spins)"; check "E15 spinner" true;
+      ]
+    | Verdict.Refuted { reason; _ } ->
+      [
+        "lock-free spinner"; "progress, f=0"; "-"; reason;
         check "E15 spinner" false;
       ]
-    | Error (Progress.Non_terminating { proc; _ }) ->
+    | Verdict.Proved _ | Verdict.Limited _ ->
       [
-        "lock-free spinner"; "progress, f=0"; "-";
-        Printf.sprintf "NOT wait-free (P%d solo-spins)" proc;
-        check "E15 spinner" (proc = 0);
-      ]
-    | Error fail ->
-      [
-        "lock-free spinner"; "progress, f=0"; "-";
-        Format.asprintf "%a" Progress.pp_failure fail;
+        "lock-free spinner"; "progress, f=0"; "-"; "no counterexample (?)";
         check "E15 spinner" false;
       ]
   in

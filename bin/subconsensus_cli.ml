@@ -9,6 +9,8 @@
 
    Examples:
      subconsensus_cli check --alg alg2 -k 4
+     subconsensus_cli analyze --family alg2 --json
+     subconsensus_cli check --alg alg5 -k 3 --reduction full --certified
      subconsensus_cli check --alg alg5 -k 3 --reduction full --json
      subconsensus_cli explore --alg alg5 -k 3 --reduction full --metrics
      subconsensus_cli crash-sweep --alg alg2 -k 3 --max-crashes 2
@@ -180,10 +182,33 @@ let instance_store_programs = function
     ->
     (store, programs)
 
+(* With --certified, a reduction is only enabled after the static
+   soundness analyzer proves every obligation (purity, commutation,
+   equivariance, classification) for the algorithm's registered objects;
+   the reduction is then built through [Explore.certified_reduction].  A
+   non-proved finding refuses the run with the refutation exit code. *)
+let certified_reduction_for ~alg symmetry ~sleep_sets =
+  match Subc_analysis.Registry.find alg with
+  | None ->
+    Format.eprintf "no analysis registry family for %S@." alg;
+    exit 1
+  | Some entry -> (
+    match
+      Subc_analysis.Analyzer.certify ~family:alg
+        entry.Subc_analysis.Registry.subjects
+    with
+    | Ok certificate ->
+      Explore.certified_reduction ~certificate ~sleep_sets symmetry
+    | Error findings ->
+      Format.eprintf "@[<v>analyzer refuses to certify %s:@,%a@]@." alg
+        (Format.pp_print_list Subc_analysis.Analyzer.pp_finding)
+        findings;
+      exit 1)
+
 (* Resolve the --reduction choice against the instance's symmetry spec.
    Algorithms with no valid renaming group still get the always-sound
    dead-state erasure for sym/full. *)
-let reduction_of choice inst =
+let reduction_of ?(certified = false) ~alg choice inst =
   let sym () =
     match instance_symmetry inst with
     | Some s -> s
@@ -192,9 +217,20 @@ let reduction_of choice inst =
   in
   match choice with
   | `None -> None
-  | `Sleep -> Some { Explore.symmetry = None; sleep_sets = true }
-  | `Sym -> Some (Explore.with_symmetry (sym ()))
-  | `Full -> Some (Explore.full_reduction (sym ()))
+  | `Sleep ->
+    Some
+      (if certified then certified_reduction_for ~alg None ~sleep_sets:true
+       else { Explore.symmetry = None; sleep_sets = true })
+  | `Sym ->
+    Some
+      (if certified then
+         certified_reduction_for ~alg (Some (sym ())) ~sleep_sets:false
+       else Explore.with_symmetry (sym ()))
+  | `Full ->
+    Some
+      (if certified then
+         certified_reduction_for ~alg (Some (sym ())) ~sleep_sets:true
+       else Explore.full_reduction (sym ()))
 
 let check_instance ?max_states ?max_crashes ?reduction inst =
   match inst with
@@ -228,15 +264,25 @@ let max_states_arg =
   Arg.(
     value & opt int 5_000_000
     & info [ "max-states" ] ~doc:"State budget per exploration.")
+let certified_arg =
+  Arg.(
+    value & flag
+    & info [ "certified" ]
+        ~doc:
+          "Demand an analyzer certificate before enabling any reduction: \
+           run the static soundness analyzer over the algorithm's \
+           registered objects and refuse to start (exit 1) unless every \
+           commutation, equivariance and classification obligation is \
+           proved.")
 
 (* ------------------------------------------------------------------ *)
 (* check: one verdict per invocation, under the shared contract.       *)
 
 let check_cmd =
-  let run alg n k f max_states choice json metrics =
+  let run alg n k f max_states choice certified json metrics =
     setup_obs ~json ~metrics;
     let inst = instance_of alg ~n ~k ~crashes:f in
-    let reduction = reduction_of choice inst in
+    let reduction = reduction_of ~certified ~alg choice inst in
     let v = check_instance ~max_states ~max_crashes:f ?reduction inst in
     report ~json alg v;
     finish ~metrics [ v ]
@@ -254,7 +300,7 @@ let check_cmd =
           report a verdict.  Exits 0 proved / 1 refuted / 2 limited.")
     Term.(
       const run $ alg_arg $ n_arg $ k_arg $ crashes_arg $ max_states_arg
-      $ reduction_arg $ json_arg $ metrics_arg)
+      $ reduction_arg $ certified_arg $ json_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explore: raw state-space statistics, with or without reductions.    *)
@@ -276,11 +322,11 @@ let stats_fields reduction (stats : Explore.stats) =
   ]
 
 let explore_cmd =
-  let run alg n k f max_states choice json metrics =
+  let run alg n k f max_states choice certified json metrics =
     setup_obs ~json ~metrics;
     let inst = instance_of alg ~n ~k ~crashes:f in
     let store, programs = instance_store_programs inst in
-    let reduction = reduction_of choice inst in
+    let reduction = reduction_of ~certified ~alg choice inst in
     let config = Config.make store programs in
     let stats =
       Obs.Span.time "cli.explore" @@ fun () ->
@@ -315,7 +361,7 @@ let explore_cmd =
           reason).  Exits 0, or 2 when the search was truncated.")
     Term.(
       const run $ alg_arg $ n_arg $ k_arg $ crashes_arg $ max_states_arg
-      $ reduction_arg $ json_arg $ metrics_arg)
+      $ reduction_arg $ certified_arg $ json_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Per-algorithm commands (sampled runs keep their own reporting; the
@@ -336,7 +382,7 @@ let run_task_alg name inst exhaustive n_seeds choice json metrics =
   match inst with
   | Task_instance { store; programs; inputs; task; _ } ->
     if exhaustive then begin
-      let reduction = reduction_of choice inst in
+      let reduction = reduction_of ~alg:name choice inst in
       let v =
         Subc_check.Task_check.check ?reduction store ~programs ~inputs ~task
       in
@@ -373,7 +419,7 @@ let alg5_cmd =
   let run k choice json metrics =
     setup_obs ~json ~metrics;
     let inst = alg5_instance ~k in
-    let reduction = reduction_of choice inst in
+    let reduction = reduction_of ~alg:"alg5" choice inst in
     let v = check_instance ?reduction inst in
     report ~json "alg5" v;
     finish ~metrics [ v ]
@@ -548,11 +594,62 @@ let critical_cmd =
     Term.(const run $ k_arg $ style_arg)
 
 (* ------------------------------------------------------------------ *)
+(* analyze: the static soundness analyzer over the subject registry.   *)
+
+let analyze_cmd =
+  let run family json metrics =
+    setup_obs ~json ~metrics;
+    let entries =
+      match family with
+      | "all" -> Subc_analysis.Registry.entries ()
+      | f -> (
+        match Subc_analysis.Registry.find f with
+        | Some e -> [ e ]
+        | None ->
+          Format.eprintf "unknown family %S (known: all, %s)@." f
+            (String.concat ", " (Subc_analysis.Registry.families ()));
+          exit 2)
+    in
+    let findings =
+      List.concat_map
+        (fun (e : Subc_analysis.Registry.entry) ->
+          Subc_analysis.Analyzer.analyze ~family:e.Subc_analysis.Registry.family
+            e.Subc_analysis.Registry.subjects)
+        entries
+    in
+    List.iter
+      (fun f ->
+        if json then print_endline (Subc_analysis.Analyzer.to_json f)
+        else Format.printf "%a@." Subc_analysis.Analyzer.pp_finding f)
+      findings;
+    finish ~metrics (Subc_analysis.Analyzer.verdicts findings)
+  in
+  let family_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:
+            "Registry family to analyze ($(b,all), $(b,objects), \
+             $(b,alg2) .. $(b,alg6), $(b,1swrn), $(b,set-consensus)).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Statically certify the reduction layer's soundness obligations: \
+          enumerate each registered object's reachable states and prove \
+          apply purity, pairwise commutation wherever the sleep-set \
+          judgment claims independence, equivariance of the declared \
+          symmetry group, and the declared classification — or refute \
+          with a concrete witness.  No schedules are explored.  Exits 0 \
+          proved / 1 refuted / 2 limited.")
+    Term.(const run $ family_arg $ json_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
 (* crash-sweep: a verdict per crash budget plus a progress verdict, all
    under the shared contract.                                          *)
 
 let crash_sweep_cmd =
-  let run alg k f max_states solo_limit choice json metrics =
+  let run alg k f max_states solo_limit choice certified json metrics =
     setup_obs ~json ~metrics;
     let verdicts = ref [] in
     let note name v =
@@ -560,7 +657,7 @@ let crash_sweep_cmd =
       report ~json name v
     in
     let inst = instance_of alg ~n:0 ~k ~crashes:f in
-    let reduction = reduction_of choice inst in
+    let reduction = reduction_of ~certified ~alg choice inst in
     let store, programs = instance_store_programs inst in
     (match inst with
     | Task_instance { inputs; task; _ } ->
@@ -601,7 +698,8 @@ let crash_sweep_cmd =
           else 2 when any search was truncated.")
     Term.(
       const run $ alg_arg $ k_arg $ crashes_arg $ max_states_arg
-      $ solo_limit_arg $ reduction_arg $ json_arg $ metrics_arg)
+      $ solo_limit_arg $ reduction_arg $ certified_arg $ json_arg
+      $ metrics_arg)
 
 let () =
   let doc = "sub-consensus deterministic objects: runners and model checkers" in
@@ -610,7 +708,7 @@ let () =
        (Cmd.group
           (Cmd.info "subconsensus_cli" ~doc)
           [
-            check_cmd; explore_cmd; alg2_cmd; alg3_cmd; alg5_cmd; alg6_cmd;
-            attempt_cmd; trace_cmd; power_cmd; bg_cmd; critical_cmd;
-            crash_sweep_cmd;
+            check_cmd; explore_cmd; analyze_cmd; alg2_cmd; alg3_cmd;
+            alg5_cmd; alg6_cmd; attempt_cmd; trace_cmd; power_cmd; bg_cmd;
+            critical_cmd; crash_sweep_cmd;
           ]))

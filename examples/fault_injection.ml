@@ -85,9 +85,8 @@ let () =
     [ 0; 1; 2 ];
 
   Format.printf "@.== wait-freedom certificates (solo-step bounds) ==@.";
-  (match Progress.wait_free ~max_crashes:2 store3 ~programs:programs3 with
-  | Ok cert -> Format.printf "Algorithm 2 (k=3): %a@." Progress.pp_certificate cert
-  | Error f -> Format.printf "Algorithm 2 (k=3): %a@." Progress.pp_failure f);
+  Format.printf "Algorithm 2 (k=3): %a@." Subc_check.Verdict.pp_summary
+    (Progress.check_wait_free ~max_crashes:2 store3 ~programs:programs3);
 
   (* A lock-free-only construction: P0 spins until P1's write lands.  Safe,
      live under fair schedules — but P0 running solo never terminates. *)
@@ -106,7 +105,8 @@ let () =
     let* () = Subc_objects.Register.write reg (Value.Int 1) in
     Program.return (Value.Int 1)
   in
-  match Progress.wait_free store_s ~programs:[ spinner; writer ] with
-  | Ok _ -> Format.printf "spinner: unexpectedly wait-free?@."
-  | Error f ->
-    Format.printf "spinner (lock-free only): %a@." Progress.pp_failure f
+  match Progress.check_wait_free store_s ~programs:[ spinner; writer ] with
+  | Subc_check.Verdict.Refuted { reason; _ } ->
+    Format.printf "spinner (lock-free only): NOT wait-free — %s@." reason
+  | v ->
+    Format.printf "spinner: unexpectedly %a@." Subc_check.Verdict.pp_summary v

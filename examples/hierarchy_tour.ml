@@ -40,11 +40,11 @@ let wrn_level () =
   let inputs = List.init k (fun i -> Value.Int (100 + i)) in
   let programs = List.mapi (fun i v -> Subc_core.Alg2.propose alg ~i v) inputs in
   let task = Task.conj (Task.set_consensus (k - 1)) Task.all_decided in
-  (match Subc_check.Task_check.exhaustive store ~programs ~inputs ~task with
-  | Ok stats ->
+  (match Subc_check.Task_check.check store ~programs ~inputs ~task with
+  | Subc_check.Verdict.Proved { explore = Some stats; _ } ->
     Format.printf "1sWRN₃ solves (3,2)-set consensus on ALL schedules (%a)@."
       Explore.pp_stats stats
-  | Error _ -> assert false);
+  | _ -> assert false);
   (* …but not 2-process consensus. *)
   let store, t =
     Subc_classic.Wrn_attempts.alloc Store.empty ~k
@@ -57,13 +57,15 @@ let wrn_level () =
     ]
   in
   let config = Config.make store programs in
-  (match Valence.check_consensus config ~inputs:[ Value.Int 0; Value.Int 1 ] with
-  | Valence.Violation { reason; trace } ->
+  (match
+     Valence.consensus_verdict config ~inputs:[ Value.Int 0; Value.Int 1 ]
+   with
+  | Subc_check.Verdict.Refuted { reason; trace; _ } ->
     Format.printf
       "2-consensus attempt on WRN₃ fails (%s) — counterexample schedule: %a@."
       reason Value.pp
       (Value.of_int_list (Trace.schedule trace))
-  | v -> Format.printf "unexpected: %a@." Valence.pp_verdict v)
+  | v -> Format.printf "unexpected: %a@." Subc_check.Verdict.pp_summary v)
 
 (* Level 1½: the hierarchy inside the band (Corollary 42). *)
 let inner_hierarchy () =
@@ -89,11 +91,13 @@ let swap_level () =
     ]
   in
   let config = Config.make store programs in
-  match Valence.check_consensus config ~inputs:[ Value.Int 0; Value.Int 1 ] with
-  | Valence.Solves stats ->
+  match
+    Valence.consensus_verdict config ~inputs:[ Value.Int 0; Value.Int 1 ]
+  with
+  | Subc_check.Verdict.Proved { explore = Some stats; _ } ->
     Format.printf "WRN₂ solves 2-consensus on all schedules (%a)@."
       Explore.pp_stats stats
-  | v -> Format.printf "unexpected: %a@." Valence.pp_verdict v
+  | v -> Format.printf "unexpected: %a@." Subc_check.Verdict.pp_summary v
 
 (* Level ∞: compare-and-swap solves consensus for any n. *)
 let cas_level () =
@@ -103,11 +107,11 @@ let cas_level () =
   let inputs = List.init n (fun i -> Value.Int (100 + i)) in
   let programs = List.map (Subc_classic.N_consensus.propose t) inputs in
   let task = Task.conj Task.consensus Task.all_decided in
-  match Subc_check.Task_check.exhaustive store ~programs ~inputs ~task with
-  | Ok stats ->
+  match Subc_check.Task_check.check store ~programs ~inputs ~task with
+  | Subc_check.Verdict.Proved { explore = Some stats; _ } ->
     Format.printf "CAS solves %d-process consensus (%a)@." n Explore.pp_stats
       stats
-  | Error _ -> assert false
+  | _ -> assert false
 
 let () =
   Format.printf "A tour of the consensus hierarchy around the paper's band@.";

@@ -17,6 +17,7 @@
 open Subc_sim
 module Attempts = Subc_classic.Wrn_attempts
 module Valence = Subc_check.Valence
+module Verdict = Subc_check.Verdict
 
 let protocol ~k ~style =
   let store, t = Attempts.alloc Store.empty ~k ~style in
@@ -28,10 +29,12 @@ let protocol ~k ~style =
 let () =
   Format.printf "== WRN₂ (a swap): the protocol solves consensus ==@.";
   let config2 = protocol ~k:2 ~style:Attempts.Mirror_alg2 in
-  (match Valence.check_consensus config2 ~inputs:[ Value.Int 0; Value.Int 1 ] with
-  | Valence.Solves stats ->
+  (match
+     Valence.consensus_verdict config2 ~inputs:[ Value.Int 0; Value.Int 1 ]
+   with
+  | Verdict.Proved { explore = Some stats; _ } ->
     Format.printf "verdict: solves (%a)@." Explore.pp_stats stats
-  | v -> Format.printf "verdict: %a@." Valence.pp_verdict v);
+  | v -> Format.printf "verdict: %a@." Verdict.pp_summary v);
   (match Valence.find_critical config2 with
   | Some crit ->
     Format.printf
@@ -42,11 +45,13 @@ let () =
   Format.printf
     "@.== WRN₃: the same shape cannot decide — Lemma 38 in action ==@.";
   let config3 = protocol ~k:3 ~style:Attempts.Mirror_alg2 in
-  (match Valence.check_consensus config3 ~inputs:[ Value.Int 0; Value.Int 1 ] with
-  | Valence.Violation { reason; trace } ->
+  (match
+     Valence.consensus_verdict config3 ~inputs:[ Value.Int 0; Value.Int 1 ]
+   with
+  | Verdict.Refuted { reason; trace; _ } ->
     Format.printf "verdict: violation (%s)@.witness schedule:@.%a@." reason
       Trace.pp trace
-  | v -> Format.printf "verdict: %a@." Valence.pp_verdict v);
+  | v -> Format.printf "verdict: %a@." Verdict.pp_summary v);
 
   (* The indistinguishability core: P1's WRN(1,·) reads cell 2, which
      nobody writes; cells 0 and 1 are non-adjacent "enough" for k = 3 in
@@ -59,18 +64,22 @@ let () =
 
   Format.printf "@.== the doomed announce+adjacent repair, k = 3 ==@.";
   let config3' = protocol ~k:3 ~style:Attempts.Adjacent_announce in
-  (match Valence.check_consensus config3' ~inputs:[ Value.Int 0; Value.Int 1 ] with
-  | Valence.Violation { reason; trace } ->
+  (match
+     Valence.consensus_verdict config3' ~inputs:[ Value.Int 0; Value.Int 1 ]
+   with
+  | Verdict.Refuted { reason; trace; _ } ->
     Format.printf "verdict: violation (%s)@.witness schedule: %a@." reason
       Value.pp
       (Value.of_int_list (Trace.schedule trace))
-  | v -> Format.printf "verdict: %a@." Valence.pp_verdict v);
+  | v -> Format.printf "verdict: %a@." Verdict.pp_summary v);
 
   Format.printf
     "@.== and the busy-wait repair is not wait-free: the adversary loops ==@.";
   let config3'' = protocol ~k:3 ~style:Attempts.Busy_wait in
-  match Valence.check_consensus config3'' ~inputs:[ Value.Int 0; Value.Int 1 ] with
-  | Valence.Diverges { trace } ->
+  match
+    Valence.consensus_verdict config3'' ~inputs:[ Value.Int 0; Value.Int 1 ]
+  with
+  | Verdict.Refuted { trace; _ } ->
     Format.printf "verdict: diverges; lasso schedule: %a@." Value.pp
       (Value.of_int_list (Trace.schedule trace))
-  | v -> Format.printf "verdict: %a@." Valence.pp_verdict v
+  | v -> Format.printf "verdict: %a@." Verdict.pp_summary v

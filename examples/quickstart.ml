@@ -37,14 +37,13 @@ let () =
      schedules and proves at most k−1 = 2 distinct decisions. *)
   Format.printf "@.== model checking all interleavings ==@.";
   let task = Task.conj (Task.set_consensus (k - 1)) Task.all_decided in
-  (match
-     Subc_check.Task_check.exhaustive store ~programs ~inputs ~task
-   with
-  | Ok stats ->
-    Format.printf "every execution satisfies %s (%a)@." task.Task.name
-      Explore.pp_stats stats
-  | Error (reason, trace) ->
-    Format.printf "VIOLATION: %s@.%a@." reason Trace.pp trace);
+  (match Subc_check.Task_check.check store ~programs ~inputs ~task with
+  | Subc_check.Verdict.Proved _ as v ->
+    Format.printf "%a@." Subc_check.Verdict.pp_summary v
+  | Subc_check.Verdict.Refuted { reason; trace; _ } ->
+    Format.printf "VIOLATION: %s@.%a@." reason Trace.pp trace
+  | Subc_check.Verdict.Limited _ as v ->
+    Format.printf "%a@." Subc_check.Verdict.pp_summary v);
 
   (* And the bound is tight: some schedule really produces 2 distinct
      values. *)

@@ -1,0 +1,170 @@
+open Subc_sim
+module Verdict = Subc_check.Verdict
+
+type finding = {
+  family : string;
+  subject : string;
+  check : string;
+  verdict : Verdict.t;
+}
+
+let check_names = [ "reachability"; "commutation"; "equivariance"; "classification" ]
+
+(* A proof over a truncated enumeration is no proof: downgrade to Limited,
+   keeping the metrics. *)
+let seal (space : Reach.space) v =
+  match v with
+  | Verdict.Proved st when space.Reach.truncated ->
+    Verdict.Limited
+      { st with Verdict.note = st.Verdict.note ^ " (truncated enumeration)" }
+  | v -> v
+
+let flaw_verdict f =
+  Verdict.refuted ~trace:[] (Format.asprintf "%a" Reach.pp_flaw f)
+
+(* Checks walk slightly beyond the enumerated states (diamond completions,
+   renamed or value-swapped states); purity flaws surfacing there are
+   refutations of the same reachability obligations. *)
+let guarded f = try f () with Reach.Flaw flaw -> flaw_verdict flaw
+
+let space_metrics (space : Reach.space) =
+  [
+    ("states", float_of_int space.Reach.n_states);
+    ("edges", float_of_int space.Reach.n_edges);
+    ("depth", float_of_int space.Reach.depth);
+  ]
+
+let reach_verdict (s : Subject.t) = function
+  | Error f -> flaw_verdict f
+  | Ok (space : Reach.space) ->
+    let metrics = space_metrics space in
+    if space.Reach.truncated then
+      Verdict.limited ~metrics
+        (Printf.sprintf
+           "state budget (%d) exhausted before the space closed"
+           s.Subject.max_states)
+    else
+      let scope =
+        match s.Subject.bound with
+        | Subject.Closure -> "closed"
+        | Subject.Ops d -> Printf.sprintf "within a %d-op budget" d
+      in
+      Verdict.proved ~metrics
+        (Printf.sprintf "%d states, %d edges, apply pure and total (%s)"
+           space.Reach.n_states space.Reach.n_edges scope)
+
+let commute_verdict (s : Subject.t) space =
+  guarded (fun () ->
+      match Commute.check s space with
+      | Error race ->
+        Verdict.refuted ~trace:[] (Format.asprintf "%a" Commute.pp_race race)
+      | Ok (st : Commute.stats) ->
+        seal space
+          (Verdict.proved
+             ~metrics:
+               [
+                 ("pairs", float_of_int st.Commute.pairs);
+                 ("contexts", float_of_int st.Commute.contexts);
+                 ("independent", float_of_int st.Commute.independent);
+                 ("dependent", float_of_int st.Commute.dependent);
+               ]
+             (Printf.sprintf
+                "%d/%d contexts judged independent, every one commutes \
+                 (%d op pairs, %d states)"
+                st.Commute.independent st.Commute.contexts st.Commute.pairs
+                space.Reach.n_states)))
+
+let equivariance_verdict (s : Subject.t) space =
+  guarded (fun () ->
+      match Equivariance.check s space with
+      | Error v ->
+        Verdict.refuted ~trace:[]
+          (Format.asprintf "%a" Equivariance.pp_violation v)
+      | Ok (st : Equivariance.stats) ->
+        seal space
+          (Verdict.proved
+             ~metrics:
+               [
+                 ("group_order", float_of_int st.Equivariance.group_order);
+                 ("states", float_of_int st.Equivariance.states);
+                 ("checked", float_of_int st.Equivariance.checked);
+               ]
+             (Printf.sprintf
+                "%s group (order %d) is an automorphism group on %d states \
+                 (%d triples)"
+                s.Subject.group_name st.Equivariance.group_order
+                st.Equivariance.states st.Equivariance.checked)))
+
+let classification_verdict (s : Subject.t) space =
+  guarded (fun () ->
+      match Classify.check s space with
+      | Error l ->
+        Verdict.refuted ~trace:[] (Format.asprintf "%a" Classify.pp_lint l)
+      | Ok (inf : Classify.inferred) ->
+        let cls =
+          match s.Subject.expected with
+          | Subject.Deterministic -> "deterministic"
+          | Subject.Nondeterministic -> "nondeterministic"
+        in
+        let traits =
+          (if s.Subject.may_hang then [ "hang-prone" ] else [])
+          @ if s.Subject.value_oblivious then [ "value-oblivious" ] else []
+        in
+        seal space
+          (Verdict.proved
+             ~metrics:
+               [
+                 ("det_contexts", float_of_int inf.Classify.det_contexts);
+                 ( "branching_contexts",
+                   float_of_int inf.Classify.branching_contexts );
+                 ("hang_contexts", float_of_int inf.Classify.hang_contexts);
+                 ("value_pairs", float_of_int inf.Classify.value_pairs);
+               ]
+             (String.concat ", " (cls :: traits) ^ " as declared")))
+
+let analyze_subject ?(family = "-") (s : Subject.t) =
+  let mk check verdict = { family; subject = s.Subject.name; check; verdict } in
+  match Reach.enumerate s with
+  | Error _ as r ->
+    let skipped =
+      Verdict.limited "skipped: reachable-space enumeration failed"
+    in
+    mk "reachability" (reach_verdict s r)
+    :: List.map
+         (fun check -> mk check skipped)
+         (List.tl check_names)
+  | Ok space as r ->
+    [
+      mk "reachability" (reach_verdict s r);
+      mk "commutation" (commute_verdict s space);
+      mk "equivariance" (equivariance_verdict s space);
+      mk "classification" (classification_verdict s space);
+    ]
+
+let analyze ?family subjects = List.concat_map (analyze_subject ?family) subjects
+
+let verdicts findings = List.map (fun f -> f.verdict) findings
+let exit_code findings = Verdict.combined_exit (verdicts findings)
+
+let finding_name f = Printf.sprintf "%s/%s/%s" f.family f.subject f.check
+
+let pp_finding ppf f =
+  Format.fprintf ppf "@[<v2>%s:@ %a@]" (finding_name f) Verdict.pp_summary
+    f.verdict
+
+let to_json f = Verdict.to_json ~name:(finding_name f) f.verdict
+
+let obligations =
+  [
+    "apply-purity";
+    "pairwise-commutation";
+    "symmetry-equivariance";
+    "classification";
+  ]
+
+let certify ~family subjects =
+  let findings = analyze ~family subjects in
+  let bad = List.filter (fun f -> not (Verdict.is_proved f.verdict)) findings in
+  if bad = [] then
+    Ok (Explore.Certificate.attest ~tool:"subc_analysis" ~subject:family ~obligations)
+  else Error bad

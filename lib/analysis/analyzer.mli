@@ -1,0 +1,59 @@
+(** The analyzer front-end: run every soundness check on a subject, render
+    the results as {!Subc_check.Verdict.t} findings, and mint reduction
+    certificates.
+
+    Four checks run per subject, in dependency order:
+
+    + {b reachability} ({!Reach}): enumerate the reachable state space,
+      certifying purity and alphabet-totality of [apply] along the way;
+    + {b commutation} ({!Commute}): certify the sleep-set independence
+      judgment against fresh diamond computations — refuted findings carry
+      a concrete (state, op pair, divergent outcome sets) race witness;
+    + {b equivariance} ({!Equivariance}): certify the declared permutation
+      group is an automorphism group of the reachable transition system;
+    + {b classification} ({!Classify}): declared vs inferred
+      determinism/hang status, plus the value-obliviousness claim.
+
+    Everything is static in the paper's sense: only the object's
+    transition function is exercised — no protocol programs run, no
+    schedules are explored.  The verdicts obey the usual exit contract
+    (proved 0 / refuted 1 / limited 2); a truncated enumeration downgrades
+    dependent proofs to [Limited]. *)
+
+open Subc_sim
+
+type finding = {
+  family : string;  (** registry family, or "-" for ad-hoc subjects *)
+  subject : string;
+  check : string;  (** one of {!check_names} *)
+  verdict : Subc_check.Verdict.t;
+}
+
+val check_names : string list
+(** ["reachability"; "commutation"; "equivariance"; "classification"]. *)
+
+val analyze_subject : ?family:string -> Subject.t -> finding list
+(** One finding per check, in the order of {!check_names}.  When
+    reachability fails, the dependent checks report [Limited] (skipped)
+    rather than running on a broken space. *)
+
+val analyze : ?family:string -> Subject.t list -> finding list
+
+val verdicts : finding list -> Subc_check.Verdict.t list
+val exit_code : finding list -> int
+(** {!Subc_check.Verdict.combined_exit} over all findings. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+val finding_name : finding -> string
+(** ["family/subject/check"], the JSON [check] field. *)
+
+val to_json : finding -> string
+
+val certify :
+  family:string ->
+  Subject.t list ->
+  (Explore.Certificate.t, finding list) result
+(** The only legitimate certificate mint outside tests: analyze the
+    subjects and attest the discharged obligations iff {e every} finding is
+    proved; otherwise return the non-proved findings.  The resulting
+    certificate feeds {!Subc_sim.Explore.certified_reduction}. *)

@@ -1,0 +1,132 @@
+open Subc_sim
+
+type inferred = {
+  det_contexts : int;
+  branching_contexts : int;
+  hang_contexts : int;
+  value_pairs : int;
+}
+
+type lint =
+  | Undeclared_branching of {
+      state : Value.t;
+      op : Op.t;
+      successors : (Value.t * Value.t) list;
+    }
+  | Spurious_nondet_declaration
+  | Undeclared_hang of { state : Value.t; op : Op.t }
+  | Spurious_hang_declaration
+  | Value_dependent of {
+      u : Value.t;
+      w : Value.t;
+      state : Value.t;
+      op : Op.t;
+      lhs : (Value.t * Value.t) list;
+      rhs : (Value.t * Value.t) list;
+    }
+
+let pp_succs ppf succs =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf (s, r) -> Format.fprintf ppf "%a/%a" Value.pp s Value.pp r))
+    succs
+
+let pp_lint ppf = function
+  | Undeclared_branching { state; op; successors } ->
+    Format.fprintf ppf
+      "declared deterministic, but %a branches at %a: %a" Op.pp op Value.pp
+      state pp_succs successors
+  | Spurious_nondet_declaration ->
+    Format.fprintf ppf
+      "declared nondeterministic, but no reachable (state, op) branches"
+  | Undeclared_hang { state; op } ->
+    Format.fprintf ppf "undeclared hang: %a has no successor at %a" Op.pp op
+      Value.pp state
+  | Spurious_hang_declaration ->
+    Format.fprintf ppf
+      "declared hang-prone, but no reachable invocation hangs"
+  | Value_dependent { u; w; state; op; lhs; rhs } ->
+    Format.fprintf ppf
+      "@[<v>not value-oblivious: swapping %a and %a does not commute with \
+       apply at state %a, op %a:@,\
+       swap.apply = %a@,\
+       apply.swap = %a@]"
+      Value.pp u Value.pp w Value.pp state Op.pp op pp_succs lhs pp_succs rhs
+
+let rec swap_values u w v =
+  if Value.equal v u then w
+  else if Value.equal v w then u
+  else
+    match v with
+    | Value.Pair (a, b) -> Value.Pair (swap_values u w a, swap_values u w b)
+    | Value.Vec vs -> Value.Vec (List.map (swap_values u w) vs)
+    | Value.Tag (t, x) -> Value.Tag (t, swap_values u w x)
+    | Value.Bot | Value.Unit | Value.Bool _ | Value.Int _ | Value.Sym _ -> v
+
+let swap_op u w (op : Op.t) = Op.make op.Op.name (List.map (swap_values u w) op.Op.args)
+
+let rec value_pairs = function
+  | [] -> []
+  | u :: rest -> List.map (fun w -> (u, w)) rest @ value_pairs rest
+
+let check (s : Subject.t) (space : Reach.space) =
+  let model = s.Subject.model in
+  let det = ref 0 and branching = ref 0 and hangs = ref 0 in
+  let lint = ref None in
+  let fail l =
+    lint := Some l;
+    raise Exit
+  in
+  let exhaustive =
+    s.Subject.bound = Subject.Closure && not space.Reach.truncated
+  in
+  let pairs = if s.Subject.value_oblivious then value_pairs s.Subject.values else [] in
+  (try
+     List.iter
+       (fun st ->
+         List.iter
+           (fun op ->
+             (match Reach.successors_exn model st op with
+             | [] ->
+               incr hangs;
+               if not s.Subject.may_hang then fail (Undeclared_hang { state = st; op })
+             | [ _ ] -> incr det
+             | succs ->
+               incr branching;
+               if s.Subject.expected = Subject.Deterministic then
+                 fail (Undeclared_branching { state = st; op; successors = succs }));
+             List.iter
+               (fun (u, w) ->
+                 let lhs =
+                   Reach.successors_exn model st op
+                   |> List.map (fun (s', r) ->
+                          (swap_values u w s', swap_values u w r))
+                   |> List.sort compare
+                 in
+                 let rhs =
+                   Reach.successors_exn model (swap_values u w st)
+                     (swap_op u w op)
+                   |> List.sort compare
+                 in
+                 if lhs <> rhs then
+                   fail (Value_dependent { u; w; state = st; op; lhs; rhs }))
+               pairs)
+           s.Subject.alphabet)
+       space.Reach.states;
+     if exhaustive then begin
+       if s.Subject.expected = Subject.Nondeterministic && !branching = 0 then
+         fail Spurious_nondet_declaration;
+       if s.Subject.may_hang && !hangs = 0 then fail Spurious_hang_declaration
+     end
+   with Exit -> ());
+  match !lint with
+  | Some l -> Error l
+  | None ->
+    Ok
+      {
+        det_contexts = !det;
+        branching_contexts = !branching;
+        hang_contexts = !hangs;
+        value_pairs = List.length pairs;
+      }

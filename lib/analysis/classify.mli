@@ -1,0 +1,60 @@
+(** Classification lint: declared vs inferred object behaviour.
+
+    The paper's taxonomy (Section 2) sorts objects by their successor sets:
+    deterministic (singleton everywhere), nondeterministic (some branching),
+    and hang-prone (some empty successor set — the invoker never returns).
+    Checkers and reductions consume those declarations: {!Subc_check}'s
+    progress checkers interpret hung terminals, and readers of
+    [Obj_model.deterministic] take the constructor at its word.  This lint
+    infers the classification from the reachable space and flags every
+    mismatch with the subject's declaration.
+
+    It also discharges the {b value-obliviousness} claim made by subjects
+    enabling the full symmetric group: for every unordered pair of declared
+    data-value tokens, the structural swap of the two commutes with [apply]
+    at every reachable state.  Together with proposal-renaming equivariance
+    this is what licenses running the analyzer on a small token alphabet
+    and transferring the certificate to richer value domains. *)
+
+open Subc_sim
+
+type inferred = {
+  det_contexts : int;  (** (state, op) with exactly one successor *)
+  branching_contexts : int;  (** with two or more *)
+  hang_contexts : int;  (** with none *)
+  value_pairs : int;  (** token pairs certified oblivious (0 = no claim) *)
+}
+
+type lint =
+  | Undeclared_branching of {
+      state : Value.t;
+      op : Op.t;
+      successors : (Value.t * Value.t) list;
+    }  (** declared deterministic, found a branching context *)
+  | Spurious_nondet_declaration
+      (** declared nondeterministic, yet no reachable context branches *)
+  | Undeclared_hang of { state : Value.t; op : Op.t }
+      (** a reachable invocation hangs, but the subject does not admit it *)
+  | Spurious_hang_declaration
+      (** declared hang-prone, yet no reachable invocation hangs *)
+  | Value_dependent of {
+      u : Value.t;
+      w : Value.t;
+      state : Value.t;
+      op : Op.t;
+      lhs : (Value.t * Value.t) list;  (** sorted swap-then-apply *)
+      rhs : (Value.t * Value.t) list;  (** sorted apply-then-swap *)
+    }  (** the value-obliviousness claim fails: swapping tokens [u] and [w]
+           does not commute with [apply] *)
+
+val pp_lint : Format.formatter -> lint -> unit
+
+val swap_values : Value.t -> Value.t -> Value.t -> Value.t
+(** [swap_values u w v] exchanges [u] and [w] everywhere in [v],
+    structurally (exposed for tests). *)
+
+val check : Subject.t -> Reach.space -> (inferred, lint) result
+(** The spurious-declaration lints require exhaustiveness, so they are only
+    raised for closed, untruncated spaces ([bound = Closure]); a
+    depth-bounded enumeration may simply not reach the branching or the
+    hang.  @raise Reach.Flaw when [apply] misbehaves on a swapped state. *)

@@ -1,0 +1,52 @@
+(** Commutation race detector.
+
+    The sleep-set reduction prunes a transition when a sibling branch
+    already covered an {e independent} one; for two ops on the same object
+    the independence judgment is {!Subc_sim.Explore.op_independent}.  If
+    that judgment ever answered "independent" for a pair that does not
+    actually commute at some reachable state — a {e commutation race} — the
+    reduction could prune a schedule with a genuinely different outcome and
+    the checker would silently lose counterexamples.
+
+    This check enumerates every unordered op pair (same-op pairs included:
+    two processes may issue the same op) at every reachable state, asks the
+    subject's independence judgment, and for every "independent" answer
+    recomputes both orders from scratch — no cache, no sharing with the
+    explorer — requiring identical sorted (final state, response{_a},
+    response{_b}) outcome sets under every resolution of nondeterminism,
+    with hangs preserved (neither order may turn a completing invocation
+    into a hang).  A divergence is returned as a concrete witness. *)
+
+open Subc_sim
+
+type stats = {
+  pairs : int;  (** unordered op pairs drawn from the alphabet *)
+  contexts : int;  (** (state, pair) combinations examined *)
+  independent : int;  (** contexts judged independent — each one certified *)
+  dependent : int;  (** contexts judged dependent — no obligation *)
+}
+
+type race = {
+  state : Value.t;
+  a : Op.t;
+  b : Op.t;
+  ab : (Value.t * Value.t * Value.t) list;
+      (** sorted (final, resp{_a}, resp{_b}) outcomes of [a] then [b];
+          [[]] encodes "some completion hangs" *)
+  ba : (Value.t * Value.t * Value.t) list;  (** same for [b] then [a] *)
+}
+
+val pp_race : Format.formatter -> race -> unit
+
+val diamond :
+  Obj_model.t ->
+  Value.t ->
+  Op.t ->
+  Op.t ->
+  [ `Commute | `Diverge of
+      (Value.t * Value.t * Value.t) list * (Value.t * Value.t * Value.t) list ]
+(** Ground truth for one context, computed fresh.  @raise Reach.Flaw on an
+    impure or unsupported [apply]. *)
+
+val check : Subject.t -> Reach.space -> (stats, race) result
+(** @raise Reach.Flaw when [apply] misbehaves on a diamond completion. *)

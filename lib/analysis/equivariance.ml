@@ -1,0 +1,122 @@
+open Subc_sim
+
+type stats = { group_order : int; states : int; checked : int }
+
+type violation =
+  | Not_a_group of string
+  | Init_moved of { pi : Symmetry.perm; image : Value.t }
+  | Alphabet_escape of { pi : Symmetry.perm; op : Op.t; image : Op.t }
+  | Not_equivariant of {
+      pi : Symmetry.perm;
+      state : Value.t;
+      op : Op.t;
+      lhs : (Value.t * Value.t) list;
+      rhs : (Value.t * Value.t) list;
+    }
+
+let pp_perm ppf pi =
+  Format.fprintf ppf "[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int pi)))
+
+let pp_succs ppf = function
+  | [] -> Format.fprintf ppf "hang"
+  | succs ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         (fun ppf (s, r) ->
+           Format.fprintf ppf "%a/%a" Value.pp s Value.pp r))
+      succs
+
+let pp_violation ppf = function
+  | Not_a_group msg -> Format.fprintf ppf "declared perms are not a group: %s" msg
+  | Init_moved { pi; image } ->
+    Format.fprintf ppf "%a moves the initial state to %a" pp_perm pi Value.pp
+      image
+  | Alphabet_escape { pi; op; image } ->
+    Format.fprintf ppf "%a maps alphabet op %a to %a, outside the alphabet"
+      pp_perm pi Op.pp op Op.pp image
+  | Not_equivariant { pi; state; op; lhs; rhs } ->
+    Format.fprintf ppf
+      "@[<v>%a is not an automorphism at state %a, op %a:@,\
+       pi.apply(s,o)      = %a@,\
+       apply(pi.s, pi.o) = %a@]"
+      pp_perm pi Value.pp state Op.pp op pp_succs lhs pp_succs rhs
+
+let act_op sym pi (op : Op.t) =
+  Op.make op.Op.name (List.map (Symmetry.act sym pi) op.Op.args)
+
+let compose p q = Array.init (Array.length p) (fun i -> p.(q.(i)))
+
+let check (s : Subject.t) (space : Reach.space) =
+  let sym = s.Subject.symmetry in
+  let perms = Symmetry.perms sym in
+  let model = s.Subject.model in
+  let n = Symmetry.n_procs sym in
+  let violation = ref None in
+  let checked = ref 0 in
+  let fail v =
+    violation := Some v;
+    raise Exit
+  in
+  (try
+     (* Group sanity: the canonicalization minimum is a true orbit minimum
+        only if the perms form a group (identity and closure; inverses
+        follow for finite closed subsets). *)
+     if not (List.exists (fun p -> p = Symmetry.identity n) perms) then
+       fail (Not_a_group "identity permutation missing");
+     List.iter
+       (fun p ->
+         List.iter
+           (fun q ->
+             if not (List.mem (compose p q) perms) then
+               fail
+                 (Not_a_group
+                    (Format.asprintf "composition %a o %a escapes" pp_perm p
+                       pp_perm q)))
+           perms)
+       perms;
+     List.iter
+       (fun pi ->
+         (* The initial state must be a fixpoint: orbits of reachable
+            states are otherwise not closed under the group action. *)
+         let init_image = Symmetry.act sym pi model.Obj_model.init in
+         if not (Value.equal init_image model.Obj_model.init) then
+           fail (Init_moved { pi; image = init_image });
+         List.iter
+           (fun op ->
+             let image = act_op sym pi op in
+             if not (List.exists (Op.equal image) s.Subject.alphabet) then
+               fail (Alphabet_escape { pi; op; image }))
+           s.Subject.alphabet;
+         List.iter
+           (fun st ->
+             List.iter
+               (fun op ->
+                 incr checked;
+                 let lhs =
+                   Reach.successors_exn model st op
+                   |> List.map (fun (s', r) ->
+                          (Symmetry.act sym pi s', Symmetry.act sym pi r))
+                   |> List.sort compare
+                 in
+                 let rhs =
+                   Reach.successors_exn model (Symmetry.act sym pi st)
+                     (act_op sym pi op)
+                   |> List.sort compare
+                 in
+                 if lhs <> rhs then
+                   fail (Not_equivariant { pi; state = st; op; lhs; rhs }))
+               s.Subject.alphabet)
+           space.Reach.states)
+       perms
+   with Exit -> ());
+  match !violation with
+  | Some v -> Error v
+  | None ->
+    Ok
+      {
+        group_order = List.length perms;
+        states = space.Reach.n_states;
+        checked = !checked;
+      }

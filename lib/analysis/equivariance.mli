@@ -1,0 +1,50 @@
+(** Symmetry-equivariance checker.
+
+    The symmetry reduction memoizes configurations by canonical orbit
+    representatives, which is sound only if the declared permutation group
+    really is an automorphism group of the transition system.  The
+    configuration-level action factors through each object's state, so the
+    object-level obligations are: every group element fixes the initial
+    state, maps the protocol's op alphabet into itself, and commutes with
+    [apply] — {m \pi \cdot \mathrm{apply}(s, o) =
+    \mathrm{apply}(\pi \cdot s, \pi \cdot o)} as successor {e sets}
+    (states and responses both renamed, hangs preserved) — at every
+    reachable state.  This module verifies all of that exhaustively for the
+    subject's declared group, plus two group-theory sanity conditions
+    (identity present, closure under composition), and reports the first
+    violation with a concrete witness.
+
+    Out of scope, and documented as caller obligations in
+    {!Subc_sim.Symmetry}: invariance of the {e checked property} under
+    renaming, and that orbit-related processes run the same program. *)
+
+open Subc_sim
+
+type stats = {
+  group_order : int;
+  states : int;
+  checked : int;  (** (group element, state, op) equivariance triples *)
+}
+
+type violation =
+  | Not_a_group of string  (** identity missing or composition escapes *)
+  | Init_moved of { pi : Symmetry.perm; image : Value.t }
+  | Alphabet_escape of { pi : Symmetry.perm; op : Op.t; image : Op.t }
+      (** the renamed op is not an op the protocol may issue *)
+  | Not_equivariant of {
+      pi : Symmetry.perm;
+      state : Value.t;
+      op : Op.t;
+      lhs : (Value.t * Value.t) list;  (** sorted {m \pi \cdot apply(s,o)} *)
+      rhs : (Value.t * Value.t) list;
+          (** sorted {m apply(\pi \cdot s, \pi \cdot o)} *)
+    }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val act_op : Symmetry.t -> Symmetry.perm -> Op.t -> Op.t
+(** The data action lifted to operations: the name is fixed, every argument
+    is renamed. *)
+
+val check : Subject.t -> Reach.space -> (stats, violation) result
+(** @raise Reach.Flaw when [apply] misbehaves on a renamed state. *)

@@ -1,0 +1,111 @@
+open Subc_sim
+
+type space = {
+  states : Value.t list;
+  n_states : int;
+  n_edges : int;
+  depth : int;
+  truncated : bool;
+}
+
+type flaw =
+  | Impure of {
+      state : Value.t;
+      op : Op.t;
+      first : (Value.t * Value.t) list;
+      second : (Value.t * Value.t) list;
+    }
+  | Unsupported of { state : Value.t; op : Op.t; error : string }
+
+let pp_succs ppf succs =
+  match succs with
+  | [] -> Format.fprintf ppf "hang"
+  | _ ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (fun ppf (s, r) ->
+           Format.fprintf ppf "%a/%a" Value.pp s Value.pp r))
+      succs
+
+let pp_flaw ppf = function
+  | Impure { state; op; first; second } ->
+    Format.fprintf ppf
+      "apply is impure: %a at %a returned %a then %a on identical inputs"
+      Op.pp op Value.pp state pp_succs first pp_succs second
+  | Unsupported { state; op; error } ->
+    Format.fprintf ppf "apply raised on %a at %a: %s" Op.pp op Value.pp state
+      error
+
+exception Flaw of flaw
+
+let successors (model : Obj_model.t) st op =
+  match
+    let first = model.Obj_model.apply st op in
+    let second = model.Obj_model.apply st op in
+    (first, second)
+  with
+  | first, second ->
+    if List.sort compare first = List.sort compare second then Ok first
+    else Error (Impure { state = st; op; first; second })
+  | exception e ->
+    Error (Unsupported { state = st; op; error = Printexc.to_string e })
+
+let successors_exn model st op =
+  match successors model st op with Ok s -> s | Error f -> raise (Flaw f)
+
+let enumerate (s : Subject.t) =
+  let visited : (Value.t, unit) Hashtbl.t = Hashtbl.create 97 in
+  let order = ref [] in
+  let n_edges = ref 0 in
+  let max_layer = ref 0 in
+  let truncated = ref false in
+  let flaw = ref None in
+  let q = Queue.create () in
+  let init = s.Subject.model.Obj_model.init in
+  Hashtbl.replace visited init ();
+  order := [ init ];
+  Queue.push (init, 0) q;
+  (try
+     while not (Queue.is_empty q) do
+       let st, d = Queue.pop q in
+       if d > !max_layer then max_layer := d;
+       let expandable =
+         match s.Subject.bound with
+         | Subject.Closure -> true
+         | Subject.Ops d_max -> d < d_max
+       in
+       List.iter
+         (fun op ->
+           match successors s.Subject.model st op with
+           | Error f ->
+             flaw := Some f;
+             raise Exit
+           | Ok succs ->
+             List.iter
+               (fun (st', _) ->
+                 incr n_edges;
+                 if expandable && not (Hashtbl.mem visited st') then begin
+                   if Hashtbl.length visited >= s.Subject.max_states then begin
+                     truncated := true;
+                     raise Exit
+                   end;
+                   Hashtbl.replace visited st' ();
+                   order := st' :: !order;
+                   Queue.push (st', d + 1) q
+                 end)
+               succs)
+         s.Subject.alphabet
+     done
+   with Exit -> ());
+  match !flaw with
+  | Some f -> Error f
+  | None ->
+    Ok
+      {
+        states = List.rev !order;
+        n_states = Hashtbl.length visited;
+        n_edges = !n_edges;
+        depth = !max_layer;
+        truncated = !truncated;
+      }

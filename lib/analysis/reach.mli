@@ -1,0 +1,53 @@
+(** Reachable-state enumeration with purity checking.
+
+    Every downstream check (commutation, equivariance, classification)
+    quantifies over the states of the object reachable from [init] within
+    the subject's op alphabet.  This module enumerates that space by
+    breadth-first search and, at every expansion, discharges the two
+    assumptions the explorer's memoization silently makes about [apply]:
+
+    - {b purity}: applying the same op to the same state twice yields the
+      same successor set (compared as multisets — successor order is
+      irrelevant everywhere downstream);
+    - {b totality on the alphabet}: [apply] never raises ([Bad_op],
+      assertion failures) on a reachable state and an alphabet op.  An
+      {e empty} successor list is not a flaw — it is the paper's hang
+      outcome and is handled by the classification lint. *)
+
+open Subc_sim
+
+type space = {
+  states : Value.t list;  (** BFS order; the initial state comes first *)
+  n_states : int;
+  n_edges : int;  (** (state, op, successor) transitions expanded *)
+  depth : int;  (** deepest BFS layer expanded *)
+  truncated : bool;  (** the state budget was hit before the space closed *)
+}
+
+type flaw =
+  | Impure of {
+      state : Value.t;
+      op : Op.t;
+      first : (Value.t * Value.t) list;
+      second : (Value.t * Value.t) list;  (** two runs, two answers *)
+    }
+  | Unsupported of { state : Value.t; op : Op.t; error : string }
+      (** [apply] raised — the alphabet oversteps the model *)
+
+val pp_flaw : Format.formatter -> flaw -> unit
+
+exception Flaw of flaw
+
+val successors :
+  Obj_model.t -> Value.t -> Op.t -> ((Value.t * Value.t) list, flaw) result
+(** [successors model st op] applies [op] twice, checks the two runs agree
+    as multisets, and captures exceptions as {!Unsupported}. *)
+
+val successors_exn : Obj_model.t -> Value.t -> Op.t -> (Value.t * Value.t) list
+(** Like {!successors} but raises {!Flaw}; for use inside checks that walk
+    beyond the enumerated states (diamond completions, renamed states). *)
+
+val enumerate : Subject.t -> (space, flaw) result
+(** BFS from [init] over the alphabet.  With bound [Ops d], states first
+    seen in layer [d] are still purity-checked (all alphabet ops applied)
+    but their successors are not enqueued. *)

@@ -1,0 +1,218 @@
+open Subc_sim
+module O = Subc_objects
+
+type entry = { family : string; doc : string; subjects : Subject.t list }
+
+(* Harness conventions: proposals are 100 + process index, two or three
+   processes per instance. *)
+let tok j = Value.Int (100 + j)
+let op = Op.make
+let toks n = List.init n tok
+
+(* The full symmetric group acting on proposal tokens only — for objects
+   with scalar states and no process-indexed structure (registers, CAS,
+   swap, consensus cells). *)
+let value_full n = Symmetry.standard ~n ~input_base:100 ~map_ids:false `Full
+
+(* The standard harness action: process ids and proposals both renamed. *)
+let harness n grp = Symmetry.standard ~n ~input_base:100 grp
+
+let register ?(name = "register") ?(group = `Scalar) () =
+  let symmetry, group_name =
+    match group with
+    | `Scalar -> (value_full 2, "full")
+    | `Rotations n -> (harness n `Rotations, "rotations")
+    | `Trivial -> (Symmetry.trivial ~n:1, "trivial")
+  in
+  Subject.make ~name ~model:O.Register.model_bot
+    ~alphabet:[ op "read" []; op "write" [ tok 0 ]; op "write" [ tok 1 ] ]
+    ~expected:Subject.Deterministic ~symmetry ~group_name
+    ~value_oblivious:true ~values:(toks 2) ()
+
+let doorway ~n =
+  let opened = Value.Sym "opened" and closed = Value.Sym "closed" in
+  Subject.make ~name:"doorway-register"
+    ~model:(O.Register.model opened)
+    ~alphabet:[ op "read" []; op "write" [ opened ]; op "write" [ closed ] ]
+    ~expected:Subject.Deterministic ~symmetry:(harness n `Rotations)
+    ~group_name:"rotations" ~value_oblivious:true ~values:[ opened; closed ]
+    ()
+
+let cas =
+  Subject.make ~name:"cas" ~model:O.Cas_obj.model_bot
+    ~alphabet:
+      [
+        op "read" [];
+        op "cas" [ Value.Bot; tok 0 ];
+        op "cas" [ Value.Bot; tok 1 ];
+        op "cas" [ tok 0; tok 1 ];
+        op "cas" [ tok 1; tok 0 ];
+      ]
+    ~expected:Subject.Deterministic ~symmetry:(value_full 2) ~group_name:"full"
+    ~value_oblivious:true ~values:(toks 2) ()
+
+let tas =
+  Subject.make ~name:"test_and_set" ~model:O.Tas_obj.model
+    ~alphabet:[ op "test_and_set" []; op "read" [] ]
+    ~expected:Subject.Deterministic ()
+
+let swap =
+  Subject.make ~name:"swap" ~model:O.Swap_obj.model_bot
+    ~alphabet:[ op "read" []; op "swap" [ tok 0 ]; op "swap" [ tok 1 ] ]
+    ~expected:Subject.Deterministic ~symmetry:(value_full 2) ~group_name:"full"
+    ~value_oblivious:true ~values:(toks 2) ()
+
+let counter ~ops =
+  Subject.make ~name:"counter" ~model:O.Counter_obj.model
+    ~alphabet:[ op "inc" []; op "read" [] ]
+    ~expected:Subject.Deterministic ~bound:(Subject.Ops ops) ()
+
+let faa ~ops =
+  Subject.make ~name:"fetch_and_add" ~model:O.Faa_obj.model
+    ~alphabet:[ op "faa" [ Value.Int 1 ]; op "faa" [ Value.Int 2 ]; op "read" [] ]
+    ~expected:Subject.Deterministic ~bound:(Subject.Ops ops) ()
+
+let queue ~ops =
+  let a = Value.Sym "a" and b = Value.Sym "b" in
+  Subject.make ~name:"queue"
+    ~model:(O.Queue_obj.model [])
+    ~alphabet:[ op "enq" [ a ]; op "enq" [ b ]; op "deq" [] ]
+    ~expected:Subject.Deterministic ~bound:(Subject.Ops ops)
+    ~value_oblivious:true ~values:[ a; b ] ()
+
+let consensus =
+  Subject.make ~name:"consensus" ~model:O.Consensus_obj.model
+    ~alphabet:[ op "propose" [ tok 0 ]; op "propose" [ tok 1 ] ]
+    ~expected:Subject.Deterministic ~symmetry:(value_full 2) ~group_name:"full"
+    ~value_oblivious:true ~values:(toks 2) ()
+
+let snapshot ?(name = "snapshot") ~n (grp : [ `Full | `Rotations ]) =
+  let group_name = match grp with `Full -> "full" | `Rotations -> "rotations" in
+  let grp = (grp :> [ `Full | `Rotations | `Trivial ]) in
+  Subject.make ~name
+    ~model:(O.Snapshot_obj.model ~n)
+    ~alphabet:
+      (op "scan" []
+      :: List.concat_map
+           (fun i -> List.map (fun j -> op "update" [ Value.Int i; tok j ]) (List.init n Fun.id))
+           (List.init n Fun.id))
+    ~expected:Subject.Deterministic ~symmetry:(harness n grp) ~group_name
+    ~value_oblivious:true ~values:(toks n) ()
+
+let wrn_alphabet k =
+  List.concat_map
+    (fun i -> List.map (fun j -> op "wrn" [ Value.Int i; tok j ]) (List.init k Fun.id))
+    (List.init k Fun.id)
+
+let wrn ?(name = "wrn") ~k grp =
+  let symmetry, group_name =
+    match grp with
+    | `Rotations -> (harness k `Rotations, "rotations")
+    | `Trivial -> (Symmetry.erasure_only ~n:k, "trivial")
+  in
+  Subject.make ~name ~model:(O.Wrn.model ~k) ~alphabet:(wrn_alphabet k)
+    ~expected:Subject.Deterministic ~symmetry ~group_name ~value_oblivious:true
+    ~values:(toks k) ()
+
+let one_shot_wrn ?(name = "one_shot_wrn") ~k grp =
+  let symmetry, group_name =
+    match grp with
+    | `Rotations -> (harness k `Rotations, "rotations")
+    | `Trivial -> (Symmetry.erasure_only ~n:k, "trivial")
+  in
+  Subject.make ~name
+    ~model:(O.One_shot_wrn.model ~k)
+    ~alphabet:(wrn_alphabet k) ~expected:Subject.Deterministic ~may_hang:true
+    ~symmetry ~group_name ~value_oblivious:true ~values:(toks k) ()
+
+let set_consensus ~n ~k =
+  Subject.make ~name:"set_consensus"
+    ~model:(O.Set_consensus_obj.model ~n ~k)
+    ~alphabet:(List.map (fun i -> op "propose" [ tok i ]) (List.init n Fun.id))
+    ~expected:Subject.Nondeterministic ~may_hang:true ~symmetry:(harness n `Full)
+    ~group_name:"full" ~value_oblivious:true ~values:(toks n) ()
+
+let sse ~k ~j grp =
+  let symmetry, group_name =
+    match grp with
+    | `Full -> (Symmetry.standard ~n:k `Full, "full")
+    | `Rotations -> (Symmetry.standard ~n:k `Rotations, "rotations")
+  in
+  Subject.make ~name:"strong_set_election"
+    ~model:(O.Sse_obj.model ~k ~j)
+    ~alphabet:(List.map (fun i -> op "propose" [ Value.Int i ]) (List.init k Fun.id))
+    ~expected:Subject.Nondeterministic ~may_hang:true ~symmetry ~group_name ()
+
+let entries () =
+  [
+    {
+      family = "objects";
+      doc =
+        "every sequential model in lib/objects, under the strongest group \
+         its users declare";
+      subjects =
+        [
+          register ();
+          cas;
+          tas;
+          swap;
+          counter ~ops:4;
+          faa ~ops:3;
+          queue ~ops:4;
+          consensus;
+          snapshot ~n:3 `Full;
+          wrn ~k:3 `Rotations;
+          one_shot_wrn ~k:3 `Rotations;
+          set_consensus ~n:3 ~k:2;
+          sse ~k:3 ~j:2 `Full;
+        ];
+    };
+    {
+      family = "alg2";
+      doc = "Alg2 (k-1 set consensus from one WRN_k): 1sWRN_3 under rotations";
+      subjects = [ one_shot_wrn ~k:3 `Rotations ];
+    };
+    {
+      family = "alg3";
+      doc =
+        "Alg3 (n-process set consensus via renaming): WRN_2 plus the \
+         renaming layer's snapshot and registers, identity group";
+      subjects =
+        [ wrn ~k:2 `Trivial; snapshot ~name:"renaming-snapshot" ~n:2 `Rotations;
+          register ~group:`Trivial () ];
+    };
+    {
+      family = "alg4";
+      doc =
+        "Alg4 (long-lived WRN from 1sWRN + guards): 1sWRN_2 and a guard \
+         counter within a 4-op budget";
+      subjects = [ one_shot_wrn ~k:2 `Trivial; counter ~ops:4 ];
+    };
+    {
+      family = "alg5";
+      doc =
+        "Alg5 (SSE completion): sse(3,2), the doorway register and the \
+         announce/publish snapshots under rotations";
+      subjects =
+        [ sse ~k:3 ~j:2 `Rotations; doorway ~n:3;
+          snapshot ~name:"announce-snapshot" ~n:3 `Rotations ];
+    };
+    {
+      family = "alg6";
+      doc = "Alg6 (group split): per-group WRN_2 and 1sWRN_2, identity group";
+      subjects = [ wrn ~k:2 `Trivial; one_shot_wrn ~k:2 `Trivial ];
+    };
+    {
+      family = "1swrn";
+      doc = "the 1sWRN_3 harness: rotation group, proposals 100..102";
+      subjects = [ one_shot_wrn ~k:3 `Rotations ];
+    };
+    {
+      family = "set-consensus";
+      doc = "the (3,2)-set-consensus harness: full symmetric group";
+      subjects = [ set_consensus ~n:3 ~k:2 ];
+    };
+  ]
+
+let families () = List.map (fun e -> e.family) (entries ())
+let find name = List.find_opt (fun e -> e.family = name) (entries ())

@@ -1,0 +1,28 @@
+(** The registry: every analysis subject the CI gate runs.
+
+    One entry per family.  The ["objects"] family covers every sequential
+    model in [lib/objects] under the strongest symmetry group its users
+    declare; the algorithm families ([alg2] .. [alg6], [1swrn],
+    [set-consensus]) register exactly the (object, symmetry spec, op
+    alphabet) combinations their harnesses enable in the reduction layer —
+    an [analyze] run over the registry therefore certifies every reduction
+    the test suite and the CLI can switch on.
+
+    Subjects use small instance sizes (two or three processes) and token
+    value alphabets ([100..102], matching the harness proposal convention).
+    The value-obliviousness check is what licenses the token abstraction:
+    an object certified oblivious behaves identically up to renaming for
+    any richer value domain.  Unbounded objects (counters, fetch-and-add,
+    queues) carry an op budget ({!Subject.Ops}) sized to their protocols'
+    invocation counts; their certificates cover any protocol within the
+    budget. *)
+
+type entry = {
+  family : string;
+  doc : string;  (** one line: what the family's certificate covers *)
+  subjects : Subject.t list;
+}
+
+val entries : unit -> entry list
+val families : unit -> string list
+val find : string -> entry option

@@ -76,6 +76,7 @@ val wait_free :
   Store.t ->
   programs:Value.t Program.t list ->
   (certificate, failure) result
+[@@deprecated "use Progress.check_wait_free (Verdict-typed)"]
 
 (** @deprecated Use {!check_t_resilient}. *)
 val t_resilient :
@@ -85,3 +86,4 @@ val t_resilient :
   Store.t ->
   programs:Value.t Program.t list ->
   (Explore.stats, string) result
+[@@deprecated "use Progress.check_t_resilient (Verdict-typed)"]

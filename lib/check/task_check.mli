@@ -30,6 +30,7 @@ val exhaustive :
   inputs:Value.t list ->
   task:Task.t ->
   (Explore.stats, string * Trace.t) result
+[@@deprecated "use Task_check.check (Verdict-typed)"]
 
 (** @deprecated Use {!Progress.check_t_resilient} (with [t = 0]) or
     {!Progress.check_wait_free}.  Checks that no adversarial schedule runs
@@ -40,6 +41,8 @@ val wait_free :
   Store.t ->
   programs:Value.t Program.t list ->
   (Explore.stats, string) result
+[@@deprecated
+  "use Progress.check_t_resilient ~t:0 or Progress.check_wait_free"]
 
 type sample_stats = {
   runs : int;

@@ -41,6 +41,7 @@ val consensus_verdict :
     remains for one release. *)
 val check_consensus :
   ?max_states:int -> Config.t -> inputs:Value.t list -> verdict
+[@@deprecated "use Valence.consensus_verdict (Verdict-typed)"]
 
 (** [valence config] — all values reachable as decisions from [config].
     Decisions are the outputs of terminated processes. *)

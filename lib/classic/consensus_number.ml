@@ -135,8 +135,15 @@ let verdict ?max_states family ~n =
   let store, programs = protocol Store.empty family ~n in
   let inputs = List.init n (fun i -> Value.Int i) in
   let config = Config.make store programs in
-  match Subc_check.Valence.check_consensus ?max_states config ~inputs with
-  | Subc_check.Valence.Solves _ -> `Solves
-  | Subc_check.Valence.Violation _ -> `Violates
-  | Subc_check.Valence.Diverges _ -> `Diverges
-  | Subc_check.Valence.Unknown _ -> `Unknown
+  let contains s sub =
+    let n = String.length sub in
+    let rec scan i =
+      i + n <= String.length s && (String.sub s i n = sub || scan (i + 1))
+    in
+    scan 0
+  in
+  match Subc_check.Valence.consensus_verdict ?max_states config ~inputs with
+  | Subc_check.Verdict.Proved _ -> `Solves
+  | Subc_check.Verdict.Refuted { reason; _ } ->
+    if contains reason "infinite schedule" then `Diverges else `Violates
+  | Subc_check.Verdict.Limited _ -> `Unknown

@@ -37,7 +37,7 @@ val known_consensus_number : family -> int option
 val protocol : Store.t -> family -> n:int -> Store.t * Value.t Program.t list
 
 (** [verdict family ~n] — run the canonical protocol through
-    {!Subc_check.Valence.check_consensus}-style analysis: [`Solves],
+    {!Subc_check.Valence.consensus_verdict}-style analysis: [`Solves],
     [`Violates] or [`Diverges]. *)
 val verdict :
   ?max_states:int -> family -> n:int -> [ `Solves | `Violates | `Diverges | `Unknown ]

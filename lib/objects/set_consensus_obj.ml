@@ -3,9 +3,21 @@ open Subc_sim
 let dedup xs =
   List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ]) [] xs
 
+(* The proposal counter lives in the state as a [Sym], not an [Int]: the
+   symmetry layer's data action renames integers in 0..n-1 as process ids,
+   and a raw counter in that range would be renamed too, breaking
+   equivariance of [apply] under the declared full symmetric group (found
+   by the Subc_analysis equivariance checker). *)
+let count_of = function
+  | Value.Sym s -> int_of_string s
+  | v -> raise (Value.Type_error ("set_consensus count", v))
+
+let mk_count n = Value.Sym (string_of_int n)
+
 let apply ~n ~k state op =
   match (op.Op.name, op.Op.args, state) with
-  | "propose", [ v ], Value.Pair (Value.Vec chosen, Value.Int count) ->
+  | "propose", [ v ], Value.Pair (Value.Vec chosen, count) ->
+    let count = count_of count in
     if count >= n then Obj_model.hang
     else
       let extensions =
@@ -17,7 +29,7 @@ let apply ~n ~k state op =
       List.concat_map
         (fun chosen' ->
           let state' =
-            Value.Pair (Value.Vec chosen', Value.Int (count + 1))
+            Value.Pair (Value.Vec chosen', mk_count (count + 1))
           in
           List.map (fun r -> (state', r)) chosen')
         extensions
@@ -26,7 +38,7 @@ let apply ~n ~k state op =
 
 let model ~n ~k =
   Obj_model.nondet ~kind:(Printf.sprintf "set_consensus(%d,%d)" n k)
-    ~init:(Value.Pair (Value.Vec [], Value.Int 0))
+    ~init:(Value.Pair (Value.Vec [], mk_count 0))
     (apply ~n ~k)
 
 let propose h v = Program.invoke h (Op.make "propose" [ v ])

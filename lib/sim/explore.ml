@@ -40,6 +40,29 @@ let no_reduction = { symmetry = None; sleep_sets = false }
 let with_symmetry sym = { symmetry = Some sym; sleep_sets = false }
 let full_reduction sym = { symmetry = Some sym; sleep_sets = true }
 
+(* Soundness certificates: an unforgeable-by-convention token recording
+   that a tool mechanically discharged the trusted obligations behind a
+   reduction (equivariance of the symmetry spec, commutation of the
+   independence judgment, object classification).  The only minting site
+   outside tests is [Subc_analysis.Analyzer.certify], which refuses unless
+   every check proved. *)
+module Certificate = struct
+  type t = { tool : string; subject : string; obligations : string list }
+
+  let attest ~tool ~subject ~obligations = { tool; subject; obligations }
+  let tool c = c.tool
+  let subject c = c.subject
+  let obligations c = c.obligations
+
+  let pp ppf c =
+    Format.fprintf ppf "certified by %s for %s: %s" c.tool c.subject
+      (String.concat ", " c.obligations)
+end
+
+let certified_reduction ~certificate:(_ : Certificate.t) ?(sleep_sets = true)
+    symmetry =
+  { symmetry; sleep_sets }
+
 let pp_reduction ppf r =
   Format.fprintf ppf "symmetry=%s sleep-sets=%b"
     (match r.symmetry with
@@ -65,32 +88,36 @@ type tr = Tstep of int * int | Tcrash of int
    footprint-level independence — snapshot updates to distinct segments
    commute, reads commute with reads — derived semantically from
    [Obj_model.apply] rather than from declared footprints, and memoized
-   per (kind, object state, op pair). *)
+   per (kind, object state, op pair).  The memoization assumes [apply] is
+   pure and that equal [kind] strings name behaviourally identical models;
+   both assumptions are discharged mechanically by [Subc_analysis], which
+   certifies this judgment over each object's full reachable state space
+   (and cross-checks it with an independent recomputation). *)
 let commute_cache : (string * Value.t * Op.t * Op.t, bool) Hashtbl.t =
   Hashtbl.create 256
 
-let ops_commute store h a b =
-  let st0 = Store.state store h in
-  let kind = Store.kind store h in
+let op_independent (model : Obj_model.t) st0 a b =
   let key =
-    if Op.compare a b <= 0 then (kind, st0, a, b) else (kind, st0, b, a)
+    if Op.compare a b <= 0 then (model.Obj_model.kind, st0, a, b)
+    else (model.Obj_model.kind, st0, b, a)
   in
   match Hashtbl.find_opt commute_cache key with
   | Some r -> r
   | None ->
+    let apply st op = model.Obj_model.apply st op in
     let outcomes first second =
       (* (final object state, first's resp, second's resp), one triple per
          resolution of both invocations' nondeterminism; [Exit] when the
          second invocation hangs after the first. *)
       List.concat_map
         (fun (s1, r1) ->
-          match Store.apply s1 h second with
+          match apply s1 second with
           | [] -> raise Exit
-          | ys -> List.map (fun (s2, r2) -> (Store.state s2 h, r1, r2)) ys)
-        (Store.apply store h first)
+          | ys -> List.map (fun (s2, r2) -> (s2, r1, r2)) ys)
+        (apply st0 first)
     in
     let r =
-      if Store.apply store h a = [] || Store.apply store h b = [] then
+      if apply st0 a = [] || apply st0 b = [] then
         (* A hang is order-sensitive in general; stay conservative. *)
         false
       else
@@ -104,6 +131,9 @@ let ops_commute store h a b =
     in
     Hashtbl.replace commute_cache key r;
     r
+
+let ops_commute store h a b =
+  op_independent (Store.model store h) (Store.state store h) a b
 
 let pending config i =
   match config.Config.procs.(i).Config.status with

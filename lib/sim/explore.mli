@@ -23,18 +23,27 @@
       process-renaming group ({!Symmetry.t}), so schedules differing only
       in the identity of symmetric processes collapse.  Visited states drop
       by up to the group order; the spec must be a true automorphism group
-      for the instance (caller obligation, cross-validated in tests).
-      Sound for terminal checking, reachability, and cycle detection.
+      for the instance.  That obligation is discharged mechanically by the
+      static soundness analyzer ([Subc_analysis], CLI [analyze]), which
+      certifies equivariance of every registered object model under its
+      declared group, and empirically by the cross-validation suite
+      ([test_reduction]); invariance of the {e checked property} under
+      renaming remains out of the analyzer's scope and stays a caller
+      obligation.  Sound for terminal checking, reachability, and cycle
+      detection.
 
     - {b Sleep sets} ([reduction.sleep_sets]): a partial-order reduction
       that skips re-exploring a transition already covered by an
       independent sibling branch (two transitions are independent when they
       involve distinct processes and distinct objects).  Prunes redundant
       {e transitions} — terminal verdicts are preserved, visited states are
-      not reduced.  Assumes an acyclic state graph (true for all one-shot
-      bounded algorithms); the entry points that hunt cycles or enumerate
-      all reachable states ({!find_cycle}, {!iter_reachable}) force sleep
-      sets off.
+      not reduced.  Same-object independence is the semantic judgment
+      {!op_independent}, whose purity and kind-consistency assumptions are
+      certified over each object's reachable state space by
+      [Subc_analysis].  Assumes an acyclic state graph (true for all
+      one-shot bounded algorithms); the entry points that hunt cycles or
+      enumerate all reachable states ({!find_cycle}, {!iter_reachable})
+      force sleep sets off.
 
     For the bounded one-shot algorithms of the paper the state space is
     finite and exploration is complete: a property checked here is a proof
@@ -74,6 +83,48 @@ val no_reduction : reduction
 val with_symmetry : Symmetry.t -> reduction
 val full_reduction : Symmetry.t -> reduction
 (** Symmetry quotienting {e and} sleep sets. *)
+
+(** Soundness certificates.  The reductions above rest on trusted
+    declarations (the symmetry spec is an automorphism group, the
+    independence judgment's purity assumptions hold).  A {!Certificate.t}
+    records that a tool has mechanically discharged those obligations; the
+    only minting site outside tests is [Subc_analysis.Analyzer.certify],
+    which refuses unless every analyzer check proves.  Callers that want a
+    checked reduction construct it through {!certified_reduction} instead
+    of the bare record, making "fast but trust-me" and "fast and checked"
+    distinct types of evidence at the call site. *)
+module Certificate : sig
+  type t
+
+  (** [attest ~tool ~subject ~obligations] mints a certificate.  Reserved
+      for analysis tools that have actually discharged the named
+      obligations — constructing one by hand defeats the point. *)
+  val attest : tool:string -> subject:string -> obligations:string list -> t
+
+  val tool : t -> string
+  val subject : t -> string
+  val obligations : t -> string list
+  val pp : Format.formatter -> t -> unit
+end
+
+(** [certified_reduction ~certificate sym] — a reduction that demanded a
+    certificate before enabling itself; [sleep_sets] defaults to [true]
+    (the certificate covers the independence judgment too). *)
+val certified_reduction :
+  certificate:Certificate.t ->
+  ?sleep_sets:bool ->
+  Symmetry.t option ->
+  reduction
+
+(** [op_independent model st a b] — the explorer's conditional-independence
+    judgment for two operations on one object in state [st]: both orders
+    yield the same final state and responses under every resolution of
+    nondeterminism, and neither order turns a completing invocation into a
+    hang.  Memoized per (kind, state, op pair); the memoization assumes
+    [apply] is pure and that equal [kind] strings name behaviourally equal
+    models.  Exposed so the soundness analyzer ([Subc_analysis]) can
+    certify exactly the judgment the sleep-set reduction consumes. *)
+val op_independent : Obj_model.t -> Value.t -> Op.t -> Op.t -> bool
 
 val pp_reduction : Format.formatter -> reduction -> unit
 

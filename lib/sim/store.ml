@@ -27,6 +27,7 @@ let find store h =
 
 let state store h = snd (find store h)
 let kind store h = (fst (find store h)).Obj_model.kind
+let model store h = fst (find store h)
 
 let apply store h op =
   let model, st = find store h in

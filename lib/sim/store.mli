@@ -21,6 +21,12 @@ val state : t -> handle -> Value.t
 
 val kind : t -> handle -> string
 
+(** [model store h] is the sequential model object [h] was allocated with
+    (its state at allocation time, not the current state — pair it with
+    {!state}).  Used by {!Explore}'s independence judgment and by the
+    static soundness analyzer ([Subc_analysis]). *)
+val model : t -> handle -> Obj_model.t
+
 (** [apply store h op] is every (store', response) successor of performing
     [op] on object [h]; the empty list means the invocation hangs. *)
 val apply : t -> handle -> Op.t -> (t * Value.t) list

@@ -29,6 +29,8 @@ type t = {
 
 let group_order t = List.length t.perms
 let n_procs t = t.n
+let perms t = t.perms
+let act t pi v = t.act_data pi v
 
 (* The standard data action for the repo's harness conventions:
    - [Int i] with 0 <= i < n is a process index and is renamed (when
@@ -40,10 +42,13 @@ let n_procs t = t.n
      is itself acted on;
    - everything else is traversed structurally.
 
-   This is a convention, not something the simulator can check: object
-   states and responses must index processes only through length-n vectors
-   and 0..n-1 integers.  The cross-validation suite (test_reduction)
-   checks it per algorithm family by comparing against unreduced search. *)
+   This is a convention the simulator itself does not check: object states
+   and responses must index processes only through length-n vectors and
+   0..n-1 integers.  The static analyzer (Subc_analysis) certifies it
+   mechanically per object model — equivariance of apply under every group
+   element over the reachable state space — and the cross-validation suite
+   (test_reduction) checks each algorithm family end-to-end against the
+   unreduced search. *)
 let rec deep_act ~n ~map_ids ~input_base (pi : perm) v =
   match v with
   | Value.Int i when map_ids && 0 <= i && i < n -> Value.Int pi.(i)

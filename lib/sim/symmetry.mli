@@ -10,15 +10,23 @@
     group and its action on configurations; {!Explore} uses it to
     canonicalize memoization keys.
 
-    {b Soundness is a caller obligation.}  The spec given to the explorer
-    must be a true automorphism group: processes in the same orbit must run
-    the same program modulo the data action, the checked property must be
-    invariant under the renaming (agreement, set-validity, termination and
-    step-count bounds all are; a property naming a specific process is
-    not), and object states must index processes only in ways the data
-    action understands.  The cross-validation suite ([test_reduction])
-    checks each algorithm family empirically by comparing reduced and
-    unreduced verdicts.
+    {b Soundness obligations, and who discharges them.}  The spec given to
+    the explorer must be a true automorphism group.  Its object-level
+    obligations are discharged {e mechanically} by the static soundness
+    analyzer ([Subc_analysis], CLI [analyze]): for every registered object
+    model it certifies that each group element is an automorphism of the
+    object's reachable transition system (π∘apply = apply∘π on states and
+    responses, hangs included), that the group fixes the initial state and
+    maps the protocol's op alphabet into itself, and — for objects claiming
+    the full symmetric group — that the object is value-oblivious.  Two
+    obligations remain {e out of the analyzer's scope} and stay with the
+    caller: the checked property must be invariant under the renaming
+    (agreement, set-validity, termination and step-count bounds all are; a
+    property naming a specific process is not), and processes in the same
+    orbit must run the same program modulo the data action.  The
+    cross-validation suite ([test_reduction]) additionally checks each
+    algorithm family end-to-end by comparing reduced and unreduced
+    verdicts.
 
     The group to use depends on the algorithm:
     - full symmetric group ([`Full]) for read/write and snapshot-based
@@ -87,6 +95,15 @@ val deep_act :
 
 val n_procs : t -> int
 val group_order : t -> int
+
+val perms : t -> perm list
+(** The explicit group, identity included (exposed for the soundness
+    analyzer and for property tests). *)
+
+val act : t -> perm -> Value.t -> Value.t
+(** The spec's data action on a single value (object state, op argument or
+    response).  The soundness analyzer uses it to verify that every group
+    element is an automorphism of each object's transition system. *)
 
 val key_under : t -> perm -> Config.t -> Value.t
 (** The memoization key of a configuration under one fixed renaming

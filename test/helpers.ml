@@ -1,36 +1,41 @@
 (* Shared test utilities. *)
 open Subc_sim
+module Verdict = Subc_check.Verdict
 
 let value : Value.t Alcotest.testable = Alcotest.testable Value.pp Value.equal
 
 (* Distinct proposal values for k processes: 100, 101, … *)
 let inputs k = List.init k (fun i -> Value.Int (100 + i))
 
+let explore_stats_exn (v : Verdict.t) =
+  match (Verdict.stats v).Verdict.explore with
+  | Some e -> e
+  | None -> Alcotest.fail "verdict carries no exploration stats"
+
 let check_exhaustive ?max_states store ~programs ~inputs ~task =
-  match
-    Subc_check.Task_check.exhaustive ?max_states store ~programs ~inputs ~task
-  with
-  | Ok stats ->
-    if stats.Subc_sim.Explore.limited then
-      Alcotest.fail "exhaustive check hit the state limit";
-    stats
-  | Error (reason, trace) ->
+  match Subc_check.Task_check.check ?max_states store ~programs ~inputs ~task with
+  | Verdict.Proved _ as v -> explore_stats_exn v
+  | Verdict.Limited _ -> Alcotest.fail "exhaustive check hit the state limit"
+  | Verdict.Refuted { reason; trace; _ } ->
     Alcotest.failf "task %s violated: %s@.%a" task.Subc_tasks.Task.name reason
       Trace.pp trace
 
+(* The historical helper semantics (no infinite schedule, no hangs) is
+   0-resilient termination; the per-process solo-bound certificate is
+   [Subc_check.Progress.check_wait_free], exercised in test_reduction. *)
 let check_wait_free ?max_states store ~programs =
-  match Subc_check.Task_check.wait_free ?max_states store ~programs with
-  | Ok stats -> stats
-  | Error reason -> Alcotest.failf "wait-freedom violated: %s" reason
+  match Subc_check.Progress.check_t_resilient ?max_states ~t:0 store ~programs with
+  | Verdict.Proved _ as v -> explore_stats_exn v
+  | Verdict.Limited _ -> Alcotest.fail "wait-freedom check hit the state limit"
+  | Verdict.Refuted { reason; _ } ->
+    Alcotest.failf "wait-freedom violated: %s" reason
 
 let expect_violation ?max_states store ~programs ~inputs ~task =
-  match
-    Subc_check.Task_check.exhaustive ?max_states store ~programs ~inputs ~task
-  with
-  | Ok _ ->
+  match Subc_check.Task_check.check ?max_states store ~programs ~inputs ~task with
+  | Verdict.Proved _ | Verdict.Limited _ ->
     Alcotest.failf "expected a violation of %s, found none"
       task.Subc_tasks.Task.name
-  | Error (reason, trace) -> (reason, trace)
+  | Verdict.Refuted { reason; trace; _ } -> (reason, trace)
 
 (* Run under a fixed schedule (extended round-robin when exhausted). *)
 let run_fixed store ~programs ~schedule =

@@ -15,11 +15,11 @@ let check_two_consensus alloc () =
       let store, t = alloc Store.empty in
       let programs = [ Two.propose t ~me:0 v0; Two.propose t ~me:1 v1 ] in
       let config = Config.make store programs in
-      match Valence.check_consensus config ~inputs:[ v0; v1 ] with
-      | Valence.Solves _ -> ()
+      match Valence.consensus_verdict config ~inputs:[ v0; v1 ] with
+      | Verdict.Proved _ -> ()
       | v ->
         Alcotest.failf "2-consensus failed on (%a,%a): %a" Value.pp v0 Value.pp
-          v1 Valence.pp_verdict v)
+          v1 Verdict.pp_summary v)
     [ (Value.Int 0, Value.Int 1); (Value.Int 1, Value.Int 0);
       (Value.Int 5, Value.Int 5) ]
 
@@ -98,12 +98,12 @@ let attempt_verdict ~k ~style =
     [ Attempts.propose t ~me:0 (Value.Int 0); Attempts.propose t ~me:1 (Value.Int 1) ]
   in
   let config = Config.make store programs in
-  Valence.check_consensus config ~inputs:[ Value.Int 0; Value.Int 1 ]
+  Valence.consensus_verdict config ~inputs:[ Value.Int 0; Value.Int 1 ]
 
 let expect_violation_verdict ~k ~style () =
   match attempt_verdict ~k ~style with
-  | Valence.Violation _ -> ()
-  | v -> Alcotest.failf "expected Violation, got %a" Valence.pp_verdict v
+  | Verdict.Refuted _ -> ()
+  | v -> Alcotest.failf "expected Refuted, got %a" Verdict.pp_summary v
 
 let wrn_attempt_tests =
   [
@@ -117,16 +117,18 @@ let wrn_attempt_tests =
       (expect_violation_verdict ~k:3 ~style:Attempts.Adjacent_announce);
     test "busy-wait attempt diverges on WRN₃" (fun () ->
         match attempt_verdict ~k:3 ~style:Attempts.Busy_wait with
-        | Valence.Diverges _ -> ()
-        | v -> Alcotest.failf "expected Diverges, got %a" Valence.pp_verdict v);
+        | Verdict.Refuted { reason; _ } ->
+          Alcotest.(check bool) "cites an infinite schedule" true
+            (String.length reason > 0)
+        | v -> Alcotest.failf "expected Refuted, got %a" Verdict.pp_summary v);
     test "the same mirror shape SOLVES consensus on WRN₂" (fun () ->
         match attempt_verdict ~k:2 ~style:Attempts.Mirror_alg2 with
-        | Valence.Solves _ -> ()
-        | v -> Alcotest.failf "expected Solves, got %a" Valence.pp_verdict v);
+        | Verdict.Proved _ -> ()
+        | v -> Alcotest.failf "expected Proved, got %a" Verdict.pp_summary v);
     test "announce+adjacent also solves on WRN₂" (fun () ->
         match attempt_verdict ~k:2 ~style:Attempts.Adjacent_announce with
-        | Valence.Solves _ -> ()
-        | v -> Alcotest.failf "expected Solves, got %a" Valence.pp_verdict v);
+        | Verdict.Proved _ -> ()
+        | v -> Alcotest.failf "expected Proved, got %a" Verdict.pp_summary v);
   ]
 
 (* E9: the S2 strong-set-election object cannot solve 2-process consensus
@@ -151,9 +153,11 @@ let sse_weakness_tests =
         let config =
           Config.make store [ program 0 (Value.Int 0); program 1 (Value.Int 1) ]
         in
-        match Valence.check_consensus config ~inputs:[ Value.Int 0; Value.Int 1 ] with
-        | Valence.Violation _ -> ()
-        | v -> Alcotest.failf "expected Violation, got %a" Valence.pp_verdict v);
+        match
+          Valence.consensus_verdict config ~inputs:[ Value.Int 0; Value.Int 1 ]
+        with
+        | Verdict.Refuted _ -> ()
+        | v -> Alcotest.failf "expected Refuted, got %a" Verdict.pp_summary v);
   ]
 
 (* Tournament leader election from consensus objects (Common2-style). *)

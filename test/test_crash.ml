@@ -190,16 +190,27 @@ let crash_at_deterministic () =
 (* --- progress properties ---------------------------------------------- *)
 
 module Progress = Subc_check.Progress
+module Verdict = Subc_check.Verdict
+
+let metric name (v : Verdict.t) =
+  match List.assoc_opt name (Verdict.stats v).Verdict.metrics with
+  | Some x -> int_of_float x
+  | None -> Alcotest.failf "verdict metric %S missing" name
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
 
 (* Acceptance criterion: wait-freedom certificate for Algorithm 2, even
    under a crash budget. *)
 let alg2_wait_free_certificate () =
   let store, programs, _ = alg2_harness ~k:3 in
-  match Progress.wait_free ~max_crashes:2 store ~programs with
-  | Ok cert ->
-    Alcotest.(check int) "solo bound" 1 cert.Progress.solo_bound;
-    Alcotest.(check int) "configs" 37 cert.Progress.configs
-  | Error f -> Alcotest.failf "not wait-free: %a" Progress.pp_failure f
+  match Progress.check_wait_free ~max_crashes:2 store ~programs with
+  | Verdict.Proved _ as v ->
+    Alcotest.(check int) "solo bound" 1 (metric "solo_bound" v);
+    Alcotest.(check int) "configs" 37 (metric "configs" v)
+  | v -> Alcotest.failf "not wait-free: %a" Verdict.pp_summary v
 
 let alg5_wait_free_certificate () =
   let k = 3 in
@@ -207,10 +218,10 @@ let alg5_wait_free_certificate () =
   let programs =
     List.init k (fun i -> Subc_core.Alg5.wrn t ~i (Value.Int (100 + i)))
   in
-  match Progress.wait_free ~max_crashes:1 store ~programs with
-  | Ok cert ->
-    Alcotest.(check int) "solo bound" 5 cert.Progress.solo_bound
-  | Error f -> Alcotest.failf "not wait-free: %a" Progress.pp_failure f
+  match Progress.check_wait_free ~max_crashes:1 store ~programs with
+  | Verdict.Proved _ as v ->
+    Alcotest.(check int) "solo bound" 5 (metric "solo_bound" v)
+  | v -> Alcotest.failf "not wait-free: %a" Verdict.pp_summary v
 
 (* Acceptance criterion: a deliberately lock-free-only construction yields
    a counterexample schedule, not a certificate. *)
@@ -230,20 +241,19 @@ let spinner_counterexample () =
     let* () = Subc_objects.Register.write reg (Value.Int 1) in
     Program.return (Value.Int 1)
   in
-  match Progress.wait_free store ~programs:[ spinner; writer ] with
-  | Ok _ -> Alcotest.fail "spinner certified wait-free"
-  | Error (Progress.Non_terminating { proc; spin; _ }) ->
-    Alcotest.(check int) "the spinner is the culprit" 0 proc;
-    Alcotest.(check bool) "counterexample has a solo suffix" true
-      (Trace.length spin > 0)
-  | Error f -> Alcotest.failf "unexpected failure: %a" Progress.pp_failure f
+  match Progress.check_wait_free store ~programs:[ spinner; writer ] with
+  | Verdict.Refuted { reason; trace; _ } ->
+    Alcotest.(check bool) "the spinner is the culprit" true
+      (contains reason "process 0 does not terminate running solo");
+    Alcotest.(check bool) "counterexample has a schedule" true
+      (Trace.length trace > 0)
+  | v -> Alcotest.failf "spinner not refuted: %a" Verdict.pp_summary v
 
 let alg2_t_resilient () =
   let store, programs, _ = alg2_harness ~k:3 in
-  match Progress.t_resilient ~t:2 store ~programs with
-  | Ok stats ->
-    Alcotest.(check bool) "not truncated" false stats.Explore.limited
-  | Error reason -> Alcotest.failf "not 2-resilient: %s" reason
+  let v = Progress.check_t_resilient ~t:2 store ~programs in
+  Alcotest.(check bool) "2-resilient termination proved" true
+    (Verdict.is_proved v)
 
 (* The space-time diagram renderer. *)
 let diagram_smoke () =

@@ -44,28 +44,30 @@ let verdict_tests =
         let store, programs = consensus_protocol () in
         let config = Config.make store programs in
         match
-          Valence.check_consensus config ~inputs:[ Value.Int 0; Value.Int 1 ]
+          Valence.consensus_verdict config ~inputs:[ Value.Int 0; Value.Int 1 ]
         with
-        | Valence.Solves _ -> ()
-        | v -> Alcotest.failf "unexpected verdict: %a" Valence.pp_verdict v);
+        | Verdict.Proved _ -> ()
+        | v -> Alcotest.failf "unexpected verdict: %a" Verdict.pp_summary v);
     test "decide-own protocol violates agreement" (fun () ->
         let store, programs = broken_protocol () in
         let config = Config.make store programs in
         match
-          Valence.check_consensus config ~inputs:[ Value.Int 0; Value.Int 1 ]
+          Valence.consensus_verdict config ~inputs:[ Value.Int 0; Value.Int 1 ]
         with
-        | Valence.Violation { reason; _ } ->
+        | Verdict.Refuted { reason; _ } ->
           Alcotest.(check bool) "agreement cited" true
             (String.length reason > 0)
-        | v -> Alcotest.failf "unexpected verdict: %a" Valence.pp_verdict v);
+        | v -> Alcotest.failf "unexpected verdict: %a" Verdict.pp_summary v);
     test "spinning protocol diverges" (fun () ->
         let store, programs = diverging_protocol () in
         let config = Config.make store programs in
         match
-          Valence.check_consensus config ~inputs:[ Value.Int 0; Value.Int 0 ]
+          Valence.consensus_verdict config ~inputs:[ Value.Int 0; Value.Int 0 ]
         with
-        | Valence.Diverges _ -> ()
-        | v -> Alcotest.failf "unexpected verdict: %a" Valence.pp_verdict v);
+        | Verdict.Refuted { reason; _ } ->
+          Alcotest.(check bool) "divergence cited" true
+            (String.length reason > 0)
+        | v -> Alcotest.failf "unexpected verdict: %a" Verdict.pp_summary v);
   ]
 
 let valence_tests =
@@ -135,10 +137,10 @@ let critical_tests =
         in
         let config = Config.make store [ program 0; program 1 ] in
         (match
-           Valence.check_consensus config ~inputs:[ Value.Int 0; Value.Int 1 ]
+           Valence.consensus_verdict config ~inputs:[ Value.Int 0; Value.Int 1 ]
          with
-        | Valence.Violation _ -> ()
-        | v -> Alcotest.failf "unexpected verdict: %a" Valence.pp_verdict v));
+        | Verdict.Refuted _ -> ()
+        | v -> Alcotest.failf "unexpected verdict: %a" Verdict.pp_summary v));
   ]
 
 let suite =
