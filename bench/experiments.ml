@@ -974,6 +974,92 @@ let e16 () =
         "transitions x"; "verdict" ]
     (rows @ [ agg_row ])
 
+(* ------------------------------------------------------------------ E17 *)
+
+(* Multicore scaling: the parallel engine must reproduce the sequential
+   counts bit-for-bit at every domain count (that part is asserted); the
+   timing columns are informational — wall-clock speedup is bounded by
+   the host's core count, which the table header records. *)
+let e17 () =
+  let instance name config ~max_crashes ~reduction =
+    let explore jobs =
+      let t0 = Unix.gettimeofday () in
+      let stats =
+        if jobs <= 1 then
+          Explore.iter_terminals ~max_crashes ?reduction config
+            ~f:(fun _ _ -> ())
+        else
+          Parallel.iter_terminals ~max_crashes ?reduction ~jobs config
+            ~f:(fun _ _ -> ())
+      in
+      (stats, Unix.gettimeofday () -. t0)
+    in
+    let base, base_secs = explore 1 in
+    List.map
+      (fun jobs ->
+        let stats, secs = explore jobs in
+        let agree =
+          stats.Explore.states = base.Explore.states
+          && stats.Explore.transitions = base.Explore.transitions
+          && stats.Explore.terminals = base.Explore.terminals
+          && stats.Explore.hung_terminals = base.Explore.hung_terminals
+          && stats.Explore.crashed_terminals = base.Explore.crashed_terminals
+        in
+        let secs = if jobs = 1 then base_secs else secs in
+        [
+          name;
+          string_of_int jobs;
+          string_of_int stats.Explore.states;
+          string_of_int stats.Explore.terminals;
+          Printf.sprintf "%.3fs" secs;
+          Printf.sprintf "%.0f" (float_of_int stats.Explore.states /. secs);
+          Printf.sprintf "%.2fx" (base_secs /. secs);
+          check (Printf.sprintf "E17 %s jobs=%d counts" name jobs) agree;
+        ])
+      [ 1; 2; 4; 8 ]
+  in
+  let alg2_rows =
+    let k = 4 in
+    let store, t = Alg2.alloc Store.empty ~k ~one_shot:true in
+    let programs =
+      List.init k (fun i -> Alg2.propose t ~i (Value.Int (100 + i)))
+    in
+    instance "Alg 2 (k=4), f=1"
+      (Config.make store programs)
+      ~max_crashes:1 ~reduction:None
+  in
+  let alg5_rows =
+    let store, t = Alg5.alloc Store.empty ~k:3 () in
+    let programs =
+      List.init 3 (fun i -> Alg5.wrn t ~i (Value.Int (100 + i)))
+    in
+    instance "Alg 5 (k=3), f=1"
+      (Config.make store programs)
+      ~max_crashes:1 ~reduction:None
+  in
+  let alg5_sym_rows =
+    let store, t = Alg5.alloc Store.empty ~k:3 () in
+    let programs =
+      List.init 3 (fun i -> Alg5.wrn t ~i (Value.Int (100 + i)))
+    in
+    let sym = Alg5.symmetry t ~input_base:100 () in
+    instance "Alg 5 (k=3), f=1, sym"
+      (Config.make store programs)
+      ~max_crashes:1
+      ~reduction:(Some (Explore.with_symmetry sym))
+  in
+  table
+    ~title:
+      (Printf.sprintf
+         "E17. Multicore scaling: parallel engine vs sequential counts \
+          (identical by construction, asserted); host offers %d domain(s), \
+          which bounds any wall-clock speedup"
+         (Domain.recommended_domain_count ()))
+    ~header:
+      [ "instance"; "jobs"; "states"; "terminals"; "wall"; "states/s";
+        "speedup"; "verdict" ]
+    (alg2_rows @ alg5_rows @ alg5_sym_rows)
+
 (* ------------------------------------------------------------ scaling *)
 
 let scaling () =
@@ -1039,6 +1125,7 @@ let run_all () =
   e14 ();
   e15 ();
   e16 ();
+  e17 ();
   scaling ();
   Format.printf "@.=== experiments complete: %s ===@."
     (if !failures = 0 then "ALL PASS"
@@ -1053,3 +1140,4 @@ let run_one f =
 
 let run_e15 () = run_one e15
 let run_e16 () = run_one e16
+let run_e17 () = run_one e17

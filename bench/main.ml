@@ -5,7 +5,9 @@
    followed by the bechamel timing benches (B1–B5).
 
    [dune exec bench/main.exe -- experiments] / [-- timing] run one half;
-   [-- e15] / [-- e16] run a single experiment (the CI smoke job).
+   [-- e15] / [-- e16] / [-- e17] run a single experiment (the CI smoke
+   jobs); [-- perf] runs the fingerprint/multicore performance sweep and
+   writes BENCH_results.json (jobs list configurable with [--jobs N]).
    [--metrics] streams observability events and a final metrics snapshot;
    with [--json] both go to stdout as JSON lines (the CI artifact). *)
 
@@ -30,6 +32,23 @@ let () =
       true
     | "e15" -> Experiments.run_e15 ()
     | "e16" -> Experiments.run_e16 ()
+    | "e17" -> Experiments.run_e17 ()
+    | "perf" ->
+      (* [--jobs N] caps the sweep at N domains (the default sweeps
+         1/2/4/8 regardless of the host's core count). *)
+      let jobs_list =
+        let rec find = function
+          | "--jobs" :: n :: _ -> int_of_string_opt n
+          | _ :: rest -> find rest
+          | [] -> None
+        in
+        match find args with
+        | Some n when n >= 1 ->
+          List.filter (fun j -> j <= max n 1) [ 1; 2; 4; 8 ]
+        | _ -> [ 1; 2; 4; 8 ]
+      in
+      Timing.run_perf ~jobs_list ();
+      true
     | _ ->
       let ok = Experiments.run_all () in
       Timing.run_all ();

@@ -1,5 +1,7 @@
 (* Bechamel timing benches (B1–B5 of EXPERIMENTS.md): cost of the
-   simulator, the substrates and the checkers. *)
+   simulator, the substrates and the checkers; [run_perf] adds the
+   fingerprint/multicore performance sweep and writes BENCH_results.json
+   (the CI artifact). *)
 
 open Bechamel
 open Toolkit
@@ -133,3 +135,140 @@ let run_all () =
       in
       Format.printf "%-55s %s %s@." name ns r2)
     (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+(* Performance sweep: fingerprint cost and multicore exploration.      *)
+(* Results land in BENCH_results.json so CI can archive them and       *)
+(* successive runs can be diffed.  Numbers are wall-clock              *)
+(* (Unix.gettimeofday — CPU time would sum over domains and hide any   *)
+(* speedup); [host_domains] records how many cores the host actually   *)
+(* offers, since speedup_vs_1 is bounded by it.                        *)
+
+type bench_result = { name : string; fields : (string * float) list }
+
+let results_file = "BENCH_results.json"
+
+let json_of_results results =
+  let field (k, v) =
+    (* Plain [%.6g] prints integral floats without a dot; keep them JSON
+       numbers either way. *)
+    Printf.sprintf "%S: %.6g" k v
+  in
+  let obj r =
+    Printf.sprintf "    {%S: %S, %s}" "name" r.name
+      (String.concat ", " (List.map field r.fields))
+  in
+  Printf.sprintf
+    "{\n  \"host_domains\": %d,\n  \"benches\": [\n%s\n  ]\n}\n"
+    (Domain.recommended_domain_count ())
+    (String.concat ",\n" (List.map obj results))
+
+let write_results results =
+  let oc = open_out results_file in
+  output_string oc (json_of_results results);
+  close_out oc;
+  Format.printf "@.wrote %s (%d benches)@." results_file (List.length results)
+
+(* The legacy fingerprint this PR replaced: MD5 over a marshalled
+   canonical key.  Kept here (only here) as the baseline of the
+   microbench. *)
+let legacy_fingerprint config =
+  Digest.string (Marshal.to_string (Config.key config) [])
+
+let time_per_op ~repeat f configs =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to repeat do
+    List.iter (fun c -> ignore (Sys.opaque_identity (f c))) configs
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  dt /. float_of_int (repeat * List.length configs)
+
+(* P1: per-state fingerprint cost, structural 126-bit hash vs the legacy
+   marshal+MD5 pipeline, over a real reachable set (Algorithm 5, k=3). *)
+let perf_fingerprint () =
+  let store, t = Subc_core.Alg5.alloc Store.empty ~k:3 () in
+  let programs =
+    List.init 3 (fun i -> Subc_core.Alg5.wrn t ~i (Value.Int (100 + i)))
+  in
+  let config = Config.make store programs in
+  let configs = ref [] in
+  ignore (Explore.iter_reachable config ~f:(fun c _ -> configs := c :: !configs));
+  let configs = !configs in
+  let repeat = 50 in
+  let structural_ns =
+    1e9 *. time_per_op ~repeat Fingerprint.of_config configs
+  in
+  let legacy_ns = 1e9 *. time_per_op ~repeat legacy_fingerprint configs in
+  Format.printf
+    "p1: fingerprint (%d configs): structural %.0f ns, marshal+md5 %.0f ns \
+     (%.1fx)@."
+    (List.length configs) structural_ns legacy_ns
+    (legacy_ns /. structural_ns);
+  {
+    name = "p1.fingerprint";
+    fields =
+      [
+        ("configs", float_of_int (List.length configs));
+        ("structural_ns", structural_ns);
+        ("legacy_marshal_md5_ns", legacy_ns);
+        ("speedup", legacy_ns /. structural_ns);
+      ];
+  }
+
+(* P2: exploration throughput across domain counts.  Counts are asserted
+   identical to the sequential run (determinism is part of the bench);
+   wall-clock and states/sec are informational — on a single-core host
+   every jobs>1 row just measures synchronization overhead. *)
+let perf_parallel ~jobs_list () =
+  let store, t = Subc_core.Alg5.alloc Store.empty ~k:3 () in
+  let programs =
+    List.init 3 (fun i -> Subc_core.Alg5.wrn t ~i (Value.Int (100 + i)))
+  in
+  let config = Config.make store programs in
+  let explore jobs =
+    let t0 = Unix.gettimeofday () in
+    let stats =
+      if jobs <= 1 then
+        Explore.iter_terminals ~max_crashes:1 config ~f:(fun _ _ -> ())
+      else
+        Parallel.iter_terminals ~max_crashes:1 ~jobs config ~f:(fun _ _ -> ())
+    in
+    (stats, Unix.gettimeofday () -. t0)
+  in
+  let base_stats, base_secs = explore 1 in
+  List.map
+    (fun jobs ->
+      let stats, secs = explore jobs in
+      if
+        stats.Explore.states <> base_stats.Explore.states
+        || stats.Explore.terminals <> base_stats.Explore.terminals
+      then
+        Format.printf
+          "!! p2 jobs=%d NONDETERMINISM: %d states / %d terminals, expected \
+           %d / %d@."
+          jobs stats.Explore.states stats.Explore.terminals
+          base_stats.Explore.states base_stats.Explore.terminals;
+      let secs = if jobs = 1 then base_secs else secs in
+      let rate = float_of_int stats.Explore.states /. secs in
+      Format.printf
+        "p2: explore alg5 k=3 f=1, jobs=%d: %d states, %.3fs, %.0f \
+         states/s, speedup %.2fx@."
+        jobs stats.Explore.states secs rate (base_secs /. secs);
+      {
+        name = Printf.sprintf "p2.parallel_explore.jobs%d" jobs;
+        fields =
+          [
+            ("jobs", float_of_int jobs);
+            ("states", float_of_int stats.Explore.states);
+            ("seconds", secs);
+            ("states_per_sec", rate);
+            ("speedup_vs_1", base_secs /. secs);
+          ];
+      })
+    jobs_list
+
+let run_perf ?(jobs_list = [ 1; 2; 4; 8 ]) () =
+  Format.printf "@.=== Performance sweep (%s) ===@." results_file;
+  let fingerprint = perf_fingerprint () in
+  let parallel = perf_parallel ~jobs_list () in
+  write_results (fingerprint :: parallel)

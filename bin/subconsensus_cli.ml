@@ -232,14 +232,14 @@ let reduction_of ?(certified = false) ~alg choice inst =
          certified_reduction_for ~alg (Some (sym ())) ~sleep_sets:true
        else Explore.full_reduction (sym ()))
 
-let check_instance ?max_states ?max_crashes ?reduction inst =
+let check_instance ?max_states ?max_crashes ?reduction ?jobs inst =
   match inst with
   | Task_instance { store; programs; inputs; task; _ } ->
-    Subc_check.Task_check.check ?max_states ?max_crashes ?reduction store
-      ~programs ~inputs ~task
+    Subc_check.Task_check.check ?max_states ?max_crashes ?reduction ?jobs
+      store ~programs ~inputs ~task
   | Lin_instance { store; programs; ops; spec; _ } ->
     Subc_check.Linearizability.check_harness ?max_states ?max_crashes
-      ?reduction store ~programs ~ops ~spec
+      ?reduction ?jobs store ~programs ~ops ~spec
 
 (* Shared flags. *)
 let k_arg = Arg.(value & opt int 3 & info [ "k" ] ~doc:"WRN arity $(docv).")
@@ -264,6 +264,25 @@ let max_states_arg =
   Arg.(
     value & opt int 5_000_000
     & info [ "max-states" ] ~doc:"State budget per exploration.")
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Explore with $(docv) domains (multicore).  Verdicts and state \
+           counts are deterministic across $(docv); witness traces may \
+           differ.  Sleep sets are forced off when $(docv) > 1 (the \
+           reduction is inherently sequential); symmetry still applies.")
+
+(* Sleep sets do not survive parallel exploration; say so rather than
+   silently weakening the requested reduction. *)
+let warn_sleep_off ~jobs reduction =
+  match reduction with
+  | Some r when jobs > 1 && r.Explore.sleep_sets ->
+    Format.eprintf
+      "note: --jobs %d forces sleep sets off (symmetry still applies)@."
+      jobs
+  | _ -> ()
 let certified_arg =
   Arg.(
     value & flag
@@ -279,11 +298,12 @@ let certified_arg =
 (* check: one verdict per invocation, under the shared contract.       *)
 
 let check_cmd =
-  let run alg n k f max_states choice certified json metrics =
+  let run alg n k f max_states jobs choice certified json metrics =
     setup_obs ~json ~metrics;
     let inst = instance_of alg ~n ~k ~crashes:f in
     let reduction = reduction_of ~certified ~alg choice inst in
-    let v = check_instance ~max_states ~max_crashes:f ?reduction inst in
+    warn_sleep_off ~jobs reduction;
+    let v = check_instance ~max_states ~max_crashes:f ?reduction ~jobs inst in
     report ~json alg v;
     finish ~metrics [ v ]
   in
@@ -300,7 +320,7 @@ let check_cmd =
           report a verdict.  Exits 0 proved / 1 refuted / 2 limited.")
     Term.(
       const run $ alg_arg $ n_arg $ k_arg $ crashes_arg $ max_states_arg
-      $ reduction_arg $ certified_arg $ json_arg $ metrics_arg)
+      $ jobs_arg $ reduction_arg $ certified_arg $ json_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explore: raw state-space statistics, with or without reductions.    *)
@@ -322,16 +342,22 @@ let stats_fields reduction (stats : Explore.stats) =
   ]
 
 let explore_cmd =
-  let run alg n k f max_states choice certified json metrics =
+  let run alg n k f max_states jobs choice certified json metrics =
     setup_obs ~json ~metrics;
     let inst = instance_of alg ~n ~k ~crashes:f in
     let store, programs = instance_store_programs inst in
     let reduction = reduction_of ~certified ~alg choice inst in
+    warn_sleep_off ~jobs reduction;
     let config = Config.make store programs in
     let stats =
       Obs.Span.time "cli.explore" @@ fun () ->
-      Explore.iter_terminals ~max_states ~max_crashes:f ?reduction config
-        ~f:(fun _ _ -> ())
+      if jobs > 1 then
+        Parallel.iter_terminals ~max_states ~max_crashes:f ?reduction ~jobs
+          config
+          ~f:(fun _ _ -> ())
+      else
+        Explore.iter_terminals ~max_states ~max_crashes:f ?reduction config
+          ~f:(fun _ _ -> ())
     in
     if json then
       print_endline
@@ -361,7 +387,7 @@ let explore_cmd =
           reason).  Exits 0, or 2 when the search was truncated.")
     Term.(
       const run $ alg_arg $ n_arg $ k_arg $ crashes_arg $ max_states_arg
-      $ reduction_arg $ certified_arg $ json_arg $ metrics_arg)
+      $ jobs_arg $ reduction_arg $ certified_arg $ json_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Per-algorithm commands (sampled runs keep their own reporting; the
@@ -597,7 +623,7 @@ let critical_cmd =
 (* analyze: the static soundness analyzer over the subject registry.   *)
 
 let analyze_cmd =
-  let run family json metrics =
+  let run family jobs json metrics =
     setup_obs ~json ~metrics;
     let entries =
       match family with
@@ -614,7 +640,7 @@ let analyze_cmd =
       List.concat_map
         (fun (e : Subc_analysis.Registry.entry) ->
           Subc_analysis.Analyzer.analyze ~family:e.Subc_analysis.Registry.family
-            e.Subc_analysis.Registry.subjects)
+            ~jobs e.Subc_analysis.Registry.subjects)
         entries
     in
     List.iter
@@ -642,14 +668,14 @@ let analyze_cmd =
           symmetry group, and the declared classification — or refute \
           with a concrete witness.  No schedules are explored.  Exits 0 \
           proved / 1 refuted / 2 limited.")
-    Term.(const run $ family_arg $ json_arg $ metrics_arg)
+    Term.(const run $ family_arg $ jobs_arg $ json_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* crash-sweep: a verdict per crash budget plus a progress verdict, all
    under the shared contract.                                          *)
 
 let crash_sweep_cmd =
-  let run alg k f max_states solo_limit choice certified json metrics =
+  let run alg k f max_states solo_limit jobs choice certified json metrics =
     setup_obs ~json ~metrics;
     let verdicts = ref [] in
     let note name v =
@@ -658,6 +684,7 @@ let crash_sweep_cmd =
     in
     let inst = instance_of alg ~n:0 ~k ~crashes:f in
     let reduction = reduction_of ~certified ~alg choice inst in
+    warn_sleep_off ~jobs reduction;
     let store, programs = instance_store_programs inst in
     (match inst with
     | Task_instance { inputs; task; _ } ->
@@ -665,17 +692,17 @@ let crash_sweep_cmd =
         note
           (Printf.sprintf "%s/%s/f=%d" alg task.Task.name f')
           (Subc_check.Task_check.check ~max_states ~max_crashes:f' ?reduction
-             store ~programs ~inputs ~task)
+             ~jobs store ~programs ~inputs ~task)
       done
     | Lin_instance { ops; spec; _ } ->
       note
         (Printf.sprintf "%s/linearizable/f<=%d" alg f)
         (Subc_check.Linearizability.check_harness ~max_states ~max_crashes:f
-           ?reduction store ~programs ~ops ~spec));
+           ?reduction ~jobs store ~programs ~ops ~spec));
     note
       (alg ^ "/wait-free")
       (Subc_check.Progress.check_wait_free ~max_states ~max_crashes:f
-         ~solo_limit ?reduction store ~programs);
+         ~solo_limit ?reduction ~jobs store ~programs);
     finish ~metrics (List.rev !verdicts)
   in
   let crashes_arg =
@@ -698,8 +725,8 @@ let crash_sweep_cmd =
           else 2 when any search was truncated.")
     Term.(
       const run $ alg_arg $ k_arg $ crashes_arg $ max_states_arg
-      $ solo_limit_arg $ reduction_arg $ certified_arg $ json_arg
-      $ metrics_arg)
+      $ solo_limit_arg $ jobs_arg $ reduction_arg $ certified_arg
+      $ json_arg $ metrics_arg)
 
 let () =
   let doc = "sub-consensus deterministic objects: runners and model checkers" in

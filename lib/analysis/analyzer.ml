@@ -141,7 +141,11 @@ let analyze_subject ?(family = "-") (s : Subject.t) =
       mk "classification" (classification_verdict s space);
     ]
 
-let analyze ?family subjects = List.concat_map (analyze_subject ?family) subjects
+(* Subjects are independent, so they fan out across domains; each
+   subject's four findings stay in check order and the subject order is
+   preserved by [Parallel.map]. *)
+let analyze ?family ?(jobs = 1) subjects =
+  List.concat (Subc_sim.Parallel.map ~jobs (analyze_subject ?family) subjects)
 
 let verdicts findings = List.map (fun f -> f.verdict) findings
 let exit_code findings = Verdict.combined_exit (verdicts findings)

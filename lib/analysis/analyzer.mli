@@ -37,7 +37,9 @@ val analyze_subject : ?family:string -> Subject.t -> finding list
     reachability fails, the dependent checks report [Limited] (skipped)
     rather than running on a broken space. *)
 
-val analyze : ?family:string -> Subject.t list -> finding list
+val analyze : ?family:string -> ?jobs:int -> Subject.t list -> finding list
+(** [jobs] analyzes that many subjects concurrently (one domain each,
+    {!Subc_sim.Parallel.map}); findings keep their deterministic order. *)
 
 val verdicts : finding list -> Subc_check.Verdict.t list
 val exit_code : finding list -> int

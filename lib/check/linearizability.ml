@@ -102,20 +102,28 @@ let check ~spec history =
 (* Harness-level checking: explore every terminal of a one-operation-per-
    process harness and check each recorded history against the sequential
    specification.  This is the loop the CLI and bench previously inlined. *)
-let check_harness ?max_states ?max_crashes ?reduction store ~programs ~ops
-    ~spec =
+let check_harness ?max_states ?max_crashes ?reduction ?(jobs = 1) store
+    ~programs ~ops ~spec =
   Subc_obs.Span.time "linearizability.check_harness" @@ fun () ->
   let config = Config.make store programs in
   let failure = ref None in
   let histories = ref 0 in
+  (* [Parallel.iter_terminals] serializes the terminal callback, so the
+     two refs above need no extra locking in the parallel mode. *)
+  let on_terminal final trace =
+    if !failure = None then begin
+      incr histories;
+      let h = history ~ops final trace in
+      if check ~spec h = None then failure := Some (h, trace)
+    end
+  in
   let stats =
-    Explore.iter_terminals ?max_states ?max_crashes ?reduction config
-      ~f:(fun final trace ->
-        if !failure = None then begin
-          incr histories;
-          let h = history ~ops final trace in
-          if check ~spec h = None then failure := Some (h, trace)
-        end)
+    if jobs <= 1 then
+      Explore.iter_terminals ?max_states ?max_crashes ?reduction config
+        ~f:on_terminal
+    else
+      Parallel.iter_terminals ?max_states ?max_crashes ?reduction ~jobs
+        config ~f:on_terminal
   in
   match !failure with
   | Some (h, trace) ->

@@ -45,11 +45,17 @@ val pp_history : Format.formatter -> op_record list -> unit
 
     A symmetry [reduction] checks one representative per orbit, which is
     sound only when [spec] is equivariant under the chosen renamings (the
-    same caller obligation as {!Subc_sim.Symmetry}). *)
+    same caller obligation as {!Subc_sim.Symmetry}).
+
+    [jobs] explores across that many domains ({!Subc_sim.Parallel});
+    terminal callbacks are serialized, so the history count and verdict
+    status are deterministic — only the offending history reported on
+    refutation may differ between runs. *)
 val check_harness :
   ?max_states:int ->
   ?max_crashes:int ->
   ?reduction:Explore.reduction ->
+  ?jobs:int ->
   Store.t ->
   programs:Value.t Program.t list ->
   ops:(int -> Op.t) ->

@@ -34,7 +34,10 @@ let pp_failure ppf = function
 
 exception Failed of failure
 
-let fingerprint config = Digest.string (Marshal.to_string (Config.key config) [])
+(* Structural fingerprints ({!Fingerprint.of_config}) replace the former
+   [Digest.string (Marshal.to_string (Config.key config) [])] pipeline:
+   one traversal, no marshal buffer, 126-bit collision resistance. *)
+let fingerprint = Fingerprint.of_config
 
 (* Exact solo distance of process [p] from [config]: the number of steps [p]
    needs to terminate running alone, maximized over object nondeterminism.
@@ -75,24 +78,51 @@ let solo_distance ~memo ~solo_limit ~prefix config0 p =
   in
   go config0 0 []
 
+(* Lock-free running maximum. *)
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
 let wait_free ?max_states ?(max_crashes = 0) ?(solo_limit = 10_000) ?reduction
-    store ~programs =
+    ?(jobs = 1) store ~programs =
   Subc_obs.Span.time "progress.wait_free" @@ fun () ->
   let config0 = Config.make store programs in
-  let memo = Hashtbl.create 4096 in
-  let bound = ref 0 in
-  let configs = ref 0 in
-  match
-    Explore.iter_reachable ?max_states ~max_crashes ?reduction config0
-      ~f:(fun config prefix ->
-        incr configs;
-        List.iter
-          (fun p ->
-            bound := max !bound (solo_distance ~memo ~solo_limit ~prefix config p))
-          (Config.running config))
-  with
+  let bound = Atomic.make 0 in
+  let configs = Atomic.make 0 in
+  let visit memo config prefix =
+    Atomic.incr configs;
+    List.iter
+      (fun p ->
+        atomic_max bound (solo_distance ~memo ~solo_limit ~prefix config p))
+      (Config.running config)
+  in
+  let explore () =
+    if jobs <= 1 then begin
+      let memo = Hashtbl.create 4096 in
+      Explore.iter_reachable ?max_states ~max_crashes ?reduction config0
+        ~f:(visit memo)
+    end
+    else begin
+      (* The solo-distance memo is plain mutable state, so each worker
+         domain keeps its own (domain-local storage): no locking on the
+         hot path, at the price of some recomputation across domains.
+         The exact distances are deterministic, so per-domain memos
+         change only timing, never the resulting bound. *)
+      let memo_key = Domain.DLS.new_key (fun () -> Hashtbl.create 4096) in
+      Parallel.iter_reachable ?max_states ~max_crashes ?reduction ~jobs
+        config0
+        ~f:(fun config prefix -> visit (Domain.DLS.get memo_key) config prefix)
+    end
+  in
+  match explore () with
   | stats when stats.Explore.limited -> Error (Limited stats)
-  | stats -> Ok { solo_bound = !bound; configs = !configs; stats }
+  | stats ->
+    Ok
+      {
+        solo_bound = Atomic.get bound;
+        configs = Atomic.get configs;
+        stats;
+      }
   | exception Failed f -> Error f
 
 let t_resilient ?max_states ?reduction ~t store ~programs =
@@ -113,9 +143,12 @@ let t_resilient ?max_states ?reduction ~t store ~programs =
 (* Verdict-typed entry points (the canonical API; the result-typed
    functions above remain as building blocks). *)
 
-let check_wait_free ?max_states ?max_crashes ?solo_limit ?reduction store
-    ~programs =
-  match wait_free ?max_states ?max_crashes ?solo_limit ?reduction store ~programs with
+let check_wait_free ?max_states ?max_crashes ?solo_limit ?reduction ?jobs
+    store ~programs =
+  match
+    wait_free ?max_states ?max_crashes ?solo_limit ?reduction ?jobs store
+      ~programs
+  with
   | Ok cert ->
     Verdict.proved ~explore:cert.stats
       ~metrics:

@@ -45,13 +45,17 @@ val pp_failure : Format.formatter -> failure -> unit
     solo search per process (default 10000); exceeding it counts as
     non-termination.  [reduction] applies state-space reductions to the
     reachable-prefix enumeration (symmetry only; sleep sets do not apply
-    to reachability).  The solo bound and configuration count are in the
-    verdict's metrics. *)
+    to reachability).  [jobs] spreads the reachable-prefix enumeration
+    across that many domains ({!Subc_sim.Parallel}); the verdict status,
+    solo bound and configuration count are deterministic, the
+    counterexample witness (on refutation) may differ between runs.  The
+    solo bound and configuration count are in the verdict's metrics. *)
 val check_wait_free :
   ?max_states:int ->
   ?max_crashes:int ->
   ?solo_limit:int ->
   ?reduction:Explore.reduction ->
+  ?jobs:int ->
   Store.t ->
   programs:Value.t Program.t list ->
   Verdict.t
@@ -73,6 +77,7 @@ val wait_free :
   ?max_crashes:int ->
   ?solo_limit:int ->
   ?reduction:Explore.reduction ->
+  ?jobs:int ->
   Store.t ->
   programs:Value.t Program.t list ->
   (certificate, failure) result

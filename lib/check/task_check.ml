@@ -1,14 +1,20 @@
 open Subc_sim
 module Task = Subc_tasks.Task
 
-let exhaustive ?max_states ?max_crashes ?reduction store ~programs ~inputs
-    ~task =
+let exhaustive ?max_states ?max_crashes ?reduction ?(jobs = 1) store
+    ~programs ~inputs ~task =
   Subc_obs.Span.time "task_check.exhaustive" @@ fun () ->
   let config = Config.make store programs in
-  match
-    Explore.check_terminals ?max_states ?max_crashes ?reduction config
-      ~ok:(fun c -> Task.satisfies task ~inputs c)
-  with
+  let result =
+    if jobs <= 1 then
+      Explore.check_terminals ?max_states ?max_crashes ?reduction config
+        ~ok:(fun c -> Task.satisfies task ~inputs c)
+    else
+      Parallel.check_terminals ?max_states ?max_crashes ?reduction ~jobs
+        config
+        ~ok:(fun c -> Task.satisfies task ~inputs c)
+  in
+  match result with
   | Ok stats -> Ok stats
   | Error (c, trace, _stats) ->
     let reason = Option.value ~default:"?" (Task.explain task ~inputs c) in
@@ -26,8 +32,12 @@ let wait_free ?max_states ?reduction store ~programs =
 
 (* Verdict-typed entry point: exhaustive task conformance, classifying a
    truncated search as [Limited] rather than a proof. *)
-let check ?max_states ?max_crashes ?reduction store ~programs ~inputs ~task =
-  match exhaustive ?max_states ?max_crashes ?reduction store ~programs ~inputs ~task with
+let check ?max_states ?max_crashes ?reduction ?jobs store ~programs ~inputs
+    ~task =
+  match
+    exhaustive ?max_states ?max_crashes ?reduction ?jobs store ~programs
+      ~inputs ~task
+  with
   | Error (reason, trace) -> Verdict.refuted ~trace reason
   | Ok stats when stats.Explore.limited ->
     Verdict.limited ~explore:stats

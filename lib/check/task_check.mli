@@ -8,11 +8,15 @@ module Task = Subc_tasks.Task
 (** [check store ~programs ~inputs ~task] checks [task] on every reachable
     terminal configuration (under every crash pattern within
     [max_crashes]): [Proved] when exhaustive and clean, [Refuted] with the
-    violating schedule, [Limited] when the search was truncated. *)
+    violating schedule, [Limited] when the search was truncated.  [jobs]
+    runs the exploration across that many domains
+    ({!Subc_sim.Parallel}); the verdict status is deterministic, the
+    counterexample schedule (on refutation) may differ between runs. *)
 val check :
   ?max_states:int ->
   ?max_crashes:int ->
   ?reduction:Explore.reduction ->
+  ?jobs:int ->
   Store.t ->
   programs:Value.t Program.t list ->
   inputs:Value.t list ->
@@ -25,6 +29,7 @@ val exhaustive :
   ?max_states:int ->
   ?max_crashes:int ->
   ?reduction:Explore.reduction ->
+  ?jobs:int ->
   Store.t ->
   programs:Value.t Program.t list ->
   inputs:Value.t list ->

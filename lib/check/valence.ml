@@ -39,13 +39,20 @@ let check_consensus ?max_states config ~inputs =
         Unknown { detail = "state limit reached while searching cycles" }
       else Solves stats)
 
-(* Verdict-typed consensus check (the canonical API). *)
-let consensus_verdict ?max_states ?reduction config ~inputs =
+(* Verdict-typed consensus check (the canonical API).  Terminal checking
+   parallelizes ([jobs]); the cycle search stays sequential — back-edge
+   detection needs the DFS stack discipline (see [Parallel]). *)
+let consensus_verdict ?max_states ?reduction ?(jobs = 1) config ~inputs =
   Subc_obs.Span.time "valence.consensus" @@ fun () ->
-  match
-    Explore.check_terminals ?max_states ?reduction config ~ok:(fun c ->
-        Result.is_ok (consensus_ok ~inputs c))
-  with
+  let check_terminals_result =
+    if jobs <= 1 then
+      Explore.check_terminals ?max_states ?reduction config ~ok:(fun c ->
+          Result.is_ok (consensus_ok ~inputs c))
+    else
+      Parallel.check_terminals ?max_states ?reduction ~jobs config
+        ~ok:(fun c -> Result.is_ok (consensus_ok ~inputs c))
+  in
+  match check_terminals_result with
   | Error (c, trace, stats) ->
     let reason =
       match consensus_ok ~inputs c with Error e -> e | Ok () -> assert false
@@ -70,12 +77,14 @@ let consensus_verdict ?max_states ?reduction config ~inputs =
 
 module Vtbl = Hashtbl
 
-let fingerprint config = Digest.string (Marshal.to_string (Config.key config) [])
+(* Structural fingerprints replace the former marshal+MD5 digest: one
+   traversal of the configuration, no marshal buffer (see {!Fingerprint}). *)
+let fingerprint = Fingerprint.of_config
 
 (* Memoized valence computation: the union over all reachable terminals of
    the decided values. *)
 type valence_ctx = {
-  memo : (string, Value.t list) Vtbl.t;
+  memo : (Fingerprint.t, Value.t list) Vtbl.t;
   mutable budget : int;
 }
 

@@ -29,10 +29,13 @@ val pp_verdict : Format.formatter -> verdict -> unit
 (** [consensus_verdict config ~inputs] — [inputs.(i)] is process [i]'s
     proposal; terminals must satisfy validity and agreement over decided
     values, every process must decide (no hung terminals), and no schedule
-    may run forever. *)
+    may run forever.  [jobs] parallelizes the terminal check
+    ({!Subc_sim.Parallel}); the cycle search stays sequential.  The
+    verdict status is deterministic either way. *)
 val consensus_verdict :
   ?max_states:int ->
   ?reduction:Explore.reduction ->
+  ?jobs:int ->
   Config.t ->
   inputs:Value.t list ->
   Verdict.t

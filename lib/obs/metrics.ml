@@ -1,41 +1,54 @@
-(* Global counter/gauge registry. Counters are interned int refs so the hot
-   paths (explore inner loop) pay one Hashtbl lookup at setup and a bare
-   [incr] per event. *)
+(* Global counter/gauge registry. Counters are interned atomics so the hot
+   paths (explore inner loop) pay one registry lookup at setup and a bare
+   [Atomic.incr] per event — domain-safe, so parallel explorations on
+   multiple domains can bump the same counter without tearing. The
+   registry itself (interning, gauges, snapshots) is guarded by a mutex:
+   those operations are setup/reporting paths, never hot. *)
 
-type counter = { mutable count : int }
+type counter = int Atomic.t
+
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 let gauges : (string, float) Hashtbl.t = Hashtbl.create 32
 
 let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-    let c = { count = 0 } in
-    Hashtbl.add counters name c;
-    c
+  with_lock (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+        let c = Atomic.make 0 in
+        Hashtbl.add counters name c;
+        c)
 
-let incr c = c.count <- c.count + 1
-let add c n = c.count <- c.count + n
-let value c = c.count
-let set_gauge name v = Hashtbl.replace gauges name v
+let incr c = Atomic.incr c
+let add c n = ignore (Atomic.fetch_and_add c n)
+let value c = Atomic.get c
+let set_gauge name v = with_lock (fun () -> Hashtbl.replace gauges name v)
 
 let find name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> Some (float_of_int c.count)
-  | None -> Hashtbl.find_opt gauges name
+  with_lock (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> Some (float_of_int (Atomic.get c))
+      | None -> Hashtbl.find_opt gauges name)
 
 let snapshot () =
-  let xs = ref [] in
-  Hashtbl.iter
-    (fun name c -> xs := (name, float_of_int c.count) :: !xs)
-    counters;
-  Hashtbl.iter (fun name v -> xs := (name, v) :: !xs) gauges;
-  List.sort (fun (a, _) (b, _) -> compare a b) !xs
+  with_lock (fun () ->
+      let xs = ref [] in
+      Hashtbl.iter
+        (fun name c -> xs := (name, float_of_int (Atomic.get c)) :: !xs)
+        counters;
+      Hashtbl.iter (fun name v -> xs := (name, v) :: !xs) gauges;
+      List.sort (fun (a, _) (b, _) -> compare a b) !xs)
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
-  Hashtbl.reset gauges
+  with_lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
+      Hashtbl.reset gauges)
 
 let emit_snapshot ?(name = "metrics") () =
   Sink.emit name

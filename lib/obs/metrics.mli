@@ -1,10 +1,13 @@
 (** Process-global counters and gauges.
 
     Counters are interned by name: look one up once with {!counter} (cheap
-    Hashtbl hit) and bump it with {!incr}/{!add} on hot paths (a bare field
-    mutation). Gauges hold the latest float value for derived quantities
-    such as states/sec or reduction ratios. {!snapshot} returns everything
-    for reporting; {!reset} zeroes the registry between experiment runs. *)
+    registry hit) and bump it with {!incr}/{!add} on hot paths (a bare
+    atomic increment). Counters are domain-safe — workers of the parallel
+    exploration engine may bump the same counter concurrently — and the
+    registry itself (interning, gauges, snapshots) is mutex-guarded.
+    Gauges hold the latest float value for derived quantities such as
+    states/sec or reduction ratios. {!snapshot} returns everything for
+    reporting; {!reset} zeroes the registry between experiment runs. *)
 
 type counter
 

@@ -87,53 +87,62 @@ type tr = Tstep of int * int | Tcrash of int
    order may turn a completing invocation into a hang.  This is the
    footprint-level independence — snapshot updates to distinct segments
    commute, reads commute with reads — derived semantically from
-   [Obj_model.apply] rather than from declared footprints, and memoized
-   per (kind, object state, op pair).  The memoization assumes [apply] is
-   pure and that equal [kind] strings name behaviourally identical models;
-   both assumptions are discharged mechanically by [Subc_analysis], which
-   certifies this judgment over each object's full reachable state space
-   (and cross-checks it with an independent recomputation). *)
-let commute_cache : (string * Value.t * Op.t * Op.t, bool) Hashtbl.t =
-  Hashtbl.create 256
-
+   [Obj_model.apply] rather than from declared footprints.  The pure
+   computation lives here; the DFS memoizes it per exploration (below),
+   assuming [apply] is pure and that equal [kind] strings name
+   behaviourally identical models — both assumptions are discharged
+   mechanically by [Subc_analysis], which certifies this judgment over
+   each object's full reachable state space (and cross-checks it with an
+   independent recomputation). *)
 let op_independent (model : Obj_model.t) st0 a b =
+  let apply st op = model.Obj_model.apply st op in
+  let outcomes first second =
+    (* (final object state, first's resp, second's resp), one triple per
+       resolution of both invocations' nondeterminism; [Exit] when the
+       second invocation hangs after the first. *)
+    List.concat_map
+      (fun (s1, r1) ->
+        match apply s1 second with
+        | [] -> raise Exit
+        | ys -> List.map (fun (s2, r2) -> (s2, r1, r2)) ys)
+      (apply st0 first)
+  in
+  if apply st0 a = [] || apply st0 b = [] then
+    (* A hang is order-sensitive in general; stay conservative. *)
+    false
+  else
+    match
+      ( List.sort compare (outcomes a b),
+        List.sort compare
+          (List.map (fun (s, rb, ra) -> (s, ra, rb)) (outcomes b a)) )
+    with
+    | ab, ba -> ab = ba
+    | exception Exit -> false
+
+(* The memo table for [op_independent] is per-exploration state (it used
+   to be a process-global hashtable: unbounded growth across searches,
+   and a data race waiting to happen once explorations run on multiple
+   domains).  It is also bounded: past [commute_cache_bound] entries new
+   results are recomputed instead of cached — the cache is a pure
+   memoization, so dropping inserts only costs time, never soundness. *)
+let commute_cache_bound = 1 lsl 16
+
+type commute_cache = (string * Value.t * Op.t * Op.t, bool) Hashtbl.t
+
+let ops_commute (cache : commute_cache) store h a b =
+  let model = Store.model store h in
+  let st0 = Store.state store h in
   let key =
     if Op.compare a b <= 0 then (model.Obj_model.kind, st0, a, b)
     else (model.Obj_model.kind, st0, b, a)
   in
-  match Hashtbl.find_opt commute_cache key with
+  match Hashtbl.find_opt cache key with
   | Some r -> r
   | None ->
-    let apply st op = model.Obj_model.apply st op in
-    let outcomes first second =
-      (* (final object state, first's resp, second's resp), one triple per
-         resolution of both invocations' nondeterminism; [Exit] when the
-         second invocation hangs after the first. *)
-      List.concat_map
-        (fun (s1, r1) ->
-          match apply s1 second with
-          | [] -> raise Exit
-          | ys -> List.map (fun (s2, r2) -> (s2, r1, r2)) ys)
-        (apply st0 first)
-    in
-    let r =
-      if apply st0 a = [] || apply st0 b = [] then
-        (* A hang is order-sensitive in general; stay conservative. *)
-        false
-      else
-        match
-          ( List.sort compare (outcomes a b),
-            List.sort compare
-              (List.map (fun (s, rb, ra) -> (s, ra, rb)) (outcomes b a)) )
-        with
-        | ab, ba -> ab = ba
-        | exception Exit -> false
-    in
-    Hashtbl.replace commute_cache key r;
+    let r = op_independent model st0 a b in
+    if Hashtbl.length cache < commute_cache_bound then
+      Hashtbl.replace cache key r;
     r
-
-let ops_commute store h a b =
-  op_independent (Store.model store h) (Store.state store h) a b
 
 let pending config i =
   match config.Config.procs.(i).Config.status with
@@ -144,14 +153,14 @@ let pending config i =
    both are enabled (Katz–Peled conditional independence: state-local
    diamonds compose along any run that keeps the sleeping transition
    asleep). *)
-let dependent_at config a b =
+let dependent_at cache config a b =
   match (a, b) with
   | Tstep (p, hp), Tstep (q, hq) ->
     p = q
     || (hp = hq
        &&
        let h, op_p = pending config p and _, op_q = pending config q in
-       not (ops_commute config.Config.store h op_p op_q))
+       not (ops_commute cache config.Config.store h op_p op_q))
   | Tstep (p, _), Tcrash q | Tcrash q, Tstep (p, _) -> p = q
   | Tcrash p, Tcrash q -> p = q
 
@@ -164,22 +173,28 @@ let invert (pi : Symmetry.perm) =
   Array.iteri (fun i j -> inv.(j) <- i) pi;
   inv
 
-(* Canonical configurations are interned as 16-byte digests: the visited
-   set of a multi-million-state exploration must not retain the full
-   structured keys.  Each visited entry records which transitions have
-   already been explored from the state (in canonical coordinates): a
-   revisit under a different sleep set explores only the transitions not
-   yet covered, so each transition is taken at most once per state
+(* Canonical configurations are interned as two-word structural
+   fingerprints ({!Fingerprint}): the visited set of a multi-million-state
+   exploration must not retain the full structured keys, and the
+   fingerprint is folded directly over the configuration — no key tree,
+   no marshal buffer, no digest string.  Under [~paranoid] the exact
+   canonical key is kept instead (collisions impossible; the
+   cross-validation mode).  Each visited entry records which transitions
+   have already been explored from the state (in canonical coordinates):
+   a revisit under a different sleep set explores only the transitions
+   not yet covered, so each transition is taken at most once per state
    (Godefroid's state-matching formulation of sleep sets). *)
-module Vtbl = Hashtbl
+module Vtbl = Fingerprint.Ktbl
 
 type visit_record = { mutable explored : tr list }
 
 exception Stop
 
 type state = {
-  visited : (string, visit_record) Vtbl.t;
-  onstack : (string, unit) Vtbl.t;
+  visited : visit_record Vtbl.t;
+  onstack : unit Vtbl.t;
+  commute : commute_cache;
+  paranoid : bool;
   mutable states : int;
   mutable transitions : int;
   mutable terminals : int;
@@ -215,14 +230,28 @@ let stats_of st =
     limit_reason = st.limit_reason;
   }
 
-(* Fingerprint of the canonical representative of [config]'s orbit, plus
-   the renaming that canonicalizes (identity when symmetry is off). *)
-let fingerprint st config =
-  match st.reduction.symmetry with
-  | None -> (Digest.string (Marshal.to_string (Config.key config) []), None)
+(* Visited-set key of [config] under a reduction: the fingerprint of the
+   canonical representative of its orbit (the exact key under
+   [paranoid]), plus the renaming that canonicalizes (identity when
+   symmetry is off).  Without symmetry the fingerprint is folded straight
+   over the configuration; with symmetry the canonical key tree is
+   already materialized by the orbit minimization, so only the
+   marshal+digest step is saved. *)
+let key_of ~paranoid (reduction : reduction) config =
+  match reduction.symmetry with
+  | None ->
+    if paranoid then (Fingerprint.Exact (Config.key config), None)
+    else (Fingerprint.Fp (Fingerprint.of_config config), None)
   | Some sym ->
     let key, pi = Symmetry.canonical_key sym config in
-    (Digest.string (Marshal.to_string key []), Some pi)
+    ( (if paranoid then Fingerprint.Exact key
+       else Fingerprint.Fp (Fingerprint.of_value key)),
+      Some pi )
+
+let state_key ?(paranoid = false) reduction config =
+  fst (key_of ~paranoid reduction config)
+
+let fingerprint st config = key_of ~paranoid:st.paranoid st.reduction config
 
 (* DFS with memoization on canonical configuration keys.  [rev_trace] is the
    path from the root, newest event first.  Crash transitions are ordinary
@@ -303,7 +332,7 @@ let rec dfs st config rev_trace depth sleep =
           let took_any = ref false in
           let child_sleep entry =
             List.filter
-              (fun s -> not (dependent_at config s entry))
+              (fun s -> not (dependent_at st.commute config s entry))
               (List.rev_append !done_here sleep)
           in
           let visit_entry entry go =
@@ -349,11 +378,13 @@ let rec dfs st config rev_trace depth sleep =
     end
 
 let make_state ?(max_states = 5_000_000) ?(max_depth = 10_000)
-    ?(max_crashes = 0) ?(reduction = no_reduction) ?(stop_on_cycle = false)
-    ?(on_visit = fun _ _ -> ()) on_terminal =
+    ?(max_crashes = 0) ?(reduction = no_reduction) ?(paranoid = false)
+    ?(stop_on_cycle = false) ?(on_visit = fun _ _ -> ()) on_terminal =
   {
     visited = Vtbl.create 4096;
     onstack = Vtbl.create 256;
+    commute = Hashtbl.create 256;
+    paranoid;
     states = 0;
     transitions = 0;
     terminals = 0;
@@ -410,26 +441,31 @@ let run_search label st config =
       ];
   s
 
-let iter_terminals ?max_states ?max_depth ?max_crashes ?reduction config ~f =
-  let st = make_state ?max_states ?max_depth ?max_crashes ?reduction f in
+let iter_terminals ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
+    config ~f =
+  let st =
+    make_state ?max_states ?max_depth ?max_crashes ?reduction ?paranoid f
+  in
   run_search "iter_terminals" st config
 
 (* Sleep sets are forced off: [iter_reachable] exists to enumerate every
    reachable configuration (wait-freedom bounds quantify over all of them),
    and sleep sets do not shrink the state set anyway — they only skip
    redundant transitions, at the cost of the cycle caveat. *)
-let iter_reachable ?max_states ?max_depth ?max_crashes ?reduction config ~f =
+let iter_reachable ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
+    config ~f =
   let reduction =
     Option.map (fun r -> { r with sleep_sets = false }) reduction
   in
   let st =
-    make_state ?max_states ?max_depth ?max_crashes ?reduction ~on_visit:f
+    make_state ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
+      ~on_visit:f
       (fun _ _ -> ())
   in
   run_search "iter_reachable" st config
 
-let find_terminal ?max_states ?max_depth ?max_crashes ?reduction config
-    ~violates =
+let find_terminal ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
+    config ~violates =
   let found = ref None in
   let on_terminal c trace =
     if violates c then begin
@@ -437,13 +473,18 @@ let find_terminal ?max_states ?max_depth ?max_crashes ?reduction config
       raise Stop
     end
   in
-  let st = make_state ?max_states ?max_depth ?max_crashes ?reduction on_terminal in
+  let st =
+    make_state ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
+      on_terminal
+  in
   let stats = run_search "find_terminal" st config in
   (!found, stats)
 
-let check_terminals ?max_states ?max_depth ?max_crashes ?reduction config ~ok =
+let check_terminals ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
+    config ~ok =
   match
-    find_terminal ?max_states ?max_depth ?max_crashes ?reduction config
+    find_terminal ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
+      config
       ~violates:(fun c -> not (ok c))
   with
   | None, stats -> Ok stats
@@ -453,12 +494,13 @@ let check_terminals ?max_states ?max_depth ?max_crashes ?reduction config ~ok =
    the DFS stack could hide a back-edge.  Symmetry stays on — an orbit
    back-edge still witnesses an infinite run (apply the automorphism
    repeatedly to extend the lasso). *)
-let find_cycle ?max_states ?max_depth ?max_crashes ?reduction config =
+let find_cycle ?max_states ?max_depth ?max_crashes ?reduction ?paranoid config
+    =
   let reduction =
     Option.map (fun r -> { r with sleep_sets = false }) reduction
   in
   let st =
-    make_state ?max_states ?max_depth ?max_crashes ?reduction
+    make_state ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
       ~stop_on_cycle:true
       (fun _ _ -> ())
   in

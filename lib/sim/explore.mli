@@ -2,9 +2,14 @@
 
     Explores {e all} interleavings of process steps {e and} all resolutions
     of object nondeterminism, by depth-first search over configurations.
-    Configurations are memoized by their canonical key ([Config.key]), which
-    is sound because programs are deterministic functions of their response
-    histories.
+    Configurations are memoized by a 126-bit structural fingerprint
+    ({!Fingerprint.t}) folded directly over the configuration — no
+    intermediate key tree, no marshal buffer — which agrees with
+    [Config.key] equality (sound because programs are deterministic
+    functions of their response histories; collisions have odds ~2^-126
+    per pair).  Pass [~paranoid:true] to memoize by the exact canonical
+    key instead — collisions impossible, memory proportional to key size;
+    the test suite cross-validates the two modes.
 
     Crash faults are part of the transition relation: with [~max_crashes:f]
     the search also branches on crashing any running process, as long as
@@ -120,13 +125,24 @@ val certified_reduction :
     judgment for two operations on one object in state [st]: both orders
     yield the same final state and responses under every resolution of
     nondeterminism, and neither order turns a completing invocation into a
-    hang.  Memoized per (kind, state, op pair); the memoization assumes
-    [apply] is pure and that equal [kind] strings name behaviourally equal
-    models.  Exposed so the soundness analyzer ([Subc_analysis]) can
-    certify exactly the judgment the sleep-set reduction consumes. *)
+    hang.  The judgment itself is pure; each exploration memoizes it in a
+    bounded per-search cache keyed by (kind, state, op pair) — there is no
+    process-global table, so concurrent explorations on separate domains
+    never share mutable state.  The memoization assumes [apply] is pure
+    and that equal [kind] strings name behaviourally equal models.
+    Exposed so the soundness analyzer ([Subc_analysis]) can certify
+    exactly the judgment the sleep-set reduction consumes. *)
 val op_independent : Obj_model.t -> Value.t -> Op.t -> Op.t -> bool
 
 val pp_reduction : Format.formatter -> reduction -> unit
+
+(** [state_key reduction config] — the visited-set key the explorer uses
+    for [config] under [reduction]: the structural fingerprint of the
+    canonical orbit representative ([Fingerprint.Fp]), or the exact
+    canonical key under [~paranoid:true] ([Fingerprint.Exact]).  Exposed
+    for the parallel engine's sharded visited table and for the
+    cross-validation tests. *)
+val state_key : ?paranoid:bool -> reduction -> Config.t -> Fingerprint.key
 
 (** [iter_terminals config ~f] visits every reachable terminal configuration
     once, passing a witness trace.  Under symmetry, one representative per
@@ -137,6 +153,7 @@ val iter_terminals :
   ?max_depth:int ->
   ?max_crashes:int ->
   ?reduction:reduction ->
+  ?paranoid:bool ->
   Config.t ->
   f:(Config.t -> Trace.t -> unit) ->
   stats
@@ -151,6 +168,7 @@ val iter_reachable :
   ?max_depth:int ->
   ?max_crashes:int ->
   ?reduction:reduction ->
+  ?paranoid:bool ->
   Config.t ->
   f:(Config.t -> Trace.t Lazy.t -> unit) ->
   stats
@@ -162,6 +180,7 @@ val find_terminal :
   ?max_depth:int ->
   ?max_crashes:int ->
   ?reduction:reduction ->
+  ?paranoid:bool ->
   Config.t ->
   violates:(Config.t -> bool) ->
   (Config.t * Trace.t) option * stats
@@ -173,6 +192,7 @@ val check_terminals :
   ?max_depth:int ->
   ?max_crashes:int ->
   ?reduction:reduction ->
+  ?paranoid:bool ->
   Config.t ->
   ok:(Config.t -> bool) ->
   (stats, Config.t * Trace.t * stats) result
@@ -189,5 +209,6 @@ val find_cycle :
   ?max_depth:int ->
   ?max_crashes:int ->
   ?reduction:reduction ->
+  ?paranoid:bool ->
   Config.t ->
   Trace.t option * stats

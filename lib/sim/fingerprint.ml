@@ -1,0 +1,152 @@
+(* Allocation-lean structural fingerprints of configurations.
+
+   The explorer's hot path used to build a full [Value.t] key tree
+   ([Config.key]), [Marshal] it to a fresh string and MD5-digest that
+   string at every DFS node — three heap-churning passes per state.  This
+   module folds a 126-bit hash (two independent 63-bit lanes of native
+   ints, so nothing is ever boxed) directly over the store contents and
+   the process array: one traversal, no intermediate tree, no marshal
+   buffer, no 16-byte string key.  The only allocation per fingerprint is
+   the final two-immediate-field record.
+
+   Each lane is a SplitMix/xxhash-style multiply-xorshift accumulator;
+   the lanes use distinct seeds and multipliers, so a collision requires
+   two independent 63-bit matches (~2^-126 per pair of distinct states —
+   negligible against the <= 10^7-state spaces the checker handles, and
+   guarded by the [~paranoid] exact-key mode cross-validated in tests).
+
+   All 64-bit-looking constants below are truncated to fit OCaml's 63-bit
+   native int; the multiplications wrap modulo 2^63, which is exactly the
+   mixing we want. *)
+
+type t = { h1 : int; h2 : int }
+
+let equal a b = a.h1 = b.h1 && a.h2 = b.h2
+let compare a b =
+  let c = Int.compare a.h1 b.h1 in
+  if c <> 0 then c else Int.compare a.h2 b.h2
+
+(* Non-negative 30-bit-ish hash for Hashtbl. *)
+let hash t = (t.h1 lxor (t.h2 lsl 1)) land max_int
+let to_hex t = Printf.sprintf "%016x%016x" (t.h1 land max_int) (t.h2 land max_int)
+let pp ppf t = Format.pp_print_string ppf (to_hex t)
+
+(* Lane multipliers / seeds: large odd constants < 2^62. *)
+let m1 = 0x2545F4914F6CDD1D
+let m2 = 0x27D4EB2F165667C5
+let seed1 = 0x1CE1E5B9F352D9F3
+let seed2 = 0x31E2B5A7C94F6E2D
+
+type ctx = { mutable a : int; mutable b : int }
+
+let create () = { a = seed1; b = seed2 }
+
+let[@inline] feed ctx x =
+  let a = (ctx.a + x) * m1 in
+  ctx.a <- a lxor (a lsr 29);
+  let b = (ctx.b lxor x) * m2 in
+  ctx.b <- b lxor (b lsr 31)
+
+let finish ctx =
+  let fin h m =
+    let h = (h lxor (h lsr 33)) * m in
+    h lxor (h lsr 29)
+  in
+  { h1 = fin ctx.a m2; h2 = fin ctx.b m1 }
+
+let feed_string ctx s =
+  feed ctx (String.length s);
+  String.iter (fun c -> feed ctx (Char.code c)) s
+
+(* Structural fold over a [Value.t].  Constructor tags and open/close
+   markers keep the encoding prefix-free: [Vec [a; b]] and
+   [Pair (a, b)] feed different tag streams, so structurally distinct
+   values feed distinct int sequences. *)
+let rec feed_value ctx (v : Value.t) =
+  match v with
+  | Value.Bot -> feed ctx 1
+  | Value.Unit -> feed ctx 2
+  | Value.Bool false -> feed ctx 3
+  | Value.Bool true -> feed ctx 4
+  | Value.Int i ->
+    feed ctx 5;
+    feed ctx i
+  | Value.Sym s ->
+    feed ctx 6;
+    feed_string ctx s
+  | Value.Pair (a, b) ->
+    feed ctx 7;
+    feed_value ctx a;
+    feed_value ctx b
+  | Value.Vec vs ->
+    feed ctx 8;
+    feed ctx (List.length vs);
+    List.iter (feed_value ctx) vs
+  | Value.Tag (s, x) ->
+    feed ctx 9;
+    feed_string ctx s;
+    feed_value ctx x
+
+(* Mirrors [Config.key] exactly — same distinctions, no tree:
+   - store: (handle, object state) in increasing handle order;
+   - per process: the status kind (a [Running] continuation is erased,
+     exactly as [Config.proc_key] erases it — programs are deterministic
+     functions of their response histories), the decided value if any,
+     and the response history. *)
+let feed_config ctx (c : Config.t) =
+  Store.iter c.Config.store (fun h st ->
+      feed ctx h;
+      feed_value ctx st);
+  feed ctx 0x5E9;
+  Array.iter
+    (fun (p : Config.proc) ->
+      (match p.Config.status with
+      | Config.Running _ -> feed ctx 0x11
+      | Config.Terminated v ->
+        feed ctx 0x12;
+        feed_value ctx v
+      | Config.Hung -> feed ctx 0x13
+      | Config.Crashed -> feed ctx 0x14);
+      feed ctx (List.length p.Config.history);
+      List.iter (feed_value ctx) p.Config.history)
+    c.Config.procs;
+  feed ctx (Array.length c.Config.procs)
+
+let of_config c =
+  let ctx = create () in
+  feed_config ctx c;
+  finish ctx
+
+let of_value v =
+  let ctx = create () in
+  feed_value ctx v;
+  finish ctx
+
+(* Visited-set keys: the fingerprint fast path, or the exact canonical
+   [Value.t] key under [~paranoid] (collisions impossible, memory heavy —
+   the cross-validation mode). *)
+type key = Fp of t | Exact of Value.t
+
+let key_equal a b =
+  match (a, b) with
+  | Fp x, Fp y -> equal x y
+  | Exact u, Exact v -> Value.compare u v = 0
+  | Fp _, Exact _ | Exact _, Fp _ -> false
+
+let key_hash = function
+  | Fp f -> hash f
+  | Exact v -> Value.hash v
+
+(* Shard selection for the parallel engine's sharded visited table: use
+   the second lane so shard choice is independent of the bits [hash]
+   feeds to the per-shard hashtable. *)
+let shard_index = function
+  | Fp f -> f.h2 land max_int
+  | Exact v -> Value.hash v
+
+module Ktbl = Hashtbl.Make (struct
+  type nonrec t = key
+
+  let equal = key_equal
+  let hash = key_hash
+end)

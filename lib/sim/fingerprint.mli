@@ -1,0 +1,45 @@
+(** Allocation-lean structural fingerprints of configurations.
+
+    A 126-bit hash (two 63-bit native-int lanes — nothing boxed) folded
+    directly over a configuration's store contents and process array,
+    replacing the explorer's former per-node
+    [Digest.string (Marshal.to_string (Config.key config) [])] pipeline:
+    no intermediate [Value.t] key tree, no marshal buffer, no string
+    digest.  Two configurations with equal {!Config.key} have equal
+    fingerprints; distinct keys collide with probability ~2^-126 per
+    pair.  The exact-key path survives behind the explorer's [~paranoid]
+    flag ({!key}), and the test suite cross-validates the two. *)
+
+type t = private { h1 : int; h2 : int }
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val to_hex : t -> string
+val pp : Format.formatter -> t -> unit
+
+val of_config : Config.t -> t
+(** One traversal of store + procs; agrees with {!Config.key} equality
+    (continuations erased, histories included). *)
+
+val of_value : Value.t -> t
+(** Fingerprint of an explicit key tree — the path used under symmetry
+    quotienting, where the canonical representative key is already
+    materialized by [Symmetry.canonical_key]. *)
+
+(** {1 Visited-set keys} *)
+
+(** [Fp] is the fast path; [Exact] keeps the full canonical key (the
+    [~paranoid] mode: collisions impossible, memory proportional to key
+    size). *)
+type key = Fp of t | Exact of Value.t
+
+val key_equal : key -> key -> bool
+val key_hash : key -> int
+
+val shard_index : key -> int
+(** Non-negative shard selector, independent of the bits {!key_hash}
+    feeds to the per-shard table (used by the parallel engine). *)
+
+(** Hashtables keyed by {!key}. *)
+module Ktbl : Hashtbl.S with type key = key

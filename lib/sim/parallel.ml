@@ -1,0 +1,487 @@
+(* Multicore exploration: a frontier-splitting parallel driver for the
+   sequential explorer's transition relation.
+
+   The driver seeds a work frontier by bounded breadth-first search from
+   the root (until roughly [4 * jobs] items are pending), then fans the
+   frontier out across [jobs] domains.  Each domain runs depth-first
+   search over its own local stack, deduplicating against a visited table
+   sharded by fingerprint prefix — one mutex per shard, so lock hold
+   times are a single hashtable probe and contention spreads across
+   [n_shards] locks.  A state is {e claimed} exactly once, by whichever
+   domain first inserts its key into the owning shard; only the claimer
+   expands the state, so every state is expanded at most once and the
+   explored graph is exactly the sequential one.
+
+   Work balancing: a domain whose local stack empties takes from the
+   shared seed queue ("stealing"); a domain that notices idle peers
+   donates the shallow half of its local stack back to the shared queue.
+   Termination is the classic idle-counter protocol: when all [jobs]
+   domains are simultaneously waiting on an empty shared queue, the
+   search space is exhausted.
+
+   What is deterministic and what is not (see DESIGN.md "Parallel
+   exploration"): [states], [transitions], [terminals], [hung_terminals]
+   and [crashed_terminals] are schedule-independent — claim-once
+   partitions the same reachable set, and each claimed state contributes
+   its fixed out-degree — so they agree with the sequential explorer on
+   acyclic state graphs (all one-shot bounded algorithms).  [max_depth],
+   [dedup_hits] and the specific witness traces depend on the race for
+   claims; checkers built on this module return deterministic verdicts
+   with possibly different (equally valid) witnesses.
+
+   Reductions: symmetry quotienting composes (the canonical key is
+   computed before the claim, so all orbit members race for one slot);
+   sleep sets are forced off — their resume protocol mutates a
+   per-state [explored] list in DFS order, which is inherently
+   sequential.  Cycle detection is not offered: back-edges are
+   indistinguishable from cross-edges without a per-domain DFS stack
+   discipline, so revisits count as [dedup_hits]; use the sequential
+   [Explore.find_cycle]. *)
+
+module Obs = Subc_obs
+
+exception Stop
+
+type work = { config : Config.t; rev_trace : Trace.event list; depth : int }
+
+type shard = { lock : Mutex.t; tbl : unit Fingerprint.Ktbl.t }
+
+let n_shards = 128
+
+type stop_cause = Budget | Callback of exn
+
+(* Per-domain statistics; merged after join (sums, except [max_depth]). *)
+type dstats = {
+  mutable states : int;
+  mutable transitions : int;
+  mutable terminals : int;
+  mutable hung_terminals : int;
+  mutable crashed_terminals : int;
+  mutable max_depth : int;
+  mutable dedup_hits : int;
+  mutable depth_limited : bool;
+  mutable steals : int;
+  mutable contention : int;
+  mutable seconds : float;
+}
+
+let fresh_dstats () =
+  {
+    states = 0;
+    transitions = 0;
+    terminals = 0;
+    hung_terminals = 0;
+    crashed_terminals = 0;
+    max_depth = 0;
+    dedup_hits = 0;
+    depth_limited = false;
+    steals = 0;
+    contention = 0;
+    seconds = 0.0;
+  }
+
+type global = {
+  shards : shard array;
+  queue : work Queue.t;
+  qlock : Mutex.t;
+  qcond : Condition.t;
+  idle : int Atomic.t;
+  mutable finished : bool; (* under [qlock] *)
+  stop : stop_cause option Atomic.t;
+  n_states : int Atomic.t;
+  max_states : int;
+  depth_limit : int;
+  max_crashes : int;
+  reduction : Explore.reduction;
+  paranoid : bool;
+  jobs : int;
+  cb_lock : Mutex.t;
+  on_terminal : Config.t -> Trace.t -> unit;
+  on_visit : Config.t -> Trace.t Lazy.t -> unit;
+}
+
+type ctx = {
+  g : global;
+  stats : dstats;
+  mutable local : work list;
+  mutable local_n : int;
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* First cause wins; always wake any waiters so they can observe it. *)
+let set_stop g cause =
+  ignore (Atomic.compare_and_set g.stop None (Some cause));
+  with_lock g.qlock (fun () ->
+      g.finished <- true;
+      Condition.broadcast g.qcond)
+
+(* Claim [key] in its shard.  [`Fresh] means this domain owns the state
+   and must expand it; [`Dup] means another claim got there first (or an
+   earlier visit did); [`Budget] means the global state budget is
+   exhausted — the state is deliberately left unclaimed and uncounted,
+   matching the sequential explorer, which stops at the (N+1)-th fresh
+   state without counting it. *)
+let claim ctx key =
+  let g = ctx.g in
+  let sh = g.shards.(Fingerprint.shard_index key mod n_shards) in
+  if not (Mutex.try_lock sh.lock) then begin
+    ctx.stats.contention <- ctx.stats.contention + 1;
+    Mutex.lock sh.lock
+  end;
+  let r =
+    if Fingerprint.Ktbl.mem sh.tbl key then `Dup
+    else if Atomic.fetch_and_add g.n_states 1 >= g.max_states then `Budget
+    else begin
+      Fingerprint.Ktbl.add sh.tbl key ();
+      `Fresh
+    end
+  in
+  Mutex.unlock sh.lock;
+  r
+
+let push_local ctx w =
+  ctx.local <- w :: ctx.local;
+  ctx.local_n <- ctx.local_n + 1
+
+(* Expand one work item.  Exceptions from user callbacks propagate to the
+   caller (the worker loop converts them into a stop cause); no shard
+   lock is held while a callback runs. *)
+let process ctx item =
+  let g = ctx.g in
+  if item.depth > ctx.stats.max_depth then ctx.stats.max_depth <- item.depth;
+  if item.depth > g.depth_limit then ctx.stats.depth_limited <- true
+  else
+    let key = Explore.state_key ~paranoid:g.paranoid g.reduction item.config in
+    match claim ctx key with
+    | `Dup -> ctx.stats.dedup_hits <- ctx.stats.dedup_hits + 1
+    | `Budget -> set_stop g Budget
+    | `Fresh -> (
+      ctx.stats.states <- ctx.stats.states + 1;
+      g.on_visit item.config (lazy (List.rev item.rev_trace));
+      match Config.running item.config with
+      | [] ->
+        ctx.stats.terminals <- ctx.stats.terminals + 1;
+        if Config.any_hung item.config then
+          ctx.stats.hung_terminals <- ctx.stats.hung_terminals + 1;
+        if Config.any_crashed item.config then
+          ctx.stats.crashed_terminals <- ctx.stats.crashed_terminals + 1;
+        with_lock g.cb_lock (fun () ->
+            g.on_terminal item.config (List.rev item.rev_trace))
+      | runnable ->
+        List.iter
+          (fun i ->
+            List.iter
+              (fun (config', event) ->
+                ctx.stats.transitions <- ctx.stats.transitions + 1;
+                push_local ctx
+                  {
+                    config = config';
+                    rev_trace = Trace.Sched event :: item.rev_trace;
+                    depth = item.depth + 1;
+                  })
+              (Step.step item.config i))
+          runnable;
+        if Config.n_crashed item.config < g.max_crashes then
+          List.iter
+            (fun (config', victim) ->
+              ctx.stats.transitions <- ctx.stats.transitions + 1;
+              push_local ctx
+                {
+                  config = config';
+                  rev_trace = Trace.Crash victim :: item.rev_trace;
+                  depth = item.depth + 1;
+                })
+            (Step.crash_successors item.config))
+
+let pop_local ctx =
+  match ctx.local with
+  | [] -> None
+  | w :: tl ->
+    ctx.local <- tl;
+    ctx.local_n <- ctx.local_n - 1;
+    Some w
+
+(* Donate the shallow (oldest-pushed) half of the local stack when peers
+   are idle: shallow items root larger unexplored subtrees, so donation
+   granularity stays coarse.  The idle read is a heuristic — staleness
+   only delays a donation by one item. *)
+let donate ctx =
+  let g = ctx.g in
+  if ctx.local_n >= 2 && Atomic.get g.idle > 0 then begin
+    let keep_n = ctx.local_n / 2 in
+    let rec split i acc l =
+      if i = 0 then (List.rev acc, l)
+      else
+        match l with
+        | [] -> (List.rev acc, [])
+        | x :: tl -> split (i - 1) (x :: acc) tl
+    in
+    let kept, given = split keep_n [] ctx.local in
+    ctx.local <- kept;
+    ctx.local_n <- keep_n;
+    with_lock g.qlock (fun () ->
+        List.iter (fun w -> Queue.push w g.queue) given;
+        Condition.broadcast g.qcond)
+  end
+
+(* Blocking take from the shared queue, with idle-counter termination:
+   the last domain to go idle on an empty queue declares the search
+   finished and wakes everyone. *)
+let take_global ctx =
+  let g = ctx.g in
+  with_lock g.qlock (fun () ->
+      let rec loop () =
+        if g.finished then None
+        else
+          match Queue.take_opt g.queue with
+          | Some w ->
+            ctx.stats.steals <- ctx.stats.steals + 1;
+            Some w
+          | None ->
+            Atomic.incr g.idle;
+            if Atomic.get g.idle = g.jobs then begin
+              g.finished <- true;
+              Condition.broadcast g.qcond;
+              None
+            end
+            else begin
+              Condition.wait g.qcond g.qlock;
+              Atomic.decr g.idle;
+              loop ()
+            end
+      in
+      loop ())
+
+let rec worker ctx =
+  if Atomic.get ctx.g.stop <> None then ()
+  else
+    match pop_local ctx with
+    | Some item ->
+      (try process ctx item
+       with e -> set_stop ctx.g (Callback e));
+      donate ctx;
+      worker ctx
+    | None -> (
+      match take_global ctx with
+      | Some item ->
+        (try process ctx item
+         with e -> set_stop ctx.g (Callback e));
+        donate ctx;
+        worker ctx
+      | None -> ())
+
+let merge_stats g (all : dstats list) =
+  let sum f = List.fold_left (fun acc d -> acc + f d) 0 all in
+  let limit_reason =
+    if Atomic.get g.stop = Some Budget then Explore.Max_states
+    else if List.exists (fun d -> d.depth_limited) all then Explore.Max_depth
+    else Explore.No_limit
+  in
+  {
+    Explore.states = sum (fun d -> d.states);
+    transitions = sum (fun d -> d.transitions);
+    terminals = sum (fun d -> d.terminals);
+    hung_terminals = sum (fun d -> d.hung_terminals);
+    crashed_terminals = sum (fun d -> d.crashed_terminals);
+    max_depth = List.fold_left (fun acc d -> max acc d.max_depth) 0 all;
+    dedup_hits = sum (fun d -> d.dedup_hits);
+    sleep_skips = 0;
+    cycles = 0;
+    limited = limit_reason <> Explore.No_limit;
+    limit_reason;
+  }
+
+(* Observability: aggregate counters always; one "parallel" event with
+   per-domain breakdown when a sink is installed. *)
+let m_states = Obs.Metrics.counter "parallel.states"
+let m_steals = Obs.Metrics.counter "parallel.steals"
+let m_contention = Obs.Metrics.counter "parallel.shard_contention"
+let m_searches = Obs.Metrics.counter "parallel.searches"
+
+let emit_obs label g stats (dstats : dstats array) dt =
+  Obs.Metrics.incr m_searches;
+  Obs.Metrics.add m_states stats.Explore.states;
+  Array.iter
+    (fun d ->
+      Obs.Metrics.add m_steals d.steals;
+      Obs.Metrics.add m_contention d.contention)
+    dstats;
+  let rate = if dt > 0.0 then float_of_int stats.Explore.states /. dt else 0.0 in
+  Obs.Metrics.set_gauge "parallel.states_per_sec" rate;
+  if Obs.Sink.get () != Obs.Sink.null then
+    Obs.Sink.emit "parallel"
+      ([
+         ("search", Obs.Sink.Str label);
+         ("jobs", Obs.Sink.Int g.jobs);
+         ("states", Obs.Sink.Int stats.Explore.states);
+         ("transitions", Obs.Sink.Int stats.Explore.transitions);
+         ("terminals", Obs.Sink.Int stats.Explore.terminals);
+         ("dedup_hits", Obs.Sink.Int stats.Explore.dedup_hits);
+         ("limited", Obs.Sink.Bool stats.Explore.limited);
+         ("seconds", Obs.Sink.Float dt);
+         ("states_per_sec", Obs.Sink.Float rate);
+       ]
+      @ List.concat
+          (List.mapi
+             (fun i (d : dstats) ->
+               let pfx = Printf.sprintf "d%d." i in
+               [
+                 (pfx ^ "states", Obs.Sink.Int d.states);
+                 ( pfx ^ "states_per_sec",
+                   Obs.Sink.Float
+                     (if d.seconds > 0.0 then
+                        float_of_int d.states /. d.seconds
+                      else 0.0) );
+                 (pfx ^ "steals", Obs.Sink.Int d.steals);
+                 (pfx ^ "contention", Obs.Sink.Int d.contention);
+               ])
+             (Array.to_list dstats)))
+
+let run ?(max_states = 5_000_000) ?(max_depth = 10_000) ?(max_crashes = 0)
+    ?(reduction = Explore.no_reduction) ?(paranoid = false) ~jobs ~on_terminal
+    ~on_visit label config =
+  let jobs = max 1 jobs in
+  (* Sleep sets are inherently sequential (see module comment); strip
+     them so [reduction] keeps only the symmetry quotient. *)
+  let reduction = { reduction with Explore.sleep_sets = false } in
+  let g =
+    {
+      shards =
+        Array.init n_shards (fun _ ->
+            { lock = Mutex.create (); tbl = Fingerprint.Ktbl.create 1024 });
+      queue = Queue.create ();
+      qlock = Mutex.create ();
+      qcond = Condition.create ();
+      idle = Atomic.make 0;
+      finished = false;
+      stop = Atomic.make None;
+      n_states = Atomic.make 0;
+      max_states;
+      depth_limit = max_depth;
+      max_crashes;
+      reduction;
+      paranoid;
+      jobs;
+      cb_lock = Mutex.create ();
+      on_terminal;
+      on_visit;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  Queue.push { config; rev_trace = []; depth = 0 } g.queue;
+  (* Seed: bounded BFS on the main domain until the frontier is wide
+     enough to keep [jobs] domains busy.  The seeder claims and counts
+     states through the same [process] path the workers use. *)
+  let seed_stats = fresh_dstats () in
+  let seed_ctx = { g; stats = seed_stats; local = []; local_n = 0 } in
+  let target = 4 * jobs in
+  (try
+     while
+       (not (Queue.is_empty g.queue))
+       && Queue.length g.queue < target
+       && Atomic.get g.stop = None
+     do
+       let item = Queue.pop g.queue in
+       process seed_ctx item;
+       List.iter (fun w -> Queue.push w g.queue) (List.rev seed_ctx.local);
+       seed_ctx.local <- [];
+       seed_ctx.local_n <- 0
+     done
+   with e -> set_stop g (Callback e));
+  seed_stats.seconds <- Unix.gettimeofday () -. t0;
+  let dstats = Array.init jobs (fun _ -> fresh_dstats ()) in
+  if (not (Queue.is_empty g.queue)) && Atomic.get g.stop = None then begin
+    let domains =
+      Array.init jobs (fun i ->
+          Domain.spawn (fun () ->
+              let w0 = Unix.gettimeofday () in
+              let ctx = { g; stats = dstats.(i); local = []; local_n = 0 } in
+              worker ctx;
+              dstats.(i).seconds <- Unix.gettimeofday () -. w0))
+    in
+    Array.iter Domain.join domains
+  end;
+  let dt = Unix.gettimeofday () -. t0 in
+  let stats = merge_stats g (seed_stats :: Array.to_list dstats) in
+  emit_obs label g stats dstats dt;
+  (match Atomic.get g.stop with
+  | Some (Callback Stop) | Some Budget | None -> ()
+  | Some (Callback e) -> raise e);
+  stats
+
+let iter_terminals ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
+    ~jobs config ~f =
+  run ?max_states ?max_depth ?max_crashes ?reduction ?paranoid ~jobs
+    ~on_terminal:f
+    ~on_visit:(fun _ _ -> ())
+    "iter_terminals" config
+
+let iter_reachable ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
+    ~jobs config ~f =
+  run ?max_states ?max_depth ?max_crashes ?reduction ?paranoid ~jobs
+    ~on_terminal:(fun _ _ -> ())
+    ~on_visit:f "iter_reachable" config
+
+let find_terminal ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
+    ~jobs config ~violates =
+  let found = ref None in
+  (* [on_terminal] runs under the callback lock, so the first writer
+     wins and the witness is stable once set. *)
+  let on_terminal c trace =
+    if Option.is_none !found && violates c then begin
+      found := Some (c, trace);
+      raise Stop
+    end
+  in
+  let stats =
+    run ?max_states ?max_depth ?max_crashes ?reduction ?paranoid ~jobs
+      ~on_terminal
+      ~on_visit:(fun _ _ -> ())
+      "find_terminal" config
+  in
+  (!found, stats)
+
+let check_terminals ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
+    ~jobs config ~ok =
+  match
+    find_terminal ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
+      ~jobs config
+      ~violates:(fun c -> not (ok c))
+  with
+  | None, stats -> Ok stats
+  | Some (c, trace), stats -> Error (c, trace, stats)
+
+(* Parallel map over an ordinary list: static index partition (item [i]
+   goes to domain [i mod jobs]) — the analyzer's per-subject work items
+   are few and coarse, so static partitioning is enough.  The first
+   exception (in domain order) is re-raised. *)
+let map ~jobs f xs =
+  let jobs = max 1 jobs in
+  if jobs = 1 then List.map f xs
+  else begin
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let out = Array.make n None in
+    let worker d () =
+      let i = ref d in
+      while !i < n do
+        (out.(!i) <-
+           (match f arr.(!i) with
+           | y -> Some (Ok y)
+           | exception e -> Some (Error e)));
+        i := !i + jobs
+      done
+    in
+    let domains =
+      Array.init (min jobs (max n 1)) (fun d -> Domain.spawn (worker d))
+    in
+    Array.iter Domain.join domains;
+    Array.to_list out
+    |> List.map (function
+         | Some (Ok y) -> y
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  end

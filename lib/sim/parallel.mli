@@ -1,0 +1,99 @@
+(** Multicore state-space exploration.
+
+    Runs the same transition relation as {!Explore} across [jobs] domains:
+    a bounded breadth-first pass on the calling domain seeds a frontier of
+    roughly [4 * jobs] work items, which then fan out to worker domains
+    each running depth-first search over a local stack.  Deduplication
+    goes through a visited table sharded by fingerprint prefix (one mutex
+    per shard); a state is claimed exactly once, by whichever domain first
+    inserts its key, so every state is expanded at most once.  Domains
+    whose stacks empty take work from the shared queue; domains that
+    observe idle peers donate the shallow half of their stack back.
+
+    {b Determinism.}  On acyclic state graphs (every one-shot bounded
+    algorithm in this repository) the merged [states], [transitions],
+    [terminals], [hung_terminals] and [crashed_terminals] equal the
+    sequential explorer's, independent of scheduling: claim-once yields
+    the same reachable set however the race for claims resolves, and each
+    claimed state contributes its fixed out-degree.  [max_depth],
+    [dedup_hits] and the particular witness traces are racy; checkers
+    built on this module return deterministic {e verdicts} with possibly
+    different (equally valid) witnesses.  [cycles] and [sleep_skips] are
+    always [0] here: back-edges count as [dedup_hits] (use the sequential
+    {!Explore.find_cycle} for non-termination hunting).
+
+    {b Reductions.}  Symmetry quotienting composes with parallel search —
+    canonicalization happens before the claim, so an orbit's members race
+    for a single slot.  Sleep sets are {e forced off}: their
+    explored-transition resume protocol is sequential by construction.
+    See DESIGN.md, "Parallel exploration".
+
+    {b Callbacks.}  [f] in {!iter_terminals} is serialized under a lock
+    (terminals are sparse); [f] in {!iter_reachable} is called
+    concurrently from worker domains and must be domain-safe.  A callback
+    may raise {!Stop} to end the search gracefully (stats reflect work
+    done so far); any other exception aborts the search and is re-raised
+    on the calling domain. *)
+
+(** Raise from a callback to stop the search gracefully. *)
+exception Stop
+
+val iter_terminals :
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?max_crashes:int ->
+  ?reduction:Explore.reduction ->
+  ?paranoid:bool ->
+  jobs:int ->
+  Config.t ->
+  f:(Config.t -> Trace.t -> unit) ->
+  Explore.stats
+(** Parallel {!Explore.iter_terminals}.  [f] sees every reachable terminal
+    exactly once (one representative per orbit under symmetry), serialized
+    under the callback lock, in a nondeterministic order. *)
+
+val iter_reachable :
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?max_crashes:int ->
+  ?reduction:Explore.reduction ->
+  ?paranoid:bool ->
+  jobs:int ->
+  Config.t ->
+  f:(Config.t -> Trace.t Lazy.t -> unit) ->
+  Explore.stats
+(** Parallel {!Explore.iter_reachable}.  [f] runs {e concurrently} on
+    worker domains — it must be domain-safe.  Sleep sets are off (they
+    are here anyway). *)
+
+val find_terminal :
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?max_crashes:int ->
+  ?reduction:Explore.reduction ->
+  ?paranoid:bool ->
+  jobs:int ->
+  Config.t ->
+  violates:(Config.t -> bool) ->
+  (Config.t * Trace.t) option * Explore.stats
+(** Parallel {!Explore.find_terminal}: whether a violating terminal exists
+    is deterministic; {e which} one is returned is not. *)
+
+val check_terminals :
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?max_crashes:int ->
+  ?reduction:Explore.reduction ->
+  ?paranoid:bool ->
+  jobs:int ->
+  Config.t ->
+  ok:(Config.t -> bool) ->
+  (Explore.stats, Config.t * Trace.t * Explore.stats) result
+(** Parallel {!Explore.check_terminals}: the [Ok]/[Error] outcome is
+    deterministic, the counterexample in [Error] need not be. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] to every element across [jobs] domains
+    (static index partition), preserving order.  [f] must be domain-safe.
+    The first exception raised is re-raised after all domains join.
+    [jobs <= 1] is plain [List.map]. *)

@@ -41,6 +41,8 @@ let contents store =
   Imap.fold (fun h (_, st) acc -> (h, st) :: acc) store.objs []
   |> List.rev
 
+let iter store f = Imap.iter (fun h (_, st) -> f h st) store.objs
+
 let pp ppf store =
   Imap.iter
     (fun h (model, st) ->

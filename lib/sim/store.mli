@@ -35,4 +35,9 @@ val apply : t -> handle -> Op.t -> (t * Value.t) list
     used for configuration canonicalization. *)
 val contents : t -> (int * Value.t) list
 
+(** [iter store f] calls [f handle state] on every allocated object, in
+    increasing handle order — the allocation-free counterpart of
+    {!contents}, used by the fingerprint layer. *)
+val iter : t -> (int -> Value.t -> unit) -> unit
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,417 @@
+(* Cross-validation of the parallel exploration engine and the structural
+   fingerprint layer.
+
+   Determinism contract (see Parallel's interface): for every algorithm
+   family and crash budget, the parallel search must agree with the
+   sequential explorer on [states], [transitions], [terminals],
+   [hung_terminals] and [crashed_terminals], and every Verdict-typed
+   checker must return the same status at [--jobs 1] and [--jobs N].
+   Fingerprint regression: the allocation-lean 126-bit hash must be
+   injective over every reachable set we explore, and a [~paranoid]
+   (exact-key) search must produce identical statistics. *)
+open Subc_sim
+open Helpers
+module Task = Subc_tasks.Task
+module Task_check = Subc_check.Task_check
+module Verdict = Subc_check.Verdict
+module Progress = Subc_check.Progress
+module Lin = Subc_check.Linearizability
+module Valence = Subc_check.Valence
+
+(* Worker-domain count for the parallel side of each comparison;
+   overridable so CI can pin it (SUBC_TEST_JOBS=4). *)
+let jobs =
+  match Sys.getenv_opt "SUBC_TEST_JOBS" with
+  | Some s -> ( try max 2 (int_of_string s) with _ -> 4)
+  | None -> 4
+
+(* ---------------------------------------------------------------- *)
+(* Harnesses (shared shapes with test_reduction).                    *)
+
+let alg2_harness k =
+  let store, t = Subc_core.Alg2.alloc Store.empty ~k ~one_shot:true in
+  let programs =
+    List.mapi (fun i v -> Subc_core.Alg2.propose t ~i v) (inputs k)
+  in
+  (store, programs, Subc_core.Alg2.symmetry t ~input_base:100 ())
+
+let alg3_harness () =
+  let k = 2 in
+  let ids = [ 9; 2 ] in
+  let store, t =
+    Subc_core.Alg3.alloc Store.empty ~k ~flavor:Subc_core.Alg3.Relaxed_wrn
+      ~renamer:Subc_core.Alg3.Rename_snapshot ()
+  in
+  let inputs = List.map (fun id -> Value.Int (1000 + id)) ids in
+  let programs =
+    List.mapi
+      (fun slot id ->
+        Subc_core.Alg3.propose t ~slot ~id (Value.Int (1000 + id)))
+      ids
+  in
+  (store, programs, inputs, Task.set_consensus (k - 1))
+
+let alg5_harness k =
+  let store, t = Subc_core.Alg5.alloc Store.empty ~k () in
+  let programs =
+    List.init k (fun i -> Subc_core.Alg5.wrn t ~i (Value.Int (100 + i)))
+  in
+  (store, programs, Subc_core.Alg5.symmetry t ~input_base:100 ())
+
+let wrn_harness k =
+  let store, h = Store.alloc Store.empty (Subc_objects.One_shot_wrn.model ~k) in
+  let programs =
+    List.init k (fun i ->
+        Subc_objects.One_shot_wrn.wrn h i (Value.Int (100 + i)))
+  in
+  (store, programs, Symmetry.standard ~n:k ~input_base:100 `Rotations)
+
+let sc_harness ~n ~k =
+  let store, h =
+    Store.alloc Store.empty (Subc_objects.Set_consensus_obj.model ~n ~k)
+  in
+  let programs =
+    List.init n (fun i ->
+        Subc_objects.Set_consensus_obj.propose h (Value.Int (100 + i)))
+  in
+  (store, programs, Symmetry.standard ~n ~input_base:100 `Full)
+
+(* ---------------------------------------------------------------- *)
+(* Raw-stats agreement: sequential explorer vs parallel engine.      *)
+
+(* The deterministic slice of the statistics.  [dedup_hits] is included
+   because on acyclic graphs it is a function of the others
+   (transitions − states + 1 per connected sweep); [max_depth] is
+   deliberately excluded (pop order is racy). *)
+let same_counts name (a : Explore.stats) (b : Explore.stats) =
+  Alcotest.(check int) (name ^ " states") a.Explore.states b.Explore.states;
+  Alcotest.(check int)
+    (name ^ " transitions")
+    a.Explore.transitions b.Explore.transitions;
+  Alcotest.(check int)
+    (name ^ " terminals")
+    a.Explore.terminals b.Explore.terminals;
+  Alcotest.(check int)
+    (name ^ " hung")
+    a.Explore.hung_terminals b.Explore.hung_terminals;
+  Alcotest.(check int)
+    (name ^ " crashed")
+    a.Explore.crashed_terminals b.Explore.crashed_terminals;
+  Alcotest.(check int)
+    (name ^ " dedup")
+    a.Explore.dedup_hits b.Explore.dedup_hits;
+  Alcotest.(check bool) (name ^ " limited") a.Explore.limited b.Explore.limited
+
+let stats_matrix () =
+  let harnesses =
+    [
+      ("alg2", (fun () -> alg2_harness 3), [ 0; 1; 2 ]);
+      ("alg5", (fun () -> alg5_harness 3), [ 0; 1 ]);
+      ("wrn", (fun () -> wrn_harness 3), [ 0; 1 ]);
+      ("sc", (fun () -> sc_harness ~n:3 ~k:2), [ 0 ]);
+    ]
+  in
+  List.iter
+    (fun (name, harness, budgets) ->
+      let store, programs, sym = harness () in
+      let config = Config.make store programs in
+      List.iter
+        (fun f ->
+          List.iter
+            (fun (rlabel, reduction) ->
+              let label = Printf.sprintf "%s f=%d %s" name f rlabel in
+              let seq =
+                Explore.iter_terminals ~max_crashes:f ?reduction config
+                  ~f:(fun _ _ -> ())
+              in
+              let par =
+                Parallel.iter_terminals ~max_crashes:f ?reduction ~jobs
+                  config
+                  ~f:(fun _ _ -> ())
+              in
+              same_counts label seq par)
+            [ ("none", None); ("sym", Some (Explore.with_symmetry sym)) ])
+        budgets)
+    harnesses
+
+(* Terminal callbacks fire exactly once per terminal, serialized. *)
+let terminal_callback_count () =
+  let store, programs, _ = alg2_harness 3 in
+  let config = Config.make store programs in
+  let count = ref 0 in
+  let seq =
+    Explore.iter_terminals ~max_crashes:1 config ~f:(fun _ _ -> ())
+  in
+  let par =
+    Parallel.iter_terminals ~max_crashes:1 ~jobs config ~f:(fun _ _ ->
+        incr count)
+  in
+  Alcotest.(check int) "callback count = terminals" par.Explore.terminals
+    !count;
+  Alcotest.(check int) "terminals agree" seq.Explore.terminals
+    par.Explore.terminals
+
+(* The max-states budget truncates identically (exactly [max_states]
+   states counted, Max_states reported). *)
+let budget_truncation () =
+  let store, programs, _ = alg5_harness 3 in
+  let config = Config.make store programs in
+  let budget = 100 in
+  let par =
+    Parallel.iter_terminals ~max_states:budget ~jobs config ~f:(fun _ _ -> ())
+  in
+  Alcotest.(check int) "exactly budget states" budget par.Explore.states;
+  Alcotest.(check bool) "limited" true par.Explore.limited
+
+(* ---------------------------------------------------------------- *)
+(* Verdict agreement at jobs=1 vs jobs=N.                            *)
+
+let verdict_status = Alcotest.testable Fmt.string String.equal
+
+let same_status name a b =
+  Alcotest.check verdict_status name (Verdict.status_string a)
+    (Verdict.status_string b)
+
+let task_check_agrees () =
+  let store, programs, sym = alg2_harness 3 in
+  let task = Task.set_consensus 2 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (rlabel, reduction) ->
+          let name = Printf.sprintf "alg2 f=%d %s" f rlabel in
+          let seq =
+            Task_check.check ~max_crashes:f ?reduction store ~programs
+              ~inputs:(inputs 3) ~task
+          in
+          let par =
+            Task_check.check ~max_crashes:f ?reduction ~jobs store ~programs
+              ~inputs:(inputs 3) ~task
+          in
+          same_status name seq par;
+          Alcotest.(check bool) (name ^ " proved") true (Verdict.is_proved par);
+          same_counts name (explore_stats_exn seq) (explore_stats_exn par))
+        [ ("none", None); ("sym", Some (Explore.with_symmetry sym)) ])
+    [ 0; 1; 2 ];
+  let store3, programs3, inputs3, task3 = alg3_harness () in
+  same_status "alg3"
+    (Task_check.check store3 ~programs:programs3 ~inputs:inputs3 ~task:task3)
+    (Task_check.check ~jobs store3 ~programs:programs3 ~inputs:inputs3
+       ~task:task3)
+
+(* A refuted instance refutes in parallel too (1-set consensus from a
+   WRN_3 is impossible — some schedule decides two values). *)
+let task_check_refutes () =
+  let store, programs, _ = alg2_harness 3 in
+  let task = Task.set_consensus 1 in
+  let seq = Task_check.check store ~programs ~inputs:(inputs 3) ~task in
+  let par = Task_check.check ~jobs store ~programs ~inputs:(inputs 3) ~task in
+  same_status "alg2 1-set refuted" seq par;
+  Alcotest.(check bool) "refuted sequentially" false (Verdict.is_proved seq);
+  Alcotest.(check bool) "refuted in parallel" false (Verdict.is_proved par)
+
+let lin_agrees () =
+  let store, programs, sym = alg5_harness 3 in
+  let ops i = Op.make "wrn" [ Value.Int i; Value.Int (100 + i) ] in
+  let spec = Subc_objects.One_shot_wrn.model ~k:3 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (rlabel, reduction) ->
+          let name = Printf.sprintf "alg5 lin f=%d %s" f rlabel in
+          let seq =
+            Lin.check_harness ~max_crashes:f ?reduction store ~programs ~ops
+              ~spec
+          in
+          let par =
+            Lin.check_harness ~max_crashes:f ?reduction ~jobs store ~programs
+              ~ops ~spec
+          in
+          same_status name seq par;
+          Alcotest.(check bool) (name ^ " proved") true (Verdict.is_proved par);
+          let histories v = List.assoc "histories" (Verdict.stats v).Verdict.metrics in
+          Alcotest.(check (float 0.0))
+            (name ^ " histories")
+            (histories seq) (histories par))
+        [ ("none", None); ("sym", Some (Explore.with_symmetry sym)) ])
+    [ 0; 1 ]
+
+let wait_free_agrees () =
+  let store, programs, sym = alg2_harness 3 in
+  let solo_bound v =
+    List.assoc "solo_bound" (Verdict.stats v).Verdict.metrics
+  in
+  let configs v = List.assoc "configs" (Verdict.stats v).Verdict.metrics in
+  List.iter
+    (fun (rlabel, reduction) ->
+      let name = "alg2 wait-free " ^ rlabel in
+      let seq =
+        Progress.check_wait_free ~max_crashes:1 ?reduction store ~programs
+      in
+      let par =
+        Progress.check_wait_free ~max_crashes:1 ?reduction ~jobs store
+          ~programs
+      in
+      same_status name seq par;
+      Alcotest.(check bool) (name ^ " proved") true (Verdict.is_proved par);
+      Alcotest.(check (float 0.0))
+        (name ^ " solo bound")
+        (solo_bound seq) (solo_bound par);
+      Alcotest.(check (float 0.0))
+        (name ^ " configs")
+        (configs seq) (configs par))
+    [ ("none", None); ("sym", Some (Explore.with_symmetry sym)) ]
+
+let consensus_verdict_agrees () =
+  let store, c = Store.alloc Store.empty Subc_objects.Consensus_obj.model in
+  let programs =
+    [
+      Subc_objects.Consensus_obj.propose c (Value.Int 0);
+      Subc_objects.Consensus_obj.propose c (Value.Int 1);
+    ]
+  in
+  let config = Config.make store programs in
+  let inputs = [ Value.Int 0; Value.Int 1 ] in
+  let seq = Valence.consensus_verdict config ~inputs in
+  let par = Valence.consensus_verdict ~jobs config ~inputs in
+  same_status "consensus object solves" seq par;
+  Alcotest.(check bool) "proved" true (Verdict.is_proved par)
+
+(* ---------------------------------------------------------------- *)
+(* Fingerprint cross-validation.                                     *)
+
+(* Paranoid (exact canonical keys) and fingerprint modes must produce
+   bit-identical statistics — a fingerprint collision would show up as
+   fewer states/terminals in the default mode. *)
+let paranoid_cross_validation () =
+  let check_harness name config ~max_crashes reduction =
+    let fp =
+      Explore.iter_terminals ~max_crashes ?reduction config ~f:(fun _ _ -> ())
+    in
+    let exact =
+      Explore.iter_terminals ~max_crashes ?reduction ~paranoid:true config
+        ~f:(fun _ _ -> ())
+    in
+    same_counts name exact fp;
+    Alcotest.(check int) (name ^ " max_depth") exact.Explore.max_depth
+      fp.Explore.max_depth;
+    (* Parallel paranoid mode agrees as well. *)
+    let par =
+      Parallel.iter_terminals ~max_crashes ?reduction ~paranoid:true ~jobs
+        config
+        ~f:(fun _ _ -> ())
+    in
+    same_counts (name ^ " parallel") exact par
+  in
+  let store, programs, sym = alg2_harness 3 in
+  let config = Config.make store programs in
+  check_harness "alg2 f=1 none" config ~max_crashes:1 None;
+  check_harness "alg2 f=1 sym" config ~max_crashes:1
+    (Some (Explore.with_symmetry sym));
+  let store5, programs5, sym5 = alg5_harness 3 in
+  let config5 = Config.make store5 programs5 in
+  check_harness "alg5 f=0 none" config5 ~max_crashes:0 None;
+  check_harness "alg5 f=0 sym" config5 ~max_crashes:0
+    (Some (Explore.with_symmetry sym5))
+
+(* Injectivity of the 126-bit fingerprint over an actual reachable set:
+   distinct canonical keys must map to distinct fingerprints. *)
+let fingerprint_injective () =
+  let store, programs, _ = alg5_harness 3 in
+  let config = Config.make store programs in
+  let keys = Hashtbl.create 4096 in
+  let fps = Hashtbl.create 4096 in
+  let stats =
+    Explore.iter_reachable ~max_crashes:1 config ~f:(fun c _ ->
+        let key = Config.key c in
+        Hashtbl.replace keys key ();
+        Hashtbl.replace fps (Fingerprint.of_config c) ())
+  in
+  Alcotest.(check int) "one key per state" stats.Explore.states
+    (Hashtbl.length keys);
+  Alcotest.(check int) "one fingerprint per key" (Hashtbl.length keys)
+    (Hashtbl.length fps)
+
+(* [Fingerprint.of_config] must agree with [Config.key] equality: the
+   fingerprint may depend only on what the canonical key records (e.g.
+   it must erase [Running] continuations). *)
+let fingerprint_respects_key () =
+  let store, programs, _ = alg2_harness 3 in
+  let config = Config.make store programs in
+  let by_key = Hashtbl.create 256 in
+  ignore
+    (Explore.iter_reachable ~max_crashes:1 config ~f:(fun c _ ->
+         let key = Config.key c in
+         let fp = Fingerprint.of_config c in
+         match Hashtbl.find_opt by_key key with
+         | None -> Hashtbl.add by_key key fp
+         | Some fp' ->
+           Alcotest.(check bool)
+             "equal keys, equal fingerprints" true
+             (Fingerprint.equal fp fp')))
+
+(* Structural distinctions that a sloppy encoding would conflate. *)
+let fingerprint_prefix_free () =
+  let open Value in
+  let distinct a b =
+    Alcotest.(check bool)
+      (Format.asprintf "%a <> %a" pp a pp b)
+      false
+      (Fingerprint.equal (Fingerprint.of_value a) (Fingerprint.of_value b))
+  in
+  distinct (Vec [ Int 1; Int 2 ]) (Pair (Int 1, Int 2));
+  distinct (Vec [ Vec [ Int 1 ]; Int 2 ]) (Vec [ Int 1; Vec [ Int 2 ] ]);
+  distinct (Vec []) Unit;
+  distinct (Sym "ab") (Sym "a");
+  distinct (Tag ("a", Int 1)) (Pair (Sym "a", Int 1));
+  distinct (Bool false) (Int 0);
+  distinct (Int 0) Bot
+
+(* ---------------------------------------------------------------- *)
+(* Parallel.map.                                                     *)
+
+let map_preserves_order () =
+  let xs = List.init 100 (fun i -> i) in
+  Alcotest.(check (list int))
+    "map ~jobs = List.map" (List.map (fun x -> x * x) xs)
+    (Parallel.map ~jobs (fun x -> x * x) xs)
+
+let map_propagates_exceptions () =
+  Alcotest.check_raises "exception surfaces" (Failure "boom") (fun () ->
+      ignore
+        (Parallel.map ~jobs
+           (fun x -> if x = 13 then failwith "boom" else x)
+           (List.init 20 (fun i -> i))))
+
+let suite =
+  [
+    ( "parallel.stats",
+      [
+        test_slow "sequential vs parallel counts (all families)" stats_matrix;
+        test "terminal callbacks serialized, once per terminal"
+          terminal_callback_count;
+        test "max-states budget truncates identically" budget_truncation;
+      ] );
+    ( "parallel.verdicts",
+      [
+        test_slow "task conformance agrees across jobs" task_check_agrees;
+        test "refutation agrees across jobs" task_check_refutes;
+        test_slow "linearizability agrees across jobs" lin_agrees;
+        test_slow "wait-freedom bound agrees across jobs" wait_free_agrees;
+        test "consensus verdict agrees across jobs" consensus_verdict_agrees;
+      ] );
+    ( "parallel.fingerprint",
+      [
+        test_slow "paranoid (exact keys) cross-validates fingerprints"
+          paranoid_cross_validation;
+        test "fingerprint injective over reachable set" fingerprint_injective;
+        test "equal canonical keys give equal fingerprints"
+          fingerprint_respects_key;
+        test "structural encoding is prefix-free" fingerprint_prefix_free;
+      ] );
+    ( "parallel.map",
+      [
+        test "preserves order" map_preserves_order;
+        test "propagates exceptions" map_propagates_exceptions;
+      ] );
+  ]
