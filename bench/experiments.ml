@@ -1050,11 +1050,15 @@ let e17 () =
   in
   table
     ~title:
-      (Printf.sprintf
+      (let host_domains = Domain.recommended_domain_count () in
+       (* The same marker lands in BENCH_results.json as "mode": a
+          single-core host can only measure synchronization overhead. *)
+       let mode = if host_domains > 1 then "parallel" else "overhead-only" in
+       Printf.sprintf
          "E17. Multicore scaling: parallel engine vs sequential counts \
-          (identical by construction, asserted); host offers %d domain(s), \
-          which bounds any wall-clock speedup"
-         (Domain.recommended_domain_count ()))
+          (identical by construction, asserted); host offers %d domain(s) \
+          [mode: %s], which bounds any wall-clock speedup"
+         host_domains mode)
     ~header:
       [ "instance"; "jobs"; "states"; "terminals"; "wall"; "states/s";
         "speedup"; "verdict" ]

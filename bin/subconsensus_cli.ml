@@ -274,8 +274,26 @@ let jobs_arg =
            differ.  Sleep sets are forced off when $(docv) > 1 (the \
            reduction is inherently sequential); symmetry still applies.")
 
-(* Sleep sets do not survive parallel exploration; say so rather than
-   silently weakening the requested reduction. *)
+let visited_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("sharded", Parallel.Sharded); ("lockfree", Parallel.Lockfree);
+             ("compressed", Parallel.Compressed) ])
+        Parallel.Lockfree
+    & info [ "visited" ] ~docv:"MODE"
+        ~doc:
+          "Visited-table representation for parallel exploration \
+           ($(b,--jobs) > 1): $(b,lockfree) (default; CAS claim table, \
+           124-bit keys), $(b,compressed) (folded 62-bit words, half the \
+           memory, collision bound surfaced in the stats), or \
+           $(b,sharded) (the mutex-sharded baseline).  Verdicts and state \
+           counts are identical across all three.")
+
+(* Sleep sets do not survive parallel exploration; the stderr note
+   complements the machine-readable surfacing (stats.limit_reason =
+   sleep-sets-off and the parallel.sleep_sets_forced_off counter). *)
 let warn_sleep_off ~jobs reduction =
   match reduction with
   | Some r when jobs > 1 && r.Explore.sleep_sets ->
@@ -298,8 +316,9 @@ let certified_arg =
 (* check: one verdict per invocation, under the shared contract.       *)
 
 let check_cmd =
-  let run alg n k f max_states jobs choice certified json metrics =
+  let run alg n k f max_states jobs visited choice certified json metrics =
     setup_obs ~json ~metrics;
+    Parallel.set_default_visited visited;
     let inst = instance_of alg ~n ~k ~crashes:f in
     let reduction = reduction_of ~certified ~alg choice inst in
     warn_sleep_off ~jobs reduction;
@@ -320,7 +339,8 @@ let check_cmd =
           report a verdict.  Exits 0 proved / 1 refuted / 2 limited.")
     Term.(
       const run $ alg_arg $ n_arg $ k_arg $ crashes_arg $ max_states_arg
-      $ jobs_arg $ reduction_arg $ certified_arg $ json_arg $ metrics_arg)
+      $ jobs_arg $ visited_arg $ reduction_arg $ certified_arg $ json_arg
+      $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explore: raw state-space statistics, with or without reductions.    *)
@@ -335,6 +355,7 @@ let stats_fields reduction (stats : Explore.stats) =
     ("dedup_hits", Obs.Sink.Int stats.Explore.dedup_hits);
     ("sleep_skips", Obs.Sink.Int stats.Explore.sleep_skips);
     ("max_depth", Obs.Sink.Int stats.Explore.max_depth);
+    ("collision_bound", Obs.Sink.Float stats.Explore.collision_bound);
     ("limited", Obs.Sink.Bool stats.Explore.limited);
     ("limit_reason",
      Obs.Sink.Str
@@ -342,8 +363,9 @@ let stats_fields reduction (stats : Explore.stats) =
   ]
 
 let explore_cmd =
-  let run alg n k f max_states jobs choice certified json metrics =
+  let run alg n k f max_states jobs visited choice certified json metrics =
     setup_obs ~json ~metrics;
+    Parallel.set_default_visited visited;
     let inst = instance_of alg ~n ~k ~crashes:f in
     let store, programs = instance_store_programs inst in
     let reduction = reduction_of ~certified ~alg choice inst in
@@ -364,7 +386,15 @@ let explore_cmd =
         (Obs.Sink.json_of_event
            {
              Obs.Sink.name = "explore";
-             fields = ("alg", Obs.Sink.Str alg) :: stats_fields reduction stats;
+             fields =
+               ("alg", Obs.Sink.Str alg)
+               :: ("jobs", Obs.Sink.Int jobs)
+               :: ( "visited",
+                    Obs.Sink.Str
+                      (if jobs > 1 then
+                         Format.asprintf "%a" Parallel.pp_visited visited
+                       else "sequential") )
+               :: stats_fields reduction stats;
            })
     else
       Format.printf "[%s] %a@.%a@." alg
@@ -387,7 +417,8 @@ let explore_cmd =
           reason).  Exits 0, or 2 when the search was truncated.")
     Term.(
       const run $ alg_arg $ n_arg $ k_arg $ crashes_arg $ max_states_arg
-      $ jobs_arg $ reduction_arg $ certified_arg $ json_arg $ metrics_arg)
+      $ jobs_arg $ visited_arg $ reduction_arg $ certified_arg $ json_arg
+      $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Per-algorithm commands (sampled runs keep their own reporting; the
@@ -675,8 +706,10 @@ let analyze_cmd =
    under the shared contract.                                          *)
 
 let crash_sweep_cmd =
-  let run alg k f max_states solo_limit jobs choice certified json metrics =
+  let run alg k f max_states solo_limit jobs visited choice certified json
+      metrics =
     setup_obs ~json ~metrics;
+    Parallel.set_default_visited visited;
     let verdicts = ref [] in
     let note name v =
       verdicts := v :: !verdicts;
@@ -725,8 +758,8 @@ let crash_sweep_cmd =
           else 2 when any search was truncated.")
     Term.(
       const run $ alg_arg $ k_arg $ crashes_arg $ max_states_arg
-      $ solo_limit_arg $ jobs_arg $ reduction_arg $ certified_arg
-      $ json_arg $ metrics_arg)
+      $ solo_limit_arg $ jobs_arg $ visited_arg $ reduction_arg
+      $ certified_arg $ json_arg $ metrics_arg)
 
 let () =
   let doc = "sub-consensus deterministic objects: runners and model checkers" in

@@ -102,8 +102,8 @@ let check ~spec history =
 (* Harness-level checking: explore every terminal of a one-operation-per-
    process harness and check each recorded history against the sequential
    specification.  This is the loop the CLI and bench previously inlined. *)
-let check_harness ?max_states ?max_crashes ?reduction ?(jobs = 1) store
-    ~programs ~ops ~spec =
+let check_harness ?max_states ?max_crashes ?reduction ?(jobs = 1) ?visited
+    store ~programs ~ops ~spec =
   Subc_obs.Span.time "linearizability.check_harness" @@ fun () ->
   let config = Config.make store programs in
   let failure = ref None in
@@ -122,8 +122,8 @@ let check_harness ?max_states ?max_crashes ?reduction ?(jobs = 1) store
       Explore.iter_terminals ?max_states ?max_crashes ?reduction config
         ~f:on_terminal
     else
-      Parallel.iter_terminals ?max_states ?max_crashes ?reduction ~jobs
-        config ~f:on_terminal
+      Parallel.iter_terminals ?visited ?max_states ?max_crashes ?reduction
+        ~jobs config ~f:on_terminal
   in
   match !failure with
   | Some (h, trace) ->

@@ -56,6 +56,7 @@ val check_harness :
   ?max_crashes:int ->
   ?reduction:Explore.reduction ->
   ?jobs:int ->
+  ?visited:Subc_sim.Parallel.visited ->
   Store.t ->
   programs:Value.t Program.t list ->
   ops:(int -> Op.t) ->

@@ -84,7 +84,7 @@ let rec atomic_max a v =
   if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
 
 let wait_free ?max_states ?(max_crashes = 0) ?(solo_limit = 10_000) ?reduction
-    ?(jobs = 1) store ~programs =
+    ?(jobs = 1) ?visited store ~programs =
   Subc_obs.Span.time "progress.wait_free" @@ fun () ->
   let config0 = Config.make store programs in
   let bound = Atomic.make 0 in
@@ -109,8 +109,8 @@ let wait_free ?max_states ?(max_crashes = 0) ?(solo_limit = 10_000) ?reduction
          The exact distances are deterministic, so per-domain memos
          change only timing, never the resulting bound. *)
       let memo_key = Domain.DLS.new_key (fun () -> Hashtbl.create 4096) in
-      Parallel.iter_reachable ?max_states ~max_crashes ?reduction ~jobs
-        config0
+      Parallel.iter_reachable ?visited ?max_states ~max_crashes ?reduction
+        ~jobs config0
         ~f:(fun config prefix -> visit (Domain.DLS.get memo_key) config prefix)
     end
   in
@@ -144,10 +144,10 @@ let t_resilient ?max_states ?reduction ~t store ~programs =
    functions above remain as building blocks). *)
 
 let check_wait_free ?max_states ?max_crashes ?solo_limit ?reduction ?jobs
-    store ~programs =
+    ?visited store ~programs =
   match
-    wait_free ?max_states ?max_crashes ?solo_limit ?reduction ?jobs store
-      ~programs
+    wait_free ?max_states ?max_crashes ?solo_limit ?reduction ?jobs ?visited
+      store ~programs
   with
   | Ok cert ->
     Verdict.proved ~explore:cert.stats

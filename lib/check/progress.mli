@@ -56,6 +56,7 @@ val check_wait_free :
   ?solo_limit:int ->
   ?reduction:Explore.reduction ->
   ?jobs:int ->
+  ?visited:Subc_sim.Parallel.visited ->
   Store.t ->
   programs:Value.t Program.t list ->
   Verdict.t
@@ -78,6 +79,7 @@ val wait_free :
   ?solo_limit:int ->
   ?reduction:Explore.reduction ->
   ?jobs:int ->
+  ?visited:Subc_sim.Parallel.visited ->
   Store.t ->
   programs:Value.t Program.t list ->
   (certificate, failure) result

@@ -1,8 +1,8 @@
 open Subc_sim
 module Task = Subc_tasks.Task
 
-let exhaustive ?max_states ?max_crashes ?reduction ?(jobs = 1) store
-    ~programs ~inputs ~task =
+let exhaustive ?max_states ?max_crashes ?reduction ?(jobs = 1) ?visited
+    store ~programs ~inputs ~task =
   Subc_obs.Span.time "task_check.exhaustive" @@ fun () ->
   let config = Config.make store programs in
   let result =
@@ -10,8 +10,8 @@ let exhaustive ?max_states ?max_crashes ?reduction ?(jobs = 1) store
       Explore.check_terminals ?max_states ?max_crashes ?reduction config
         ~ok:(fun c -> Task.satisfies task ~inputs c)
     else
-      Parallel.check_terminals ?max_states ?max_crashes ?reduction ~jobs
-        config
+      Parallel.check_terminals ?visited ?max_states ?max_crashes ?reduction
+        ~jobs config
         ~ok:(fun c -> Task.satisfies task ~inputs c)
   in
   match result with
@@ -32,11 +32,11 @@ let wait_free ?max_states ?reduction store ~programs =
 
 (* Verdict-typed entry point: exhaustive task conformance, classifying a
    truncated search as [Limited] rather than a proof. *)
-let check ?max_states ?max_crashes ?reduction ?jobs store ~programs ~inputs
-    ~task =
+let check ?max_states ?max_crashes ?reduction ?jobs ?visited store ~programs
+    ~inputs ~task =
   match
-    exhaustive ?max_states ?max_crashes ?reduction ?jobs store ~programs
-      ~inputs ~task
+    exhaustive ?max_states ?max_crashes ?reduction ?jobs ?visited store
+      ~programs ~inputs ~task
   with
   | Error (reason, trace) -> Verdict.refuted ~trace reason
   | Ok stats when stats.Explore.limited ->

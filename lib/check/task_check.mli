@@ -17,6 +17,7 @@ val check :
   ?max_crashes:int ->
   ?reduction:Explore.reduction ->
   ?jobs:int ->
+  ?visited:Subc_sim.Parallel.visited ->
   Store.t ->
   programs:Value.t Program.t list ->
   inputs:Value.t list ->
@@ -30,6 +31,7 @@ val exhaustive :
   ?max_crashes:int ->
   ?reduction:Explore.reduction ->
   ?jobs:int ->
+  ?visited:Subc_sim.Parallel.visited ->
   Store.t ->
   programs:Value.t Program.t list ->
   inputs:Value.t list ->

@@ -42,14 +42,15 @@ let check_consensus ?max_states config ~inputs =
 (* Verdict-typed consensus check (the canonical API).  Terminal checking
    parallelizes ([jobs]); the cycle search stays sequential — back-edge
    detection needs the DFS stack discipline (see [Parallel]). *)
-let consensus_verdict ?max_states ?reduction ?(jobs = 1) config ~inputs =
+let consensus_verdict ?max_states ?reduction ?(jobs = 1) ?visited config
+    ~inputs =
   Subc_obs.Span.time "valence.consensus" @@ fun () ->
   let check_terminals_result =
     if jobs <= 1 then
       Explore.check_terminals ?max_states ?reduction config ~ok:(fun c ->
           Result.is_ok (consensus_ok ~inputs c))
     else
-      Parallel.check_terminals ?max_states ?reduction ~jobs config
+      Parallel.check_terminals ?visited ?max_states ?reduction ~jobs config
         ~ok:(fun c -> Result.is_ok (consensus_ok ~inputs c))
   in
   match check_terminals_result with

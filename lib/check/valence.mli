@@ -36,6 +36,7 @@ val consensus_verdict :
   ?max_states:int ->
   ?reduction:Explore.reduction ->
   ?jobs:int ->
+  ?visited:Subc_sim.Parallel.visited ->
   Config.t ->
   inputs:Value.t list ->
   Verdict.t

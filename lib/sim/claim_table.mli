@@ -1,0 +1,45 @@
+(** Lock-free open-addressed claim table.
+
+    The parallel explorer's visited set, reduced to its essence: a
+    claim-once membership test over two-lane 126-bit fingerprints with
+    no mutex on the hot path.  Slots are [int Atomic.t] words (62
+    usable bits per lane after the live/empty/tombstone encoding);
+    claiming is a single CAS on the first lane; linear probing resolves
+    collisions; capacity grows by appending doubled segments, so there
+    is never a stop-the-world rehash.  See the implementation comment
+    and DESIGN.md, "The lock-free claim table", for the claim-once
+    linearizability argument.
+
+    Two modes: [`Two_lane] stores both fingerprint lanes (effective 124
+    bits, ~2^-124 collision odds per pair); [`Folded] stores a single
+    mixed word per state (62 bits — half the memory, collision odds
+    ~2^-62 per pair, bounded and surfaced by the caller). *)
+
+type t
+
+(** Per-claim instrumentation, accumulated into caller-owned (per-domain)
+    mutable fields — no shared counters on the hot path. *)
+type opstats = { mutable probes : int; mutable cas_retries : int }
+
+val fresh_opstats : unit -> opstats
+
+val create : ?initial_capacity:int -> [ `Two_lane | `Folded ] -> t
+(** [initial_capacity] (default 4096) is rounded up to a power of two,
+    minimum 64. *)
+
+val claim : t -> opstats -> h1:int -> h2:int -> [ `Fresh | `Dup ]
+(** [claim t st ~h1 ~h2] — [`Fresh] for exactly one caller per distinct
+    [(h1, h2)] (mod the mode's truncation), [`Dup] for every other.
+    Lock-free; safe from any number of domains. *)
+
+val bits : t -> int
+(** Effective key width: 124 ([`Two_lane]) or 62 ([`Folded]). *)
+
+val occupancy : t -> int
+(** Slots consumed (successful claims, aborted ones included). *)
+
+val slots : t -> int
+(** Total slots across all segments. *)
+
+val memory_bytes : t -> int
+(** Analytic memory footprint of the table's arrays and atoms. *)

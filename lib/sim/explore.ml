@@ -1,11 +1,19 @@
 module Obs = Subc_obs
 
-type limit_reason = No_limit | Max_states | Max_depth
+type limit_reason = No_limit | Max_states | Max_depth | Sleep_sets_off
 
 let pp_limit_reason ppf = function
   | No_limit -> Format.fprintf ppf "none"
   | Max_states -> Format.fprintf ppf "max-states"
   | Max_depth -> Format.fprintf ppf "max-depth"
+  | Sleep_sets_off -> Format.fprintf ppf "sleep-sets-off"
+
+(* A truncation reason makes the search inconclusive; a downgrade reason
+   ([Sleep_sets_off]) only means a requested reduction was weakened — the
+   search is still exhaustive, so [limited] must stay false. *)
+let reason_truncates = function
+  | No_limit | Sleep_sets_off -> false
+  | Max_states | Max_depth -> true
 
 type stats = {
   states : int;
@@ -17,21 +25,33 @@ type stats = {
   dedup_hits : int;
   sleep_skips : int;
   cycles : int;
+  collision_bound : float;
   limited : bool;
   limit_reason : limit_reason;
 }
 
+(* Birthday bound on any-fingerprint-collision over the whole search:
+   n(n-1)/2 pairs, each colliding with odds 2^-bits.  Zero under the
+   exact-key [~paranoid] mode. *)
+let collision_bound ~bits ~states =
+  let n = float_of_int states in
+  min 1.0 (n *. (n -. 1.0) /. 2.0 *. ldexp 1.0 (-bits))
+
 let pp_stats ppf s =
   Format.fprintf ppf
     "states=%d transitions=%d terminals=%d hung=%d crashed=%d depth=%d \
-     dedup=%d%s cycles=%d%s"
+     dedup=%d%s cycles=%d%s%s"
     s.states s.transitions s.terminals s.hung_terminals s.crashed_terminals
     s.max_depth s.dedup_hits
     (if s.sleep_skips > 0 then Printf.sprintf " sleep-skips=%d" s.sleep_skips
      else "")
     s.cycles
+    (if s.collision_bound >= 1e-9 then
+       Printf.sprintf " p-collision<=%.2g" s.collision_bound
+     else "")
     (if s.limited then
        Format.asprintf " (LIMITED: %a)" pp_limit_reason s.limit_reason
+     else if s.limit_reason = Sleep_sets_off then " (sleep sets off)"
      else "")
 
 type reduction = { symmetry : Symmetry.t option; sleep_sets : bool }
@@ -215,6 +235,10 @@ type state = {
   stop_on_cycle : bool;
 }
 
+(* The sequential visited table compares both full fingerprint lanes:
+   126 effective bits. *)
+let fingerprint_bits = 126
+
 let stats_of st =
   {
     states = st.states;
@@ -226,7 +250,10 @@ let stats_of st =
     dedup_hits = st.dedup_hits;
     sleep_skips = st.sleep_skips;
     cycles = st.cycles;
-    limited = st.limit_reason <> No_limit;
+    collision_bound =
+      (if st.paranoid then 0.0
+       else collision_bound ~bits:fingerprint_bits ~states:st.states);
+    limited = reason_truncates st.limit_reason;
     limit_reason = st.limit_reason;
   }
 
@@ -250,6 +277,16 @@ let key_of ~paranoid (reduction : reduction) config =
 
 let state_key ?(paranoid = false) reduction config =
   fst (key_of ~paranoid reduction config)
+
+(* The bare two-lane fingerprint of the canonical representative — the
+   parallel engine's claim-table path, which stores the raw lanes and
+   never allocates a [Fingerprint.key] wrapper. *)
+let state_fingerprint (reduction : reduction) config =
+  match reduction.symmetry with
+  | None -> Fingerprint.of_config config
+  | Some sym ->
+    let key, _ = Symmetry.canonical_key sym config in
+    Fingerprint.of_value key
 
 let fingerprint st config = key_of ~paranoid:st.paranoid st.reduction config
 

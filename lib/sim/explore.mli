@@ -58,8 +58,16 @@ type limit_reason =
   | No_limit
   | Max_states  (** the state budget was exhausted; search aborted *)
   | Max_depth  (** some branch was pruned at the depth bound *)
+  | Sleep_sets_off
+      (** the requested sleep-set reduction was forced off (parallel
+          exploration) — a {e downgrade}, not a truncation: the search
+          is still exhaustive and [limited] stays [false] *)
 
 val pp_limit_reason : Format.formatter -> limit_reason -> unit
+
+val reason_truncates : limit_reason -> bool
+(** Whether the reason makes the search inconclusive ([Max_states],
+    [Max_depth]) as opposed to merely downgraded ([Sleep_sets_off]). *)
 
 type stats = {
   states : int;  (** distinct canonical configurations visited *)
@@ -72,6 +80,12 @@ type stats = {
   sleep_skips : int;  (** transitions skipped by the sleep-set reduction *)
   cycles : int;  (** back-edges into the current DFS stack: each witnesses
                      an infinite schedule (non-termination potential) *)
+  collision_bound : float;
+      (** birthday bound on the probability that {e any} fingerprint
+          collision merged two distinct states this search
+          (n(n-1)/2 · 2^-bits for the visited-table width in use:
+          126 sequential, 124 lock-free, 62 compressed; exactly 0.0
+          under [~paranoid]) *)
   limited : bool;
       (** true iff the search was truncated — it is then {e not} a proof;
           [limit_reason] says why *)
@@ -79,6 +93,14 @@ type stats = {
 }
 
 val pp_stats : Format.formatter -> stats -> unit
+
+val collision_bound : bits:int -> states:int -> float
+(** The birthday bound above, exposed for the parallel engine and the
+    bench tables: [min 1 (n(n-1)/2 · 2^-bits)]. *)
+
+val fingerprint_bits : int
+(** Effective key width of the full two-lane fingerprint comparison
+    (126): the sequential visited table and the parallel sharded mode. *)
 
 (** Which reductions to apply.  The default ({!no_reduction}) reproduces
     the plain exhaustive search exactly. *)
@@ -143,6 +165,11 @@ val pp_reduction : Format.formatter -> reduction -> unit
     for the parallel engine's sharded visited table and for the
     cross-validation tests. *)
 val state_key : ?paranoid:bool -> reduction -> Config.t -> Fingerprint.key
+
+val state_fingerprint : reduction -> Config.t -> Fingerprint.t
+(** The bare two-lane fingerprint of the canonical orbit representative —
+    the parallel engine's lock-free claim-table path, which stores raw
+    lanes and never allocates a {!Fingerprint.key}. *)
 
 (** [iter_terminals config ~f] visits every reachable terminal configuration
     once, passing a witness trace.  Under symmetry, one representative per

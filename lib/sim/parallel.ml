@@ -2,22 +2,35 @@
    sequential explorer's transition relation.
 
    The driver seeds a work frontier by bounded breadth-first search from
-   the root (until roughly [4 * jobs] items are pending), then fans the
-   frontier out across [jobs] domains.  Each domain runs depth-first
-   search over its own local stack, deduplicating against a visited table
-   sharded by fingerprint prefix — one mutex per shard, so lock hold
-   times are a single hashtable probe and contention spreads across
-   [n_shards] locks.  A state is {e claimed} exactly once, by whichever
-   domain first inserts its key into the owning shard; only the claimer
-   expands the state, so every state is expanded at most once and the
-   explored graph is exactly the sequential one.
+   the root (until roughly [4 * jobs] items are pending), distributes the
+   frontier round-robin across per-domain Chase–Lev deques ({!Ws_deque}),
+   then fans out across [jobs] domains.  Each domain runs depth-first
+   search over its own deque (LIFO bottom); a domain whose deque empties
+   steals from a randomly chosen victim's top (lock-free CAS).
+   Termination is the idle-counter protocol: a domain decrements the idle
+   counter {e before} every steal attempt and re-increments on failure,
+   so [idle = jobs] can only be observed when every deque is empty and no
+   domain holds work — at that point the search space is exhausted.
 
-   Work balancing: a domain whose local stack empties takes from the
-   shared seed queue ("stealing"); a domain that notices idle peers
-   donates the shallow half of its local stack back to the shared queue.
-   Termination is the classic idle-counter protocol: when all [jobs]
-   domains are simultaneously waiting on an empty shared queue, the
-   search space is exhausted.
+   Deduplication goes through one of three visited tables ({!visited}):
+
+   - [Lockfree] (default): a single open-addressed claim table
+     ({!Claim_table}, [`Two_lane]) storing both fingerprint lanes in
+     [Atomic] slot words — CAS claim-once, no mutex on the hot path,
+     effective 124-bit keys.
+   - [Compressed]: the same claim table in [`Folded] mode — one mixed
+     62-bit word per state, half the memory; the birthday collision
+     bound is surfaced in [stats.collision_bound].
+   - [Sharded]: the historical mutex-sharded [Fingerprint.Ktbl] tables,
+     kept as the comparison baseline and as the exact-key path:
+     [~paranoid] stores full canonical keys, which only this
+     representation can hold, so paranoid runs use it regardless of the
+     requested mode.
+
+   A state is {e claimed} exactly once, by whichever domain's claim
+   lands first; only the claimer expands the state, so every state is
+   expanded at most once and the explored graph is exactly the
+   sequential one.
 
    What is deterministic and what is not (see DESIGN.md "Parallel
    exploration"): [states], [transitions], [terminals], [hung_terminals]
@@ -29,24 +42,53 @@
    claims; checkers built on this module return deterministic verdicts
    with possibly different (equally valid) witnesses.
 
+   Budget exactness: under [Lockfree]/[Compressed] a successful claim
+   draws a ticket from the global state counter; tickets below
+   [max_states] are counted ([`Fresh]), the first ticket at the budget
+   raises the stop flag and is {e not} counted — so a truncated search
+   reports exactly [max_states] states, matching the sequential engine
+   and the [Sharded] path (which checks the budget under the shard
+   lock).
+
    Reductions: symmetry quotienting composes (the canonical key is
    computed before the claim, so all orbit members race for one slot);
    sleep sets are forced off — their resume protocol mutates a
    per-state [explored] list in DFS order, which is inherently
-   sequential.  Cycle detection is not offered: back-edges are
-   indistinguishable from cross-edges without a per-domain DFS stack
-   discipline, so revisits count as [dedup_hits]; use the sequential
+   sequential.  The downgrade is surfaced: [stats.limit_reason] becomes
+   [Sleep_sets_off] (with [limited] still false — the search is
+   exhaustive) and the [parallel.sleep_sets_forced_off] counter is
+   bumped, so [--json] consumers see it, not just stderr readers.
+   Cycle detection is not offered: back-edges are indistinguishable
+   from cross-edges without a per-domain DFS stack discipline, so
+   revisits count as [dedup_hits]; use the sequential
    [Explore.find_cycle]. *)
 
 module Obs = Subc_obs
 
 exception Stop
 
+type visited = Sharded | Lockfree | Compressed
+
+let pp_visited ppf v =
+  Format.pp_print_string ppf
+    (match v with
+    | Sharded -> "sharded"
+    | Lockfree -> "lockfree"
+    | Compressed -> "compressed")
+
+(* Process-wide default, settable once by the CLI's [--visited] flag so
+   every checker entry point inherits it without plumbing. *)
+let default_visited_mode = Atomic.make Lockfree
+let set_default_visited v = Atomic.set default_visited_mode v
+let default_visited () = Atomic.get default_visited_mode
+
 type work = { config : Config.t; rev_trace : Trace.event list; depth : int }
 
 type shard = { lock : Mutex.t; tbl : unit Fingerprint.Ktbl.t }
 
 let n_shards = 128
+
+type vtable = Shards of shard array | Claims of Claim_table.t
 
 type stop_cause = Budget | Callback of exn
 
@@ -62,6 +104,7 @@ type dstats = {
   mutable depth_limited : bool;
   mutable steals : int;
   mutable contention : int;
+  claim : Claim_table.opstats; (* probes + CAS retries, all hot paths *)
   mutable seconds : float;
 }
 
@@ -77,22 +120,23 @@ let fresh_dstats () =
     depth_limited = false;
     steals = 0;
     contention = 0;
+    claim = Claim_table.fresh_opstats ();
     seconds = 0.0;
   }
 
 type global = {
-  shards : shard array;
-  queue : work Queue.t;
-  qlock : Mutex.t;
-  qcond : Condition.t;
+  table : vtable;
+  visited : visited;
+  deques : work Ws_deque.t array;
   idle : int Atomic.t;
-  mutable finished : bool; (* under [qlock] *)
+  finished : bool Atomic.t;
   stop : stop_cause option Atomic.t;
   n_states : int Atomic.t;
   max_states : int;
   depth_limit : int;
   max_crashes : int;
   reduction : Explore.reduction;
+  sleep_downgraded : bool;
   paranoid : bool;
   jobs : int;
   cb_lock : Mutex.t;
@@ -102,60 +146,64 @@ type global = {
 
 type ctx = {
   g : global;
+  id : int; (* owner index into [deques]; the seeder uses 0 pre-spawn *)
   stats : dstats;
-  mutable local : work list;
-  mutable local_n : int;
+  mutable rng : int; (* xorshift state for victim selection *)
+  push : work -> unit;
 }
 
-let with_lock m f =
-  Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+(* First cause wins; workers poll [stop] between items and inside the
+   steal loop, so no wake-up broadcast is needed. *)
+let set_stop g cause = ignore (Atomic.compare_and_set g.stop None (Some cause))
 
-(* First cause wins; always wake any waiters so they can observe it. *)
-let set_stop g cause =
-  ignore (Atomic.compare_and_set g.stop None (Some cause));
-  with_lock g.qlock (fun () ->
-      g.finished <- true;
-      Condition.broadcast g.qcond)
-
-(* Claim [key] in its shard.  [`Fresh] means this domain owns the state
-   and must expand it; [`Dup] means another claim got there first (or an
-   earlier visit did); [`Budget] means the global state budget is
-   exhausted — the state is deliberately left unclaimed and uncounted,
-   matching the sequential explorer, which stops at the (N+1)-th fresh
-   state without counting it. *)
-let claim ctx key =
+(* Claim [config]'s canonical key.  [`Fresh] means this domain owns the
+   state and must expand it; [`Dup] means another claim got there first;
+   [`Budget] means the global state budget is exhausted — the state is
+   left uncounted, so a truncated search reports exactly [max_states]
+   states, like the sequential explorer. *)
+let claim ctx config =
   let g = ctx.g in
-  let sh = g.shards.(Fingerprint.shard_index key mod n_shards) in
-  if not (Mutex.try_lock sh.lock) then begin
-    ctx.stats.contention <- ctx.stats.contention + 1;
-    Mutex.lock sh.lock
-  end;
-  let r =
-    if Fingerprint.Ktbl.mem sh.tbl key then `Dup
-    else if Atomic.fetch_and_add g.n_states 1 >= g.max_states then `Budget
-    else begin
-      Fingerprint.Ktbl.add sh.tbl key ();
-      `Fresh
-    end
-  in
-  Mutex.unlock sh.lock;
-  r
-
-let push_local ctx w =
-  ctx.local <- w :: ctx.local;
-  ctx.local_n <- ctx.local_n + 1
+  match g.table with
+  | Shards shards ->
+    let key = Explore.state_key ~paranoid:g.paranoid g.reduction config in
+    let sh = shards.(Fingerprint.shard_index key mod n_shards) in
+    if not (Mutex.try_lock sh.lock) then begin
+      ctx.stats.contention <- ctx.stats.contention + 1;
+      Mutex.lock sh.lock
+    end;
+    let r =
+      if Fingerprint.Ktbl.mem sh.tbl key then `Dup
+      else if Atomic.fetch_and_add g.n_states 1 >= g.max_states then `Budget
+      else begin
+        Fingerprint.Ktbl.add sh.tbl key ();
+        `Fresh
+      end
+    in
+    Mutex.unlock sh.lock;
+    r
+  | Claims t -> (
+    let fp = Explore.state_fingerprint g.reduction config in
+    match
+      Claim_table.claim t ctx.stats.claim ~h1:fp.Fingerprint.h1
+        ~h2:fp.Fingerprint.h2
+    with
+    | `Dup -> `Dup
+    | `Fresh ->
+      (* Claim first, ticket second: every ticket below the budget goes
+         to exactly one successful claim, so the counted states of a
+         truncated run are exactly [max_states]. *)
+      if Atomic.fetch_and_add g.n_states 1 >= g.max_states then `Budget
+      else `Fresh)
 
 (* Expand one work item.  Exceptions from user callbacks propagate to the
-   caller (the worker loop converts them into a stop cause); no shard
-   lock is held while a callback runs. *)
+   caller (the worker loop converts them into a stop cause); no lock is
+   held while a callback runs. *)
 let process ctx item =
   let g = ctx.g in
   if item.depth > ctx.stats.max_depth then ctx.stats.max_depth <- item.depth;
   if item.depth > g.depth_limit then ctx.stats.depth_limited <- true
   else
-    let key = Explore.state_key ~paranoid:g.paranoid g.reduction item.config in
-    match claim ctx key with
+    match claim ctx item.config with
     | `Dup -> ctx.stats.dedup_hits <- ctx.stats.dedup_hits + 1
     | `Budget -> set_stop g Budget
     | `Fresh -> (
@@ -168,15 +216,17 @@ let process ctx item =
           ctx.stats.hung_terminals <- ctx.stats.hung_terminals + 1;
         if Config.any_crashed item.config then
           ctx.stats.crashed_terminals <- ctx.stats.crashed_terminals + 1;
-        with_lock g.cb_lock (fun () ->
-            g.on_terminal item.config (List.rev item.rev_trace))
+        Mutex.lock g.cb_lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock g.cb_lock)
+          (fun () -> g.on_terminal item.config (List.rev item.rev_trace))
       | runnable ->
         List.iter
           (fun i ->
             List.iter
               (fun (config', event) ->
                 ctx.stats.transitions <- ctx.stats.transitions + 1;
-                push_local ctx
+                ctx.push
                   {
                     config = config';
                     rev_trace = Trace.Sched event :: item.rev_trace;
@@ -188,7 +238,7 @@ let process ctx item =
           List.iter
             (fun (config', victim) ->
               ctx.stats.transitions <- ctx.stats.transitions + 1;
-              push_local ctx
+              ctx.push
                 {
                   config = config';
                   rev_trace = Trace.Crash victim :: item.rev_trace;
@@ -196,92 +246,108 @@ let process ctx item =
                 })
             (Step.crash_successors item.config))
 
-let pop_local ctx =
-  match ctx.local with
-  | [] -> None
-  | w :: tl ->
-    ctx.local <- tl;
-    ctx.local_n <- ctx.local_n - 1;
-    Some w
+let[@inline] next_rand ctx =
+  let x = ctx.rng in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  ctx.rng <- (if x = 0 then 0x9E3779B9 else x);
+  ctx.rng
 
-(* Donate the shallow (oldest-pushed) half of the local stack when peers
-   are idle: shallow items root larger unexplored subtrees, so donation
-   granularity stays coarse.  The idle read is a heuristic — staleness
-   only delays a donation by one item. *)
-let donate ctx =
+(* A victim with apparently pending work, scanning all peers from a
+   random start — [None] when every other deque looks empty. *)
+let pick_victim ctx =
   let g = ctx.g in
-  if ctx.local_n >= 2 && Atomic.get g.idle > 0 then begin
-    let keep_n = ctx.local_n / 2 in
-    let rec split i acc l =
-      if i = 0 then (List.rev acc, l)
+  let n = g.jobs in
+  if n <= 1 then None
+  else begin
+    let start = next_rand ctx mod n in
+    let rec go k =
+      if k = n then None
       else
-        match l with
-        | [] -> (List.rev acc, [])
-        | x :: tl -> split (i - 1) (x :: acc) tl
+        let v = (start + k) mod n in
+        if v <> ctx.id && Ws_deque.size g.deques.(v) > 0 then Some v
+        else go (k + 1)
     in
-    let kept, given = split keep_n [] ctx.local in
-    ctx.local <- kept;
-    ctx.local_n <- keep_n;
-    with_lock g.qlock (fun () ->
-        List.iter (fun w -> Queue.push w g.queue) given;
-        Condition.broadcast g.qcond)
+    go 0
   end
 
-(* Blocking take from the shared queue, with idle-counter termination:
-   the last domain to go idle on an empty queue declares the search
-   finished and wakes everyone. *)
-let take_global ctx =
+(* Steal with idle-counter termination.  The domain is counted idle
+   whenever it holds no work; it decrements {e before} a steal attempt
+   and re-increments on failure, so observing [idle = jobs] proves every
+   domain is workless — and a workless owner's deque is empty (only the
+   owner pushes), so nothing remains anywhere and the search is done. *)
+let acquire ctx =
   let g = ctx.g in
-  with_lock g.qlock (fun () ->
-      let rec loop () =
-        if g.finished then None
-        else
-          match Queue.take_opt g.queue with
-          | Some w ->
-            ctx.stats.steals <- ctx.stats.steals + 1;
-            Some w
-          | None ->
-            Atomic.incr g.idle;
-            if Atomic.get g.idle = g.jobs then begin
-              g.finished <- true;
-              Condition.broadcast g.qcond;
-              None
-            end
-            else begin
-              Condition.wait g.qcond g.qlock;
-              Atomic.decr g.idle;
-              loop ()
-            end
-      in
-      loop ())
+  Atomic.incr g.idle;
+  let rec scan () =
+    if Atomic.get g.stop <> None || Atomic.get g.finished then begin
+      Atomic.decr g.idle;
+      None
+    end
+    else
+      match pick_victim ctx with
+      | Some v -> (
+        Atomic.decr g.idle;
+        match Ws_deque.steal g.deques.(v) with
+        | `Stolen w ->
+          ctx.stats.steals <- ctx.stats.steals + 1;
+          Some w
+        | `Empty ->
+          Atomic.incr g.idle;
+          Domain.cpu_relax ();
+          scan ()
+        | `Retry ->
+          ctx.stats.claim.Claim_table.cas_retries <-
+            ctx.stats.claim.Claim_table.cas_retries + 1;
+          Atomic.incr g.idle;
+          scan ())
+      | None ->
+        if Atomic.get g.idle = g.jobs then begin
+          Atomic.set g.finished true;
+          Atomic.decr g.idle;
+          None
+        end
+        else begin
+          Domain.cpu_relax ();
+          scan ()
+        end
+  in
+  scan ()
 
 let rec worker ctx =
   if Atomic.get ctx.g.stop <> None then ()
   else
-    match pop_local ctx with
+    match Ws_deque.pop ctx.g.deques.(ctx.id) with
     | Some item ->
-      (try process ctx item
-       with e -> set_stop ctx.g (Callback e));
-      donate ctx;
+      (try process ctx item with e -> set_stop ctx.g (Callback e));
       worker ctx
     | None -> (
-      match take_global ctx with
+      match acquire ctx with
       | Some item ->
-        (try process ctx item
-         with e -> set_stop ctx.g (Callback e));
-        donate ctx;
+        (try process ctx item with e -> set_stop ctx.g (Callback e));
         worker ctx
       | None -> ())
+
+let visited_bits g =
+  if g.paranoid then None
+  else
+    match g.table with
+    | Shards _ -> Some Explore.fingerprint_bits (* full two-lane keys *)
+    | Claims t -> Some (Claim_table.bits t)
 
 let merge_stats g (all : dstats list) =
   let sum f = List.fold_left (fun acc d -> acc + f d) 0 all in
   let limit_reason =
     if Atomic.get g.stop = Some Budget then Explore.Max_states
     else if List.exists (fun d -> d.depth_limited) all then Explore.Max_depth
+    else if g.sleep_downgraded then Explore.Sleep_sets_off
     else Explore.No_limit
   in
+  let states = sum (fun d -> d.states) in
   {
-    Explore.states = sum (fun d -> d.states);
+    Explore.states;
     transitions = sum (fun d -> d.transitions);
     terminals = sum (fun d -> d.terminals);
     hung_terminals = sum (fun d -> d.hung_terminals);
@@ -290,15 +356,38 @@ let merge_stats g (all : dstats list) =
     dedup_hits = sum (fun d -> d.dedup_hits);
     sleep_skips = 0;
     cycles = 0;
-    limited = limit_reason <> Explore.No_limit;
+    collision_bound =
+      (match visited_bits g with
+      | None -> 0.0
+      | Some bits -> Explore.collision_bound ~bits ~states);
+    limited = Explore.reason_truncates limit_reason;
     limit_reason;
   }
+
+(* Approximate footprint of the visited set, for the bench's
+   memory-per-state comparison: analytic for the claim table, a
+   bucket+cons+key estimate for the sharded hashtables ([Fp] keys are a
+   3-word record; [Exact] keys under paranoid hold whole key trees, not
+   counted — paranoid is a debug mode). *)
+let visited_bytes g =
+  match g.table with
+  | Claims t -> Claim_table.memory_bytes t
+  | Shards shards ->
+    8
+    * Array.fold_left
+        (fun acc sh ->
+          let s = Fingerprint.Ktbl.stats sh.tbl in
+          acc + s.Hashtbl.num_buckets + (7 * s.Hashtbl.num_bindings))
+        0 shards
 
 (* Observability: aggregate counters always; one "parallel" event with
    per-domain breakdown when a sink is installed. *)
 let m_states = Obs.Metrics.counter "parallel.states"
 let m_steals = Obs.Metrics.counter "parallel.steals"
+let m_probes = Obs.Metrics.counter "parallel.probes"
+let m_cas_retries = Obs.Metrics.counter "parallel.cas_retries"
 let m_contention = Obs.Metrics.counter "parallel.shard_contention"
+let m_sleep_off = Obs.Metrics.counter "parallel.sleep_sets_forced_off"
 let m_searches = Obs.Metrics.counter "parallel.searches"
 
 let emit_obs label g stats (dstats : dstats array) dt =
@@ -307,19 +396,24 @@ let emit_obs label g stats (dstats : dstats array) dt =
   Array.iter
     (fun d ->
       Obs.Metrics.add m_steals d.steals;
+      Obs.Metrics.add m_probes d.claim.Claim_table.probes;
+      Obs.Metrics.add m_cas_retries d.claim.Claim_table.cas_retries;
       Obs.Metrics.add m_contention d.contention)
     dstats;
   let rate = if dt > 0.0 then float_of_int stats.Explore.states /. dt else 0.0 in
   Obs.Metrics.set_gauge "parallel.states_per_sec" rate;
+  Obs.Metrics.set_gauge "parallel.visited_bytes" (float_of_int (visited_bytes g));
   if Obs.Sink.get () != Obs.Sink.null then
     Obs.Sink.emit "parallel"
       ([
          ("search", Obs.Sink.Str label);
          ("jobs", Obs.Sink.Int g.jobs);
+         ("visited", Obs.Sink.Str (Format.asprintf "%a" pp_visited g.visited));
          ("states", Obs.Sink.Int stats.Explore.states);
          ("transitions", Obs.Sink.Int stats.Explore.transitions);
          ("terminals", Obs.Sink.Int stats.Explore.terminals);
          ("dedup_hits", Obs.Sink.Int stats.Explore.dedup_hits);
+         ("collision_bound", Obs.Sink.Float stats.Explore.collision_bound);
          ("limited", Obs.Sink.Bool stats.Explore.limited);
          ("seconds", Obs.Sink.Float dt);
          ("states_per_sec", Obs.Sink.Float rate);
@@ -336,33 +430,55 @@ let emit_obs label g stats (dstats : dstats array) dt =
                         float_of_int d.states /. d.seconds
                       else 0.0) );
                  (pfx ^ "steals", Obs.Sink.Int d.steals);
+                 (pfx ^ "probes", Obs.Sink.Int d.claim.Claim_table.probes);
+                 ( pfx ^ "cas_retries",
+                   Obs.Sink.Int d.claim.Claim_table.cas_retries );
                  (pfx ^ "contention", Obs.Sink.Int d.contention);
                ])
              (Array.to_list dstats)))
 
-let run ?(max_states = 5_000_000) ?(max_depth = 10_000) ?(max_crashes = 0)
-    ?(reduction = Explore.no_reduction) ?(paranoid = false) ~jobs ~on_terminal
-    ~on_visit label config =
+let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
+    ?(max_crashes = 0) ?(reduction = Explore.no_reduction) ?(paranoid = false)
+    ~jobs ~on_terminal ~on_visit label config =
   let jobs = max 1 jobs in
+  let visited =
+    match visited with
+    | Some v -> v
+    | None -> Atomic.get default_visited_mode
+  in
+  (* Exact canonical keys only fit the hashtable representation, so
+     paranoid runs take the sharded path whatever mode was asked for. *)
+  let visited = if paranoid then Sharded else visited in
   (* Sleep sets are inherently sequential (see module comment); strip
-     them so [reduction] keeps only the symmetry quotient. *)
+     them so [reduction] keeps only the symmetry quotient, and surface
+     the downgrade in stats + metrics. *)
+  let sleep_downgraded = reduction.Explore.sleep_sets in
   let reduction = { reduction with Explore.sleep_sets = false } in
+  if sleep_downgraded then Obs.Metrics.incr m_sleep_off;
+  let root = { config; rev_trace = []; depth = 0 } in
   let g =
     {
-      shards =
-        Array.init n_shards (fun _ ->
-            { lock = Mutex.create (); tbl = Fingerprint.Ktbl.create 1024 });
-      queue = Queue.create ();
-      qlock = Mutex.create ();
-      qcond = Condition.create ();
+      table =
+        (match visited with
+        | Sharded ->
+          Shards
+            (Array.init n_shards (fun _ ->
+                 { lock = Mutex.create (); tbl = Fingerprint.Ktbl.create 1024 }))
+        | Lockfree ->
+          Claims (Claim_table.create ~initial_capacity:8192 `Two_lane)
+        | Compressed ->
+          Claims (Claim_table.create ~initial_capacity:8192 `Folded));
+      visited;
+      deques = Array.init jobs (fun _ -> Ws_deque.create ~dummy:root ());
       idle = Atomic.make 0;
-      finished = false;
+      finished = Atomic.make false;
       stop = Atomic.make None;
       n_states = Atomic.make 0;
       max_states;
       depth_limit = max_depth;
       max_crashes;
       reduction;
+      sleep_downgraded;
       paranoid;
       jobs;
       cb_lock = Mutex.create ();
@@ -371,34 +487,55 @@ let run ?(max_states = 5_000_000) ?(max_depth = 10_000) ?(max_crashes = 0)
     }
   in
   let t0 = Unix.gettimeofday () in
-  Queue.push { config; rev_trace = []; depth = 0 } g.queue;
+  let queue = Queue.create () in
+  Queue.push root queue;
   (* Seed: bounded BFS on the main domain until the frontier is wide
      enough to keep [jobs] domains busy.  The seeder claims and counts
      states through the same [process] path the workers use. *)
   let seed_stats = fresh_dstats () in
-  let seed_ctx = { g; stats = seed_stats; local = []; local_n = 0 } in
+  let seed_ctx =
+    {
+      g;
+      id = 0;
+      stats = seed_stats;
+      rng = 0x9E3779B9;
+      push = (fun w -> Queue.push w queue);
+    }
+  in
   let target = 4 * jobs in
   (try
      while
-       (not (Queue.is_empty g.queue))
-       && Queue.length g.queue < target
+       (not (Queue.is_empty queue))
+       && Queue.length queue < target
        && Atomic.get g.stop = None
      do
-       let item = Queue.pop g.queue in
-       process seed_ctx item;
-       List.iter (fun w -> Queue.push w g.queue) (List.rev seed_ctx.local);
-       seed_ctx.local <- [];
-       seed_ctx.local_n <- 0
+       process seed_ctx (Queue.pop queue)
      done
    with e -> set_stop g (Callback e));
   seed_stats.seconds <- Unix.gettimeofday () -. t0;
   let dstats = Array.init jobs (fun _ -> fresh_dstats ()) in
-  if (not (Queue.is_empty g.queue)) && Atomic.get g.stop = None then begin
+  if (not (Queue.is_empty queue)) && Atomic.get g.stop = None then begin
+    (* Distribute the frontier round-robin before spawning: spawn
+       provides the happens-before edge publishing the deque contents. *)
+    let i = ref 0 in
+    Queue.iter
+      (fun w ->
+        Ws_deque.push g.deques.(!i mod jobs) w;
+        incr i)
+      queue;
     let domains =
       Array.init jobs (fun i ->
           Domain.spawn (fun () ->
               let w0 = Unix.gettimeofday () in
-              let ctx = { g; stats = dstats.(i); local = []; local_n = 0 } in
+              let ctx =
+                {
+                  g;
+                  id = i;
+                  stats = dstats.(i);
+                  rng = 0x9E3779B9 * (i + 1);
+                  push = (fun w -> Ws_deque.push g.deques.(i) w);
+                }
+              in
               worker ctx;
               dstats.(i).seconds <- Unix.gettimeofday () -. w0))
     in
@@ -412,21 +549,21 @@ let run ?(max_states = 5_000_000) ?(max_depth = 10_000) ?(max_crashes = 0)
   | Some (Callback e) -> raise e);
   stats
 
-let iter_terminals ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
-    ~jobs config ~f =
-  run ?max_states ?max_depth ?max_crashes ?reduction ?paranoid ~jobs
+let iter_terminals ?visited ?max_states ?max_depth ?max_crashes ?reduction
+    ?paranoid ~jobs config ~f =
+  run ?visited ?max_states ?max_depth ?max_crashes ?reduction ?paranoid ~jobs
     ~on_terminal:f
     ~on_visit:(fun _ _ -> ())
     "iter_terminals" config
 
-let iter_reachable ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
-    ~jobs config ~f =
-  run ?max_states ?max_depth ?max_crashes ?reduction ?paranoid ~jobs
+let iter_reachable ?visited ?max_states ?max_depth ?max_crashes ?reduction
+    ?paranoid ~jobs config ~f =
+  run ?visited ?max_states ?max_depth ?max_crashes ?reduction ?paranoid ~jobs
     ~on_terminal:(fun _ _ -> ())
     ~on_visit:f "iter_reachable" config
 
-let find_terminal ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
-    ~jobs config ~violates =
+let find_terminal ?visited ?max_states ?max_depth ?max_crashes ?reduction
+    ?paranoid ~jobs config ~violates =
   let found = ref None in
   (* [on_terminal] runs under the callback lock, so the first writer
      wins and the witness is stable once set. *)
@@ -437,51 +574,21 @@ let find_terminal ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
     end
   in
   let stats =
-    run ?max_states ?max_depth ?max_crashes ?reduction ?paranoid ~jobs
-      ~on_terminal
+    run ?visited ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
+      ~jobs ~on_terminal
       ~on_visit:(fun _ _ -> ())
       "find_terminal" config
   in
   (!found, stats)
 
-let check_terminals ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
-    ~jobs config ~ok =
+let check_terminals ?visited ?max_states ?max_depth ?max_crashes ?reduction
+    ?paranoid ~jobs config ~ok =
   match
-    find_terminal ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
-      ~jobs config
+    find_terminal ?visited ?max_states ?max_depth ?max_crashes ?reduction
+      ?paranoid ~jobs config
       ~violates:(fun c -> not (ok c))
   with
   | None, stats -> Ok stats
   | Some (c, trace), stats -> Error (c, trace, stats)
 
-(* Parallel map over an ordinary list: static index partition (item [i]
-   goes to domain [i mod jobs]) — the analyzer's per-subject work items
-   are few and coarse, so static partitioning is enough.  The first
-   exception (in domain order) is re-raised. *)
-let map ~jobs f xs =
-  let jobs = max 1 jobs in
-  if jobs = 1 then List.map f xs
-  else begin
-    let arr = Array.of_list xs in
-    let n = Array.length arr in
-    let out = Array.make n None in
-    let worker d () =
-      let i = ref d in
-      while !i < n do
-        (out.(!i) <-
-           (match f arr.(!i) with
-           | y -> Some (Ok y)
-           | exception e -> Some (Error e)));
-        i := !i + jobs
-      done
-    in
-    let domains =
-      Array.init (min jobs (max n 1)) (fun d -> Domain.spawn (worker d))
-    in
-    Array.iter Domain.join domains;
-    Array.to_list out
-    |> List.map (function
-         | Some (Ok y) -> y
-         | Some (Error e) -> raise e
-         | None -> assert false)
-  end
+let map ~jobs f xs = Parmap.map ~jobs f xs

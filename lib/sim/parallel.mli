@@ -2,30 +2,53 @@
 
     Runs the same transition relation as {!Explore} across [jobs] domains:
     a bounded breadth-first pass on the calling domain seeds a frontier of
-    roughly [4 * jobs] work items, which then fan out to worker domains
-    each running depth-first search over a local stack.  Deduplication
-    goes through a visited table sharded by fingerprint prefix (one mutex
-    per shard); a state is claimed exactly once, by whichever domain first
-    inserts its key, so every state is expanded at most once.  Domains
-    whose stacks empty take work from the shared queue; domains that
-    observe idle peers donate the shallow half of their stack back.
+    roughly [4 * jobs] work items, distributed round-robin across
+    per-domain Chase–Lev work-stealing deques ({!Ws_deque}).  Each domain
+    runs depth-first search over its own deque; an empty domain steals
+    from a random victim's top with a lock-free CAS.  Termination is the
+    idle-counter protocol (decrement-before-steal), with no mutex or
+    condition variable anywhere on the work path.
+
+    {b Visited tables.}  Deduplication is claim-once through one of three
+    representations ({!visited}):
+
+    - [Lockfree] (default): one open-addressed claim table of [Atomic]
+      slot words storing both fingerprint lanes (effective 124 bits) —
+      CAS claim, linear probing, segment-chained growth with no rehash
+      stall ({!Claim_table}).
+    - [Compressed]: the claim table in folded mode — a single mixed
+      62-bit word per state, about half the memory; the birthday
+      collision bound is surfaced in [stats.collision_bound].
+    - [Sharded]: the historical 128 mutex-sharded hashtables, kept as
+      the measured baseline and as the exact-key representation:
+      [~paranoid] runs always use it (full canonical keys, collisions
+      impossible).
+
+    A state is claimed exactly once whichever table is active, so every
+    state is expanded at most once and the explored graph is exactly the
+    sequential one.
 
     {b Determinism.}  On acyclic state graphs (every one-shot bounded
     algorithm in this repository) the merged [states], [transitions],
     [terminals], [hung_terminals] and [crashed_terminals] equal the
-    sequential explorer's, independent of scheduling: claim-once yields
-    the same reachable set however the race for claims resolves, and each
-    claimed state contributes its fixed out-degree.  [max_depth],
-    [dedup_hits] and the particular witness traces are racy; checkers
-    built on this module return deterministic {e verdicts} with possibly
-    different (equally valid) witnesses.  [cycles] and [sleep_skips] are
-    always [0] here: back-edges count as [dedup_hits] (use the sequential
+    sequential explorer's — at any [jobs], under any of the three
+    visited modes: claim-once yields the same reachable set however the
+    race for claims resolves, and each claimed state contributes its
+    fixed out-degree.  [max_depth], [dedup_hits] and the particular
+    witness traces are racy; checkers built on this module return
+    deterministic {e verdicts} with possibly different (equally valid)
+    witnesses.  [cycles] and [sleep_skips] are always [0] here:
+    back-edges count as [dedup_hits] (use the sequential
     {!Explore.find_cycle} for non-termination hunting).
 
     {b Reductions.}  Symmetry quotienting composes with parallel search —
     canonicalization happens before the claim, so an orbit's members race
     for a single slot.  Sleep sets are {e forced off}: their
     explored-transition resume protocol is sequential by construction.
+    The downgrade is surfaced, not just noted on stderr:
+    [stats.limit_reason] reads [Sleep_sets_off] (with [limited] still
+    [false] — the search stays exhaustive) and the
+    [parallel.sleep_sets_forced_off] metrics counter is bumped.
     See DESIGN.md, "Parallel exploration".
 
     {b Callbacks.}  [f] in {!iter_terminals} is serialized under a lock
@@ -38,7 +61,20 @@
 (** Raise from a callback to stop the search gracefully. *)
 exception Stop
 
+(** Which visited-table representation deduplicates states. *)
+type visited = Sharded | Lockfree | Compressed
+
+val pp_visited : Format.formatter -> visited -> unit
+
+val set_default_visited : visited -> unit
+(** Process-wide default for every entry point whose [?visited] is
+    omitted (initially [Lockfree]).  The CLI's [--visited] flag sets it
+    once at startup so the checkers inherit it without plumbing. *)
+
+val default_visited : unit -> visited
+
 val iter_terminals :
+  ?visited:visited ->
   ?max_states:int ->
   ?max_depth:int ->
   ?max_crashes:int ->
@@ -53,6 +89,7 @@ val iter_terminals :
     under the callback lock, in a nondeterministic order. *)
 
 val iter_reachable :
+  ?visited:visited ->
   ?max_states:int ->
   ?max_depth:int ->
   ?max_crashes:int ->
@@ -67,6 +104,7 @@ val iter_reachable :
     are here anyway). *)
 
 val find_terminal :
+  ?visited:visited ->
   ?max_states:int ->
   ?max_depth:int ->
   ?max_crashes:int ->
@@ -80,6 +118,7 @@ val find_terminal :
     is deterministic; {e which} one is returned is not. *)
 
 val check_terminals :
+  ?visited:visited ->
   ?max_states:int ->
   ?max_depth:int ->
   ?max_crashes:int ->
@@ -96,4 +135,4 @@ val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] applies [f] to every element across [jobs] domains
     (static index partition), preserving order.  [f] must be domain-safe.
     The first exception raised is re-raised after all domains join.
-    [jobs <= 1] is plain [List.map]. *)
+    [jobs <= 1] is plain [List.map].  Delegates to {!Parmap.map}. *)

@@ -38,10 +38,10 @@ let apply store h op =
     successors
 
 let contents store =
-  Imap.fold (fun h (_, st) acc -> (h, st) :: acc) store.objs []
-  |> List.rev
+  List.map (fun (h, (_, st)) -> (h, st)) (Imap.bindings store.objs)
 
 let iter store f = Imap.iter (fun h (_, st) -> f h st) store.objs
+let cardinal store = Imap.cardinal store.objs
 
 let pp ppf store =
   Imap.iter

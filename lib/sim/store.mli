@@ -40,4 +40,7 @@ val contents : t -> (int * Value.t) list
     {!contents}, used by the fingerprint layer. *)
 val iter : t -> (int -> Value.t -> unit) -> unit
 
+val cardinal : t -> int
+(** Number of allocated objects. *)
+
 val pp : Format.formatter -> t -> unit

@@ -136,9 +136,11 @@ let key_under t (pi : perm) (c : Config.t) =
 
 (* Canonical representative: minimum key over the group, together with the
    permutation that achieves it (used to transport sleep sets into
-   canonical coordinates). *)
-let canonical_key t (c : Config.t) =
-  match t.perms with
+   canonical coordinates).  Ties keep the earliest permutation in group
+   order, so the winner is a deterministic function of the configuration
+   alone. *)
+let min_over_perms t c perms =
+  match perms with
   | [] -> assert false
   | pi0 :: rest ->
     let best_key = ref (key_under t pi0 c) and best_pi = ref pi0 in
@@ -151,3 +153,26 @@ let canonical_key t (c : Config.t) =
         end)
       rest;
     (!best_key, !best_pi)
+
+(* Below this group order the fold is too cheap to amortize a domain
+   spawn; above it the per-chunk minima dominate the join cost. *)
+let parallel_threshold = 64
+
+let canonical_key ?(jobs = 1) t (c : Config.t) =
+  if jobs <= 1 || List.length t.perms < parallel_threshold then
+    min_over_perms t c t.perms
+  else begin
+    (* Orbit minimization is an embarrassingly parallel fold: split the
+       group into contiguous chunks, minimize each on its own domain,
+       then reduce.  Chunks preserve group order and the reduce keeps
+       the earliest chunk on ties, so the winning permutation is exactly
+       the sequential one at any [jobs]. *)
+    let chunks = Parmap.chunk ~pieces:jobs t.perms in
+    let minima = Parmap.map ~jobs (min_over_perms t c) chunks in
+    match minima with
+    | [] -> assert false
+    | first :: rest ->
+      List.fold_left
+        (fun (bk, bp) (k, p) -> if compare k bk < 0 then (k, p) else (bk, bp))
+        first rest
+  end

@@ -109,9 +109,17 @@ val key_under : t -> perm -> Config.t -> Value.t
 (** The memoization key of a configuration under one fixed renaming
     (exposed for property tests). *)
 
-val canonical_key : t -> Config.t -> Value.t * perm
+val canonical_key : ?jobs:int -> t -> Config.t -> Value.t * perm
 (** [canonical_key t c] is the minimum of [key_under t pi c] over the
     group, with the permutation that achieves it.  The permutation is used
     by {!Explore} to transport sleep sets into canonical coordinates.
     Canonicalization is idempotent ([canonical_key] of any orbit member
-    yields the same key) and permutation-invariant. *)
+    yields the same key) and permutation-invariant.
+
+    [jobs > 1] parallelizes the orbit minimization across that many
+    domains for groups of order [>= 64] (ROADMAP: the dominant per-state
+    cost under [--reduction sym] for large groups).  The result — key
+    {e and} winning permutation — is identical at any [jobs]: chunks
+    preserve group order and ties keep the earliest element.  Do not
+    combine with an exploration that is itself running on multiple
+    domains; nested fan-out oversubscribes the host. *)

@@ -1,0 +1,122 @@
+(* Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005; memory-model
+   treatment per Lê, Pop, Cohen & Zappa Nardelli, PPoPP 2013).
+
+   One owner domain pushes and pops at the {e bottom}; any number of
+   thief domains steal from the {e top}.  Owner operations are wait-free
+   and CAS-free except when racing a thief for the last element; steals
+   are lock-free (a failed CAS means another thief or the owner won).
+
+   ABA avoidance is by {e top-stamping}: [top] is a monotonically
+   increasing position counter, never an array index or pointer.  It is
+   incremented by successful steals (and by the owner when it takes the
+   last element) and never decremented or reused, so a thief's CAS
+   [top: t -> t+1] can only succeed if no other take of position [t]
+   happened in between — two takes of the same position would need two
+   successful CASes from the same [t], which a monotone counter makes
+   impossible.  The circular array is indexed by [position land mask],
+   so reusing a slot is harmless: the slot's {e position} is new.
+
+   Memory-model argument for the plain (non-atomic) cell accesses, under
+   OCaml 5's SC-for-atomics model ([top], [bottom] and the buffer pointer
+   are [Atomic.t]):
+
+   - A thief reads, in order: [top] (= t), [bottom], the buffer pointer,
+     the cell at position [t], then CASes [top: t -> t+1].  The owner
+     writes a cell at position [b] {e before} publishing it with the
+     atomic [bottom := b+1].  A thief that observed [bottom > t]
+     therefore observed an atomic write that happens-after the cell
+     write, so its plain read of cell [t] is ordered after the writing
+     — it sees the intended value, and the access is not racy.
+   - The owner may overwrite the cell at position [t] only after [top]
+     has moved past [t] (the slot is recycled [capacity] positions
+     later, and pushes keep [b - t <= capacity]).  If the owner's
+     overwrite could race the thief's read, then [top] already passed
+     [t] — so the thief's CAS from [t] fails, and the possibly-torn-free
+     but stale value is discarded.  A successful CAS certifies the read.
+
+   The buffer grows by doubling (owner-only); stale buffers remain valid
+   for in-flight thieves because positions, not indices, are the names
+   of elements, and the grow copies every live position. *)
+
+type 'a buf = { mask : int; cells : 'a array }
+
+type 'a t = {
+  top : int Atomic.t; (* next position to steal; monotone *)
+  bottom : int Atomic.t; (* next position to push; owner-written *)
+  buf : 'a buf Atomic.t;
+  dummy : 'a; (* fills vacated cells so the GC can drop payloads *)
+}
+
+let create ?(capacity = 64) ~dummy () =
+  let cap =
+    let rec up c = if c >= capacity then c else up (c * 2) in
+    up 16
+  in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make { mask = cap - 1; cells = Array.make cap dummy };
+    dummy;
+  }
+
+(* Racy size estimate — victim selection only, never correctness. *)
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+(* Owner-only: double the buffer, copying live positions [tp, b). *)
+let grow t b tp =
+  let old = Atomic.get t.buf in
+  let cap = (old.mask + 1) * 2 in
+  let cells = Array.make cap t.dummy in
+  for p = tp to b - 1 do
+    cells.(p land (cap - 1)) <- old.cells.(p land old.mask)
+  done;
+  Atomic.set t.buf { mask = cap - 1; cells }
+
+let push t x =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let buf = Atomic.get t.buf in
+  let buf =
+    if b - tp > buf.mask then begin
+      grow t b tp;
+      Atomic.get t.buf
+    end
+    else buf
+  in
+  buf.cells.(b land buf.mask) <- x;
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if tp > b then begin
+    (* Already empty: restore the canonical empty shape. *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let buf = Atomic.get t.buf in
+    let x = buf.cells.(b land buf.mask) in
+    if tp = b then begin
+      (* Last element: race thieves for position [b] via the top CAS. *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then Some x else None
+    end
+    else begin
+      buf.cells.(b land buf.mask) <- t.dummy;
+      Some x
+    end
+  end
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if b - tp <= 0 then `Empty
+  else begin
+    let buf = Atomic.get t.buf in
+    let x = buf.cells.(tp land buf.mask) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then `Stolen x
+    else `Retry
+  end

@@ -1,0 +1,31 @@
+(** Chase–Lev work-stealing deque.
+
+    Single-owner, multi-thief: the owner domain pushes and pops LIFO at
+    the bottom; other domains steal FIFO from the top with a lock-free
+    CAS.  The top index is a monotone position counter ([top-stamping]),
+    which rules out ABA: a successful CAS [t -> t+1] certifies that the
+    value read at position [t] was not concurrently taken.  See the
+    implementation comment and DESIGN.md, "Work stealing", for the
+    memory-model argument covering the plain cell accesses. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] — [dummy] fills vacated cells (so popped payloads
+    are not retained) and is never returned.  [capacity] is rounded up
+    to a power of two; the buffer grows by doubling when full. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: LIFO end.  [None] iff the deque is empty (a concurrent
+    thief may win the race for the last element). *)
+
+val steal : 'a t -> [ `Stolen of 'a | `Empty | `Retry ]
+(** Any domain: one steal attempt at the FIFO end.  [`Retry] means the
+    CAS lost to a concurrent take — the element may or may not remain;
+    the caller decides whether to retry here or move to another victim. *)
+
+val size : 'a t -> int
+(** Racy estimate of the current length — victim selection only. *)

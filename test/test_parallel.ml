@@ -25,6 +25,18 @@ let jobs =
   | Some s -> ( try max 2 (int_of_string s) with _ -> 4)
   | None -> 4
 
+(* CI runs the whole suite once per visited-table mode: SUBC_TEST_VISITED
+   sets the process default, so every parallel call above that does not
+   pin [?visited] exercises the requested representation. *)
+let () =
+  match Sys.getenv_opt "SUBC_TEST_VISITED" with
+  | Some "sharded" -> Parallel.set_default_visited Parallel.Sharded
+  | Some "lockfree" -> Parallel.set_default_visited Parallel.Lockfree
+  | Some "compressed" -> Parallel.set_default_visited Parallel.Compressed
+  | Some other ->
+    invalid_arg (Printf.sprintf "SUBC_TEST_VISITED: unknown mode %S" other)
+  | None -> ()
+
 (* ---------------------------------------------------------------- *)
 (* Harnesses (shared shapes with test_reduction).                    *)
 
@@ -162,6 +174,98 @@ let budget_truncation () =
   in
   Alcotest.(check int) "exactly budget states" budget par.Explore.states;
   Alcotest.(check bool) "limited" true par.Explore.limited
+
+(* Every visited-table representation reproduces the sequential counts
+   on every registry family, and the compressed (62-bit folded) mode
+   agrees state-for-state with the exact-key paranoid search — a folded
+   collision would show up as a missing state here. *)
+let visited_modes_matrix () =
+  let harnesses =
+    [
+      ("alg2", (fun () -> alg2_harness 3), 1);
+      ("alg5", (fun () -> alg5_harness 3), 1);
+      ("wrn", (fun () -> wrn_harness 3), 1);
+      ("sc", (fun () -> sc_harness ~n:3 ~k:2), 0);
+    ]
+  in
+  List.iter
+    (fun (name, harness, f) ->
+      let store, programs, sym = harness () in
+      let config = Config.make store programs in
+      List.iter
+        (fun (rlabel, reduction) ->
+          let seq =
+            Explore.iter_terminals ~max_crashes:f ?reduction config
+              ~f:(fun _ _ -> ())
+          in
+          List.iter
+            (fun visited ->
+              let label =
+                Format.asprintf "%s f=%d %s %a" name f rlabel
+                  Parallel.pp_visited visited
+              in
+              let par =
+                Parallel.iter_terminals ~visited ~max_crashes:f ?reduction
+                  ~jobs config
+                  ~f:(fun _ _ -> ())
+              in
+              same_counts label seq par;
+              Alcotest.(check bool)
+                (label ^ " collision bound present") true
+                (par.Explore.collision_bound > 0.0
+                && par.Explore.collision_bound < 1e-6))
+            [ Parallel.Sharded; Parallel.Lockfree; Parallel.Compressed ];
+          (* Compressed vs exact keys: paranoid forces the sharded table
+             with full canonical keys — collisions impossible. *)
+          let compressed =
+            Parallel.iter_terminals ~visited:Parallel.Compressed
+              ~max_crashes:f ?reduction ~jobs config
+              ~f:(fun _ _ -> ())
+          in
+          let exact =
+            Parallel.iter_terminals ~paranoid:true ~max_crashes:f ?reduction
+              ~jobs config
+              ~f:(fun _ _ -> ())
+          in
+          same_counts
+            (Printf.sprintf "%s f=%d %s compressed-vs-exact" name f rlabel)
+            exact compressed;
+          Alcotest.(check (float 0.0))
+            (name ^ " paranoid collision bound") 0.0
+            exact.Explore.collision_bound)
+        [ ("none", None); ("sym", Some (Explore.with_symmetry sym)) ])
+    harnesses
+
+(* The sleep-set downgrade is surfaced through the stats, not just
+   stderr: requesting full reduction in parallel yields
+   [limit_reason = Sleep_sets_off] with [limited] still false (the
+   search stays exhaustive), identical counts to a symmetry-only
+   sequential run, and a bumped metrics counter. *)
+let sleep_downgrade_surfaced () =
+  let store, programs, sym = alg5_harness 3 in
+  let config = Config.make store programs in
+  let counter = "parallel.sleep_sets_forced_off" in
+  let before = Option.value ~default:0.0 (Subc_obs.Metrics.find counter) in
+  let par =
+    Parallel.iter_terminals
+      ~reduction:(Explore.full_reduction sym)
+      ~jobs config
+      ~f:(fun _ _ -> ())
+  in
+  let seq =
+    Explore.iter_terminals
+      ~reduction:(Explore.with_symmetry sym)
+      config
+      ~f:(fun _ _ -> ())
+  in
+  Alcotest.(check bool)
+    "limit_reason = Sleep_sets_off" true
+    (par.Explore.limit_reason = Explore.Sleep_sets_off);
+  Alcotest.(check bool) "downgrade is not a truncation" false
+    par.Explore.limited;
+  same_counts "sleep-downgraded counts" seq par;
+  let after = Option.value ~default:0.0 (Subc_obs.Metrics.find counter) in
+  Alcotest.(check bool) "metrics counter bumped" true (after > before)
 
 (* ---------------------------------------------------------------- *)
 (* Verdict agreement at jobs=1 vs jobs=N.                            *)
@@ -368,6 +472,149 @@ let fingerprint_prefix_free () =
   distinct (Int 0) Bot
 
 (* ---------------------------------------------------------------- *)
+(* Chase–Lev deque: work conservation under owner/thief races.       *)
+
+(* One owner pushes (and intermittently pops) a known multiset while
+   [jobs - 1] thieves hammer steal; every item must be taken exactly
+   once — the totals and the sum are conserved whatever the interleaving
+   of pop/steal races and buffer growths (initial capacity 2 forces
+   many). *)
+let deque_stress () =
+  let n_items = 50_000 in
+  let d = Ws_deque.create ~capacity:2 ~dummy:0 () in
+  let taken = Atomic.make 0 in
+  let sum = Atomic.make 0 in
+  let finished = Atomic.make false in
+  let record x =
+    Atomic.incr taken;
+    ignore (Atomic.fetch_and_add sum x)
+  in
+  let thief () =
+    let rec loop () =
+      match Ws_deque.steal d with
+      | `Stolen x ->
+        record x;
+        loop ()
+      | `Retry ->
+        Domain.cpu_relax ();
+        loop ()
+      | `Empty -> if not (Atomic.get finished) then (Domain.cpu_relax (); loop ())
+    in
+    loop ()
+  in
+  let owner () =
+    for i = 1 to n_items do
+      Ws_deque.push d i;
+      (* Interleave pops so the bottom end races the thieves' top end,
+         including the one-element case both sides CAS for. *)
+      if i land 3 = 0 then
+        match Ws_deque.pop d with Some x -> record x | None -> ()
+    done;
+    let rec drain () =
+      match Ws_deque.pop d with
+      | Some x ->
+        record x;
+        drain ()
+      | None -> ()
+    in
+    drain ();
+    (* [pop = None] with no further pushes means every remaining item is
+       already in some thief's hands; let them exit on [`Empty]. *)
+    Atomic.set finished true
+  in
+  let thieves = List.init (max 1 (jobs - 1)) (fun _ -> Domain.spawn thief) in
+  owner ();
+  List.iter Domain.join thieves;
+  Alcotest.(check int) "every item taken exactly once" n_items
+    (Atomic.get taken);
+  Alcotest.(check int) "sum conserved" (n_items * (n_items + 1) / 2)
+    (Atomic.get sum)
+
+(* ---------------------------------------------------------------- *)
+(* Claim table: claim-once under forced probe collisions.            *)
+
+(* [jobs] domains race to claim an overlapping key set whose hashes all
+   start probing at the same slot of a deliberately tiny table (so the
+   linear probe chains are long and growth happens many times mid-race).
+   Exactly one domain must win [`Fresh] for each key. *)
+let claim_table_claim_once () =
+  List.iter
+    (fun (mode_label, mode) ->
+      let t = Claim_table.create ~initial_capacity:64 mode in
+      let n_keys = 4096 in
+      (* Low bits constant: every key's probe sequence begins at the same
+         slot in the initial segment.  High bits keep the keys distinct
+         in both lanes. *)
+      let h1_of i = (i + 1) lsl 12 in
+      let h2_of i = ((i + 1) * 0x9E3779B9) lxor 0x55 in
+      let wins = Array.init n_keys (fun _ -> Atomic.make 0) in
+      let worker seed () =
+        let st = Claim_table.fresh_opstats () in
+        (* Each domain visits the keys in a different (full-cycle) order:
+           [seed] is odd, hence coprime to the power-of-two key count. *)
+        for j = 0 to n_keys - 1 do
+          let i = (j * seed) land (n_keys - 1) in
+          match Claim_table.claim t st ~h1:(h1_of i) ~h2:(h2_of i) with
+          | `Fresh -> Atomic.incr wins.(i)
+          | `Dup -> ()
+        done;
+        st
+      in
+      let domains =
+        List.init jobs (fun i -> Domain.spawn (worker ((2 * i) + 3)))
+      in
+      let stats = List.map Domain.join domains in
+      Array.iteri
+        (fun i w ->
+          if Atomic.get w <> 1 then
+            Alcotest.failf "%s: key %d claimed fresh %d times" mode_label i
+              (Atomic.get w))
+        wins;
+      Alcotest.(check int)
+        (mode_label ^ " occupancy = distinct keys")
+        n_keys (Claim_table.occupancy t);
+      (* The clustered hashes force long probe chains: the probe counter
+         must reflect that (strictly more probes than claims). *)
+      let probes =
+        List.fold_left (fun acc st -> acc + st.Claim_table.probes) 0 stats
+      in
+      Alcotest.(check bool) (mode_label ^ " probes counted") true
+        (probes > n_keys))
+    [ ("two-lane", `Two_lane); ("folded", `Folded) ]
+
+(* ---------------------------------------------------------------- *)
+(* Parallel orbit minimization.                                      *)
+
+(* [Symmetry.canonical_key ~jobs] must return the identical key AND the
+   identical winning permutation at any domain count — the chunked
+   minimum ties-break to the earliest permutation in group order, same
+   as the sequential fold.  S_5 (120 perms) is above the parallel
+   threshold. *)
+let canonical_key_jobs () =
+  let n = 5 in
+  let store, programs, sym = sc_harness ~n ~k:2 in
+  let config = Config.make store programs in
+  let perm = Alcotest.testable Fmt.(Dump.array int) ( = ) in
+  let configs = ref [ config ] in
+  ignore
+    (Explore.iter_reachable ~max_states:40 config ~f:(fun c _ ->
+         configs := c :: !configs));
+  List.iteri
+    (fun idx c ->
+      let k1, p1 = Symmetry.canonical_key ~jobs:1 sym c in
+      List.iter
+        (fun j ->
+          let kj, pj = Symmetry.canonical_key ~jobs:j sym c in
+          Alcotest.check value
+            (Printf.sprintf "config %d key jobs=%d" idx j)
+            k1 kj;
+          Alcotest.check perm
+            (Printf.sprintf "config %d perm jobs=%d" idx j)
+            p1 pj)
+        [ 2; 4; jobs ])
+    !configs
+
+(* ---------------------------------------------------------------- *)
 (* Parallel.map.                                                     *)
 
 let map_preserves_order () =
@@ -388,9 +635,20 @@ let suite =
     ( "parallel.stats",
       [
         test_slow "sequential vs parallel counts (all families)" stats_matrix;
+        test_slow "all visited modes agree on all families"
+          visited_modes_matrix;
+        test "sleep-set downgrade surfaced in stats and metrics"
+          sleep_downgrade_surfaced;
         test "terminal callbacks serialized, once per terminal"
           terminal_callback_count;
         test "max-states budget truncates identically" budget_truncation;
+      ] );
+    ( "parallel.structures",
+      [
+        test_slow "deque conserves work under steal/pop races" deque_stress;
+        test_slow "claim table claims each key exactly once"
+          claim_table_claim_once;
+        test "parallel canonical_key matches sequential" canonical_key_jobs;
       ] );
     ( "parallel.verdicts",
       [
