@@ -1064,6 +1064,64 @@ let e17 () =
         "speedup"; "verdict" ]
     (alg2_rows @ alg5_rows @ alg5_sym_rows)
 
+(* ------------------------------------------------------------------ E18 *)
+
+(* Recoverable consensus (the crash-recovery model of Golab–Ramaraju,
+   separations per Ovens 2024): shared objects keep their state across a
+   crash but a recovered process restarts its program from the top.  The
+   readable one-shot winners of the classical hierarchy — test-and-set,
+   fetch-and-add, swap, queue — lose their 2-process consensus power the
+   moment one recovery is allowed: a recovered winner re-runs the
+   competition, now observes the loser's token, and adopts the loser's
+   value while the loser adopted the winner's.  compare-and-swap and
+   consensus objects are self-verifying (re-running returns the first
+   committed value) and keep solving at every budget; registers solve
+   nothing either way.  Each cell is an exhaustive model-checker verdict
+   over every schedule, crash pattern and recovery pattern within the
+   budgets (n = 2, crash budget max(n−1, r)); every cell is asserted
+   against the expected separation table. *)
+let e18 () =
+  let module R = Subc_check.Recoverable in
+  let budgets = [ 0; 1; 2 ] in
+  let cell family r =
+    let got =
+      match R.verdict family ~n:2 ~max_recoveries:r with
+      | Verdict.Proved _ -> `Proved
+      | Verdict.Refuted _ -> `Refuted
+      | Verdict.Limited _ -> `Limited
+    in
+    let expected =
+      (R.expected family ~max_recoveries:r
+        :> [ `Proved | `Refuted | `Limited ])
+    in
+    let word =
+      match got with
+      | `Proved -> "solves"
+      | `Refuted -> "fails"
+      | `Limited -> "unknown"
+    in
+    (word, got = expected)
+  in
+  let rows =
+    List.map
+      (fun family ->
+        let cells = List.map (cell family) budgets in
+        let ok = List.for_all snd cells in
+        (R.family_name family :: List.map fst cells)
+        @ [ check (Printf.sprintf "E18 %s" (R.family_name family)) ok ])
+      R.all_families
+  in
+  table
+    ~title:
+      "E18. Recoverable consensus: which families keep their 2-process \
+       consensus power under crash-recovery (exhaustive, n=2; r = recovery \
+       budget; crash budget max(1, r))"
+    ~header:
+      ("object family"
+      :: List.map (Printf.sprintf "r=%d") budgets
+      @ [ "verdict" ])
+    rows
+
 (* ------------------------------------------------------------ scaling *)
 
 let scaling () =
@@ -1130,6 +1188,7 @@ let run_all () =
   e15 ();
   e16 ();
   e17 ();
+  e18 ();
   scaling ();
   Format.printf "@.=== experiments complete: %s ===@."
     (if !failures = 0 then "ALL PASS"
@@ -1145,3 +1204,4 @@ let run_one f =
 let run_e15 () = run_one e15
 let run_e16 () = run_one e16
 let run_e17 () = run_one e17
+let run_e18 () = run_one e18

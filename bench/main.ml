@@ -33,6 +33,7 @@ let () =
     | "e15" -> Experiments.run_e15 ()
     | "e16" -> Experiments.run_e16 ()
     | "e17" -> Experiments.run_e17 ()
+    | "e18" -> Experiments.run_e18 ()
     | "perf" ->
       (* [--jobs N] caps the sweep at N domains (the default sweeps
          1/2/4/8 regardless of the host's core count). *)

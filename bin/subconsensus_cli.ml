@@ -232,14 +232,17 @@ let reduction_of ?(certified = false) ~alg choice inst =
          certified_reduction_for ~alg (Some (sym ())) ~sleep_sets:true
        else Explore.full_reduction (sym ()))
 
-let check_instance ?max_states ?max_crashes ?reduction ?jobs inst =
+let check_instance ?max_states ?max_crashes ?max_recoveries ?deadline
+    ?expected_states ?reduction ?jobs inst =
   match inst with
   | Task_instance { store; programs; inputs; task; _ } ->
-    Subc_check.Task_check.check ?max_states ?max_crashes ?reduction ?jobs
-      store ~programs ~inputs ~task
+    Subc_check.Task_check.check ?max_states ?max_crashes ?max_recoveries
+      ?deadline ?expected_states ?reduction ?jobs store ~programs ~inputs
+      ~task
   | Lin_instance { store; programs; ops; spec; _ } ->
     Subc_check.Linearizability.check_harness ?max_states ?max_crashes
-      ?reduction ?jobs store ~programs ~ops ~spec
+      ?max_recoveries ?deadline ?expected_states ?reduction ?jobs store
+      ~programs ~ops ~spec
 
 (* Shared flags. *)
 let k_arg = Arg.(value & opt int 3 & info [ "k" ] ~doc:"WRN arity $(docv).")
@@ -264,6 +267,31 @@ let max_states_arg =
   Arg.(
     value & opt int 5_000_000
     & info [ "max-states" ] ~doc:"State budget per exploration.")
+let recoveries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "max-recoveries" ] ~docv:"R"
+        ~doc:
+          "Recovery budget $(docv): additionally quantify over every \
+           crash-recovery pattern with at most $(docv) recoveries (a \
+           recovered process restarts its program over persistent object \
+           state).")
+let deadline_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock budget in seconds: stop the exploration gracefully \
+           when it elapses and downgrade the verdict to limited (exit 2).  \
+           Applies per exploration, at any $(b,--jobs).")
+let expected_states_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "expected-states" ] ~docv:"N"
+        ~doc:
+          "Sizing hint: pre-size the visited table for about $(docv) \
+           states, avoiding growth pauses on explorations whose size is \
+           roughly known.  Never affects verdicts or state counts.")
 let jobs_arg =
   Arg.(
     value & opt int 1
@@ -316,13 +344,17 @@ let certified_arg =
 (* check: one verdict per invocation, under the shared contract.       *)
 
 let check_cmd =
-  let run alg n k f max_states jobs visited choice certified json metrics =
+  let run alg n k f r deadline expected_states max_states jobs visited choice
+      certified json metrics =
     setup_obs ~json ~metrics;
     Parallel.set_default_visited visited;
-    let inst = instance_of alg ~n ~k ~crashes:f in
+    let inst = instance_of alg ~n ~k ~crashes:(max f r) in
     let reduction = reduction_of ~certified ~alg choice inst in
     warn_sleep_off ~jobs reduction;
-    let v = check_instance ~max_states ~max_crashes:f ?reduction ~jobs inst in
+    let v =
+      check_instance ~max_states ~max_crashes:(max f r) ~max_recoveries:r
+        ?deadline ?expected_states ?reduction ~jobs inst
+    in
     report ~json alg v;
     finish ~metrics [ v ]
   in
@@ -338,9 +370,9 @@ let check_cmd =
           for alg2/alg3/alg6, linearizability against 1sWRN for alg5) and \
           report a verdict.  Exits 0 proved / 1 refuted / 2 limited.")
     Term.(
-      const run $ alg_arg $ n_arg $ k_arg $ crashes_arg $ max_states_arg
-      $ jobs_arg $ visited_arg $ reduction_arg $ certified_arg $ json_arg
-      $ metrics_arg)
+      const run $ alg_arg $ n_arg $ k_arg $ crashes_arg $ recoveries_arg
+      $ deadline_arg $ expected_states_arg $ max_states_arg $ jobs_arg
+      $ visited_arg $ reduction_arg $ certified_arg $ json_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explore: raw state-space statistics, with or without reductions.    *)
@@ -363,10 +395,11 @@ let stats_fields reduction (stats : Explore.stats) =
   ]
 
 let explore_cmd =
-  let run alg n k f max_states jobs visited choice certified json metrics =
+  let run alg n k f r deadline expected_states max_states jobs visited choice
+      certified json metrics =
     setup_obs ~json ~metrics;
     Parallel.set_default_visited visited;
-    let inst = instance_of alg ~n ~k ~crashes:f in
+    let inst = instance_of alg ~n ~k ~crashes:(max f r) in
     let store, programs = instance_store_programs inst in
     let reduction = reduction_of ~certified ~alg choice inst in
     warn_sleep_off ~jobs reduction;
@@ -374,11 +407,13 @@ let explore_cmd =
     let stats =
       Obs.Span.time "cli.explore" @@ fun () ->
       if jobs > 1 then
-        Parallel.iter_terminals ~max_states ~max_crashes:f ?reduction ~jobs
+        Parallel.iter_terminals ~max_states ~max_crashes:(max f r)
+          ~max_recoveries:r ?deadline ?expected_states ?reduction ~jobs
           config
           ~f:(fun _ _ -> ())
       else
-        Explore.iter_terminals ~max_states ~max_crashes:f ?reduction config
+        Explore.iter_terminals ~max_states ~max_crashes:(max f r)
+          ~max_recoveries:r ?deadline ?expected_states ?reduction config
           ~f:(fun _ _ -> ())
     in
     if json then
@@ -416,9 +451,9 @@ let explore_cmd =
           statistics (states, transitions, reduction effect, limit \
           reason).  Exits 0, or 2 when the search was truncated.")
     Term.(
-      const run $ alg_arg $ n_arg $ k_arg $ crashes_arg $ max_states_arg
-      $ jobs_arg $ visited_arg $ reduction_arg $ certified_arg $ json_arg
-      $ metrics_arg)
+      const run $ alg_arg $ n_arg $ k_arg $ crashes_arg $ recoveries_arg
+      $ deadline_arg $ expected_states_arg $ max_states_arg $ jobs_arg
+      $ visited_arg $ reduction_arg $ certified_arg $ json_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Per-algorithm commands (sampled runs keep their own reporting; the
@@ -702,52 +737,70 @@ let analyze_cmd =
     Term.(const run $ family_arg $ jobs_arg $ json_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
-(* crash-sweep: a verdict per crash budget plus a progress verdict, all
-   under the shared contract.                                          *)
+(* crash-sweep / recover-sweep: a verdict per fault budget plus a
+   progress verdict, all under the shared contract.  Both subcommands
+   run the same sweep; crash-sweep pins the recovery budget to 0, and
+   every r = 0 cell keeps its crash-sweep name and arguments, so a
+   recover-sweep with --max-recoveries 0 is output-identical to a
+   crash-sweep at any --jobs.                                          *)
+
+let run_fault_sweep alg k f r deadline expected_states max_states solo_limit
+    jobs visited choice certified json metrics =
+  setup_obs ~json ~metrics;
+  Parallel.set_default_visited visited;
+  let verdicts = ref [] in
+  let note name v =
+    verdicts := v :: !verdicts;
+    report ~json name v
+  in
+  let rcell r' = if r' > 0 then Printf.sprintf "/r=%d" r' else "" in
+  let inst = instance_of alg ~n:0 ~k ~crashes:(max f r) in
+  let reduction = reduction_of ~certified ~alg choice inst in
+  warn_sleep_off ~jobs reduction;
+  let store, programs = instance_store_programs inst in
+  (match inst with
+  | Task_instance { inputs; task; _ } ->
+    for f' = 0 to f do
+      for r' = 0 to r do
+        note
+          (Printf.sprintf "%s/%s/f=%d%s" alg task.Task.name f' (rcell r'))
+          (Subc_check.Task_check.check ~max_states
+             ~max_crashes:(max f' r') ~max_recoveries:r' ?deadline
+             ?expected_states ?reduction ~jobs store ~programs ~inputs
+             ~task)
+      done
+    done
+  | Lin_instance { ops; spec; _ } ->
+    for r' = 0 to r do
+      note
+        (Printf.sprintf "%s/linearizable/f<=%d%s" alg f (rcell r'))
+        (Subc_check.Linearizability.check_harness ~max_states
+           ~max_crashes:(max f r') ~max_recoveries:r' ?deadline
+           ?expected_states ?reduction ~jobs store ~programs ~ops ~spec)
+    done);
+  note
+    (alg ^ "/wait-free")
+    (Subc_check.Progress.check_wait_free ~max_states ~max_crashes:(max f r)
+       ~max_recoveries:r ?deadline ~solo_limit ?reduction ~jobs store
+       ~programs);
+  finish ~metrics (List.rev !verdicts)
+
+let sweep_crashes_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "max-crashes" ] ~docv:"F"
+        ~doc:"Crash budget $(docv) (sweep f = 0..$(docv)).")
+
+let solo_limit_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "solo-limit" ] ~doc:"Solo-step bound for the progress checker.")
 
 let crash_sweep_cmd =
-  let run alg k f max_states solo_limit jobs visited choice certified json
-      metrics =
-    setup_obs ~json ~metrics;
-    Parallel.set_default_visited visited;
-    let verdicts = ref [] in
-    let note name v =
-      verdicts := v :: !verdicts;
-      report ~json name v
-    in
-    let inst = instance_of alg ~n:0 ~k ~crashes:f in
-    let reduction = reduction_of ~certified ~alg choice inst in
-    warn_sleep_off ~jobs reduction;
-    let store, programs = instance_store_programs inst in
-    (match inst with
-    | Task_instance { inputs; task; _ } ->
-      for f' = 0 to f do
-        note
-          (Printf.sprintf "%s/%s/f=%d" alg task.Task.name f')
-          (Subc_check.Task_check.check ~max_states ~max_crashes:f' ?reduction
-             ~jobs store ~programs ~inputs ~task)
-      done
-    | Lin_instance { ops; spec; _ } ->
-      note
-        (Printf.sprintf "%s/linearizable/f<=%d" alg f)
-        (Subc_check.Linearizability.check_harness ~max_states ~max_crashes:f
-           ?reduction ~jobs store ~programs ~ops ~spec));
-    note
-      (alg ^ "/wait-free")
-      (Subc_check.Progress.check_wait_free ~max_states ~max_crashes:f
-         ~solo_limit ?reduction ~jobs store ~programs);
-    finish ~metrics (List.rev !verdicts)
-  in
-  let crashes_arg =
-    Arg.(
-      value & opt int 1
-      & info [ "max-crashes" ] ~docv:"F"
-          ~doc:"Crash budget $(docv) (sweep f = 0..$(docv)).")
-  in
-  let solo_limit_arg =
-    Arg.(
-      value & opt int 10_000
-      & info [ "solo-limit" ] ~doc:"Solo-step bound for the progress checker.")
+  let run alg k f deadline expected_states max_states solo_limit jobs visited
+      choice certified json metrics =
+    run_fault_sweep alg k f 0 deadline expected_states max_states solo_limit
+      jobs visited choice certified json metrics
   in
   Cmd.v
     (Cmd.info "crash-sweep"
@@ -757,9 +810,38 @@ let crash_sweep_cmd =
           wait-freedom (solo-step bound).  Exits 1 on any refutation, \
           else 2 when any search was truncated.")
     Term.(
-      const run $ alg_arg $ k_arg $ crashes_arg $ max_states_arg
-      $ solo_limit_arg $ jobs_arg $ visited_arg $ reduction_arg
-      $ certified_arg $ json_arg $ metrics_arg)
+      const run $ alg_arg $ k_arg $ sweep_crashes_arg $ deadline_arg
+      $ expected_states_arg $ max_states_arg $ solo_limit_arg $ jobs_arg
+      $ visited_arg $ reduction_arg $ certified_arg $ json_arg $ metrics_arg)
+
+let recover_sweep_cmd =
+  let run alg k f r deadline expected_states max_states solo_limit jobs
+      visited choice certified json metrics =
+    run_fault_sweep alg k f r deadline expected_states max_states solo_limit
+      jobs visited choice certified json metrics
+  in
+  let sweep_recoveries_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "max-recoveries" ] ~docv:"R"
+          ~doc:"Recovery budget $(docv) (sweep r = 0..$(docv)).")
+  in
+  Cmd.v
+    (Cmd.info "recover-sweep"
+       ~doc:
+         "Exhaustive crash-recovery sweep: verify the algorithm's property \
+          under every crash pattern within the crash budget and every \
+          recovery pattern within the recovery budget (a recovered \
+          process restarts over persistent object state), then certify \
+          wait-freedom under the same fault budgets.  With \
+          $(b,--max-recoveries) 0 this is exactly $(b,crash-sweep).  \
+          Exits 1 on any refutation, else 2 when any search was \
+          truncated.")
+    Term.(
+      const run $ alg_arg $ k_arg $ sweep_crashes_arg $ sweep_recoveries_arg
+      $ deadline_arg $ expected_states_arg $ max_states_arg $ solo_limit_arg
+      $ jobs_arg $ visited_arg $ reduction_arg $ certified_arg $ json_arg
+      $ metrics_arg)
 
 let () =
   let doc = "sub-consensus deterministic objects: runners and model checkers" in
@@ -770,5 +852,5 @@ let () =
           [
             check_cmd; explore_cmd; analyze_cmd; alg2_cmd; alg3_cmd;
             alg5_cmd; alg6_cmd; attempt_cmd; trace_cmd; power_cmd; bg_cmd;
-            critical_cmd; crash_sweep_cmd;
+            critical_cmd; crash_sweep_cmd; recover_sweep_cmd;
           ]))

@@ -8,7 +8,8 @@ type finding = {
   verdict : Verdict.t;
 }
 
-let check_names = [ "reachability"; "commutation"; "equivariance"; "classification" ]
+let check_names =
+  [ "reachability"; "commutation"; "equivariance"; "recovery"; "classification" ]
 
 (* A proof over a truncated enumeration is no proof: downgrade to Limited,
    keeping the metrics. *)
@@ -95,6 +96,28 @@ let equivariance_verdict (s : Subject.t) space =
                 s.Subject.group_name st.Equivariance.group_order
                 st.Equivariance.states st.Equivariance.checked)))
 
+let recovery_verdict (s : Subject.t) space =
+  guarded (fun () ->
+      match Recovery.check s space with
+      | Error v ->
+        Verdict.refuted ~trace:[]
+          (Format.asprintf "%a" Recovery.pp_violation v)
+      | Ok (st : Recovery.stats) ->
+        seal space
+          (Verdict.proved
+             ~metrics:
+               [
+                 ("states", float_of_int st.Recovery.states);
+                 ("checked", float_of_int st.Recovery.checked);
+                 ("group_order", float_of_int st.Recovery.group_order);
+               ]
+             (Printf.sprintf
+                "persist idempotent, space-closed and %s-equivariant on %d \
+                 states (%d checks)%s"
+                s.Subject.group_name st.Recovery.states st.Recovery.checked
+                (if st.Recovery.identity then "; all-persistent (identity)"
+                 else ""))))
+
 let classification_verdict (s : Subject.t) space =
   guarded (fun () ->
       match Classify.check s space with
@@ -138,6 +161,7 @@ let analyze_subject ?(family = "-") (s : Subject.t) =
       mk "reachability" (reach_verdict s r);
       mk "commutation" (commute_verdict s space);
       mk "equivariance" (equivariance_verdict s space);
+      mk "recovery" (recovery_verdict s space);
       mk "classification" (classification_verdict s space);
     ]
 
@@ -163,6 +187,7 @@ let obligations =
     "apply-purity";
     "pairwise-commutation";
     "symmetry-equivariance";
+    "recovery-projection";
     "classification";
   ]
 

@@ -2,7 +2,7 @@
     the results as {!Subc_check.Verdict.t} findings, and mint reduction
     certificates.
 
-    Four checks run per subject, in dependency order:
+    Five checks run per subject, in dependency order:
 
     + {b reachability} ({!Reach}): enumerate the reachable state space,
       certifying purity and alphabet-totality of [apply] along the way;
@@ -11,6 +11,9 @@
       a concrete (state, op pair, divergent outcome sets) race witness;
     + {b equivariance} ({!Equivariance}): certify the declared permutation
       group is an automorphism group of the reachable transition system;
+    + {b recovery} ({!Recovery}): certify the crash-recovery projection
+      [persist] is idempotent, closed over the reachable space, and
+      commutes with the declared group;
     + {b classification} ({!Classify}): declared vs inferred
       determinism/hang status, plus the value-obliviousness claim.
 
@@ -30,7 +33,8 @@ type finding = {
 }
 
 val check_names : string list
-(** ["reachability"; "commutation"; "equivariance"; "classification"]. *)
+(** ["reachability"; "commutation"; "equivariance"; "recovery";
+    "classification"]. *)
 
 val analyze_subject : ?family:string -> Subject.t -> finding list
 (** One finding per check, in the order of {!check_names}.  When

@@ -1,0 +1,92 @@
+open Subc_sim
+
+type stats = {
+  states : int;
+  checked : int;
+  group_order : int;
+  identity : bool;  (** the object is all-persistent: recovery is a no-op *)
+}
+
+type violation =
+  | Not_idempotent of { state : Value.t; once : Value.t; twice : Value.t }
+  | Escapes_space of { state : Value.t; image : Value.t }
+  | Not_equivariant of {
+      pi : Symmetry.perm;
+      state : Value.t;
+      lhs : Value.t;  (** persist (pi . state) *)
+      rhs : Value.t;  (** pi . persist state *)
+    }
+
+let pp_perm ppf pi =
+  Format.fprintf ppf "[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int pi)))
+
+let pp_violation ppf = function
+  | Not_idempotent { state; once; twice } ->
+    Format.fprintf ppf
+      "persist is not idempotent at %a: persist = %a, persist^2 = %a"
+      Value.pp state Value.pp once Value.pp twice
+  | Escapes_space { state; image } ->
+    Format.fprintf ppf
+      "persist maps reachable state %a to %a, outside the reachable space"
+      Value.pp state Value.pp image
+  | Not_equivariant { pi; state; lhs; rhs } ->
+    Format.fprintf ppf
+      "@[<v>persist does not commute with %a at state %a:@,\
+       persist(pi.s) = %a@,\
+       pi.persist(s) = %a@]"
+      pp_perm pi Value.pp state Value.pp lhs Value.pp rhs
+
+(* The three recovery obligations, each over every reachable state:
+   idempotence (recovering twice is recovering once — a recovered
+   configuration re-crashed and re-recovered must not drift), closure
+   (the recovered state is itself reachable, so certificates about the
+   reachable space cover every state the crash-recovery explorer can
+   produce), and equivariance (recovery commutes with the declared
+   symmetry action — the orbit of a recovered state is the recovery of
+   the orbit, which is what lets the symmetry reduction quotient recover
+   edges).  For an all-persistent object all three hold definitionally;
+   the checks still run, pinning [persist_state]'s identity behavior. *)
+let check (s : Subject.t) (space : Reach.space) =
+  let model = s.Subject.model in
+  let sym = s.Subject.symmetry in
+  let perms = Symmetry.perms sym in
+  let in_space v = List.exists (Value.equal v) space.Reach.states in
+  let violation = ref None in
+  let checked = ref 0 in
+  let fail v =
+    violation := Some v;
+    raise Exit
+  in
+  (try
+     List.iter
+       (fun st ->
+         let once = Obj_model.persist_state model st in
+         incr checked;
+         let twice = Obj_model.persist_state model once in
+         if not (Value.equal once twice) then
+           fail (Not_idempotent { state = st; once; twice });
+         if not (in_space once) then
+           fail (Escapes_space { state = st; image = once });
+         List.iter
+           (fun pi ->
+             incr checked;
+             let lhs =
+               Obj_model.persist_state model (Symmetry.act sym pi st)
+             in
+             let rhs = Symmetry.act sym pi once in
+             if not (Value.equal lhs rhs) then
+               fail (Not_equivariant { pi; state = st; lhs; rhs }))
+           perms)
+       space.Reach.states
+   with Exit -> ());
+  match !violation with
+  | Some v -> Error v
+  | None ->
+    Ok
+      {
+        states = space.Reach.n_states;
+        checked = !checked;
+        group_order = List.length perms;
+        identity = Obj_model.all_persistent model;
+      }

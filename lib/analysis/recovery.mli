@@ -1,0 +1,33 @@
+(** Recovery-projection obligations: what the crash-recovery fault model
+    ({!Subc_sim.Config.recover}) assumes about each object's [persist]
+    projection, certified over the object's reachable state space.
+
+    Three obligations per subject: [persist] is idempotent, maps the
+    reachable space into itself (closure), and commutes with the declared
+    symmetry group (equivariance) — the last is what keeps the symmetry
+    reduction sound once recover edges enter the transition system.
+    All-persistent objects (the default) discharge all three
+    definitionally; the checks still run against the concrete
+    [persist_state] to pin that. *)
+
+open Subc_sim
+
+type stats = {
+  states : int;
+  checked : int;
+  group_order : int;
+  identity : bool;  (** the object is all-persistent: recovery is a no-op *)
+}
+
+type violation =
+  | Not_idempotent of { state : Value.t; once : Value.t; twice : Value.t }
+  | Escapes_space of { state : Value.t; image : Value.t }
+  | Not_equivariant of {
+      pi : Symmetry.perm;
+      state : Value.t;
+      lhs : Value.t;
+      rhs : Value.t;
+    }
+
+val pp_violation : Format.formatter -> violation -> unit
+val check : Subject.t -> Reach.space -> (stats, violation) result

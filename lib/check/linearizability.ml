@@ -102,8 +102,9 @@ let check ~spec history =
 (* Harness-level checking: explore every terminal of a one-operation-per-
    process harness and check each recorded history against the sequential
    specification.  This is the loop the CLI and bench previously inlined. *)
-let check_harness ?max_states ?max_crashes ?reduction ?(jobs = 1) ?visited
-    store ~programs ~ops ~spec =
+let check_harness ?max_states ?max_crashes ?max_recoveries ?deadline
+    ?expected_states ?reduction ?(jobs = 1) ?visited store ~programs ~ops
+    ~spec =
   Subc_obs.Span.time "linearizability.check_harness" @@ fun () ->
   let config = Config.make store programs in
   let failure = ref None in
@@ -119,11 +120,12 @@ let check_harness ?max_states ?max_crashes ?reduction ?(jobs = 1) ?visited
   in
   let stats =
     if jobs <= 1 then
-      Explore.iter_terminals ?max_states ?max_crashes ?reduction config
-        ~f:on_terminal
+      Explore.iter_terminals ?max_states ?max_crashes ?max_recoveries
+        ?deadline ?expected_states ?reduction config ~f:on_terminal
     else
-      Parallel.iter_terminals ?visited ?max_states ?max_crashes ?reduction
-        ~jobs config ~f:on_terminal
+      Parallel.iter_terminals ?visited ?max_states ?max_crashes
+        ?max_recoveries ?deadline ?expected_states ?reduction ~jobs config
+        ~f:on_terminal
   in
   match !failure with
   | Some (h, trace) ->

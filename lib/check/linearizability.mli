@@ -38,10 +38,12 @@ val check : spec:Obj_model.t -> op_record list -> op_record list option
 val pp_history : Format.formatter -> op_record list -> unit
 
 (** [check_harness store ~programs ~ops ~spec] explores every terminal of
-    the harness (under every crash pattern within [max_crashes]), builds
+    the harness (under every crash pattern within [max_crashes] and every
+    crash-recovery pattern within [max_recoveries] recoveries), builds
     each execution's history with {!history}, and checks it with {!check}:
     [Proved] when every history linearizes, [Refuted] with the offending
-    history and its schedule, [Limited] when the search was truncated.
+    history and its schedule, [Limited] when the search was truncated —
+    including by [deadline] seconds of wall clock.
 
     A symmetry [reduction] checks one representative per orbit, which is
     sound only when [spec] is equivariant under the chosen renamings (the
@@ -54,6 +56,9 @@ val pp_history : Format.formatter -> op_record list -> unit
 val check_harness :
   ?max_states:int ->
   ?max_crashes:int ->
+  ?max_recoveries:int ->
+  ?deadline:float ->
+  ?expected_states:int ->
   ?reduction:Explore.reduction ->
   ?jobs:int ->
   ?visited:Subc_sim.Parallel.visited ->

@@ -53,7 +53,7 @@ let solo_distance ~memo ~solo_limit ~prefix config0 p =
       raise
         (Failed
            (Hang { proc = p; prefix = Lazy.force prefix; spin = List.rev rev_spin }))
-    | Config.Running _ ->
+    | Config.Running _ | Config.Recovering _ ->
       let digest = fingerprint config in
       let key = (digest, p) in
       (match Hashtbl.find_opt memo key with
@@ -83,8 +83,8 @@ let rec atomic_max a v =
   let cur = Atomic.get a in
   if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
 
-let wait_free ?max_states ?(max_crashes = 0) ?(solo_limit = 10_000) ?reduction
-    ?(jobs = 1) ?visited store ~programs =
+let wait_free ?max_states ?(max_crashes = 0) ?(max_recoveries = 0) ?deadline
+    ?(solo_limit = 10_000) ?reduction ?(jobs = 1) ?visited store ~programs =
   Subc_obs.Span.time "progress.wait_free" @@ fun () ->
   let config0 = Config.make store programs in
   let bound = Atomic.make 0 in
@@ -99,8 +99,8 @@ let wait_free ?max_states ?(max_crashes = 0) ?(solo_limit = 10_000) ?reduction
   let explore () =
     if jobs <= 1 then begin
       let memo = Hashtbl.create 4096 in
-      Explore.iter_reachable ?max_states ~max_crashes ?reduction config0
-        ~f:(visit memo)
+      Explore.iter_reachable ?max_states ~max_crashes ~max_recoveries
+        ?deadline ?reduction config0 ~f:(visit memo)
     end
     else begin
       (* The solo-distance memo is plain mutable state, so each worker
@@ -109,8 +109,8 @@ let wait_free ?max_states ?(max_crashes = 0) ?(solo_limit = 10_000) ?reduction
          The exact distances are deterministic, so per-domain memos
          change only timing, never the resulting bound. *)
       let memo_key = Domain.DLS.new_key (fun () -> Hashtbl.create 4096) in
-      Parallel.iter_reachable ?visited ?max_states ~max_crashes ?reduction
-        ~jobs config0
+      Parallel.iter_reachable ?visited ?max_states ~max_crashes
+        ~max_recoveries ?deadline ?reduction ~jobs config0
         ~f:(fun config prefix -> visit (Domain.DLS.get memo_key) config prefix)
     end
   in
@@ -143,11 +143,11 @@ let t_resilient ?max_states ?reduction ~t store ~programs =
 (* Verdict-typed entry points (the canonical API; the result-typed
    functions above remain as building blocks). *)
 
-let check_wait_free ?max_states ?max_crashes ?solo_limit ?reduction ?jobs
-    ?visited store ~programs =
+let check_wait_free ?max_states ?max_crashes ?max_recoveries ?deadline
+    ?solo_limit ?reduction ?jobs ?visited store ~programs =
   match
-    wait_free ?max_states ?max_crashes ?solo_limit ?reduction ?jobs ?visited
-      store ~programs
+    wait_free ?max_states ?max_crashes ?max_recoveries ?deadline ?solo_limit
+      ?reduction ?jobs ?visited store ~programs
   with
   | Ok cert ->
     Verdict.proved ~explore:cert.stats

@@ -41,7 +41,11 @@ val pp_failure : Format.formatter -> failure -> unit
 
 (** [check_wait_free store ~programs] certifies wait-freedom.
     [~max_crashes:f] additionally quantifies the reachable prefix over
-    every crash pattern of at most [f] crashes.  [solo_limit] caps the
+    every crash pattern of at most [f] crashes, and [~max_recoveries:r]
+    over every crash-recovery pattern with at most [r] recoveries (a
+    recovered process must still terminate within the solo bound).
+    [~deadline] (seconds of wall clock) gracefully truncates the
+    enumeration — the verdict is then Limited.  [solo_limit] caps the
     solo search per process (default 10000); exceeding it counts as
     non-termination.  [reduction] applies state-space reductions to the
     reachable-prefix enumeration (symmetry only; sleep sets do not apply
@@ -53,6 +57,8 @@ val pp_failure : Format.formatter -> failure -> unit
 val check_wait_free :
   ?max_states:int ->
   ?max_crashes:int ->
+  ?max_recoveries:int ->
+  ?deadline:float ->
   ?solo_limit:int ->
   ?reduction:Explore.reduction ->
   ?jobs:int ->
@@ -76,6 +82,8 @@ val check_t_resilient :
 val wait_free :
   ?max_states:int ->
   ?max_crashes:int ->
+  ?max_recoveries:int ->
+  ?deadline:float ->
   ?solo_limit:int ->
   ?reduction:Explore.reduction ->
   ?jobs:int ->

@@ -1,17 +1,18 @@
 open Subc_sim
 module Task = Subc_tasks.Task
 
-let exhaustive ?max_states ?max_crashes ?reduction ?(jobs = 1) ?visited
-    store ~programs ~inputs ~task =
+let exhaustive ?max_states ?max_crashes ?max_recoveries ?deadline
+    ?expected_states ?reduction ?(jobs = 1) ?visited store ~programs ~inputs ~task =
   Subc_obs.Span.time "task_check.exhaustive" @@ fun () ->
   let config = Config.make store programs in
   let result =
     if jobs <= 1 then
-      Explore.check_terminals ?max_states ?max_crashes ?reduction config
+      Explore.check_terminals ?max_states ?max_crashes ?max_recoveries
+        ?deadline ?expected_states ?reduction config
         ~ok:(fun c -> Task.satisfies task ~inputs c)
     else
-      Parallel.check_terminals ?visited ?max_states ?max_crashes ?reduction
-        ~jobs config
+      Parallel.check_terminals ?visited ?max_states ?max_crashes
+        ?max_recoveries ?deadline ?expected_states ?reduction ~jobs config
         ~ok:(fun c -> Task.satisfies task ~inputs c)
   in
   match result with
@@ -32,11 +33,11 @@ let wait_free ?max_states ?reduction store ~programs =
 
 (* Verdict-typed entry point: exhaustive task conformance, classifying a
    truncated search as [Limited] rather than a proof. *)
-let check ?max_states ?max_crashes ?reduction ?jobs ?visited store ~programs
-    ~inputs ~task =
+let check ?max_states ?max_crashes ?max_recoveries ?deadline ?expected_states
+    ?reduction ?jobs ?visited store ~programs ~inputs ~task =
   match
-    exhaustive ?max_states ?max_crashes ?reduction ?jobs ?visited store
-      ~programs ~inputs ~task
+    exhaustive ?max_states ?max_crashes ?max_recoveries ?deadline
+      ?expected_states ?reduction ?jobs ?visited store ~programs ~inputs ~task
   with
   | Error (reason, trace) -> Verdict.refuted ~trace reason
   | Ok stats when stats.Explore.limited ->
@@ -44,10 +45,13 @@ let check ?max_states ?max_crashes ?reduction ?jobs ?visited store ~programs
       "exploration truncated before covering all terminals — no verdict"
   | Ok stats ->
     Verdict.proved ~explore:stats
-      (Printf.sprintf "task satisfied on all %d reachable terminals%s"
+      (Printf.sprintf "task satisfied on all %d reachable terminals%s%s"
          stats.Explore.terminals
          (match max_crashes with
          | Some f when f > 0 -> Printf.sprintf " (crash budget %d)" f
+         | _ -> "")
+         (match max_recoveries with
+         | Some r when r > 0 -> Printf.sprintf " (recovery budget %d)" r
          | _ -> ""))
 
 type sample_stats = {

@@ -7,14 +7,19 @@ module Task = Subc_tasks.Task
 
 (** [check store ~programs ~inputs ~task] checks [task] on every reachable
     terminal configuration (under every crash pattern within
-    [max_crashes]): [Proved] when exhaustive and clean, [Refuted] with the
-    violating schedule, [Limited] when the search was truncated.  [jobs]
+    [max_crashes], and every crash-recovery pattern within
+    [max_recoveries] recoveries): [Proved] when exhaustive and clean,
+    [Refuted] with the violating schedule, [Limited] when the search was
+    truncated — including by [deadline] seconds of wall clock.  [jobs]
     runs the exploration across that many domains
     ({!Subc_sim.Parallel}); the verdict status is deterministic, the
     counterexample schedule (on refutation) may differ between runs. *)
 val check :
   ?max_states:int ->
   ?max_crashes:int ->
+  ?max_recoveries:int ->
+  ?deadline:float ->
+  ?expected_states:int ->
   ?reduction:Explore.reduction ->
   ?jobs:int ->
   ?visited:Subc_sim.Parallel.visited ->
@@ -29,6 +34,9 @@ val check :
 val exhaustive :
   ?max_states:int ->
   ?max_crashes:int ->
+  ?max_recoveries:int ->
+  ?deadline:float ->
+  ?expected_states:int ->
   ?reduction:Explore.reduction ->
   ?jobs:int ->
   ?visited:Subc_sim.Parallel.visited ->

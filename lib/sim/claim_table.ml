@@ -59,7 +59,12 @@ let fold_key h1 h2 =
   let x = (x lxor (x lsr 31)) * 0x2545F4914F6CDD1D in
   x lxor (x lsr 29)
 
+(* Foldedness is a {e per-segment} property: escalation (below) flips the
+   table's mode mid-run by prepending a two-lane head segment while the
+   folded tail keeps serving read-only probes.  Each probe picks its
+   words by the segment it is probing. *)
 type segment = {
+  folded : bool;
   mask : int;
   lane1 : int Atomic.t array;
   lane2 : int Atomic.t array; (* [||] in folded mode *)
@@ -69,7 +74,7 @@ type segment = {
 }
 
 type t = {
-  folded : bool;
+  folded : bool Atomic.t; (* current mode: what new segments use *)
   segments : segment list Atomic.t; (* head = newest = claim target *)
   grow_lock : Mutex.t;
 }
@@ -82,6 +87,7 @@ let fresh_opstats () = { probes = 0; cas_retries = 0 }
 
 let make_segment folded cap =
   {
+    folded;
     mask = cap - 1;
     lane1 = Array.init cap (fun _ -> Atomic.make empty);
     lane2 =
@@ -90,19 +96,31 @@ let make_segment folded cap =
     limit = cap - (cap / 4);
   }
 
-let create ?(initial_capacity = 4096) mode =
+(* A segment holds 3/4 of its capacity before growth triggers, so an
+   expectation of [n] live entries needs a capacity of 4n/3; the cap
+   keeps a loose expectation from pre-allocating hundreds of MB. *)
+let capacity_for_expectation n = min (1 lsl 21) (max 64 (n + (n / 3)))
+
+let create ?initial_capacity ?expected_states mode =
   let folded = match mode with `Folded -> true | `Two_lane -> false in
+  let initial_capacity =
+    match (initial_capacity, expected_states) with
+    | Some c, _ -> c
+    | None, Some n -> capacity_for_expectation n
+    | None, None -> 4096
+  in
   let cap =
     let rec up c = if c >= initial_capacity then c else up (c * 2) in
     up 64
   in
   {
-    folded;
+    folded = Atomic.make folded;
     segments = Atomic.make [ make_segment folded cap ];
     grow_lock = Mutex.create ();
   }
 
-let bits t = if t.folded then 62 else 124
+let bits t = if Atomic.get t.folded then 62 else 124
+let is_folded t = Atomic.get t.folded
 
 (* Spin until the claimer of slot [i] publishes lane 2 (two instructions
    away); returns the published word ([dead] if the claim was aborted). *)
@@ -117,7 +135,7 @@ let rec lane2_value seg i =
 (* Read-only probe of an older segment: [true] iff a live entry for
    (w1, w2) is present.  Stops at the first empty slot — older segments
    receive no new claims except in-flight ones that will abort. *)
-let probe_ro t st seg w1 w2 =
+let probe_ro st (seg : segment) w1 w2 =
   let cap = seg.mask + 1 in
   let rec go i remaining =
     if remaining = 0 then false
@@ -126,7 +144,7 @@ let probe_ro t st seg w1 w2 =
       let a = Atomic.get seg.lane1.(i) in
       if a = empty then false
       else if a = w1 then
-        if t.folded then true
+        if seg.folded then true
         else if lane2_value seg i = w2 then true
         else go ((i + 1) land seg.mask) (remaining - 1)
       else go ((i + 1) land seg.mask) (remaining - 1)
@@ -135,7 +153,7 @@ let probe_ro t st seg w1 w2 =
   go (w1 land seg.mask) cap
 
 (* Claim in the head segment. *)
-let claim_in_head t st seg w1 w2 =
+let claim_in_head st (seg : segment) w1 w2 =
   let cap = seg.mask + 1 in
   let rec go i remaining =
     if remaining = 0 then `Full
@@ -145,7 +163,7 @@ let claim_in_head t st seg w1 w2 =
       if a = empty then
         if Atomic.get seg.count >= seg.limit then `Full
         else if Atomic.compare_and_set seg.lane1.(i) empty w1 then begin
-          if not t.folded then Atomic.set seg.lane2.(i) w2;
+          if not seg.folded then Atomic.set seg.lane2.(i) w2;
           Atomic.incr seg.count;
           `Claimed i
         end
@@ -155,7 +173,7 @@ let claim_in_head t st seg w1 w2 =
           go i remaining
         end
       else if a = w1 then
-        if t.folded then `Dup
+        if seg.folded then `Dup
         else if lane2_value seg i = w2 then `Dup
         else go ((i + 1) land seg.mask) (remaining - 1)
       else go ((i + 1) land seg.mask) (remaining - 1)
@@ -165,33 +183,61 @@ let claim_in_head t st seg w1 w2 =
 
 (* Tombstone our own aborted claim: the slot stays occupied (probe chains
    must not shorten), but no key matches it again. *)
-let retract t seg i =
-  if t.folded then Atomic.set seg.lane1.(i) dead
+let retract (seg : segment) i =
+  if seg.folded then Atomic.set seg.lane1.(i) dead
   else Atomic.set seg.lane2.(i) dead
 
-(* Append a doubled segment, unless someone already did. *)
+(* Append a doubled segment, unless someone already did.  New segments
+   take the table's {e current} mode, so growth after an escalation keeps
+   producing two-lane segments. *)
 let grow t seen =
   Mutex.lock t.grow_lock;
   (if Atomic.get t.segments == seen then
      let cap =
        match seen with [] -> assert false | s :: _ -> 2 * (s.mask + 1)
      in
-     Atomic.set t.segments (make_segment t.folded cap :: seen));
+     Atomic.set t.segments (make_segment (Atomic.get t.folded) cap :: seen));
+  Mutex.unlock t.grow_lock
+
+(* Escalate a folded table to two-lane keys mid-run: prepend a same-size
+   two-lane head segment and flip the mode for future growth.  Existing
+   folded entries stay where they are and keep answering read-only probes
+   with folded words — escalation caps the {e growth} of the collision
+   bound rather than rewriting history.  In-flight claims against the old
+   head observe the new segment list during validation and abort-retry
+   through the exact mechanism growth uses, so claim-once is untouched.
+   Idempotent; a no-op on a table that is already two-lane. *)
+let escalate t =
+  Mutex.lock t.grow_lock;
+  (if Atomic.get t.folded then begin
+     Atomic.set t.folded false;
+     let segs = Atomic.get t.segments in
+     let cap = match segs with [] -> assert false | s :: _ -> s.mask + 1 in
+     Atomic.set t.segments (make_segment false cap :: segs)
+   end);
   Mutex.unlock t.grow_lock
 
 let claim t st ~h1 ~h2 =
-  let w1, w2 =
-    if t.folded then (encode (fold_key h1 h2), 0)
-    else (encode h1, encode h2)
-  in
+  (* Words for both modes are cheap to precompute; each segment picks by
+     its own foldedness. *)
+  let wf = encode (fold_key h1 h2) in
+  let w1 = encode h1 and w2 = encode h2 in
+  let words (seg : segment) = if seg.folded then (wf, 0) else (w1, w2) in
   let rec attempt () =
     let segs = Atomic.get t.segments in
     match segs with
     | [] -> assert false
     | head :: older ->
-      if List.exists (fun s -> probe_ro t st s w1 w2) older then `Dup
+      if
+        List.exists
+          (fun s ->
+            let a, b = words s in
+            probe_ro st s a b)
+          older
+      then `Dup
       else begin
-        match claim_in_head t st head w1 w2 with
+        let a, b = words head in
+        match claim_in_head st head a b with
         | `Dup -> `Dup
         | `Full ->
           grow t segs;
@@ -201,7 +247,7 @@ let claim t st ~h1 ~h2 =
           else begin
             (* A new segment appeared in the window: another claimer of
                this key may have missed our entry.  Abort and retry. *)
-            retract t head i;
+            retract head i;
             st.cas_retries <- st.cas_retries + 1;
             attempt ()
           end
@@ -215,6 +261,15 @@ let occupancy t =
     0
     (Atomic.get t.segments)
 
+(* Live-ish entries still guarded only by a 62-bit word — the piecewise
+   collision bound in the parallel engine charges these pairs at 2^-62
+   and the rest at 2^-124. *)
+let folded_occupancy t =
+  List.fold_left
+    (fun acc (s : segment) -> if s.folded then acc + Atomic.get s.count else acc)
+    0
+    (Atomic.get t.segments)
+
 let slots t =
   List.fold_left (fun acc s -> acc + s.mask + 1) 0 (Atomic.get t.segments)
 
@@ -222,9 +277,10 @@ let slots t =
    (header + field = 2 words) plus its array slot — 3 words per lane per
    slot — plus the array headers. *)
 let memory_bytes t =
-  let words_per_slot = if t.folded then 3 else 6 in
   List.fold_left
-    (fun acc s -> acc + (((s.mask + 1) * words_per_slot) + 8))
+    (fun acc (s : segment) ->
+      let words_per_slot = if s.folded then 3 else 6 in
+      acc + (((s.mask + 1) * words_per_slot) + 8))
     0
     (Atomic.get t.segments)
   * 8

@@ -13,7 +13,12 @@
     Two modes: [`Two_lane] stores both fingerprint lanes (effective 124
     bits, ~2^-124 collision odds per pair); [`Folded] stores a single
     mixed word per state (62 bits — half the memory, collision odds
-    ~2^-62 per pair, bounded and surfaced by the caller). *)
+    ~2^-62 per pair, bounded and surfaced by the caller).
+
+    Foldedness is a per-segment property: {!escalate} flips a folded
+    table to two-lane mid-run by prepending a two-lane head segment,
+    without rehashing the folded tail.  Probes pick their words by the
+    segment they are probing, so mixed-mode tables stay claim-once. *)
 
 type t
 
@@ -23,9 +28,14 @@ type opstats = { mutable probes : int; mutable cas_retries : int }
 
 val fresh_opstats : unit -> opstats
 
-val create : ?initial_capacity:int -> [ `Two_lane | `Folded ] -> t
+val create :
+  ?initial_capacity:int -> ?expected_states:int -> [ `Two_lane | `Folded ] -> t
 (** [initial_capacity] (default 4096) is rounded up to a power of two,
-    minimum 64. *)
+    minimum 64.  [expected_states] is a sizing hint used when
+    [initial_capacity] is absent: the first segment is sized to hold that
+    many entries without growing (capped at 2^21 slots, so a loose hint
+    cannot pre-allocate unbounded memory).  An explicit
+    [initial_capacity] wins over the hint. *)
 
 val claim : t -> opstats -> h1:int -> h2:int -> [ `Fresh | `Dup ]
 (** [claim t st ~h1 ~h2] — [`Fresh] for exactly one caller per distinct
@@ -33,10 +43,29 @@ val claim : t -> opstats -> h1:int -> h2:int -> [ `Fresh | `Dup ]
     Lock-free; safe from any number of domains. *)
 
 val bits : t -> int
-(** Effective key width: 124 ([`Two_lane]) or 62 ([`Folded]). *)
+(** Effective key width of the table's {e current} mode: 124 (two-lane)
+    or 62 (folded).  After an escalation this reports 124 even though
+    the folded tail remains — use {!folded_occupancy} for the piecewise
+    collision accounting. *)
+
+val is_folded : t -> bool
+(** Whether new claims currently land in folded (62-bit) segments. *)
+
+val escalate : t -> unit
+(** Flip a folded table to two-lane keys for all future claims: a
+    same-size two-lane segment is prepended and future growth produces
+    two-lane segments.  Existing folded entries are not rehashed; they
+    keep serving probes with folded words.  In-flight claims abort and
+    retry through the growth validation path, so claim-once is
+    preserved.  Idempotent; no-op on a two-lane table. *)
 
 val occupancy : t -> int
 (** Slots consumed (successful claims, aborted ones included). *)
+
+val folded_occupancy : t -> int
+(** Slots consumed in folded segments only — the entries still guarded
+    by 62-bit words, charged at 2^-62 in the piecewise collision
+    bound. *)
 
 val slots : t -> int
 (** Total slots across all segments. *)

@@ -3,9 +3,20 @@ type status =
   | Terminated of Value.t
   | Hung
   | Crashed
+  | Recovering of Value.t Program.t
 
-type proc = { status : status; history : Value.t list; steps : int }
-type t = { store : Store.t; procs : proc array }
+type proc = {
+  status : status;
+  history : Value.t list;
+  steps : int;
+  recoveries : int;
+}
+
+type t = {
+  store : Store.t;
+  procs : proc array;
+  programs : Value.t Program.t array;
+}
 
 (* Normalize a continuation: [Return] terminates, [Checkpoint] replaces the
    response history with its key (see [Program.checkpoint]). *)
@@ -18,15 +29,19 @@ let rec advance program history =
 let make store programs =
   let proc p =
     let status, history = advance p [] in
-    { status; history; steps = 0 }
+    { status; history; steps = 0; recoveries = 0 }
   in
-  { store; procs = Array.of_list (List.map proc programs) }
+  {
+    store;
+    procs = Array.of_list (List.map proc programs);
+    programs = Array.of_list programs;
+  }
 
 let n_procs c = Array.length c.procs
 
 let can_step proc =
   match proc.status with
-  | Running _ -> true
+  | Running _ | Recovering _ -> true
   | Terminated _ | Hung | Crashed -> false
 
 let running c =
@@ -39,14 +54,14 @@ let is_terminal c = running c = []
 let decision c i =
   match c.procs.(i).status with
   | Terminated v -> Some v
-  | Running _ | Hung | Crashed -> None
+  | Running _ | Recovering _ | Hung | Crashed -> None
 
 let decisions c =
   Array.to_list c.procs
   |> List.filter_map (fun p ->
          match p.status with
          | Terminated v -> Some v
-         | Running _ | Hung | Crashed -> None)
+         | Running _ | Recovering _ | Hung | Crashed -> None)
 
 let any_hung c =
   Array.exists (fun p -> match p.status with Hung -> true | _ -> false) c.procs
@@ -65,18 +80,51 @@ let n_crashed c =
 
 let any_crashed c = n_crashed c > 0
 
+let n_recoveries c =
+  Array.fold_left (fun n p -> n + p.recoveries) 0 c.procs
+
+let any_recovered c =
+  Array.exists (fun p -> p.recoveries > 0) c.procs
+
 (* The history is cleared on crash: a crashed process has no continuation,
    so its response history can no longer influence the execution — dropping
    it merges configurations that differ only in where the victim was when
    it died, which is what makes exhaustive crash sweeps tractable. *)
 let crash c i =
   match c.procs.(i).status with
-  | Running _ ->
+  | Running _ | Recovering _ ->
     let procs = Array.copy c.procs in
     procs.(i) <- { c.procs.(i) with status = Crashed; history = [] };
     { c with procs }
   | Terminated _ | Hung | Crashed ->
     invalid_arg (Printf.sprintf "Config.crash: process %d cannot crash" i)
+
+(* Crash-recovery: the crashed process restarts its initial program with an
+   empty response history (local state is volatile — lost with the crash),
+   while the store keeps only persistent object state ([Store.recover]).
+   The per-process [recoveries] counter is part of the configuration key:
+   the recovery budget must be derivable from the configuration alone (the
+   transient [Recovering] status is erased by the process's first step), or
+   memoization would merge configurations with different remaining
+   budgets. *)
+let recover c i =
+  match c.procs.(i).status with
+  | Crashed ->
+    let status, history = advance c.programs.(i) [] in
+    let status =
+      match status with Running prog -> Recovering prog | s -> s
+    in
+    let procs = Array.copy c.procs in
+    procs.(i) <-
+      {
+        status;
+        history;
+        steps = c.procs.(i).steps;
+        recoveries = c.procs.(i).recoveries + 1;
+      };
+    { c with store = Store.recover c.store; procs }
+  | Running _ | Recovering _ | Terminated _ | Hung ->
+    invalid_arg (Printf.sprintf "Config.recover: process %d is not crashed" i)
 
 let proc_key p =
   let status =
@@ -85,8 +133,10 @@ let proc_key p =
     | Terminated v -> Value.Tag ("done", v)
     | Hung -> Value.Sym "hung"
     | Crashed -> Value.Sym "crash"
+    | Recovering _ -> Value.Sym "recover"
   in
-  Value.Pair (status, Value.Vec p.history)
+  Value.Pair
+    (status, Value.Pair (Value.Int p.recoveries, Value.Vec p.history))
 
 let key c =
   let store_part =
@@ -106,7 +156,11 @@ let pp ppf c =
         | Terminated v -> "terminated " ^ Value.to_string v
         | Hung -> "hung"
         | Crashed -> "crashed"
+        | Recovering _ -> "recovering"
       in
-      Format.fprintf ppf "P%d: %s after %d steps@," i status p.steps)
+      Format.fprintf ppf "P%d: %s after %d steps%s@," i status p.steps
+        (if p.recoveries > 0 then
+           Printf.sprintf " (%d recoveries)" p.recoveries
+         else ""))
     c.procs;
   Format.fprintf ppf "@]"

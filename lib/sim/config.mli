@@ -13,21 +13,39 @@
     from [Hung] (it was not the victim of an illegal invocation — the
     adversary simply stopped it).  A crashed process never takes another
     step; since a crashed process is indistinguishable from a slow one,
-    wait-free safety properties must hold on the surviving outcomes. *)
+    wait-free safety properties must hold on the surviving outcomes.
+
+    Crash-{e recovery} is equally first-class: a crashed process may
+    {!recover} — it restarts its initial program with an empty response
+    history (its local state is volatile), while shared objects keep only
+    their persistent component ({!Store.recover}; all-persistent by
+    default).  The freshly recovered process is [Recovering] until its
+    first step; its per-process [recoveries] counter is part of the
+    configuration key, so the model checker's recovery budget is derivable
+    from the configuration alone. *)
 
 type status =
   | Running of Value.t Program.t
   | Terminated of Value.t  (** the process produced its output value *)
   | Hung  (** the process invoked an operation with no successor *)
   | Crashed  (** the adversary stopped the process; no output *)
+  | Recovering of Value.t Program.t
+      (** restarted after a crash; behaves as [Running] from its next step *)
 
 type proc = {
   status : status;
   history : Value.t list;  (** responses received, newest first *)
   steps : int;
+  recoveries : int;  (** crash-recoveries this process has performed *)
 }
 
-type t = { store : Store.t; procs : proc array }
+type t = {
+  store : Store.t;
+  procs : proc array;
+  programs : Value.t Program.t array;
+      (** the initial programs, restarted on recovery; constant along any
+          execution, hence excluded from {!key} *)
+}
 
 (** [make store programs] starts one process per program; programs that are
     already [Return v] start in the [Terminated v] state. *)
@@ -39,11 +57,15 @@ val advance : Value.t Program.t -> Value.t list -> status * Value.t list
 
 val n_procs : t -> int
 
-(** Indices of processes that can still take a step. *)
+(** Indices of processes that can still take a step ([Running] or
+    [Recovering]). *)
 val running : t -> int list
 
 (** A configuration is terminal when no process can take a step (all are
-    terminated, hung, or crashed). *)
+    terminated, hung, or crashed).  Note that under a positive recovery
+    budget a terminal configuration with crashed processes still has
+    {!recover} transitions: "terminal" means "no process step", and the
+    adversary may choose never to recover anyone. *)
 val is_terminal : t -> bool
 
 (** [decision c i] is [Some v] iff process [i] terminated with output [v]. *)
@@ -54,10 +76,11 @@ val decisions : t -> Value.t list
 
 val any_hung : t -> bool
 
-(** [crash c i] — process [i] crashes: it never steps again and produces no
-    output.  Its response history is cleared (it can no longer influence
-    the execution), which lets the model checker merge configurations that
-    differ only in where the victim was when it died.
+(** [crash c i] — process [i] crashes: it never steps again (unless
+    recovered) and produces no output.  Its response history is cleared (it
+    can no longer influence the execution), which lets the model checker
+    merge configurations that differ only in where the victim was when it
+    died.
     @raise Invalid_argument if process [i] is not running. *)
 val crash : t -> int -> t
 
@@ -69,8 +92,21 @@ val crashed : t -> int list
 val n_crashed : t -> int
 val any_crashed : t -> bool
 
+(** [recover c i] — crashed process [i] restarts its initial program with
+    an empty response history and status [Recovering]; the store is
+    projected to persistent object state ({!Store.recover}); the process's
+    [recoveries] counter increments.
+    @raise Invalid_argument if process [i] is not crashed. *)
+val recover : t -> int -> t
+
+(** Total crash-recoveries performed across all processes — the recovery
+    budget consumed so far, derivable from the configuration. *)
+val n_recoveries : t -> int
+
+val any_recovered : t -> bool
+
 (** Canonical key for memoization: encodes object states, process response
-    histories and statuses as a single value. *)
+    histories, statuses and recovery counters as a single value. *)
 val key : t -> Value.t
 
 val pp : Format.formatter -> t -> unit

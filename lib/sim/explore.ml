@@ -1,11 +1,12 @@
 module Obs = Subc_obs
 
-type limit_reason = No_limit | Max_states | Max_depth | Sleep_sets_off
+type limit_reason = No_limit | Max_states | Max_depth | Deadline | Sleep_sets_off
 
 let pp_limit_reason ppf = function
   | No_limit -> Format.fprintf ppf "none"
   | Max_states -> Format.fprintf ppf "max-states"
   | Max_depth -> Format.fprintf ppf "max-depth"
+  | Deadline -> Format.fprintf ppf "deadline"
   | Sleep_sets_off -> Format.fprintf ppf "sleep-sets-off"
 
 (* A truncation reason makes the search inconclusive; a downgrade reason
@@ -13,7 +14,7 @@ let pp_limit_reason ppf = function
    search is still exhaustive, so [limited] must stay false. *)
 let reason_truncates = function
   | No_limit | Sleep_sets_off -> false
-  | Max_states | Max_depth -> true
+  | Max_states | Max_depth | Deadline -> true
 
 type stats = {
   states : int;
@@ -21,6 +22,7 @@ type stats = {
   terminals : int;
   hung_terminals : int;
   crashed_terminals : int;
+  recovered_terminals : int;
   max_depth : int;
   dedup_hits : int;
   sleep_skips : int;
@@ -39,9 +41,12 @@ let collision_bound ~bits ~states =
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "states=%d transitions=%d terminals=%d hung=%d crashed=%d depth=%d \
+    "states=%d transitions=%d terminals=%d hung=%d crashed=%d%s depth=%d \
      dedup=%d%s cycles=%d%s%s"
     s.states s.transitions s.terminals s.hung_terminals s.crashed_terminals
+    (if s.recovered_terminals > 0 then
+       Printf.sprintf " recovered=%d" s.recovered_terminals
+     else "")
     s.max_depth s.dedup_hits
     (if s.sleep_skips > 0 then Printf.sprintf " sleep-skips=%d" s.sleep_skips
      else "")
@@ -98,8 +103,14 @@ let pp_reduction ppf r =
    says so (below).  Crashes of distinct victims commute (a crash touches
    only the victim's local state), and a crash commutes with any step of
    another process: the budget can only disable a sleeping crash, never
-   re-enable one, so budget exhaustion cannot unsoundly skip. *)
-type tr = Tstep of int * int | Tcrash of int
+   re-enable one, so budget exhaustion cannot unsoundly skip.
+
+   A recovery is conservatively dependent on everything: it rewrites the
+   whole store through the persistence projections and restarts the
+   victim's program, so no commutation is assumed.  Recoveries are
+   therefore never slept and never put siblings to sleep — reordering
+   soundness never rests on a recovery diamond. *)
+type tr = Tstep of int * int | Tcrash of int | Trecover of int
 
 (* Conditional (state-local) commutation of two operations on the same
    object: both orders must yield the same final object state and the
@@ -166,7 +177,9 @@ let ops_commute (cache : commute_cache) store h a b =
 
 let pending config i =
   match config.Config.procs.(i).Config.status with
-  | Config.Running (Program.Invoke (h, op, _)) -> (h, op)
+  | Config.Running (Program.Invoke (h, op, _))
+  | Config.Recovering (Program.Invoke (h, op, _)) ->
+    (h, op)
   | _ -> assert false
 
 (* Dependence of two transitions, conditional on the configuration where
@@ -175,6 +188,7 @@ let pending config i =
    asleep). *)
 let dependent_at cache config a b =
   match (a, b) with
+  | Trecover _, _ | _, Trecover _ -> true
   | Tstep (p, hp), Tstep (q, hq) ->
     p = q
     || (hp = hq
@@ -186,7 +200,8 @@ let dependent_at cache config a b =
 
 let map_tr (pi : Symmetry.perm) = function
   | Tstep (p, h) -> Tstep (pi.(p), h)
-  | Tcrash p -> Tcrash (pi.(p))
+  | Tcrash p -> Tcrash pi.(p)
+  | Trecover p -> Trecover pi.(p)
 
 let invert (pi : Symmetry.perm) =
   let inv = Array.make (Array.length pi) 0 in
@@ -220,6 +235,7 @@ type state = {
   mutable terminals : int;
   mutable hung_terminals : int;
   mutable crashed_terminals : int;
+  mutable recovered_terminals : int;
   mutable max_depth : int;
   mutable dedup_hits : int;
   mutable sleep_skips : int;
@@ -228,6 +244,12 @@ type state = {
   max_states : int;
   depth_limit : int;
   max_crashes : int;
+  max_recoveries : int;
+  (* Absolute wall-clock cutoff, or infinity.  Checked every
+     [deadline_mask + 1] DFS nodes so the common case costs one integer
+     test. *)
+  deadline_at : float;
+  mutable deadline_tick : int;
   reduction : reduction;
   mutable cycle_witness : Trace.t option;
   on_terminal : Config.t -> Trace.t -> unit;
@@ -246,6 +268,7 @@ let stats_of st =
     terminals = st.terminals;
     hung_terminals = st.hung_terminals;
     crashed_terminals = st.crashed_terminals;
+    recovered_terminals = st.recovered_terminals;
     max_depth = st.max_depth;
     dedup_hits = st.dedup_hits;
     sleep_skips = st.sleep_skips;
@@ -304,7 +327,17 @@ let fingerprint st config = key_of ~paranoid:st.paranoid st.reduction config
    verdicts are preserved.  (Completeness of the pruning assumes the state
    graph is acyclic, which holds for all one-shot bounded algorithms; the
    cycle-hunting entry points force sleep sets off.) *)
+let deadline_mask = 1023
+
 let rec dfs st config rev_trace depth sleep =
+  st.deadline_tick <- st.deadline_tick + 1;
+  if
+    st.deadline_tick land deadline_mask = 0
+    && Unix.gettimeofday () > st.deadline_at
+  then begin
+    st.limit_reason <- Deadline;
+    raise Stop
+  end;
   if depth > st.max_depth then st.max_depth <- depth;
   if depth > st.depth_limit then begin
     (* Prune this branch only; siblings are still explored. *)
@@ -348,18 +381,31 @@ let rec dfs st config rev_trace depth sleep =
             ((fun e -> map_tr pi e), fun e -> map_tr inv e)
         in
         if first_visit then st.on_visit config (lazy (List.rev rev_trace));
-        match Config.running config with
-        | [] ->
-          if first_visit then begin
-            st.terminals <- st.terminals + 1;
-            if Config.any_hung config then
-              st.hung_terminals <- st.hung_terminals + 1;
-            if Config.any_crashed config then
-              st.crashed_terminals <- st.crashed_terminals + 1;
-            st.on_terminal config (List.rev rev_trace)
-          end
-          else st.dedup_hits <- st.dedup_hits + 1
-        | runnable ->
+        let runnable = Config.running config in
+        (* Terminal for the processes is not necessarily terminal for the
+           search: with recovery budget left, the adversary may still
+           revive a crashed process.  The configuration is reported as a
+           terminal either way — the adversary may equally choose never to
+           recover — and then expanded through its recover successors. *)
+        let can_recover =
+          st.max_recoveries > 0
+          && Config.any_crashed config
+          && Config.n_recoveries config < st.max_recoveries
+        in
+        if runnable = [] && first_visit then begin
+          st.terminals <- st.terminals + 1;
+          if Config.any_hung config then
+            st.hung_terminals <- st.hung_terminals + 1;
+          if Config.any_crashed config then
+            st.crashed_terminals <- st.crashed_terminals + 1;
+          if Config.any_recovered config then
+            st.recovered_terminals <- st.recovered_terminals + 1;
+          st.on_terminal config (List.rev rev_trace)
+        end;
+        if runnable = [] && not can_recover then begin
+          if not first_visit then st.dedup_hits <- st.dedup_hits + 1
+        end
+        else begin
           let prev_explored = List.map of_canon record.explored in
           Vtbl.add st.onstack key ();
           (* Transitions taken at this node (now or on a previous visit);
@@ -408,17 +454,38 @@ let rec dfs st config rev_trace depth sleep =
                       (Trace.Crash victim :: rev_trace)
                       (depth + 1) sleep'))
               (Step.crash_successors config);
+          if can_recover then
+            List.iter
+              (fun (config', victim) ->
+                let entry = Trecover victim in
+                visit_entry entry (fun sleep' ->
+                    st.transitions <- st.transitions + 1;
+                    dfs st config'
+                      (Trace.Recover victim :: rev_trace)
+                      (depth + 1) sleep'))
+              (Step.recover_successors config);
           Vtbl.remove st.onstack key;
           if (not first_visit) && not !took_any then
             st.dedup_hits <- st.dedup_hits + 1
+        end
       end
     end
 
+(* Initial bucket-array sizing for the visited table.  An explicit
+   expectation skips the rehash generations of a million-state search;
+   the cap keeps a loose upper bound (a default state budget, say) from
+   pre-allocating a huge empty table. *)
+let table_hint expected_states =
+  match expected_states with
+  | None -> 4096
+  | Some n -> max 4096 (min (1 lsl 20) n)
+
 let make_state ?(max_states = 5_000_000) ?(max_depth = 10_000)
-    ?(max_crashes = 0) ?(reduction = no_reduction) ?(paranoid = false)
-    ?(stop_on_cycle = false) ?(on_visit = fun _ _ -> ()) on_terminal =
+    ?(max_crashes = 0) ?(max_recoveries = 0) ?deadline ?expected_states
+    ?(reduction = no_reduction) ?(paranoid = false) ?(stop_on_cycle = false)
+    ?(on_visit = fun _ _ -> ()) on_terminal =
   {
-    visited = Vtbl.create 4096;
+    visited = Vtbl.create (table_hint expected_states);
     onstack = Vtbl.create 256;
     commute = Hashtbl.create 256;
     paranoid;
@@ -427,6 +494,7 @@ let make_state ?(max_states = 5_000_000) ?(max_depth = 10_000)
     terminals = 0;
     hung_terminals = 0;
     crashed_terminals = 0;
+    recovered_terminals = 0;
     max_depth = 0;
     dedup_hits = 0;
     sleep_skips = 0;
@@ -435,6 +503,12 @@ let make_state ?(max_states = 5_000_000) ?(max_depth = 10_000)
     max_states;
     depth_limit = max_depth;
     max_crashes;
+    max_recoveries;
+    deadline_at =
+      (match deadline with
+      | None -> infinity
+      | Some secs -> Unix.gettimeofday () +. secs);
+    deadline_tick = 0;
     reduction;
     cycle_witness = None;
     on_terminal;
@@ -478,10 +552,11 @@ let run_search label st config =
       ];
   s
 
-let iter_terminals ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
-    config ~f =
+let iter_terminals ?max_states ?max_depth ?max_crashes ?max_recoveries
+    ?deadline ?expected_states ?reduction ?paranoid config ~f =
   let st =
-    make_state ?max_states ?max_depth ?max_crashes ?reduction ?paranoid f
+    make_state ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
+      ?expected_states ?reduction ?paranoid f
   in
   run_search "iter_terminals" st config
 
@@ -489,20 +564,20 @@ let iter_terminals ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
    reachable configuration (wait-freedom bounds quantify over all of them),
    and sleep sets do not shrink the state set anyway — they only skip
    redundant transitions, at the cost of the cycle caveat. *)
-let iter_reachable ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
-    config ~f =
+let iter_reachable ?max_states ?max_depth ?max_crashes ?max_recoveries
+    ?deadline ?expected_states ?reduction ?paranoid config ~f =
   let reduction =
     Option.map (fun r -> { r with sleep_sets = false }) reduction
   in
   let st =
-    make_state ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
-      ~on_visit:f
+    make_state ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
+      ?expected_states ?reduction ?paranoid ~on_visit:f
       (fun _ _ -> ())
   in
   run_search "iter_reachable" st config
 
-let find_terminal ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
-    config ~violates =
+let find_terminal ?max_states ?max_depth ?max_crashes ?max_recoveries
+    ?deadline ?expected_states ?reduction ?paranoid config ~violates =
   let found = ref None in
   let on_terminal c trace =
     if violates c then begin
@@ -511,17 +586,17 @@ let find_terminal ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
     end
   in
   let st =
-    make_state ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
-      on_terminal
+    make_state ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
+      ?expected_states ?reduction ?paranoid on_terminal
   in
   let stats = run_search "find_terminal" st config in
   (!found, stats)
 
-let check_terminals ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
-    config ~ok =
+let check_terminals ?max_states ?max_depth ?max_crashes ?max_recoveries
+    ?deadline ?expected_states ?reduction ?paranoid config ~ok =
   match
-    find_terminal ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
-      config
+    find_terminal ?max_states ?max_depth ?max_crashes ?max_recoveries
+      ?deadline ?expected_states ?reduction ?paranoid config
       ~violates:(fun c -> not (ok c))
   with
   | None, stats -> Ok stats
@@ -531,14 +606,14 @@ let check_terminals ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
    the DFS stack could hide a back-edge.  Symmetry stays on — an orbit
    back-edge still witnesses an infinite run (apply the automorphism
    repeatedly to extend the lasso). *)
-let find_cycle ?max_states ?max_depth ?max_crashes ?reduction ?paranoid config
-    =
+let find_cycle ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
+    ?expected_states ?reduction ?paranoid config =
   let reduction =
     Option.map (fun r -> { r with sleep_sets = false }) reduction
   in
   let st =
-    make_state ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
-      ~stop_on_cycle:true
+    make_state ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
+      ?expected_states ?reduction ?paranoid ~stop_on_cycle:true
       (fun _ _ -> ())
   in
   let stats = run_search "find_cycle" st config in

@@ -18,6 +18,18 @@
     pattern of at most [f] crashes.  (The budget needs no extra memoization
     state: crashed processes are part of the configuration key.)
 
+    Recovery faults extend the model to crash-recovery: with
+    [~max_recoveries:r] the search additionally branches on recovering any
+    crashed process ({!Config.recover} — persistent object state survives,
+    the victim's program restarts), as long as fewer than [r] recoveries
+    have happened in total.  A configuration with no running process is
+    still reported as a terminal even when recover transitions remain (the
+    adversary may choose never to recover) {e and} is then expanded through
+    them.  The recovery budget is derivable from the configuration key too:
+    each process carries its recovery count, which the key and fingerprint
+    include.  Recover transitions are conservatively dependent on every
+    other transition, so the sleep-set reduction never prunes around them.
+
     {1 Reductions}
 
     Two sound, opt-in reductions shrink the search (see DESIGN.md for the
@@ -58,6 +70,7 @@ type limit_reason =
   | No_limit
   | Max_states  (** the state budget was exhausted; search aborted *)
   | Max_depth  (** some branch was pruned at the depth bound *)
+  | Deadline  (** the wall-clock budget ([?deadline]) expired; search aborted *)
   | Sleep_sets_off
       (** the requested sleep-set reduction was forced off (parallel
           exploration) — a {e downgrade}, not a truncation: the search
@@ -67,7 +80,8 @@ val pp_limit_reason : Format.formatter -> limit_reason -> unit
 
 val reason_truncates : limit_reason -> bool
 (** Whether the reason makes the search inconclusive ([Max_states],
-    [Max_depth]) as opposed to merely downgraded ([Sleep_sets_off]). *)
+    [Max_depth], [Deadline]) as opposed to merely downgraded
+    ([Sleep_sets_off]). *)
 
 type stats = {
   states : int;  (** distinct canonical configurations visited *)
@@ -75,6 +89,8 @@ type stats = {
   terminals : int;  (** distinct terminal configurations *)
   hung_terminals : int;  (** terminals in which some process hung *)
   crashed_terminals : int;  (** terminals in which some process crashed *)
+  recovered_terminals : int;
+      (** terminals in which some process had recovered at least once *)
   max_depth : int;
   dedup_hits : int;  (** transitions into an already-visited configuration *)
   sleep_skips : int;  (** transitions skipped by the sleep-set reduction *)
@@ -179,6 +195,9 @@ val iter_terminals :
   ?max_states:int ->
   ?max_depth:int ->
   ?max_crashes:int ->
+  ?max_recoveries:int ->
+  ?deadline:float ->
+  ?expected_states:int ->
   ?reduction:reduction ->
   ?paranoid:bool ->
   Config.t ->
@@ -194,6 +213,9 @@ val iter_reachable :
   ?max_states:int ->
   ?max_depth:int ->
   ?max_crashes:int ->
+  ?max_recoveries:int ->
+  ?deadline:float ->
+  ?expected_states:int ->
   ?reduction:reduction ->
   ?paranoid:bool ->
   Config.t ->
@@ -206,6 +228,9 @@ val find_terminal :
   ?max_states:int ->
   ?max_depth:int ->
   ?max_crashes:int ->
+  ?max_recoveries:int ->
+  ?deadline:float ->
+  ?expected_states:int ->
   ?reduction:reduction ->
   ?paranoid:bool ->
   Config.t ->
@@ -218,6 +243,9 @@ val check_terminals :
   ?max_states:int ->
   ?max_depth:int ->
   ?max_crashes:int ->
+  ?max_recoveries:int ->
+  ?deadline:float ->
+  ?expected_states:int ->
   ?reduction:reduction ->
   ?paranoid:bool ->
   Config.t ->
@@ -235,6 +263,9 @@ val find_cycle :
   ?max_states:int ->
   ?max_depth:int ->
   ?max_crashes:int ->
+  ?max_recoveries:int ->
+  ?deadline:float ->
+  ?expected_states:int ->
   ?reduction:reduction ->
   ?paranoid:bool ->
   Config.t ->

@@ -106,7 +106,9 @@ let feed_config ctx (c : Config.t) =
         feed ctx 0x12;
         feed_value ctx v
       | Config.Hung -> feed ctx 0x13
-      | Config.Crashed -> feed ctx 0x14);
+      | Config.Crashed -> feed ctx 0x14
+      | Config.Recovering _ -> feed ctx 0x15);
+      feed ctx p.Config.recoveries;
       feed ctx (List.length p.Config.history);
       List.iter (feed_value ctx) p.Config.history)
     c.Config.procs;

@@ -2,12 +2,20 @@ type t = {
   kind : string;
   init : Value.t;
   apply : Value.t -> Op.t -> (Value.t * Value.t) list;
+  persist : (Value.t -> Value.t) option;
 }
 
 let deterministic ~kind ~init f =
-  { kind; init; apply = (fun state op -> [ f state op ]) }
+  { kind; init; apply = (fun state op -> [ f state op ]); persist = None }
 
-let nondet ~kind ~init f = { kind; init; apply = f }
+let nondet ~kind ~init f = { kind; init; apply = f; persist = None }
+
+let with_persist persist t = { t with persist = Some persist }
+
+let persist_state t state =
+  match t.persist with None -> state | Some p -> p state
+
+let all_persistent t = t.persist = None
 
 let hang = []
 

@@ -14,13 +14,27 @@
       response.
 
     Transitions must be pure: the simulator calls them repeatedly while
-    exploring interleavings. *)
+    exploring interleavings.
+
+    {b Persistence.}  Under the crash-recovery fault model ({!Config.recover})
+    an object's state splits into a persistent component, which survives a
+    crash, and a volatile component, which is reset when a crashed process
+    recovers.  The split is expressed as a {e projection} [persist] mapping
+    any state to the state recovered from it: [persist] must be idempotent
+    ([persist (persist s) = persist s]) and map reachable states to valid
+    states — both obligations are discharged mechanically by the static
+    soundness analyzer ([Subc_analysis]).  The default ([None]) is
+    all-persistent: [persist] is the identity and every existing object is
+    trivially recoverable. *)
 
 type t = {
   kind : string;  (** object-class name, for traces and diagnostics *)
   init : Value.t;  (** initial state *)
   apply : Value.t -> Op.t -> (Value.t * Value.t) list;
       (** [apply state op] = all (state', response) successors *)
+  persist : (Value.t -> Value.t) option;
+      (** recovery projection: the state restored after a crash-recovery
+          ([None] = identity = fully persistent) *)
 }
 
 (** [deterministic ~kind ~init f] wraps a deterministic transition. *)
@@ -33,6 +47,20 @@ val nondet :
   init:Value.t ->
   (Value.t -> Op.t -> (Value.t * Value.t) list) ->
   t
+
+(** [with_persist p t] declares the persistent/volatile split of [t]'s
+    state: on recovery the object's state becomes [p state].  [p] must be
+    an idempotent projection into valid states (certified by
+    [Subc_analysis]). *)
+val with_persist : (Value.t -> Value.t) -> t -> t
+
+(** [persist_state t s] is the state recovered from [s]: [s] itself when
+    the object is fully persistent. *)
+val persist_state : t -> Value.t -> Value.t
+
+(** Whether the object declares no volatile component ([persist = None]) —
+    recovery is then the identity on its state. *)
+val all_persistent : t -> bool
 
 (** The hang outcome: no successors. *)
 val hang : (Value.t * Value.t) list

@@ -90,7 +90,7 @@ let n_shards = 128
 
 type vtable = Shards of shard array | Claims of Claim_table.t
 
-type stop_cause = Budget | Callback of exn
+type stop_cause = Budget | Deadline | Callback of exn
 
 (* Per-domain statistics; merged after join (sums, except [max_depth]). *)
 type dstats = {
@@ -99,6 +99,7 @@ type dstats = {
   mutable terminals : int;
   mutable hung_terminals : int;
   mutable crashed_terminals : int;
+  mutable recovered_terminals : int;
   mutable max_depth : int;
   mutable dedup_hits : int;
   mutable depth_limited : bool;
@@ -115,6 +116,7 @@ let fresh_dstats () =
     terminals = 0;
     hung_terminals = 0;
     crashed_terminals = 0;
+    recovered_terminals = 0;
     max_depth = 0;
     dedup_hits = 0;
     depth_limited = false;
@@ -135,6 +137,13 @@ type global = {
   max_states : int;
   depth_limit : int;
   max_crashes : int;
+  max_recoveries : int;
+  deadline_at : float; (* absolute wall clock, or infinity *)
+  (* Collision-bound threshold above which a folded (compressed) claim
+     table escalates to two-lane keys; <= 0 disables.  [escalated]
+     makes the stderr note and the metric fire once. *)
+  escalate_threshold : float;
+  escalated : bool Atomic.t;
   reduction : Explore.reduction;
   sleep_downgraded : bool;
   paranoid : bool;
@@ -149,6 +158,7 @@ type ctx = {
   id : int; (* owner index into [deques]; the seeder uses 0 pre-spawn *)
   stats : dstats;
   mutable rng : int; (* xorshift state for victim selection *)
+  mutable tick : int; (* items processed; deadline poll every 256 *)
   push : work -> unit;
 }
 
@@ -195,31 +205,88 @@ let claim ctx config =
       if Atomic.fetch_and_add g.n_states 1 >= g.max_states then `Budget
       else `Fresh)
 
+let m_escalated = Obs.Metrics.counter "parallel.visited_escalated"
+
+(* Auto-escalation: every 256 fresh states per domain, if the claim table
+   is still folded and the 62-bit birthday bound over the global state
+   count has crossed the threshold, flip it to two-lane.  [escalate] is
+   idempotent and racing domains are harmless; the note and the metric
+   fire once via the [escalated] CAS. *)
+let maybe_escalate ctx =
+  let g = ctx.g in
+  if g.escalate_threshold > 0.0 && ctx.stats.states land 255 = 0 then
+    match g.table with
+    | Claims t when Claim_table.is_folded t ->
+      let n = Atomic.get g.n_states in
+      let bound = Explore.collision_bound ~bits:62 ~states:n in
+      if bound > g.escalate_threshold then begin
+        Claim_table.escalate t;
+        if Atomic.compare_and_set g.escalated false true then begin
+          Obs.Metrics.incr m_escalated;
+          Printf.eprintf
+            "subconsensus: compressed visited table escalated to lockfree at \
+             %d states (collision bound %.2g > %.2g)\n\
+             %!"
+            n bound g.escalate_threshold
+        end
+      end
+    | Claims _ | Shards _ -> ()
+
 (* Expand one work item.  Exceptions from user callbacks propagate to the
    caller (the worker loop converts them into a stop cause); no lock is
    held while a callback runs. *)
 let process ctx item =
   let g = ctx.g in
+  ctx.tick <- ctx.tick + 1;
+  if
+    ctx.tick land 255 = 0
+    && g.deadline_at < infinity
+    && Unix.gettimeofday () > g.deadline_at
+  then set_stop g Deadline;
   if item.depth > ctx.stats.max_depth then ctx.stats.max_depth <- item.depth;
   if item.depth > g.depth_limit then ctx.stats.depth_limited <- true
   else
     match claim ctx item.config with
     | `Dup -> ctx.stats.dedup_hits <- ctx.stats.dedup_hits + 1
     | `Budget -> set_stop g Budget
-    | `Fresh -> (
+    | `Fresh ->
       ctx.stats.states <- ctx.stats.states + 1;
+      maybe_escalate ctx;
       g.on_visit item.config (lazy (List.rev item.rev_trace));
-      match Config.running item.config with
+      let push_recoveries () =
+        if
+          g.max_recoveries > 0
+          && Config.any_crashed item.config
+          && Config.n_recoveries item.config < g.max_recoveries
+        then
+          List.iter
+            (fun (config', victim) ->
+              ctx.stats.transitions <- ctx.stats.transitions + 1;
+              ctx.push
+                {
+                  config = config';
+                  rev_trace = Trace.Recover victim :: item.rev_trace;
+                  depth = item.depth + 1;
+                })
+            (Step.recover_successors item.config)
+      in
+      (match Config.running item.config with
       | [] ->
         ctx.stats.terminals <- ctx.stats.terminals + 1;
         if Config.any_hung item.config then
           ctx.stats.hung_terminals <- ctx.stats.hung_terminals + 1;
         if Config.any_crashed item.config then
           ctx.stats.crashed_terminals <- ctx.stats.crashed_terminals + 1;
+        if Config.any_recovered item.config then
+          ctx.stats.recovered_terminals <- ctx.stats.recovered_terminals + 1;
         Mutex.lock g.cb_lock;
         Fun.protect
           ~finally:(fun () -> Mutex.unlock g.cb_lock)
-          (fun () -> g.on_terminal item.config (List.rev item.rev_trace))
+          (fun () -> g.on_terminal item.config (List.rev item.rev_trace));
+        (* Terminal for the processes, not necessarily for the search:
+           with recovery budget left, the adversary may still revive a
+           crashed process (the sequential explorer does the same). *)
+        push_recoveries ()
       | runnable ->
         List.iter
           (fun i ->
@@ -244,7 +311,8 @@ let process ctx item =
                   rev_trace = Trace.Crash victim :: item.rev_trace;
                   depth = item.depth + 1;
                 })
-            (Step.crash_successors item.config))
+            (Step.crash_successors item.config);
+        push_recoveries ())
 
 let[@inline] next_rand ctx =
   let x = ctx.rng in
@@ -330,20 +398,29 @@ let rec worker ctx =
         worker ctx
       | None -> ())
 
-let visited_bits g =
-  if g.paranoid then None
-  else
-    match g.table with
-    | Shards _ -> Some Explore.fingerprint_bits (* full two-lane keys *)
-    | Claims t -> Some (Claim_table.bits t)
+(* Collision bound for a claim table, piecewise after an escalation:
+   a state is missed when its words match an earlier entry, so pairs
+   whose earlier member sits in a folded segment collide at 2^-62 and
+   purely two-lane pairs at 2^-124.  With no escalation this reduces to
+   the plain single-width birthday bound. *)
+let claims_bound t ~states =
+  let nf = min (Claim_table.folded_occupancy t) states in
+  let nt = states - nf in
+  let fnf = float_of_int nf and fnt = float_of_int nt in
+  min 1.0
+    ((((fnf *. (fnf -. 1.0) /. 2.0) +. (fnf *. fnt)) *. ldexp 1.0 (-62))
+    +. (fnt *. (fnt -. 1.0) /. 2.0 *. ldexp 1.0 (-124)))
 
 let merge_stats g (all : dstats list) =
   let sum f = List.fold_left (fun acc d -> acc + f d) 0 all in
   let limit_reason =
-    if Atomic.get g.stop = Some Budget then Explore.Max_states
-    else if List.exists (fun d -> d.depth_limited) all then Explore.Max_depth
-    else if g.sleep_downgraded then Explore.Sleep_sets_off
-    else Explore.No_limit
+    match Atomic.get g.stop with
+    | Some Budget -> Explore.Max_states
+    | Some Deadline -> Explore.Deadline
+    | Some (Callback _) | None ->
+      if List.exists (fun d -> d.depth_limited) all then Explore.Max_depth
+      else if g.sleep_downgraded then Explore.Sleep_sets_off
+      else Explore.No_limit
   in
   let states = sum (fun d -> d.states) in
   {
@@ -352,14 +429,18 @@ let merge_stats g (all : dstats list) =
     terminals = sum (fun d -> d.terminals);
     hung_terminals = sum (fun d -> d.hung_terminals);
     crashed_terminals = sum (fun d -> d.crashed_terminals);
+    recovered_terminals = sum (fun d -> d.recovered_terminals);
     max_depth = List.fold_left (fun acc d -> max acc d.max_depth) 0 all;
     dedup_hits = sum (fun d -> d.dedup_hits);
     sleep_skips = 0;
     cycles = 0;
     collision_bound =
-      (match visited_bits g with
-      | None -> 0.0
-      | Some bits -> Explore.collision_bound ~bits ~states);
+      (if g.paranoid then 0.0
+       else
+         match g.table with
+         | Shards _ ->
+           Explore.collision_bound ~bits:Explore.fingerprint_bits ~states
+         | Claims t -> claims_bound t ~states);
     limited = Explore.reason_truncates limit_reason;
     limit_reason;
   }
@@ -438,8 +519,9 @@ let emit_obs label g stats (dstats : dstats array) dt =
              (Array.to_list dstats)))
 
 let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
-    ?(max_crashes = 0) ?(reduction = Explore.no_reduction) ?(paranoid = false)
-    ~jobs ~on_terminal ~on_visit label config =
+    ?(max_crashes = 0) ?(max_recoveries = 0) ?deadline ?expected_states
+    ?(escalate_threshold = 1e-6) ?(reduction = Explore.no_reduction)
+    ?(paranoid = false) ~jobs ~on_terminal ~on_visit label config =
   let jobs = max 1 jobs in
   let visited =
     match visited with
@@ -464,10 +546,14 @@ let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
           Shards
             (Array.init n_shards (fun _ ->
                  { lock = Mutex.create (); tbl = Fingerprint.Ktbl.create 1024 }))
-        | Lockfree ->
-          Claims (Claim_table.create ~initial_capacity:8192 `Two_lane)
-        | Compressed ->
-          Claims (Claim_table.create ~initial_capacity:8192 `Folded));
+        | Lockfree | Compressed ->
+          let mode =
+            match visited with Compressed -> `Folded | _ -> `Two_lane
+          in
+          Claims
+            (match expected_states with
+            | Some _ -> Claim_table.create ?expected_states mode
+            | None -> Claim_table.create ~initial_capacity:8192 mode));
       visited;
       deques = Array.init jobs (fun _ -> Ws_deque.create ~dummy:root ());
       idle = Atomic.make 0;
@@ -477,6 +563,13 @@ let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
       max_states;
       depth_limit = max_depth;
       max_crashes;
+      max_recoveries;
+      deadline_at =
+        (match deadline with
+        | None -> infinity
+        | Some secs -> Unix.gettimeofday () +. secs);
+      escalate_threshold;
+      escalated = Atomic.make false;
       reduction;
       sleep_downgraded;
       paranoid;
@@ -499,6 +592,7 @@ let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
       id = 0;
       stats = seed_stats;
       rng = 0x9E3779B9;
+      tick = 0;
       push = (fun w -> Queue.push w queue);
     }
   in
@@ -533,6 +627,7 @@ let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
                   id = i;
                   stats = dstats.(i);
                   rng = 0x9E3779B9 * (i + 1);
+                  tick = 0;
                   push = (fun w -> Ws_deque.push g.deques.(i) w);
                 }
               in
@@ -545,25 +640,30 @@ let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
   let stats = merge_stats g (seed_stats :: Array.to_list dstats) in
   emit_obs label g stats dstats dt;
   (match Atomic.get g.stop with
-  | Some (Callback Stop) | Some Budget | None -> ()
+  | Some (Callback Stop) | Some Budget | Some Deadline | None -> ()
   | Some (Callback e) -> raise e);
   stats
 
-let iter_terminals ?visited ?max_states ?max_depth ?max_crashes ?reduction
+let iter_terminals ?visited ?max_states ?max_depth ?max_crashes
+    ?max_recoveries ?deadline ?expected_states ?escalate_threshold ?reduction
     ?paranoid ~jobs config ~f =
-  run ?visited ?max_states ?max_depth ?max_crashes ?reduction ?paranoid ~jobs
+  run ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
+    ?expected_states ?escalate_threshold ?reduction ?paranoid ~jobs
     ~on_terminal:f
     ~on_visit:(fun _ _ -> ())
     "iter_terminals" config
 
-let iter_reachable ?visited ?max_states ?max_depth ?max_crashes ?reduction
+let iter_reachable ?visited ?max_states ?max_depth ?max_crashes
+    ?max_recoveries ?deadline ?expected_states ?escalate_threshold ?reduction
     ?paranoid ~jobs config ~f =
-  run ?visited ?max_states ?max_depth ?max_crashes ?reduction ?paranoid ~jobs
+  run ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
+    ?expected_states ?escalate_threshold ?reduction ?paranoid ~jobs
     ~on_terminal:(fun _ _ -> ())
     ~on_visit:f "iter_reachable" config
 
-let find_terminal ?visited ?max_states ?max_depth ?max_crashes ?reduction
-    ?paranoid ~jobs config ~violates =
+let find_terminal ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries
+    ?deadline ?expected_states ?escalate_threshold ?reduction ?paranoid ~jobs
+    config ~violates =
   let found = ref None in
   (* [on_terminal] runs under the callback lock, so the first writer
      wins and the witness is stable once set. *)
@@ -574,18 +674,21 @@ let find_terminal ?visited ?max_states ?max_depth ?max_crashes ?reduction
     end
   in
   let stats =
-    run ?visited ?max_states ?max_depth ?max_crashes ?reduction ?paranoid
-      ~jobs ~on_terminal
+    run ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
+      ?expected_states ?escalate_threshold ?reduction ?paranoid ~jobs
+      ~on_terminal
       ~on_visit:(fun _ _ -> ())
       "find_terminal" config
   in
   (!found, stats)
 
-let check_terminals ?visited ?max_states ?max_depth ?max_crashes ?reduction
+let check_terminals ?visited ?max_states ?max_depth ?max_crashes
+    ?max_recoveries ?deadline ?expected_states ?escalate_threshold ?reduction
     ?paranoid ~jobs config ~ok =
   match
-    find_terminal ?visited ?max_states ?max_depth ?max_crashes ?reduction
-      ?paranoid ~jobs config
+    find_terminal ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries
+      ?deadline ?expected_states ?escalate_threshold ?reduction ?paranoid
+      ~jobs config
       ~violates:(fun c -> not (ok c))
   with
   | None, stats -> Ok stats

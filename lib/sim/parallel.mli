@@ -28,13 +28,34 @@
     state is expanded at most once and the explored graph is exactly the
     sequential one.
 
+    {b Escalation.}  Under [Compressed], once the 62-bit birthday bound
+    over the global state count crosses [?escalate_threshold] (default
+    [1e-6]; [<= 0.] disables) the claim table escalates in place to
+    two-lane keys: a two-lane head segment is prepended, the folded tail
+    keeps serving probes, and [stats.collision_bound] switches to the
+    piecewise accounting (folded-era pairs at 2^-62, the rest at
+    2^-124).  A one-line note goes to stderr and the
+    [parallel.visited_escalated] metrics counter is bumped.
+
+    {b Fault budgets.}  [?max_crashes] and [?max_recoveries] mirror the
+    sequential explorer exactly — budget exactness holds at any [jobs]
+    because recover successors are pushed by whichever domain claims the
+    state, and the recovery count is part of the fingerprint.
+
+    {b Deadline.}  [?deadline] (seconds of wall clock) stops the search
+    through the first-cause stop protocol; the merged stats then read
+    [limited = true], [limit_reason = Deadline].  Which states were
+    visited before the cutoff is scheduling-dependent — a deadline run
+    is only ever a {e Limited} answer.
+
     {b Determinism.}  On acyclic state graphs (every one-shot bounded
     algorithm in this repository) the merged [states], [transitions],
-    [terminals], [hung_terminals] and [crashed_terminals] equal the
-    sequential explorer's — at any [jobs], under any of the three
-    visited modes: claim-once yields the same reachable set however the
-    race for claims resolves, and each claimed state contributes its
-    fixed out-degree.  [max_depth], [dedup_hits] and the particular
+    [terminals], [hung_terminals], [crashed_terminals] and
+    [recovered_terminals] equal the sequential explorer's — at any
+    [jobs], under any of the three visited modes: claim-once yields the
+    same reachable set however the race for claims resolves, and each
+    claimed state contributes its fixed out-degree.  [max_depth],
+    [dedup_hits] and the particular
     witness traces are racy; checkers built on this module return
     deterministic {e verdicts} with possibly different (equally valid)
     witnesses.  [cycles] and [sleep_skips] are always [0] here:
@@ -78,6 +99,10 @@ val iter_terminals :
   ?max_states:int ->
   ?max_depth:int ->
   ?max_crashes:int ->
+  ?max_recoveries:int ->
+  ?deadline:float ->
+  ?expected_states:int ->
+  ?escalate_threshold:float ->
   ?reduction:Explore.reduction ->
   ?paranoid:bool ->
   jobs:int ->
@@ -93,6 +118,10 @@ val iter_reachable :
   ?max_states:int ->
   ?max_depth:int ->
   ?max_crashes:int ->
+  ?max_recoveries:int ->
+  ?deadline:float ->
+  ?expected_states:int ->
+  ?escalate_threshold:float ->
   ?reduction:Explore.reduction ->
   ?paranoid:bool ->
   jobs:int ->
@@ -108,6 +137,10 @@ val find_terminal :
   ?max_states:int ->
   ?max_depth:int ->
   ?max_crashes:int ->
+  ?max_recoveries:int ->
+  ?deadline:float ->
+  ?expected_states:int ->
+  ?escalate_threshold:float ->
   ?reduction:Explore.reduction ->
   ?paranoid:bool ->
   jobs:int ->
@@ -122,6 +155,10 @@ val check_terminals :
   ?max_states:int ->
   ?max_depth:int ->
   ?max_crashes:int ->
+  ?max_recoveries:int ->
+  ?deadline:float ->
+  ?expected_states:int ->
+  ?escalate_threshold:float ->
   ?reduction:Explore.reduction ->
   ?paranoid:bool ->
   jobs:int ->

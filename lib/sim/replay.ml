@@ -19,6 +19,10 @@ let apply config = function
     match Config.crash config i with
     | config' -> Ok config'
     | exception Invalid_argument reason -> Error reason)
+  | Trace.Recover i -> (
+    match Config.recover config i with
+    | config' -> Ok config'
+    | exception Invalid_argument reason -> Error reason)
 
 let replay config trace =
   let rec go config acc at = function

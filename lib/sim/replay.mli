@@ -3,9 +3,10 @@
     A trace plus the initial configuration determines the execution: each
     event names the process that stepped and the response it received,
     which also pins down the resolution of object nondeterminism.  Crash
-    events replay as {!Config.crash} transitions, so counterexample
-    schedules produced under a crash adversary or a crash-budgeted
-    exploration reproduce the same terminal configuration.  Replay recovers
+    events replay as {!Config.crash} transitions and recovery events as
+    {!Config.recover}, so counterexample schedules produced under a crash
+    or recovery adversary or a fault-budgeted exploration reproduce the
+    same terminal configuration.  Replay recovers
     every intermediate configuration — used to pretty-print counterexample
     schedules with full store states, and to assert that traces produced by
     the runner and the model checker are faithful. *)

@@ -8,6 +8,12 @@ type strategy =
   | Only of int list
   | Crash_at of { crashes : (int * int) list; seed : int option }
   | Crash_random of { seed : int; max_crashes : int }
+  | Recover_after of {
+      crashes : (int * int) list;
+      recoveries : (int * int) list;
+      seed : int option;
+    }
+  | Recover_random of { seed : int; max_crashes : int; max_recoveries : int }
 
 type result = {
   final : Config.t;
@@ -30,14 +36,14 @@ let scheduler_of_strategy = function
   | Random seed as s ->
     { pending = []; last = -1; rng = Some (Random.State.make [| seed |]); kind = s }
   | Fixed sched as s -> { pending = sched; last = -1; rng = None; kind = s }
-  | Crash_at { seed; _ } as s ->
+  | (Crash_at { seed; _ } | Recover_after { seed; _ }) as s ->
     {
       pending = [];
       last = -1;
       rng = Option.map (fun seed -> Random.State.make [| seed |]) seed;
       kind = s;
     }
-  | Crash_random { seed; _ } as s ->
+  | (Crash_random { seed; _ } | Recover_random { seed; _ }) as s ->
     { pending = []; last = -1; rng = Some (Random.State.make [| seed |]); kind = s }
 
 let round_robin_next sched runnable =
@@ -52,8 +58,9 @@ let random_next rng runnable =
 let next_proc sched runnable =
   match sched.kind with
   | Round_robin -> round_robin_next sched runnable
-  | Random _ | Crash_random _ -> random_next (Option.get sched.rng) runnable
-  | Crash_at _ -> (
+  | Random _ | Crash_random _ | Recover_random _ ->
+    random_next (Option.get sched.rng) runnable
+  | Crash_at _ | Recover_after _ -> (
     match sched.rng with
     | Some rng -> random_next rng runnable
     | None -> round_robin_next sched runnable)
@@ -84,6 +91,7 @@ let pick_successor sched successors =
 let m_runs = Obs.Metrics.counter "runner.runs"
 let m_steps = Obs.Metrics.counter "runner.steps"
 let m_crashes = Obs.Metrics.counter "runner.crashes_injected"
+let m_recoveries = Obs.Metrics.counter "runner.recoveries_injected"
 let m_incomplete = Obs.Metrics.counter "runner.incomplete"
 
 let strategy_name = function
@@ -94,11 +102,14 @@ let strategy_name = function
   | Only _ -> "only"
   | Crash_at _ -> "crash_at"
   | Crash_random _ -> "crash_random"
+  | Recover_after _ -> "recover_after"
+  | Recover_random _ -> "recover_random"
 
 let observe strategy r =
   Obs.Metrics.incr m_runs;
   Obs.Metrics.add m_steps r.steps;
   Obs.Metrics.add m_crashes (Config.n_crashed r.final);
+  Obs.Metrics.add m_recoveries (List.length (Trace.recoveries r.trace));
   if not r.completed then Obs.Metrics.incr m_incomplete;
   if Obs.Sink.get () != Obs.Sink.null then
     Obs.Sink.emit "run"
@@ -107,24 +118,37 @@ let observe strategy r =
         ("steps", Obs.Sink.Int r.steps);
         ("completed", Obs.Sink.Bool r.completed);
         ("crashed", Obs.Sink.Int (Config.n_crashed r.final));
+        ("recovered", Obs.Sink.Int (List.length (Trace.recoveries r.trace)));
         ("starved", Obs.Sink.Int (List.length r.starved));
       ];
   r
 
 let run ?(max_steps = 1_000_000) strategy config =
   let sched = scheduler_of_strategy strategy in
-  (* Crash plan for [Crash_at]: (step, proc) pairs, applied in step order. *)
+  (* Crash plan for [Crash_at]/[Recover_after]: (step, proc) pairs,
+     applied in step order. *)
   let plan =
     ref
       (match strategy with
-      | Crash_at { crashes; _ } -> List.sort compare crashes
+      | Crash_at { crashes; _ } | Recover_after { crashes; _ } ->
+        List.sort compare crashes
       | _ -> [])
   in
+  (* Recovery plan for [Recover_after], same shape. *)
+  let rplan =
+    ref
+      (match strategy with
+      | Recover_after { recoveries; _ } -> List.sort compare recoveries
+      | _ -> [])
+  in
+  (* [Recover_random]'s crash budget counts crashes {e injected}, not
+     currently-crashed processes — a recovery must not refill it. *)
+  let crashes_injected = ref 0 in
   (* Crash every running process the adversary has scheduled to die before
      the current step; crash events enter the trace. *)
   let inject_crashes config rev_trace steps =
     match strategy with
-    | Crash_at _ ->
+    | Crash_at _ | Recover_after _ ->
       let due, later = List.partition (fun (s, _) -> s <= steps) !plan in
       plan := later;
       List.fold_left
@@ -145,6 +169,50 @@ let run ?(max_steps = 1_000_000) strategy config =
         let victim = random_next rng running in
         (Config.crash config victim, Trace.Crash victim :: rev_trace)
       else (config, rev_trace)
+    | Recover_random { max_crashes; _ } ->
+      let rng = Option.get sched.rng in
+      let running = Config.running config in
+      if
+        running <> []
+        && !crashes_injected < max_crashes
+        && Random.State.int rng 4 = 0
+      then begin
+        let victim = random_next rng running in
+        incr crashes_injected;
+        (Config.crash config victim, Trace.Crash victim :: rev_trace)
+      end
+      else (config, rev_trace)
+    | _ -> (config, rev_trace)
+  in
+  (* Recover crashed processes the adversary has scheduled to revive.
+     With [~drain:true] (the run has no runnable process left) the whole
+     remaining plan — or, for [Recover_random], the remaining budget — is
+     applied, so planned recoveries are not silently lost when every
+     process finishes or crashes before their step number comes up. *)
+  let inject_recoveries ~drain config rev_trace steps =
+    match strategy with
+    | Recover_after _ ->
+      let due, later =
+        List.partition (fun (s, _) -> drain || s <= steps) !rplan
+      in
+      rplan := later;
+      List.fold_left
+        (fun (c, rt) (_, p) ->
+          if p >= 0 && p < Config.n_procs c && List.mem p (Config.crashed c)
+          then (Config.recover c p, Trace.Recover p :: rt)
+          else (c, rt))
+        (config, rev_trace) due
+    | Recover_random { max_recoveries; _ } ->
+      let rng = Option.get sched.rng in
+      let crashed = Config.crashed config in
+      if
+        crashed <> []
+        && Config.n_recoveries config < max_recoveries
+        && (drain || Random.State.int rng 4 = 0)
+      then
+        let p = random_next rng crashed in
+        (Config.recover config p, Trace.Recover p :: rev_trace)
+      else (config, rev_trace)
     | _ -> (config, rev_trace)
   in
   let rec loop config rev_trace steps =
@@ -158,12 +226,31 @@ let run ?(max_steps = 1_000_000) strategy config =
       }
     else
       let config, rev_trace = inject_crashes config rev_trace steps in
+      let config, rev_trace =
+        inject_recoveries ~drain:false config rev_trace steps
+      in
       let all = Config.running config in
       match
         (match strategy with
         | Only survivors -> List.filter (fun i -> List.mem i survivors) all
         | _ -> all)
       with
+      | [] when all = [] ->
+        (* Nobody can step.  A recovery adversary with plan or budget
+           left may still revive a crashed process; otherwise the run is
+           over. *)
+        let config', rev_trace' =
+          inject_recoveries ~drain:true config rev_trace steps
+        in
+        if Config.running config' <> [] then loop config' rev_trace' steps
+        else
+          {
+            final = config';
+            trace = List.rev rev_trace';
+            steps;
+            completed = Config.is_terminal config';
+            starved = [];
+          }
       | [] ->
         (* With [Only], runnable non-survivors are starved, not finished:
            the caller must be able to tell "terminated" from "everyone left

@@ -9,7 +9,16 @@
     crashes chosen processes at chosen steps (deterministic fault
     injection), [Crash_random] crashes up to a budget of random victims at
     random points (seeded, hence reproducible).  A crashed process never
-    takes another step; the run continues with the survivors. *)
+    takes another step; the run continues with the survivors.
+
+    The recovery adversaries additionally revive crashed processes
+    ([Trace.Recover] events): the object store's persistent components
+    survive, the process's volatile slot restarts ({!Config.recover}).
+    [Recover_after] is the deterministic crash/recover script;
+    [Recover_random] crashes and recovers at seeded-random points within
+    budgets.  When no process can run but a recovery is still scheduled
+    (or budgeted), the pending recoveries are drained so a planned revival
+    is never lost to early termination. *)
 
 type strategy =
   | Round_robin
@@ -35,11 +44,30 @@ type strategy =
       (** crash-at-random adversary: seeded-random scheduling; before each
           step, with probability 1/4, crashes a random running process as
           long as fewer than [max_crashes] processes have crashed *)
+  | Recover_after of {
+      crashes : (int * int) list;
+      recoveries : (int * int) list;
+      seed : int option;
+    }
+      (** deterministic crash-recovery script: [crashes] as in [Crash_at];
+          each [(s, p)] in [recoveries] recovers process [p] just before
+          the [s]-th scheduled step (if it is crashed by then).
+          Recoveries whose step never arrives are drained when the run
+          would otherwise end.  Scheduling is round-robin, or
+          seeded-random when [seed] is given. *)
+  | Recover_random of { seed : int; max_crashes : int; max_recoveries : int }
+      (** crash-recovery-at-random adversary: seeded-random scheduling;
+          before each step, with probability 1/4 each, crashes a random
+          running process (while fewer than [max_crashes] crashes have
+          been {e injected}) and recovers a random crashed process (while
+          fewer than [max_recoveries] recoveries have occurred) *)
 
 type result = {
   final : Config.t;
-  trace : Trace.t;  (** includes [Trace.Crash] events for crash adversaries *)
-  steps : int;  (** scheduled steps (crashes are not counted) *)
+  trace : Trace.t;
+      (** includes [Trace.Crash] / [Trace.Recover] events for the fault
+          adversaries *)
+  steps : int;  (** scheduled steps (crashes and recoveries are not counted) *)
   completed : bool;
       (** true iff the final configuration is terminal: false when
           [max_steps] was hit first, or when [Only] starved runnable

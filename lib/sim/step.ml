@@ -20,15 +20,25 @@ let step (c : Config.t) i =
   match proc.Config.status with
   | Config.Terminated _ | Config.Hung | Config.Crashed ->
     invalid_arg (Printf.sprintf "Step.step: process %d cannot step" i)
-  | Config.Running (Program.Return _ | Program.Checkpoint _) ->
+  | Config.Running (Program.Return _ | Program.Checkpoint _)
+  | Config.Recovering (Program.Return _ | Program.Checkpoint _) ->
     (* Normalized away by [Config.advance]; unreachable. *)
     assert false
-  | Config.Running (Program.Invoke (h, op, k)) ->
+  (* A [Recovering] process steps exactly like a [Running] one; its first
+     step re-normalizes the status through [Config.advance], so the
+     transient tag lasts one transition. *)
+  | Config.Running (Program.Invoke (h, op, k))
+  | Config.Recovering (Program.Invoke (h, op, k)) ->
     let kind = Store.kind c.store (h : Store.handle) in
     let with_proc status history =
       let procs = Array.copy c.procs in
       procs.(i) <-
-        { Config.status; history; steps = proc.Config.steps + 1 };
+        {
+          Config.status;
+          history;
+          steps = proc.Config.steps + 1;
+          recoveries = proc.Config.recoveries;
+        };
       procs
     in
     let successors = Store.apply c.store h op in
@@ -46,10 +56,16 @@ let step (c : Config.t) i =
             Config.advance (k resp) (resp :: proc.Config.history)
           in
           let procs = with_proc status history in
-          ({ Config.store = store'; procs }, event (Some resp)))
+          ({ c with Config.store = store'; procs }, event (Some resp)))
         successors)
 
 (* Crash transitions: instead of stepping, any running process can crash.
    One successor per running process, paired with the victim's index. *)
 let crash_successors (c : Config.t) =
   List.map (fun i -> (Config.crash c i, i)) (Config.running c)
+
+(* Recovery transitions: any crashed process can recover, restarting its
+   initial program over persistent object state.  One successor per
+   crashed process, paired with the recoverer's index. *)
+let recover_successors (c : Config.t) =
+  List.map (fun i -> (Config.recover c i, i)) (Config.crashed c)

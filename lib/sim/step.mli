@@ -25,3 +25,9 @@ val step : Config.t -> int -> (Config.t * event) list
     transition of the operational semantics: the model checker uses it to
     quantify over crash patterns (bounded by its crash budget). *)
 val crash_successors : Config.t -> (Config.t * int) list
+
+(** [recover_successors config] is every successor obtained by recovering
+    one crashed process ({!Config.recover}), paired with the recoverer's
+    index.  Like crashes, recoveries are transitions of the operational
+    semantics, bounded by the model checker's recovery budget. *)
+val recover_successors : Config.t -> (Config.t * int) list

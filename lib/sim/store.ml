@@ -37,6 +37,23 @@ let apply store h op =
       ({ store with objs = Imap.add h (model, st') store.objs }, resp))
     successors
 
+(* Recovery projection of the whole store: each object's state through its
+   model's [persist].  Fully persistent stores (every [persist] is [None],
+   the default) are returned physically unchanged, so crash-only
+   explorations pay nothing for the recovery machinery. *)
+let recover store =
+  if
+    Imap.for_all (fun _ (model, _) -> Obj_model.all_persistent model) store.objs
+  then store
+  else
+    {
+      store with
+      objs =
+        Imap.map
+          (fun (model, st) -> (model, Obj_model.persist_state model st))
+          store.objs;
+    }
+
 let contents store =
   List.map (fun (h, (_, st)) -> (h, st)) (Imap.bindings store.objs)
 

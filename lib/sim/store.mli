@@ -31,6 +31,13 @@ val model : t -> handle -> Obj_model.t
     [op] on object [h]; the empty list means the invocation hangs. *)
 val apply : t -> handle -> Op.t -> (t * Value.t) list
 
+(** [recover store] applies every object's recovery projection
+    ({!Obj_model.persist_state}) to its state — the shared-memory side of a
+    crash-recovery transition ({!Config.recover}).  When every object is
+    fully persistent (the default) the store is returned physically
+    unchanged. *)
+val recover : t -> t
+
 (** [contents store] lists (handle, state) pairs in increasing handle order;
     used for configuration canonicalization. *)
 val contents : t -> (int * Value.t) list

@@ -119,6 +119,7 @@ let key_under t (pi : perm) (c : Config.t) =
       | Config.Terminated v -> Value.Tag ("done", act v)
       | Config.Hung -> Value.Sym "hung"
       | Config.Crashed -> Value.Sym "crash"
+      | Config.Recovering _ -> Value.Sym "recover"
     in
     let history =
       match p.Config.status with
@@ -128,7 +129,11 @@ let key_under t (pi : perm) (c : Config.t) =
            never permute the list itself. *)
         List.map act p.Config.history
     in
-    Value.Pair (status, Value.Vec history)
+    (* The recovery counter is never erased, even for finished processes:
+       the remaining recovery budget is a function of the total consumed,
+       so merging configurations that differ in it would be unsound. *)
+    Value.Pair
+      (status, Value.Pair (Value.Int p.Config.recoveries, Value.Vec history))
   in
   let procs = Array.make t.n Value.Unit in
   Array.iteri (fun i p -> procs.(pi.(i)) <- act_proc p) c.Config.procs;

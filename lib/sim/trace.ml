@@ -1,14 +1,28 @@
-type event = Sched of Step.event | Crash of int
+type event = Sched of Step.event | Crash of int | Recover of int
 type t = event list
 
 let empty = []
 let length = List.length
 let sched e = Sched e
 let crash_of i = Crash i
-let actor = function Sched e -> e.Step.proc | Crash i -> i
+let recover_of i = Recover i
 
-let ops t = List.filter_map (function Sched e -> Some e | Crash _ -> None) t
-let crashes t = List.filter_map (function Crash i -> Some i | Sched _ -> None) t
+let actor = function Sched e -> e.Step.proc | Crash i | Recover i -> i
+
+let ops t =
+  List.filter_map
+    (function Sched e -> Some e | Crash _ | Recover _ -> None)
+    t
+
+let crashes t =
+  List.filter_map
+    (function Crash i -> Some i | Sched _ | Recover _ -> None)
+    t
+
+let recoveries t =
+  List.filter_map
+    (function Recover i -> Some i | Sched _ | Crash _ -> None)
+    t
 
 let events_of t i =
   List.filter (fun (e : Step.event) -> e.Step.proc = i) (ops t)
@@ -20,7 +34,7 @@ let first_step t i =
     (fun (idx, ev) ->
       match ev with
       | Sched e when e.Step.proc = i -> Some idx
-      | Sched _ | Crash _ -> None)
+      | Sched _ | Crash _ | Recover _ -> None)
     (indexed t)
 
 let last_step t i =
@@ -28,7 +42,7 @@ let last_step t i =
     (fun acc (idx, ev) ->
       match ev with
       | Sched e when e.Step.proc = i -> Some idx
-      | Sched _ | Crash _ -> acc)
+      | Sched _ | Crash _ | Recover _ -> acc)
     None (indexed t)
 
 let schedule t = List.map (fun (e : Step.event) -> e.Step.proc) (ops t)
@@ -36,6 +50,7 @@ let schedule t = List.map (fun (e : Step.event) -> e.Step.proc) (ops t)
 let pp_event ppf = function
   | Sched e -> Step.pp_event ppf e
   | Crash i -> Format.fprintf ppf "P%d: CRASH" i
+  | Recover i -> Format.fprintf ppf "P%d: RECOVER" i
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
@@ -79,6 +94,7 @@ let pp_diagram ~n_procs ppf t =
           in
           (e.Step.proc, cell)
         | Crash i -> (i, "CRASH ††")
+        | Recover i -> (i, "RECOVER ↺")
       in
       let row =
         String.concat " | "

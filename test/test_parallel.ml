@@ -570,9 +570,14 @@ let claim_table_claim_once () =
             Alcotest.failf "%s: key %d claimed fresh %d times" mode_label i
               (Atomic.get w))
         wins;
-      Alcotest.(check int)
-        (mode_label ^ " occupancy = distinct keys")
-        n_keys (Claim_table.occupancy t);
+      (* Occupancy counts consumed slots, which includes claims aborted
+         by the growth-validation race and tombstoned — so it can exceed
+         the distinct-key count by the (rare, scheduling-dependent)
+         number of retried claims, never fall below it. *)
+      Alcotest.(check bool)
+        (mode_label ^ " occupancy >= distinct keys")
+        true
+        (Claim_table.occupancy t >= n_keys);
       (* The clustered hashes force long probe chains: the probe counter
          must reflect that (strictly more probes than claims). *)
       let probes =

@@ -1,0 +1,348 @@
+(* The crash-recovery fault model end to end: the recoverable-consensus
+   separation table (Ovens-style — readable one-shot winners lose their
+   power once a recovery is allowed, CAS and consensus objects keep it),
+   the deterministic and randomized recovery adversaries with trace
+   replay, jobs=1 vs jobs=N agreement of the recovery-aware explorations,
+   and the budget plumbing (deadline truncation, expected-states hint,
+   compressed-table escalation) on recovery state spaces. *)
+open Subc_sim
+open Helpers
+module Register = Subc_objects.Register
+module Task = Subc_tasks.Task
+module Task_check = Subc_check.Task_check
+module Verdict = Subc_check.Verdict
+module R = Subc_check.Recoverable
+
+(* Worker-domain count for the parallel side of each comparison;
+   overridable so CI can pin it (SUBC_TEST_JOBS=4). *)
+let jobs =
+  match Sys.getenv_opt "SUBC_TEST_JOBS" with
+  | Some s -> ( try max 2 (int_of_string s) with _ -> 4)
+  | None -> 4
+
+let seeds n = List.init n (fun i -> (7919 * (i + 1)) + 13)
+
+let recovery_config family ~n ~r =
+  let store, programs = R.protocol Store.empty family ~n ~max_recoveries:r in
+  (Config.make store programs, List.init n (fun i -> Value.Int i))
+
+(* ---------------------------------------------------------------- *)
+(* The separation table.                                             *)
+
+let status = function
+  | Verdict.Proved _ -> `Proved
+  | Verdict.Refuted _ -> `Refuted
+  | Verdict.Limited _ -> `Limited
+
+let separation_table () =
+  List.iter
+    (fun family ->
+      List.iter
+        (fun r ->
+          let got = status (R.verdict family ~n:2 ~max_recoveries:r) in
+          let want =
+            (R.expected family ~max_recoveries:r
+              :> [ `Proved | `Refuted | `Limited ])
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s r=%d matches expected" (R.family_name family)
+               r)
+            true (got = want);
+          (* [solves_recoverable] is the r>=1 column of the table. *)
+          if r > 0 then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s solves_recoverable consistent"
+                 (R.family_name family))
+              (R.solves_recoverable family)
+              (got = `Proved))
+        [ 0; 1 ])
+    R.all_families
+
+(* The test-and-set refutation is genuinely recovery-driven: the
+   counterexample trace contains a recovery, and replaying it (crashes and
+   recoveries included) reproduces a terminal that violates consensus. *)
+let tas_refutation_recovery_driven () =
+  match R.verdict R.Test_and_set ~n:2 ~max_recoveries:1 with
+  | Verdict.Proved _ | Verdict.Limited _ ->
+    Alcotest.fail "test-and-set at r=1 should be refuted"
+  | Verdict.Refuted { trace; _ } ->
+    Alcotest.(check bool) "counterexample contains a recovery" true
+      (Trace.recoveries trace <> []);
+    let config, inputs = recovery_config R.Test_and_set ~n:2 ~r:1 in
+    (match Replay.final config trace with
+    | Error { at; reason } ->
+      Alcotest.failf "counterexample does not replay at %d: %s" at reason
+    | Ok final ->
+      Alcotest.(check bool) "replayed terminal violates consensus" false
+        ((not (Config.any_hung final))
+        && Task.satisfies Task.consensus ~inputs final))
+
+(* A mutated protocol is caught: a CAS protocol whose loser decides its
+   own value instead of re-reading the committed cell breaks agreement —
+   the checker refutes it where the canonical protocol is proved. *)
+let mutated_cas_caught () =
+  let open Program.Syntax in
+  let n = 2 in
+  let store, decs = Store.alloc_many Store.empty n Register.model_bot in
+  let store, regs = Store.alloc_many store n Register.model_bot in
+  let store, c = Store.alloc store Subc_objects.Cas_obj.model_bot in
+  let programs =
+    List.init n (fun me ->
+        let v = Value.Int me in
+        let* d0 = Register.read (List.nth decs me) in
+        if not (Value.is_bot d0) then Program.return d0
+        else
+          let* () = Register.write (List.nth regs me) v in
+          let* _ =
+            Subc_objects.Cas_obj.compare_and_swap c ~expected:Value.Bot
+              ~desired:v
+          in
+          (* The mutation: decide [v] without re-reading the cell. *)
+          let* () = Register.write (List.nth decs me) v in
+          Program.return v)
+  in
+  let inputs = List.init n (fun i -> Value.Int i) in
+  match Task_check.check store ~programs ~inputs ~task:Task.consensus with
+  | Verdict.Refuted _ -> ()
+  | v ->
+    Alcotest.failf "mutated CAS protocol not refuted: %s"
+      (Verdict.status_string v)
+
+(* ---------------------------------------------------------------- *)
+(* Recovery adversaries: determinism, drain, replay.                 *)
+
+let recover_after_deterministic () =
+  let config, inputs = recovery_config R.Cas ~n:2 ~r:1 in
+  let strategy =
+    Runner.Recover_after
+      { crashes = [ (1, 0) ]; recoveries = [ (3, 0) ]; seed = None }
+  in
+  let a = Runner.run strategy config and b = Runner.run strategy config in
+  Alcotest.(check string) "identical trace"
+    (Trace.to_string a.Runner.trace)
+    (Trace.to_string b.Runner.trace);
+  Alcotest.(check (list int)) "process 0 crashed" [ 0 ]
+    (Trace.crashes a.Runner.trace);
+  Alcotest.(check (list int)) "process 0 recovered" [ 0 ]
+    (Trace.recoveries a.Runner.trace);
+  Alcotest.(check (list int)) "nobody left crashed" []
+    (Config.crashed a.Runner.final);
+  Alcotest.(check bool) "CAS protocol still agrees" true
+    (Task.satisfies Task.consensus ~inputs a.Runner.final);
+  match Replay.final config a.Runner.trace with
+  | Error { at; reason } ->
+    Alcotest.failf "replay failed at %d: %s" at reason
+  | Ok final ->
+    Alcotest.(check bool) "replay reproduces decisions" true
+      (Config.decisions final = Config.decisions a.Runner.final)
+
+(* A recovery scheduled past the end of the run is drained, not lost. *)
+let recover_after_drains () =
+  let config, _ = recovery_config R.Cas ~n:2 ~r:1 in
+  let strategy =
+    Runner.Recover_after
+      { crashes = [ (1, 0) ]; recoveries = [ (1000, 0) ]; seed = None }
+  in
+  let a = Runner.run strategy config in
+  Alcotest.(check (list int)) "drained recovery happened" [ 0 ]
+    (Trace.recoveries a.Runner.trace);
+  Alcotest.(check (list int)) "nobody left crashed" []
+    (Config.crashed a.Runner.final)
+
+let recover_random_deterministic_and_replays () =
+  let config, _ = recovery_config R.Cas ~n:3 ~r:2 in
+  let recovered_runs = ref 0 in
+  List.iter
+    (fun seed ->
+      let run () =
+        Runner.run
+          (Runner.Recover_random { seed; max_crashes = 2; max_recoveries = 2 })
+          config
+      in
+      let a = run () and b = run () in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: identical trace" seed)
+        (Trace.to_string a.Runner.trace)
+        (Trace.to_string b.Runner.trace);
+      if Trace.recoveries a.Runner.trace <> [] then incr recovered_runs;
+      match Replay.final config a.Runner.trace with
+      | Error { at; reason } ->
+        Alcotest.failf "seed %d: replay failed at %d: %s" seed at reason
+      | Ok final ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: same decisions" seed)
+          true
+          (Config.decisions final = Config.decisions a.Runner.final);
+        Alcotest.(check (list int))
+          (Printf.sprintf "seed %d: same crashed set" seed)
+          (Config.crashed a.Runner.final)
+          (Config.crashed final))
+    (seeds 30);
+  Alcotest.(check bool) "some runs contained recoveries" true
+    (!recovered_runs > 0)
+
+(* ---------------------------------------------------------------- *)
+(* jobs=1 vs jobs=N on recovery state spaces.                        *)
+
+let same_counts label (a : Explore.stats) (b : Explore.stats) =
+  Alcotest.(check int) (label ^ ": states") a.Explore.states b.Explore.states;
+  Alcotest.(check int)
+    (label ^ ": transitions")
+    a.Explore.transitions b.Explore.transitions;
+  Alcotest.(check int)
+    (label ^ ": terminals")
+    a.Explore.terminals b.Explore.terminals;
+  Alcotest.(check int)
+    (label ^ ": hung terminals")
+    a.Explore.hung_terminals b.Explore.hung_terminals;
+  Alcotest.(check int)
+    (label ^ ": crashed terminals")
+    a.Explore.crashed_terminals b.Explore.crashed_terminals;
+  Alcotest.(check int)
+    (label ^ ": recovered terminals")
+    a.Explore.recovered_terminals b.Explore.recovered_terminals
+
+let recovery_counts_parallel () =
+  List.iter
+    (fun (family, name, n, r) ->
+      let config, _ = recovery_config family ~n ~r in
+      let max_crashes = max (n - 1) r in
+      let seq =
+        Explore.iter_terminals ~max_crashes ~max_recoveries:r config
+          ~f:(fun _ _ -> ())
+      in
+      let par =
+        Parallel.iter_terminals ~max_crashes ~max_recoveries:r ~jobs config
+          ~f:(fun _ _ -> ())
+      in
+      same_counts name seq par;
+      Alcotest.(check bool)
+        (name ^ ": some terminal recovered")
+        true
+        (seq.Explore.recovered_terminals > 0))
+    [
+      (R.Test_and_set, "tas n=2 r=1", 2, 1);
+      (R.Queue, "queue n=2 r=2", 2, 2);
+      (R.Cas, "cas n=3 r=1", 3, 1);
+    ]
+
+let verdict_agrees_across_jobs () =
+  List.iter
+    (fun family ->
+      List.iter
+        (fun r ->
+          let v1 = R.verdict family ~n:2 ~max_recoveries:r in
+          let vn = R.verdict ~jobs family ~n:2 ~max_recoveries:r in
+          Alcotest.(check string)
+            (Printf.sprintf "%s r=%d: same status" (R.family_name family) r)
+            (Verdict.status_string v1)
+            (Verdict.status_string vn);
+          match (v1, vn) with
+          | Verdict.Proved _, Verdict.Proved _ ->
+            same_counts
+              (Printf.sprintf "%s r=%d" (R.family_name family) r)
+              (explore_stats_exn v1) (explore_stats_exn vn)
+          | _ -> ())
+        [ 0; 1 ])
+    [ R.Test_and_set; R.Queue; R.Cas ]
+
+(* ---------------------------------------------------------------- *)
+(* Budget plumbing on recovery state spaces.                         *)
+
+let expected_states_hint () =
+  let config, _ = recovery_config R.Test_and_set ~n:2 ~r:1 in
+  let plain =
+    Explore.iter_terminals ~max_crashes:1 ~max_recoveries:1 config
+      ~f:(fun _ _ -> ())
+  in
+  let hinted =
+    Explore.iter_terminals ~max_crashes:1 ~max_recoveries:1
+      ~expected_states:4096 config
+      ~f:(fun _ _ -> ())
+  in
+  same_counts "expected-states hint (sequential)" plain hinted;
+  let par =
+    Parallel.iter_terminals ~max_crashes:1 ~max_recoveries:1
+      ~expected_states:4096 ~jobs config
+      ~f:(fun _ _ -> ())
+  in
+  same_counts "expected-states hint (parallel)" plain par
+
+(* An already-expired deadline truncates the search to Limited/Deadline
+   instead of proving; the space (test-and-set, n=3, r=1: ~11k states) is
+   big enough to guarantee the explorers reach a poll point. *)
+let deadline_truncates () =
+  let config, _ = recovery_config R.Test_and_set ~n:3 ~r:1 in
+  let seq =
+    Explore.iter_terminals ~max_crashes:2 ~max_recoveries:1 ~deadline:0.0
+      config
+      ~f:(fun _ _ -> ())
+  in
+  Alcotest.(check bool) "sequential: limited" true seq.Explore.limited;
+  Alcotest.(check bool) "sequential: reason = deadline" true
+    (seq.Explore.limit_reason = Explore.Deadline);
+  let par =
+    Parallel.iter_terminals ~max_crashes:2 ~max_recoveries:1 ~deadline:0.0
+      ~jobs config
+      ~f:(fun _ _ -> ())
+  in
+  Alcotest.(check bool) "parallel: limited" true par.Explore.limited;
+  Alcotest.(check bool) "parallel: reason = deadline" true
+    (par.Explore.limit_reason = Explore.Deadline)
+
+(* Forcing an absurdly small collision-bound threshold makes the
+   compressed claim table escalate to the two-lane (lockfree) keys
+   mid-run; counts must still match the sequential explorer and the
+   escalation must be surfaced in the metrics registry. *)
+let escalation_preserves_counts () =
+  let config, _ = recovery_config R.Test_and_set ~n:3 ~r:1 in
+  let seq =
+    Explore.iter_terminals ~max_crashes:2 ~max_recoveries:1 config
+      ~f:(fun _ _ -> ())
+  in
+  let counter = "parallel.visited_escalated" in
+  let before = Option.value ~default:0.0 (Subc_obs.Metrics.find counter) in
+  let par =
+    Parallel.iter_terminals ~visited:Parallel.Compressed
+      ~escalate_threshold:1e-300 ~max_crashes:2 ~max_recoveries:1 ~jobs
+      config
+      ~f:(fun _ _ -> ())
+  in
+  same_counts "escalated counts" seq par;
+  let after = Option.value ~default:0.0 (Subc_obs.Metrics.find counter) in
+  Alcotest.(check bool) "escalation counter bumped" true (after > before)
+
+let suite =
+  [
+    ( "recovery.separation",
+      [
+        test_slow "separation table matches Ovens expectations"
+          separation_table;
+        test "test-and-set refutation is recovery-driven"
+          tas_refutation_recovery_driven;
+        test "mutated CAS protocol is refuted" mutated_cas_caught;
+      ] );
+    ( "recovery.adversaries",
+      [
+        test "Recover_after is deterministic and replays"
+          recover_after_deterministic;
+        test "late recoveries are drained" recover_after_drains;
+        test_slow "Recover_random is deterministic and replays"
+          recover_random_deterministic_and_replays;
+      ] );
+    ( "recovery.parallel",
+      [
+        test_slow "sequential vs parallel counts (recovery spaces)"
+          recovery_counts_parallel;
+        test_slow "recoverable verdicts agree across jobs"
+          verdict_agrees_across_jobs;
+      ] );
+    ( "recovery.budgets",
+      [
+        test "expected-states hint leaves counts unchanged"
+          expected_states_hint;
+        test "expired deadline truncates to Limited" deadline_truncates;
+        test_slow "compressed-table escalation preserves counts"
+          escalation_preserves_counts;
+      ] );
+  ]

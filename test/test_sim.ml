@@ -322,7 +322,7 @@ let replay_tests =
             (function
               | Trace.Sched e ->
                 Trace.Sched { e with Step.resp = Some (Value.Int 999) }
-              | Trace.Crash _ as ev -> ev)
+              | (Trace.Crash _ | Trace.Recover _) as ev -> ev)
             r.Runner.trace
         in
         Alcotest.(check bool) "rejected" true
