@@ -404,6 +404,91 @@ let perf_canonical ~jobs_list () =
       })
     jobs_list
 
+(* P4 / E19 artifact rows: source-set reduction strength under work
+   stealing — Algorithm 5 k=3 f=1 explored unreduced, with symmetry only,
+   and at full reduction (symmetry + source sets), each at jobs 1/2/4.
+   The counts are deterministic (that is E19's claim, re-asserted here),
+   so the reduction ratio is a constant of the family; we still record it
+   per domain count so the CI artifact shows the parallel runs achieving
+   the same pruning as the sequential one, not a degraded approximation. *)
+let perf_reduction ~jobs_list () =
+  let k = 3 in
+  let config () =
+    let store, t = Subc_core.Alg5.alloc Store.empty ~k () in
+    let programs =
+      List.init k (fun i -> Subc_core.Alg5.wrn t ~i (Value.Int (100 + i)))
+    in
+    Config.make store programs
+  in
+  let sym () = Symmetry.standard ~n:k ~input_base:100 `Rotations in
+  let reductions =
+    [
+      ("none", None);
+      ("symmetry", Some (Explore.with_symmetry (sym ())));
+      ("full", Some (Explore.full_reduction (sym ())));
+    ]
+  in
+  let explore reduction jobs =
+    let t0 = Unix.gettimeofday () in
+    let stats =
+      if jobs <= 1 then
+        Explore.iter_terminals ~max_crashes:1 ?reduction (config ())
+          ~f:(fun _ _ -> ())
+      else
+        Parallel.iter_terminals ~max_crashes:1 ?reduction ~jobs (config ())
+          ~f:(fun _ _ -> ())
+    in
+    (stats, Unix.gettimeofday () -. t0)
+  in
+  let cells =
+    List.map
+      (fun (name, red) ->
+        (name, List.map (fun jobs -> (jobs, explore red jobs)) jobs_list))
+      reductions
+  in
+  let trans name jobs =
+    let s, _ = List.assoc jobs (List.assoc name cells) in
+    s.Explore.transitions
+  in
+  List.concat_map
+    (fun (name, per_jobs) ->
+      let base, _ = snd (List.hd per_jobs) in
+      List.map
+        (fun (jobs, ((stats : Explore.stats), secs)) ->
+          if stats.Explore.transitions <> base.Explore.transitions then
+            Format.printf
+              "!! p4 %s jobs=%d NONDETERMINISM: %d transitions, expected %d@."
+              name jobs stats.Explore.transitions base.Explore.transitions;
+          let ratio_vs_none =
+            float_of_int (trans "none" jobs)
+            /. float_of_int (max 1 stats.Explore.transitions)
+          in
+          let ratio_vs_symmetry =
+            float_of_int (trans "symmetry" jobs)
+            /. float_of_int (max 1 stats.Explore.transitions)
+          in
+          Format.printf
+            "p4: explore alg5 k=3 f=1, reduction=%s jobs=%d: %d states, %d \
+             transitions (%.2fx vs none), %.3fs@."
+            name jobs stats.Explore.states stats.Explore.transitions
+            ratio_vs_none secs;
+          {
+            name = Printf.sprintf "e19.reduction.%s.jobs%d" name jobs;
+            fields =
+              [
+                ("jobs", float_of_int jobs);
+                ("states", float_of_int stats.Explore.states);
+                ("transitions", float_of_int stats.Explore.transitions);
+                ("terminals", float_of_int stats.Explore.terminals);
+                ("source_skips", float_of_int stats.Explore.source_skips);
+                ("seconds", secs);
+                ("ratio_vs_none", ratio_vs_none);
+                ("ratio_vs_symmetry", ratio_vs_symmetry);
+              ];
+          })
+        per_jobs)
+    cells
+
 let run_perf ?(jobs_list = [ 1; 2; 4; 8 ]) () =
   Format.printf "@.=== Performance sweep (%s) ===@." results_file;
   let fingerprint = perf_fingerprint () in
@@ -411,4 +496,7 @@ let run_perf ?(jobs_list = [ 1; 2; 4; 8 ]) () =
   let canonical =
     perf_canonical ~jobs_list:(List.filter (fun j -> j <= 4) jobs_list) ()
   in
-  write_results ((fingerprint :: parallel) @ canonical)
+  let reduction =
+    perf_reduction ~jobs_list:(List.filter (fun j -> j <= 4) jobs_list) ()
+  in
+  write_results ((fingerprint :: parallel) @ canonical @ reduction)

@@ -50,13 +50,15 @@ let reduction_arg =
     value
     & opt
         (enum
-           [ ("none", `None); ("sleep", `Sleep); ("sym", `Sym);
-             ("full", `Full) ])
+           [ ("none", `None); ("source", `Source); ("sleep", `Source);
+             ("sym", `Sym); ("full", `Full) ])
         `None
     & info [ "reduction" ] ~docv:"RED"
         ~doc:
-          "State-space reduction: $(b,none), $(b,sleep) (sleep sets), \
-           $(b,sym) (symmetry quotienting), or $(b,full) (both).  \
+          "State-space reduction: $(b,none), $(b,source) (source sets — \
+           partial-order reduction; $(b,sleep) is a deprecated alias), \
+           $(b,sym) (symmetry quotienting), or $(b,full) (both).  Every \
+           reduction runs at full strength at any $(b,--jobs).  \
            Algorithms with no symmetry group fall back to dead-state \
            erasure for $(b,sym)/$(b,full).")
 
@@ -187,7 +189,7 @@ let instance_store_programs = function
    equivariance, classification) for the algorithm's registered objects;
    the reduction is then built through [Explore.certified_reduction].  A
    non-proved finding refuses the run with the refutation exit code. *)
-let certified_reduction_for ~alg symmetry ~sleep_sets =
+let certified_reduction_for ~alg symmetry ~source_sets =
   match Subc_analysis.Registry.find alg with
   | None ->
     Format.eprintf "no analysis registry family for %S@." alg;
@@ -198,7 +200,7 @@ let certified_reduction_for ~alg symmetry ~sleep_sets =
         entry.Subc_analysis.Registry.subjects
     with
     | Ok certificate ->
-      Explore.certified_reduction ~certificate ~sleep_sets symmetry
+      Explore.certified_reduction ~certificate ~source_sets symmetry
     | Error findings ->
       Format.eprintf "@[<v>analyzer refuses to certify %s:@,%a@]@." alg
         (Format.pp_print_list Subc_analysis.Analyzer.pp_finding)
@@ -217,32 +219,35 @@ let reduction_of ?(certified = false) ~alg choice inst =
   in
   match choice with
   | `None -> None
-  | `Sleep ->
+  | `Source ->
     Some
-      (if certified then certified_reduction_for ~alg None ~sleep_sets:true
-       else { Explore.symmetry = None; sleep_sets = true })
+      (if certified then certified_reduction_for ~alg None ~source_sets:true
+       else { Explore.symmetry = None; source_sets = true })
   | `Sym ->
     Some
       (if certified then
-         certified_reduction_for ~alg (Some (sym ())) ~sleep_sets:false
+         certified_reduction_for ~alg (Some (sym ())) ~source_sets:false
        else Explore.with_symmetry (sym ()))
   | `Full ->
     Some
       (if certified then
-         certified_reduction_for ~alg (Some (sym ())) ~sleep_sets:true
+         certified_reduction_for ~alg (Some (sym ())) ~source_sets:true
        else Explore.full_reduction (sym ()))
 
-let check_instance ?max_states ?max_crashes ?max_recoveries ?deadline
-    ?expected_states ?reduction ?jobs inst =
+(* One [Search.options] record from the CLI's flags — the single funnel
+   every checking subcommand goes through. *)
+let options_of ?deadline ?expected_states ?reduction ~max_states ~max_crashes
+    ~max_recoveries ~jobs () =
+  Search.of_legacy ~max_states ~max_crashes ~max_recoveries ?deadline
+    ?expected_states ?reduction ~jobs ()
+
+let check_instance ~options inst =
   match inst with
   | Task_instance { store; programs; inputs; task; _ } ->
-    Subc_check.Task_check.check ?max_states ?max_crashes ?max_recoveries
-      ?deadline ?expected_states ?reduction ?jobs store ~programs ~inputs
-      ~task
+    Subc_check.Task_check.check ~options store ~programs ~inputs ~task
   | Lin_instance { store; programs; ops; spec; _ } ->
-    Subc_check.Linearizability.check_harness ?max_states ?max_crashes
-      ?max_recoveries ?deadline ?expected_states ?reduction ?jobs store
-      ~programs ~ops ~spec
+    Subc_check.Linearizability.check_harness ~options store ~programs ~ops
+      ~spec
 
 (* Shared flags. *)
 let k_arg = Arg.(value & opt int 3 & info [ "k" ] ~doc:"WRN arity $(docv).")
@@ -299,8 +304,9 @@ let jobs_arg =
         ~doc:
           "Explore with $(docv) domains (multicore).  Verdicts and state \
            counts are deterministic across $(docv); witness traces may \
-           differ.  Sleep sets are forced off when $(docv) > 1 (the \
-           reduction is inherently sequential); symmetry still applies.")
+           differ.  Source sets and symmetry both compose with parallel \
+           search: stolen subtrees prune identically to the sequential \
+           explorer.")
 
 let visited_arg =
   Arg.(
@@ -319,16 +325,6 @@ let visited_arg =
            $(b,sharded) (the mutex-sharded baseline).  Verdicts and state \
            counts are identical across all three.")
 
-(* Sleep sets do not survive parallel exploration; the stderr note
-   complements the machine-readable surfacing (stats.limit_reason =
-   sleep-sets-off and the parallel.sleep_sets_forced_off counter). *)
-let warn_sleep_off ~jobs reduction =
-  match reduction with
-  | Some r when jobs > 1 && r.Explore.sleep_sets ->
-    Format.eprintf
-      "note: --jobs %d forces sleep sets off (symmetry still applies)@."
-      jobs
-  | _ -> ()
 let certified_arg =
   Arg.(
     value & flag
@@ -350,11 +346,11 @@ let check_cmd =
     Parallel.set_default_visited visited;
     let inst = instance_of alg ~n ~k ~crashes:(max f r) in
     let reduction = reduction_of ~certified ~alg choice inst in
-    warn_sleep_off ~jobs reduction;
-    let v =
-      check_instance ~max_states ~max_crashes:(max f r) ~max_recoveries:r
-        ?deadline ?expected_states ?reduction ~jobs inst
+    let options =
+      options_of ?deadline ?expected_states ?reduction ~max_states
+        ~max_crashes:(max f r) ~max_recoveries:r ~jobs ()
     in
+    let v = check_instance ~options inst in
     report ~json alg v;
     finish ~metrics [ v ]
   in
@@ -385,7 +381,7 @@ let stats_fields reduction (stats : Explore.stats) =
     ("transitions", Obs.Sink.Int stats.Explore.transitions);
     ("terminals", Obs.Sink.Int stats.Explore.terminals);
     ("dedup_hits", Obs.Sink.Int stats.Explore.dedup_hits);
-    ("sleep_skips", Obs.Sink.Int stats.Explore.sleep_skips);
+    ("source_skips", Obs.Sink.Int stats.Explore.source_skips);
     ("max_depth", Obs.Sink.Int stats.Explore.max_depth);
     ("collision_bound", Obs.Sink.Float stats.Explore.collision_bound);
     ("limited", Obs.Sink.Bool stats.Explore.limited);
@@ -402,19 +398,14 @@ let explore_cmd =
     let inst = instance_of alg ~n ~k ~crashes:(max f r) in
     let store, programs = instance_store_programs inst in
     let reduction = reduction_of ~certified ~alg choice inst in
-    warn_sleep_off ~jobs reduction;
     let config = Config.make store programs in
+    let options =
+      options_of ?deadline ?expected_states ?reduction ~max_states
+        ~max_crashes:(max f r) ~max_recoveries:r ~jobs ()
+    in
     let stats =
       Obs.Span.time "cli.explore" @@ fun () ->
-      if jobs > 1 then
-        Parallel.iter_terminals ~max_states ~max_crashes:(max f r)
-          ~max_recoveries:r ?deadline ?expected_states ?reduction ~jobs
-          config
-          ~f:(fun _ _ -> ())
-      else
-        Explore.iter_terminals ~max_states ~max_crashes:(max f r)
-          ~max_recoveries:r ?deadline ?expected_states ?reduction config
-          ~f:(fun _ _ -> ())
+      Search.iter_terminals ~options config ~f:(fun _ _ -> ())
     in
     if json then
       print_endline
@@ -475,8 +466,9 @@ let run_task_alg name inst exhaustive n_seeds choice json metrics =
   | Task_instance { store; programs; inputs; task; _ } ->
     if exhaustive then begin
       let reduction = reduction_of ~alg:name choice inst in
+      let options = Search.of_legacy ?reduction () in
       let v =
-        Subc_check.Task_check.check ?reduction store ~programs ~inputs ~task
+        Subc_check.Task_check.check ~options store ~programs ~inputs ~task
       in
       report ~json name v;
       finish ~metrics [ v ]
@@ -512,7 +504,7 @@ let alg5_cmd =
     setup_obs ~json ~metrics;
     let inst = alg5_instance ~k in
     let reduction = reduction_of ~alg:"alg5" choice inst in
-    let v = check_instance ?reduction inst in
+    let v = check_instance ~options:(Search.of_legacy ?reduction ()) inst in
     report ~json "alg5" v;
     finish ~metrics [ v ]
   in
@@ -689,7 +681,7 @@ let critical_cmd =
 (* analyze: the static soundness analyzer over the subject registry.   *)
 
 let analyze_cmd =
-  let run family jobs json metrics =
+  let run family jobs deadline json metrics =
     setup_obs ~json ~metrics;
     let entries =
       match family with
@@ -706,7 +698,7 @@ let analyze_cmd =
       List.concat_map
         (fun (e : Subc_analysis.Registry.entry) ->
           Subc_analysis.Analyzer.analyze ~family:e.Subc_analysis.Registry.family
-            ~jobs e.Subc_analysis.Registry.subjects)
+            ~jobs ?deadline e.Subc_analysis.Registry.subjects)
         entries
     in
     List.iter
@@ -729,12 +721,17 @@ let analyze_cmd =
        ~doc:
          "Statically certify the reduction layer's soundness obligations: \
           enumerate each registered object's reachable states and prove \
-          apply purity, pairwise commutation wherever the sleep-set \
-          judgment claims independence, equivariance of the declared \
-          symmetry group, and the declared classification — or refute \
-          with a concrete witness.  No schedules are explored.  Exits 0 \
-          proved / 1 refuted / 2 limited.")
-    Term.(const run $ family_arg $ jobs_arg $ json_arg $ metrics_arg)
+          apply purity, pairwise commutation wherever the source-set \
+          judgment claims independence, the source-set closure properties \
+          (equivariance and persistence of that judgment), equivariance \
+          of the declared symmetry group, and the declared classification \
+          — or refute with a concrete witness.  No schedules are \
+          explored.  $(b,--deadline) bounds the wall clock: checks not \
+          started before it passes report limited.  Exits 0 proved / 1 \
+          refuted / 2 limited.")
+    Term.(
+      const run $ family_arg $ jobs_arg $ deadline_arg $ json_arg
+      $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* crash-sweep / recover-sweep: a verdict per fault budget plus a
@@ -756,7 +753,10 @@ let run_fault_sweep alg k f r deadline expected_states max_states solo_limit
   let rcell r' = if r' > 0 then Printf.sprintf "/r=%d" r' else "" in
   let inst = instance_of alg ~n:0 ~k ~crashes:(max f r) in
   let reduction = reduction_of ~certified ~alg choice inst in
-  warn_sleep_off ~jobs reduction;
+  let cell_options ~max_crashes ~max_recoveries =
+    options_of ?deadline ?expected_states ?reduction ~max_states ~max_crashes
+      ~max_recoveries ~jobs ()
+  in
   let store, programs = instance_store_programs inst in
   (match inst with
   | Task_instance { inputs; task; _ } ->
@@ -764,25 +764,25 @@ let run_fault_sweep alg k f r deadline expected_states max_states solo_limit
       for r' = 0 to r do
         note
           (Printf.sprintf "%s/%s/f=%d%s" alg task.Task.name f' (rcell r'))
-          (Subc_check.Task_check.check ~max_states
-             ~max_crashes:(max f' r') ~max_recoveries:r' ?deadline
-             ?expected_states ?reduction ~jobs store ~programs ~inputs
-             ~task)
+          (Subc_check.Task_check.check
+             ~options:
+               (cell_options ~max_crashes:(max f' r') ~max_recoveries:r')
+             store ~programs ~inputs ~task)
       done
     done
   | Lin_instance { ops; spec; _ } ->
     for r' = 0 to r do
       note
         (Printf.sprintf "%s/linearizable/f<=%d%s" alg f (rcell r'))
-        (Subc_check.Linearizability.check_harness ~max_states
-           ~max_crashes:(max f r') ~max_recoveries:r' ?deadline
-           ?expected_states ?reduction ~jobs store ~programs ~ops ~spec)
+        (Subc_check.Linearizability.check_harness
+           ~options:(cell_options ~max_crashes:(max f r') ~max_recoveries:r')
+           store ~programs ~ops ~spec)
     done);
   note
     (alg ^ "/wait-free")
-    (Subc_check.Progress.check_wait_free ~max_states ~max_crashes:(max f r)
-       ~max_recoveries:r ?deadline ~solo_limit ?reduction ~jobs store
-       ~programs);
+    (Subc_check.Progress.check_wait_free
+       ~options:(cell_options ~max_crashes:(max f r) ~max_recoveries:r)
+       ~solo_limit store ~programs);
   finish ~metrics (List.rev !verdicts)
 
 let sweep_crashes_arg =

@@ -86,7 +86,9 @@ let () =
 
   Format.printf "@.== wait-freedom certificates (solo-step bounds) ==@.";
   Format.printf "Algorithm 2 (k=3): %a@." Subc_check.Verdict.pp_summary
-    (Progress.check_wait_free ~max_crashes:2 store3 ~programs:programs3);
+    (Progress.check_wait_free
+       ~options:Search.(with_max_crashes 2 default)
+       store3 ~programs:programs3);
 
   (* A lock-free-only construction: P0 spins until P1's write lands.  Safe,
      live under fair schedules — but P0 running solo never terminates. *)

@@ -9,7 +9,14 @@ type finding = {
 }
 
 let check_names =
-  [ "reachability"; "commutation"; "equivariance"; "recovery"; "classification" ]
+  [
+    "reachability";
+    "commutation";
+    "source-closure";
+    "equivariance";
+    "recovery";
+    "classification";
+  ]
 
 (* A proof over a truncated enumeration is no proof: downgrade to Limited,
    keeping the metrics. *)
@@ -74,6 +81,29 @@ let commute_verdict (s : Subject.t) space =
                  (%d op pairs, %d states)"
                 st.Commute.independent st.Commute.contexts st.Commute.pairs
                 space.Reach.n_states)))
+
+let sourceset_verdict (s : Subject.t) space =
+  guarded (fun () ->
+      match Sourceset.check s space with
+      | Error v ->
+        Verdict.refuted ~trace:[]
+          (Format.asprintf "%a" Sourceset.pp_violation v)
+      | Ok (st : Sourceset.stats) ->
+        seal space
+          (Verdict.proved
+             ~metrics:
+               [
+                 ("pairs", float_of_int st.Sourceset.pairs);
+                 ( "equivariance_checks",
+                   float_of_int st.Sourceset.equivariance_checks );
+                 ( "diamond_checks",
+                   float_of_int st.Sourceset.diamond_checks );
+               ]
+             (Printf.sprintf
+                "independence %s-equivariant (%d triples); independent \
+                 steps stay applicable (%d diamond edges) on %d states"
+                s.Subject.group_name st.Sourceset.equivariance_checks
+                st.Sourceset.diamond_checks st.Sourceset.states)))
 
 let equivariance_verdict (s : Subject.t) space =
   guarded (fun () ->
@@ -145,31 +175,57 @@ let classification_verdict (s : Subject.t) space =
                ]
              (String.concat ", " (cls :: traits) ^ " as declared")))
 
-let analyze_subject ?(family = "-") (s : Subject.t) =
+(* [stop] is an absolute wall-clock instant; checks not yet started when
+   it passes report Limited rather than running.  Checks are not
+   interrupted mid-flight — the granularity is one check, matching the
+   explorer's "a deadline run is only ever a Limited answer" contract. *)
+let analyze_subject_until ?(family = "-") ?stop (s : Subject.t) =
   let mk check verdict = { family; subject = s.Subject.name; check; verdict } in
-  match Reach.enumerate s with
-  | Error _ as r ->
-    let skipped =
-      Verdict.limited "skipped: reachable-space enumeration failed"
-    in
-    mk "reachability" (reach_verdict s r)
-    :: List.map
-         (fun check -> mk check skipped)
-         (List.tl check_names)
-  | Ok space as r ->
-    [
-      mk "reachability" (reach_verdict s r);
-      mk "commutation" (commute_verdict s space);
-      mk "equivariance" (equivariance_verdict s space);
-      mk "recovery" (recovery_verdict s space);
-      mk "classification" (classification_verdict s space);
-    ]
+  let expired () =
+    match stop with Some t -> Unix.gettimeofday () > t | None -> false
+  in
+  let deadline_verdict =
+    Verdict.limited "skipped: analysis deadline exceeded"
+  in
+  if expired () then List.map (fun check -> mk check deadline_verdict) check_names
+  else
+    match Reach.enumerate s with
+    | Error _ as r ->
+      let skipped =
+        Verdict.limited "skipped: reachable-space enumeration failed"
+      in
+      mk "reachability" (reach_verdict s r)
+      :: List.map
+           (fun check -> mk check skipped)
+           (List.tl check_names)
+    | Ok space as r ->
+      let run check f =
+        if expired () then mk check deadline_verdict
+        else mk check (f s space)
+      in
+      [
+        mk "reachability" (reach_verdict s r);
+        run "commutation" commute_verdict;
+        run "source-closure" sourceset_verdict;
+        run "equivariance" equivariance_verdict;
+        run "recovery" recovery_verdict;
+        run "classification" classification_verdict;
+      ]
+
+let stop_of_deadline deadline =
+  Option.map (fun d -> Unix.gettimeofday () +. d) deadline
+
+let analyze_subject ?family ?deadline s =
+  analyze_subject_until ?family ?stop:(stop_of_deadline deadline) s
 
 (* Subjects are independent, so they fan out across domains; each
-   subject's four findings stay in check order and the subject order is
-   preserved by [Parallel.map]. *)
-let analyze ?family ?(jobs = 1) subjects =
-  List.concat (Subc_sim.Parallel.map ~jobs (analyze_subject ?family) subjects)
+   subject's findings stay in check order and the subject order is
+   preserved by [Parallel.map].  The deadline is converted to an absolute
+   instant once, so all domains race the same clock. *)
+let analyze ?family ?(jobs = 1) ?deadline subjects =
+  let stop = stop_of_deadline deadline in
+  List.concat
+    (Subc_sim.Parallel.map ~jobs (analyze_subject_until ?family ?stop) subjects)
 
 let verdicts findings = List.map (fun f -> f.verdict) findings
 let exit_code findings = Verdict.combined_exit (verdicts findings)
@@ -186,6 +242,7 @@ let obligations =
   [
     "apply-purity";
     "pairwise-commutation";
+    "source-set-closure";
     "symmetry-equivariance";
     "recovery-projection";
     "classification";

@@ -2,13 +2,19 @@
     the results as {!Subc_check.Verdict.t} findings, and mint reduction
     certificates.
 
-    Five checks run per subject, in dependency order:
+    Six checks run per subject, in dependency order:
 
     + {b reachability} ({!Reach}): enumerate the reachable state space,
       certifying purity and alphabet-totality of [apply] along the way;
-    + {b commutation} ({!Commute}): certify the sleep-set independence
+    + {b commutation} ({!Commute}): certify the source-set independence
       judgment against fresh diamond computations — refuted findings carry
       a concrete (state, op pair, divergent outcome sets) race witness;
+    + {b source-closure} ({!Sourceset}): certify the independence judgment
+      is equivariant under the declared group — the closure property the
+      (configuration, sleep)-keyed reduction relies on under work
+      stealing — and corroborate the per-state diamonds one step out
+      (persistence across steps is deliberately {e not} demanded: the
+      explorer re-judges carried sleep entries at every state);
     + {b equivariance} ({!Equivariance}): certify the declared permutation
       group is an automorphism group of the reachable transition system;
     + {b recovery} ({!Recovery}): certify the crash-recovery projection
@@ -33,17 +39,27 @@ type finding = {
 }
 
 val check_names : string list
-(** ["reachability"; "commutation"; "equivariance"; "recovery";
-    "classification"]. *)
+(** ["reachability"; "commutation"; "source-closure"; "equivariance";
+    "recovery"; "classification"]. *)
 
-val analyze_subject : ?family:string -> Subject.t -> finding list
+val analyze_subject :
+  ?family:string -> ?deadline:float -> Subject.t -> finding list
 (** One finding per check, in the order of {!check_names}.  When
     reachability fails, the dependent checks report [Limited] (skipped)
-    rather than running on a broken space. *)
+    rather than running on a broken space.  [deadline] (seconds of wall
+    clock) stops starting new checks once it passes; not-yet-started
+    checks report [Limited]. *)
 
-val analyze : ?family:string -> ?jobs:int -> Subject.t list -> finding list
+val analyze :
+  ?family:string ->
+  ?jobs:int ->
+  ?deadline:float ->
+  Subject.t list ->
+  finding list
 (** [jobs] analyzes that many subjects concurrently (one domain each,
-    {!Subc_sim.Parallel.map}); findings keep their deterministic order. *)
+    {!Subc_sim.Parallel.map}); findings keep their deterministic order.
+    [deadline] is one shared wall-clock budget across all subjects and
+    domains — checks not started before it passes report [Limited]. *)
 
 val verdicts : finding list -> Subc_check.Verdict.t list
 val exit_code : finding list -> int

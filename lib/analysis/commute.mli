@@ -1,6 +1,6 @@
 (** Commutation race detector.
 
-    The sleep-set reduction prunes a transition when a sibling branch
+    The source-set reduction prunes a transition when a sibling branch
     already covered an {e independent} one; for two ops on the same object
     the independence judgment is {!Subc_sim.Explore.op_independent}.  If
     that judgment ever answered "independent" for a pair that does not

@@ -1,0 +1,64 @@
+(** Source-set closure checker.
+
+    The source-set reduction ({!Subc_sim.Explore}) keys search nodes by
+    (configuration, sleep set) pairs and carries sleep entries into
+    stolen subtrees.  On top of pairwise commutation (certified by
+    {!Commute}) this demands one closure property of the independence
+    judgment it consumes:
+
+    - {b equivariance}: {m \mathrm{indep}(s, a, b) \iff
+      \mathrm{indep}(\pi \cdot s, \pi \cdot a, \pi \cdot b)} for every
+      declared group element {m \pi} and reachable state {m s} — the
+      explorer sorts siblings and transports sleep sets through the
+      canonicalizing permutation, so a judgment that distinguished
+      orbit-mates would make two claims of the same canonical
+      (state, sleep) key expand differently.
+
+    {b Persistence is deliberately not an obligation.}  The explorer uses
+    conditional (state-local) independence: a carried sleep entry is
+    re-judged against the taken transition at every descendant, and its
+    covering argument only invokes the commutation diamond at the state
+    where the judgment was made.  Demanding that an independent pair stay
+    independent at successors would wrongly refute sound state-dependent
+    judgments — a queue's enq/deq commute exactly while the queue is
+    nonempty, and that is all the reduction uses.
+
+    As a corroboration of the per-state diamond, the checker also
+    verifies that a pair judged independent keeps both members applicable
+    one step across each other; a hang there ([Vanishing]) contradicts
+    the diamond {!Commute} certifies, so it never fires on a sound
+    subject.
+
+    Checked exhaustively over the subject's reachable space; the first
+    violation is reported with a concrete witness. *)
+
+open Subc_sim
+
+type stats = {
+  group_order : int;
+  states : int;
+  pairs : int;  (** unordered op pairs from the alphabet *)
+  equivariance_checks : int;  (** (state, pair, group element) triples *)
+  diamond_checks : int;
+      (** (state, independent pair, one-step successor) applicability
+          corroborations *)
+}
+
+type violation =
+  | Not_equivariant of {
+      pi : Symmetry.perm;
+      state : Value.t;
+      a : Op.t;
+      b : Op.t;
+      judged : bool;  (** the judgment at the concrete state *)
+      judged_image : bool;  (** the judgment at the renamed state *)
+    }
+  | Vanishing of { state : Value.t; succ : Value.t; a : Op.t; b : Op.t }
+      (** [a] independent of [b] at [state] yet [a] hangs at the
+          [b]-successor [succ] *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : Subject.t -> Reach.space -> (stats, violation) result
+(** @raise Reach.Flaw when [apply] misbehaves on a state the closure walk
+    visits. *)

@@ -5,7 +5,7 @@
     object with everything the analyzer must {e verify}: the op alphabet the
     protocol may issue, the claimed determinism class, whether invocations
     may hang, the permutation group the symmetry reduction will quotient by,
-    the independence judgment the sleep-set reduction will consume, and —
+    the independence judgment the source-set reduction will consume, and —
     for objects enabling the full symmetric group — the claim that the
     object is value-oblivious.  The analyzer ({!Analyzer}) checks each claim
     over the subject's reachable state space and returns
@@ -21,7 +21,7 @@ type expected_class =
 type independence =
   | Semantic
       (** certify {!Explore.op_independent} — the exact judgment the
-          sleep-set layer consumes — against a fresh, uncached diamond
+          source-set layer consumes — against a fresh, uncached diamond
           computation at every reachable state *)
   | Declared of (Op.t -> Op.t -> bool)
       (** a state-independent, footprint-style declaration.  Used by the

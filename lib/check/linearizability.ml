@@ -102,15 +102,13 @@ let check ~spec history =
 (* Harness-level checking: explore every terminal of a one-operation-per-
    process harness and check each recorded history against the sequential
    specification.  This is the loop the CLI and bench previously inlined. *)
-let check_harness ?max_states ?max_crashes ?max_recoveries ?deadline
-    ?expected_states ?reduction ?(jobs = 1) ?visited store ~programs ~ops
-    ~spec =
+let check_harness ?(options = Search.default) store ~programs ~ops ~spec =
   Subc_obs.Span.time "linearizability.check_harness" @@ fun () ->
   let config = Config.make store programs in
   let failure = ref None in
   let histories = ref 0 in
-  (* [Parallel.iter_terminals] serializes the terminal callback, so the
-     two refs above need no extra locking in the parallel mode. *)
+  (* The terminal callback is serialized on either engine ([Parallel]
+     holds the callback lock), so the two refs need no extra locking. *)
   let on_terminal final trace =
     if !failure = None then begin
       incr histories;
@@ -118,15 +116,7 @@ let check_harness ?max_states ?max_crashes ?max_recoveries ?deadline
       if check ~spec h = None then failure := Some (h, trace)
     end
   in
-  let stats =
-    if jobs <= 1 then
-      Explore.iter_terminals ?max_states ?max_crashes ?max_recoveries
-        ?deadline ?expected_states ?reduction config ~f:on_terminal
-    else
-      Parallel.iter_terminals ?visited ?max_states ?max_crashes
-        ?max_recoveries ?deadline ?expected_states ?reduction ~jobs config
-        ~f:on_terminal
-  in
+  let stats = Search.iter_terminals ~options config ~f:on_terminal in
   match !failure with
   | Some (h, trace) ->
     Verdict.refuted ~explore:stats ~trace
@@ -139,6 +129,14 @@ let check_harness ?max_states ?max_crashes ?max_recoveries ?deadline
     Verdict.proved ~explore:stats
       ~metrics:[ ("histories", float_of_int !histories) ]
       (Printf.sprintf "all %d terminal histories linearizable%s" !histories
-         (match max_crashes with
-         | Some f when f > 0 -> Printf.sprintf " (crash budget %d)" f
-         | _ -> ""))
+         (if options.Search.max_crashes > 0 then
+            Printf.sprintf " (crash budget %d)" options.Search.max_crashes
+          else ""))
+
+let check_harness_legacy ?max_states ?max_crashes ?max_recoveries ?deadline
+    ?expected_states ?reduction ?jobs ?visited store ~programs ~ops ~spec =
+  check_harness
+    ~options:
+      (Search.of_legacy ?max_states ?max_crashes ?max_recoveries ?deadline
+         ?expected_states ?reduction ?jobs ?visited ())
+    store ~programs ~ops ~spec

@@ -38,22 +38,34 @@ val check : spec:Obj_model.t -> op_record list -> op_record list option
 val pp_history : Format.formatter -> op_record list -> unit
 
 (** [check_harness store ~programs ~ops ~spec] explores every terminal of
-    the harness (under every crash pattern within [max_crashes] and every
-    crash-recovery pattern within [max_recoveries] recoveries), builds
-    each execution's history with {!history}, and checks it with {!check}:
-    [Proved] when every history linearizes, [Refuted] with the offending
-    history and its schedule, [Limited] when the search was truncated —
-    including by [deadline] seconds of wall clock.
+    the harness (under every crash pattern within [options.max_crashes]
+    and every crash-recovery pattern within [options.max_recoveries]
+    recoveries), builds each execution's history with {!history}, and
+    checks it with {!check}: [Proved] when every history linearizes,
+    [Refuted] with the offending history and its schedule, [Limited] when
+    the search was truncated — including by [options.deadline] seconds of
+    wall clock.  Search knobs come from the {!Subc_sim.Search.options}
+    record ([?options]).
 
-    A symmetry [reduction] checks one representative per orbit, which is
-    sound only when [spec] is equivariant under the chosen renamings (the
-    same caller obligation as {!Subc_sim.Symmetry}).
+    A symmetry [options.reduction] checks one representative per orbit,
+    which is sound only when [spec] is equivariant under the chosen
+    renamings (the same caller obligation as {!Subc_sim.Symmetry}).
 
-    [jobs] explores across that many domains ({!Subc_sim.Parallel});
-    terminal callbacks are serialized, so the history count and verdict
-    status are deterministic — only the offending history reported on
-    refutation may differ between runs. *)
+    [options.jobs] explores across that many domains
+    ({!Subc_sim.Parallel}); terminal callbacks are serialized, so the
+    history count and verdict status are deterministic — only the
+    offending history reported on refutation may differ between runs. *)
 val check_harness :
+  ?options:Search.options ->
+  Store.t ->
+  programs:Value.t Program.t list ->
+  ops:(int -> Op.t) ->
+  spec:Obj_model.t ->
+  Verdict.t
+
+(** @deprecated Use {!check_harness} with a {!Subc_sim.Search.options}
+    record; this optional-argument spelling remains for one release. *)
+val check_harness_legacy :
   ?max_states:int ->
   ?max_crashes:int ->
   ?max_recoveries:int ->
@@ -67,3 +79,5 @@ val check_harness :
   ops:(int -> Op.t) ->
   spec:Obj_model.t ->
   Verdict.t
+[@@deprecated
+  "use Linearizability.check_harness ?options (Search.options record)"]

@@ -83,8 +83,7 @@ let rec atomic_max a v =
   let cur = Atomic.get a in
   if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
 
-let wait_free ?max_states ?(max_crashes = 0) ?(max_recoveries = 0) ?deadline
-    ?(solo_limit = 10_000) ?reduction ?(jobs = 1) ?visited store ~programs =
+let wait_free_search ~options ~solo_limit store ~programs =
   Subc_obs.Span.time "progress.wait_free" @@ fun () ->
   let config0 = Config.make store programs in
   let bound = Atomic.make 0 in
@@ -97,10 +96,9 @@ let wait_free ?max_states ?(max_crashes = 0) ?(max_recoveries = 0) ?deadline
       (Config.running config)
   in
   let explore () =
-    if jobs <= 1 then begin
+    if options.Search.jobs <= 1 then begin
       let memo = Hashtbl.create 4096 in
-      Explore.iter_reachable ?max_states ~max_crashes ~max_recoveries
-        ?deadline ?reduction config0 ~f:(visit memo)
+      Search.iter_reachable ~options config0 ~f:(visit memo)
     end
     else begin
       (* The solo-distance memo is plain mutable state, so each worker
@@ -109,9 +107,8 @@ let wait_free ?max_states ?(max_crashes = 0) ?(max_recoveries = 0) ?deadline
          The exact distances are deterministic, so per-domain memos
          change only timing, never the resulting bound. *)
       let memo_key = Domain.DLS.new_key (fun () -> Hashtbl.create 4096) in
-      Parallel.iter_reachable ?visited ?max_states ~max_crashes
-        ~max_recoveries ?deadline ?reduction ~jobs config0
-        ~f:(fun config prefix -> visit (Domain.DLS.get memo_key) config prefix)
+      Search.iter_reachable ~options config0 ~f:(fun config prefix ->
+          visit (Domain.DLS.get memo_key) config prefix)
     end
   in
   match explore () with
@@ -124,6 +121,14 @@ let wait_free ?max_states ?(max_crashes = 0) ?(max_recoveries = 0) ?deadline
         stats;
       }
   | exception Failed f -> Error f
+
+let wait_free ?max_states ?max_crashes ?max_recoveries ?deadline
+    ?(solo_limit = 10_000) ?reduction ?jobs ?visited store ~programs =
+  let options =
+    Search.of_legacy ?max_states ?max_crashes ?max_recoveries ?deadline
+      ?reduction ?jobs ?visited ()
+  in
+  wait_free_search ~options ~solo_limit store ~programs
 
 let t_resilient ?max_states ?reduction ~t store ~programs =
   Subc_obs.Span.time "progress.t_resilient" @@ fun () ->
@@ -143,12 +148,9 @@ let t_resilient ?max_states ?reduction ~t store ~programs =
 (* Verdict-typed entry points (the canonical API; the result-typed
    functions above remain as building blocks). *)
 
-let check_wait_free ?max_states ?max_crashes ?max_recoveries ?deadline
-    ?solo_limit ?reduction ?jobs ?visited store ~programs =
-  match
-    wait_free ?max_states ?max_crashes ?max_recoveries ?deadline ?solo_limit
-      ?reduction ?jobs ?visited store ~programs
-  with
+let check_wait_free ?(options = Search.default) ?(solo_limit = 10_000) store
+    ~programs =
+  match wait_free_search ~options ~solo_limit store ~programs with
   | Ok cert ->
     Verdict.proved ~explore:cert.stats
       ~metrics:
@@ -176,10 +178,18 @@ let check_wait_free ?max_states ?max_crashes ?max_recoveries ?deadline
           %d-step prefix"
          proc (Trace.length prefix))
 
-let check_t_resilient ?max_states ?reduction ~t store ~programs =
+let check_wait_free_legacy ?max_states ?max_crashes ?max_recoveries ?deadline
+    ?solo_limit ?reduction ?jobs ?visited store ~programs =
+  check_wait_free
+    ~options:
+      (Search.of_legacy ?max_states ?max_crashes ?max_recoveries ?deadline
+         ?reduction ?jobs ?visited ())
+    ?solo_limit store ~programs
+
+let check_t_resilient ?(options = Search.default) ~t store ~programs =
   Subc_obs.Span.time "progress.t_resilient" @@ fun () ->
-  let config = Config.make store programs in
-  match Explore.find_cycle ?max_states ~max_crashes:t ?reduction config with
+  let options = Search.with_max_crashes t options in
+  match Search.find_cycle ~options (Config.make store programs) with
   | Some lasso, stats ->
     Verdict.refuted ~explore:stats ~trace:lasso
       (Printf.sprintf
@@ -198,3 +208,8 @@ let check_t_resilient ?max_states ?reduction ~t store ~programs =
            "every schedule with <= %d crashes terminates (no cycles, no \
             hangs)"
            t)
+
+let check_t_resilient_legacy ?max_states ?reduction ~t store ~programs =
+  check_t_resilient
+    ~options:(Search.of_legacy ?max_states ?reduction ())
+    ~t store ~programs

@@ -39,22 +39,31 @@ type failure =
 val pp_certificate : Format.formatter -> certificate -> unit
 val pp_failure : Format.formatter -> failure -> unit
 
-(** [check_wait_free store ~programs] certifies wait-freedom.
-    [~max_crashes:f] additionally quantifies the reachable prefix over
-    every crash pattern of at most [f] crashes, and [~max_recoveries:r]
-    over every crash-recovery pattern with at most [r] recoveries (a
-    recovered process must still terminate within the solo bound).
-    [~deadline] (seconds of wall clock) gracefully truncates the
-    enumeration — the verdict is then Limited.  [solo_limit] caps the
-    solo search per process (default 10000); exceeding it counts as
-    non-termination.  [reduction] applies state-space reductions to the
-    reachable-prefix enumeration (symmetry only; sleep sets do not apply
-    to reachability).  [jobs] spreads the reachable-prefix enumeration
-    across that many domains ({!Subc_sim.Parallel}); the verdict status,
-    solo bound and configuration count are deterministic, the
-    counterexample witness (on refutation) may differ between runs.  The
-    solo bound and configuration count are in the verdict's metrics. *)
+(** [check_wait_free store ~programs] certifies wait-freedom.  Search
+    knobs come from the {!Subc_sim.Search.options} record ([?options]):
+    [max_crashes] additionally quantifies the reachable prefix over every
+    crash pattern within the budget, [max_recoveries] over every
+    crash-recovery pattern, [deadline] (seconds of wall clock) gracefully
+    truncates the enumeration — the verdict is then Limited — and [jobs]
+    spreads the reachable-prefix enumeration across that many domains
+    ({!Subc_sim.Parallel}).  [reduction] applies to the reachable-prefix
+    enumeration (symmetry only; source sets are stripped from
+    reachability on either engine).  [solo_limit] caps the solo search
+    per process (default 10000); exceeding it counts as non-termination.
+    The verdict status, solo bound and configuration count are
+    deterministic, the counterexample witness (on refutation) may differ
+    between runs.  The solo bound and configuration count are in the
+    verdict's metrics. *)
 val check_wait_free :
+  ?options:Search.options ->
+  ?solo_limit:int ->
+  Store.t ->
+  programs:Value.t Program.t list ->
+  Verdict.t
+
+(** @deprecated Use {!check_wait_free} with a {!Subc_sim.Search.options}
+    record; this optional-argument spelling remains for one release. *)
+val check_wait_free_legacy :
   ?max_states:int ->
   ?max_crashes:int ->
   ?max_recoveries:int ->
@@ -66,16 +75,30 @@ val check_wait_free :
   Store.t ->
   programs:Value.t Program.t list ->
   Verdict.t
+[@@deprecated "use Progress.check_wait_free ?options (Search.options record)"]
 
 (** [check_t_resilient ~t store ~programs] checks that no schedule with at
-    most [t] crashes runs forever and none hangs a process. *)
+    most [t] crashes runs forever and none hangs a process.  The [t]
+    budget overrides [options.max_crashes]; cycle hunting is always
+    sequential, so [options.jobs] is ignored. *)
 val check_t_resilient :
+  ?options:Search.options ->
+  t:int ->
+  Store.t ->
+  programs:Value.t Program.t list ->
+  Verdict.t
+
+(** @deprecated Use {!check_t_resilient} with a {!Subc_sim.Search.options}
+    record; this optional-argument spelling remains for one release. *)
+val check_t_resilient_legacy :
   ?max_states:int ->
   ?reduction:Explore.reduction ->
   t:int ->
   Store.t ->
   programs:Value.t Program.t list ->
   Verdict.t
+[@@deprecated
+  "use Progress.check_t_resilient ?options (Search.options record)"]
 
 (** @deprecated Use {!check_wait_free}; this result-typed form remains for
     one release as a building block. *)

@@ -131,30 +131,29 @@ let consensus_ok ~inputs c =
     Error "some execution hangs a process (illegal object use)"
   else Task.consensus.Task.check (Task.outcomes ~inputs c)
 
-let verdict ?max_states ?max_crashes ?deadline ?reduction ?(jobs = 1) ?visited
-    ?expected_states family ~n ~max_recoveries =
+let verdict ?(options = Search.default) family ~n ~max_recoveries =
   Subc_obs.Span.time "recoverable.verdict" @@ fun () ->
   let store, programs = protocol Store.empty family ~n ~max_recoveries in
   let inputs = List.init n (fun i -> Value.Int i) in
   let config = Config.make store programs in
-  (* Recoveries need crashes: by default allow the classic n−1 crash
-     budget, widened so every recovery can be exercised. *)
+  (* Recoveries need crashes: a zero crash budget (the record default)
+     means "pick for me" — the classic n−1 budget, widened so every
+     recovery can be exercised. *)
   let max_crashes =
-    Option.value max_crashes ~default:(max (n - 1) max_recoveries)
+    if options.Search.max_crashes > 0 then options.Search.max_crashes
+    else max (n - 1) max_recoveries
+  in
+  let options =
+    options
+    |> Search.with_max_crashes max_crashes
+    |> Search.with_max_recoveries max_recoveries
   in
   let ok c = Result.is_ok (consensus_ok ~inputs c) in
   let budgets =
     Printf.sprintf "crash budget %d, recovery budget %d" max_crashes
       max_recoveries
   in
-  let result =
-    if jobs <= 1 then
-      Explore.check_terminals ?max_states ~max_crashes ~max_recoveries
-        ?deadline ?expected_states ?reduction config ~ok
-    else
-      Parallel.check_terminals ?visited ?max_states ~max_crashes
-        ~max_recoveries ?deadline ?expected_states ?reduction ~jobs config ~ok
-  in
+  let result = Search.check_terminals ~options config ~ok in
   match result with
   | Error (c, trace, stats) ->
     let reason =
@@ -169,10 +168,7 @@ let verdict ?max_states ?max_crashes ?deadline ?reduction ?(jobs = 1) ?visited
           verdict"
          Explore.pp_limit_reason stats.Explore.limit_reason)
   | Ok stats -> (
-    match
-      Explore.find_cycle ?max_states ~max_crashes ~max_recoveries ?deadline
-        ?expected_states ?reduction config
-    with
+    match Search.find_cycle ~options config with
     | Some trace, cycle_stats ->
       Verdict.refuted ~explore:cycle_stats ~trace
         "infinite schedule (protocol not wait-free)"
@@ -186,6 +182,14 @@ let verdict ?max_states ?max_crashes ?deadline ?reduction ?(jobs = 1) ?visited
              "recoverable consensus (%s): agreement + validity on every \
               terminal, every schedule terminates"
              budgets))
+
+let verdict_legacy ?max_states ?max_crashes ?deadline ?reduction ?jobs
+    ?visited ?expected_states family ~n ~max_recoveries =
+  verdict
+    ~options:
+      (Search.of_legacy ?max_states ?max_crashes ?deadline ?reduction ?jobs
+         ?visited ?expected_states ())
+    family ~n ~max_recoveries
 
 (* The separation table: at n = 2, every consensus-number-2 object solves
    consensus with crashes only (r = 0) but the canonical protocol fails

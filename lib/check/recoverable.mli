@@ -57,11 +57,20 @@ val protocol :
     check: validity and agreement over the decided values on every
     reachable terminal (a process still crashed when the budgets run out
     decides nothing, which is allowed; a hung process refutes), plus
-    termination of every schedule.  [max_crashes] defaults to
-    [max (n − 1) max_recoveries].  [deadline] (seconds of wall clock)
-    gracefully truncates to [Limited].  [jobs] parallelizes the terminal
-    sweep ({!Subc_sim.Parallel}); the verdict status is deterministic. *)
+    termination of every schedule.  Search knobs come from the
+    {!Subc_sim.Search.options} record ([?options]); the [max_recoveries]
+    label overrides [options.max_recoveries], and a zero
+    [options.max_crashes] (the record default) is widened to
+    [max (n − 1) max_recoveries] so every recovery can be exercised.
+    [options.deadline] gracefully truncates to [Limited];
+    [options.jobs] parallelizes the terminal sweep
+    ({!Subc_sim.Parallel}).  The verdict status is deterministic. *)
 val verdict :
+  ?options:Search.options -> family -> n:int -> max_recoveries:int -> Verdict.t
+
+(** @deprecated Use {!verdict} with a {!Subc_sim.Search.options} record;
+    this optional-argument spelling remains for one release. *)
+val verdict_legacy :
   ?max_states:int ->
   ?max_crashes:int ->
   ?deadline:float ->
@@ -73,6 +82,7 @@ val verdict :
   n:int ->
   max_recoveries:int ->
   Verdict.t
+[@@deprecated "use Recoverable.verdict ?options (Search.options record)"]
 
 (** The expected verdict at n = 2 — the separation table the test suite
     pins: registers refuted at every budget; test-and-set, fetch-and-add,

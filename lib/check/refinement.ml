@@ -3,22 +3,41 @@ open Subc_sim
 type harness = { store : Store.t; programs : Value.t Program.t list }
 type failure = { outcome : Value.t list; trace : Trace.t }
 
-let outcomes_with_traces ?max_states harness =
+(* Symmetry reduction is deliberately stripped: outcome vectors are
+   compared literally between the two harnesses, and quotienting each
+   side independently could pick different orbit representatives.
+   Terminal callbacks are serialized under the parallel engine's
+   callback lock, so the accumulator needs no further protection. *)
+let sanitize options =
+  Search.with_reduction Explore.no_reduction options
+
+let outcomes_with_traces ~options harness =
   let config = Config.make harness.store harness.programs in
   let acc = ref [] in
   let stats =
-    Explore.iter_terminals ?max_states config ~f:(fun final trace ->
-        acc := (Config.decisions final, trace) :: !acc)
+    Search.iter_terminals ~options:(sanitize options) config
+      ~f:(fun final trace -> acc := (Config.decisions final, trace) :: !acc)
   in
   if stats.Explore.limited then failwith "Refinement: state limit reached";
   !acc
 
-let outcomes ?max_states harness =
-  List.sort_uniq compare (List.map fst (outcomes_with_traces ?max_states harness))
+let options_of_max_states max_states =
+  match max_states with
+  | None -> Search.default
+  | Some n -> Search.with_max_states n Search.default
 
-let refines ?max_states () ~impl ~spec =
-  let spec_outcomes = outcomes ?max_states spec in
-  let impl_outcomes = outcomes_with_traces ?max_states impl in
+let outcomes ?max_states harness =
+  List.sort_uniq compare
+    (List.map fst
+       (outcomes_with_traces ~options:(options_of_max_states max_states)
+          harness))
+
+let refines_search ~options ~impl ~spec =
+  let spec_outcomes =
+    List.sort_uniq compare
+      (List.map fst (outcomes_with_traces ~options spec))
+  in
+  let impl_outcomes = outcomes_with_traces ~options impl in
   match
     List.find_opt
       (fun (o, _) -> not (List.mem o spec_outcomes))
@@ -30,11 +49,14 @@ let refines ?max_states () ~impl ~spec =
       ( List.length (List.sort_uniq compare (List.map fst impl_outcomes)),
         List.length spec_outcomes )
 
-let equivalent ?max_states () ~impl ~spec =
-  match refines ?max_states () ~impl ~spec with
+let refines ?max_states () ~impl ~spec =
+  refines_search ~options:(options_of_max_states max_states) ~impl ~spec
+
+let equivalent_search ~options ~impl ~spec =
+  match refines_search ~options ~impl ~spec with
   | Error _ as e -> e
   | Ok (n_impl, n_spec) -> (
-    match refines ?max_states () ~impl:spec ~spec:impl with
+    match refines_search ~options ~impl:spec ~spec:impl with
     | Error _ as e -> e
     | Ok _ ->
       if n_impl = n_spec then Ok n_impl
@@ -43,13 +65,13 @@ let equivalent ?max_states () ~impl ~spec =
            cardinalities here would be contradictory. *)
         Ok n_impl)
 
-(* Verdict-typed entry points.  Symmetry reduction is deliberately not
-   offered here: outcome vectors are compared literally between the two
-   harnesses, and quotienting each side independently could pick
-   different orbit representatives. *)
-let check_refines ?max_states () ~impl ~spec =
+let equivalent ?max_states () ~impl ~spec =
+  equivalent_search ~options:(options_of_max_states max_states) ~impl ~spec
+
+(* Verdict-typed entry points. *)
+let check_refines ?(options = Search.default) () ~impl ~spec =
   Subc_obs.Span.time "refinement.refines" @@ fun () ->
-  match refines ?max_states () ~impl ~spec with
+  match refines_search ~options ~impl ~spec with
   | Ok (n_impl, n_spec) ->
     Verdict.proved
       ~metrics:
@@ -68,9 +90,12 @@ let check_refines ?max_states () ~impl ~spec =
          Value.pp (Value.Vec outcome))
   | exception Failure msg -> Verdict.limited msg
 
-let check_equivalent ?max_states () ~impl ~spec =
+let check_refines_legacy ?max_states () ~impl ~spec =
+  check_refines ~options:(options_of_max_states max_states) () ~impl ~spec
+
+let check_equivalent ?(options = Search.default) () ~impl ~spec =
   Subc_obs.Span.time "refinement.equivalent" @@ fun () ->
-  match equivalent ?max_states () ~impl ~spec with
+  match equivalent_search ~options ~impl ~spec with
   | Ok n ->
     Verdict.proved
       ~metrics:[ ("outcomes", float_of_int n) ]
@@ -80,3 +105,6 @@ let check_equivalent ?max_states () ~impl ~spec =
       (Format.asprintf "outcome %a reachable on one side only" Value.pp
          (Value.Vec outcome))
   | exception Failure msg -> Verdict.limited msg
+
+let check_equivalent_legacy ?max_states () ~impl ~spec =
+  check_equivalent ~options:(options_of_max_states max_states) () ~impl ~spec

@@ -40,11 +40,27 @@ val equivalent :
   ?max_states:int -> unit -> impl:harness -> spec:harness -> (int, failure) result
 
 (** Verdict-typed forms of {!refines} and {!equivalent}.  A hit state
-    limit becomes [Limited].  No [?reduction] is offered: outcome vectors
-    are compared literally between the two harnesses, and quotienting each
-    side independently could pick different orbit representatives. *)
+    limit becomes [Limited].  Search knobs come from the
+    {!Subc_sim.Search.options} record ([?options]); [options.reduction]
+    is ignored — outcome vectors are compared literally between the two
+    harnesses, and quotienting each side independently could pick
+    different orbit representatives — while [options.jobs] parallelizes
+    each terminal sweep. *)
 val check_refines :
-  ?max_states:int -> unit -> impl:harness -> spec:harness -> Verdict.t
+  ?options:Search.options -> unit -> impl:harness -> spec:harness -> Verdict.t
 
 val check_equivalent :
+  ?options:Search.options -> unit -> impl:harness -> spec:harness -> Verdict.t
+
+(** @deprecated Use {!check_refines} with a {!Subc_sim.Search.options}
+    record; this optional-argument spelling remains for one release. *)
+val check_refines_legacy :
   ?max_states:int -> unit -> impl:harness -> spec:harness -> Verdict.t
+[@@deprecated "use Refinement.check_refines ?options (Search.options record)"]
+
+(** @deprecated Use {!check_equivalent} with a {!Subc_sim.Search.options}
+    record; this optional-argument spelling remains for one release. *)
+val check_equivalent_legacy :
+  ?max_states:int -> unit -> impl:harness -> spec:harness -> Verdict.t
+[@@deprecated
+  "use Refinement.check_equivalent ?options (Search.options record)"]

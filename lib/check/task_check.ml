@@ -1,25 +1,24 @@
 open Subc_sim
 module Task = Subc_tasks.Task
 
-let exhaustive ?max_states ?max_crashes ?max_recoveries ?deadline
-    ?expected_states ?reduction ?(jobs = 1) ?visited store ~programs ~inputs ~task =
+let search_result ~options ~inputs ~task config =
   Subc_obs.Span.time "task_check.exhaustive" @@ fun () ->
-  let config = Config.make store programs in
-  let result =
-    if jobs <= 1 then
-      Explore.check_terminals ?max_states ?max_crashes ?max_recoveries
-        ?deadline ?expected_states ?reduction config
-        ~ok:(fun c -> Task.satisfies task ~inputs c)
-    else
-      Parallel.check_terminals ?visited ?max_states ?max_crashes
-        ?max_recoveries ?deadline ?expected_states ?reduction ~jobs config
-        ~ok:(fun c -> Task.satisfies task ~inputs c)
-  in
-  match result with
+  match
+    Search.check_terminals ~options config ~ok:(fun c ->
+        Task.satisfies task ~inputs c)
+  with
   | Ok stats -> Ok stats
   | Error (c, trace, _stats) ->
     let reason = Option.value ~default:"?" (Task.explain task ~inputs c) in
     Error (reason, trace)
+
+let exhaustive ?max_states ?max_crashes ?max_recoveries ?deadline
+    ?expected_states ?reduction ?jobs ?visited store ~programs ~inputs ~task =
+  let options =
+    Search.of_legacy ?max_states ?max_crashes ?max_recoveries ?deadline
+      ?expected_states ?reduction ?jobs ?visited ()
+  in
+  search_result ~options ~inputs ~task (Config.make store programs)
 
 let wait_free ?max_states ?reduction store ~programs =
   let config = Config.make store programs in
@@ -33,12 +32,9 @@ let wait_free ?max_states ?reduction store ~programs =
 
 (* Verdict-typed entry point: exhaustive task conformance, classifying a
    truncated search as [Limited] rather than a proof. *)
-let check ?max_states ?max_crashes ?max_recoveries ?deadline ?expected_states
-    ?reduction ?jobs ?visited store ~programs ~inputs ~task =
-  match
-    exhaustive ?max_states ?max_crashes ?max_recoveries ?deadline
-      ?expected_states ?reduction ?jobs ?visited store ~programs ~inputs ~task
-  with
+let check ?(options = Search.default) store ~programs ~inputs ~task =
+  let config = Config.make store programs in
+  match search_result ~options ~inputs ~task config with
   | Error (reason, trace) -> Verdict.refuted ~trace reason
   | Ok stats when stats.Explore.limited ->
     Verdict.limited ~explore:stats
@@ -47,12 +43,20 @@ let check ?max_states ?max_crashes ?max_recoveries ?deadline ?expected_states
     Verdict.proved ~explore:stats
       (Printf.sprintf "task satisfied on all %d reachable terminals%s%s"
          stats.Explore.terminals
-         (match max_crashes with
-         | Some f when f > 0 -> Printf.sprintf " (crash budget %d)" f
-         | _ -> "")
-         (match max_recoveries with
-         | Some r when r > 0 -> Printf.sprintf " (recovery budget %d)" r
-         | _ -> ""))
+         (if options.Search.max_crashes > 0 then
+            Printf.sprintf " (crash budget %d)" options.Search.max_crashes
+          else "")
+         (if options.Search.max_recoveries > 0 then
+            Printf.sprintf " (recovery budget %d)" options.Search.max_recoveries
+          else ""))
+
+let check_legacy ?max_states ?max_crashes ?max_recoveries ?deadline
+    ?expected_states ?reduction ?jobs ?visited store ~programs ~inputs ~task =
+  check
+    ~options:
+      (Search.of_legacy ?max_states ?max_crashes ?max_recoveries ?deadline
+         ?expected_states ?reduction ?jobs ?visited ())
+    store ~programs ~inputs ~task
 
 type sample_stats = {
   runs : int;

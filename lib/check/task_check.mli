@@ -7,14 +7,26 @@ module Task = Subc_tasks.Task
 
 (** [check store ~programs ~inputs ~task] checks [task] on every reachable
     terminal configuration (under every crash pattern within
-    [max_crashes], and every crash-recovery pattern within
-    [max_recoveries] recoveries): [Proved] when exhaustive and clean,
-    [Refuted] with the violating schedule, [Limited] when the search was
-    truncated — including by [deadline] seconds of wall clock.  [jobs]
-    runs the exploration across that many domains
-    ({!Subc_sim.Parallel}); the verdict status is deterministic, the
+    [options.max_crashes], and every crash-recovery pattern within
+    [options.max_recoveries] recoveries): [Proved] when exhaustive and
+    clean, [Refuted] with the violating schedule, [Limited] when the
+    search was truncated — including by [options.deadline] seconds of
+    wall clock.  All search knobs come from the {!Subc_sim.Search.options}
+    record ([?options], default {!Subc_sim.Search.default});
+    [options.jobs > 1] runs the exploration across that many domains
+    ({!Subc_sim.Parallel}).  The verdict status is deterministic, the
     counterexample schedule (on refutation) may differ between runs. *)
 val check :
+  ?options:Search.options ->
+  Store.t ->
+  programs:Value.t Program.t list ->
+  inputs:Value.t list ->
+  task:Task.t ->
+  Verdict.t
+
+(** @deprecated Use {!check} with a {!Subc_sim.Search.options} record;
+    this optional-argument spelling remains for one release. *)
+val check_legacy :
   ?max_states:int ->
   ?max_crashes:int ->
   ?max_recoveries:int ->
@@ -28,6 +40,7 @@ val check :
   inputs:Value.t list ->
   task:Task.t ->
   Verdict.t
+[@@deprecated "use Task_check.check ?options (Search.options record)"]
 
 (** @deprecated Use {!check}; this result-typed form remains for one
     release.  Note: an [Ok] with [stats.limited] set is {e not} a proof. *)

@@ -40,18 +40,13 @@ let check_consensus ?max_states config ~inputs =
       else Solves stats)
 
 (* Verdict-typed consensus check (the canonical API).  Terminal checking
-   parallelizes ([jobs]); the cycle search stays sequential — back-edge
-   detection needs the DFS stack discipline (see [Parallel]). *)
-let consensus_verdict ?max_states ?reduction ?(jobs = 1) ?visited config
-    ~inputs =
+   parallelizes ([options.jobs]); the cycle search stays sequential —
+   back-edge detection needs the DFS stack discipline (see [Parallel]). *)
+let consensus_verdict ?(options = Search.default) config ~inputs =
   Subc_obs.Span.time "valence.consensus" @@ fun () ->
   let check_terminals_result =
-    if jobs <= 1 then
-      Explore.check_terminals ?max_states ?reduction config ~ok:(fun c ->
-          Result.is_ok (consensus_ok ~inputs c))
-    else
-      Parallel.check_terminals ?visited ?max_states ?reduction ~jobs config
-        ~ok:(fun c -> Result.is_ok (consensus_ok ~inputs c))
+    Search.check_terminals ~options config ~ok:(fun c ->
+        Result.is_ok (consensus_ok ~inputs c))
   in
   match check_terminals_result with
   | Error (c, trace, stats) ->
@@ -63,7 +58,7 @@ let consensus_verdict ?max_states ?reduction ?(jobs = 1) ?visited config
     Verdict.limited ~explore:stats
       "state limit reached while checking terminals"
   | Ok stats -> (
-    match Explore.find_cycle ?max_states ?reduction config with
+    match Search.find_cycle ~options config with
     | Some trace, cycle_stats ->
       Verdict.refuted ~explore:cycle_stats ~trace
         "infinite schedule (protocol not wait-free)"
@@ -75,6 +70,12 @@ let consensus_verdict ?max_states ?reduction ?(jobs = 1) ?visited config
         Verdict.proved ~explore:stats
           "consensus: agreement + validity on every terminal, and every \
            schedule terminates")
+
+let consensus_verdict_legacy ?max_states ?reduction ?jobs ?visited config
+    ~inputs =
+  consensus_verdict
+    ~options:(Search.of_legacy ?max_states ?reduction ?jobs ?visited ())
+    config ~inputs
 
 module Vtbl = Hashtbl
 

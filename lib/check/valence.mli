@@ -29,10 +29,17 @@ val pp_verdict : Format.formatter -> verdict -> unit
 (** [consensus_verdict config ~inputs] — [inputs.(i)] is process [i]'s
     proposal; terminals must satisfy validity and agreement over decided
     values, every process must decide (no hung terminals), and no schedule
-    may run forever.  [jobs] parallelizes the terminal check
-    ({!Subc_sim.Parallel}); the cycle search stays sequential.  The
-    verdict status is deterministic either way. *)
+    may run forever.  Search knobs come from the
+    {!Subc_sim.Search.options} record ([?options]): [options.jobs]
+    parallelizes the terminal check ({!Subc_sim.Parallel}); the cycle
+    search stays sequential.  The verdict status is deterministic either
+    way. *)
 val consensus_verdict :
+  ?options:Search.options -> Config.t -> inputs:Value.t list -> Verdict.t
+
+(** @deprecated Use {!consensus_verdict} with a {!Subc_sim.Search.options}
+    record; this optional-argument spelling remains for one release. *)
+val consensus_verdict_legacy :
   ?max_states:int ->
   ?reduction:Explore.reduction ->
   ?jobs:int ->
@@ -40,6 +47,7 @@ val consensus_verdict :
   Config.t ->
   inputs:Value.t list ->
   Verdict.t
+[@@deprecated "use Valence.consensus_verdict ?options (Search.options record)"]
 
 (** @deprecated Use {!consensus_verdict}; the ad-hoc [verdict] shape
     remains for one release. *)

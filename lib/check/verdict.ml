@@ -105,7 +105,7 @@ let json_fields ?name v =
           field "transitions" (Obs.Sink.Int e.Explore.transitions);
           field "terminals" (Obs.Sink.Int e.Explore.terminals);
           field "dedup_hits" (Obs.Sink.Int e.Explore.dedup_hits);
-          field "sleep_skips" (Obs.Sink.Int e.Explore.sleep_skips);
+          field "source_skips" (Obs.Sink.Int e.Explore.source_skips);
           field "collision_bound" (Obs.Sink.Float e.Explore.collision_bound);
           field "limited" (Obs.Sink.Bool e.Explore.limited);
           field "limit_reason"

@@ -142,7 +142,12 @@ let verdict ?max_states family ~n =
     in
     scan 0
   in
-  match Subc_check.Valence.consensus_verdict ?max_states config ~inputs with
+  let options =
+    match max_states with
+    | None -> Subc_sim.Search.default
+    | Some n -> Subc_sim.Search.(with_max_states n default)
+  in
+  match Subc_check.Valence.consensus_verdict ~options config ~inputs with
   | Subc_check.Verdict.Proved _ -> `Solves
   | Subc_check.Verdict.Refuted { reason; _ } ->
     if contains reason "infinite schedule" then `Diverges else `Violates

@@ -1,19 +1,16 @@
 module Obs = Subc_obs
 
-type limit_reason = No_limit | Max_states | Max_depth | Deadline | Sleep_sets_off
+type limit_reason = No_limit | Max_states | Max_depth | Deadline
 
 let pp_limit_reason ppf = function
   | No_limit -> Format.fprintf ppf "none"
   | Max_states -> Format.fprintf ppf "max-states"
   | Max_depth -> Format.fprintf ppf "max-depth"
   | Deadline -> Format.fprintf ppf "deadline"
-  | Sleep_sets_off -> Format.fprintf ppf "sleep-sets-off"
 
-(* A truncation reason makes the search inconclusive; a downgrade reason
-   ([Sleep_sets_off]) only means a requested reduction was weakened — the
-   search is still exhaustive, so [limited] must stay false. *)
+(* A truncation reason makes the search inconclusive. *)
 let reason_truncates = function
-  | No_limit | Sleep_sets_off -> false
+  | No_limit -> false
   | Max_states | Max_depth | Deadline -> true
 
 type stats = {
@@ -25,7 +22,7 @@ type stats = {
   recovered_terminals : int;
   max_depth : int;
   dedup_hits : int;
-  sleep_skips : int;
+  source_skips : int;
   cycles : int;
   collision_bound : float;
   limited : bool;
@@ -48,7 +45,7 @@ let pp_stats ppf s =
        Printf.sprintf " recovered=%d" s.recovered_terminals
      else "")
     s.max_depth s.dedup_hits
-    (if s.sleep_skips > 0 then Printf.sprintf " sleep-skips=%d" s.sleep_skips
+    (if s.source_skips > 0 then Printf.sprintf " source-skips=%d" s.source_skips
      else "")
     s.cycles
     (if s.collision_bound >= 1e-9 then
@@ -56,21 +53,20 @@ let pp_stats ppf s =
      else "")
     (if s.limited then
        Format.asprintf " (LIMITED: %a)" pp_limit_reason s.limit_reason
-     else if s.limit_reason = Sleep_sets_off then " (sleep sets off)"
      else "")
 
-type reduction = { symmetry : Symmetry.t option; sleep_sets : bool }
+type reduction = { symmetry : Symmetry.t option; source_sets : bool }
 
-let no_reduction = { symmetry = None; sleep_sets = false }
-let with_symmetry sym = { symmetry = Some sym; sleep_sets = false }
-let full_reduction sym = { symmetry = Some sym; sleep_sets = true }
+let no_reduction = { symmetry = None; source_sets = false }
+let with_symmetry sym = { symmetry = Some sym; source_sets = false }
+let full_reduction sym = { symmetry = Some sym; source_sets = true }
 
 (* Soundness certificates: an unforgeable-by-convention token recording
    that a tool mechanically discharged the trusted obligations behind a
    reduction (equivariance of the symmetry spec, commutation of the
-   independence judgment, object classification).  The only minting site
-   outside tests is [Subc_analysis.Analyzer.certify], which refuses unless
-   every check proved. *)
+   independence judgment, source-set closure, object classification).
+   The only minting site outside tests is [Subc_analysis.Analyzer.certify],
+   which refuses unless every check proved. *)
 module Certificate = struct
   type t = { tool : string; subject : string; obligations : string list }
 
@@ -84,18 +80,18 @@ module Certificate = struct
       (String.concat ", " c.obligations)
 end
 
-let certified_reduction ~certificate:(_ : Certificate.t) ?(sleep_sets = true)
+let certified_reduction ~certificate:(_ : Certificate.t) ?(source_sets = true)
     symmetry =
-  { symmetry; sleep_sets }
+  { symmetry; source_sets }
 
 let pp_reduction ppf r =
-  Format.fprintf ppf "symmetry=%s sleep-sets=%b"
+  Format.fprintf ppf "symmetry=%s source-sets=%b"
     (match r.symmetry with
     | None -> "off"
     | Some s -> Printf.sprintf "|G|=%d" (Symmetry.group_order s))
-    r.sleep_sets
+    r.source_sets
 
-(* A transition identity, for sleep-set independence: a process step is
+(* A transition identity, for source-set independence: a process step is
    identified by (process, object handle) — all nondeterministic outcomes
    of one invocation form one transition bundle — and a crash by its
    victim.  Steps of distinct processes on distinct objects always
@@ -103,13 +99,15 @@ let pp_reduction ppf r =
    says so (below).  Crashes of distinct victims commute (a crash touches
    only the victim's local state), and a crash commutes with any step of
    another process: the budget can only disable a sleeping crash, never
-   re-enable one, so budget exhaustion cannot unsoundly skip.
+   re-enable one within a recovery-free segment, so budget exhaustion
+   cannot unsoundly skip.
 
    A recovery is conservatively dependent on everything: it rewrites the
    whole store through the persistence projections and restarts the
    victim's program, so no commutation is assumed.  Recoveries are
    therefore never slept and never put siblings to sleep — reordering
-   soundness never rests on a recovery diamond. *)
+   soundness never rests on a recovery diamond — and taking one wakes
+   every sleeping transition. *)
 type tr = Tstep of int * int | Tcrash of int | Trecover of int
 
 (* Conditional (state-local) commutation of two operations on the same
@@ -150,15 +148,17 @@ let op_independent (model : Obj_model.t) st0 a b =
     | ab, ba -> ab = ba
     | exception Exit -> false
 
-(* The memo table for [op_independent] is per-exploration state (it used
-   to be a process-global hashtable: unbounded growth across searches,
-   and a data race waiting to happen once explorations run on multiple
-   domains).  It is also bounded: past [commute_cache_bound] entries new
-   results are recomputed instead of cached — the cache is a pure
-   memoization, so dropping inserts only costs time, never soundness. *)
+(* The memo table for [op_independent] is per-exploration state (per
+   worker domain in the parallel engine): no process-global hashtable, no
+   unbounded growth across searches, no cross-domain data race.  It is
+   also bounded: past [commute_cache_bound] entries new results are
+   recomputed instead of cached — the cache is a pure memoization, so
+   dropping inserts only costs time, never soundness. *)
 let commute_cache_bound = 1 lsl 16
 
 type commute_cache = (string * Value.t * Op.t * Op.t, bool) Hashtbl.t
+
+let commute_cache () : commute_cache = Hashtbl.create 256
 
 let ops_commute (cache : commute_cache) store h a b =
   let model = Store.model store h in
@@ -203,10 +203,82 @@ let map_tr (pi : Symmetry.perm) = function
   | Tcrash p -> Tcrash pi.(p)
   | Trecover p -> Trecover pi.(p)
 
-let invert (pi : Symmetry.perm) =
-  let inv = Array.make (Array.length pi) 0 in
-  Array.iteri (fun i j -> inv.(j) <- i) pi;
-  inv
+(* Injective int packing of a transition identity, for folding a sleep
+   set into a fingerprint ([Fingerprint.extend]).  Processes and handles
+   are tiny (bounded by the instance size), so the shifted fields never
+   overlap in practice; even if they did, the packing only has to be
+   deterministic and near-injective — the fingerprint lanes do the
+   mixing. *)
+let pack_tr = function
+  | Tstep (p, h) -> 0x1 lor (p lsl 2) lor (h lsl 24)
+  | Tcrash p -> 0x2 lor (p lsl 2)
+  | Trecover p -> 0x3 lor (p lsl 2)
+
+(* The sleep set restricted to transitions enabled at [config] — the
+   {e relevant} sleep.  Restriction before keying and inheritance is what
+   keys terminals by state alone (no step or crash is enabled there, and
+   recoveries never sleep, so the relevant sleep of a terminal is empty)
+   and merges arrivals whose sleeps differ only in disabled entries.
+   Dropping a disabled entry is sound: a sleeping [Tstep] stays enabled
+   as long as it sleeps (anything that changes the process's status or
+   pending invocation is dependent with it, and dependence wakes it), so
+   only [Tcrash] entries are ever dropped — when the crash budget is
+   exhausted, which is monotone within a recovery-free segment, and any
+   recovery empties the sleep set wholesale. *)
+let restrict_sleep ~max_crashes config sleep =
+  match sleep with
+  | [] -> []
+  | _ ->
+    let runnable = Config.running config in
+    let budget_left = Config.n_crashed config < max_crashes in
+    List.filter
+      (fun e ->
+        match e with
+        | Tstep (p, h) ->
+          List.mem p runnable && (fst (pending config p) :> int) = h
+        | Tcrash p -> budget_left && List.mem p runnable
+        | Trecover _ -> false)
+      sleep
+
+(* Canonical packed encoding of a (restricted) sleep set: transport to
+   the representative's frame, pack, sort.  The sorted int list is a
+   deterministic function of the canonical (state, sleep) pair whatever
+   concrete representative arrived. *)
+let packed_sleep pi sleep =
+  match sleep with
+  | [] -> []
+  | _ ->
+    List.sort compare
+      (List.map
+         (fun e ->
+           pack_tr (match pi with None -> e | Some pi -> map_tr pi e))
+         sleep)
+
+(* The packed sleep attached to a canonical state key must be an orbit
+   invariant of the abstract (state, sleep) pair, not of whichever
+   concrete representative arrived.  When the canonical state has a
+   nontrivial stabilizer, two orbit-mates canonicalize through minimizers
+   that differ by a stabilizer element, and transporting the sleep
+   through just the tie-broken winner would encode the same abstract pair
+   two ways — the visited/claim table would then split one node in two,
+   and the state counts (never the verdicts: both keys still guard sound
+   expansions) would depend on which representative was reached first,
+   breaking the seq-vs-par bit-for-bit contract.  Taking the
+   lexicographic minimum of the packed list over {e every} permutation
+   achieving the canonical state key makes the encoding
+   representative-independent.  Stabilizers are trivial for almost all
+   states, so the fold usually sees one candidate. *)
+let canonical_packed_sleep minimizers sleep =
+  match minimizers with
+  | [] -> packed_sleep None sleep
+  | [ pi ] -> packed_sleep (Some pi) sleep
+  | pi0 :: rest ->
+    List.fold_left
+      (fun best pi ->
+        let packed = packed_sleep (Some pi) sleep in
+        if compare packed best < 0 then packed else best)
+      (packed_sleep (Some pi0) sleep)
+      rest
 
 (* Canonical configurations are interned as two-word structural
    fingerprints ({!Fingerprint}): the visited set of a multi-million-state
@@ -214,19 +286,18 @@ let invert (pi : Symmetry.perm) =
    fingerprint is folded directly over the configuration — no key tree,
    no marshal buffer, no digest string.  Under [~paranoid] the exact
    canonical key is kept instead (collisions impossible; the
-   cross-validation mode).  Each visited entry records which transitions
-   have already been explored from the state (in canonical coordinates):
-   a revisit under a different sleep set explores only the transitions
-   not yet covered, so each transition is taken at most once per state
-   (Godefroid's state-matching formulation of sleep sets). *)
+   cross-validation mode).  Under source sets the visited key is the
+   {e pair} (canonical state, canonical relevant sleep): expansion under
+   the source-set protocol is a pure function of that pair, so claiming
+   each pair exactly once reproduces the stateless sleep-set search tree
+   with identical subtrees shared — the protocol every engine (sequential
+   or work-stealing) observes identically. *)
 module Vtbl = Fingerprint.Ktbl
-
-type visit_record = { mutable explored : tr list }
 
 exception Stop
 
 type state = {
-  visited : visit_record Vtbl.t;
+  visited : unit Vtbl.t;
   onstack : unit Vtbl.t;
   commute : commute_cache;
   paranoid : bool;
@@ -238,7 +309,7 @@ type state = {
   mutable recovered_terminals : int;
   mutable max_depth : int;
   mutable dedup_hits : int;
-  mutable sleep_skips : int;
+  mutable source_skips : int;
   mutable cycles : int;
   mutable limit_reason : limit_reason;
   max_states : int;
@@ -271,7 +342,7 @@ let stats_of st =
     recovered_terminals = st.recovered_terminals;
     max_depth = st.max_depth;
     dedup_hits = st.dedup_hits;
-    sleep_skips = st.sleep_skips;
+    source_skips = st.source_skips;
     cycles = st.cycles;
     collision_bound =
       (if st.paranoid then 0.0
@@ -311,22 +382,193 @@ let state_fingerprint (reduction : reduction) config =
     let key, _ = Symmetry.canonical_key sym config in
     Fingerprint.of_value key
 
-let fingerprint st config = key_of ~paranoid:st.paranoid st.reduction config
+(* (state, sleep) visited key: the state key extended with the canonical
+   relevant sleep.  An empty relevant sleep leaves the state key
+   untouched, so source-set-off searches and terminal states key exactly
+   as before.  Returns the canonicalizing renaming (for canonical sibling
+   ordering in [source_successors]) and the restricted concrete sleep
+   (the base the children inherit). *)
+let extend_with_sleep key packed =
+  match packed with
+  | [] -> key
+  | _ -> (
+    match key with
+    | Fingerprint.Fp fp ->
+      Fingerprint.Fp (List.fold_left Fingerprint.extend fp packed)
+    | Fingerprint.Exact v ->
+      (* [Tag "sleep"] cannot collide with a bare configuration key —
+         config keys are untagged pair/vector trees at the top. *)
+      Fingerprint.Exact
+        (Value.Tag
+           ( "sleep",
+             Value.Pair (v, Value.Vec (List.map (fun x -> Value.Int x) packed))
+           )))
 
-(* DFS with memoization on canonical configuration keys.  [rev_trace] is the
-   path from the root, newest event first.  Crash transitions are ordinary
-   transitions of the search: every running process may crash as long as the
-   crash budget is not exhausted.  The budget needs no separate memoization
-   key — crashed processes are part of the configuration, so the number of
-   crashes used is derivable from the configuration itself.
+let source_key ?(paranoid = false) (reduction : reduction) ~max_crashes config
+    ~sleep =
+  let sleep =
+    if reduction.source_sets then restrict_sleep ~max_crashes config sleep
+    else []
+  in
+  match (reduction.symmetry, sleep) with
+  | None, _ ->
+    let key, pi = key_of ~paranoid reduction config in
+    (extend_with_sleep key (packed_sleep None sleep), pi, sleep)
+  | Some _, [] ->
+    let key, pi = key_of ~paranoid reduction config in
+    (key, pi, [])
+  | Some sym, _ ->
+    let key, minimizers = Symmetry.canonical_minimizers sym config in
+    let key =
+      if paranoid then Fingerprint.Exact key
+      else Fingerprint.Fp (Fingerprint.of_value key)
+    in
+    ( extend_with_sleep key (canonical_packed_sleep minimizers sleep),
+      Some (List.hd minimizers),
+      sleep )
+
+(* Raw-lane variant of [source_key] for the parallel claim table. *)
+let source_fingerprint (reduction : reduction) ~max_crashes config ~sleep =
+  let sleep =
+    if reduction.source_sets then restrict_sleep ~max_crashes config sleep
+    else []
+  in
+  match (reduction.symmetry, sleep) with
+  | None, _ ->
+    let fp = Fingerprint.of_config config in
+    (List.fold_left Fingerprint.extend fp (packed_sleep None sleep), None, sleep)
+  | Some sym, [] ->
+    let key, pi = Symmetry.canonical_key sym config in
+    (Fingerprint.of_value key, Some pi, [])
+  | Some sym, _ ->
+    let key, minimizers = Symmetry.canonical_minimizers sym config in
+    let fp =
+      List.fold_left Fingerprint.extend
+        (Fingerprint.of_value key)
+        (canonical_packed_sleep minimizers sleep)
+    in
+    (fp, Some (List.hd minimizers), sleep)
+
+(* One enabled transition bundle of the expansion, with the sleep set its
+   children inherit (concrete coordinates of {e this} configuration). *)
+type succ_group = {
+  g_tr : tr;
+  g_sleep : tr list;
+  g_succs : (Config.t * Trace.event) list;
+}
+
+(* Every enabled transition bundle of [config], paired with its successor
+   list: steps of runnable processes, crashes within budget, recoveries
+   within budget. *)
+let enabled_groups ~max_crashes ~max_recoveries config =
+  let runnable = Config.running config in
+  let steps =
+    List.map
+      (fun i ->
+        ( Tstep (i, (fst (pending config i) :> int)),
+          List.map (fun (c, e) -> (c, Trace.Sched e)) (Step.step config i) ))
+      runnable
+  in
+  let crashes =
+    if Config.n_crashed config < max_crashes then
+      List.map
+        (fun (c, v) -> (Tcrash v, [ (c, Trace.Crash v) ]))
+        (Step.crash_successors config)
+    else []
+  in
+  let recoveries =
+    if
+      max_recoveries > 0
+      && Config.any_crashed config
+      && Config.n_recoveries config < max_recoveries
+    then
+      List.map
+        (fun (c, v) -> (Trecover v, [ (c, Trace.Recover v) ]))
+        (Step.recover_successors config)
+    else []
+  in
+  steps @ crashes @ recoveries
+
+(* The source-set expansion of a (config, sleep) node, shared verbatim by
+   the sequential DFS and every parallel worker domain.
+
+   Siblings are processed in {e canonical} order (sorted by their image
+   under the canonicalizing renaming), so the k-th sibling — and hence
+   each child's inherited sleep — is the same function of the canonical
+   (state, sleep) key whichever orbit representative is being expanded
+   and whichever domain claimed it.  A sibling already in [sleep] is
+   skipped (counted); an explored sibling joins the sleep of every later
+   independent sibling's children (the classic sleep-set inheritance,
+   which under DFS ordering is exactly the source-set discipline: the
+   transitions actually explored at the node form a source set for it).
+   Independence is conditional (state-local): an inherited entry is
+   re-filtered against the taken transition at every expansion, and each
+   covering argument uses only the commutation diamond at the state where
+   the judgment was made — the judgment may freely flip at descendants.
+   Soundness under work stealing needs only the certificate obligations —
+   per-state commutation and [dependent_at] equivariance — because the
+   expansion is deterministic per canonical key and the claim-once table
+   makes execution order irrelevant. *)
+let source_successors cache (reduction : reduction) ~pi ~max_crashes
+    ~max_recoveries config ~sleep =
+  let groups = enabled_groups ~max_crashes ~max_recoveries config in
+  if not reduction.source_sets then
+    (List.map (fun (tr, succs) -> { g_tr = tr; g_sleep = []; g_succs = succs })
+       groups,
+     0)
+  else begin
+    let groups =
+      match pi with
+      | None ->
+        (* Concrete coordinates are canonical: [enabled_groups] already
+           yields steps by process, then crashes by victim, then
+           recoveries — sorted transition order. *)
+        groups
+      | Some pi ->
+        List.sort
+          (fun (a, _) (b, _) -> compare (map_tr pi a) (map_tr pi b))
+          groups
+    in
+    let skips = ref 0 in
+    let taken = ref [] in
+    let out =
+      List.filter_map
+        (fun (tr, succs) ->
+          if List.mem tr sleep then begin
+            incr skips;
+            None
+          end
+          else begin
+            let child =
+              List.filter
+                (fun s -> not (dependent_at cache config s tr))
+                (List.rev_append !taken sleep)
+            in
+            taken := tr :: !taken;
+            Some { g_tr = tr; g_sleep = child; g_succs = succs }
+          end)
+        groups
+    in
+    (out, !skips)
+  end
+
+(* DFS with claim-once memoization on canonical (configuration, sleep)
+   keys.  [rev_trace] is the path from the root, newest event first.
+   Crash transitions are ordinary transitions of the search: every
+   running process may crash as long as the crash budget is not
+   exhausted.  The budget needs no separate memoization key — crashed
+   processes are part of the configuration, so the number of crashes used
+   is derivable from the configuration itself.
 
    [sleep] is the sleep set in concrete coordinates: transitions whose
    exploration is covered by a sibling branch and must not be re-explored
-   here.  Sleep sets only prune transitions, never states: every reachable
-   state is still visited through some canonical interleaving, so terminal
-   verdicts are preserved.  (Completeness of the pruning assumes the state
-   graph is acyclic, which holds for all one-shot bounded algorithms; the
-   cycle-hunting entry points force sleep sets off.) *)
+   here.  Source sets only prune transitions, never terminals: every
+   reachable terminal is still visited through some canonical
+   interleaving, and terminals key by state alone (their relevant sleep
+   is empty), so terminal verdicts and counts are preserved exactly.
+   (Completeness of the pruning assumes the state graph is acyclic, which
+   holds for all one-shot bounded algorithms; the cycle-hunting entry
+   points force source sets off.) *)
 let deadline_mask = 1023
 
 let rec dfs st config rev_trace depth sleep =
@@ -344,7 +586,10 @@ let rec dfs st config rev_trace depth sleep =
     if st.limit_reason = No_limit then st.limit_reason <- Max_depth
   end
   else
-    let key, pi = fingerprint st config in
+    let key, pi, sleep =
+      source_key ~paranoid:st.paranoid st.reduction
+        ~max_crashes:st.max_crashes config ~sleep
+    in
     if Vtbl.mem st.onstack key then begin
       (* Back-edge into the current DFS stack: an infinite schedule (modulo
          symmetry, when enabled). *)
@@ -352,122 +597,50 @@ let rec dfs st config rev_trace depth sleep =
       if st.cycle_witness = None then st.cycle_witness <- Some (List.rev rev_trace);
       if st.stop_on_cycle then raise Stop
     end
+    else if Vtbl.mem st.visited key then
+      st.dedup_hits <- st.dedup_hits + 1
+    else if st.states >= st.max_states then begin
+      st.limit_reason <- Max_states;
+      raise Stop
+    end
     else begin
-      let record = Vtbl.find_opt st.visited key in
-      if record = None && st.states >= st.max_states then begin
-        st.limit_reason <- Max_states;
-        raise Stop
-      end
-      else begin
-        let first_visit = record = None in
-        let record =
-          match record with
-          | Some r -> r
-          | None ->
-            let r = { explored = [] } in
-            Vtbl.add st.visited key r;
-            st.states <- st.states + 1;
-            r
-        in
-        (* Canonical-coordinate transport: [to_canon] maps a transition of
-           this concrete configuration to the representative's frame (where
-           [record.explored] lives), [of_canon] maps back so previously
-           explored transitions can join children's sleep sets. *)
-        let to_canon, of_canon =
-          match pi with
-          | None -> ((fun e -> e), fun e -> e)
-          | Some pi ->
-            let inv = invert pi in
-            ((fun e -> map_tr pi e), fun e -> map_tr inv e)
-        in
-        if first_visit then st.on_visit config (lazy (List.rev rev_trace));
-        let runnable = Config.running config in
-        (* Terminal for the processes is not necessarily terminal for the
-           search: with recovery budget left, the adversary may still
-           revive a crashed process.  The configuration is reported as a
-           terminal either way — the adversary may equally choose never to
-           recover — and then expanded through its recover successors. *)
-        let can_recover =
-          st.max_recoveries > 0
-          && Config.any_crashed config
-          && Config.n_recoveries config < st.max_recoveries
-        in
-        if runnable = [] && first_visit then begin
-          st.terminals <- st.terminals + 1;
-          if Config.any_hung config then
-            st.hung_terminals <- st.hung_terminals + 1;
-          if Config.any_crashed config then
-            st.crashed_terminals <- st.crashed_terminals + 1;
-          if Config.any_recovered config then
-            st.recovered_terminals <- st.recovered_terminals + 1;
-          st.on_terminal config (List.rev rev_trace)
-        end;
-        if runnable = [] && not can_recover then begin
-          if not first_visit then st.dedup_hits <- st.dedup_hits + 1
-        end
-        else begin
-          let prev_explored = List.map of_canon record.explored in
-          Vtbl.add st.onstack key ();
-          (* Transitions taken at this node (now or on a previous visit);
-             each later branch sleeps on the earlier ones it is
-             independent of. *)
-          let done_here = ref prev_explored in
-          let took_any = ref false in
-          let child_sleep entry =
-            List.filter
-              (fun s -> not (dependent_at st.commute config s entry))
-              (List.rev_append !done_here sleep)
-          in
-          let visit_entry entry go =
-            if List.mem entry prev_explored then ()
-            else if st.reduction.sleep_sets && List.mem entry sleep then
-              st.sleep_skips <- st.sleep_skips + 1
-            else begin
-              let sleep' =
-                if st.reduction.sleep_sets then child_sleep entry else []
-              in
-              took_any := true;
-              go sleep';
-              done_here := entry :: !done_here;
-              record.explored <- to_canon entry :: record.explored
-            end
-          in
-          List.iter
-            (fun i ->
-              let entry = Tstep (i, (fst (pending config i) :> int)) in
-              visit_entry entry (fun sleep' ->
-                  List.iter
-                    (fun (config', event) ->
-                      st.transitions <- st.transitions + 1;
-                      dfs st config'
-                        (Trace.Sched event :: rev_trace)
-                        (depth + 1) sleep')
-                    (Step.step config i)))
-            runnable;
-          if Config.n_crashed config < st.max_crashes then
+      Vtbl.add st.visited key ();
+      st.states <- st.states + 1;
+      st.on_visit config (lazy (List.rev rev_trace));
+      (* Terminal for the processes is not necessarily terminal for the
+         search: with recovery budget left, the adversary may still
+         revive a crashed process.  The configuration is reported as a
+         terminal either way — the adversary may equally choose never to
+         recover — and then expanded through its recover successors.
+         Terminals key by state alone (empty relevant sleep), so this
+         fires once per terminal configuration. *)
+      if Config.running config = [] then begin
+        st.terminals <- st.terminals + 1;
+        if Config.any_hung config then
+          st.hung_terminals <- st.hung_terminals + 1;
+        if Config.any_crashed config then
+          st.crashed_terminals <- st.crashed_terminals + 1;
+        if Config.any_recovered config then
+          st.recovered_terminals <- st.recovered_terminals + 1;
+        st.on_terminal config (List.rev rev_trace)
+      end;
+      let groups, skips =
+        source_successors st.commute st.reduction ~pi
+          ~max_crashes:st.max_crashes ~max_recoveries:st.max_recoveries config
+          ~sleep
+      in
+      st.source_skips <- st.source_skips + skips;
+      if groups <> [] then begin
+        Vtbl.add st.onstack key ();
+        List.iter
+          (fun g ->
             List.iter
-              (fun (config', victim) ->
-                let entry = Tcrash victim in
-                visit_entry entry (fun sleep' ->
-                    st.transitions <- st.transitions + 1;
-                    dfs st config'
-                      (Trace.Crash victim :: rev_trace)
-                      (depth + 1) sleep'))
-              (Step.crash_successors config);
-          if can_recover then
-            List.iter
-              (fun (config', victim) ->
-                let entry = Trecover victim in
-                visit_entry entry (fun sleep' ->
-                    st.transitions <- st.transitions + 1;
-                    dfs st config'
-                      (Trace.Recover victim :: rev_trace)
-                      (depth + 1) sleep'))
-              (Step.recover_successors config);
-          Vtbl.remove st.onstack key;
-          if (not first_visit) && not !took_any then
-            st.dedup_hits <- st.dedup_hits + 1
-        end
+              (fun (config', event) ->
+                st.transitions <- st.transitions + 1;
+                dfs st config' (event :: rev_trace) (depth + 1) g.g_sleep)
+              g.g_succs)
+          groups;
+        Vtbl.remove st.onstack key
       end
     end
 
@@ -487,7 +660,7 @@ let make_state ?(max_states = 5_000_000) ?(max_depth = 10_000)
   {
     visited = Vtbl.create (table_hint expected_states);
     onstack = Vtbl.create 256;
-    commute = Hashtbl.create 256;
+    commute = commute_cache ();
     paranoid;
     states = 0;
     transitions = 0;
@@ -497,7 +670,7 @@ let make_state ?(max_states = 5_000_000) ?(max_depth = 10_000)
     recovered_terminals = 0;
     max_depth = 0;
     dedup_hits = 0;
-    sleep_skips = 0;
+    source_skips = 0;
     cycles = 0;
     limit_reason = No_limit;
     max_states;
@@ -521,7 +694,7 @@ let make_state ?(max_states = 5_000_000) ?(max_depth = 10_000)
 let m_states = Obs.Metrics.counter "explore.states"
 let m_transitions = Obs.Metrics.counter "explore.transitions"
 let m_dedup = Obs.Metrics.counter "explore.dedup_hits"
-let m_sleep = Obs.Metrics.counter "explore.sleep_skips"
+let m_source = Obs.Metrics.counter "explore.source_skips"
 let m_searches = Obs.Metrics.counter "explore.searches"
 
 let run_search label st config =
@@ -533,7 +706,7 @@ let run_search label st config =
   Obs.Metrics.add m_states s.states;
   Obs.Metrics.add m_transitions s.transitions;
   Obs.Metrics.add m_dedup s.dedup_hits;
-  Obs.Metrics.add m_sleep s.sleep_skips;
+  Obs.Metrics.add m_source s.source_skips;
   if Obs.Sink.get () != Obs.Sink.null then
     Obs.Sink.emit "explore"
       [
@@ -542,7 +715,7 @@ let run_search label st config =
         ("transitions", Obs.Sink.Int s.transitions);
         ("terminals", Obs.Sink.Int s.terminals);
         ("dedup_hits", Obs.Sink.Int s.dedup_hits);
-        ("sleep_skips", Obs.Sink.Int s.sleep_skips);
+        ("source_skips", Obs.Sink.Int s.source_skips);
         ("cycles", Obs.Sink.Int s.cycles);
         ("limited", Obs.Sink.Bool s.limited);
         ("seconds", Obs.Sink.Float dt);
@@ -560,14 +733,14 @@ let iter_terminals ?max_states ?max_depth ?max_crashes ?max_recoveries
   in
   run_search "iter_terminals" st config
 
-(* Sleep sets are forced off: [iter_reachable] exists to enumerate every
+(* Source sets are forced off: [iter_reachable] exists to enumerate every
    reachable configuration (wait-freedom bounds quantify over all of them),
-   and sleep sets do not shrink the state set anyway — they only skip
-   redundant transitions, at the cost of the cycle caveat. *)
+   and the reduction's guarantee covers terminals, not every intermediate
+   state. *)
 let iter_reachable ?max_states ?max_depth ?max_crashes ?max_recoveries
     ?deadline ?expected_states ?reduction ?paranoid config ~f =
   let reduction =
-    Option.map (fun r -> { r with sleep_sets = false }) reduction
+    Option.map (fun r -> { r with source_sets = false }) reduction
   in
   let st =
     make_state ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
@@ -602,14 +775,14 @@ let check_terminals ?max_states ?max_depth ?max_crashes ?max_recoveries
   | None, stats -> Ok stats
   | Some (c, trace), stats -> Error (c, trace, stats)
 
-(* Sleep sets are forced off: skipping a transition at a state revisited on
+(* Source sets are forced off: skipping a transition at a state revisited on
    the DFS stack could hide a back-edge.  Symmetry stays on — an orbit
    back-edge still witnesses an infinite run (apply the automorphism
    repeatedly to extend the lasso). *)
 let find_cycle ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
     ?expected_states ?reduction ?paranoid config =
   let reduction =
-    Option.map (fun r -> { r with sleep_sets = false }) reduction
+    Option.map (fun r -> { r with source_sets = false }) reduction
   in
   let st =
     make_state ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline

@@ -28,7 +28,7 @@
     them.  The recovery budget is derivable from the configuration key too:
     each process carries its recovery count, which the key and fingerprint
     include.  Recover transitions are conservatively dependent on every
-    other transition, so the sleep-set reduction never prunes around them.
+    other transition, so the source-set reduction never prunes around them.
 
     {1 Reductions}
 
@@ -49,18 +49,23 @@
       obligation.  Sound for terminal checking, reachability, and cycle
       detection.
 
-    - {b Sleep sets} ([reduction.sleep_sets]): a partial-order reduction
-      that skips re-exploring a transition already covered by an
-      independent sibling branch (two transitions are independent when they
-      involve distinct processes and distinct objects).  Prunes redundant
-      {e transitions} — terminal verdicts are preserved, visited states are
-      not reduced.  Same-object independence is the semantic judgment
-      {!op_independent}, whose purity and kind-consistency assumptions are
-      certified over each object's reachable state space by
-      [Subc_analysis].  Assumes an acyclic state graph (true for all
+    - {b Source sets} ([reduction.source_sets]): a partial-order reduction
+      that skips transitions covered by an independent sibling branch (two
+      transitions are independent when they involve distinct processes and
+      distinct objects; same-object independence is the semantic judgment
+      {!op_independent}).  The visited key is the canonical
+      {e (configuration, sleep set)} pair and expansion is a deterministic
+      function of that pair ({!source_successors}), so the reduction is
+      claim-once safe: the parallel work-stealing engine ({!Parallel})
+      runs it at full strength and reproduces the sequential counts
+      bit-for-bit.  Terminals carry an empty relevant sleep and key by
+      state alone, so terminal verdicts {e and} terminal counts are
+      preserved exactly.  The judgment's purity, equivariance and closure
+      assumptions are certified over each object's reachable state space
+      by [Subc_analysis].  Assumes an acyclic state graph (true for all
       one-shot bounded algorithms); the entry points that hunt cycles or
       enumerate all reachable states ({!find_cycle}, {!iter_reachable})
-      force sleep sets off.
+      force source sets off.
 
     For the bounded one-shot algorithms of the paper the state space is
     finite and exploration is complete: a property checked here is a proof
@@ -71,20 +76,17 @@ type limit_reason =
   | Max_states  (** the state budget was exhausted; search aborted *)
   | Max_depth  (** some branch was pruned at the depth bound *)
   | Deadline  (** the wall-clock budget ([?deadline]) expired; search aborted *)
-  | Sleep_sets_off
-      (** the requested sleep-set reduction was forced off (parallel
-          exploration) — a {e downgrade}, not a truncation: the search
-          is still exhaustive and [limited] stays [false] *)
 
 val pp_limit_reason : Format.formatter -> limit_reason -> unit
 
 val reason_truncates : limit_reason -> bool
 (** Whether the reason makes the search inconclusive ([Max_states],
-    [Max_depth], [Deadline]) as opposed to merely downgraded
-    ([Sleep_sets_off]). *)
+    [Max_depth], [Deadline]). *)
 
 type stats = {
-  states : int;  (** distinct canonical configurations visited *)
+  states : int;
+      (** distinct canonical (configuration, sleep) nodes visited; equals
+          distinct configurations whenever source sets are off *)
   transitions : int;
   terminals : int;  (** distinct terminal configurations *)
   hung_terminals : int;  (** terminals in which some process hung *)
@@ -92,8 +94,10 @@ type stats = {
   recovered_terminals : int;
       (** terminals in which some process had recovered at least once *)
   max_depth : int;
-  dedup_hits : int;  (** transitions into an already-visited configuration *)
-  sleep_skips : int;  (** transitions skipped by the sleep-set reduction *)
+  dedup_hits : int;  (** transitions into an already-visited node *)
+  source_skips : int;
+      (** transitions skipped by the source-set reduction (deterministic:
+          a per-node function of the canonical key, summed over nodes) *)
   cycles : int;  (** back-edges into the current DFS stack: each witnesses
                      an infinite schedule (non-termination potential) *)
   collision_bound : float;
@@ -120,22 +124,23 @@ val fingerprint_bits : int
 
 (** Which reductions to apply.  The default ({!no_reduction}) reproduces
     the plain exhaustive search exactly. *)
-type reduction = { symmetry : Symmetry.t option; sleep_sets : bool }
+type reduction = { symmetry : Symmetry.t option; source_sets : bool }
 
 val no_reduction : reduction
 val with_symmetry : Symmetry.t -> reduction
 val full_reduction : Symmetry.t -> reduction
-(** Symmetry quotienting {e and} sleep sets. *)
+(** Symmetry quotienting {e and} source sets. *)
 
 (** Soundness certificates.  The reductions above rest on trusted
     declarations (the symmetry spec is an automorphism group, the
-    independence judgment's purity assumptions hold).  A {!Certificate.t}
-    records that a tool has mechanically discharged those obligations; the
-    only minting site outside tests is [Subc_analysis.Analyzer.certify],
-    which refuses unless every analyzer check proves.  Callers that want a
-    checked reduction construct it through {!certified_reduction} instead
-    of the bare record, making "fast but trust-me" and "fast and checked"
-    distinct types of evidence at the call site. *)
+    independence judgment's purity/equivariance/closure assumptions hold).
+    A {!Certificate.t} records that a tool has mechanically discharged
+    those obligations; the only minting site outside tests is
+    [Subc_analysis.Analyzer.certify], which refuses unless every analyzer
+    check proves.  Callers that want a checked reduction construct it
+    through {!certified_reduction} instead of the bare record, making
+    "fast but trust-me" and "fast and checked" distinct types of evidence
+    at the call site. *)
 module Certificate : sig
   type t
 
@@ -151,11 +156,11 @@ module Certificate : sig
 end
 
 (** [certified_reduction ~certificate sym] — a reduction that demanded a
-    certificate before enabling itself; [sleep_sets] defaults to [true]
+    certificate before enabling itself; [source_sets] defaults to [true]
     (the certificate covers the independence judgment too). *)
 val certified_reduction :
   certificate:Certificate.t ->
-  ?sleep_sets:bool ->
+  ?source_sets:bool ->
   Symmetry.t option ->
   reduction
 
@@ -169,23 +174,100 @@ val certified_reduction :
     never share mutable state.  The memoization assumes [apply] is pure
     and that equal [kind] strings name behaviourally equal models.
     Exposed so the soundness analyzer ([Subc_analysis]) can certify
-    exactly the judgment the sleep-set reduction consumes. *)
+    exactly the judgment the source-set reduction consumes. *)
 val op_independent : Obj_model.t -> Value.t -> Op.t -> Op.t -> bool
 
 val pp_reduction : Format.formatter -> reduction -> unit
 
-(** [state_key reduction config] — the visited-set key the explorer uses
-    for [config] under [reduction]: the structural fingerprint of the
-    canonical orbit representative ([Fingerprint.Fp]), or the exact
+(** {1 Source-set machinery}
+
+    Shared verbatim by the sequential DFS and the parallel work-stealing
+    engine, so both observe the same protocol: visited keys are canonical
+    (configuration, sleep) pairs, and expansion is a deterministic
+    function of the key. *)
+
+(** A transition identity, in concrete process coordinates: a process
+    step is identified by (process, object handle) — all nondeterministic
+    outcomes of one invocation form one transition bundle — a crash and a
+    recovery by their victim. *)
+type tr = Tstep of int * int | Tcrash of int | Trecover of int
+
+val map_tr : Symmetry.perm -> tr -> tr
+(** Transport a transition identity along a process renaming. *)
+
+(** The bounded per-exploration (per-domain) memo for {!op_independent}.
+    Callers running concurrent expansions must use one cache per domain. *)
+type commute_cache
+
+val commute_cache : unit -> commute_cache
+
+(** [source_key reduction ~max_crashes config ~sleep] — the visited key of
+    the (configuration, sleep) node: the canonical state key extended with
+    the canonical enabled-restricted sleep set (the extension is the
+    identity when the relevant sleep is empty, so source-set-off searches
+    and terminal states key exactly as plain state keys).  Also returns
+    the canonicalizing renaming and the restricted concrete sleep — the
+    inputs {!source_successors} needs. *)
+val source_key :
+  ?paranoid:bool ->
+  reduction ->
+  max_crashes:int ->
+  Config.t ->
+  sleep:tr list ->
+  Fingerprint.key * Symmetry.perm option * tr list
+
+val source_fingerprint :
+  reduction ->
+  max_crashes:int ->
+  Config.t ->
+  sleep:tr list ->
+  Fingerprint.t * Symmetry.perm option * tr list
+(** Raw-two-lane variant of {!source_key} for the parallel engine's
+    lock-free claim table, which stores bare lanes and never allocates a
+    {!Fingerprint.key}. *)
+
+(** One enabled transition bundle of an expansion: its identity, the
+    sleep set its children inherit (concrete coordinates of the expanded
+    configuration), and its successor configurations with their trace
+    events. *)
+type succ_group = {
+  g_tr : tr;
+  g_sleep : tr list;
+  g_succs : (Config.t * Trace.event) list;
+}
+
+val source_successors :
+  commute_cache ->
+  reduction ->
+  pi:Symmetry.perm option ->
+  max_crashes:int ->
+  max_recoveries:int ->
+  Config.t ->
+  sleep:tr list ->
+  succ_group list * int
+(** The source-set expansion of a (configuration, sleep) node: enabled
+    transition bundles in {e canonical} sibling order (sorted by image
+    under [pi]), minus those asleep (their count is returned — the
+    [source_skips] contribution), each paired with its children's sleep
+    set.  [sleep] must be the restricted sleep returned by
+    {!source_key}/{!source_fingerprint} for the same configuration.
+    Deterministic per canonical key — the property that makes the
+    reduction safe under work stealing. *)
+
+
+(** [state_key reduction config] — the plain visited-set key of [config]
+    under [reduction] (no sleep extension): the structural fingerprint of
+    the canonical orbit representative ([Fingerprint.Fp]), or the exact
     canonical key under [~paranoid:true] ([Fingerprint.Exact]).  Exposed
-    for the parallel engine's sharded visited table and for the
-    cross-validation tests. *)
+    for per-state memoization outside the explorer (e.g. solo-run bounds)
+    and for the cross-validation tests. *)
 val state_key : ?paranoid:bool -> reduction -> Config.t -> Fingerprint.key
 
 val state_fingerprint : reduction -> Config.t -> Fingerprint.t
-(** The bare two-lane fingerprint of the canonical orbit representative —
-    the parallel engine's lock-free claim-table path, which stores raw
-    lanes and never allocates a {!Fingerprint.key}. *)
+(** The bare two-lane fingerprint of the canonical orbit representative
+    (no sleep extension). *)
+
+(** {1 Entry points} *)
 
 (** [iter_terminals config ~f] visits every reachable terminal configuration
     once, passing a witness trace.  Under symmetry, one representative per
@@ -207,8 +289,9 @@ val iter_terminals :
 (** [iter_reachable config ~f] visits {e every} reachable configuration
     (one representative per orbit under symmetry) once, passing a lazy
     witness trace — forcing it is linear in the depth, so callers that only
-    need the trace on failure pay nothing on the common path.  Sleep sets
-    are forced off (they would not shrink the visited set anyway). *)
+    need the trace on failure pay nothing on the common path.  Source sets
+    are forced off (their guarantee covers terminals, and reachability
+    callers quantify over every intermediate configuration). *)
 val iter_reachable :
   ?max_states:int ->
   ?max_depth:int ->
@@ -256,7 +339,7 @@ val check_terminals :
     reachable from itself (modulo symmetry, when enabled — an orbit
     back-edge extends to an infinite run by repeated application of the
     automorphism).  Returns the lasso trace (stem to the repeated
-    configuration).  Sleep sets are forced off — skipping transitions at
+    configuration).  Source sets are forced off — skipping transitions at
     on-stack states could hide back-edges.  Wait-free algorithms must
     return [None]. *)
 val find_cycle :

@@ -124,6 +124,18 @@ let of_value v =
   feed_value ctx v;
   finish ctx
 
+(* Re-open a finished fingerprint and mix one more word into both lanes.
+   Used to key (configuration, sleep set) pairs: the state fingerprint is
+   computed once and each canonical sleep entry is folded on top, so the
+   extension costs O(|sleep|) with no re-traversal of the configuration.
+   The lanes pass through the same multiply-xorshift round as [feed] +
+   [finish], so [extend fp x] is as well-mixed as fingerprinting the
+   extended stream directly; an empty extension is the identity. *)
+let extend t x =
+  let ctx = { a = t.h1; b = t.h2 } in
+  feed ctx x;
+  finish ctx
+
 (* Visited-set keys: the fingerprint fast path, or the exact canonical
    [Value.t] key under [~paranoid] (collisions impossible, memory heavy —
    the cross-validation mode). *)

@@ -27,6 +27,12 @@ val of_value : Value.t -> t
     quotienting, where the canonical representative key is already
     materialized by [Symmetry.canonical_key]. *)
 
+val extend : t -> int -> t
+(** [extend fp x] mixes one more word into both lanes of a finished
+    fingerprint.  The explorer keys (configuration, sleep set) pairs by
+    folding each canonical sleep entry onto the state fingerprint —
+    O(sleep) per extension, no configuration re-traversal. *)
+
 (** {1 Visited-set keys} *)
 
 (** [Fp] is the fast path; [Exact] keeps the full canonical key (the

@@ -51,13 +51,18 @@
    lock).
 
    Reductions: symmetry quotienting composes (the canonical key is
-   computed before the claim, so all orbit members race for one slot);
-   sleep sets are forced off — their resume protocol mutates a
-   per-state [explored] list in DFS order, which is inherently
-   sequential.  The downgrade is surfaced: [stats.limit_reason] becomes
-   [Sleep_sets_off] (with [limited] still false — the search is
-   exhaustive) and the [parallel.sleep_sets_forced_off] counter is
-   bumped, so [--json] consumers see it, not just stderr readers.
+   computed before the claim, so all orbit members race for one slot),
+   and so does the source-set partial-order reduction: work items carry
+   their sleep set, the visited key is the canonical {e (state, sleep)}
+   pair, and expansion ([Explore.source_successors] — the same function
+   the sequential DFS runs) is a deterministic function of that pair.
+   Claim-once on pairs therefore reproduces the stateless sleep-set
+   search tree with identical subtrees shared, whichever domain claims
+   each node and however the Chase–Lev steals interleave — a stolen
+   frame prunes exactly as an owner-executed one because everything the
+   pruning depends on travels inside the work item.  [source_skips] is
+   the per-key skip count summed over claimed keys, so it is as
+   deterministic as [states] and [transitions].
    Cycle detection is not offered: back-edges are indistinguishable
    from cross-edges without a per-domain DFS stack discipline, so
    revisits count as [dedup_hits]; use the sequential
@@ -82,7 +87,15 @@ let default_visited_mode = Atomic.make Lockfree
 let set_default_visited v = Atomic.set default_visited_mode v
 let default_visited () = Atomic.get default_visited_mode
 
-type work = { config : Config.t; rev_trace : Trace.event list; depth : int }
+(* [sleep] is the node's sleep set in the concrete coordinates of
+   [config] — carried in the work item so a stolen subtree prunes
+   identically to an owner-executed one. *)
+type work = {
+  config : Config.t;
+  rev_trace : Trace.event list;
+  depth : int;
+  sleep : Explore.tr list;
+}
 
 type shard = { lock : Mutex.t; tbl : unit Fingerprint.Ktbl.t }
 
@@ -102,6 +115,7 @@ type dstats = {
   mutable recovered_terminals : int;
   mutable max_depth : int;
   mutable dedup_hits : int;
+  mutable source_skips : int;
   mutable depth_limited : bool;
   mutable steals : int;
   mutable contention : int;
@@ -119,6 +133,7 @@ let fresh_dstats () =
     recovered_terminals = 0;
     max_depth = 0;
     dedup_hits = 0;
+    source_skips = 0;
     depth_limited = false;
     steals = 0;
     contention = 0;
@@ -145,7 +160,6 @@ type global = {
   escalate_threshold : float;
   escalated : bool Atomic.t;
   reduction : Explore.reduction;
-  sleep_downgraded : bool;
   paranoid : bool;
   jobs : int;
   cb_lock : Mutex.t;
@@ -157,6 +171,7 @@ type ctx = {
   g : global;
   id : int; (* owner index into [deques]; the seeder uses 0 pre-spawn *)
   stats : dstats;
+  commute : Explore.commute_cache; (* per-domain independence memo *)
   mutable rng : int; (* xorshift state for victim selection *)
   mutable tick : int; (* items processed; deadline poll every 256 *)
   push : work -> unit;
@@ -166,16 +181,21 @@ type ctx = {
    steal loop, so no wake-up broadcast is needed. *)
 let set_stop g cause = ignore (Atomic.compare_and_set g.stop None (Some cause))
 
-(* Claim [config]'s canonical key.  [`Fresh] means this domain owns the
-   state and must expand it; [`Dup] means another claim got there first;
-   [`Budget] means the global state budget is exhausted — the state is
-   left uncounted, so a truncated search reports exactly [max_states]
-   states, like the sequential explorer. *)
-let claim ctx config =
+(* Claim [config]'s canonical (state, sleep) key.  [`Fresh (pi, sleep)]
+   means this domain owns the node and must expand it — [pi] is the
+   canonicalizing renaming and [sleep] the enabled-restricted concrete
+   sleep set, both fed to [Explore.source_successors]; [`Dup] means
+   another claim got there first; [`Budget] means the global state budget
+   is exhausted — the node is left uncounted, so a truncated search
+   reports exactly [max_states] states, like the sequential explorer. *)
+let claim ctx item =
   let g = ctx.g in
   match g.table with
   | Shards shards ->
-    let key = Explore.state_key ~paranoid:g.paranoid g.reduction config in
+    let key, pi, sleep =
+      Explore.source_key ~paranoid:g.paranoid g.reduction
+        ~max_crashes:g.max_crashes item.config ~sleep:item.sleep
+    in
     let sh = shards.(Fingerprint.shard_index key mod n_shards) in
     if not (Mutex.try_lock sh.lock) then begin
       ctx.stats.contention <- ctx.stats.contention + 1;
@@ -186,13 +206,16 @@ let claim ctx config =
       else if Atomic.fetch_and_add g.n_states 1 >= g.max_states then `Budget
       else begin
         Fingerprint.Ktbl.add sh.tbl key ();
-        `Fresh
+        `Fresh (pi, sleep)
       end
     in
     Mutex.unlock sh.lock;
     r
   | Claims t -> (
-    let fp = Explore.state_fingerprint g.reduction config in
+    let fp, pi, sleep =
+      Explore.source_fingerprint g.reduction ~max_crashes:g.max_crashes
+        item.config ~sleep:item.sleep
+    in
     match
       Claim_table.claim t ctx.stats.claim ~h1:fp.Fingerprint.h1
         ~h2:fp.Fingerprint.h2
@@ -203,7 +226,7 @@ let claim ctx config =
          to exactly one successful claim, so the counted states of a
          truncated run are exactly [max_states]. *)
       if Atomic.fetch_and_add g.n_states 1 >= g.max_states then `Budget
-      else `Fresh)
+      else `Fresh (pi, sleep))
 
 let m_escalated = Obs.Metrics.counter "parallel.visited_escalated"
 
@@ -246,32 +269,19 @@ let process ctx item =
   if item.depth > ctx.stats.max_depth then ctx.stats.max_depth <- item.depth;
   if item.depth > g.depth_limit then ctx.stats.depth_limited <- true
   else
-    match claim ctx item.config with
+    match claim ctx item with
     | `Dup -> ctx.stats.dedup_hits <- ctx.stats.dedup_hits + 1
     | `Budget -> set_stop g Budget
-    | `Fresh ->
+    | `Fresh (pi, sleep) ->
       ctx.stats.states <- ctx.stats.states + 1;
       maybe_escalate ctx;
       g.on_visit item.config (lazy (List.rev item.rev_trace));
-      let push_recoveries () =
-        if
-          g.max_recoveries > 0
-          && Config.any_crashed item.config
-          && Config.n_recoveries item.config < g.max_recoveries
-        then
-          List.iter
-            (fun (config', victim) ->
-              ctx.stats.transitions <- ctx.stats.transitions + 1;
-              ctx.push
-                {
-                  config = config';
-                  rev_trace = Trace.Recover victim :: item.rev_trace;
-                  depth = item.depth + 1;
-                })
-            (Step.recover_successors item.config)
-      in
-      (match Config.running item.config with
-      | [] ->
+      (* Terminal for the processes, not necessarily for the search:
+         with recovery budget left, the adversary may still revive a
+         crashed process (the sequential explorer does the same).  A
+         terminal's relevant sleep is empty, so it claims by state alone
+         and this fires exactly once per terminal configuration. *)
+      if Config.running item.config = [] then begin
         ctx.stats.terminals <- ctx.stats.terminals + 1;
         if Config.any_hung item.config then
           ctx.stats.hung_terminals <- ctx.stats.hung_terminals + 1;
@@ -282,37 +292,32 @@ let process ctx item =
         Mutex.lock g.cb_lock;
         Fun.protect
           ~finally:(fun () -> Mutex.unlock g.cb_lock)
-          (fun () -> g.on_terminal item.config (List.rev item.rev_trace));
-        (* Terminal for the processes, not necessarily for the search:
-           with recovery budget left, the adversary may still revive a
-           crashed process (the sequential explorer does the same). *)
-        push_recoveries ()
-      | runnable ->
-        List.iter
-          (fun i ->
-            List.iter
-              (fun (config', event) ->
-                ctx.stats.transitions <- ctx.stats.transitions + 1;
-                ctx.push
-                  {
-                    config = config';
-                    rev_trace = Trace.Sched event :: item.rev_trace;
-                    depth = item.depth + 1;
-                  })
-              (Step.step item.config i))
-          runnable;
-        if Config.n_crashed item.config < g.max_crashes then
+          (fun () -> g.on_terminal item.config (List.rev item.rev_trace))
+      end;
+      (* The same expansion the sequential DFS runs: enabled transition
+         bundles in canonical sibling order, each with the sleep set its
+         children inherit.  Deterministic per claimed key, so pushes are
+         schedule-independent however the deques drain. *)
+      let groups, skips =
+        Explore.source_successors ctx.commute g.reduction ~pi
+          ~max_crashes:g.max_crashes ~max_recoveries:g.max_recoveries
+          item.config ~sleep
+      in
+      ctx.stats.source_skips <- ctx.stats.source_skips + skips;
+      List.iter
+        (fun grp ->
           List.iter
-            (fun (config', victim) ->
+            (fun (config', event) ->
               ctx.stats.transitions <- ctx.stats.transitions + 1;
               ctx.push
                 {
                   config = config';
-                  rev_trace = Trace.Crash victim :: item.rev_trace;
+                  rev_trace = event :: item.rev_trace;
                   depth = item.depth + 1;
+                  sleep = grp.Explore.g_sleep;
                 })
-            (Step.crash_successors item.config);
-        push_recoveries ())
+            grp.Explore.g_succs)
+        groups
 
 let[@inline] next_rand ctx =
   let x = ctx.rng in
@@ -419,7 +424,6 @@ let merge_stats g (all : dstats list) =
     | Some Deadline -> Explore.Deadline
     | Some (Callback _) | None ->
       if List.exists (fun d -> d.depth_limited) all then Explore.Max_depth
-      else if g.sleep_downgraded then Explore.Sleep_sets_off
       else Explore.No_limit
   in
   let states = sum (fun d -> d.states) in
@@ -432,7 +436,7 @@ let merge_stats g (all : dstats list) =
     recovered_terminals = sum (fun d -> d.recovered_terminals);
     max_depth = List.fold_left (fun acc d -> max acc d.max_depth) 0 all;
     dedup_hits = sum (fun d -> d.dedup_hits);
-    sleep_skips = 0;
+    source_skips = sum (fun d -> d.source_skips);
     cycles = 0;
     collision_bound =
       (if g.paranoid then 0.0
@@ -468,12 +472,13 @@ let m_steals = Obs.Metrics.counter "parallel.steals"
 let m_probes = Obs.Metrics.counter "parallel.probes"
 let m_cas_retries = Obs.Metrics.counter "parallel.cas_retries"
 let m_contention = Obs.Metrics.counter "parallel.shard_contention"
-let m_sleep_off = Obs.Metrics.counter "parallel.sleep_sets_forced_off"
+let m_source = Obs.Metrics.counter "parallel.source_skips"
 let m_searches = Obs.Metrics.counter "parallel.searches"
 
 let emit_obs label g stats (dstats : dstats array) dt =
   Obs.Metrics.incr m_searches;
   Obs.Metrics.add m_states stats.Explore.states;
+  Obs.Metrics.add m_source stats.Explore.source_skips;
   Array.iter
     (fun d ->
       Obs.Metrics.add m_steals d.steals;
@@ -494,6 +499,7 @@ let emit_obs label g stats (dstats : dstats array) dt =
          ("transitions", Obs.Sink.Int stats.Explore.transitions);
          ("terminals", Obs.Sink.Int stats.Explore.terminals);
          ("dedup_hits", Obs.Sink.Int stats.Explore.dedup_hits);
+         ("source_skips", Obs.Sink.Int stats.Explore.source_skips);
          ("collision_bound", Obs.Sink.Float stats.Explore.collision_bound);
          ("limited", Obs.Sink.Bool stats.Explore.limited);
          ("seconds", Obs.Sink.Float dt);
@@ -521,7 +527,8 @@ let emit_obs label g stats (dstats : dstats array) dt =
 let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
     ?(max_crashes = 0) ?(max_recoveries = 0) ?deadline ?expected_states
     ?(escalate_threshold = 1e-6) ?(reduction = Explore.no_reduction)
-    ?(paranoid = false) ~jobs ~on_terminal ~on_visit label config =
+    ?(paranoid = false) ?seed_target ~jobs ~on_terminal ~on_visit label config
+    =
   let jobs = max 1 jobs in
   let visited =
     match visited with
@@ -531,13 +538,7 @@ let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
   (* Exact canonical keys only fit the hashtable representation, so
      paranoid runs take the sharded path whatever mode was asked for. *)
   let visited = if paranoid then Sharded else visited in
-  (* Sleep sets are inherently sequential (see module comment); strip
-     them so [reduction] keeps only the symmetry quotient, and surface
-     the downgrade in stats + metrics. *)
-  let sleep_downgraded = reduction.Explore.sleep_sets in
-  let reduction = { reduction with Explore.sleep_sets = false } in
-  if sleep_downgraded then Obs.Metrics.incr m_sleep_off;
-  let root = { config; rev_trace = []; depth = 0 } in
+  let root = { config; rev_trace = []; depth = 0; sleep = [] } in
   let g =
     {
       table =
@@ -571,7 +572,6 @@ let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
       escalate_threshold;
       escalated = Atomic.make false;
       reduction;
-      sleep_downgraded;
       paranoid;
       jobs;
       cb_lock = Mutex.create ();
@@ -591,12 +591,16 @@ let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
       g;
       id = 0;
       stats = seed_stats;
+      commute = Explore.commute_cache ();
       rng = 0x9E3779B9;
       tick = 0;
       push = (fun w -> Queue.push w queue);
     }
   in
-  let target = 4 * jobs in
+  (* [?seed_target] shrinks (or widens) the seeded frontier; the stress
+     tests set it to 1 so nearly all distribution happens through steals
+     of freshly pushed work rather than the round-robin seeding. *)
+  let target = match seed_target with Some t -> max 1 t | None -> 4 * jobs in
   (try
      while
        (not (Queue.is_empty queue))
@@ -626,6 +630,7 @@ let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
                   g;
                   id = i;
                   stats = dstats.(i);
+                  commute = Explore.commute_cache ();
                   rng = 0x9E3779B9 * (i + 1);
                   tick = 0;
                   push = (fun w -> Ws_deque.push g.deques.(i) w);
@@ -646,24 +651,31 @@ let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
 
 let iter_terminals ?visited ?max_states ?max_depth ?max_crashes
     ?max_recoveries ?deadline ?expected_states ?escalate_threshold ?reduction
-    ?paranoid ~jobs config ~f =
+    ?paranoid ?seed_target ~jobs config ~f =
   run ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
-    ?expected_states ?escalate_threshold ?reduction ?paranoid ~jobs
-    ~on_terminal:f
+    ?expected_states ?escalate_threshold ?reduction ?paranoid ?seed_target
+    ~jobs ~on_terminal:f
     ~on_visit:(fun _ _ -> ())
     "iter_terminals" config
 
+(* Source sets are forced off, exactly as in [Explore.iter_reachable]:
+   the reduction's guarantee covers terminals, and reachability callers
+   quantify over every intermediate configuration. *)
 let iter_reachable ?visited ?max_states ?max_depth ?max_crashes
     ?max_recoveries ?deadline ?expected_states ?escalate_threshold ?reduction
-    ?paranoid ~jobs config ~f =
+    ?paranoid ?seed_target ~jobs config ~f =
+  let reduction =
+    Option.map (fun r -> { r with Explore.source_sets = false }) reduction
+  in
   run ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
-    ?expected_states ?escalate_threshold ?reduction ?paranoid ~jobs
+    ?expected_states ?escalate_threshold ?reduction ?paranoid ?seed_target
+    ~jobs
     ~on_terminal:(fun _ _ -> ())
     ~on_visit:f "iter_reachable" config
 
 let find_terminal ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries
-    ?deadline ?expected_states ?escalate_threshold ?reduction ?paranoid ~jobs
-    config ~violates =
+    ?deadline ?expected_states ?escalate_threshold ?reduction ?paranoid
+    ?seed_target ~jobs config ~violates =
   let found = ref None in
   (* [on_terminal] runs under the callback lock, so the first writer
      wins and the witness is stable once set. *)
@@ -675,8 +687,8 @@ let find_terminal ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries
   in
   let stats =
     run ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
-      ?expected_states ?escalate_threshold ?reduction ?paranoid ~jobs
-      ~on_terminal
+      ?expected_states ?escalate_threshold ?reduction ?paranoid ?seed_target
+      ~jobs ~on_terminal
       ~on_visit:(fun _ _ -> ())
       "find_terminal" config
   in
@@ -684,11 +696,11 @@ let find_terminal ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries
 
 let check_terminals ?visited ?max_states ?max_depth ?max_crashes
     ?max_recoveries ?deadline ?expected_states ?escalate_threshold ?reduction
-    ?paranoid ~jobs config ~ok =
+    ?paranoid ?seed_target ~jobs config ~ok =
   match
     find_terminal ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries
       ?deadline ?expected_states ?escalate_threshold ?reduction ?paranoid
-      ~jobs config
+      ?seed_target ~jobs config
       ~violates:(fun c -> not (ok c))
   with
   | None, stats -> Ok stats

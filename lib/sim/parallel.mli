@@ -2,12 +2,13 @@
 
     Runs the same transition relation as {!Explore} across [jobs] domains:
     a bounded breadth-first pass on the calling domain seeds a frontier of
-    roughly [4 * jobs] work items, distributed round-robin across
-    per-domain Chase–Lev work-stealing deques ({!Ws_deque}).  Each domain
-    runs depth-first search over its own deque; an empty domain steals
-    from a random victim's top with a lock-free CAS.  Termination is the
-    idle-counter protocol (decrement-before-steal), with no mutex or
-    condition variable anywhere on the work path.
+    roughly [4 * jobs] work items ([?seed_target] overrides), distributed
+    round-robin across per-domain Chase–Lev work-stealing deques
+    ({!Ws_deque}).  Each domain runs depth-first search over its own
+    deque; an empty domain steals from a random victim's top with a
+    lock-free CAS.  Termination is the idle-counter protocol
+    (decrement-before-steal), with no mutex or condition variable
+    anywhere on the work path.
 
     {b Visited tables.}  Deduplication is claim-once through one of three
     representations ({!visited}):
@@ -24,9 +25,9 @@
       [~paranoid] runs always use it (full canonical keys, collisions
       impossible).
 
-    A state is claimed exactly once whichever table is active, so every
-    state is expanded at most once and the explored graph is exactly the
-    sequential one.
+    A search node is claimed exactly once whichever table is active, so
+    every node is expanded at most once and the explored graph is exactly
+    the sequential one.
 
     {b Escalation.}  Under [Compressed], once the 62-bit birthday bound
     over the global state count crosses [?escalate_threshold] (default
@@ -50,27 +51,29 @@
 
     {b Determinism.}  On acyclic state graphs (every one-shot bounded
     algorithm in this repository) the merged [states], [transitions],
-    [terminals], [hung_terminals], [crashed_terminals] and
-    [recovered_terminals] equal the sequential explorer's — at any
-    [jobs], under any of the three visited modes: claim-once yields the
-    same reachable set however the race for claims resolves, and each
-    claimed state contributes its fixed out-degree.  [max_depth],
-    [dedup_hits] and the particular
+    [terminals], [hung_terminals], [crashed_terminals],
+    [recovered_terminals], [dedup_hits] and [source_skips] equal the
+    sequential explorer's — at any [jobs], under any of the three visited
+    modes: claim-once yields the same claimed-node set however the race
+    for claims resolves, and each claimed node contributes an expansion
+    that is a pure function of the node.  [max_depth] and the particular
     witness traces are racy; checkers built on this module return
     deterministic {e verdicts} with possibly different (equally valid)
-    witnesses.  [cycles] and [sleep_skips] are always [0] here:
-    back-edges count as [dedup_hits] (use the sequential
-    {!Explore.find_cycle} for non-termination hunting).
+    witnesses.  [cycles] is always [0] here: back-edges count as
+    [dedup_hits] (use the sequential {!Explore.find_cycle} for
+    non-termination hunting).
 
-    {b Reductions.}  Symmetry quotienting composes with parallel search —
-    canonicalization happens before the claim, so an orbit's members race
-    for a single slot.  Sleep sets are {e forced off}: their
-    explored-transition resume protocol is sequential by construction.
-    The downgrade is surfaced, not just noted on stderr:
-    [stats.limit_reason] reads [Sleep_sets_off] (with [limited] still
-    [false] — the search stays exhaustive) and the
-    [parallel.sleep_sets_forced_off] metrics counter is bumped.
-    See DESIGN.md, "Parallel exploration".
+    {b Reductions.}  Both reductions compose with work stealing.
+    Symmetry quotienting canonicalizes before the claim, so an orbit's
+    members race for a single slot.  Source sets ride inside the work
+    items: each item carries the sleep set computed at its parent, the
+    claim key is the (canonical configuration, canonical relevant sleep)
+    pair ({!Explore.source_key}), and expansion calls the same
+    {!Explore.source_successors} as the sequential explorer — a pure
+    function of the claimed pair under the canonical sibling order.  A
+    stolen subtree therefore prunes {e identically} to the subtree the
+    victim would have explored, and [source_skips] is deterministic.
+    See DESIGN.md, "Source sets under work stealing".
 
     {b Callbacks.}  [f] in {!iter_terminals} is serialized under a lock
     (terminals are sparse); [f] in {!iter_reachable} is called
@@ -105,13 +108,17 @@ val iter_terminals :
   ?escalate_threshold:float ->
   ?reduction:Explore.reduction ->
   ?paranoid:bool ->
+  ?seed_target:int ->
   jobs:int ->
   Config.t ->
   f:(Config.t -> Trace.t -> unit) ->
   Explore.stats
 (** Parallel {!Explore.iter_terminals}.  [f] sees every reachable terminal
     exactly once (one representative per orbit under symmetry), serialized
-    under the callback lock, in a nondeterministic order. *)
+    under the callback lock, in a nondeterministic order.  [?seed_target]
+    sets the width the sequential seeding pass aims for before handing
+    the frontier to the domains (default [4 * jobs], clamped to at least
+    [1]); tests force it to [1] to maximize steal pressure. *)
 
 val iter_reachable :
   ?visited:visited ->
@@ -124,13 +131,15 @@ val iter_reachable :
   ?escalate_threshold:float ->
   ?reduction:Explore.reduction ->
   ?paranoid:bool ->
+  ?seed_target:int ->
   jobs:int ->
   Config.t ->
   f:(Config.t -> Trace.t Lazy.t -> unit) ->
   Explore.stats
 (** Parallel {!Explore.iter_reachable}.  [f] runs {e concurrently} on
-    worker domains — it must be domain-safe.  Sleep sets are off (they
-    are here anyway). *)
+    worker domains — it must be domain-safe.  Source sets are stripped
+    here exactly as in the sequential version: reachability consumers
+    want every state, not a reduced cover. *)
 
 val find_terminal :
   ?visited:visited ->
@@ -143,6 +152,7 @@ val find_terminal :
   ?escalate_threshold:float ->
   ?reduction:Explore.reduction ->
   ?paranoid:bool ->
+  ?seed_target:int ->
   jobs:int ->
   Config.t ->
   violates:(Config.t -> bool) ->
@@ -161,6 +171,7 @@ val check_terminals :
   ?escalate_threshold:float ->
   ?reduction:Explore.reduction ->
   ?paranoid:bool ->
+  ?seed_target:int ->
   jobs:int ->
   Config.t ->
   ok:(Config.t -> bool) ->

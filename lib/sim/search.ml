@@ -1,0 +1,141 @@
+(* One record for every search knob, replacing the nine-optional-arg
+   sprawl that every explorer and checker entry point used to duplicate.
+   The engines ({!Explore}, {!Parallel}) keep their low-level labelled
+   interfaces; this module is the front door that dispatches between
+   them on [jobs]. *)
+
+type options = {
+  max_states : int;
+  max_depth : int;
+  max_crashes : int;
+  max_recoveries : int;
+  deadline : float option;
+  expected_states : int option;
+  reduction : Explore.reduction;
+  paranoid : bool;
+  jobs : int;
+  visited : Parallel.visited option;
+}
+
+let default =
+  {
+    max_states = 5_000_000;
+    max_depth = 10_000;
+    max_crashes = 0;
+    max_recoveries = 0;
+    deadline = None;
+    expected_states = None;
+    reduction = Explore.no_reduction;
+    paranoid = false;
+    jobs = 1;
+    visited = None;
+  }
+
+let with_max_states n o = { o with max_states = n }
+let with_max_depth n o = { o with max_depth = n }
+let with_max_crashes n o = { o with max_crashes = n }
+let with_max_recoveries n o = { o with max_recoveries = n }
+let with_deadline secs o = { o with deadline = Some secs }
+let with_expected_states n o = { o with expected_states = Some n }
+let with_reduction r o = { o with reduction = r }
+let with_paranoid b o = { o with paranoid = b }
+let with_jobs n o = { o with jobs = max 1 n }
+let with_visited v o = { o with visited = Some v }
+
+(* Bridge for the [@@deprecated] shims: each old optional argument
+   overrides the corresponding field of [default]. *)
+let of_legacy ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
+    ?expected_states ?reduction ?paranoid ?jobs ?visited () =
+  {
+    max_states = Option.value max_states ~default:default.max_states;
+    max_depth = Option.value max_depth ~default:default.max_depth;
+    max_crashes = Option.value max_crashes ~default:default.max_crashes;
+    max_recoveries =
+      Option.value max_recoveries ~default:default.max_recoveries;
+    deadline;
+    expected_states;
+    reduction = Option.value reduction ~default:default.reduction;
+    paranoid = Option.value paranoid ~default:default.paranoid;
+    jobs = max 1 (Option.value jobs ~default:1);
+    visited;
+  }
+
+let pp ppf o =
+  Format.fprintf ppf
+    "max-states=%d max-depth=%d crashes<=%d recoveries<=%d%s%s jobs=%d \
+     paranoid=%b %a"
+    o.max_states o.max_depth o.max_crashes o.max_recoveries
+    (match o.deadline with
+    | None -> ""
+    | Some s -> Printf.sprintf " deadline=%.3gs" s)
+    (match o.visited with
+    | None -> ""
+    | Some v -> Format.asprintf " visited=%a" Parallel.pp_visited v)
+    o.jobs o.paranoid Explore.pp_reduction o.reduction
+
+let parallel o = o.jobs > 1
+
+let iter_terminals ?(options = default) config ~f =
+  let o = options in
+  if parallel o then
+    Parallel.iter_terminals ?visited:o.visited ~max_states:o.max_states
+      ~max_depth:o.max_depth ~max_crashes:o.max_crashes
+      ~max_recoveries:o.max_recoveries ?deadline:o.deadline
+      ?expected_states:o.expected_states ~reduction:o.reduction
+      ~paranoid:o.paranoid ~jobs:o.jobs config ~f
+  else
+    Explore.iter_terminals ~max_states:o.max_states ~max_depth:o.max_depth
+      ~max_crashes:o.max_crashes ~max_recoveries:o.max_recoveries
+      ?deadline:o.deadline ?expected_states:o.expected_states
+      ~reduction:o.reduction ~paranoid:o.paranoid config ~f
+
+let iter_reachable ?(options = default) config ~f =
+  let o = options in
+  if parallel o then
+    Parallel.iter_reachable ?visited:o.visited ~max_states:o.max_states
+      ~max_depth:o.max_depth ~max_crashes:o.max_crashes
+      ~max_recoveries:o.max_recoveries ?deadline:o.deadline
+      ?expected_states:o.expected_states ~reduction:o.reduction
+      ~paranoid:o.paranoid ~jobs:o.jobs config ~f
+  else
+    Explore.iter_reachable ~max_states:o.max_states ~max_depth:o.max_depth
+      ~max_crashes:o.max_crashes ~max_recoveries:o.max_recoveries
+      ?deadline:o.deadline ?expected_states:o.expected_states
+      ~reduction:o.reduction ~paranoid:o.paranoid config ~f
+
+let find_terminal ?(options = default) config ~violates =
+  let o = options in
+  if parallel o then
+    Parallel.find_terminal ?visited:o.visited ~max_states:o.max_states
+      ~max_depth:o.max_depth ~max_crashes:o.max_crashes
+      ~max_recoveries:o.max_recoveries ?deadline:o.deadline
+      ?expected_states:o.expected_states ~reduction:o.reduction
+      ~paranoid:o.paranoid ~jobs:o.jobs config ~violates
+  else
+    Explore.find_terminal ~max_states:o.max_states ~max_depth:o.max_depth
+      ~max_crashes:o.max_crashes ~max_recoveries:o.max_recoveries
+      ?deadline:o.deadline ?expected_states:o.expected_states
+      ~reduction:o.reduction ~paranoid:o.paranoid config ~violates
+
+let check_terminals ?(options = default) config ~ok =
+  let o = options in
+  if parallel o then
+    Parallel.check_terminals ?visited:o.visited ~max_states:o.max_states
+      ~max_depth:o.max_depth ~max_crashes:o.max_crashes
+      ~max_recoveries:o.max_recoveries ?deadline:o.deadline
+      ?expected_states:o.expected_states ~reduction:o.reduction
+      ~paranoid:o.paranoid ~jobs:o.jobs config ~ok
+  else
+    Explore.check_terminals ~max_states:o.max_states ~max_depth:o.max_depth
+      ~max_crashes:o.max_crashes ~max_recoveries:o.max_recoveries
+      ?deadline:o.deadline ?expected_states:o.expected_states
+      ~reduction:o.reduction ~paranoid:o.paranoid config ~ok
+
+(* Cycle hunting needs the sequential DFS stack discipline whatever
+   [jobs] says; the options record still supplies every other knob. *)
+let find_cycle ?(options = default) config =
+  let o = options in
+  Explore.find_cycle ~max_states:o.max_states ~max_depth:o.max_depth
+    ~max_crashes:o.max_crashes ~max_recoveries:o.max_recoveries
+    ?deadline:o.deadline ?expected_states:o.expected_states
+    ~reduction:o.reduction ~paranoid:o.paranoid config

@@ -99,11 +99,18 @@ let erasure_only ~n = standard ~n ~map_ids:false ~erase_dead:true `Trivial
    no checker reads stored histories, so configurations differing only in
    how a finished process got there are merged.  Crashed histories are
    already cleared by [Config.crash].  Additionally, in a terminal
-   configuration no object will ever be invoked again, so the whole store
-   is dead and is erased from the key. *)
+   configuration with no crashed process, no object will ever be invoked
+   again, so the whole store is dead and is erased from the key.  A
+   terminal {e with} crashed processes must keep its store: under a
+   positive recovery budget the adversary can still revive a victim,
+   whose future reads the store — erasing it would merge configurations
+   with genuinely different futures (observed as schedule-dependent state
+   counts under the source-set reduction before this guard existed). *)
 let key_under t (pi : perm) (c : Config.t) =
   let act = t.act_data pi in
-  let terminal = t.erase_dead && Config.is_terminal c in
+  let terminal =
+    t.erase_dead && Config.is_terminal c && not (Config.any_crashed c)
+  in
   let store_part =
     if terminal then Value.Sym "terminal"
     else
@@ -158,6 +165,31 @@ let min_over_perms t c perms =
         end)
       rest;
     (!best_key, !best_pi)
+
+(* All permutations achieving the canonical key, in group order (the head
+   is [canonical_key]'s winner).  The source-set engine needs the full
+   stabilizer coset to encode sleep sets representative-independently:
+   when the canonical state is fixed by more than one group element,
+   orbit-mates canonicalize through minimizers that differ by a
+   stabilizer element, and a sleep set transported through just the
+   tie-broken winner would encode one abstract (state, sleep) pair
+   several ways. *)
+let canonical_minimizers t (c : Config.t) =
+  match t.perms with
+  | [] -> assert false
+  | pi0 :: rest ->
+    let best_key = ref (key_under t pi0 c) and mins = ref [ pi0 ] in
+    List.iter
+      (fun pi ->
+        let k = key_under t pi c in
+        let d = compare k !best_key in
+        if d < 0 then begin
+          best_key := k;
+          mins := [ pi ]
+        end
+        else if d = 0 then mins := pi :: !mins)
+      rest;
+    (!best_key, List.rev !mins)
 
 (* Below this group order the fold is too cheap to amortize a domain
    spawn; above it the per-chunk minima dominate the join cost. *)

@@ -60,10 +60,13 @@ val make :
   t
 (** [make ~n ~perms act] builds a spec from an explicit group and data
     action.  [erase_dead] (default true) additionally drops the response
-    histories of terminated/hung processes and the store of terminal
-    configurations from the memo key; this is sound independently of the
-    group because finished state can no longer influence the execution and
-    no checker reads it back. *)
+    histories of terminated/hung processes — and, for terminal
+    configurations with no crashed process, the whole store — from the
+    memo key; this is sound independently of the group because finished
+    state can no longer influence the execution and no checker reads it
+    back.  A terminal {e with} crashed processes keeps its store: under a
+    positive recovery budget a victim can still be revived and its future
+    reads the store. *)
 
 val standard :
   n:int ->
@@ -108,6 +111,16 @@ val act : t -> perm -> Value.t -> Value.t
 val key_under : t -> perm -> Config.t -> Value.t
 (** The memoization key of a configuration under one fixed renaming
     (exposed for property tests). *)
+
+val canonical_minimizers : t -> Config.t -> Value.t * perm list
+(** [canonical_minimizers t c] is the canonical key together with {e every}
+    permutation achieving it, in group order (so the head is
+    {!canonical_key}'s winner).  The list is the coset of the canonical
+    representative's stabilizer; {!Explore} minimizes the packed sleep-set
+    encoding over it so the (state, sleep) visited key is an orbit
+    invariant of the abstract pair rather than of whichever concrete
+    representative arrived first.  Almost all states have a trivial
+    stabilizer, making the list a singleton. *)
 
 val canonical_key : ?jobs:int -> t -> Config.t -> Value.t * perm
 (** [canonical_key t c] is the minimum of [key_under t pi c] over the

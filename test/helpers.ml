@@ -12,8 +12,15 @@ let explore_stats_exn (v : Verdict.t) =
   | Some e -> e
   | None -> Alcotest.fail "verdict carries no exploration stats"
 
+let options_of ?max_states () =
+  Subc_sim.Search.of_legacy ?max_states ()
+
 let check_exhaustive ?max_states store ~programs ~inputs ~task =
-  match Subc_check.Task_check.check ?max_states store ~programs ~inputs ~task with
+  match
+    Subc_check.Task_check.check
+      ~options:(options_of ?max_states ())
+      store ~programs ~inputs ~task
+  with
   | Verdict.Proved _ as v -> explore_stats_exn v
   | Verdict.Limited _ -> Alcotest.fail "exhaustive check hit the state limit"
   | Verdict.Refuted { reason; trace; _ } ->
@@ -24,14 +31,22 @@ let check_exhaustive ?max_states store ~programs ~inputs ~task =
    0-resilient termination; the per-process solo-bound certificate is
    [Subc_check.Progress.check_wait_free], exercised in test_reduction. *)
 let check_wait_free ?max_states store ~programs =
-  match Subc_check.Progress.check_t_resilient ?max_states ~t:0 store ~programs with
+  match
+    Subc_check.Progress.check_t_resilient
+      ~options:(options_of ?max_states ())
+      ~t:0 store ~programs
+  with
   | Verdict.Proved _ as v -> explore_stats_exn v
   | Verdict.Limited _ -> Alcotest.fail "wait-freedom check hit the state limit"
   | Verdict.Refuted { reason; _ } ->
     Alcotest.failf "wait-freedom violated: %s" reason
 
 let expect_violation ?max_states store ~programs ~inputs ~task =
-  match Subc_check.Task_check.check ?max_states store ~programs ~inputs ~task with
+  match
+    Subc_check.Task_check.check
+      ~options:(options_of ?max_states ())
+      store ~programs ~inputs ~task
+  with
   | Verdict.Proved _ | Verdict.Limited _ ->
     Alcotest.failf "expected a violation of %s, found none"
       task.Subc_tasks.Task.name

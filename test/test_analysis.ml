@@ -71,7 +71,7 @@ let lying_independence () =
     ()
 
 (* A declared-independent pair where one side hangs: anti-conservative
-   for the sleep sets unless the census preserves hangs. *)
+   for the source sets unless the census preserves hangs. *)
 let lying_hang_independence () =
   Subject.make ~name:"lying-hang"
     ~model:(O.One_shot_wrn.model ~k:2)

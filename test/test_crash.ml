@@ -206,7 +206,11 @@ let contains s sub =
    under a crash budget. *)
 let alg2_wait_free_certificate () =
   let store, programs, _ = alg2_harness ~k:3 in
-  match Progress.check_wait_free ~max_crashes:2 store ~programs with
+  match
+    Progress.check_wait_free
+      ~options:Search.(with_max_crashes 2 default)
+      store ~programs
+  with
   | Verdict.Proved _ as v ->
     Alcotest.(check int) "solo bound" 1 (metric "solo_bound" v);
     Alcotest.(check int) "configs" 37 (metric "configs" v)
@@ -218,7 +222,11 @@ let alg5_wait_free_certificate () =
   let programs =
     List.init k (fun i -> Subc_core.Alg5.wrn t ~i (Value.Int (100 + i)))
   in
-  match Progress.check_wait_free ~max_crashes:1 store ~programs with
+  match
+    Progress.check_wait_free
+      ~options:Search.(with_max_crashes 1 default)
+      store ~programs
+  with
   | Verdict.Proved _ as v ->
     Alcotest.(check int) "solo bound" 5 (metric "solo_bound" v)
   | v -> Alcotest.failf "not wait-free: %a" Verdict.pp_summary v

@@ -112,6 +112,9 @@ let same_counts name (a : Explore.stats) (b : Explore.stats) =
   Alcotest.(check int)
     (name ^ " dedup")
     a.Explore.dedup_hits b.Explore.dedup_hits;
+  Alcotest.(check int)
+    (name ^ " source_skips")
+    a.Explore.source_skips b.Explore.source_skips;
   Alcotest.(check bool) (name ^ " limited") a.Explore.limited b.Explore.limited
 
 let stats_matrix () =
@@ -142,7 +145,12 @@ let stats_matrix () =
                   ~f:(fun _ _ -> ())
               in
               same_counts label seq par)
-            [ ("none", None); ("sym", Some (Explore.with_symmetry sym)) ])
+            [
+              ("none", None);
+              ("source", Some { Explore.symmetry = None; source_sets = true });
+              ("sym", Some (Explore.with_symmetry sym));
+              ("full", Some (Explore.full_reduction sym));
+            ])
         budgets)
     harnesses
 
@@ -236,36 +244,102 @@ let visited_modes_matrix () =
         [ ("none", None); ("sym", Some (Explore.with_symmetry sym)) ])
     harnesses
 
-(* The sleep-set downgrade is surfaced through the stats, not just
-   stderr: requesting full reduction in parallel yields
-   [limit_reason = Sleep_sets_off] with [limited] still false (the
-   search stays exhaustive), identical counts to a symmetry-only
-   sequential run, and a bumped metrics counter. *)
-let sleep_downgrade_surfaced () =
+(* The tentpole cross-validation: the source-set reduction runs at full
+   strength under work stealing.  For every registry family × crash
+   budget × recovery budget, the reduced search at jobs=1 and jobs=N
+   must agree bit-for-bit on every deterministic statistic (including
+   [source_skips]); against the unreduced search it must agree on the
+   terminal structure (terminals, hung, crashed — sleep sets prune
+   interleavings, never outcomes) while actually pruning transitions
+   whenever any state has two independent enabled ops. *)
+let source_sets_cross_validation () =
+  let harnesses =
+    [
+      ("alg2", (fun () -> alg2_harness 3), [ (0, 0); (1, 0); (1, 1) ]);
+      ("alg5", (fun () -> alg5_harness 3), [ (0, 0); (1, 0); (1, 1) ]);
+      ("wrn", (fun () -> wrn_harness 3), [ (0, 0); (1, 1) ]);
+      ("sc", (fun () -> sc_harness ~n:3 ~k:2), [ (0, 0) ]);
+    ]
+  in
+  List.iter
+    (fun (name, harness, budgets) ->
+      let store, programs, sym = harness () in
+      let config = Config.make store programs in
+      List.iter
+        (fun (f, r) ->
+          List.iter
+            (fun (rlabel, reduction) ->
+              let label = Printf.sprintf "%s f=%d r=%d %s" name f r rlabel in
+              let bare =
+                Explore.iter_terminals ~max_crashes:f ~max_recoveries:r
+                  config
+                  ~f:(fun _ _ -> ())
+              in
+              let seq =
+                Explore.iter_terminals ~max_crashes:f ~max_recoveries:r
+                  ~reduction config
+                  ~f:(fun _ _ -> ())
+              in
+              let par =
+                Parallel.iter_terminals ~max_crashes:f ~max_recoveries:r
+                  ~reduction ~jobs config
+                  ~f:(fun _ _ -> ())
+              in
+              same_counts label seq par;
+              Alcotest.(check bool)
+                (label ^ " never limited") false par.Explore.limited;
+              if reduction.Explore.symmetry = None then begin
+                (* Without quotienting, terminal structure is preserved
+                   state-for-state. *)
+                Alcotest.(check int)
+                  (label ^ " terminals vs unreduced")
+                  bare.Explore.terminals seq.Explore.terminals;
+                Alcotest.(check int)
+                  (label ^ " hung vs unreduced")
+                  bare.Explore.hung_terminals seq.Explore.hung_terminals;
+                Alcotest.(check int)
+                  (label ^ " crashed vs unreduced")
+                  bare.Explore.crashed_terminals seq.Explore.crashed_terminals
+              end;
+              if seq.Explore.source_skips > 0 then
+                Alcotest.(check bool)
+                  (label ^ " prunes transitions") true
+                  (seq.Explore.transitions < bare.Explore.transitions))
+            [
+              ("source", { Explore.symmetry = None; source_sets = true });
+              ("full", Explore.full_reduction sym);
+            ])
+        budgets)
+    harnesses
+
+(* Steal-heavy stress: seed a single work item so every other domain
+   must steal its entire workload mid-expansion, then check the stolen
+   subtrees still prune identically (sleep sets ride in the stolen
+   items).  [~seed_target:1] forces the narrowest possible seeding. *)
+let source_sets_steal_stress () =
   let store, programs, sym = alg5_harness 3 in
   let config = Config.make store programs in
-  let counter = "parallel.sleep_sets_forced_off" in
-  let before = Option.value ~default:0.0 (Subc_obs.Metrics.find counter) in
-  let par =
-    Parallel.iter_terminals
-      ~reduction:(Explore.full_reduction sym)
-      ~jobs config
-      ~f:(fun _ _ -> ())
-  in
-  let seq =
-    Explore.iter_terminals
-      ~reduction:(Explore.with_symmetry sym)
-      config
-      ~f:(fun _ _ -> ())
-  in
-  Alcotest.(check bool)
-    "limit_reason = Sleep_sets_off" true
-    (par.Explore.limit_reason = Explore.Sleep_sets_off);
-  Alcotest.(check bool) "downgrade is not a truncation" false
-    par.Explore.limited;
-  same_counts "sleep-downgraded counts" seq par;
-  let after = Option.value ~default:0.0 (Subc_obs.Metrics.find counter) in
-  Alcotest.(check bool) "metrics counter bumped" true (after > before)
+  List.iter
+    (fun (rlabel, reduction) ->
+      let seq =
+        Explore.iter_terminals ~max_crashes:1 ~reduction config
+          ~f:(fun _ _ -> ())
+      in
+      List.iter
+        (fun seed_target ->
+          let par =
+            Parallel.iter_terminals ~seed_target ~max_crashes:1 ~reduction
+              ~jobs config
+              ~f:(fun _ _ -> ())
+          in
+          same_counts
+            (Printf.sprintf "alg5 f=1 %s seed_target=%d" rlabel seed_target)
+            seq par)
+        [ 1; 2; 64 ])
+    [
+      ("source", { Explore.symmetry = None; source_sets = true });
+      ("full", Explore.full_reduction sym);
+    ]
 
 (* ---------------------------------------------------------------- *)
 (* Verdict agreement at jobs=1 vs jobs=N.                            *)
@@ -284,24 +358,31 @@ let task_check_agrees () =
       List.iter
         (fun (rlabel, reduction) ->
           let name = Printf.sprintf "alg2 f=%d %s" f rlabel in
+          let opts j = Search.of_legacy ~max_crashes:f ?reduction ~jobs:j () in
           let seq =
-            Task_check.check ~max_crashes:f ?reduction store ~programs
+            Task_check.check ~options:(opts 1) store ~programs
               ~inputs:(inputs 3) ~task
           in
           let par =
-            Task_check.check ~max_crashes:f ?reduction ~jobs store ~programs
+            Task_check.check ~options:(opts jobs) store ~programs
               ~inputs:(inputs 3) ~task
           in
           same_status name seq par;
           Alcotest.(check bool) (name ^ " proved") true (Verdict.is_proved par);
           same_counts name (explore_stats_exn seq) (explore_stats_exn par))
-        [ ("none", None); ("sym", Some (Explore.with_symmetry sym)) ])
+        [
+          ("none", None);
+          ("source", Some { Explore.symmetry = None; source_sets = true });
+          ("sym", Some (Explore.with_symmetry sym));
+          ("full", Some (Explore.full_reduction sym));
+        ])
     [ 0; 1; 2 ];
   let store3, programs3, inputs3, task3 = alg3_harness () in
   same_status "alg3"
     (Task_check.check store3 ~programs:programs3 ~inputs:inputs3 ~task:task3)
-    (Task_check.check ~jobs store3 ~programs:programs3 ~inputs:inputs3
-       ~task:task3)
+    (Task_check.check
+       ~options:Search.(with_jobs jobs default)
+       store3 ~programs:programs3 ~inputs:inputs3 ~task:task3)
 
 (* A refuted instance refutes in parallel too (1-set consensus from a
    WRN_3 is impossible — some schedule decides two values). *)
@@ -309,7 +390,11 @@ let task_check_refutes () =
   let store, programs, _ = alg2_harness 3 in
   let task = Task.set_consensus 1 in
   let seq = Task_check.check store ~programs ~inputs:(inputs 3) ~task in
-  let par = Task_check.check ~jobs store ~programs ~inputs:(inputs 3) ~task in
+  let par =
+    Task_check.check
+      ~options:Search.(with_jobs jobs default)
+      store ~programs ~inputs:(inputs 3) ~task
+  in
   same_status "alg2 1-set refuted" seq par;
   Alcotest.(check bool) "refuted sequentially" false (Verdict.is_proved seq);
   Alcotest.(check bool) "refuted in parallel" false (Verdict.is_proved par)
@@ -323,13 +408,12 @@ let lin_agrees () =
       List.iter
         (fun (rlabel, reduction) ->
           let name = Printf.sprintf "alg5 lin f=%d %s" f rlabel in
+          let opts j = Search.of_legacy ~max_crashes:f ?reduction ~jobs:j () in
           let seq =
-            Lin.check_harness ~max_crashes:f ?reduction store ~programs ~ops
-              ~spec
+            Lin.check_harness ~options:(opts 1) store ~programs ~ops ~spec
           in
           let par =
-            Lin.check_harness ~max_crashes:f ?reduction ~jobs store ~programs
-              ~ops ~spec
+            Lin.check_harness ~options:(opts jobs) store ~programs ~ops ~spec
           in
           same_status name seq par;
           Alcotest.(check bool) (name ^ " proved") true (Verdict.is_proved par);
@@ -337,7 +421,12 @@ let lin_agrees () =
           Alcotest.(check (float 0.0))
             (name ^ " histories")
             (histories seq) (histories par))
-        [ ("none", None); ("sym", Some (Explore.with_symmetry sym)) ])
+        [
+          ("none", None);
+          ("source", Some { Explore.symmetry = None; source_sets = true });
+          ("sym", Some (Explore.with_symmetry sym));
+          ("full", Some (Explore.full_reduction sym));
+        ])
     [ 0; 1 ]
 
 let wait_free_agrees () =
@@ -349,12 +438,10 @@ let wait_free_agrees () =
   List.iter
     (fun (rlabel, reduction) ->
       let name = "alg2 wait-free " ^ rlabel in
-      let seq =
-        Progress.check_wait_free ~max_crashes:1 ?reduction store ~programs
-      in
+      let opts j = Search.of_legacy ~max_crashes:1 ?reduction ~jobs:j () in
+      let seq = Progress.check_wait_free ~options:(opts 1) store ~programs in
       let par =
-        Progress.check_wait_free ~max_crashes:1 ?reduction ~jobs store
-          ~programs
+        Progress.check_wait_free ~options:(opts jobs) store ~programs
       in
       same_status name seq par;
       Alcotest.(check bool) (name ^ " proved") true (Verdict.is_proved par);
@@ -377,7 +464,11 @@ let consensus_verdict_agrees () =
   let config = Config.make store programs in
   let inputs = [ Value.Int 0; Value.Int 1 ] in
   let seq = Valence.consensus_verdict config ~inputs in
-  let par = Valence.consensus_verdict ~jobs config ~inputs in
+  let par =
+    Valence.consensus_verdict
+      ~options:Search.(with_jobs jobs default)
+      config ~inputs
+  in
   same_status "consensus object solves" seq par;
   Alcotest.(check bool) "proved" true (Verdict.is_proved par)
 
@@ -642,8 +733,10 @@ let suite =
         test_slow "sequential vs parallel counts (all families)" stats_matrix;
         test_slow "all visited modes agree on all families"
           visited_modes_matrix;
-        test "sleep-set downgrade surfaced in stats and metrics"
-          sleep_downgrade_surfaced;
+        test_slow "source sets cross-validate (seq vs par vs unreduced)"
+          source_sets_cross_validation;
+        test_slow "source sets survive steal-heavy schedules"
+          source_sets_steal_stress;
         test "terminal callbacks serialized, once per terminal"
           terminal_callback_count;
         test "max-states budget truncates identically" budget_truncation;

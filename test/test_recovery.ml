@@ -232,7 +232,11 @@ let verdict_agrees_across_jobs () =
       List.iter
         (fun r ->
           let v1 = R.verdict family ~n:2 ~max_recoveries:r in
-          let vn = R.verdict ~jobs family ~n:2 ~max_recoveries:r in
+          let vn =
+            R.verdict
+              ~options:Search.(with_jobs jobs default)
+              family ~n:2 ~max_recoveries:r
+          in
           Alcotest.(check string)
             (Printf.sprintf "%s r=%d: same status" (R.family_name family) r)
             (Verdict.status_string v1)

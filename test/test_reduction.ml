@@ -1,7 +1,7 @@
 (* Cross-validation of the state-space reductions: for every algorithm
    family the reduced and unreduced searches must agree on the verdicts
    (task conformance, linearizability, wait-freedom bounds), and the
-   sleep-set reduction alone must preserve the terminal set exactly.
+   source-set reduction alone must preserve the terminal set exactly.
    Plus property tests of the canonicalization itself. *)
 open Subc_sim
 open Helpers
@@ -10,6 +10,9 @@ module Task_check = Subc_check.Task_check
 module Verdict = Subc_check.Verdict
 module Progress = Subc_check.Progress
 module Lin = Subc_check.Linearizability
+
+let options ?max_crashes ?reduction () =
+  Search.of_legacy ?max_crashes ?reduction ()
 
 let verdict_status = Alcotest.testable Fmt.string String.equal
 
@@ -66,18 +69,20 @@ let alg2_agrees () =
   List.iter
     (fun f ->
       let base =
-        Task_check.check ~max_crashes:f store ~programs ~inputs:(inputs k)
-          ~task
+        Task_check.check
+          ~options:(options ~max_crashes:f ())
+          store ~programs ~inputs:(inputs k) ~task
       in
       List.iter
         (fun (label, reduction) ->
           agree
             (Printf.sprintf "alg2 f=%d %s" f label)
             base
-            (Task_check.check ~max_crashes:f ~reduction store ~programs
-               ~inputs:(inputs k) ~task))
+            (Task_check.check
+               ~options:(options ~max_crashes:f ~reduction ())
+               store ~programs ~inputs:(inputs k) ~task))
         [
-          ("sleep", { Explore.symmetry = None; sleep_sets = true });
+          ("source", { Explore.symmetry = None; source_sets = true });
           ("sym", Explore.with_symmetry sym);
           ("full", Explore.full_reduction sym);
         ])
@@ -104,9 +109,11 @@ let alg3_agrees () =
   List.iter
     (fun (label, reduction) ->
       agree ("alg3 " ^ label) base
-        (Task_check.check ~reduction store ~programs ~inputs ~task))
+        (Task_check.check
+           ~options:(options ~reduction ())
+           store ~programs ~inputs ~task))
     [
-      ("sleep", { Explore.symmetry = None; sleep_sets = true });
+      ("source", { Explore.symmetry = None; source_sets = true });
       ("erase", Explore.with_symmetry (Symmetry.erasure_only ~n:k));
     ]
 
@@ -123,7 +130,11 @@ let alg4_agrees () =
   let base = Progress.check_wait_free store ~programs in
   List.iter
     (fun (label, reduction) ->
-      let red = Progress.check_wait_free ~reduction store ~programs in
+      let red =
+        Progress.check_wait_free
+          ~options:(options ~reduction ())
+          store ~programs
+      in
       agree ("alg4 " ^ label) base red;
       Alcotest.(check (float 0.0))
         ("alg4 solo bound " ^ label)
@@ -141,9 +152,11 @@ let alg6_agrees () =
   List.iter
     (fun (label, reduction) ->
       agree ("alg6 " ^ label) base
-        (Task_check.check ~reduction store ~programs ~inputs:(inputs n) ~task))
+        (Task_check.check
+           ~options:(options ~reduction ())
+           store ~programs ~inputs:(inputs n) ~task))
     [
-      ("sleep", { Explore.symmetry = None; sleep_sets = true });
+      ("source", { Explore.symmetry = None; source_sets = true });
       ("erase", Explore.with_symmetry (Symmetry.erasure_only ~n));
     ]
 
@@ -153,15 +166,17 @@ let set_consensus_agrees () =
   List.iter
     (fun f ->
       let base =
-        Task_check.check ~max_crashes:f store ~programs ~inputs:(inputs 3)
-          ~task
+        Task_check.check
+          ~options:(options ~max_crashes:f ())
+          store ~programs ~inputs:(inputs 3) ~task
       in
       agree
         (Printf.sprintf "set-consensus f=%d full" f)
         base
-        (Task_check.check ~max_crashes:f
-           ~reduction:(Explore.full_reduction sym) store ~programs
-           ~inputs:(inputs 3) ~task))
+        (Task_check.check
+           ~options:
+             (options ~max_crashes:f ~reduction:(Explore.full_reduction sym) ())
+           store ~programs ~inputs:(inputs 3) ~task))
     [ 0; 1 ]
 
 let wrn_agrees () =
@@ -201,13 +216,17 @@ let alg5_lin_agrees () =
   List.iter
     (fun f ->
       let base =
-        Lin.check_harness ~max_crashes:f store ~programs ~ops ~spec
+        Lin.check_harness
+          ~options:(options ~max_crashes:f ())
+          store ~programs ~ops ~spec
       in
       agree
         (Printf.sprintf "alg5 lin f=%d full" f)
         base
-        (Lin.check_harness ~max_crashes:f
-           ~reduction:(Explore.full_reduction sym) store ~programs ~ops ~spec))
+        (Lin.check_harness
+           ~options:
+             (options ~max_crashes:f ~reduction:(Explore.full_reduction sym) ())
+           store ~programs ~ops ~spec))
     [ 0; 1 ]
 
 (* ---------------------------------------------------------------- *)
@@ -216,20 +235,26 @@ let alg5_lin_agrees () =
 let progress_agrees () =
   let store, programs, sym = alg2_harness 3 in
   let solo_bound v = List.assoc "solo_bound" (Verdict.stats v).Verdict.metrics in
-  let base = Progress.check_wait_free ~max_crashes:1 store ~programs in
+  let base =
+    Progress.check_wait_free
+      ~options:(options ~max_crashes:1 ())
+      store ~programs
+  in
   let red =
-    Progress.check_wait_free ~max_crashes:1
-      ~reduction:(Explore.with_symmetry sym) store ~programs
+    Progress.check_wait_free
+      ~options:
+        (options ~max_crashes:1 ~reduction:(Explore.with_symmetry sym) ())
+      store ~programs
   in
   agree "alg2 wait-free sym" base red;
   Alcotest.(check (float 0.0))
     "solo bound agrees" (solo_bound base) (solo_bound red)
 
 (* ---------------------------------------------------------------- *)
-(* Sleep sets alone preserve the terminal set exactly (same decision
+(* Source sets alone preserve the terminal set exactly (same decision
    multiset), not just the verdict.                                  *)
 
-let sleep_preserves_terminals () =
+let source_preserves_terminals () =
   List.iter
     (fun (name, store, programs) ->
       let collect reduction =
@@ -242,15 +267,15 @@ let sleep_preserves_terminals () =
         (List.sort compare !acc, stats)
       in
       let base, bstats = collect None in
-      let sleep, sstats =
-        collect (Some { Explore.symmetry = None; sleep_sets = true })
+      let reduced, sstats =
+        collect (Some { Explore.symmetry = None; source_sets = true })
       in
       Alcotest.(check bool)
         (name ^ " complete") true
         ((not bstats.Explore.limited) && not sstats.Explore.limited);
       Alcotest.(check bool)
         (name ^ " terminal decisions identical")
-        true (base = sleep))
+        true (base = reduced))
     [
       (let store, programs, _ = alg2_harness 3 in
        ("alg2", store, programs));
@@ -325,16 +350,16 @@ let suite =
     ( "reduction",
       [
         test "alg2: reduced verdicts agree with unreduced" alg2_agrees;
-        test "alg3: sleep/erasure verdicts agree" alg3_agrees;
-        test "alg4: sleep/erasure verdicts agree" alg4_agrees;
-        test "alg6: sleep/erasure verdicts agree" alg6_agrees;
+        test "alg3: source/erasure verdicts agree" alg3_agrees;
+        test "alg4: source/erasure verdicts agree" alg4_agrees;
+        test "alg6: source/erasure verdicts agree" alg6_agrees;
         test "set-consensus: full symmetry verdicts agree" set_consensus_agrees;
         test "1sWRN: rotation quotient is sound and smaller" wrn_agrees;
         test "alg5: linearizability verdicts agree under reduction"
           alg5_lin_agrees;
         test "progress: wait-free verdict and solo bound agree" progress_agrees;
-        test "sleep sets preserve the terminal decision multiset"
-          sleep_preserves_terminals;
+        test "source sets preserve the terminal decision multiset"
+          source_preserves_terminals;
         test "canonical key: minimal, achieved, translation-invariant"
           canonicalization_sound;
         test "orbit members share a canonical key" orbit_members_share_key;
