@@ -35,6 +35,7 @@ let () =
     | "e17" -> Experiments.run_e17 ()
     | "e18" -> Experiments.run_e18 ()
     | "e19" -> Experiments.run_e19 ()
+    | "e20" -> Experiments.run_e20 ()
     | "perf" ->
       (* [--jobs N] caps the sweep at N domains (the default sweeps
          1/2/4/8 regardless of the host's core count). *)

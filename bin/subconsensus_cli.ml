@@ -62,6 +62,25 @@ let reduction_arg =
            Algorithms with no symmetry group fall back to dead-state \
            erasure for $(b,sym)/$(b,full).")
 
+let independence_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("semantic", Explore.Semantic); ("static", Explore.Static);
+             ("both", Explore.Both) ])
+        Explore.Semantic
+    & info [ "independence" ] ~docv:"MODE"
+        ~doc:
+          "How source-set reduction judges op independence: $(b,semantic) \
+           (fresh diamond computations, memoized), $(b,static) (the \
+           analyzer's precomputed footprint tables, falling back to the \
+           diamond only on state-dependent or unknown pairs), or $(b,both) \
+           (consult both and count disagreements in \
+           $(b,commute.static_mismatches) — a cross-validation mode).  \
+           $(b,static)/$(b,both) first classify and install the registry's \
+           footprint tables.  No effect without source sets.")
+
 let setup_obs ~json ~metrics =
   if metrics then
     Obs.Sink.set (if json then Obs.Sink.jsonl stdout else Obs.Sink.stderr_sink)
@@ -222,7 +241,7 @@ let reduction_of ?(certified = false) ~alg choice inst =
   | `Source ->
     Some
       (if certified then certified_reduction_for ~alg None ~source_sets:true
-       else { Explore.symmetry = None; source_sets = true })
+       else Explore.source_only)
   | `Sym ->
     Some
       (if certified then
@@ -233,6 +252,17 @@ let reduction_of ?(certified = false) ~alg choice inst =
       (if certified then
          certified_reduction_for ~alg (Some (sym ())) ~source_sets:true
        else Explore.full_reduction (sym ()))
+
+(* Resolve --independence: static/both need the analyzer's footprint
+   tables published before the search starts.  Installing the whole
+   registry is cheap (each subject's space is a few thousand states) and
+   keeps the flag usable on any algorithm without naming a family. *)
+let resolve_independence independence reduction =
+  match independence with
+  | Explore.Semantic -> reduction
+  | mode ->
+    ignore (Subc_analysis.Analyzer.install_static ());
+    Option.map (Explore.with_independence mode) reduction
 
 (* One [Search.options] record from the CLI's flags — the single funnel
    every checking subcommand goes through. *)
@@ -341,11 +371,14 @@ let certified_arg =
 
 let check_cmd =
   let run alg n k f r deadline expected_states max_states jobs visited choice
-      certified json metrics =
+      independence certified json metrics =
     setup_obs ~json ~metrics;
     Parallel.set_default_visited visited;
     let inst = instance_of alg ~n ~k ~crashes:(max f r) in
-    let reduction = reduction_of ~certified ~alg choice inst in
+    let reduction =
+      resolve_independence independence
+        (reduction_of ~certified ~alg choice inst)
+    in
     let options =
       options_of ?deadline ?expected_states ?reduction ~max_states
         ~max_crashes:(max f r) ~max_recoveries:r ~jobs ()
@@ -368,7 +401,8 @@ let check_cmd =
     Term.(
       const run $ alg_arg $ n_arg $ k_arg $ crashes_arg $ recoveries_arg
       $ deadline_arg $ expected_states_arg $ max_states_arg $ jobs_arg
-      $ visited_arg $ reduction_arg $ certified_arg $ json_arg $ metrics_arg)
+      $ visited_arg $ reduction_arg $ independence_arg $ certified_arg
+      $ json_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explore: raw state-space statistics, with or without reductions.    *)
@@ -392,12 +426,15 @@ let stats_fields reduction (stats : Explore.stats) =
 
 let explore_cmd =
   let run alg n k f r deadline expected_states max_states jobs visited choice
-      certified json metrics =
+      independence certified json metrics =
     setup_obs ~json ~metrics;
     Parallel.set_default_visited visited;
     let inst = instance_of alg ~n ~k ~crashes:(max f r) in
     let store, programs = instance_store_programs inst in
-    let reduction = reduction_of ~certified ~alg choice inst in
+    let reduction =
+      resolve_independence independence
+        (reduction_of ~certified ~alg choice inst)
+    in
     let config = Config.make store programs in
     let options =
       options_of ?deadline ?expected_states ?reduction ~max_states
@@ -444,7 +481,8 @@ let explore_cmd =
     Term.(
       const run $ alg_arg $ n_arg $ k_arg $ crashes_arg $ recoveries_arg
       $ deadline_arg $ expected_states_arg $ max_states_arg $ jobs_arg
-      $ visited_arg $ reduction_arg $ certified_arg $ json_arg $ metrics_arg)
+      $ visited_arg $ reduction_arg $ independence_arg $ certified_arg
+      $ json_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Per-algorithm commands (sampled runs keep their own reporting; the
@@ -681,7 +719,7 @@ let critical_cmd =
 (* analyze: the static soundness analyzer over the subject registry.   *)
 
 let analyze_cmd =
-  let run family jobs deadline json metrics =
+  let run family lint jobs deadline json metrics =
     setup_obs ~json ~metrics;
     let entries =
       match family with
@@ -695,11 +733,16 @@ let analyze_cmd =
           exit 2)
     in
     let findings =
-      List.concat_map
-        (fun (e : Subc_analysis.Registry.entry) ->
-          Subc_analysis.Analyzer.analyze ~family:e.Subc_analysis.Registry.family
-            ~jobs ?deadline e.Subc_analysis.Registry.subjects)
-        entries
+      if lint then
+        let family = if family = "all" then None else Some family in
+        Subc_analysis.Analyzer.lint ?family ()
+      else
+        List.concat_map
+          (fun (e : Subc_analysis.Registry.entry) ->
+            Subc_analysis.Analyzer.analyze
+              ~family:e.Subc_analysis.Registry.family ~jobs ?deadline
+              e.Subc_analysis.Registry.subjects)
+          entries
     in
     List.iter
       (fun f ->
@@ -707,6 +750,20 @@ let analyze_cmd =
         else Format.printf "%a@." Subc_analysis.Analyzer.pp_finding f)
       findings;
     finish ~metrics (Subc_analysis.Analyzer.verdicts findings)
+  in
+  let lint_arg =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Run the protocol linter instead of the object analyzer: \
+             abstractly interpret every registered protocol exemplar \
+             against its family's declared alphabets, reporting static \
+             footprints, syntactic step bounds, and DSL soundness lints \
+             (checkpoints whose key misses live loop state, ops outside \
+             the declared alphabet, invocations on undeclared objects, \
+             nondeterministic continuations).  Any lint is a refutation \
+             (exit 1); widened analyses exit 2.")
   in
   let family_arg =
     Arg.(
@@ -727,10 +784,12 @@ let analyze_cmd =
           of the declared symmetry group, and the declared classification \
           — or refute with a concrete witness.  No schedules are \
           explored.  $(b,--deadline) bounds the wall clock: checks not \
-          started before it passes report limited.  Exits 0 proved / 1 \
+          started before it passes report limited.  With $(b,--lint), run \
+          the protocol-side gate instead: the abstract interpreter over \
+          every registered protocol exemplar.  Exits 0 proved / 1 \
           refuted / 2 limited.")
     Term.(
-      const run $ family_arg $ jobs_arg $ deadline_arg $ json_arg
+      const run $ family_arg $ lint_arg $ jobs_arg $ deadline_arg $ json_arg
       $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -742,7 +801,7 @@ let analyze_cmd =
    crash-sweep at any --jobs.                                          *)
 
 let run_fault_sweep alg k f r deadline expected_states max_states solo_limit
-    jobs visited choice certified json metrics =
+    jobs visited choice independence certified json metrics =
   setup_obs ~json ~metrics;
   Parallel.set_default_visited visited;
   let verdicts = ref [] in
@@ -752,7 +811,9 @@ let run_fault_sweep alg k f r deadline expected_states max_states solo_limit
   in
   let rcell r' = if r' > 0 then Printf.sprintf "/r=%d" r' else "" in
   let inst = instance_of alg ~n:0 ~k ~crashes:(max f r) in
-  let reduction = reduction_of ~certified ~alg choice inst in
+  let reduction =
+    resolve_independence independence (reduction_of ~certified ~alg choice inst)
+  in
   let cell_options ~max_crashes ~max_recoveries =
     options_of ?deadline ?expected_states ?reduction ~max_states ~max_crashes
       ~max_recoveries ~jobs ()
@@ -798,9 +859,9 @@ let solo_limit_arg =
 
 let crash_sweep_cmd =
   let run alg k f deadline expected_states max_states solo_limit jobs visited
-      choice certified json metrics =
+      choice independence certified json metrics =
     run_fault_sweep alg k f 0 deadline expected_states max_states solo_limit
-      jobs visited choice certified json metrics
+      jobs visited choice independence certified json metrics
   in
   Cmd.v
     (Cmd.info "crash-sweep"
@@ -812,13 +873,14 @@ let crash_sweep_cmd =
     Term.(
       const run $ alg_arg $ k_arg $ sweep_crashes_arg $ deadline_arg
       $ expected_states_arg $ max_states_arg $ solo_limit_arg $ jobs_arg
-      $ visited_arg $ reduction_arg $ certified_arg $ json_arg $ metrics_arg)
+      $ visited_arg $ reduction_arg $ independence_arg $ certified_arg
+      $ json_arg $ metrics_arg)
 
 let recover_sweep_cmd =
   let run alg k f r deadline expected_states max_states solo_limit jobs
-      visited choice certified json metrics =
+      visited choice independence certified json metrics =
     run_fault_sweep alg k f r deadline expected_states max_states solo_limit
-      jobs visited choice certified json metrics
+      jobs visited choice independence certified json metrics
   in
   let sweep_recoveries_arg =
     Arg.(
@@ -840,8 +902,8 @@ let recover_sweep_cmd =
     Term.(
       const run $ alg_arg $ k_arg $ sweep_crashes_arg $ sweep_recoveries_arg
       $ deadline_arg $ expected_states_arg $ max_states_arg $ solo_limit_arg
-      $ jobs_arg $ visited_arg $ reduction_arg $ certified_arg $ json_arg
-      $ metrics_arg)
+      $ jobs_arg $ visited_arg $ reduction_arg $ independence_arg
+      $ certified_arg $ json_arg $ metrics_arg)
 
 let () =
   let doc = "sub-consensus deterministic objects: runners and model checkers" in

@@ -1,0 +1,338 @@
+open Subc_sim
+
+type protocol = {
+  p_name : string;
+  p_store : Store.t;
+  p_program : Value.t Program.t;
+}
+
+let protocol ~name ~store program =
+  { p_name = name; p_store = store; p_program = program }
+
+type decl = { d_kind : string; d_ops : Op.t list; d_depth : int option }
+
+let decl ?depth ~kind ops = { d_kind = kind; d_ops = ops; d_depth = depth }
+
+type step_bound = Bounded of int | Unbounded
+
+let pp_step_bound ppf = function
+  | Bounded n -> Format.fprintf ppf "<= %d ops" n
+  | Unbounded -> Format.pp_print_string ppf "unbounded"
+
+type lint =
+  | Undeclared_handle of { handle : int; kind : string; op : Op.t }
+  | Op_outside_alphabet of { kind : string; op : Op.t }
+  | Checkpoint_inconsistent of { key : Value.t }
+  | Nondet_continuation of { kind : string; op : Op.t; resp : Value.t }
+
+let pp_lint ppf = function
+  | Undeclared_handle { handle; kind; op } ->
+    Format.fprintf ppf
+      "op %a issued on handle %d of undeclared kind %s — the protocol's \
+       footprint is under-declared"
+      Op.pp op handle kind
+  | Op_outside_alphabet { kind; op } ->
+    Format.fprintf ppf "op %a is outside the declared %s alphabet" Op.pp op
+      kind
+  | Checkpoint_inconsistent { key } ->
+    Format.fprintf ppf
+      "checkpoint key %a does not determine the remaining computation \
+       (hoisted out of tail position, or missing live loop state)"
+      Value.pp key
+  | Nondet_continuation { kind; op; resp } ->
+    Format.fprintf ppf
+      "continuation after %a on %s is not a deterministic function of \
+       response %a"
+      Op.pp op kind Value.pp resp
+
+module Fp = Set.Make (struct
+  type t = int * Op.t
+
+  let compare (h1, a) (h2, b) =
+    match Int.compare h1 h2 with 0 -> Op.compare a b | c -> c
+end)
+
+module VS = Set.Make (Value)
+module OS = Set.Make (Op)
+
+type report = {
+  r_protocol : string;
+  r_footprint : (int * string * Op.t) list;
+  r_bound : step_bound;
+  r_returns : Value.t list;
+  r_lints : lint list;
+  r_widened : bool;
+  r_iterations : int;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v2>%s: %a, %d footprint entries%s%s" r.r_protocol
+    pp_step_bound r.r_bound
+    (List.length r.r_footprint)
+    (if r.r_widened then " (widened)" else "")
+    (if r.r_lints = [] then "" else ":");
+  List.iter (fun l -> Format.fprintf ppf "@,%a" pp_lint l) r.r_lints;
+  Format.fprintf ppf "@]"
+
+(* Abstract summary of one (sub)program: the ops it can issue, the worst
+   number of invokes along any path, and the values it can return. *)
+type summary = { s_fp : Fp.t; s_bound : step_bound; s_returns : VS.t }
+
+let summary_equal a b =
+  Fp.equal a.s_fp b.s_fp && a.s_bound = b.s_bound
+  && VS.equal a.s_returns b.s_returns
+
+let bound_max a b =
+  match (a, b) with
+  | Unbounded, _ | _, Unbounded -> Unbounded
+  | Bounded x, Bounded y -> Bounded (max x y)
+
+let bound_succ = function Unbounded -> Unbounded | Bounded n -> Bounded (n + 1)
+
+(* The observable head of a program, for cheap same-computation probes:
+   what the next instruction is, as a comparable value.  Continuations are
+   opaque functions, so two programs with equal heads may still diverge
+   deeper — the checkpoint check completes the comparison with full
+   continuation summaries. *)
+let head_shape : Value.t Program.t -> Value.t = function
+  | Program.Return v -> Value.Tag ("return", v)
+  | Program.Invoke (h, op, _) ->
+    Value.Tag
+      ( "invoke",
+        Value.Pair
+          ( Value.Int (h :> int),
+            Value.Pair (Value.Sym op.Op.name, Value.Vec op.Op.args) ) )
+  | Program.Checkpoint (key, _) -> Value.Tag ("checkpoint", key)
+
+type memo_entry = In_progress of Value.t | Done of Value.t * summary
+
+let analyze ?declared ?(fuel = 200_000) ?(max_pool = 4096) ?(max_branch = 32)
+    p =
+  (* Per-handle abstract state pool: state -> BFS depth from init under the
+     environment alphabet plus the program's own ops.  Depth only matters
+     for kinds declared with an op budget ([d_depth]), which bounds the
+     closure of otherwise-unbounded objects (counters, queues). *)
+  let pools : (int, (Value.t, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  let issued : (int, OS.t ref) Hashtbl.t = Hashtbl.create 8 in
+  let kinds : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let widened = ref false in
+  let footprint = ref Fp.empty in
+  let decl_for kind =
+    match declared with
+    | None -> None
+    | Some ds -> List.find_opt (fun d -> d.d_kind = kind) ds
+  in
+  let pool_of hi (model : Obj_model.t) =
+    match Hashtbl.find_opt pools hi with
+    | Some t -> t
+    | None ->
+      let t = Hashtbl.create 16 in
+      Hashtbl.replace t model.Obj_model.init 0;
+      Hashtbl.replace pools hi t;
+      t
+  in
+  let issued_of hi =
+    match Hashtbl.find_opt issued hi with
+    | Some r -> r
+    | None ->
+      let r = ref OS.empty in
+      Hashtbl.replace issued hi r;
+      r
+  in
+  let apply_safe (model : Obj_model.t) st op =
+    try model.Obj_model.apply st op with _ -> []
+  in
+  (* Close the pool of [hi] under the environment alphabet and every op the
+     program has issued on it so far, respecting the declared depth budget
+     and the pool-size cap. *)
+  let close_pool hi (model : Obj_model.t) =
+    let pool = pool_of hi model in
+    let d = decl_for model.Obj_model.kind in
+    let depth_limit =
+      match d with Some { d_depth = Some n; _ } -> n | _ -> max_int
+    in
+    let env_ops = match d with Some { d_ops; _ } -> d_ops | None -> [] in
+    let ops = OS.elements (OS.union !(issued_of hi) (OS.of_list env_ops)) in
+    let frontier = ref [] in
+    Hashtbl.iter (fun st depth -> frontier := (st, depth) :: !frontier) pool;
+    while !frontier <> [] do
+      let work = !frontier in
+      frontier := [];
+      List.iter
+        (fun (st, depth) ->
+          if depth < depth_limit then
+            List.iter
+              (fun op ->
+                List.iter
+                  (fun (st', _resp) ->
+                    match Hashtbl.find_opt pool st' with
+                    | Some d' when d' <= depth + 1 -> ()
+                    | prior ->
+                      if prior = None && Hashtbl.length pool >= max_pool then
+                        widened := true
+                      else begin
+                        Hashtbl.replace pool st' (depth + 1);
+                        frontier := (st', depth + 1) :: !frontier
+                      end)
+                  (apply_safe model st op))
+              ops)
+        work
+    done;
+    pool
+  in
+  (* Every response [op] can produce from some state in the pool; sorted so
+     branch exploration (and the truncation under widening) is
+     deterministic. *)
+  let responses hi (model : Obj_model.t) op =
+    let iss = issued_of hi in
+    if not (OS.mem op !iss) then iss := OS.add op !iss;
+    let pool = close_pool hi model in
+    let rs = ref VS.empty in
+    Hashtbl.iter
+      (fun st _depth ->
+        List.iter (fun (_st', resp) -> rs := VS.add resp !rs)
+          (apply_safe model st op))
+      pool;
+    let rs = VS.elements !rs in
+    if List.length rs > max_branch then begin
+      widened := true;
+      List.filteri (fun i _ -> i < max_branch) rs
+    end
+    else rs
+  in
+  let walk_once () =
+    let lints = ref [] in
+    let add_lint l = if not (List.mem l !lints) then lints := !lints @ [ l ] in
+    let memo : (Value.t, memo_entry) Hashtbl.t = Hashtbl.create 8 in
+    let reverified : (Value.t, int) Hashtbl.t = Hashtbl.create 8 in
+    let nodes = ref 0 in
+    let top = { s_fp = Fp.empty; s_bound = Unbounded; s_returns = VS.empty } in
+    let loop_summary =
+      { s_fp = Fp.empty; s_bound = Unbounded; s_returns = VS.empty }
+    in
+    let rec walk (prog : Value.t Program.t) : summary =
+      incr nodes;
+      if !nodes > fuel then begin
+        widened := true;
+        top
+      end
+      else
+        match prog with
+        | Program.Return v ->
+          { s_fp = Fp.empty; s_bound = Bounded 0; s_returns = VS.singleton v }
+        | Program.Invoke (h, op, k) ->
+          let hi = (h :> int) in
+          let model = Store.model p.p_store h in
+          let kind = model.Obj_model.kind in
+          if not (Hashtbl.mem kinds hi) then Hashtbl.replace kinds hi kind;
+          (match declared with
+          | None -> ()
+          | Some ds -> (
+            match List.find_opt (fun d -> d.d_kind = kind) ds with
+            | None -> add_lint (Undeclared_handle { handle = hi; kind; op })
+            | Some { d_ops; _ } ->
+              let matches o =
+                o.Op.name = op.Op.name
+                && List.length o.Op.args = List.length op.Op.args
+              in
+              if not (List.exists matches d_ops) then
+                add_lint (Op_outside_alphabet { kind; op })));
+          footprint := Fp.add (hi, op) !footprint;
+          let rs = responses hi model op in
+          (match rs with
+          | r :: _ ->
+            if not (Value.equal (head_shape (k r)) (head_shape (k r))) then
+              add_lint (Nondet_continuation { kind; op; resp = r })
+          | [] -> (* the invocation hangs everywhere: the path ends here *) ());
+          let base =
+            {
+              s_fp = Fp.singleton (hi, op);
+              s_bound = Bounded 1;
+              s_returns = VS.empty;
+            }
+          in
+          List.fold_left
+            (fun acc r ->
+              let s = walk (k r) in
+              {
+                s_fp = Fp.union acc.s_fp s.s_fp;
+                s_bound = bound_max acc.s_bound (bound_succ s.s_bound);
+                s_returns = VS.union acc.s_returns s.s_returns;
+              })
+            base rs
+        | Program.Checkpoint (key, rest) -> (
+          match Hashtbl.find_opt memo key with
+          | Some (In_progress first_head) ->
+            (* Back-edge: the loop closes here.  The first instruction
+               after the key must be the same one the first occurrence
+               saw, else the key demonstrably fails to determine the
+               remaining computation. *)
+            if not (Value.equal (head_shape rest) first_head) then
+              add_lint (Checkpoint_inconsistent { key });
+            loop_summary
+          | Some (Done (first_head, s)) ->
+            if not (Value.equal (head_shape rest) first_head) then begin
+              add_lint (Checkpoint_inconsistent { key });
+              s
+            end
+            else
+              let n =
+                Option.value (Hashtbl.find_opt reverified key) ~default:0
+              in
+              if n >= 4 then s
+              else begin
+                (* Re-walk this occurrence's continuation and demand the
+                   same observable summary as the memoized one. *)
+                Hashtbl.replace reverified key (n + 1);
+                Hashtbl.replace memo key (In_progress first_head);
+                let s' = walk rest in
+                Hashtbl.replace memo key (Done (first_head, s));
+                if not (summary_equal s s') then
+                  add_lint (Checkpoint_inconsistent { key });
+                s
+              end
+          | None ->
+            let hd = head_shape rest in
+            Hashtbl.replace memo key (In_progress hd);
+            let s = walk rest in
+            Hashtbl.replace memo key (Done (hd, s));
+            s)
+    in
+    let s = walk p.p_program in
+    (s, !lints)
+  in
+  (* Outer fixpoint: a walk grows pools and the footprint, which grows the
+     response sets the next walk branches on.  Stable when a whole walk
+     changes neither; the reported lints come from that stable walk, so
+     checkpoint-summary comparisons never see mid-growth response sets. *)
+  let snapshot () =
+    ( Fp.cardinal !footprint,
+      Hashtbl.fold (fun _ pool acc -> acc + Hashtbl.length pool) pools 0 )
+  in
+  let rec iterate i =
+    let before = snapshot () in
+    let s, lints = walk_once () in
+    if snapshot () = before then (s, lints, i)
+    else if i >= 8 then begin
+      widened := true;
+      (s, lints, i)
+    end
+    else iterate (i + 1)
+  in
+  let s, lints, iterations = iterate 1 in
+  {
+    r_protocol = p.p_name;
+    r_footprint =
+      List.map
+        (fun (hi, op) ->
+          let kind =
+            match Hashtbl.find_opt kinds hi with Some k -> k | None -> "?"
+          in
+          (hi, kind, op))
+        (Fp.elements !footprint);
+    r_bound = s.s_bound;
+    r_returns = VS.elements s.s_returns;
+    r_lints = lints;
+    r_widened = !widened;
+    r_iterations = iterations;
+  }

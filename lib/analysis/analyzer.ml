@@ -13,6 +13,7 @@ let check_names =
     "reachability";
     "commutation";
     "source-closure";
+    "footprint";
     "equivariance";
     "recovery";
     "classification";
@@ -104,6 +105,41 @@ let sourceset_verdict (s : Subject.t) space =
                  steps stay applicable (%d diamond edges) on %d states"
                 s.Subject.group_name st.Sourceset.equivariance_checks
                 st.Sourceset.diamond_checks st.Sourceset.states)))
+
+(* Classify the subject's alphabet pairs over the enumerated space,
+   publish the table into the explorer's static-independence registry,
+   then validate the *installed* table (which may have been merged with
+   tables from other subjects of the same kind and initial state) against
+   fresh semantic diamonds at every state — the obligation that makes
+   [--independence static] reproduce semantic counts and verdicts. *)
+let footprint_verdict (s : Subject.t) space =
+  guarded (fun () ->
+      let fp = Footprint.classify s space in
+      Footprint.install fp;
+      match Footprint.validate s space with
+      | Error m ->
+        Verdict.refuted ~trace:[] (Format.asprintf "%a" Footprint.pp_mismatch m)
+      | Ok (st : Footprint.check_stats) ->
+        let cls = fp.Footprint.fp_stats in
+        seal space
+          (Verdict.proved
+             ~metrics:
+               [
+                 ("pairs", float_of_int cls.Footprint.pairs);
+                 ("always", float_of_int cls.Footprint.always);
+                 ("never", float_of_int cls.Footprint.never);
+                 ( "state_dependent",
+                   float_of_int cls.Footprint.state_dependent );
+                 ("decided_contexts", float_of_int st.Footprint.c_decided);
+                 ("fallback_contexts", float_of_int st.Footprint.c_fallback);
+               ]
+             (Printf.sprintf
+                "static table %d always / %d never / %d state-dependent of \
+                 %d pairs; installed table matches the semantic judgment \
+                 at all %d decided contexts (%d fall back)"
+                cls.Footprint.always cls.Footprint.never
+                cls.Footprint.state_dependent cls.Footprint.pairs
+                st.Footprint.c_decided st.Footprint.c_fallback)))
 
 let equivariance_verdict (s : Subject.t) space =
   guarded (fun () ->
@@ -207,6 +243,7 @@ let analyze_subject_until ?(family = "-") ?stop (s : Subject.t) =
         mk "reachability" (reach_verdict s r);
         run "commutation" commute_verdict;
         run "source-closure" sourceset_verdict;
+        run "footprint" footprint_verdict;
         run "equivariance" equivariance_verdict;
         run "recovery" recovery_verdict;
         run "classification" classification_verdict;
@@ -243,6 +280,7 @@ let obligations =
     "apply-purity";
     "pairwise-commutation";
     "source-set-closure";
+    "static-independence";
     "symmetry-equivariance";
     "recovery-projection";
     "classification";
@@ -254,3 +292,80 @@ let certify ~family subjects =
   if bad = [] then
     Ok (Explore.Certificate.attest ~tool:"subc_analysis" ~subject:family ~obligations)
   else Error bad
+
+(* ------------------------------------------------------------------ *)
+(* Protocol lint: the abstract interpreter over the registry's protocol
+   exemplars, rendered through the same finding/verdict pipeline as the
+   model checks. *)
+
+let registry_entries family =
+  match family with
+  | None -> Registry.entries ()
+  | Some f -> Option.to_list (Registry.find f)
+
+let lint_verdict (r : Absint.report) =
+  if r.Absint.r_lints <> [] then
+    Verdict.refuted ~trace:[]
+      (String.concat "; "
+         (List.map (Format.asprintf "%a" Absint.pp_lint) r.Absint.r_lints))
+  else
+    let metrics =
+      [
+        ("footprint", float_of_int (List.length r.Absint.r_footprint));
+        ("returns", float_of_int (List.length r.Absint.r_returns));
+        ("iterations", float_of_int r.Absint.r_iterations);
+      ]
+    in
+    if r.Absint.r_widened then
+      Verdict.limited ~metrics
+        "abstract interpretation widened — footprint and bound are \
+         best-effort, not a certificate"
+    else
+      Verdict.proved ~metrics
+        (Format.asprintf "footprint %d (handle, op) pairs, step bound %a"
+           (List.length r.Absint.r_footprint)
+           Absint.pp_step_bound r.Absint.r_bound)
+
+(* The gate runs with far larger budgets than {!Absint.analyze}'s
+   defaults: alg5's primitive snapshots answer a scan with any reachable
+   view vector, so exact branch exploration needs a branch cap on the
+   order of the abstract pool, and the resulting tree wants millions of
+   nodes of fuel.  Exactness matters here — a widened report is a Limited
+   verdict and the CI gate demands clean Proved rows. *)
+let lint_protocol ~family ~declared (p : Absint.protocol) =
+  let report =
+    Absint.analyze ~fuel:6_000_000 ~max_branch:4096 ~declared p
+  in
+  {
+    family;
+    subject = p.Absint.p_name;
+    check = "lint";
+    verdict = lint_verdict report;
+  }
+
+let lint ?family () =
+  List.concat_map
+    (fun (e : Registry.entry) ->
+      let declared = Registry.declared_alphabets e.Registry.subjects in
+      List.map
+        (lint_protocol ~family:e.Registry.family ~declared)
+        e.Registry.protocols)
+    (registry_entries family)
+
+(* Publish every registry subject's static commutation table, so
+   [--independence static|both] runs resolve table hits instead of falling
+   back to the semantic judgment everywhere.  Enumeration failures are
+   skipped silently: the missing table only costs fallbacks, and the
+   footprint check reports the failure properly. *)
+let install_static ?family () =
+  List.concat_map
+    (fun (e : Registry.entry) ->
+      List.filter_map
+        (fun s ->
+          match Footprint.of_subject s with
+          | Error _ -> None
+          | Ok (fp, _space) ->
+            Footprint.install fp;
+            Some (s.Subject.name, List.length fp.Footprint.fp_pairs))
+        e.Registry.subjects)
+    (registry_entries family)

@@ -2,7 +2,7 @@
     the results as {!Subc_check.Verdict.t} findings, and mint reduction
     certificates.
 
-    Six checks run per subject, in dependency order:
+    Seven checks run per subject, in dependency order:
 
     + {b reachability} ({!Reach}): enumerate the reachable state space,
       certifying purity and alphabet-totality of [apply] along the way;
@@ -15,6 +15,11 @@
       stealing — and corroborate the per-state diamonds one step out
       (persistence across steps is deliberately {e not} demanded: the
       explorer re-judges carried sleep entries at every state);
+    + {b footprint} ({!Footprint}): classify every alphabet pair as
+      always/never/state-dependent commuting over the enumerated space,
+      install the static table, and certify the {e installed} table agrees
+      with the semantic judgment at every state — the obligation behind
+      the [--independence static] fast path;
     + {b equivariance} ({!Equivariance}): certify the declared permutation
       group is an automorphism group of the reachable transition system;
     + {b recovery} ({!Recovery}): certify the crash-recovery projection
@@ -39,8 +44,8 @@ type finding = {
 }
 
 val check_names : string list
-(** ["reachability"; "commutation"; "source-closure"; "equivariance";
-    "recovery"; "classification"]. *)
+(** ["reachability"; "commutation"; "source-closure"; "footprint";
+    "equivariance"; "recovery"; "classification"]. *)
 
 val analyze_subject :
   ?family:string -> ?deadline:float -> Subject.t -> finding list
@@ -79,3 +84,25 @@ val certify :
     subjects and attest the discharged obligations iff {e every} finding is
     proved; otherwise return the non-proved findings.  The resulting
     certificate feeds {!Subc_sim.Explore.certified_reduction}. *)
+
+val lint_protocol :
+  family:string -> declared:Absint.decl list -> Absint.protocol -> finding
+(** One protocol through the abstract interpreter (with the gate's
+    enlarged fuel and branch budgets): [Proved] carries the footprint size
+    and step bound, any lint is a [Refuted] naming the witnesses, a
+    widened analysis is [Limited]. *)
+
+val lint : ?family:string -> unit -> finding list
+(** The protocol gate: run the abstract interpreter ({!Absint}) on every
+    protocol exemplar of the registry (or of one [family]) against the
+    family's declared alphabets.  One finding per protocol with check
+    ["lint"]: [Proved] carries the footprint size and step bound, any lint
+    is a [Refuted], widening is a [Limited].  The CLI [analyze --lint] and
+    the CI gate consume this. *)
+
+val install_static : ?family:string -> unit -> (string * int) list
+(** Classify and publish the static commutation table of every registry
+    subject (or one family's) into
+    {!Subc_sim.Explore.install_static_independence}; returns
+    [(subject, pairs)] per installed table.  The CLI runs this before any
+    [--independence static|both] exploration. *)

@@ -1,0 +1,151 @@
+open Subc_sim
+
+type stats = {
+  states : int;
+  pairs : int;
+  always : int;
+  never : int;
+  state_dependent : int;
+}
+
+type t = {
+  fp_kind : string;
+  fp_init : Value.t;
+  fp_alphabet : Op.t list;
+  fp_pairs : ((Op.t * Op.t) * Explore.static_class) list;
+  fp_stats : stats;
+}
+
+(* Unordered pairs (diagonal included), each in canonical Op.compare
+   order — the order the explorer's table lookup normalizes to. *)
+let op_pairs alphabet =
+  let rec go = function
+    | [] -> []
+    | a :: rest ->
+      List.map
+        (fun b -> if Op.compare a b <= 0 then (a, b) else (b, a))
+        (a :: rest)
+      @ go rest
+  in
+  go alphabet
+
+let classify (s : Subject.t) (space : Reach.space) =
+  let model = s.Subject.model in
+  (* A decided class is a claim about every reachable state; only a closed
+     untruncated enumeration supports it.  Op-budgeted subjects (counters,
+     queues) see a prefix of an unbounded space, so they get full semantic
+     fallback. *)
+  let exact =
+    (not space.Reach.truncated) && s.Subject.bound = Subject.Closure
+  in
+  let pairs = op_pairs s.Subject.alphabet in
+  let always = ref 0 and never = ref 0 and state_dependent = ref 0 in
+  let classed =
+    List.map
+      (fun (a, b) ->
+        let all = ref true and none = ref true in
+        List.iter
+          (fun st ->
+            if Explore.op_independent model st a b then none := false
+            else all := false)
+          space.Reach.states;
+        let cls =
+          if not exact then Explore.State_dependent
+          else if !all then Explore.Always_commute
+          else if !none then Explore.Never_commute
+          else Explore.State_dependent
+        in
+        (match cls with
+        | Explore.Always_commute -> incr always
+        | Explore.Never_commute -> incr never
+        | Explore.State_dependent -> incr state_dependent);
+        ((a, b), cls))
+      pairs
+  in
+  {
+    fp_kind = model.Obj_model.kind;
+    fp_init = model.Obj_model.init;
+    fp_alphabet = s.Subject.alphabet;
+    fp_pairs = classed;
+    fp_stats =
+      {
+        states = space.Reach.n_states;
+        pairs = List.length pairs;
+        always = !always;
+        never = !never;
+        state_dependent = !state_dependent;
+      };
+  }
+
+let of_subject s =
+  match Reach.enumerate s with
+  | Error f -> Error f
+  | Ok space -> Ok (classify s space, space)
+
+let install t =
+  Explore.install_static_independence ~kind:t.fp_kind ~init:t.fp_init
+    ~alphabet:t.fp_alphabet t.fp_pairs
+
+type check_stats = {
+  c_states : int;
+  c_contexts : int;
+  c_decided : int;
+  c_fallback : int;
+}
+
+type mismatch = {
+  m_state : Value.t;
+  m_a : Op.t;
+  m_b : Op.t;
+  m_static : bool;
+  m_semantic : bool;
+}
+
+let pp_mismatch ppf m =
+  Format.fprintf ppf
+    "installed static table decides independent(%a, %a) = %b at state %a \
+     but the semantic diamond says %b"
+    Op.pp m.m_a Op.pp m.m_b m.m_static Value.pp m.m_state m.m_semantic
+
+let validate (s : Subject.t) (space : Reach.space) =
+  let model = s.Subject.model in
+  let kind = model.Obj_model.kind and init = model.Obj_model.init in
+  let pairs = op_pairs s.Subject.alphabet in
+  let contexts = ref 0 and decided = ref 0 and fallback = ref 0 in
+  let bad = ref None in
+  (try
+     List.iter
+       (fun st ->
+         List.iter
+           (fun (a, b) ->
+             incr contexts;
+             match Explore.static_independent ~kind ~init a b with
+             | None -> incr fallback
+             | Some r ->
+               incr decided;
+               let sem = Explore.op_independent model st a b in
+               if r <> sem then begin
+                 bad :=
+                   Some
+                     {
+                       m_state = st;
+                       m_a = a;
+                       m_b = b;
+                       m_static = r;
+                       m_semantic = sem;
+                     };
+                 raise Exit
+               end)
+           pairs)
+       space.Reach.states
+   with Exit -> ());
+  match !bad with
+  | Some m -> Error m
+  | None ->
+    Ok
+      {
+        c_states = space.Reach.n_states;
+        c_contexts = !contexts;
+        c_decided = !decided;
+        c_fallback = !fallback;
+      }

@@ -1,0 +1,75 @@
+(** Footprint certificates: static same-object commutation tables for the
+    {!Subc_sim.Explore.independence} fast path.
+
+    {!Subc_sim.Explore.op_independent} — the semantic judgment the
+    source-set reduction consumes — is a state-local diamond computation.
+    For most (op, op) pairs the answer is the same at {e every} reachable
+    state of the object, so it can be decided once, statically, and the
+    explorer's hot path can skip both the diamond and the memo probe.  This
+    module classifies each unordered alphabet pair over the subject's
+    enumerated state space:
+
+    - [Always_commute]: independent at every enumerated state;
+    - [Never_commute]: dependent at every enumerated state;
+    - [State_dependent]: mixed — the explorer must fall back to the
+      semantic judgment.
+
+    Soundness: a decided class reproduces [op_independent] {e exactly} on
+    the states it was enumerated over, so exploration counts and verdicts
+    under [~independence:Static] equal the semantic ones.  The enumeration
+    covers all states reachable under the subject's declared alphabet; the
+    classification is only exact when that space {e closed}
+    ({!Subject.Closure}, not truncated) — otherwise every pair is demoted
+    to [State_dependent] (full fallback, trivially equivalent).  Runs that
+    issue ops outside the declared alphabet can drive an object into
+    states the enumeration never saw; the [analyze --lint] footprint gate
+    ({!Absint}) is what discharges that side condition, and
+    [~independence:Both] cross-validates it empirically
+    ([commute.static_mismatches]). *)
+
+open Subc_sim
+
+type stats = {
+  states : int;
+  pairs : int;
+  always : int;
+  never : int;
+  state_dependent : int;
+}
+
+type t = {
+  fp_kind : string;
+  fp_init : Value.t;
+  fp_alphabet : Op.t list;
+  fp_pairs : ((Op.t * Op.t) * Explore.static_class) list;
+  fp_stats : stats;
+}
+
+val classify : Subject.t -> Reach.space -> t
+(** Classify every unordered alphabet pair over [space].  Exact (decided
+    classes) only for a closed, untruncated {!Subject.Closure} space;
+    everything is [State_dependent] otherwise. *)
+
+val of_subject : Subject.t -> (t * Reach.space, Reach.flaw) result
+(** Enumerate the subject's space and classify. *)
+
+val install : t -> unit
+(** Publish into the global {!Subc_sim.Explore.install_static_independence}
+    registry (merge with demotion on conflicting reinstalls). *)
+
+type check_stats = { c_states : int; c_contexts : int; c_decided : int; c_fallback : int }
+
+type mismatch = {
+  m_state : Value.t;
+  m_a : Op.t;
+  m_b : Op.t;
+  m_static : bool;
+  m_semantic : bool;
+}
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+
+val validate : Subject.t -> Reach.space -> (check_stats, mismatch) result
+(** Check the {e installed} tables (not a local classification — this
+    catches kind/init collisions and merge bugs) against a fresh
+    [op_independent] at every enumerated state and alphabet pair. *)

@@ -1,7 +1,13 @@
 open Subc_sim
 module O = Subc_objects
+module C = Subc_core
 
-type entry = { family : string; doc : string; subjects : Subject.t list }
+type entry = {
+  family : string;
+  doc : string;
+  subjects : Subject.t list;
+  protocols : Absint.protocol list;
+}
 
 (* Harness conventions: proposals are 100 + process index, two or three
    processes per instance. *)
@@ -143,6 +149,142 @@ let sse ~k ~j grp =
     ~alphabet:(List.map (fun i -> op "propose" [ Value.Int i ]) (List.init k Fun.id))
     ~expected:Subject.Nondeterministic ~may_hang:true ~symmetry ~group_name ()
 
+(* ------------------------------------------------------------------ *)
+(* Protocol exemplars: one checkable program per process for each
+   family, fed to the abstract interpreter ([Absint]) by the
+   [analyze --lint] gate.  Instance sizes match the subjects above, so
+   every op a protocol issues falls inside a declared alphabet. *)
+
+let protocol = Absint.protocol
+
+let alg2_protocols () =
+  let store, t = C.Alg2.alloc Store.empty ~k:3 ~one_shot:true in
+  List.init 3 (fun i ->
+      protocol
+        ~name:(Printf.sprintf "alg2.propose%d" i)
+        ~store
+        (C.Alg2.propose t ~i (tok i)))
+
+let alg3_protocols () =
+  let store, t =
+    C.Alg3.alloc Store.empty ~k:2 ~flavor:C.Alg3.Plain_wrn
+      ~renamer:(C.Alg3.Rename_identity 2) ()
+  in
+  List.init 2 (fun i ->
+      protocol
+        ~name:(Printf.sprintf "alg3.propose%d" i)
+        ~store
+        (C.Alg3.propose t ~slot:i ~id:i (tok i)))
+
+let alg4_protocols () =
+  let store, t = C.Alg4.alloc Store.empty ~k:2 in
+  List.init 2 (fun i ->
+      protocol
+        ~name:(Printf.sprintf "alg4.rlx_wrn%d" i)
+        ~store
+        (C.Alg4.rlx_wrn t ~i (tok i)))
+
+let alg5_protocols () =
+  let store, t = C.Alg5.alloc Store.empty ~k:3 () in
+  List.init 3 (fun i ->
+      protocol
+        ~name:(Printf.sprintf "alg5.wrn%d" i)
+        ~store
+        (C.Alg5.wrn t ~i (tok i)))
+
+let alg6_protocols () =
+  let store, t = C.Alg6.alloc Store.empty ~n:3 ~k:2 ~one_shot:true in
+  List.init 3 (fun i ->
+      protocol
+        ~name:(Printf.sprintf "alg6.propose%d" i)
+        ~store
+        (C.Alg6.propose t ~i (tok i)))
+
+let one_shot_wrn_protocols () =
+  let store, h = Store.alloc Store.empty (O.One_shot_wrn.model ~k:3) in
+  List.init 3 (fun i ->
+      protocol
+        ~name:(Printf.sprintf "1swrn.wrn%d" i)
+        ~store
+        (O.One_shot_wrn.wrn h i (tok i)))
+
+let set_consensus_protocols () =
+  let store, h =
+    Store.alloc Store.empty (O.Set_consensus_obj.model ~n:3 ~k:2)
+  in
+  List.init 3 (fun i ->
+      protocol
+        ~name:(Printf.sprintf "set-consensus.propose%d" i)
+        ~store
+        (O.Set_consensus_obj.propose h (tok i)))
+
+(* A checkpointed busy-wait in the blessed shape — tail position, the key
+   is the entire remaining computation — plus a straight-line sweep over
+   the read-modify-write objects: between them the lint pass sees every
+   node kind the DSL has. *)
+let objects_protocols () =
+  let store, w = Store.alloc Store.empty (O.Wrn.model ~k:3) in
+  let store, c = Store.alloc store O.Cas_obj.model_bot in
+  let store, t = Store.alloc store O.Tas_obj.model in
+  let store, r = Store.alloc store O.Register.model_bot in
+  let open Program.Syntax in
+  let rec retry () =
+    let* () = Program.checkpoint (Value.Sym "busy-wait") in
+    let* v = O.Wrn.wrn w 0 (tok 0) in
+    if Value.is_bot v then retry () else Program.return v
+  in
+  let sweep =
+    let* _ = Program.invoke c (op "cas" [ Value.Bot; tok 0 ]) in
+    let* _ = Program.invoke t (op "test_and_set" []) in
+    let* _ = Program.invoke r (op "write" [ tok 1 ]) in
+    Program.invoke r (op "read" [])
+  in
+  [
+    protocol ~name:"objects.busy-wait" ~store (retry ());
+    protocol ~name:"objects.rmw-sweep" ~store sweep;
+  ]
+
+(* The per-kind environment the abstract interpreter closes object pools
+   under: the union of the declared alphabets of every subject of that
+   kind, with the op budget of budgeted subjects bounding the closure of
+   unbounded objects. *)
+let declared_alphabets subjects =
+  let module OS = Set.Make (Op) in
+  let kinds =
+    List.fold_left
+      (fun acc (s : Subject.t) ->
+        let kind = s.Subject.model.Obj_model.kind in
+        if List.mem kind acc then acc else acc @ [ kind ])
+      [] subjects
+  in
+  List.map
+    (fun kind ->
+      let of_kind =
+        List.filter
+          (fun (s : Subject.t) -> s.Subject.model.Obj_model.kind = kind)
+          subjects
+      in
+      let ops =
+        OS.elements
+          (List.fold_left
+             (fun acc (s : Subject.t) ->
+               OS.union acc (OS.of_list s.Subject.alphabet))
+             OS.empty of_kind)
+      in
+      let depth =
+        List.fold_left
+          (fun acc (s : Subject.t) ->
+            match (acc, s.Subject.bound) with
+            | None, _ | _, Subject.Closure -> None
+            | Some d, Subject.Ops d' -> Some (max d d'))
+          (match (List.hd of_kind).Subject.bound with
+          | Subject.Closure -> None
+          | Subject.Ops d -> Some d)
+          of_kind
+      in
+      Absint.decl ?depth ~kind ops)
+    kinds
+
 let entries () =
   [
     {
@@ -166,11 +308,13 @@ let entries () =
           set_consensus ~n:3 ~k:2;
           sse ~k:3 ~j:2 `Full;
         ];
+      protocols = objects_protocols ();
     };
     {
       family = "alg2";
       doc = "Alg2 (k-1 set consensus from one WRN_k): 1sWRN_3 under rotations";
       subjects = [ one_shot_wrn ~k:3 `Rotations ];
+      protocols = alg2_protocols ();
     };
     {
       family = "alg3";
@@ -180,6 +324,7 @@ let entries () =
       subjects =
         [ wrn ~k:2 `Trivial; snapshot ~name:"renaming-snapshot" ~n:2 `Rotations;
           register ~group:`Trivial () ];
+      protocols = alg3_protocols ();
     };
     {
       family = "alg4";
@@ -187,6 +332,7 @@ let entries () =
         "Alg4 (long-lived WRN from 1sWRN + guards): 1sWRN_2 and a guard \
          counter within a 4-op budget";
       subjects = [ one_shot_wrn ~k:2 `Trivial; counter ~ops:4 ];
+      protocols = alg4_protocols ();
     };
     {
       family = "alg5";
@@ -196,21 +342,25 @@ let entries () =
       subjects =
         [ sse ~k:3 ~j:2 `Rotations; doorway ~n:3;
           snapshot ~name:"announce-snapshot" ~n:3 `Rotations ];
+      protocols = alg5_protocols ();
     };
     {
       family = "alg6";
       doc = "Alg6 (group split): per-group WRN_2 and 1sWRN_2, identity group";
       subjects = [ wrn ~k:2 `Trivial; one_shot_wrn ~k:2 `Trivial ];
+      protocols = alg6_protocols ();
     };
     {
       family = "1swrn";
       doc = "the 1sWRN_3 harness: rotation group, proposals 100..102";
       subjects = [ one_shot_wrn ~k:3 `Rotations ];
+      protocols = one_shot_wrn_protocols ();
     };
     {
       family = "set-consensus";
       doc = "the (3,2)-set-consensus harness: full symmetric group";
       subjects = [ set_consensus ~n:3 ~k:2 ];
+      protocols = set_consensus_protocols ();
     };
   ]
 

@@ -21,8 +21,17 @@ type entry = {
   family : string;
   doc : string;  (** one line: what the family's certificate covers *)
   subjects : Subject.t list;
+  protocols : Absint.protocol list;
+      (** checkable protocol exemplars — one program per process at the
+          subjects' instance sizes — for the [analyze --lint] gate *)
 }
 
 val entries : unit -> entry list
 val families : unit -> string list
 val find : string -> entry option
+
+val declared_alphabets : Subject.t list -> Absint.decl list
+(** The per-kind environment declaration the abstract interpreter lints a
+    family's protocols against: union of the subjects' alphabets per object
+    kind, with op-budgeted subjects ({!Subject.Ops}) bounding the abstract
+    state-pool closure of unbounded objects. *)

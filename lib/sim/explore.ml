@@ -55,11 +55,41 @@ let pp_stats ppf s =
        Format.asprintf " (LIMITED: %a)" pp_limit_reason s.limit_reason
      else "")
 
-type reduction = { symmetry : Symmetry.t option; source_sets : bool }
+(* How the source-set reduction judges same-object commutation:
 
-let no_reduction = { symmetry = None; source_sets = false }
-let with_symmetry sym = { symmetry = Some sym; source_sets = false }
-let full_reduction sym = { symmetry = Some sym; source_sets = true }
+   - [Semantic] (default): the state-local diamond [op_independent],
+     memoized per exploration — exactly the historical behaviour.
+   - [Static]: consult the statically-derived per-kind commutation table
+     first ({!static_independent}); a pair the table decides skips the
+     diamond computation {e and} the memo entirely.  Pairs the table
+     classifies as state-dependent (or does not cover) fall back to the
+     semantic judgment, so verdicts and counts are identical to
+     [Semantic] whenever the installed tables are sound — which is what
+     the analyzer's footprint obligation certifies.
+   - [Both]: belt and braces — every statically-decided pair is {e also}
+     recomputed semantically and disagreements are counted
+     ([commute.static_mismatches]); the semantic answer wins.  The
+     cross-validation mode. *)
+type independence = Semantic | Static | Both
+
+let pp_independence ppf = function
+  | Semantic -> Format.fprintf ppf "semantic"
+  | Static -> Format.fprintf ppf "static"
+  | Both -> Format.fprintf ppf "both"
+
+type reduction = {
+  symmetry : Symmetry.t option;
+  source_sets : bool;
+  independence : independence;
+}
+
+let no_reduction = { symmetry = None; source_sets = false; independence = Semantic }
+let with_symmetry sym =
+  { symmetry = Some sym; source_sets = false; independence = Semantic }
+let full_reduction sym =
+  { symmetry = Some sym; source_sets = true; independence = Semantic }
+let source_only = { symmetry = None; source_sets = true; independence = Semantic }
+let with_independence independence r = { r with independence }
 
 (* Soundness certificates: an unforgeable-by-convention token recording
    that a tool mechanically discharged the trusted obligations behind a
@@ -81,15 +111,18 @@ module Certificate = struct
 end
 
 let certified_reduction ~certificate:(_ : Certificate.t) ?(source_sets = true)
-    symmetry =
-  { symmetry; source_sets }
+    ?(independence = Semantic) symmetry =
+  { symmetry; source_sets; independence }
 
 let pp_reduction ppf r =
-  Format.fprintf ppf "symmetry=%s source-sets=%b"
+  Format.fprintf ppf "symmetry=%s source-sets=%b%s"
     (match r.symmetry with
     | None -> "off"
     | Some s -> Printf.sprintf "|G|=%d" (Symmetry.group_order s))
     r.source_sets
+    (match r.independence with
+    | Semantic -> ""
+    | m -> Format.asprintf " independence=%a" pp_independence m)
 
 (* A transition identity, for source-set independence: a process step is
    identified by (process, object handle) — all nondeterministic outcomes
@@ -148,32 +181,209 @@ let op_independent (model : Obj_model.t) st0 a b =
     | ab, ba -> ab = ba
     | exception Exit -> false
 
+(* {2 Static commutation tables}
+
+   A statically-derived, whole-space classification of an op pair on one
+   object kind, minted by the analyzer's footprint pass
+   ([Subc_analysis.Footprint]) from the object's certified reachable
+   space and installed here for the source-set hot path to consume:
+
+   - [Always_commute]: [op_independent] is true at {e every} state of the
+     certified space — the pair is independent wherever the explorer can
+     meet it, with no diamond computation and no memo traffic;
+   - [Never_commute]: false at every state — dependent everywhere, again
+     with no per-state work;
+   - [State_dependent]: the judgment genuinely flips across the space
+     (a queue's enq/deq commute exactly while the queue is nonempty) —
+     the lookup abstains and the explorer falls back to the state-local
+     semantic diamond.
+
+   Tables are keyed by (kind, initial state): the repo-wide convention
+   that equal [kind] strings name behaviourally equal models (already
+   assumed by the commute memo) plus an initial-state match pins the
+   reachable space the classification was computed over.  The registry
+   is an atomic snapshot of immutable tables — installs publish a fresh
+   list via CAS, lookups are wait-free reads — so worker domains may
+   consult it while another thread installs. *)
+type static_class = Always_commute | Never_commute | State_dependent
+
+type static_table = {
+  st_kind : string;
+  st_init : Value.t;
+  st_alphabet : Op.t list;
+  st_pairs : (Op.t * Op.t, static_class) Hashtbl.t; (* frozen after publish *)
+}
+
+let static_registry : static_table list Atomic.t = Atomic.make []
+
+let canonical_pair a b = if Op.compare a b <= 0 then (a, b) else (b, a)
+
+(* Merge-with-demotion: if a table for the same (kind, init) already
+   classified a pair differently (two subjects with the same kind but
+   different alphabets enumerate different spaces), the pair is demoted
+   to [State_dependent] — the lookup then abstains and the semantic
+   judgment decides.  Soundness never rests on which install ran last. *)
+let install_static_independence ~kind ~init ~alphabet pairs =
+  let rec publish () =
+    let old = Atomic.get static_registry in
+    let prev =
+      List.find_opt (fun t -> t.st_kind = kind && t.st_init = init) old
+    in
+    let tbl = Hashtbl.create (max 16 (List.length pairs)) in
+    (match prev with
+    | None -> ()
+    | Some p -> Hashtbl.iter (Hashtbl.replace tbl) p.st_pairs);
+    List.iter
+      (fun ((a, b), cls) ->
+        let key = canonical_pair a b in
+        match Hashtbl.find_opt tbl key with
+        | Some prev_cls when prev_cls <> cls ->
+          Hashtbl.replace tbl key State_dependent
+        | _ -> Hashtbl.replace tbl key cls)
+      pairs;
+    let alphabet =
+      match prev with
+      | None -> alphabet
+      | Some p ->
+        p.st_alphabet
+        @ List.filter (fun o -> not (List.mem o p.st_alphabet)) alphabet
+    in
+    let entry = { st_kind = kind; st_init = init; st_alphabet = alphabet; st_pairs = tbl } in
+    let next =
+      entry
+      :: List.filter (fun t -> not (t.st_kind = kind && t.st_init = init)) old
+    in
+    if not (Atomic.compare_and_set static_registry old next) then publish ()
+  in
+  publish ()
+
+let clear_static_independence () = Atomic.set static_registry []
+
+let static_tables_installed () =
+  List.map
+    (fun t -> (t.st_kind, Hashtbl.length t.st_pairs))
+    (Atomic.get static_registry)
+
+let static_lookup ~kind ~init a b =
+  match
+    List.find_opt
+      (fun t -> t.st_kind = kind && t.st_init = init)
+      (Atomic.get static_registry)
+  with
+  | None -> None
+  | Some t -> (
+    match Hashtbl.find_opt t.st_pairs (canonical_pair a b) with
+    | Some Always_commute -> Some true
+    | Some Never_commute -> Some false
+    | Some State_dependent | None -> None)
+
+let static_independent ~kind ~init a b = static_lookup ~kind ~init a b
+
 (* The memo table for [op_independent] is per-exploration state (per
    worker domain in the parallel engine): no process-global hashtable, no
    unbounded growth across searches, no cross-domain data race.  It is
    also bounded: past [commute_cache_bound] entries new results are
    recomputed instead of cached — the cache is a pure memoization, so
-   dropping inserts only costs time, never soundness. *)
-let commute_cache_bound = 1 lsl 16
+   dropping inserts only costs time, never soundness.  Each dropped
+   insert is counted ([commute.memo_evictions] after the flush), so the
+   silent-recomputation regime is visible in the metrics instead of
+   indistinguishable from a healthy cache.  The bound is settable for
+   tests that want to exercise the overflow path cheaply. *)
+let default_commute_cache_bound = 1 lsl 16
+let commute_cache_bound = Atomic.make default_commute_cache_bound
+let set_commute_cache_bound n = Atomic.set commute_cache_bound (max 0 n)
+let get_commute_cache_bound () = Atomic.get commute_cache_bound
 
-type commute_cache = (string * Value.t * Op.t * Op.t, bool) Hashtbl.t
+type commute_cache = {
+  cc_tbl : (string * Value.t * Op.t * Op.t, bool) Hashtbl.t;
+  (* Local counters, flushed to the global metrics registry once per
+     search ([flush_commute_metrics]) — the hot path never touches an
+     atomic. *)
+  mutable cc_diamonds : int;
+  mutable cc_memo_hits : int;
+  mutable cc_memo_evictions : int;
+  mutable cc_static_hits : int;
+  mutable cc_static_fallbacks : int;
+  mutable cc_static_mismatches : int;
+}
 
-let commute_cache () : commute_cache = Hashtbl.create 256
+let commute_cache () : commute_cache =
+  {
+    cc_tbl = Hashtbl.create 256;
+    cc_diamonds = 0;
+    cc_memo_hits = 0;
+    cc_memo_evictions = 0;
+    cc_static_hits = 0;
+    cc_static_fallbacks = 0;
+    cc_static_mismatches = 0;
+  }
 
-let ops_commute (cache : commute_cache) store h a b =
-  let model = Store.model store h in
-  let st0 = Store.state store h in
+let m_diamonds = Obs.Metrics.counter "commute.diamonds"
+let m_memo_hits = Obs.Metrics.counter "commute.memo_hits"
+let m_memo_evictions = Obs.Metrics.counter "commute.memo_evictions"
+let m_static_hits = Obs.Metrics.counter "commute.static_hits"
+let m_static_fallbacks = Obs.Metrics.counter "commute.static_fallbacks"
+let m_static_mismatches = Obs.Metrics.counter "commute.static_mismatches"
+
+let flush_commute_metrics (c : commute_cache) =
+  Obs.Metrics.add m_diamonds c.cc_diamonds;
+  Obs.Metrics.add m_memo_hits c.cc_memo_hits;
+  Obs.Metrics.add m_memo_evictions c.cc_memo_evictions;
+  Obs.Metrics.add m_static_hits c.cc_static_hits;
+  Obs.Metrics.add m_static_fallbacks c.cc_static_fallbacks;
+  Obs.Metrics.add m_static_mismatches c.cc_static_mismatches;
+  c.cc_diamonds <- 0;
+  c.cc_memo_hits <- 0;
+  c.cc_memo_evictions <- 0;
+  c.cc_static_hits <- 0;
+  c.cc_static_fallbacks <- 0;
+  c.cc_static_mismatches <- 0
+
+let ops_commute_semantic (cache : commute_cache) model st0 a b =
   let key =
     if Op.compare a b <= 0 then (model.Obj_model.kind, st0, a, b)
     else (model.Obj_model.kind, st0, b, a)
   in
-  match Hashtbl.find_opt cache key with
-  | Some r -> r
+  match Hashtbl.find_opt cache.cc_tbl key with
+  | Some r ->
+    cache.cc_memo_hits <- cache.cc_memo_hits + 1;
+    r
   | None ->
     let r = op_independent model st0 a b in
-    if Hashtbl.length cache < commute_cache_bound then
-      Hashtbl.replace cache key r;
+    cache.cc_diamonds <- cache.cc_diamonds + 1;
+    if Hashtbl.length cache.cc_tbl < Atomic.get commute_cache_bound then
+      Hashtbl.replace cache.cc_tbl key r
+    else cache.cc_memo_evictions <- cache.cc_memo_evictions + 1;
     r
+
+let ops_commute independence (cache : commute_cache) store h a b =
+  let model = Store.model store h in
+  let st0 = Store.state store h in
+  match independence with
+  | Semantic -> ops_commute_semantic cache model st0 a b
+  | Static -> (
+    match
+      static_lookup ~kind:model.Obj_model.kind ~init:model.Obj_model.init a b
+    with
+    | Some r ->
+      cache.cc_static_hits <- cache.cc_static_hits + 1;
+      r
+    | None ->
+      cache.cc_static_fallbacks <- cache.cc_static_fallbacks + 1;
+      ops_commute_semantic cache model st0 a b)
+  | Both -> (
+    match
+      static_lookup ~kind:model.Obj_model.kind ~init:model.Obj_model.init a b
+    with
+    | Some r ->
+      cache.cc_static_hits <- cache.cc_static_hits + 1;
+      let sem = ops_commute_semantic cache model st0 a b in
+      if sem <> r then
+        cache.cc_static_mismatches <- cache.cc_static_mismatches + 1;
+      sem
+    | None ->
+      cache.cc_static_fallbacks <- cache.cc_static_fallbacks + 1;
+      ops_commute_semantic cache model st0 a b)
 
 let pending config i =
   match config.Config.procs.(i).Config.status with
@@ -186,7 +396,7 @@ let pending config i =
    both are enabled (Katz–Peled conditional independence: state-local
    diamonds compose along any run that keeps the sleeping transition
    asleep). *)
-let dependent_at cache config a b =
+let dependent_at independence cache config a b =
   match (a, b) with
   | Trecover _, _ | _, Trecover _ -> true
   | Tstep (p, hp), Tstep (q, hq) ->
@@ -194,7 +404,7 @@ let dependent_at cache config a b =
     || (hp = hq
        &&
        let h, op_p = pending config p and _, op_q = pending config q in
-       not (ops_commute cache config.Config.store h op_p op_q))
+       not (ops_commute independence cache config.Config.store h op_p op_q))
   | Tstep (p, _), Tcrash q | Tcrash q, Tstep (p, _) -> p = q
   | Tcrash p, Tcrash q -> p = q
 
@@ -541,7 +751,7 @@ let source_successors cache (reduction : reduction) ~pi ~max_crashes
           else begin
             let child =
               List.filter
-                (fun s -> not (dependent_at cache config s tr))
+                (fun s -> not (dependent_at reduction.independence cache config s tr))
                 (List.rev_append !taken sleep)
             in
             taken := tr :: !taken;
@@ -702,6 +912,7 @@ let run_search label st config =
   (try dfs st config [] 0 [] with Stop -> ());
   let s = stats_of st in
   let dt = Sys.time () -. t0 in
+  flush_commute_metrics st.commute;
   Obs.Metrics.incr m_searches;
   Obs.Metrics.add m_states s.states;
   Obs.Metrics.add m_transitions s.transitions;

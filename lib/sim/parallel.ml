@@ -610,6 +610,7 @@ let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
        process seed_ctx (Queue.pop queue)
      done
    with e -> set_stop g (Callback e));
+  Explore.flush_commute_metrics seed_ctx.commute;
   seed_stats.seconds <- Unix.gettimeofday () -. t0;
   let dstats = Array.init jobs (fun _ -> fresh_dstats ()) in
   if (not (Queue.is_empty queue)) && Atomic.get g.stop = None then begin
@@ -637,6 +638,7 @@ let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
                 }
               in
               worker ctx;
+              Explore.flush_commute_metrics ctx.commute;
               dstats.(i).seconds <- Unix.gettimeofday () -. w0))
     in
     Array.iter Domain.join domains

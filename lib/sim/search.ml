@@ -38,6 +38,10 @@ let with_max_recoveries n o = { o with max_recoveries = n }
 let with_deadline secs o = { o with deadline = Some secs }
 let with_expected_states n o = { o with expected_states = Some n }
 let with_reduction r o = { o with reduction = r }
+
+let with_independence i o =
+  { o with reduction = Explore.with_independence i o.reduction }
+
 let with_paranoid b o = { o with paranoid = b }
 let with_jobs n o = { o with jobs = max 1 n }
 let with_visited v o = { o with visited = Some v }
@@ -45,7 +49,13 @@ let with_visited v o = { o with visited = Some v }
 (* Bridge for the [@@deprecated] shims: each old optional argument
    overrides the corresponding field of [default]. *)
 let of_legacy ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
-    ?expected_states ?reduction ?paranoid ?jobs ?visited () =
+    ?expected_states ?reduction ?independence ?paranoid ?jobs ?visited () =
+  let reduction = Option.value reduction ~default:default.reduction in
+  let reduction =
+    match independence with
+    | None -> reduction
+    | Some i -> Explore.with_independence i reduction
+  in
   {
     max_states = Option.value max_states ~default:default.max_states;
     max_depth = Option.value max_depth ~default:default.max_depth;
@@ -54,7 +64,7 @@ let of_legacy ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
       Option.value max_recoveries ~default:default.max_recoveries;
     deadline;
     expected_states;
-    reduction = Option.value reduction ~default:default.reduction;
+    reduction;
     paranoid = Option.value paranoid ~default:default.paranoid;
     jobs = max 1 (Option.value jobs ~default:1);
     visited;

@@ -48,6 +48,13 @@ val with_max_recoveries : int -> options -> options
 val with_deadline : float -> options -> options
 val with_expected_states : int -> options -> options
 val with_reduction : Explore.reduction -> options -> options
+
+val with_independence : Explore.independence -> options -> options
+(** Sets the independence judge of the current [reduction] field:
+    [Semantic] computes diamonds, [Static] consults installed
+    {!Explore.static_independent} tables (falling back to the semantic
+    judge on uncovered pairs), [Both] cross-validates. *)
+
 val with_paranoid : bool -> options -> options
 
 val with_jobs : int -> options -> options
@@ -63,6 +70,7 @@ val of_legacy :
   ?deadline:float ->
   ?expected_states:int ->
   ?reduction:Explore.reduction ->
+  ?independence:Explore.independence ->
   ?paranoid:bool ->
   ?jobs:int ->
   ?visited:Parallel.visited ->

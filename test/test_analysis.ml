@@ -302,10 +302,309 @@ let certificate_tests =
             (List.exists (fun f -> Verdict.is_refuted f.Analyzer.verdict) fs));
   ]
 
+(* --- the abstract interpreter: footprints, bounds, and DSL lints --- *)
+
+module Absint = Subc_analysis.Absint
+module Footprint = Subc_analysis.Footprint
+
+let objects_entry () =
+  match Registry.find "objects" with
+  | Some e -> e
+  | None -> Alcotest.fail "no objects family"
+
+let objects_protocol name =
+  let e = objects_entry () in
+  let p =
+    List.find
+      (fun (p : Absint.protocol) -> p.Absint.p_name = name)
+      e.Registry.protocols
+  in
+  (p, Registry.declared_alphabets e.Registry.subjects)
+
+let absint_tests =
+  [
+    test "blessed busy-wait: clean lints, unbounded bound" (fun () ->
+        let p, declared = objects_protocol "objects.busy-wait" in
+        let r = Absint.analyze ~declared p in
+        Alcotest.(check int) "no lints" 0 (List.length r.Absint.r_lints);
+        Alcotest.(check bool) "unbounded" true
+          (r.Absint.r_bound = Absint.Unbounded);
+        Alcotest.(check bool) "not widened" false r.Absint.r_widened);
+    test "straight-line sweep: exact footprint and wait-free bound"
+      (fun () ->
+        let p, declared = objects_protocol "objects.rmw-sweep" in
+        let r = Absint.analyze ~declared p in
+        Alcotest.(check int) "no lints" 0 (List.length r.Absint.r_lints);
+        Alcotest.(check bool) "bounded by 4" true
+          (r.Absint.r_bound = Absint.Bounded 4);
+        Alcotest.(check int) "four (handle, op) pairs" 4
+          (List.length r.Absint.r_footprint);
+        let kinds =
+          List.sort_uniq compare
+            (List.map (fun (_, k, _) -> k) r.Absint.r_footprint)
+        in
+        Alcotest.(check (list string))
+          "kinds" [ "cas"; "register"; "test_and_set" ] kinds;
+        Alcotest.(check bool) "not widened" false r.Absint.r_widened);
+  ]
+
+(* Seeded protocol mutations: each DSL soundness bug must refute with a
+   concrete witness through the same entry point the CI gate uses. *)
+
+let register_decl =
+  Absint.decl ~kind:"register" [ op "read" []; op "write" [ tok 0 ] ]
+
+let expect_lint_refuted ~name protocol_of =
+  let p = protocol_of () in
+  let f =
+    Analyzer.lint_protocol ~family:"mutant" ~declared:[ register_decl ] p
+  in
+  (match f.Analyzer.verdict with
+  | Verdict.Refuted _ -> ()
+  | v -> Alcotest.failf "%s: expected refuted, got %a" name Verdict.pp_summary v);
+  let r = Absint.analyze ~declared:[ register_decl ] p in
+  r.Absint.r_lints
+
+(* The checkpoint hoisted above the loop's entry write: the same key now
+   names two different resumption points, so its head shapes disagree. *)
+let hoisted_checkpoint () =
+  let store, r = Store.alloc Store.empty O.Register.model_bot in
+  let open Program.Syntax in
+  let rec loop () =
+    let* () = Program.checkpoint (Value.Sym "spin") in
+    let* v = Program.invoke r (op "read" []) in
+    if Value.is_bot v then loop () else Program.return v
+  in
+  let hoisted =
+    let* () = Program.checkpoint (Value.Sym "spin") in
+    let* _ = Program.invoke r (op "write" [ tok 0 ]) in
+    loop ()
+  in
+  Absint.protocol ~name:"mutant.hoisted-checkpoint" ~store hoisted
+
+(* An op name the declared register alphabet does not contain. *)
+let undeclared_op () =
+  let store, r = Store.alloc Store.empty O.Register.model_bot in
+  let open Program.Syntax in
+  Absint.protocol ~name:"mutant.undeclared-op" ~store
+    (let* _ = Program.invoke r (op "sneak" []) in
+     Program.return Value.Unit)
+
+(* The protocol touches a CAS object the declaration never mentions: an
+   under-declared footprint. *)
+let underdeclared_footprint () =
+  let store, c = Store.alloc Store.empty O.Cas_obj.model_bot in
+  let open Program.Syntax in
+  Absint.protocol ~name:"mutant.underdeclared" ~store
+    (let* _ = Program.invoke c (op "cas" [ Value.Bot; tok 0 ]) in
+     Program.return Value.Unit)
+
+(* A continuation reading hidden mutable state: applying it twice to the
+   same response yields different resumption points. *)
+let nondet_continuation () =
+  let store, r = Store.alloc Store.empty O.Register.model_bot in
+  let flip = ref false in
+  Absint.protocol ~name:"mutant.nondet-continuation" ~store
+    (Program.Invoke
+       ( r,
+         op "read" [],
+         fun _ ->
+           flip := not !flip;
+           if !flip then Program.Return (tok 0) else Program.Return (tok 1) ))
+
+let mutation_tests =
+  [
+    test "hoisted checkpoint refutes with a checkpoint witness" (fun () ->
+        let lints =
+          expect_lint_refuted ~name:"hoisted" hoisted_checkpoint
+        in
+        Alcotest.(check bool) "checkpoint inconsistency on the spin key" true
+          (List.exists
+             (function
+               | Absint.Checkpoint_inconsistent { key } ->
+                 Value.equal key (Value.Sym "spin")
+               | _ -> false)
+             lints));
+    test "op outside the declared alphabet refutes" (fun () ->
+        let lints = expect_lint_refuted ~name:"sneak" undeclared_op in
+        Alcotest.(check bool) "op-outside-alphabet on sneak" true
+          (List.exists
+             (function
+               | Absint.Op_outside_alphabet { kind; op = o } ->
+                 kind = "register" && o.Op.name = "sneak"
+               | _ -> false)
+             lints));
+    test "under-declared footprint refutes with the missing kind" (fun () ->
+        let lints =
+          expect_lint_refuted ~name:"underdeclared" underdeclared_footprint
+        in
+        Alcotest.(check bool) "undeclared-handle on the cas object" true
+          (List.exists
+             (function
+               | Absint.Undeclared_handle { kind; _ } -> kind = "cas"
+               | _ -> false)
+             lints));
+    test "an impure continuation refutes as nondeterministic" (fun () ->
+        let lints =
+          expect_lint_refuted ~name:"nondet" nondet_continuation
+        in
+        Alcotest.(check bool) "nondet-continuation on read" true
+          (List.exists
+             (function
+               | Absint.Nondet_continuation { op = o; _ } ->
+                 o.Op.name = "read"
+               | _ -> false)
+             lints));
+  ]
+
+(* --- the lint gate itself: every registry protocol must come back
+   proved, exactly as the CI job demands --- *)
+
+let lint_gate_tests =
+  List.map
+    (fun entry ->
+      let family = entry.Registry.family in
+      test
+        (Printf.sprintf "lint gate: %s protocols are clean" family)
+        (fun () ->
+          let findings =
+            if family = "alg5" then
+              (* one exemplar: the three are rotations of one another and
+                 each costs seconds of exact branch exploration over the
+                 snapshot's view-vector responses *)
+              let declared =
+                Registry.declared_alphabets entry.Registry.subjects
+              in
+              [
+                Analyzer.lint_protocol ~family ~declared
+                  (List.hd entry.Registry.protocols);
+              ]
+            else Analyzer.lint ~family ()
+          in
+          Alcotest.(check bool) "has findings" true (findings <> []);
+          List.iter
+            (fun f ->
+              if not (Verdict.is_proved f.Analyzer.verdict) then
+                Alcotest.failf "%s: %a" (Analyzer.finding_name f)
+                  Verdict.pp_summary f.Analyzer.verdict)
+            findings))
+    (Registry.entries ())
+
+(* --- footprint classification and the static-table fast path --- *)
+
+let register_fp_subject () =
+  Subject.make ~name:"register-fp" ~model:O.Register.model_bot
+    ~alphabet:[ op "read" []; op "write" [ tok 0 ]; op "write" [ tok 1 ] ]
+    ~expected:Subject.Deterministic ()
+
+let class_of fp a b =
+  let norm (x, y) = if Op.compare x y <= 0 then (x, y) else (y, x) in
+  match
+    List.assoc_opt (norm (a, b))
+      (List.map (fun (p, c) -> (norm p, c)) fp.Footprint.fp_pairs)
+  with
+  | Some c -> c
+  | None -> Alcotest.failf "pair (%s, %s) not classified" a.Op.name b.Op.name
+
+let static_class =
+  Alcotest.testable
+    (fun ppf -> function
+      | Explore.Always_commute -> Format.pp_print_string ppf "always"
+      | Explore.Never_commute -> Format.pp_print_string ppf "never"
+      | Explore.State_dependent -> Format.pp_print_string ppf "state-dependent")
+    ( = )
+
+let footprint_tests =
+  [
+    test "register pairs classify into all three classes" (fun () ->
+        match Footprint.of_subject (register_fp_subject ()) with
+        | Error flaw -> Alcotest.failf "reach: %a" Reach.pp_flaw flaw
+        | Ok (fp, _space) ->
+          Alcotest.check static_class "reads always commute"
+            Explore.Always_commute
+            (class_of fp (op "read" []) (op "read" []));
+          Alcotest.check static_class "distinct writes never commute"
+            Explore.Never_commute
+            (class_of fp (op "write" [ tok 0 ]) (op "write" [ tok 1 ]));
+          Alcotest.check static_class "read vs write depends on the state"
+            Explore.State_dependent
+            (class_of fp (op "read" []) (op "write" [ tok 0 ])));
+    test "installed table drives the fast-path lookup" (fun () ->
+        (match Footprint.of_subject (register_fp_subject ()) with
+        | Error flaw -> Alcotest.failf "reach: %a" Reach.pp_flaw flaw
+        | Ok (fp, _) -> Footprint.install fp);
+        let look a b =
+          Explore.static_independent ~kind:"register" ~init:Value.Bot a b
+        in
+        Alcotest.(check (option bool))
+          "reads decided commuting" (Some true)
+          (look (op "read" []) (op "read" []));
+        Alcotest.(check (option bool))
+          "writes decided racing" (Some false)
+          (look (op "write" [ tok 0 ]) (op "write" [ tok 1 ]));
+        Alcotest.(check (option bool))
+          "state-dependent pair abstains" None
+          (look (op "read" []) (op "write" [ tok 0 ])));
+    test "table lookups are order-insensitive and init-keyed" (fun () ->
+        let kind = "test-fake-kind" and init = Value.Bot in
+        let a = op "a" [] and b = op "b" [] and c = op "c" [] in
+        Explore.install_static_independence ~kind ~init ~alphabet:[ a; b; c ]
+          [
+            ((a, b), Explore.Always_commute);
+            ((a, c), Explore.Never_commute);
+          ];
+        let look = Explore.static_independent ~kind ~init in
+        Alcotest.(check (option bool)) "a,b" (Some true) (look a b);
+        Alcotest.(check (option bool)) "b,a (swapped)" (Some true) (look b a);
+        Alcotest.(check (option bool)) "a,c" (Some false) (look a c);
+        Alcotest.(check (option bool)) "uncovered pair" None (look b c);
+        Alcotest.(check (option bool))
+          "other init has no table" None
+          (Explore.static_independent ~kind ~init:(tok 0) a b);
+        Alcotest.(check (option bool))
+          "other kind has no table" None
+          (Explore.static_independent ~kind:"test-other-kind" ~init a b));
+    test "conflicting re-install demotes, agreeing re-install keeps"
+      (fun () ->
+        let kind = "test-demotion-kind" and init = Value.Bot in
+        let a = op "a" [] and b = op "b" [] and c = op "c" [] in
+        let look = Explore.static_independent ~kind ~init in
+        Explore.install_static_independence ~kind ~init ~alphabet:[ a; b; c ]
+          [
+            ((a, b), Explore.Always_commute);
+            ((a, c), Explore.Never_commute);
+          ];
+        Explore.install_static_independence ~kind ~init ~alphabet:[ a; b ]
+          [ ((a, b), Explore.Never_commute) ];
+        Alcotest.(check (option bool))
+          "conflicting classes abstain" None (look a b);
+        Explore.install_static_independence ~kind ~init ~alphabet:[ a; c ]
+          [ ((a, c), Explore.Never_commute) ];
+        Alcotest.(check (option bool))
+          "agreeing classes survive" (Some false) (look a c));
+    test "certificates attest the static-independence obligation" (fun () ->
+        let entry =
+          match Registry.find "alg2" with
+          | Some e -> e
+          | None -> Alcotest.fail "no alg2 family"
+        in
+        match Analyzer.certify ~family:"alg2" entry.Registry.subjects with
+        | Error fs ->
+          Alcotest.failf "certify failed with %d findings" (List.length fs)
+        | Ok cert ->
+          Alcotest.(check bool) "static-independence discharged" true
+            (List.mem "static-independence"
+               (Explore.Certificate.obligations cert)));
+  ]
+
 let suite =
   [
     ("analysis.registry", registry_tests);
     ("analysis.negative", negative_tests);
     ("analysis.mechanics", mechanics_tests);
     ("analysis.certificates", certificate_tests);
+    ("analysis.absint", absint_tests);
+    ("analysis.mutations", mutation_tests);
+    ("analysis.lint-gate", lint_gate_tests);
+    ("analysis.footprint", footprint_tests);
   ]

@@ -147,7 +147,7 @@ let stats_matrix () =
               same_counts label seq par)
             [
               ("none", None);
-              ("source", Some { Explore.symmetry = None; source_sets = true });
+              ("source", Some Explore.source_only);
               ("sym", Some (Explore.with_symmetry sym));
               ("full", Some (Explore.full_reduction sym));
             ])
@@ -306,7 +306,7 @@ let source_sets_cross_validation () =
                   (label ^ " prunes transitions") true
                   (seq.Explore.transitions < bare.Explore.transitions))
             [
-              ("source", { Explore.symmetry = None; source_sets = true });
+              ("source", Explore.source_only);
               ("full", Explore.full_reduction sym);
             ])
         budgets)
@@ -337,7 +337,7 @@ let source_sets_steal_stress () =
             seq par)
         [ 1; 2; 64 ])
     [
-      ("source", { Explore.symmetry = None; source_sets = true });
+      ("source", Explore.source_only);
       ("full", Explore.full_reduction sym);
     ]
 
@@ -372,7 +372,7 @@ let task_check_agrees () =
           same_counts name (explore_stats_exn seq) (explore_stats_exn par))
         [
           ("none", None);
-          ("source", Some { Explore.symmetry = None; source_sets = true });
+          ("source", Some Explore.source_only);
           ("sym", Some (Explore.with_symmetry sym));
           ("full", Some (Explore.full_reduction sym));
         ])
@@ -423,7 +423,7 @@ let lin_agrees () =
             (histories seq) (histories par))
         [
           ("none", None);
-          ("source", Some { Explore.symmetry = None; source_sets = true });
+          ("source", Some Explore.source_only);
           ("sym", Some (Explore.with_symmetry sym));
           ("full", Some (Explore.full_reduction sym));
         ])

@@ -82,7 +82,7 @@ let alg2_agrees () =
                ~options:(options ~max_crashes:f ~reduction ())
                store ~programs ~inputs:(inputs k) ~task))
         [
-          ("source", { Explore.symmetry = None; source_sets = true });
+          ("source", Explore.source_only);
           ("sym", Explore.with_symmetry sym);
           ("full", Explore.full_reduction sym);
         ])
@@ -113,7 +113,7 @@ let alg3_agrees () =
            ~options:(options ~reduction ())
            store ~programs ~inputs ~task))
     [
-      ("source", { Explore.symmetry = None; source_sets = true });
+      ("source", Explore.source_only);
       ("erase", Explore.with_symmetry (Symmetry.erasure_only ~n:k));
     ]
 
@@ -156,7 +156,7 @@ let alg6_agrees () =
            ~options:(options ~reduction ())
            store ~programs ~inputs:(inputs n) ~task))
     [
-      ("source", { Explore.symmetry = None; source_sets = true });
+      ("source", Explore.source_only);
       ("erase", Explore.with_symmetry (Symmetry.erasure_only ~n));
     ]
 
@@ -268,7 +268,7 @@ let source_preserves_terminals () =
       in
       let base, bstats = collect None in
       let reduced, sstats =
-        collect (Some { Explore.symmetry = None; source_sets = true })
+        collect (Some Explore.source_only)
       in
       Alcotest.(check bool)
         (name ^ " complete") true
@@ -345,6 +345,109 @@ let orbit_members_share_key () =
     Alcotest.check value "rot2 same canonical key" a c
   | _ -> assert false
 
+(* ---------------------------------------------------------------- *)
+(* The commute memo's overflow path: with the bound collapsed to zero
+   every insert is dropped and counted, and the search results do not
+   depend on the cache at all.                                       *)
+
+let memo_eviction_counts () =
+  let store, programs, _ = alg2_harness 3 in
+  let run () =
+    let acc = ref [] in
+    let stats =
+      Explore.iter_terminals ~reduction:Explore.source_only
+        (Config.make store programs)
+        ~f:(fun final _ -> acc := Config.decisions final :: !acc)
+    in
+    (List.sort compare !acc, stats.Explore.states, stats.Explore.transitions)
+  in
+  let metric name =
+    match Subc_obs.Metrics.find name with Some v -> v | None -> 0.
+  in
+  Subc_obs.Metrics.reset ();
+  let base = run () in
+  Alcotest.(check (float 0.0))
+    "no evictions at the default bound" 0.
+    (metric "commute.memo_evictions");
+  let old = Explore.get_commute_cache_bound () in
+  Explore.set_commute_cache_bound 0;
+  let starved =
+    Fun.protect
+      ~finally:(fun () -> Explore.set_commute_cache_bound old)
+      (fun () ->
+        Subc_obs.Metrics.reset ();
+        run ())
+  in
+  Alcotest.(check bool) "dropped inserts are counted" true
+    (metric "commute.memo_evictions" > 0.);
+  Alcotest.(check bool) "memo starvation changes nothing" true (base = starved)
+
+(* ---------------------------------------------------------------- *)
+(* Static-vs-semantic cross-validation: with the analyzer's footprint
+   tables installed, the Static fast path and the Both cross-check
+   must reproduce the semantic search node-for-node — same states,
+   transitions, terminals, hung and crashed counts — per family, per
+   fault budget, sequentially and under work stealing; and Both must
+   observe zero static/semantic disagreements.                       *)
+
+let static_matches_semantic () =
+  let installed = Subc_analysis.Analyzer.install_static () in
+  Alcotest.(check bool) "tables installed" true (installed <> []);
+  let counts (s : Explore.stats) =
+    ( s.Explore.states,
+      s.Explore.transitions,
+      s.Explore.terminals,
+      s.Explore.hung_terminals,
+      s.Explore.crashed_terminals )
+  in
+  let metric name =
+    match Subc_obs.Metrics.find name with Some v -> v | None -> 0.
+  in
+  List.iter
+    (fun (name, store, programs, sym) ->
+      List.iter
+        (fun (f, r) ->
+          List.iter
+            (fun jobs ->
+              let run independence =
+                let options =
+                  Search.of_legacy ~max_crashes:f ~max_recoveries:r ~jobs
+                    ~reduction:(Explore.full_reduction sym) ~independence ()
+                in
+                Search.iter_terminals ~options
+                  (Config.make store programs)
+                  ~f:(fun _ _ -> ())
+              in
+              let cell mode =
+                Printf.sprintf "%s f=%d r=%d jobs=%d %s" name f r jobs mode
+              in
+              let semantic = counts (run Explore.Semantic) in
+              Alcotest.(check bool)
+                (cell "static")
+                true
+                (counts (run Explore.Static) = semantic);
+              Subc_obs.Metrics.reset ();
+              Alcotest.(check bool)
+                (cell "both")
+                true
+                (counts (run Explore.Both) = semantic);
+              Alcotest.(check (float 0.0))
+                (cell "zero mismatches")
+                0.
+                (metric "commute.static_mismatches");
+              Alcotest.(check bool)
+                (cell "fast path exercised")
+                true
+                (metric "commute.static_hits" > 0.))
+            [ 1; 4 ])
+        [ (0, 0); (1, 0); (1, 1) ])
+    [
+      (let store, programs, sym = alg2_harness 3 in
+       ("alg2", store, programs, sym));
+      (let store, programs, sym = wrn_harness 3 in
+       ("1swrn", store, programs, sym));
+    ]
+
 let suite =
   [
     ( "reduction",
@@ -363,5 +466,9 @@ let suite =
         test "canonical key: minimal, achieved, translation-invariant"
           canonicalization_sound;
         test "orbit members share a canonical key" orbit_members_share_key;
+        test "commute memo overflow is counted and harmless"
+          memo_eviction_counts;
+        test "static independence reproduces the semantic search exactly"
+          static_matches_semantic;
       ] );
   ]
