@@ -1386,6 +1386,145 @@ let e20 () =
         "memo hits"; "static hits"; "mismatches"; "speed"; "verdict" ]
     rows
 
+
+(* E21: incremental fingerprinting + delta-encoded frontier.  Same
+   family set as E20; each cell explores under both fingerprint modes
+   and both engines.  The claim is exactness: identical states,
+   transitions and terminals between [--fp incremental] and [--fp full]
+   per family x reduction x jobs, with the incremental lanes doing O(1)
+   patches (fp.patches ~ transitions, fp.refolds ~ 1 per search) and a
+   frontier-proportional memory gauge. *)
+let e21 () =
+  let alg2_harness () =
+    let store, t = Alg2.alloc Store.empty ~k:3 ~one_shot:true in
+    ( store,
+      List.init 3 (fun i -> Alg2.propose t ~i (Value.Int (100 + i))),
+      Alg2.symmetry t ~input_base:100 () )
+  in
+  let alg5_harness () =
+    let store, t = Alg5.alloc Store.empty ~k:3 () in
+    ( store,
+      List.init 3 (fun i -> Alg5.wrn t ~i (Value.Int (100 + i))),
+      Alg5.symmetry t ~input_base:100 () )
+  in
+  let wrn_harness () =
+    let store, h =
+      Store.alloc Store.empty (Subc_objects.One_shot_wrn.model ~k:3)
+    in
+    ( store,
+      List.init 3 (fun i ->
+          Subc_objects.One_shot_wrn.wrn h i (Value.Int (100 + i))),
+      Symmetry.standard ~n:3 ~input_base:100 `Rotations )
+  in
+  let metric name =
+    match Subc_obs.Metrics.find name with Some v -> v | None -> 0.
+  in
+  let counter_names = [ "fp.patches"; "fp.refolds" ] in
+  let run harness reduction fp jobs =
+    let store, programs, sym = harness () in
+    let reduction =
+      match reduction with
+      | `None -> Explore.no_reduction
+      | `Full -> Explore.full_reduction sym
+    in
+    let options = Search.of_legacy ~max_crashes:1 ~reduction ~fp ~jobs () in
+    let before = List.map metric counter_names in
+    let t0 = Unix.gettimeofday () in
+    let stats =
+      Search.iter_terminals ~options
+        (Config.make store programs)
+        ~f:(fun _ _ -> ())
+    in
+    let secs = Unix.gettimeofday () -. t0 in
+    let deltas = List.map2 ( -. ) (List.map metric counter_names) before in
+    (stats, secs, deltas)
+  in
+  let counts (s : Explore.stats) =
+    ( s.Explore.states,
+      s.Explore.transitions,
+      s.Explore.terminals,
+      s.Explore.hung_terminals,
+      s.Explore.crashed_terminals )
+  in
+  let rows =
+    List.concat_map
+      (fun (family, harness) ->
+        List.concat_map
+          (fun (rname, reduction) ->
+            List.map
+              (fun jobs ->
+                let inc_stats, inc_secs, inc_deltas =
+                  run harness reduction Explore.Incremental jobs
+                in
+                let full_stats, full_secs, _ =
+                  run harness reduction Explore.Full jobs
+                in
+                let patches = List.nth inc_deltas 0
+                and refolds = List.nth inc_deltas 1 in
+                let inc_rate =
+                  float_of_int inc_stats.Explore.states /. max 1e-9 inc_secs
+                and full_rate =
+                  float_of_int full_stats.Explore.states /. max 1e-9 full_secs
+                in
+                List.iter
+                  (fun (k, v) ->
+                    Subc_obs.Metrics.set_gauge
+                      (Printf.sprintf "e21.%s.%s.jobs%d.%s" family rname jobs
+                         k)
+                      v)
+                  [
+                    ("states", float_of_int inc_stats.Explore.states);
+                    ("fp_patches", patches); ("fp_refolds", refolds);
+                    ( "frontier_bytes",
+                      float_of_int inc_stats.Explore.frontier_bytes );
+                    ("inc_states_per_sec", inc_rate);
+                    ("full_states_per_sec", full_rate);
+                  ];
+                let ok =
+                  counts inc_stats = counts full_stats
+                  && inc_stats.Explore.frontier_bytes > 0
+                  &&
+                  (* On the unreduced lanes the carried hash is live:
+                     one patch per transition, re-folds only at roots
+                     (jobs > 1 re-folds once per seeded root). *)
+                  match rname with
+                  | "none" ->
+                    patches = float_of_int inc_stats.Explore.transitions
+                    && refolds >= 1.
+                    && refolds <= float_of_int (max 1 (8 * jobs))
+                  | _ -> true
+                in
+                [
+                  family; rname; string_of_int jobs;
+                  string_of_int inc_stats.Explore.states;
+                  string_of_int inc_stats.Explore.transitions;
+                  Printf.sprintf "%.0f" patches;
+                  Printf.sprintf "%.0f" refolds;
+                  string_of_int inc_stats.Explore.frontier_bytes;
+                  Printf.sprintf "%.0fk/s" (inc_rate /. 1e3);
+                  Printf.sprintf "%.0fk/s" (full_rate /. 1e3);
+                  check
+                    (Printf.sprintf "E21 %s %s jobs=%d" family rname jobs)
+                    ok;
+                ])
+              [ 1; 4 ])
+          [ ("none", `None); ("full", `Full) ])
+      [
+        ("alg2 k=3", alg2_harness);
+        ("alg5 k=3", alg5_harness);
+        ("1swrn k=3", wrn_harness);
+      ]
+  in
+  table
+    ~title:
+      "E21. Incremental fingerprints + delta frontiers: f=1 — identical \
+       spaces under --fp incremental and --fp full at jobs 1 and 4; O(1) \
+       patches replace per-state re-folds; frontier-proportional memory"
+    ~header:
+      [ "family"; "reduction"; "jobs"; "states"; "transitions"; "patches";
+        "refolds"; "frontier B"; "inc speed"; "full speed"; "verdict" ]
+    rows
+
 (* ------------------------------------------------------------ scaling *)
 
 let scaling () =
@@ -1455,6 +1594,7 @@ let run_all () =
   e18 ();
   e19 ();
   e20 ();
+  e21 ();
   scaling ();
   Format.printf "@.=== experiments complete: %s ===@."
     (if !failures = 0 then "ALL PASS"
@@ -1473,3 +1613,4 @@ let run_e17 () = run_one e17
 let run_e18 () = run_one e18
 let run_e19 () = run_one e19
 let run_e20 () = run_one e20
+let run_e21 () = run_one e21

@@ -36,6 +36,7 @@ let () =
     | "e18" -> Experiments.run_e18 ()
     | "e19" -> Experiments.run_e19 ()
     | "e20" -> Experiments.run_e20 ()
+    | "e21" -> Experiments.run_e21 ()
     | "perf" ->
       (* [--jobs N] caps the sweep at N domains (the default sweeps
          1/2/4/8 regardless of the host's core count). *)

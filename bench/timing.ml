@@ -205,11 +205,45 @@ let perf_fingerprint () =
     1e9 *. time_per_op ~repeat Fingerprint.of_config configs
   in
   let legacy_ns = 1e9 *. time_per_op ~repeat legacy_fingerprint configs in
+  (* The explore hot path: producing the child's fingerprint from the
+     parent's.  Incremental = patch the slots the transition rewrote
+     (O(1)); full = re-fold the whole child ([hom_of_config], what the
+     incremental path replaces). *)
+  let transitions =
+    List.concat_map
+      (fun parent ->
+        let f = Fingerprint.hom_of_config parent in
+        List.concat_map
+          (fun i ->
+            List.map
+              (fun (child, _e, slots) -> (parent, f, slots, child))
+              (Step.step_slots parent i))
+          (Config.running parent))
+      configs
+  in
+  let patch_ns =
+    1e9
+    *. time_per_op ~repeat
+         (fun (parent, f, slots, child) ->
+           Explore.patched_fingerprint parent f slots child)
+         transitions
+  in
+  let hom_refold_ns =
+    1e9
+    *. time_per_op ~repeat
+         (fun (_, _, _, child) -> Fingerprint.hom_of_config child)
+         transitions
+  in
   Format.printf
     "p1: fingerprint (%d configs): structural %.0f ns, marshal+md5 %.0f ns \
      (%.1fx)@."
     (List.length configs) structural_ns legacy_ns
     (legacy_ns /. structural_ns);
+  Format.printf
+    "p1: incremental (%d transitions): patch %.0f ns, hom re-fold %.0f ns \
+     (%.1fx)@."
+    (List.length transitions) patch_ns hom_refold_ns
+    (hom_refold_ns /. patch_ns);
   {
     name = "p1.fingerprint";
     fields =
@@ -218,6 +252,10 @@ let perf_fingerprint () =
         ("structural_ns", structural_ns);
         ("legacy_marshal_md5_ns", legacy_ns);
         ("speedup", legacy_ns /. structural_ns);
+        ("transitions", float_of_int (List.length transitions));
+        ("incremental_patch_ns", patch_ns);
+        ("hom_refold_ns", hom_refold_ns);
+        ("incremental_speedup", hom_refold_ns /. patch_ns);
       ];
   }
 
@@ -371,6 +409,11 @@ let perf_parallel ~jobs_list () =
    asserted identical at every domain count. *)
 let perf_canonical ~jobs_list () =
   let k = 5 in
+  (* |S_5| = 120 sits BELOW the chunking threshold (512): every [jobs]
+     now takes the sequential fold, so jobs=2 must cost the same as
+     jobs=1 — that is the small-orbit regression fix this row guards
+     (the old threshold of 64 made jobs=2 pay a 27x domain-spawn
+     penalty per call here). *)
   let store, t = Subc_core.Alg2.alloc Store.empty ~k ~one_shot:true in
   let programs =
     List.init k (fun i -> Subc_core.Alg2.propose t ~i (Value.Int (100 + i)))
@@ -403,6 +446,30 @@ let perf_canonical ~jobs_list () =
           ];
       })
     jobs_list
+  |> fun rows ->
+  (* Guard row: jobs=2 / jobs=1 cost ratio at this small orbit.  Must
+     stay ~1.0 (CI asserts <= 1.2) now that small groups bypass the
+     domain fan-out entirely. *)
+  let us j =
+    List.find_map
+      (fun r ->
+        if r.name = Printf.sprintf "p3.canonical_key.jobs%d" j then
+          List.assoc_opt "us_per_call" r.fields
+        else None)
+      rows
+  in
+  match (us 1, us 2) with
+  | Some u1, Some u2 when u1 > 0.0 ->
+    Format.printf "p3: small-orbit jobs2/jobs1 ratio %.2fx@." (u2 /. u1);
+    rows
+    @ [
+        {
+          name = "p3.canonical_key.small_orbit_ratio";
+          fields =
+            [ ("perms", 120.0); ("jobs2_vs_jobs1", u2 /. u1) ];
+        };
+      ]
+  | _ -> rows
 
 (* P4 / E19 artifact rows: source-set reduction strength under work
    stealing — Algorithm 5 k=3 f=1 explored unreduced, with symmetry only,
@@ -577,6 +644,106 @@ let perf_independence () =
         ])
     families
 
+(* E21 artifact rows: incremental fingerprinting + delta frontiers on
+   the end-to-end explore path — per family x reduction x fp mode x
+   domain count.  Counts must be identical between [--fp incremental]
+   and [--fp full] everywhere (the homomorphic hash and the fold are
+   both injective w.h.p., and a run keys consistently by one of them);
+   states/sec, fp.patches / fp.refolds deltas and the frontier_bytes
+   gauge are the measurement.  On the unreduced lanes the patch path
+   must pay >= 3x fewer re-folds per state (fp.refolds stays at the
+   roots while every visited state costs one patch). *)
+let perf_e21 ~jobs_list () =
+  let families =
+    [
+      ( "alg5.k3",
+        (fun () ->
+          let store, t = Subc_core.Alg5.alloc Store.empty ~k:3 () in
+          let programs =
+            List.init 3 (fun i -> Subc_core.Alg5.wrn t ~i (Value.Int (100 + i)))
+          in
+          (Config.make store programs, Subc_core.Alg5.symmetry t ~input_base:100 ())) );
+      ( "alg2.k3",
+        (fun () ->
+          let store, t = Subc_core.Alg2.alloc Store.empty ~k:3 ~one_shot:true in
+          let programs =
+            List.init 3 (fun i ->
+                Subc_core.Alg2.propose t ~i (Value.Int (100 + i)))
+          in
+          (Config.make store programs, Subc_core.Alg2.symmetry t ~input_base:100 ())) );
+    ]
+  in
+  List.concat_map
+    (fun (fam, make) ->
+      let config, sym = make () in
+      List.concat_map
+        (fun (rname, reduction) ->
+          List.concat_map
+            (fun jobs ->
+              let run fp =
+                let t0 = Unix.gettimeofday () in
+                let (stats : Explore.stats), deltas =
+                  counter_delta [ "fp.patches"; "fp.refolds" ] (fun () ->
+                      Search.iter_terminals
+                        ~options:
+                          (Search.of_legacy ~max_crashes:1 ~reduction ~fp
+                             ~jobs ())
+                        config
+                        ~f:(fun _ _ -> ()))
+                in
+                (stats, Unix.gettimeofday () -. t0, deltas)
+              in
+              let inc, inc_secs, inc_deltas = run Explore.Incremental in
+              let full, full_secs, _ = run Explore.Full in
+              if
+                inc.Explore.states <> full.Explore.states
+                || inc.Explore.transitions <> full.Explore.transitions
+                || inc.Explore.terminals <> full.Explore.terminals
+              then
+                Format.printf
+                  "!! e21 %s/%s jobs=%d MODE DISAGREEMENT: inc %d/%d/%d vs \
+                   full %d/%d/%d@."
+                  fam rname jobs inc.Explore.states inc.Explore.transitions
+                  inc.Explore.terminals full.Explore.states
+                  full.Explore.transitions full.Explore.terminals;
+              Format.printf
+                "e21: %s %s jobs=%d: %d states; inc %.0f st/s (patches \
+                 %.0f, refolds %.0f, frontier %dB), full %.0f st/s \
+                 (%.2fx)@."
+                fam rname jobs inc.Explore.states
+                (float_of_int inc.Explore.states /. inc_secs)
+                (List.nth inc_deltas 0) (List.nth inc_deltas 1)
+                inc.Explore.frontier_bytes
+                (float_of_int full.Explore.states /. full_secs)
+                (full_secs /. inc_secs);
+              List.map2
+                (fun fp (stats, secs, deltas) ->
+                  {
+                    name =
+                      Printf.sprintf "e21.%s.%s.%s.jobs%d" fam rname fp jobs;
+                    fields =
+                      [
+                        ("jobs", float_of_int jobs);
+                        ("states", float_of_int stats.Explore.states);
+                        ("transitions", float_of_int stats.Explore.transitions);
+                        ("terminals", float_of_int stats.Explore.terminals);
+                        ("seconds", secs);
+                        ( "states_per_sec",
+                          if secs > 0.0 then
+                            float_of_int stats.Explore.states /. secs
+                          else 0.0 );
+                        ("fp_patches", List.nth deltas 0);
+                        ("fp_refolds", List.nth deltas 1);
+                        ( "frontier_bytes",
+                          float_of_int stats.Explore.frontier_bytes );
+                      ];
+                  })
+                [ "incremental"; "full" ]
+                [ (inc, inc_secs, inc_deltas); (full, full_secs, [ 0.0; 0.0 ]) ])
+            jobs_list)
+        [ ("none", Explore.no_reduction); ("full", Explore.full_reduction sym) ])
+    families
+
 let run_perf ?(jobs_list = [ 1; 2; 4; 8 ]) () =
   Format.printf "@.=== Performance sweep (%s) ===@." results_file;
   let fingerprint = perf_fingerprint () in
@@ -588,5 +755,8 @@ let run_perf ?(jobs_list = [ 1; 2; 4; 8 ]) () =
     perf_reduction ~jobs_list:(List.filter (fun j -> j <= 4) jobs_list) ()
   in
   let independence = perf_independence () in
+  let e21 =
+    perf_e21 ~jobs_list:(List.filter (fun j -> j <= 4) jobs_list) ()
+  in
   write_results
-    ((fingerprint :: parallel) @ canonical @ reduction @ independence)
+    ((fingerprint :: parallel) @ canonical @ reduction @ independence @ e21)

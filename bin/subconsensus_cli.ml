@@ -355,6 +355,17 @@ let visited_arg =
            $(b,sharded) (the mutex-sharded baseline).  Verdicts and state \
            counts are identical across all three.")
 
+let fp_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("incremental", Explore.Incremental); ("full", Explore.Full) ])
+        Explore.Incremental
+    & info [ "fp" ] ~docv:"MODE"
+        ~doc:
+          "Fingerprint mode: $(b,incremental) (default; each step patches            the parent's homomorphic hash in O(1) and the frontier is            delta-encoded) or $(b,full) (re-fold every configuration — the            escape hatch / baseline).  States, transitions, terminals and            verdicts are identical across the two; symmetry-reduced and            $(b,--paranoid) runs key on exact canonical forms either way.")
+
 let certified_arg =
   Arg.(
     value & flag
@@ -370,10 +381,11 @@ let certified_arg =
 (* check: one verdict per invocation, under the shared contract.       *)
 
 let check_cmd =
-  let run alg n k f r deadline expected_states max_states jobs visited choice
-      independence certified json metrics =
+  let run alg n k f r deadline expected_states max_states jobs visited fp
+      choice independence certified json metrics =
     setup_obs ~json ~metrics;
     Parallel.set_default_visited visited;
+    Explore.set_default_fp fp;
     let inst = instance_of alg ~n ~k ~crashes:(max f r) in
     let reduction =
       resolve_independence independence
@@ -401,8 +413,8 @@ let check_cmd =
     Term.(
       const run $ alg_arg $ n_arg $ k_arg $ crashes_arg $ recoveries_arg
       $ deadline_arg $ expected_states_arg $ max_states_arg $ jobs_arg
-      $ visited_arg $ reduction_arg $ independence_arg $ certified_arg
-      $ json_arg $ metrics_arg)
+      $ visited_arg $ fp_arg $ reduction_arg $ independence_arg
+      $ certified_arg $ json_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explore: raw state-space statistics, with or without reductions.    *)
@@ -417,6 +429,7 @@ let stats_fields reduction (stats : Explore.stats) =
     ("dedup_hits", Obs.Sink.Int stats.Explore.dedup_hits);
     ("source_skips", Obs.Sink.Int stats.Explore.source_skips);
     ("max_depth", Obs.Sink.Int stats.Explore.max_depth);
+    ("frontier_bytes", Obs.Sink.Int stats.Explore.frontier_bytes);
     ("collision_bound", Obs.Sink.Float stats.Explore.collision_bound);
     ("limited", Obs.Sink.Bool stats.Explore.limited);
     ("limit_reason",
@@ -425,10 +438,11 @@ let stats_fields reduction (stats : Explore.stats) =
   ]
 
 let explore_cmd =
-  let run alg n k f r deadline expected_states max_states jobs visited choice
-      independence certified json metrics =
+  let run alg n k f r deadline expected_states max_states jobs visited fp
+      choice independence certified json metrics =
     setup_obs ~json ~metrics;
     Parallel.set_default_visited visited;
+    Explore.set_default_fp fp;
     let inst = instance_of alg ~n ~k ~crashes:(max f r) in
     let store, programs = instance_store_programs inst in
     let reduction =
@@ -481,8 +495,8 @@ let explore_cmd =
     Term.(
       const run $ alg_arg $ n_arg $ k_arg $ crashes_arg $ recoveries_arg
       $ deadline_arg $ expected_states_arg $ max_states_arg $ jobs_arg
-      $ visited_arg $ reduction_arg $ independence_arg $ certified_arg
-      $ json_arg $ metrics_arg)
+      $ visited_arg $ fp_arg $ reduction_arg $ independence_arg
+      $ certified_arg $ json_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Per-algorithm commands (sampled runs keep their own reporting; the
@@ -801,9 +815,10 @@ let analyze_cmd =
    crash-sweep at any --jobs.                                          *)
 
 let run_fault_sweep alg k f r deadline expected_states max_states solo_limit
-    jobs visited choice independence certified json metrics =
+    jobs visited fp choice independence certified json metrics =
   setup_obs ~json ~metrics;
   Parallel.set_default_visited visited;
+  Explore.set_default_fp fp;
   let verdicts = ref [] in
   let note name v =
     verdicts := v :: !verdicts;
@@ -859,9 +874,9 @@ let solo_limit_arg =
 
 let crash_sweep_cmd =
   let run alg k f deadline expected_states max_states solo_limit jobs visited
-      choice independence certified json metrics =
+      fp choice independence certified json metrics =
     run_fault_sweep alg k f 0 deadline expected_states max_states solo_limit
-      jobs visited choice independence certified json metrics
+      jobs visited fp choice independence certified json metrics
   in
   Cmd.v
     (Cmd.info "crash-sweep"
@@ -873,14 +888,14 @@ let crash_sweep_cmd =
     Term.(
       const run $ alg_arg $ k_arg $ sweep_crashes_arg $ deadline_arg
       $ expected_states_arg $ max_states_arg $ solo_limit_arg $ jobs_arg
-      $ visited_arg $ reduction_arg $ independence_arg $ certified_arg
-      $ json_arg $ metrics_arg)
+      $ visited_arg $ fp_arg $ reduction_arg $ independence_arg
+      $ certified_arg $ json_arg $ metrics_arg)
 
 let recover_sweep_cmd =
   let run alg k f r deadline expected_states max_states solo_limit jobs
-      visited choice independence certified json metrics =
+      visited fp choice independence certified json metrics =
     run_fault_sweep alg k f r deadline expected_states max_states solo_limit
-      jobs visited choice independence certified json metrics
+      jobs visited fp choice independence certified json metrics
   in
   let sweep_recoveries_arg =
     Arg.(
@@ -902,7 +917,7 @@ let recover_sweep_cmd =
     Term.(
       const run $ alg_arg $ k_arg $ sweep_crashes_arg $ sweep_recoveries_arg
       $ deadline_arg $ expected_states_arg $ max_states_arg $ solo_limit_arg
-      $ jobs_arg $ visited_arg $ reduction_arg $ independence_arg
+      $ jobs_arg $ visited_arg $ fp_arg $ reduction_arg $ independence_arg
       $ certified_arg $ json_arg $ metrics_arg)
 
 let () =

@@ -126,6 +126,76 @@ let recover c i =
   | Running _ | Recovering _ | Terminated _ | Hung ->
     invalid_arg (Printf.sprintf "Config.recover: process %d is not crashed" i)
 
+(* Delta-encoded configurations: a frontier entry is a parent pointer
+   plus the slot patches its transition rewrote, with a periodic rebase
+   to a materialized root every K links so chains (and materialization
+   cost) stay bounded.  The patches are exactly [Step]'s [slots], so the
+   frontier retains O(1) fresh words per entry instead of a copied proc
+   array per entry; everything else is structure-shared with the root. *)
+module Delta = struct
+  type config = t
+
+  type patch = {
+    p_procs : (int * proc) list;
+    p_store : (Store.handle * Value.t) list;
+  }
+
+  type t = Root of config | Link of t * int * patch
+
+  let default_rebase_interval = 8
+
+  (* Settable (tests shrink it to force rebases on tiny chains); shared
+     across the parallel engine's domains, hence atomic. *)
+  let rebase_interval = Atomic.make default_rebase_interval
+  let set_rebase_interval n = Atomic.set rebase_interval (max 1 n)
+  let get_rebase_interval () = Atomic.get rebase_interval
+  let root c = Root c
+  let links = function Root _ -> 0 | Link (_, n, _) -> n
+
+  (* O(1) (physically the root itself) on [Root]; otherwise one proc-array
+     copy plus one [Store.set] per store patch, applied oldest-first so
+     later links win. *)
+  let materialize node =
+    match node with
+    | Root c -> c
+    | Link _ ->
+      let rec collect acc = function
+        | Root c -> (c, acc)
+        | Link (parent, _, patch) -> collect (patch :: acc) parent
+      in
+      let c0, patches = collect [] node in
+      let procs = Array.copy c0.procs in
+      let store =
+        List.fold_left
+          (fun store patch ->
+            List.iter (fun (i, p) -> procs.(i) <- p) patch.p_procs;
+            List.fold_left
+              (fun store (h, v) -> Store.set store h v)
+              store patch.p_store)
+          c0.store patches
+      in
+      { c0 with store; procs }
+
+  let extend node ~proc_sets ~store_sets =
+    let n = links node + 1 in
+    let link =
+      Link (node, n, { p_procs = proc_sets; p_store = store_sets })
+    in
+    if n >= Atomic.get rebase_interval then Root (materialize link) else link
+
+  (* Rough unique-retention estimate in words (excluding structure shared
+     with the parent/root), for frontier-memory accounting. *)
+  let approx_words = function
+    | Root c ->
+      (* config record + procs array + one fresh proc record + a handful
+         of store-map spine nodes not shared with the parent. *)
+      4 + (Array.length c.procs + 1) + 6 + 20
+    | Link (_, _, patch) ->
+      3 + 1
+      + List.fold_left (fun n _ -> n + 3 + 2 + 6) 0 patch.p_procs
+      + List.fold_left (fun n _ -> n + 3 + 2) 0 patch.p_store
+end
+
 let proc_key p =
   let status =
     match p.status with

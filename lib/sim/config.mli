@@ -109,4 +109,49 @@ val any_recovered : t -> bool
     histories, statuses and recovery counters as a single value. *)
 val key : t -> Value.t
 
+(** Delta-encoded configurations for compact frontiers.
+
+    A frontier entry is a pointer to its parent plus the slot patches its
+    transition rewrote (one process slot, at most a handful of store
+    slots — {!Step.slots}), so the explorer's work queues retain O(1)
+    fresh words per entry instead of a copied process array each.  Chains
+    are rebased to a materialized {e root} every K links
+    ({!Delta.set_rebase_interval}, default 8), bounding both chain length
+    and materialization cost. *)
+module Delta : sig
+  type config := t
+
+  type t
+
+  (** [root c] wraps a materialized configuration; {!materialize} returns
+      it physically unchanged. *)
+  val root : config -> t
+
+  (** [extend node ~proc_sets ~store_sets] appends one transition's
+      patches.  When the chain reaches the rebase interval the result is
+      eagerly materialized into a fresh root. *)
+  val extend :
+    t ->
+    proc_sets:(int * proc) list ->
+    store_sets:(Store.handle * Value.t) list ->
+    t
+
+  (** Replay the chain over its root: one proc-array copy plus one
+      {!Store.set} per store patch, oldest-first.  Equals the eagerly
+      built configuration up to structural equality (and physical
+      equality on untouched slots). *)
+  val materialize : t -> config
+
+  (** Links back to the nearest root (0 for a root). *)
+  val links : t -> int
+
+  val default_rebase_interval : int
+  val set_rebase_interval : int -> unit
+  val get_rebase_interval : unit -> int
+
+  (** Rough unique-retention estimate in words (excluding structure
+      shared with parent/root), for frontier-memory accounting. *)
+  val approx_words : t -> int
+end
+
 val pp : Format.formatter -> t -> unit

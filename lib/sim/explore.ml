@@ -27,7 +27,51 @@ type stats = {
   collision_bound : float;
   limited : bool;
   limit_reason : limit_reason;
+  frontier_bytes : int;
 }
+
+(* How visited-set keys are produced on the unreduced (symmetry-off)
+   lanes:
+
+   - [Incremental] (default): the root configuration is hashed once with
+     the homomorphic fold ([Fingerprint.hom_of_config]); every transition
+     then {e patches} the parent's fingerprint through the slots it
+     rewrote ([Step.slots]) — O(1) per transition instead of
+     O(|store| + |procs|).
+   - [Full]: every state is re-folded from scratch ([of_config]) — the
+     escape hatch, and the cross-validation baseline.
+
+   Symmetry-canonicalized keys always take the existing [of_value] path
+   (the orbit minimization materializes the canonical key tree anyway),
+   and [~paranoid] keys stay exact; under paranoid the incremental
+   fingerprint is still carried and cross-validated against a
+   [hom_of_config] re-fold at every node ([fp.paranoid_mismatches]). *)
+type fp_mode = Incremental | Full
+
+let pp_fp_mode ppf = function
+  | Incremental -> Format.fprintf ppf "incremental"
+  | Full -> Format.fprintf ppf "full"
+
+let default_fp_mode : fp_mode Atomic.t = Atomic.make Incremental
+let set_default_fp m = Atomic.set default_fp_mode m
+let default_fp () = Atomic.get default_fp_mode
+
+(* Test-only fault injection: corrupt every [n]-th patched fingerprint
+   (0 disables).  Used by the suite's seeded-mutation negative to prove
+   [~paranoid] catches a wrong patch. *)
+let fp_fault_period = Atomic.make 0
+let fp_fault_tick = Atomic.make 0
+
+let set_fp_fault_injection n =
+  Atomic.set fp_fault_period (max 0 n);
+  Atomic.set fp_fault_tick 0
+
+let[@inline] fp_inject_fault fp =
+  let n = Atomic.get fp_fault_period in
+  if n = 0 then fp
+  else if (Atomic.fetch_and_add fp_fault_tick 1 + 1) mod n = 0 then
+    Fingerprint.extend fp 0xBAD
+  else fp
 
 (* Birthday bound on any-fingerprint-collision over the whole search:
    n(n-1)/2 pairs, each colliding with odds 2^-bits.  Zero under the
@@ -511,6 +555,7 @@ type state = {
   onstack : unit Vtbl.t;
   commute : commute_cache;
   paranoid : bool;
+  fp_mode : fp_mode;
   mutable states : int;
   mutable transitions : int;
   mutable terminals : int;
@@ -521,6 +566,9 @@ type state = {
   mutable dedup_hits : int;
   mutable source_skips : int;
   mutable cycles : int;
+  mutable fp_patches : int;
+  mutable fp_refolds : int;
+  mutable fp_mismatches : int;
   mutable limit_reason : limit_reason;
   max_states : int;
   depth_limit : int;
@@ -542,8 +590,9 @@ type state = {
    126 effective bits. *)
 let fingerprint_bits = 126
 
-let stats_of st =
+let stats_of ?(frontier_bytes = 0) st =
   {
+    frontier_bytes;
     states = st.states;
     transitions = st.transitions;
     terminals = st.terminals;
@@ -659,12 +708,29 @@ let source_fingerprint (reduction : reduction) ~max_crashes config ~sleep =
     in
     (fp, Some (List.hd minimizers), sleep)
 
+(* [source_fingerprint] when the bare state fingerprint is already in
+   hand (the incremental engines carry it patched from the parent's, so
+   the claim key costs O(|relevant sleep|) instead of a configuration
+   re-fold).  Only valid with symmetry off — the incremental path never
+   carries a fingerprint under symmetry quotienting. *)
+let source_fingerprint_from fp (reduction : reduction) ~max_crashes config
+    ~sleep =
+  let sleep =
+    if reduction.source_sets then restrict_sleep ~max_crashes config sleep
+    else []
+  in
+  (List.fold_left Fingerprint.extend fp (packed_sleep None sleep), None, sleep)
+
 (* One enabled transition bundle of the expansion, with the sleep set its
-   children inherit (concrete coordinates of {e this} configuration). *)
+   children inherit (concrete coordinates of {e this} configuration).
+   Each successor carries the slots its transition rewrote
+   ({!Step.slots}), which is what lets the incremental engines patch
+   fingerprints and delta-encode frontier entries instead of re-folding
+   and copying. *)
 type succ_group = {
   g_tr : tr;
   g_sleep : tr list;
-  g_succs : (Config.t * Trace.event) list;
+  g_succs : (Config.t * Trace.event * Step.slots) list;
 }
 
 (* Every enabled transition bundle of [config], paired with its successor
@@ -676,14 +742,16 @@ let enabled_groups ~max_crashes ~max_recoveries config =
     List.map
       (fun i ->
         ( Tstep (i, (fst (pending config i) :> int)),
-          List.map (fun (c, e) -> (c, Trace.Sched e)) (Step.step config i) ))
+          List.map
+            (fun (c, e, sl) -> (c, Trace.Sched e, sl))
+            (Step.step_slots config i) ))
       runnable
   in
   let crashes =
     if Config.n_crashed config < max_crashes then
       List.map
-        (fun (c, v) -> (Tcrash v, [ (c, Trace.Crash v) ]))
-        (Step.crash_successors config)
+        (fun (c, v, sl) -> (Tcrash v, [ (c, Trace.Crash v, sl) ]))
+        (Step.crash_successors_slots config)
     else []
   in
   let recoveries =
@@ -693,11 +761,31 @@ let enabled_groups ~max_crashes ~max_recoveries config =
       && Config.n_recoveries config < max_recoveries
     then
       List.map
-        (fun (c, v) -> (Trecover v, [ (c, Trace.Recover v) ]))
-        (Step.recover_successors config)
+        (fun (c, v, sl) -> (Trecover v, [ (c, Trace.Recover v, sl) ]))
+        (Step.recover_successors_slots config)
     else []
   in
   steps @ crashes @ recoveries
+
+(* The O(1) fingerprint patch: rewrite the touched proc slot's
+   contribution and each touched store slot's contribution.  Exact (not
+   just probabilistic) agreement with [hom_of_config child] holds because
+   a transition's successor differs from its parent in precisely the
+   slots listed — everything else is physically shared — and the
+   homomorphic combine is an abelian group per lane. *)
+let patched_fingerprint parent fp (s : Step.slots) child =
+  let i = s.Step.sl_proc in
+  let fp =
+    Fingerprint.hom_patch_proc fp i parent.Config.procs.(i)
+      child.Config.procs.(i)
+  in
+  List.fold_left
+    (fun fp ((h : Store.handle), v') ->
+      Fingerprint.hom_patch_store fp
+        (h :> int)
+        (Store.state parent.Config.store h)
+        v')
+    fp s.Step.sl_store
 
 (* The source-set expansion of a (config, sleep) node, shared verbatim by
    the sequential DFS and every parallel worker domain.
@@ -781,7 +869,7 @@ let source_successors cache (reduction : reduction) ~pi ~max_crashes
    points force source sets off.) *)
 let deadline_mask = 1023
 
-let rec dfs st config rev_trace depth sleep =
+let rec dfs st config fp rev_trace depth sleep =
   st.deadline_tick <- st.deadline_tick + 1;
   if
     st.deadline_tick land deadline_mask = 0
@@ -795,10 +883,31 @@ let rec dfs st config rev_trace depth sleep =
     (* Prune this branch only; siblings are still explored. *)
     if st.limit_reason = No_limit then st.limit_reason <- Max_depth
   end
-  else
+  else begin
+    (* [fp] is [Some] only on the incremental lanes (symmetry off): the
+       state's homomorphic fingerprint, patched from the parent's.  Under
+       [~paranoid] the visited keys stay exact but the carried
+       fingerprint is cross-validated against a full re-fold. *)
+    (match fp with
+    | Some f when st.paranoid ->
+      st.fp_refolds <- st.fp_refolds + 1;
+      if not (Fingerprint.equal f (Fingerprint.hom_of_config config)) then
+        st.fp_mismatches <- st.fp_mismatches + 1
+    | _ -> ());
     let key, pi, sleep =
-      source_key ~paranoid:st.paranoid st.reduction
-        ~max_crashes:st.max_crashes config ~sleep
+      match fp with
+      | Some f when not st.paranoid ->
+        let sleep =
+          if st.reduction.source_sets then
+            restrict_sleep ~max_crashes:st.max_crashes config sleep
+          else []
+        in
+        ( extend_with_sleep (Fingerprint.Fp f) (packed_sleep None sleep),
+          None,
+          sleep )
+      | _ ->
+        source_key ~paranoid:st.paranoid st.reduction
+          ~max_crashes:st.max_crashes config ~sleep
     in
     if Vtbl.mem st.onstack key then begin
       (* Back-edge into the current DFS stack: an infinite schedule (modulo
@@ -845,14 +954,23 @@ let rec dfs st config rev_trace depth sleep =
         List.iter
           (fun g ->
             List.iter
-              (fun (config', event) ->
+              (fun (config', event, slots) ->
                 st.transitions <- st.transitions + 1;
-                dfs st config' (event :: rev_trace) (depth + 1) g.g_sleep)
+                let fp' =
+                  match fp with
+                  | None -> None
+                  | Some f ->
+                    st.fp_patches <- st.fp_patches + 1;
+                    Some
+                      (fp_inject_fault (patched_fingerprint config f slots config'))
+                in
+                dfs st config' fp' (event :: rev_trace) (depth + 1) g.g_sleep)
               g.g_succs)
           groups;
         Vtbl.remove st.onstack key
       end
     end
+  end
 
 (* Initial bucket-array sizing for the visited table.  An explicit
    expectation skips the rehash generations of a million-state search;
@@ -865,13 +983,14 @@ let table_hint expected_states =
 
 let make_state ?(max_states = 5_000_000) ?(max_depth = 10_000)
     ?(max_crashes = 0) ?(max_recoveries = 0) ?deadline ?expected_states
-    ?(reduction = no_reduction) ?(paranoid = false) ?(stop_on_cycle = false)
-    ?(on_visit = fun _ _ -> ()) on_terminal =
+    ?(reduction = no_reduction) ?(paranoid = false) ?fp
+    ?(stop_on_cycle = false) ?(on_visit = fun _ _ -> ()) on_terminal =
   {
     visited = Vtbl.create (table_hint expected_states);
     onstack = Vtbl.create 256;
     commute = commute_cache ();
     paranoid;
+    fp_mode = (match fp with Some m -> m | None -> default_fp ());
     states = 0;
     transitions = 0;
     terminals = 0;
@@ -882,6 +1001,9 @@ let make_state ?(max_states = 5_000_000) ?(max_depth = 10_000)
     dedup_hits = 0;
     source_skips = 0;
     cycles = 0;
+    fp_patches = 0;
+    fp_refolds = 0;
+    fp_mismatches = 0;
     limit_reason = No_limit;
     max_states;
     depth_limit = max_depth;
@@ -906,11 +1028,29 @@ let m_transitions = Obs.Metrics.counter "explore.transitions"
 let m_dedup = Obs.Metrics.counter "explore.dedup_hits"
 let m_source = Obs.Metrics.counter "explore.source_skips"
 let m_searches = Obs.Metrics.counter "explore.searches"
+let m_fp_patches = Obs.Metrics.counter "fp.patches"
+let m_fp_refolds = Obs.Metrics.counter "fp.refolds"
+let m_fp_mismatches = Obs.Metrics.counter "fp.paranoid_mismatches"
 
 let run_search label st config =
   let t0 = Sys.time () in
-  (try dfs st config [] 0 [] with Stop -> ());
-  let s = stats_of st in
+  let fp0 =
+    if st.fp_mode = Incremental && st.reduction.symmetry = None then begin
+      st.fp_refolds <- st.fp_refolds + 1;
+      Some (Fingerprint.hom_of_config config)
+    end
+    else None
+  in
+  (try dfs st config fp0 [] 0 [] with Stop -> ());
+  (* Sequential frontier retention is the DFS stack: one frame of unique
+     words (successor config + trace cons + a few map spine nodes) per
+     level of the deepest path.  A rough estimate — the parallel engine
+     measures its deques instead. *)
+  let frontier_bytes =
+    if st.states = 0 then 0
+    else 8 * st.max_depth * (34 + Config.n_procs config)
+  in
+  let s = stats_of ~frontier_bytes st in
   let dt = Sys.time () -. t0 in
   flush_commute_metrics st.commute;
   Obs.Metrics.incr m_searches;
@@ -918,6 +1058,20 @@ let run_search label st config =
   Obs.Metrics.add m_transitions s.transitions;
   Obs.Metrics.add m_dedup s.dedup_hits;
   Obs.Metrics.add m_source s.source_skips;
+  Obs.Metrics.add m_fp_patches st.fp_patches;
+  Obs.Metrics.add m_fp_refolds st.fp_refolds;
+  Obs.Metrics.add m_fp_mismatches st.fp_mismatches;
+  Obs.Metrics.set_gauge "explore.frontier_bytes" (float_of_int frontier_bytes);
+  (* A paranoid run that saw any patch/re-fold disagreement is a soundness
+     bug (or injected fault) — fail loudly rather than return counts built
+     on a corrupted carry.  The counter above is flushed first so the
+     mismatch stays visible in the metrics snapshot. *)
+  if st.fp_mismatches > 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Explore: %d incremental fingerprint patch(es) disagree with the \
+          paranoid re-fold"
+         st.fp_mismatches);
   if Obs.Sink.get () != Obs.Sink.null then
     Obs.Sink.emit "explore"
       [
@@ -937,10 +1091,10 @@ let run_search label st config =
   s
 
 let iter_terminals ?max_states ?max_depth ?max_crashes ?max_recoveries
-    ?deadline ?expected_states ?reduction ?paranoid config ~f =
+    ?deadline ?expected_states ?reduction ?paranoid ?fp config ~f =
   let st =
     make_state ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
-      ?expected_states ?reduction ?paranoid f
+      ?expected_states ?reduction ?paranoid ?fp f
   in
   run_search "iter_terminals" st config
 
@@ -949,19 +1103,19 @@ let iter_terminals ?max_states ?max_depth ?max_crashes ?max_recoveries
    and the reduction's guarantee covers terminals, not every intermediate
    state. *)
 let iter_reachable ?max_states ?max_depth ?max_crashes ?max_recoveries
-    ?deadline ?expected_states ?reduction ?paranoid config ~f =
+    ?deadline ?expected_states ?reduction ?paranoid ?fp config ~f =
   let reduction =
     Option.map (fun r -> { r with source_sets = false }) reduction
   in
   let st =
     make_state ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
-      ?expected_states ?reduction ?paranoid ~on_visit:f
+      ?expected_states ?reduction ?paranoid ?fp ~on_visit:f
       (fun _ _ -> ())
   in
   run_search "iter_reachable" st config
 
 let find_terminal ?max_states ?max_depth ?max_crashes ?max_recoveries
-    ?deadline ?expected_states ?reduction ?paranoid config ~violates =
+    ?deadline ?expected_states ?reduction ?paranoid ?fp config ~violates =
   let found = ref None in
   let on_terminal c trace =
     if violates c then begin
@@ -971,16 +1125,16 @@ let find_terminal ?max_states ?max_depth ?max_crashes ?max_recoveries
   in
   let st =
     make_state ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
-      ?expected_states ?reduction ?paranoid on_terminal
+      ?expected_states ?reduction ?paranoid ?fp on_terminal
   in
   let stats = run_search "find_terminal" st config in
   (!found, stats)
 
 let check_terminals ?max_states ?max_depth ?max_crashes ?max_recoveries
-    ?deadline ?expected_states ?reduction ?paranoid config ~ok =
+    ?deadline ?expected_states ?reduction ?paranoid ?fp config ~ok =
   match
     find_terminal ?max_states ?max_depth ?max_crashes ?max_recoveries
-      ?deadline ?expected_states ?reduction ?paranoid config
+      ?deadline ?expected_states ?reduction ?paranoid ?fp config
       ~violates:(fun c -> not (ok c))
   with
   | None, stats -> Ok stats
@@ -991,13 +1145,13 @@ let check_terminals ?max_states ?max_depth ?max_crashes ?max_recoveries
    back-edge still witnesses an infinite run (apply the automorphism
    repeatedly to extend the lasso). *)
 let find_cycle ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
-    ?expected_states ?reduction ?paranoid config =
+    ?expected_states ?reduction ?paranoid ?fp config =
   let reduction =
     Option.map (fun r -> { r with source_sets = false }) reduction
   in
   let st =
     make_state ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
-      ?expected_states ?reduction ?paranoid ~stop_on_cycle:true
+      ?expected_states ?reduction ?paranoid ?fp ~stop_on_cycle:true
       (fun _ _ -> ())
   in
   let stats = run_search "find_cycle" st config in

@@ -83,6 +83,41 @@ val reason_truncates : limit_reason -> bool
 (** Whether the reason makes the search inconclusive ([Max_states],
     [Max_depth], [Deadline]). *)
 
+(** {1 Fingerprinting strategy}
+
+    How visited-set keys are produced on the unreduced (symmetry-off)
+    lanes.  [Incremental] (the default) hashes the root once with the
+    homomorphic fold ({!Fingerprint.hom_of_config}) and then {e patches}
+    each child's fingerprint from its parent's through the slots the
+    transition rewrote ({!Step.slots}) — O(1) per transition.  [Full]
+    re-folds every state from scratch ({!Fingerprint.of_config}) — the
+    escape hatch and cross-validation baseline.  Both are injective up to
+    ~2^-126 collisions on canonical content, so states/transitions/
+    terminal counts and verdicts are identical across the two modes.
+    Symmetry-canonicalized keys always take the existing [of_value] path;
+    [~paranoid] keys stay exact, and the carried incremental fingerprint
+    is then cross-validated against a re-fold at every node
+    ([fp.paranoid_mismatches]; any mismatch fails the search loudly). *)
+type fp_mode = Incremental | Full
+
+val pp_fp_mode : Format.formatter -> fp_mode -> unit
+
+val set_default_fp : fp_mode -> unit
+(** Process-wide default for searches that do not pin [?fp] (the CLI's
+    [--fp] flag lands here). *)
+
+val default_fp : unit -> fp_mode
+
+val set_fp_fault_injection : int -> unit
+(** Test-only: corrupt every [n]-th patched fingerprint ([0] disables,
+    the initial state).  Lets the suite's seeded-mutation negative prove
+    that [~paranoid] catches a wrong patch. *)
+
+val fp_inject_fault : Fingerprint.t -> Fingerprint.t
+(** Apply the {!set_fp_fault_injection} counter to one patched
+    fingerprint — identity unless injection is armed.  Exposed so the
+    parallel engine shares the same fault hook. *)
+
 type stats = {
   states : int;
       (** distinct canonical (configuration, sleep) nodes visited; equals
@@ -110,6 +145,12 @@ type stats = {
       (** true iff the search was truncated — it is then {e not} a proof;
           [limit_reason] says why *)
   limit_reason : limit_reason;
+  frontier_bytes : int;
+      (** estimated peak unique retention of the search frontier, in
+          bytes: the DFS stack's per-frame words (sequential engine) or
+          the measured peak work-deque population times the average
+          delta-entry size (parallel engine).  An estimate for memory
+          accounting, not an allocator measurement. *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit
@@ -319,14 +360,37 @@ val source_fingerprint :
     lock-free claim table, which stores bare lanes and never allocates a
     {!Fingerprint.key}. *)
 
+val source_fingerprint_from :
+  Fingerprint.t ->
+  reduction ->
+  max_crashes:int ->
+  Config.t ->
+  sleep:tr list ->
+  Fingerprint.t * Symmetry.perm option * tr list
+(** {!source_fingerprint} when the bare state fingerprint is already in
+    hand — the incremental engines carry it patched from the parent's, so
+    the claim key costs O(|relevant sleep|) instead of a re-fold.  Only
+    meaningful with symmetry off (the incremental path never carries a
+    fingerprint under symmetry quotienting). *)
+
+val patched_fingerprint :
+  Config.t -> Fingerprint.t -> Step.slots -> Config.t -> Fingerprint.t
+(** [patched_fingerprint parent fp slots child] — the child's homomorphic
+    fingerprint in O(|slots|): rewrite the touched proc slot's
+    contribution and each touched store slot's.  Agrees {e exactly} with
+    [Fingerprint.hom_of_config child] (the successor differs from the
+    parent in precisely the listed slots; the per-lane combine is an
+    abelian group). *)
+
 (** One enabled transition bundle of an expansion: its identity, the
     sleep set its children inherit (concrete coordinates of the expanded
     configuration), and its successor configurations with their trace
-    events. *)
+    events and rewritten slots ({!Step.slots} — the incremental engines'
+    patch inputs). *)
 type succ_group = {
   g_tr : tr;
   g_sleep : tr list;
-  g_succs : (Config.t * Trace.event) list;
+  g_succs : (Config.t * Trace.event * Step.slots) list;
 }
 
 val source_successors :
@@ -375,6 +439,7 @@ val iter_terminals :
   ?expected_states:int ->
   ?reduction:reduction ->
   ?paranoid:bool ->
+  ?fp:fp_mode ->
   Config.t ->
   f:(Config.t -> Trace.t -> unit) ->
   stats
@@ -394,6 +459,7 @@ val iter_reachable :
   ?expected_states:int ->
   ?reduction:reduction ->
   ?paranoid:bool ->
+  ?fp:fp_mode ->
   Config.t ->
   f:(Config.t -> Trace.t Lazy.t -> unit) ->
   stats
@@ -409,6 +475,7 @@ val find_terminal :
   ?expected_states:int ->
   ?reduction:reduction ->
   ?paranoid:bool ->
+  ?fp:fp_mode ->
   Config.t ->
   violates:(Config.t -> bool) ->
   (Config.t * Trace.t) option * stats
@@ -424,6 +491,7 @@ val check_terminals :
   ?expected_states:int ->
   ?reduction:reduction ->
   ?paranoid:bool ->
+  ?fp:fp_mode ->
   Config.t ->
   ok:(Config.t -> bool) ->
   (stats, Config.t * Trace.t * stats) result
@@ -444,5 +512,6 @@ val find_cycle :
   ?expected_states:int ->
   ?reduction:reduction ->
   ?paranoid:bool ->
+  ?fp:fp_mode ->
   Config.t ->
   Trace.t option * stats

@@ -124,6 +124,164 @@ let of_value v =
   feed_value ctx v;
   finish ctx
 
+(* {1 Homomorphic (group-combinable) fingerprints}
+
+   [of_config] is a sequential fold: changing one slot forces an O(|store|
+   + |procs|) re-traversal.  The incremental explorer instead hashes each
+   (slot, content) pair to an independent, fully-finished mix and combines
+   the mixes with a per-lane *group* operation — lane 1 uses addition
+   modulo 2^63 (OCaml native-int [+]/[-] wrap), lane 2 uses XOR.  Both
+   operations are abelian and invertible, so when a [Step] rewrites one
+   process slot and one object slot the child fingerprint is the parent's
+   with the old contributions subtracted and the new ones added: O(1) per
+   transition, Zobrist-hashing style.
+
+   Soundness: within one search the store's handle set and the process
+   count are fixed, so two configurations with equal [Config.key] produce
+   the identical multiset of (slot, content) mixes and hence equal
+   combined fingerprints.  Distinct keys differ in at least one indexed
+   slot; each slot mix is an independently seeded-and-finalized 126-bit
+   hash, so the combined values collide with probability ~2^-126 per pair
+   — same bound as the sequential fold, on a *different* hash function
+   (the visited table is keyed consistently by exactly one of the two
+   within a run, so counts are unaffected; [~paranoid] cross-validates
+   patched fingerprints against [hom_of_config] re-folds). *)
+
+let hom_add a b = { h1 = a.h1 + b.h1; h2 = a.h2 lxor b.h2 }
+let hom_sub a b = { h1 = a.h1 - b.h1; h2 = a.h2 lxor b.h2 }
+
+(* Domain tags keep store-slot, proc-slot and base mixes disjoint even
+   when a handle and a process index share an integer. *)
+let mix_store_slot h (st : Value.t) =
+  let ctx = create () in
+  feed ctx 0xA;
+  feed ctx h;
+  feed_value ctx st;
+  finish ctx
+
+(* A process slot's contribution is itself a combination of finer
+   mixes, so that the common transition — push one response onto the
+   history — patches in O(1) rather than re-mixing the whole history:
+
+   - one {e control} mix: status kind (a [Running] continuation is
+     erased, exactly as [Config.proc_key] erases it — programs are
+     deterministic functions of their response histories), the decided
+     value if any, and the recovery count;
+   - one mix {e per history entry}, indexed by the entry's distance from
+     the {e oldest} end.  Histories are newest-first cons lists that
+     grow by prepending, so reverse indexing keeps every existing
+     entry's mix stable across a step: the step adds exactly one new
+     (index = old length) mix.
+
+   Together these distinguish everything [Config.proc_key] does — and
+   nothing more ([steps] is bookkeeping, not state). *)
+let mix_proc_control i (p : Config.proc) =
+  let ctx = create () in
+  feed ctx 0xB;
+  feed ctx i;
+  (match p.Config.status with
+  | Config.Running _ -> feed ctx 0x11
+  | Config.Terminated v ->
+    feed ctx 0x12;
+    feed_value ctx v
+  | Config.Hung -> feed ctx 0x13
+  | Config.Crashed -> feed ctx 0x14
+  | Config.Recovering _ -> feed ctx 0x15);
+  feed ctx p.Config.recoveries;
+  finish ctx
+
+let mix_proc_hist i r v =
+  let ctx = create () in
+  feed ctx 0xD;
+  feed ctx i;
+  feed ctx r;
+  feed_value ctx v;
+  finish ctx
+
+(* The whole slot at once (re-fold path and algebraic tests); the patch
+   path below never calls this on a step. *)
+let mix_proc_slot i (p : Config.proc) =
+  let acc = ref (mix_proc_control i p) in
+  let r = ref (List.length p.Config.history) in
+  List.iter
+    (fun v ->
+      decr r;
+      acc := hom_add !acc (mix_proc_hist i !r v))
+    p.Config.history;
+  !acc
+
+let hom_base ~n_procs =
+  let ctx = create () in
+  feed ctx 0xC;
+  feed ctx n_procs;
+  finish ctx
+
+let hom_of_config (c : Config.t) =
+  let acc = ref (hom_base ~n_procs:(Array.length c.Config.procs)) in
+  Store.iter c.Config.store (fun h st ->
+      acc := hom_add !acc (mix_store_slot h st));
+  Array.iteri
+    (fun i p -> acc := hom_add !acc (mix_proc_slot i p))
+    c.Config.procs;
+  !acc
+
+(* Control projections are equal iff the control mixes are equal mixes —
+   compare before hashing, so a step that only extends the history pays
+   no control mix at all. *)
+let same_control (a : Config.proc) (b : Config.proc) =
+  a.Config.recoveries = b.Config.recoveries
+  &&
+  match (a.Config.status, b.Config.status) with
+  | Config.Running _, Config.Running _ -> true
+  | Config.Recovering _, Config.Recovering _ -> true
+  | Config.Hung, Config.Hung -> true
+  | Config.Crashed, Config.Crashed -> true
+  | Config.Terminated x, Config.Terminated y -> x == y || x = y
+  | _ -> false
+
+(* Patch the history contributions from [oldh] (length [lo]) to [newh]
+   (length [ln]): walk the longer list down to the shorter, then both in
+   lockstep, stopping at the first physically shared tail.  A step's
+   successor shares the entire old history ([resp :: old]), so the loop
+   mixes exactly one entry; crash (history cleared) and recovery
+   (restart) pay their own length, which their budgets bound. *)
+let hist_patch fp i oldh lo newh ln =
+  let rec go fp oldh ro newh rn =
+    if oldh == newh then fp
+    else if ro > rn then
+      match oldh with
+      | v :: tl -> go (hom_sub fp (mix_proc_hist i ro v)) tl (ro - 1) newh rn
+      | [] -> assert false
+    else if rn > ro then
+      match newh with
+      | v :: tl -> go (hom_add fp (mix_proc_hist i rn v)) oldh ro tl (rn - 1)
+      | [] -> assert false
+    else
+      match (oldh, newh) with
+      | [], [] -> fp
+      | vo :: to_, vn :: tn ->
+        let fp =
+          if vo == vn then fp
+          else
+            hom_add (hom_sub fp (mix_proc_hist i ro vo)) (mix_proc_hist i rn vn)
+        in
+        go fp to_ (ro - 1) tn (rn - 1)
+      | _ -> assert false
+  in
+  go fp oldh (lo - 1) newh (ln - 1)
+
+let hom_patch_proc fp i oldp newp =
+  let fp =
+    if same_control oldp newp then fp
+    else hom_add (hom_sub fp (mix_proc_control i oldp)) (mix_proc_control i newp)
+  in
+  let oldh = oldp.Config.history and newh = newp.Config.history in
+  if oldh == newh then fp
+  else hist_patch fp i oldh (List.length oldh) newh (List.length newh)
+
+let hom_patch_store fp h oldv newv =
+  hom_add (hom_sub fp (mix_store_slot h oldv)) (mix_store_slot h newv)
+
 (* Re-open a finished fingerprint and mix one more word into both lanes.
    Used to key (configuration, sleep set) pairs: the state fingerprint is
    computed once and each canonical sleep entry is folded on top, so the

@@ -33,6 +33,54 @@ val extend : t -> int -> t
     folding each canonical sleep entry onto the state fingerprint —
     O(sleep) per extension, no configuration re-traversal. *)
 
+(** {1 Homomorphic (group-combinable) fingerprints}
+
+    An alternative, incrementally patchable hash of configurations: each
+    (slot, content) pair contributes an independently finalized mix, and
+    mixes are combined per lane with an abelian group operation (addition
+    modulo 2^63 / XOR).  Because the combination is invertible, a step
+    that rewrites one process slot and one object slot turns the parent
+    fingerprint into the child's in O(1) — subtract the old
+    contributions, add the new ones — instead of re-folding the whole
+    configuration.  [hom_of_config] is a {e different} hash function from
+    {!of_config} with the same ~2^-126 pairwise collision bound; a run
+    keys its visited table consistently by one or the other, never a
+    mixture. *)
+
+val hom_add : t -> t -> t
+(** Group combine: lane 1 adds modulo 2^63, lane 2 XORs.  Associative,
+    commutative, inverted by {!hom_sub}. *)
+
+val hom_sub : t -> t -> t
+(** Group inverse combine: [hom_sub (hom_add fp m) m = fp]. *)
+
+val mix_store_slot : int -> Value.t -> t
+(** Contribution of one store slot [(handle, object state)]. *)
+
+val mix_proc_slot : int -> Config.proc -> t
+(** Contribution of one process slot, distinguishing exactly what
+    {!of_config}'s per-process stream does (status kind, decided value,
+    recovery count, response history — continuations and step counts
+    erased). *)
+
+val hom_base : n_procs:int -> t
+(** Contribution of the configuration shape itself (process count). *)
+
+val hom_of_config : Config.t -> t
+(** [hom_base ⊕ Σ mix_store_slot ⊕ Σ mix_proc_slot] — the full re-fold;
+    the root of every incremental run, and the [~paranoid]
+    cross-validation target for patched fingerprints.  Agrees with
+    {!Config.key} equality exactly as {!of_config} does. *)
+
+val hom_patch_proc : t -> int -> Config.proc -> Config.proc -> t
+(** [hom_patch_proc fp i old new_] rewrites process slot [i]'s
+    contribution: subtract [mix_proc_slot i old], add
+    [mix_proc_slot i new_]. *)
+
+val hom_patch_store : t -> int -> Value.t -> Value.t -> t
+(** [hom_patch_store fp h old new_] rewrites store slot [h]'s
+    contribution. *)
+
 (** {1 Visited-set keys} *)
 
 (** [Fp] is the fast path; [Exact] keeps the full canonical key (the

@@ -87,11 +87,21 @@ let default_visited_mode = Atomic.make Lockfree
 let set_default_visited v = Atomic.set default_visited_mode v
 let default_visited () = Atomic.get default_visited_mode
 
-(* [sleep] is the node's sleep set in the concrete coordinates of
-   [config] — carried in the work item so a stolen subtree prunes
-   identically to an owner-executed one. *)
+(* [sleep] is the node's sleep set in the concrete coordinates of the
+   item's configuration — carried in the work item so a stolen subtree
+   prunes identically to an owner-executed one.
+
+   The configuration itself travels delta-encoded ([Config.Delta]): under
+   the incremental fingerprint mode each push extends the parent's chain
+   with the one-proc-slot/one-store-slot patch of its transition, so a
+   deque entry retains O(1) fresh words; under [Full] every item is a
+   materialized root (the historical representation).  [fp] is the
+   state's homomorphic fingerprint patched from the parent's — [Some]
+   exactly on the incremental symmetry-off lanes — which lets [claim]
+   skip both the materialization and the re-fold on the hot path. *)
 type work = {
-  config : Config.t;
+  delta : Config.Delta.t;
+  fp : Fingerprint.t option;
   rev_trace : Trace.event list;
   depth : int;
   sleep : Explore.tr list;
@@ -116,6 +126,11 @@ type dstats = {
   mutable max_depth : int;
   mutable dedup_hits : int;
   mutable source_skips : int;
+  mutable fp_patches : int;
+  mutable fp_refolds : int;
+  mutable fp_mismatches : int;
+  mutable pushed_items : int;
+  mutable pushed_words : int; (* unique-retention estimate of pushed work *)
   mutable depth_limited : bool;
   mutable steals : int;
   mutable contention : int;
@@ -134,6 +149,11 @@ let fresh_dstats () =
     max_depth = 0;
     dedup_hits = 0;
     source_skips = 0;
+    fp_patches = 0;
+    fp_refolds = 0;
+    fp_mismatches = 0;
+    pushed_items = 0;
+    pushed_words = 0;
     depth_limited = false;
     steals = 0;
     contention = 0;
@@ -161,6 +181,10 @@ type global = {
   escalated : bool Atomic.t;
   reduction : Explore.reduction;
   paranoid : bool;
+  fp_mode : Explore.fp_mode;
+  (* Peak total deque population, sampled every 256 processed items —
+     the frontier-memory gauge's item count. *)
+  frontier_peak : int Atomic.t;
   jobs : int;
   cb_lock : Mutex.t;
   on_terminal : Config.t -> Trace.t -> unit;
@@ -188,13 +212,29 @@ let set_stop g cause = ignore (Atomic.compare_and_set g.stop None (Some cause))
    another claim got there first; [`Budget] means the global state budget
    is exhausted — the node is left uncounted, so a truncated search
    reports exactly [max_states] states, like the sequential explorer. *)
-let claim ctx item =
+let claim ctx item config =
   let g = ctx.g in
+  (* Incremental fast path: the carried fingerprint IS the claim key
+     (extended with the relevant sleep when source sets are on), so a
+     duplicate is rejected without materializing the delta chain and
+     without any re-fold.  Materialization is forced only when the sleep
+     restriction needs the configuration, or on the exact/symmetry
+     paths. *)
   match g.table with
   | Shards shards ->
     let key, pi, sleep =
-      Explore.source_key ~paranoid:g.paranoid g.reduction
-        ~max_crashes:g.max_crashes item.config ~sleep:item.sleep
+      match item.fp with
+      | Some f when not g.paranoid ->
+        if g.reduction.Explore.source_sets && item.sleep <> [] then
+          let fp, pi, sleep =
+            Explore.source_fingerprint_from f g.reduction
+              ~max_crashes:g.max_crashes (Lazy.force config) ~sleep:item.sleep
+          in
+          (Fingerprint.Fp fp, pi, sleep)
+        else (Fingerprint.Fp f, None, [])
+      | _ ->
+        Explore.source_key ~paranoid:g.paranoid g.reduction
+          ~max_crashes:g.max_crashes (Lazy.force config) ~sleep:item.sleep
     in
     let sh = shards.(Fingerprint.shard_index key mod n_shards) in
     if not (Mutex.try_lock sh.lock) then begin
@@ -213,8 +253,15 @@ let claim ctx item =
     r
   | Claims t -> (
     let fp, pi, sleep =
-      Explore.source_fingerprint g.reduction ~max_crashes:g.max_crashes
-        item.config ~sleep:item.sleep
+      match item.fp with
+      | Some f ->
+        if g.reduction.Explore.source_sets && item.sleep <> [] then
+          Explore.source_fingerprint_from f g.reduction
+            ~max_crashes:g.max_crashes (Lazy.force config) ~sleep:item.sleep
+        else (f, None, [])
+      | None ->
+        Explore.source_fingerprint g.reduction ~max_crashes:g.max_crashes
+          (Lazy.force config) ~sleep:item.sleep
     in
     match
       Claim_table.claim t ctx.stats.claim ~h1:fp.Fingerprint.h1
@@ -261,38 +308,58 @@ let maybe_escalate ctx =
 let process ctx item =
   let g = ctx.g in
   ctx.tick <- ctx.tick + 1;
-  if
-    ctx.tick land 255 = 0
-    && g.deadline_at < infinity
-    && Unix.gettimeofday () > g.deadline_at
-  then set_stop g Deadline;
+  if ctx.tick land 255 = 0 then begin
+    if g.deadline_at < infinity && Unix.gettimeofday () > g.deadline_at then
+      set_stop g Deadline;
+    (* Sample the frontier population for the peak gauge. *)
+    let sz =
+      Array.fold_left (fun acc d -> acc + Ws_deque.size d) 0 g.deques
+    in
+    let rec bump () =
+      let cur = Atomic.get g.frontier_peak in
+      if sz > cur && not (Atomic.compare_and_set g.frontier_peak cur sz) then
+        bump ()
+    in
+    bump ()
+  end;
   if item.depth > ctx.stats.max_depth then ctx.stats.max_depth <- item.depth;
   if item.depth > g.depth_limit then ctx.stats.depth_limited <- true
   else
-    match claim ctx item with
+    let config = lazy (Config.Delta.materialize item.delta) in
+    match claim ctx item config with
     | `Dup -> ctx.stats.dedup_hits <- ctx.stats.dedup_hits + 1
     | `Budget -> set_stop g Budget
     | `Fresh (pi, sleep) ->
+      let config = Lazy.force config in
       ctx.stats.states <- ctx.stats.states + 1;
       maybe_escalate ctx;
-      g.on_visit item.config (lazy (List.rev item.rev_trace));
+      (* Paranoid cross-validation of the carried incremental
+         fingerprint against a full homomorphic re-fold (mirrors the
+         sequential DFS; any mismatch fails the run after the join). *)
+      (match item.fp with
+      | Some f when g.paranoid ->
+        ctx.stats.fp_refolds <- ctx.stats.fp_refolds + 1;
+        if not (Fingerprint.equal f (Fingerprint.hom_of_config config)) then
+          ctx.stats.fp_mismatches <- ctx.stats.fp_mismatches + 1
+      | _ -> ());
+      g.on_visit config (lazy (List.rev item.rev_trace));
       (* Terminal for the processes, not necessarily for the search:
          with recovery budget left, the adversary may still revive a
          crashed process (the sequential explorer does the same).  A
          terminal's relevant sleep is empty, so it claims by state alone
          and this fires exactly once per terminal configuration. *)
-      if Config.running item.config = [] then begin
+      if Config.running config = [] then begin
         ctx.stats.terminals <- ctx.stats.terminals + 1;
-        if Config.any_hung item.config then
+        if Config.any_hung config then
           ctx.stats.hung_terminals <- ctx.stats.hung_terminals + 1;
-        if Config.any_crashed item.config then
+        if Config.any_crashed config then
           ctx.stats.crashed_terminals <- ctx.stats.crashed_terminals + 1;
-        if Config.any_recovered item.config then
+        if Config.any_recovered config then
           ctx.stats.recovered_terminals <- ctx.stats.recovered_terminals + 1;
         Mutex.lock g.cb_lock;
         Fun.protect
           ~finally:(fun () -> Mutex.unlock g.cb_lock)
-          (fun () -> g.on_terminal item.config (List.rev item.rev_trace))
+          (fun () -> g.on_terminal config (List.rev item.rev_trace))
       end;
       (* The same expansion the sequential DFS runs: enabled transition
          bundles in canonical sibling order, each with the sleep set its
@@ -300,18 +367,40 @@ let process ctx item =
          schedule-independent however the deques drain. *)
       let groups, skips =
         Explore.source_successors ctx.commute g.reduction ~pi
-          ~max_crashes:g.max_crashes ~max_recoveries:g.max_recoveries
-          item.config ~sleep
+          ~max_crashes:g.max_crashes ~max_recoveries:g.max_recoveries config
+          ~sleep
       in
       ctx.stats.source_skips <- ctx.stats.source_skips + skips;
       List.iter
         (fun grp ->
           List.iter
-            (fun (config', event) ->
+            (fun (config', event, slots) ->
               ctx.stats.transitions <- ctx.stats.transitions + 1;
+              let fp' =
+                match item.fp with
+                | None -> None
+                | Some f ->
+                  ctx.stats.fp_patches <- ctx.stats.fp_patches + 1;
+                  Some
+                    (Explore.fp_inject_fault
+                       (Explore.patched_fingerprint config f slots config'))
+              in
+              let delta' =
+                match g.fp_mode with
+                | Explore.Full -> Config.Delta.root config'
+                | Explore.Incremental ->
+                  let i = slots.Step.sl_proc in
+                  Config.Delta.extend item.delta
+                    ~proc_sets:[ (i, config'.Config.procs.(i)) ]
+                    ~store_sets:slots.Step.sl_store
+              in
+              ctx.stats.pushed_items <- ctx.stats.pushed_items + 1;
+              ctx.stats.pushed_words <-
+                ctx.stats.pushed_words + 7 + Config.Delta.approx_words delta';
               ctx.push
                 {
-                  config = config';
+                  delta = delta';
+                  fp = fp';
                   rev_trace = event :: item.rev_trace;
                   depth = item.depth + 1;
                   sleep = grp.Explore.g_sleep;
@@ -427,8 +516,19 @@ let merge_stats g (all : dstats list) =
       else Explore.No_limit
   in
   let states = sum (fun d -> d.states) in
+  let frontier_bytes =
+    let items = sum (fun d -> d.pushed_items) in
+    if items = 0 then 0
+    else
+      let words = sum (fun d -> d.pushed_words) in
+      let peak = max 1 (Atomic.get g.frontier_peak) in
+      int_of_float
+        (8.0 *. float_of_int peak
+        *. (float_of_int words /. float_of_int items))
+  in
   {
     Explore.states;
+    frontier_bytes;
     transitions = sum (fun d -> d.transitions);
     terminals = sum (fun d -> d.terminals);
     hung_terminals = sum (fun d -> d.hung_terminals);
@@ -475,7 +575,16 @@ let m_contention = Obs.Metrics.counter "parallel.shard_contention"
 let m_source = Obs.Metrics.counter "parallel.source_skips"
 let m_searches = Obs.Metrics.counter "parallel.searches"
 
-let emit_obs label g stats (dstats : dstats array) dt =
+(* Same interned counters the sequential engine flushes into. *)
+let m_fp_patches = Obs.Metrics.counter "fp.patches"
+let m_fp_refolds = Obs.Metrics.counter "fp.refolds"
+let m_fp_mismatches = Obs.Metrics.counter "fp.paranoid_mismatches"
+
+(* [all] additionally carries the seeding pass's stats: fp patches and
+   re-folds happen there too, and the shared fp.* counters must cover
+   the whole search (the per-domain d0../steals breakdown below stays
+   worker-only). *)
+let emit_obs label g stats (dstats : dstats array) ~all dt =
   Obs.Metrics.incr m_searches;
   Obs.Metrics.add m_states stats.Explore.states;
   Obs.Metrics.add m_source stats.Explore.source_skips;
@@ -486,9 +595,17 @@ let emit_obs label g stats (dstats : dstats array) dt =
       Obs.Metrics.add m_cas_retries d.claim.Claim_table.cas_retries;
       Obs.Metrics.add m_contention d.contention)
     dstats;
+  List.iter
+    (fun d ->
+      Obs.Metrics.add m_fp_patches d.fp_patches;
+      Obs.Metrics.add m_fp_refolds d.fp_refolds;
+      Obs.Metrics.add m_fp_mismatches d.fp_mismatches)
+    all;
   let rate = if dt > 0.0 then float_of_int stats.Explore.states /. dt else 0.0 in
   Obs.Metrics.set_gauge "parallel.states_per_sec" rate;
   Obs.Metrics.set_gauge "parallel.visited_bytes" (float_of_int (visited_bytes g));
+  Obs.Metrics.set_gauge "explore.frontier_bytes"
+    (float_of_int stats.Explore.frontier_bytes);
   if Obs.Sink.get () != Obs.Sink.null then
     Obs.Sink.emit "parallel"
       ([
@@ -527,8 +644,8 @@ let emit_obs label g stats (dstats : dstats array) dt =
 let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
     ?(max_crashes = 0) ?(max_recoveries = 0) ?deadline ?expected_states
     ?(escalate_threshold = 1e-6) ?(reduction = Explore.no_reduction)
-    ?(paranoid = false) ?seed_target ~jobs ~on_terminal ~on_visit label config
-    =
+    ?(paranoid = false) ?fp ?seed_target ~jobs ~on_terminal ~on_visit label
+    config =
   let jobs = max 1 jobs in
   let visited =
     match visited with
@@ -538,7 +655,25 @@ let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
   (* Exact canonical keys only fit the hashtable representation, so
      paranoid runs take the sharded path whatever mode was asked for. *)
   let visited = if paranoid then Sharded else visited in
-  let root = { config; rev_trace = []; depth = 0; sleep = [] } in
+  let fp_mode = match fp with Some m -> m | None -> Explore.default_fp () in
+  (* The incremental lanes carry a homomorphic fingerprint only with
+     symmetry off (canonical keys go through the orbit minimization);
+     under [~paranoid] it is carried for cross-validation while the
+     claim keys stay exact. *)
+  let root_fp =
+    if fp_mode = Explore.Incremental && reduction.Explore.symmetry = None then
+      Some (Fingerprint.hom_of_config config)
+    else None
+  in
+  let root =
+    {
+      delta = Config.Delta.root config;
+      fp = root_fp;
+      rev_trace = [];
+      depth = 0;
+      sleep = [];
+    }
+  in
   let g =
     {
       table =
@@ -573,6 +708,8 @@ let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
       escalated = Atomic.make false;
       reduction;
       paranoid;
+      fp_mode;
+      frontier_peak = Atomic.make 0;
       jobs;
       cb_lock = Mutex.create ();
       on_terminal;
@@ -586,6 +723,7 @@ let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
      enough to keep [jobs] domains busy.  The seeder claims and counts
      states through the same [process] path the workers use. *)
   let seed_stats = fresh_dstats () in
+  if root_fp <> None then seed_stats.fp_refolds <- 1;
   let seed_ctx =
     {
       g;
@@ -613,6 +751,10 @@ let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
   Explore.flush_commute_metrics seed_ctx.commute;
   seed_stats.seconds <- Unix.gettimeofday () -. t0;
   let dstats = Array.init jobs (fun _ -> fresh_dstats ()) in
+  (* The seeded queue is frontier too: fold it into the peak before the
+     per-item sampling takes over. *)
+  if Queue.length queue > Atomic.get g.frontier_peak then
+    Atomic.set g.frontier_peak (Queue.length queue);
   if (not (Queue.is_empty queue)) && Atomic.get g.stop = None then begin
     (* Distribute the frontier round-robin before spawning: spawn
        provides the happens-before edge publishing the deque contents. *)
@@ -644,18 +786,26 @@ let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
     Array.iter Domain.join domains
   end;
   let dt = Unix.gettimeofday () -. t0 in
-  let stats = merge_stats g (seed_stats :: Array.to_list dstats) in
-  emit_obs label g stats dstats dt;
+  let all = seed_stats :: Array.to_list dstats in
+  let stats = merge_stats g all in
+  emit_obs label g stats dstats ~all dt;
   (match Atomic.get g.stop with
   | Some (Callback Stop) | Some Budget | Some Deadline | None -> ()
   | Some (Callback e) -> raise e);
+  let mismatches = List.fold_left (fun acc d -> acc + d.fp_mismatches) 0 all in
+  if mismatches > 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Parallel: %d incremental fingerprint patch(es) disagree with the \
+          paranoid re-fold"
+         mismatches);
   stats
 
 let iter_terminals ?visited ?max_states ?max_depth ?max_crashes
     ?max_recoveries ?deadline ?expected_states ?escalate_threshold ?reduction
-    ?paranoid ?seed_target ~jobs config ~f =
+    ?paranoid ?fp ?seed_target ~jobs config ~f =
   run ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
-    ?expected_states ?escalate_threshold ?reduction ?paranoid ?seed_target
+    ?expected_states ?escalate_threshold ?reduction ?paranoid ?fp ?seed_target
     ~jobs ~on_terminal:f
     ~on_visit:(fun _ _ -> ())
     "iter_terminals" config
@@ -665,18 +815,18 @@ let iter_terminals ?visited ?max_states ?max_depth ?max_crashes
    quantify over every intermediate configuration. *)
 let iter_reachable ?visited ?max_states ?max_depth ?max_crashes
     ?max_recoveries ?deadline ?expected_states ?escalate_threshold ?reduction
-    ?paranoid ?seed_target ~jobs config ~f =
+    ?paranoid ?fp ?seed_target ~jobs config ~f =
   let reduction =
     Option.map (fun r -> { r with Explore.source_sets = false }) reduction
   in
   run ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
-    ?expected_states ?escalate_threshold ?reduction ?paranoid ?seed_target
+    ?expected_states ?escalate_threshold ?reduction ?paranoid ?fp ?seed_target
     ~jobs
     ~on_terminal:(fun _ _ -> ())
     ~on_visit:f "iter_reachable" config
 
 let find_terminal ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries
-    ?deadline ?expected_states ?escalate_threshold ?reduction ?paranoid
+    ?deadline ?expected_states ?escalate_threshold ?reduction ?paranoid ?fp
     ?seed_target ~jobs config ~violates =
   let found = ref None in
   (* [on_terminal] runs under the callback lock, so the first writer
@@ -689,8 +839,8 @@ let find_terminal ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries
   in
   let stats =
     run ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
-      ?expected_states ?escalate_threshold ?reduction ?paranoid ?seed_target
-      ~jobs ~on_terminal
+      ?expected_states ?escalate_threshold ?reduction ?paranoid ?fp
+      ?seed_target ~jobs ~on_terminal
       ~on_visit:(fun _ _ -> ())
       "find_terminal" config
   in
@@ -698,10 +848,10 @@ let find_terminal ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries
 
 let check_terminals ?visited ?max_states ?max_depth ?max_crashes
     ?max_recoveries ?deadline ?expected_states ?escalate_threshold ?reduction
-    ?paranoid ?seed_target ~jobs config ~ok =
+    ?paranoid ?fp ?seed_target ~jobs config ~ok =
   match
     find_terminal ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries
-      ?deadline ?expected_states ?escalate_threshold ?reduction ?paranoid
+      ?deadline ?expected_states ?escalate_threshold ?reduction ?paranoid ?fp
       ?seed_target ~jobs config
       ~violates:(fun c -> not (ok c))
   with

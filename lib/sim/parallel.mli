@@ -97,6 +97,14 @@ val set_default_visited : visited -> unit
 
 val default_visited : unit -> visited
 
+(** Every entry point also takes [?fp], selecting the fingerprint mode
+    exactly as in {!Explore} (defaulting to {!Explore.default_fp}).
+    Under [Incremental] (symmetry off) work items travel delta-encoded
+    ({!Config.Delta}) with a carried homomorphic fingerprint, so a
+    duplicate claim needs neither a materialization nor a re-fold; the
+    merged stats expose [frontier_bytes] — peak deque population times
+    the mean retained words per item. *)
+
 val iter_terminals :
   ?visited:visited ->
   ?max_states:int ->
@@ -108,6 +116,7 @@ val iter_terminals :
   ?escalate_threshold:float ->
   ?reduction:Explore.reduction ->
   ?paranoid:bool ->
+  ?fp:Explore.fp_mode ->
   ?seed_target:int ->
   jobs:int ->
   Config.t ->
@@ -131,6 +140,7 @@ val iter_reachable :
   ?escalate_threshold:float ->
   ?reduction:Explore.reduction ->
   ?paranoid:bool ->
+  ?fp:Explore.fp_mode ->
   ?seed_target:int ->
   jobs:int ->
   Config.t ->
@@ -152,6 +162,7 @@ val find_terminal :
   ?escalate_threshold:float ->
   ?reduction:Explore.reduction ->
   ?paranoid:bool ->
+  ?fp:Explore.fp_mode ->
   ?seed_target:int ->
   jobs:int ->
   Config.t ->
@@ -171,6 +182,7 @@ val check_terminals :
   ?escalate_threshold:float ->
   ?reduction:Explore.reduction ->
   ?paranoid:bool ->
+  ?fp:Explore.fp_mode ->
   ?seed_target:int ->
   jobs:int ->
   Config.t ->

@@ -13,6 +13,7 @@ type options = {
   expected_states : int option;
   reduction : Explore.reduction;
   paranoid : bool;
+  fp : Explore.fp_mode option;
   jobs : int;
   visited : Parallel.visited option;
 }
@@ -27,6 +28,7 @@ let default =
     expected_states = None;
     reduction = Explore.no_reduction;
     paranoid = false;
+    fp = None;
     jobs = 1;
     visited = None;
   }
@@ -43,13 +45,15 @@ let with_independence i o =
   { o with reduction = Explore.with_independence i o.reduction }
 
 let with_paranoid b o = { o with paranoid = b }
+let with_fp m o = { o with fp = Some m }
 let with_jobs n o = { o with jobs = max 1 n }
 let with_visited v o = { o with visited = Some v }
 
 (* Bridge for the [@@deprecated] shims: each old optional argument
    overrides the corresponding field of [default]. *)
 let of_legacy ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
-    ?expected_states ?reduction ?independence ?paranoid ?jobs ?visited () =
+    ?expected_states ?reduction ?independence ?paranoid ?fp ?jobs ?visited ()
+    =
   let reduction = Option.value reduction ~default:default.reduction in
   let reduction =
     match independence with
@@ -66,6 +70,7 @@ let of_legacy ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
     expected_states;
     reduction;
     paranoid = Option.value paranoid ~default:default.paranoid;
+    fp;
     jobs = max 1 (Option.value jobs ~default:1);
     visited;
   }
@@ -81,7 +86,10 @@ let pp ppf o =
     (match o.visited with
     | None -> ""
     | Some v -> Format.asprintf " visited=%a" Parallel.pp_visited v)
-    o.jobs o.paranoid Explore.pp_reduction o.reduction
+    o.jobs o.paranoid Explore.pp_reduction o.reduction;
+  match o.fp with
+  | None -> ()
+  | Some m -> Format.fprintf ppf " fp=%a" Explore.pp_fp_mode m
 
 let parallel o = o.jobs > 1
 
@@ -92,12 +100,12 @@ let iter_terminals ?(options = default) config ~f =
       ~max_depth:o.max_depth ~max_crashes:o.max_crashes
       ~max_recoveries:o.max_recoveries ?deadline:o.deadline
       ?expected_states:o.expected_states ~reduction:o.reduction
-      ~paranoid:o.paranoid ~jobs:o.jobs config ~f
+      ~paranoid:o.paranoid ?fp:o.fp ~jobs:o.jobs config ~f
   else
     Explore.iter_terminals ~max_states:o.max_states ~max_depth:o.max_depth
       ~max_crashes:o.max_crashes ~max_recoveries:o.max_recoveries
       ?deadline:o.deadline ?expected_states:o.expected_states
-      ~reduction:o.reduction ~paranoid:o.paranoid config ~f
+      ~reduction:o.reduction ~paranoid:o.paranoid ?fp:o.fp config ~f
 
 let iter_reachable ?(options = default) config ~f =
   let o = options in
@@ -106,12 +114,12 @@ let iter_reachable ?(options = default) config ~f =
       ~max_depth:o.max_depth ~max_crashes:o.max_crashes
       ~max_recoveries:o.max_recoveries ?deadline:o.deadline
       ?expected_states:o.expected_states ~reduction:o.reduction
-      ~paranoid:o.paranoid ~jobs:o.jobs config ~f
+      ~paranoid:o.paranoid ?fp:o.fp ~jobs:o.jobs config ~f
   else
     Explore.iter_reachable ~max_states:o.max_states ~max_depth:o.max_depth
       ~max_crashes:o.max_crashes ~max_recoveries:o.max_recoveries
       ?deadline:o.deadline ?expected_states:o.expected_states
-      ~reduction:o.reduction ~paranoid:o.paranoid config ~f
+      ~reduction:o.reduction ~paranoid:o.paranoid ?fp:o.fp config ~f
 
 let find_terminal ?(options = default) config ~violates =
   let o = options in
@@ -120,12 +128,12 @@ let find_terminal ?(options = default) config ~violates =
       ~max_depth:o.max_depth ~max_crashes:o.max_crashes
       ~max_recoveries:o.max_recoveries ?deadline:o.deadline
       ?expected_states:o.expected_states ~reduction:o.reduction
-      ~paranoid:o.paranoid ~jobs:o.jobs config ~violates
+      ~paranoid:o.paranoid ?fp:o.fp ~jobs:o.jobs config ~violates
   else
     Explore.find_terminal ~max_states:o.max_states ~max_depth:o.max_depth
       ~max_crashes:o.max_crashes ~max_recoveries:o.max_recoveries
       ?deadline:o.deadline ?expected_states:o.expected_states
-      ~reduction:o.reduction ~paranoid:o.paranoid config ~violates
+      ~reduction:o.reduction ~paranoid:o.paranoid ?fp:o.fp config ~violates
 
 let check_terminals ?(options = default) config ~ok =
   let o = options in
@@ -134,12 +142,12 @@ let check_terminals ?(options = default) config ~ok =
       ~max_depth:o.max_depth ~max_crashes:o.max_crashes
       ~max_recoveries:o.max_recoveries ?deadline:o.deadline
       ?expected_states:o.expected_states ~reduction:o.reduction
-      ~paranoid:o.paranoid ~jobs:o.jobs config ~ok
+      ~paranoid:o.paranoid ?fp:o.fp ~jobs:o.jobs config ~ok
   else
     Explore.check_terminals ~max_states:o.max_states ~max_depth:o.max_depth
       ~max_crashes:o.max_crashes ~max_recoveries:o.max_recoveries
       ?deadline:o.deadline ?expected_states:o.expected_states
-      ~reduction:o.reduction ~paranoid:o.paranoid config ~ok
+      ~reduction:o.reduction ~paranoid:o.paranoid ?fp:o.fp config ~ok
 
 (* Cycle hunting needs the sequential DFS stack discipline whatever
    [jobs] says; the options record still supplies every other knob. *)
@@ -148,4 +156,4 @@ let find_cycle ?(options = default) config =
   Explore.find_cycle ~max_states:o.max_states ~max_depth:o.max_depth
     ~max_crashes:o.max_crashes ~max_recoveries:o.max_recoveries
     ?deadline:o.deadline ?expected_states:o.expected_states
-    ~reduction:o.reduction ~paranoid:o.paranoid config
+    ~reduction:o.reduction ~paranoid:o.paranoid ?fp:o.fp config

@@ -31,6 +31,8 @@ type options = {
   expected_states : int option;  (** visited-table pre-size hint *)
   reduction : Explore.reduction;  (** default {!Explore.no_reduction} *)
   paranoid : bool;  (** exact canonical keys, no fingerprints *)
+  fp : Explore.fp_mode option;
+      (** fingerprint mode; [None] defers to {!Explore.default_fp} *)
   jobs : int;  (** worker domains; [<= 1] means sequential *)
   visited : Parallel.visited option;
       (** parallel visited-table representation; [None] defers to
@@ -57,6 +59,10 @@ val with_independence : Explore.independence -> options -> options
 
 val with_paranoid : bool -> options -> options
 
+val with_fp : Explore.fp_mode -> options -> options
+(** Pin the fingerprint mode ([Incremental] patches the parent's
+    homomorphic hash per step; [Full] re-folds every configuration). *)
+
 val with_jobs : int -> options -> options
 (** Clamped to at least [1]. *)
 
@@ -72,6 +78,7 @@ val of_legacy :
   ?reduction:Explore.reduction ->
   ?independence:Explore.independence ->
   ?paranoid:bool ->
+  ?fp:Explore.fp_mode ->
   ?jobs:int ->
   ?visited:Parallel.visited ->
   unit ->

@@ -15,7 +15,16 @@ let pp_event ppf e =
     Format.fprintf ppf "P%d: #%d:%s.%a -> HANG" e.proc e.obj e.obj_kind Op.pp
       e.op
 
-let step (c : Config.t) i =
+(* The slots a transition rewrote, for the incremental fingerprint/delta
+   layer: every transition touches exactly one process slot, and at most
+   the store slots listed (in increasing handle order).  Everything else
+   in the successor is physically shared with the parent, so patching
+   these slots into the parent's homomorphic fingerprint — or replaying
+   them over the parent in a [Config.Delta] chain — reconstructs the
+   child exactly. *)
+type slots = { sl_proc : int; sl_store : (Store.handle * Value.t) list }
+
+let step_slots (c : Config.t) i =
   let proc = c.procs.(i) in
   match proc.Config.status with
   | Config.Terminated _ | Config.Hung | Config.Crashed ->
@@ -30,6 +39,7 @@ let step (c : Config.t) i =
   | Config.Running (Program.Invoke (h, op, k))
   | Config.Recovering (Program.Invoke (h, op, k)) ->
     let kind = Store.kind c.store (h : Store.handle) in
+    let old_st = Store.state c.store h in
     let with_proc status history =
       let procs = Array.copy c.procs in
       procs.(i) <-
@@ -48,7 +58,7 @@ let step (c : Config.t) i =
     (match successors with
     | [] ->
       let procs = with_proc Config.Hung proc.Config.history in
-      [ ({ c with procs }, event None) ]
+      [ ({ c with procs }, event None, { sl_proc = i; sl_store = [] }) ]
     | _ ->
       List.map
         (fun (store', resp) ->
@@ -56,16 +66,42 @@ let step (c : Config.t) i =
             Config.advance (k resp) (resp :: proc.Config.history)
           in
           let procs = with_proc status history in
-          ({ c with Config.store = store'; procs }, event (Some resp)))
+          let st' = Store.state store' h in
+          let sl_store = if st' == old_st then [] else [ (h, st') ] in
+          ( { c with Config.store = store'; procs },
+            event (Some resp),
+            { sl_proc = i; sl_store } ))
         successors)
 
+let step c i = List.map (fun (c', e, _) -> (c', e)) (step_slots c i)
+
 (* Crash transitions: instead of stepping, any running process can crash.
-   One successor per running process, paired with the victim's index. *)
-let crash_successors (c : Config.t) =
-  List.map (fun i -> (Config.crash c i, i)) (Config.running c)
+   One successor per running process, paired with the victim's index.
+   A crash rewrites only the victim's proc slot ([Config.crash] leaves
+   the store untouched). *)
+let crash_successors_slots (c : Config.t) =
+  List.map
+    (fun i -> (Config.crash c i, i, { sl_proc = i; sl_store = [] }))
+    (Config.running c)
+
+let crash_successors c =
+  List.map (fun (c', i, _) -> (c', i)) (crash_successors_slots c)
 
 (* Recovery transitions: any crashed process can recover, restarting its
    initial program over persistent object state.  One successor per
-   crashed process, paired with the recoverer's index. *)
-let recover_successors (c : Config.t) =
-  List.map (fun i -> (Config.recover c i, i)) (Config.crashed c)
+   crashed process, paired with the recoverer's index.  A recovery
+   rewrites the recoverer's proc slot plus whichever store slots the
+   persistence projection actually changed — [] for fully persistent
+   stores, which [Store.recover] returns physically unchanged. *)
+let recover_successors_slots (c : Config.t) =
+  List.map
+    (fun i ->
+      let c' = Config.recover c i in
+      ( c',
+        i,
+        { sl_proc = i; sl_store = Store.diff c.Config.store c'.Config.store }
+      ))
+    (Config.crashed c)
+
+let recover_successors c =
+  List.map (fun (c', i, _) -> (c', i)) (recover_successors_slots c)

@@ -16,9 +16,22 @@ type event = {
 
 val pp_event : Format.formatter -> event -> unit
 
+(** The slots a transition rewrote: exactly one process slot, and at most
+    the listed store slots (increasing handle order; [[]] when the store
+    is physically shared with the parent).  The incremental explorer
+    patches these into the parent's homomorphic fingerprint
+    ({!Fingerprint.hom_patch_proc} / {!Fingerprint.hom_patch_store}) and
+    into {!Config.Delta} frontier links, instead of re-folding or copying
+    the whole configuration. *)
+type slots = { sl_proc : int; sl_store : (Store.handle * Value.t) list }
+
 (** [step config i] is every successor of letting process [i] take one step.
     @raise Invalid_argument if process [i] cannot step. *)
 val step : Config.t -> int -> (Config.t * event) list
+
+(** [step_slots config i] is {!step} with each successor's rewritten
+    {!slots} attached. *)
+val step_slots : Config.t -> int -> (Config.t * event * slots) list
 
 (** [crash_successors config] is every successor obtained by crashing one
     running process, paired with the victim's index.  The crash is a
@@ -26,8 +39,17 @@ val step : Config.t -> int -> (Config.t * event) list
     quantify over crash patterns (bounded by its crash budget). *)
 val crash_successors : Config.t -> (Config.t * int) list
 
+(** {!crash_successors} with slots: a crash rewrites only the victim's
+    proc slot. *)
+val crash_successors_slots : Config.t -> (Config.t * int * slots) list
+
 (** [recover_successors config] is every successor obtained by recovering
     one crashed process ({!Config.recover}), paired with the recoverer's
     index.  Like crashes, recoveries are transitions of the operational
     semantics, bounded by the model checker's recovery budget. *)
 val recover_successors : Config.t -> (Config.t * int) list
+
+(** {!recover_successors} with slots: a recovery rewrites the recoverer's
+    proc slot plus the store slots its persistence projection changed
+    ([[]] for fully persistent stores). *)
+val recover_successors_slots : Config.t -> (Config.t * int * slots) list

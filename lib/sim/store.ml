@@ -37,6 +37,31 @@ let apply store h op =
       ({ store with objs = Imap.add h (model, st') store.objs }, resp))
     successors
 
+let set store h v =
+  let model, _ = find store h in
+  { store with objs = Imap.add h (model, v) store.objs }
+
+(* Slot-level diff for the incremental fingerprint/delta layer.  Both
+   stores must carry the same handle set (they are always a configuration
+   and its successor, which never allocates).  Physical equality prunes:
+   identical stores diff to [] without traversal, and slots whose states
+   are physically shared (the common case — [apply] touches one handle,
+   [recover] returns untouched persistent states as-is) are skipped.  A
+   structurally-equal-but-physically-distinct state would yield a
+   redundant patch, which is harmless: equal contents mix to equal
+   fingerprint contributions. *)
+let diff old_store new_store =
+  if old_store == new_store || old_store.objs == new_store.objs then []
+  else
+    List.fold_right2
+      (fun (h, (_, st_old)) (h', (_, st_new)) acc ->
+        if h <> h' then invalid_arg "Store.diff: different handle sets"
+        else if st_old == st_new then acc
+        else (h', st_new) :: acc)
+      (Imap.bindings old_store.objs)
+      (Imap.bindings new_store.objs)
+      []
+
 (* Recovery projection of the whole store: each object's state through its
    model's [persist].  Fully persistent stores (every [persist] is [None],
    the default) are returned physically unchanged, so crash-only

@@ -31,6 +31,19 @@ val model : t -> handle -> Obj_model.t
     [op] on object [h]; the empty list means the invocation hangs. *)
 val apply : t -> handle -> Op.t -> (t * Value.t) list
 
+(** [set store h v] replaces object [h]'s state with [v], keeping its
+    model.  Used to replay delta patches when materializing a
+    {!Config.Delta} chain. *)
+val set : t -> handle -> Value.t -> t
+
+(** [diff old_store new_store] lists the slots whose states changed, in
+    increasing handle order.  Both stores must carry the same handle set
+    (a configuration and its successor always do).  Physically shared
+    slots are skipped, so the diff of a store against itself — or against
+    a recovery projection that changed nothing — is [[]] without
+    traversal. *)
+val diff : t -> t -> (handle * Value.t) list
+
 (** [recover store] applies every object's recovery projection
     ({!Obj_model.persist_state}) to its state — the shared-memory side of a
     crash-recovery transition ({!Config.recover}).  When every object is

@@ -192,8 +192,12 @@ let canonical_minimizers t (c : Config.t) =
     (!best_key, List.rev !mins)
 
 (* Below this group order the fold is too cheap to amortize a domain
-   spawn; above it the per-chunk minima dominate the join cost. *)
-let parallel_threshold = 64
+   spawn; above it the per-chunk minima dominate the join cost.  E17's
+   p3 row measured a 27x penalty at |G| = 24 with the old threshold of
+   64: spawning domains per canonicalization loses badly until the
+   group has hundreds of permutations, so small orbits (every k <= 5
+   symmetric family here) stay sequential whatever [jobs] says. *)
+let parallel_threshold = 512
 
 let canonical_key ?(jobs = 1) t (c : Config.t) =
   if jobs <= 1 || List.length t.perms < parallel_threshold then

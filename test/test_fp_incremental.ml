@@ -1,0 +1,294 @@
+(* Incremental (homomorphic) fingerprints and delta-encoded frontiers.
+
+   Soundness here is exact, not probabilistic: a successor differs from
+   its parent in exactly the slots [Step.*_slots] reports, and each
+   fingerprint lane is an abelian group over independent per-slot mixes,
+   so patching the parent's hash must reproduce the child's full re-fold
+   bit-for-bit.  The suite checks that identity over every reachable
+   state of several families (process steps, crashes, recoveries), the
+   group laws it rests on, the delta-chain materialization it travels
+   with, engine-level count agreement between [--fp incremental] and
+   [--fp full] at jobs 1 and 4, and — via seeded fault injection — that
+   [~paranoid] actually catches a wrong patch. *)
+open Subc_sim
+open Helpers
+
+let fp = Alcotest.testable Fingerprint.pp Fingerprint.equal
+
+(* ---------------------------------------------------------------- *)
+(* Harnesses.                                                        *)
+
+let alg2_harness k =
+  let store, t = Subc_core.Alg2.alloc Store.empty ~k ~one_shot:true in
+  let programs =
+    List.mapi (fun i v -> Subc_core.Alg2.propose t ~i v) (inputs k)
+  in
+  (store, programs, Subc_core.Alg2.symmetry t ~input_base:100 ())
+
+let alg5_harness k =
+  let store, t = Subc_core.Alg5.alloc Store.empty ~k () in
+  let programs =
+    List.init k (fun i -> Subc_core.Alg5.wrn t ~i (Value.Int (100 + i)))
+  in
+  (store, programs, Subc_core.Alg5.symmetry t ~input_base:100 ())
+
+let wrn_harness k =
+  let store, h = Store.alloc Store.empty (Subc_objects.One_shot_wrn.model ~k) in
+  let programs =
+    List.init k (fun i ->
+        Subc_objects.One_shot_wrn.wrn h i (Value.Int (100 + i)))
+  in
+  (store, programs, Symmetry.standard ~n:k ~input_base:100 `Rotations)
+
+let families =
+  [
+    ("alg2/k2", alg2_harness 2);
+    ("alg2/k3", alg2_harness 3);
+    ("alg5/k2", alg5_harness 2);
+    ("1swrn/k3", wrn_harness 3);
+  ]
+
+let root_of (store, programs, _) = Config.make store programs
+
+(* Every reachable configuration of a family under the given fault
+   budgets, via the full-refold sequential explorer (no reduction, so
+   the enumeration itself does not depend on the machinery under
+   test). *)
+let reachable ?(max_crashes = 0) ?(max_recoveries = 0) harness =
+  let acc = ref [] in
+  ignore
+    (Explore.iter_reachable ~max_crashes ~max_recoveries ~fp:Explore.Full
+       (root_of harness) ~f:(fun c _ -> acc := c :: !acc));
+  !acc
+
+(* ---------------------------------------------------------------- *)
+(* Group laws of the homomorphic combination.                        *)
+
+let hom_group_laws () =
+  let store, programs, _ = alg2_harness 2 in
+  let c = Config.make store programs in
+  let a = Fingerprint.hom_of_config c in
+  let b = Fingerprint.mix_proc_slot 0 c.Config.procs.(0) in
+  let d = Fingerprint.mix_proc_slot 1 c.Config.procs.(1) in
+  Alcotest.check fp "sub inverts add" a Fingerprint.(hom_sub (hom_add a b) b);
+  Alcotest.check fp "add commutes"
+    Fingerprint.(hom_add a (hom_add b d))
+    Fingerprint.(hom_add (hom_add a b) d);
+  Alcotest.check fp "order of patches irrelevant"
+    Fingerprint.(hom_add (hom_sub a b) d)
+    Fingerprint.(hom_sub (hom_add a d) b);
+  (* The whole-config fold is the base plus the sum of its slot mixes:
+     removing every slot's contribution leaves exactly the base. *)
+  let stripped =
+    let acc = ref (Fingerprint.hom_of_config c) in
+    Store.iter c.Config.store (fun h st ->
+        acc := Fingerprint.(hom_sub !acc (mix_store_slot h st)));
+    Array.iteri
+      (fun i p -> acc := Fingerprint.(hom_sub !acc (mix_proc_slot i p)))
+      c.Config.procs;
+    !acc
+  in
+  Alcotest.check fp "fold = base + slot mixes" stripped
+    (Fingerprint.hom_base ~n_procs:(Config.n_procs c))
+
+(* ---------------------------------------------------------------- *)
+(* Patched fingerprint == full re-fold, over every reachable state
+   and every kind of transition (step, crash, recover).              *)
+
+let check_patch_equals_refold name parent =
+  let f = Fingerprint.hom_of_config parent in
+  let check_succ (child, _what, slots) =
+    let patched = Explore.patched_fingerprint parent f slots child in
+    Alcotest.check fp
+      (Printf.sprintf "%s: patch == refold" name)
+      (Fingerprint.hom_of_config child)
+      patched
+  in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun (c', e, sl) -> check_succ (c', `Step e, sl))
+        (Step.step_slots parent i))
+    (Config.running parent);
+  List.iter
+    (fun (c', i, sl) -> check_succ (c', `Crash i, sl))
+    (Step.crash_successors_slots parent);
+  List.iter
+    (fun (c', i, sl) -> check_succ (c', `Recover i, sl))
+    (Step.recover_successors_slots parent)
+
+let patch_matrix () =
+  List.iter
+    (fun (name, harness) ->
+      List.iter
+        (fun (budget, max_crashes, max_recoveries) ->
+          let states = reachable ~max_crashes ~max_recoveries harness in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s nonempty" name budget)
+            true
+            (List.length states > 1);
+          List.iter
+            (check_patch_equals_refold (name ^ "/" ^ budget))
+            states)
+        [ ("f0", 0, 0); ("f1", 1, 0); ("f1r1", 1, 1) ])
+    families
+
+(* ---------------------------------------------------------------- *)
+(* Delta chains: materialize == the eagerly built configuration, and
+   rebasing preserves that — exercised at a tiny interval so chains
+   rebase constantly.                                                *)
+
+let delta_roundtrip () =
+  let exercise name harness =
+    (* Walk the state graph depth-first carrying (eager config, delta),
+       checking agreement at every node.  Depth-bounded: the identity
+       is per-link, so short chains crossing several rebases suffice. *)
+    let rec walk depth config delta =
+      let materialized = Config.Delta.materialize delta in
+      Alcotest.check fp
+        (Printf.sprintf "%s: materialize == eager (depth %d)" name depth)
+        (Fingerprint.of_config config)
+        (Fingerprint.of_config materialized);
+      Alcotest.(check bool)
+        (name ^ ": chain below rebase interval")
+        true
+        (Config.Delta.links delta < Config.Delta.get_rebase_interval ());
+      if depth < 6 then
+        List.iter
+          (fun i ->
+            List.iter
+              (fun (c', _e, slots) ->
+                let delta' =
+                  Config.Delta.extend delta
+                    ~proc_sets:
+                      [
+                        ( slots.Step.sl_proc,
+                          c'.Config.procs.(slots.Step.sl_proc) );
+                      ]
+                    ~store_sets:slots.Step.sl_store
+                in
+                walk (depth + 1) c' delta')
+              (Step.step_slots config i))
+          (Config.running config)
+    in
+    let config = root_of harness in
+    walk 0 config (Config.Delta.root config)
+  in
+  let intervals = [ 2; 3; Config.Delta.default_rebase_interval ] in
+  Fun.protect
+    ~finally:(fun () ->
+      Config.Delta.set_rebase_interval Config.Delta.default_rebase_interval)
+    (fun () ->
+      List.iter
+        (fun k ->
+          Config.Delta.set_rebase_interval k;
+          exercise
+            (Printf.sprintf "alg2/k2@K=%d" k)
+            (alg2_harness 2))
+        intervals)
+
+(* ---------------------------------------------------------------- *)
+(* Engine-level equivalence: identical counts across fingerprint
+   modes, reductions, and job counts.                                *)
+
+let same_counts name (a : Explore.stats) (b : Explore.stats) =
+  Alcotest.(check int) (name ^ " states") a.Explore.states b.Explore.states;
+  Alcotest.(check int)
+    (name ^ " transitions")
+    a.Explore.transitions b.Explore.transitions;
+  Alcotest.(check int)
+    (name ^ " terminals")
+    a.Explore.terminals b.Explore.terminals;
+  Alcotest.(check int)
+    (name ^ " source_skips")
+    a.Explore.source_skips b.Explore.source_skips;
+  Alcotest.(check bool) (name ^ " limited") a.Explore.limited b.Explore.limited
+
+let engine_equivalence () =
+  List.iter
+    (fun (name, harness) ->
+      let _, _, sym = harness in
+      let config = root_of harness in
+      List.iter
+        (fun (rname, reduction) ->
+          List.iter
+            (fun jobs ->
+              let stats mode =
+                Search.iter_terminals
+                  ~options:
+                    (Search.of_legacy ~max_crashes:1 ~reduction ~fp:mode
+                       ~jobs ())
+                  config
+                  ~f:(fun _ _ -> ())
+              in
+              let inc = stats Explore.Incremental in
+              let full = stats Explore.Full in
+              same_counts
+                (Printf.sprintf "%s/%s/j%d" name rname jobs)
+                inc full;
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s/j%d frontier gauge" name rname jobs)
+                true
+                (inc.Explore.frontier_bytes > 0))
+            [ 1; 4 ])
+        [
+          ("none", Explore.no_reduction);
+          ("sym", Explore.with_symmetry sym);
+          ("full", Explore.full_reduction sym);
+        ])
+    [ ("alg2/k3", alg2_harness 3); ("1swrn/k3", wrn_harness 3) ]
+
+(* ---------------------------------------------------------------- *)
+(* Paranoid: carried fingerprints are re-validated at every node —
+   clean on a correct patcher, loud on a corrupted one.              *)
+
+let paranoid_clean () =
+  let config = root_of (alg2_harness 3) in
+  let run paranoid =
+    Explore.iter_terminals ~max_crashes:1 ~paranoid ~fp:Explore.Incremental
+      config
+      ~f:(fun _ _ -> ())
+  in
+  same_counts "paranoid vs not" (run true) (run false);
+  let jstats =
+    Parallel.iter_terminals ~max_crashes:1 ~paranoid:true
+      ~fp:Explore.Incremental ~jobs:4 config
+      ~f:(fun _ _ -> ())
+  in
+  same_counts "parallel paranoid" jstats (run false)
+
+let paranoid_catches_mutation () =
+  let config = root_of (alg2_harness 3) in
+  Fun.protect
+    ~finally:(fun () -> Explore.set_fp_fault_injection 0)
+    (fun () ->
+      Explore.set_fp_fault_injection 5;
+      match
+        Explore.iter_terminals ~paranoid:true ~fp:Explore.Incremental config
+          ~f:(fun _ _ -> ())
+      with
+      | _ -> Alcotest.fail "corrupted patches went unnoticed"
+      | exception Invalid_argument msg ->
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i =
+            i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+          in
+          go 0
+        in
+        Alcotest.(check bool)
+          "mismatch is attributed to the incremental patcher" true
+          (contains msg "incremental fingerprint"))
+
+let suite =
+  [
+    ( "fp.incremental",
+      [
+        test "homomorphic group laws" hom_group_laws;
+        test_slow "patch == refold over reachable states" patch_matrix;
+        test "delta chains materialize exactly" delta_roundtrip;
+        test_slow "incremental == full across engines" engine_equivalence;
+        test_slow "paranoid cross-validation is clean" paranoid_clean;
+        test "paranoid catches a seeded wrong patch" paranoid_catches_mutation;
+      ] );
+  ]

@@ -8,4 +8,5 @@ let () =
    @ Test_valence.suite @ Test_classic.suite @ Test_bgsim.suite @ Test_power.suite
    @ Test_edge.suite @ Test_refinement.suite @ Test_crash.suite
    @ Test_properties.suite @ Test_reduction.suite @ Test_analysis.suite
-   @ Test_obs.suite @ Test_parallel.suite @ Test_recovery.suite)
+   @ Test_obs.suite @ Test_parallel.suite @ Test_recovery.suite
+   @ Test_fp_incremental.suite)
