@@ -744,6 +744,209 @@ let perf_e21 ~jobs_list () =
         [ ("none", Explore.no_reduction); ("full", Explore.full_reduction sym) ])
     families
 
+(* P6 / E22 artifact rows: the partitioned engine.  Three headline
+   guards ride in [p6.partition_compare]:
+
+   - [partition1_vs_parallel]: the batching/ownership machinery at
+     partitions=1 must cost <= 1.15x the plain work-stealing engine at
+     the same domain count (CI asserts this) — a single partition sends
+     no batches, so the overhead is the routing hash and the credit
+     counter.
+   - [spill_vs_lockfree_memory]: the mmap-spilled visited set's heap
+     residency must be <= 50% of the lock-free claim table's on the
+     largest registry family (it is bookkeeping-only; the mapped pages
+     are file-backed).
+   - determinism: every partitioned run's counts are diffed against the
+     sequential explorer, like P2 does for the parallel engine. *)
+let perf_partition ~jobs_list () =
+  let store, t = Subc_core.Alg5.alloc Store.empty ~k:3 () in
+  let programs =
+    List.init 3 (fun i -> Subc_core.Alg5.wrn t ~i (Value.Int (100 + i)))
+  in
+  let config = Config.make store programs in
+  let base_stats =
+    Explore.iter_terminals ~max_crashes:1 config ~f:(fun _ _ -> ())
+  in
+  let repeat = 3 in
+  let best_of f =
+    let best = ref infinity and result = ref None in
+    for _ = 1 to repeat do
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  let jobs = match List.rev jobs_list with j :: _ -> min j 4 | [] -> 4 in
+  (* The plain parallel engine at the same domain count: the overhead
+     baseline for partitions=1. *)
+  let _, parallel_secs =
+    best_of (fun () ->
+        Parallel.iter_terminals ~max_crashes:1 ~seq_threshold:0 ~jobs config
+          ~f:(fun _ _ -> ()))
+  in
+  let counter_names =
+    [ "partition.batches_sent"; "partition.batch_bytes";
+      "partition.spill_bytes"; "partition.steals" ]
+  in
+  let explore ?spill partitions =
+    let (stats, secs), deltas =
+      counter_delta counter_names (fun () ->
+          best_of (fun () ->
+              Partition.iter_terminals ~max_crashes:1 ?spill ~seq_threshold:0
+                ~partitions ~jobs config
+                ~f:(fun _ _ -> ())))
+    in
+    (stats, secs, List.map (fun d -> d /. float_of_int repeat) deltas)
+  in
+  let secs_p1 = ref 0.0 in
+  let bytes_of_mode = Hashtbl.create 4 in
+  let rows =
+    List.concat_map
+      (fun (mode, spill) ->
+        List.map
+          (fun partitions ->
+            let stats, secs, deltas = explore ?spill partitions in
+            if
+              stats.Explore.states <> base_stats.Explore.states
+              || stats.Explore.terminals <> base_stats.Explore.terminals
+            then
+              Format.printf
+                "!! p6 %s partitions=%d NONDETERMINISM: %d states / %d \
+                 terminals, expected %d / %d@."
+                mode partitions stats.Explore.states stats.Explore.terminals
+                base_stats.Explore.states base_stats.Explore.terminals;
+            if mode = "heap" && partitions = 1 then secs_p1 := secs;
+            let visited_bytes =
+              Option.value ~default:0.0
+                (Obs.Metrics.find "partition.visited_bytes")
+            in
+            Hashtbl.replace bytes_of_mode mode visited_bytes;
+            Format.printf
+              "p6: explore alg5 k=3 f=1, tables=%s partitions=%d jobs=%d: %d \
+               states, %.3fs, %.0f batches, %.0f batch B, visited %.0f B@."
+              mode partitions jobs stats.Explore.states secs
+              (List.nth deltas 0) (List.nth deltas 1) visited_bytes;
+            {
+              name =
+                Printf.sprintf "p6.partition_explore.%s.p%d" mode partitions;
+              fields =
+                [
+                  ("partitions", float_of_int partitions);
+                  ("jobs", float_of_int jobs);
+                  ("states", float_of_int stats.Explore.states);
+                  ("seconds", secs);
+                  ( "states_per_sec",
+                    float_of_int stats.Explore.states /. max 1e-9 secs );
+                  ("collision_bound", stats.Explore.collision_bound);
+                  ("visited_bytes", visited_bytes);
+                  ("batches_sent", List.nth deltas 0);
+                  ("batch_bytes", List.nth deltas 1);
+                  ("spill_bytes", List.nth deltas 2);
+                  ("steals", List.nth deltas 3);
+                ];
+            })
+          [ 1; 2; 4 ])
+      [ ("heap", None); ("spill", Some "_perf_spill.tmp") ]
+  in
+  (* The lock-free table's bytes for the memory headline come from the
+     plain engine's gauge (same family, same budget). *)
+  ignore
+    (Parallel.iter_terminals ~visited:Parallel.Lockfree ~max_crashes:1
+       ~seq_threshold:0 ~jobs config
+       ~f:(fun _ _ -> ()));
+  let lockfree_bytes =
+    Option.value ~default:0.0 (Obs.Metrics.find "parallel.visited_bytes")
+  in
+  let spill_bytes_heap =
+    try Hashtbl.find bytes_of_mode "spill" with Not_found -> 0.0
+  in
+  let overhead =
+    if parallel_secs > 0.0 then !secs_p1 /. parallel_secs else 0.0
+  in
+  Format.printf
+    "p6: partitions=1 vs parallel %.2fx; spill heap bytes / lockfree %.2fx@."
+    overhead
+    (if lockfree_bytes > 0.0 then spill_bytes_heap /. lockfree_bytes else 0.0);
+  rows
+  @ [
+      {
+        name = "p6.partition_compare";
+        fields =
+          [
+            ("jobs", float_of_int jobs);
+            ("parallel_seconds", parallel_secs);
+            ("partition1_seconds", !secs_p1);
+            ("partition1_vs_parallel", overhead);
+            ("lockfree_visited_bytes", lockfree_bytes);
+            ("spill_heap_bytes", spill_bytes_heap);
+            ( "spill_vs_lockfree_memory",
+              if lockfree_bytes > 0.0 then spill_bytes_heap /. lockfree_bytes
+              else 0.0 );
+          ];
+      };
+    ]
+
+(* P7: the auto-sequential fallback (SUBC_SEQ_THRESHOLD).  On a space
+   far below the threshold the parallel entry points complete on the
+   seeding pass without spawning a single domain, so asking for jobs=4
+   must cost about the same as the sequential explorer — CI asserts the
+   ratio <= 1.2 (the old eager spawn measured 2-8x here). *)
+let perf_seq_fallback () =
+  let harness () =
+    let store, t = Subc_core.Alg2.alloc Store.empty ~k:3 ~one_shot:true in
+    Config.make store
+      (List.init 3 (fun i -> Subc_core.Alg2.propose t ~i (Value.Int (100 + i))))
+  in
+  let config = harness () in
+  let repeat = 200 in
+  let per_call f =
+    (* Warm up, then time: domain spawn noise is the thing measured. *)
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to repeat do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int repeat
+  in
+  let seq_secs =
+    per_call (fun () ->
+        Explore.iter_terminals ~max_crashes:1 config ~f:(fun _ _ -> ()))
+  in
+  let fallback_secs =
+    per_call (fun () ->
+        Parallel.iter_terminals ~max_crashes:1 ~jobs:4 config
+          ~f:(fun _ _ -> ()))
+  in
+  let eager_secs =
+    per_call (fun () ->
+        Parallel.iter_terminals ~max_crashes:1 ~seq_threshold:0 ~jobs:4 config
+          ~f:(fun _ _ -> ()))
+  in
+  let ratio = if seq_secs > 0.0 then fallback_secs /. seq_secs else 0.0 in
+  Format.printf
+    "p7: alg2 k=3 f=1 (small space): seq %.0f us, jobs=4 fallback %.0f us \
+     (%.2fx), jobs=4 eager %.0f us (%.2fx)@."
+    (1e6 *. seq_secs) (1e6 *. fallback_secs) ratio (1e6 *. eager_secs)
+    (if seq_secs > 0.0 then eager_secs /. seq_secs else 0.0);
+  [
+    {
+      name = "p7.seq_fallback";
+      fields =
+        [
+          ("threshold", float_of_int (Parallel.default_seq_threshold ()));
+          ("seq_us", 1e6 *. seq_secs);
+          ("fallback_jobs4_us", 1e6 *. fallback_secs);
+          ("eager_jobs4_us", 1e6 *. eager_secs);
+          ("small_space_ratio", ratio);
+          ( "eager_ratio",
+            if seq_secs > 0.0 then eager_secs /. seq_secs else 0.0 );
+        ];
+    };
+  ]
+
 let run_perf ?(jobs_list = [ 1; 2; 4; 8 ]) () =
   Format.printf "@.=== Performance sweep (%s) ===@." results_file;
   let fingerprint = perf_fingerprint () in
@@ -758,5 +961,8 @@ let run_perf ?(jobs_list = [ 1; 2; 4; 8 ]) () =
   let e21 =
     perf_e21 ~jobs_list:(List.filter (fun j -> j <= 4) jobs_list) ()
   in
+  let partition = perf_partition ~jobs_list () in
+  let seq_fallback = perf_seq_fallback () in
   write_results
-    ((fingerprint :: parallel) @ canonical @ reduction @ independence @ e21)
+    ((fingerprint :: parallel) @ canonical @ reduction @ independence @ e21
+    @ partition @ seq_fallback)

@@ -266,10 +266,10 @@ let resolve_independence independence reduction =
 
 (* One [Search.options] record from the CLI's flags — the single funnel
    every checking subcommand goes through. *)
-let options_of ?deadline ?expected_states ?reduction ~max_states ~max_crashes
-    ~max_recoveries ~jobs () =
+let options_of ?deadline ?expected_states ?reduction ?spill ~max_states
+    ~max_crashes ~max_recoveries ~jobs ~partitions () =
   Search.of_legacy ~max_states ~max_crashes ~max_recoveries ?deadline
-    ?expected_states ?reduction ~jobs ()
+    ?expected_states ?reduction ~jobs ~partitions ?spill ()
 
 let check_instance ~options inst =
   match inst with
@@ -338,6 +338,29 @@ let jobs_arg =
            search: stolen subtrees prune identically to the sequential \
            explorer.")
 
+let partitions_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "partitions" ] ~docv:"P"
+        ~doc:
+          "Partition state ownership across $(docv) hash-partitioned \
+           visited tables (fingerprint-lane routing) with batched \
+           cross-partition frontier exchange; $(b,--jobs) domains are \
+           split evenly across partitions.  Verdicts and state counts \
+           are identical at any $(docv).")
+
+let spill_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "spill" ] ~docv:"DIR"
+        ~doc:
+          "Out-of-core mode: keep each partition's visited set in mmap'd \
+           files of 62-bit compressed claim words under $(docv) (created \
+           if absent; segment files are unlinked after mapping, so \
+           nothing persists).  Heap residency drops to bookkeeping; \
+           collision characteristics match $(b,--visited) compressed.  \
+           Implies the partitioned engine even at $(b,--partitions) 1.")
+
 let visited_arg =
   Arg.(
     value
@@ -381,8 +404,8 @@ let certified_arg =
 (* check: one verdict per invocation, under the shared contract.       *)
 
 let check_cmd =
-  let run alg n k f r deadline expected_states max_states jobs visited fp
-      choice independence certified json metrics =
+  let run alg n k f r deadline expected_states max_states jobs partitions
+      spill visited fp choice independence certified json metrics =
     setup_obs ~json ~metrics;
     Parallel.set_default_visited visited;
     Explore.set_default_fp fp;
@@ -392,8 +415,8 @@ let check_cmd =
         (reduction_of ~certified ~alg choice inst)
     in
     let options =
-      options_of ?deadline ?expected_states ?reduction ~max_states
-        ~max_crashes:(max f r) ~max_recoveries:r ~jobs ()
+      options_of ?deadline ?expected_states ?reduction ?spill ~max_states
+        ~max_crashes:(max f r) ~max_recoveries:r ~jobs ~partitions ()
     in
     let v = check_instance ~options inst in
     report ~json alg v;
@@ -413,8 +436,8 @@ let check_cmd =
     Term.(
       const run $ alg_arg $ n_arg $ k_arg $ crashes_arg $ recoveries_arg
       $ deadline_arg $ expected_states_arg $ max_states_arg $ jobs_arg
-      $ visited_arg $ fp_arg $ reduction_arg $ independence_arg
-      $ certified_arg $ json_arg $ metrics_arg)
+      $ partitions_arg $ spill_arg $ visited_arg $ fp_arg $ reduction_arg
+      $ independence_arg $ certified_arg $ json_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explore: raw state-space statistics, with or without reductions.    *)
@@ -438,8 +461,8 @@ let stats_fields reduction (stats : Explore.stats) =
   ]
 
 let explore_cmd =
-  let run alg n k f r deadline expected_states max_states jobs visited fp
-      choice independence certified json metrics =
+  let run alg n k f r deadline expected_states max_states jobs partitions
+      spill visited fp choice independence certified json metrics =
     setup_obs ~json ~metrics;
     Parallel.set_default_visited visited;
     Explore.set_default_fp fp;
@@ -451,8 +474,8 @@ let explore_cmd =
     in
     let config = Config.make store programs in
     let options =
-      options_of ?deadline ?expected_states ?reduction ~max_states
-        ~max_crashes:(max f r) ~max_recoveries:r ~jobs ()
+      options_of ?deadline ?expected_states ?reduction ?spill ~max_states
+        ~max_crashes:(max f r) ~max_recoveries:r ~jobs ~partitions ()
     in
     let stats =
       Obs.Span.time "cli.explore" @@ fun () ->
@@ -466,9 +489,11 @@ let explore_cmd =
              fields =
                ("alg", Obs.Sink.Str alg)
                :: ("jobs", Obs.Sink.Int jobs)
+               :: ("partitions", Obs.Sink.Int (max 1 partitions))
                :: ( "visited",
                     Obs.Sink.Str
-                      (if jobs > 1 then
+                      (if spill <> None then "spill"
+                       else if jobs > 1 || partitions > 1 then
                          Format.asprintf "%a" Parallel.pp_visited visited
                        else "sequential") )
                :: stats_fields reduction stats;
@@ -495,8 +520,8 @@ let explore_cmd =
     Term.(
       const run $ alg_arg $ n_arg $ k_arg $ crashes_arg $ recoveries_arg
       $ deadline_arg $ expected_states_arg $ max_states_arg $ jobs_arg
-      $ visited_arg $ fp_arg $ reduction_arg $ independence_arg
-      $ certified_arg $ json_arg $ metrics_arg)
+      $ partitions_arg $ spill_arg $ visited_arg $ fp_arg $ reduction_arg
+      $ independence_arg $ certified_arg $ json_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Per-algorithm commands (sampled runs keep their own reporting; the
@@ -815,7 +840,8 @@ let analyze_cmd =
    crash-sweep at any --jobs.                                          *)
 
 let run_fault_sweep alg k f r deadline expected_states max_states solo_limit
-    jobs visited fp choice independence certified json metrics =
+    jobs partitions spill visited fp choice independence certified json
+    metrics =
   setup_obs ~json ~metrics;
   Parallel.set_default_visited visited;
   Explore.set_default_fp fp;
@@ -830,8 +856,8 @@ let run_fault_sweep alg k f r deadline expected_states max_states solo_limit
     resolve_independence independence (reduction_of ~certified ~alg choice inst)
   in
   let cell_options ~max_crashes ~max_recoveries =
-    options_of ?deadline ?expected_states ?reduction ~max_states ~max_crashes
-      ~max_recoveries ~jobs ()
+    options_of ?deadline ?expected_states ?reduction ?spill ~max_states
+      ~max_crashes ~max_recoveries ~jobs ~partitions ()
   in
   let store, programs = instance_store_programs inst in
   (match inst with
@@ -873,10 +899,11 @@ let solo_limit_arg =
     & info [ "solo-limit" ] ~doc:"Solo-step bound for the progress checker.")
 
 let crash_sweep_cmd =
-  let run alg k f deadline expected_states max_states solo_limit jobs visited
-      fp choice independence certified json metrics =
+  let run alg k f deadline expected_states max_states solo_limit jobs
+      partitions spill visited fp choice independence certified json metrics =
     run_fault_sweep alg k f 0 deadline expected_states max_states solo_limit
-      jobs visited fp choice independence certified json metrics
+      jobs partitions spill visited fp choice independence certified json
+      metrics
   in
   Cmd.v
     (Cmd.info "crash-sweep"
@@ -888,14 +915,15 @@ let crash_sweep_cmd =
     Term.(
       const run $ alg_arg $ k_arg $ sweep_crashes_arg $ deadline_arg
       $ expected_states_arg $ max_states_arg $ solo_limit_arg $ jobs_arg
-      $ visited_arg $ fp_arg $ reduction_arg $ independence_arg
-      $ certified_arg $ json_arg $ metrics_arg)
+      $ partitions_arg $ spill_arg $ visited_arg $ fp_arg $ reduction_arg
+      $ independence_arg $ certified_arg $ json_arg $ metrics_arg)
 
 let recover_sweep_cmd =
   let run alg k f r deadline expected_states max_states solo_limit jobs
-      visited fp choice independence certified json metrics =
+      partitions spill visited fp choice independence certified json metrics =
     run_fault_sweep alg k f r deadline expected_states max_states solo_limit
-      jobs visited fp choice independence certified json metrics
+      jobs partitions spill visited fp choice independence certified json
+      metrics
   in
   let sweep_recoveries_arg =
     Arg.(
@@ -917,8 +945,9 @@ let recover_sweep_cmd =
     Term.(
       const run $ alg_arg $ k_arg $ sweep_crashes_arg $ sweep_recoveries_arg
       $ deadline_arg $ expected_states_arg $ max_states_arg $ solo_limit_arg
-      $ jobs_arg $ visited_arg $ fp_arg $ reduction_arg $ independence_arg
-      $ certified_arg $ json_arg $ metrics_arg)
+      $ jobs_arg $ partitions_arg $ spill_arg $ visited_arg $ fp_arg
+      $ reduction_arg $ independence_arg $ certified_arg $ json_arg
+      $ metrics_arg)
 
 let () =
   let doc = "sub-consensus deterministic objects: runners and model checkers" in

@@ -72,3 +72,15 @@ val slots : t -> int
 
 val memory_bytes : t -> int
 (** Analytic memory footprint of the table's arrays and atoms. *)
+
+val fold_key : int -> int -> int
+(** The folded mode's key compression: one well-mixed word out of both
+    fingerprint lanes.  Exposed so the out-of-core {!Spill_table} and the
+    partition router key by {e exactly} the same 62-bit representation as
+    a [`Folded] claim table. *)
+
+val encode : int -> int
+(** Force the live-entry tag (sign bit) onto a lane word: a stored word
+    is always negative, distinguishable from empty (0) and tombstone
+    (1).  [encode (fold_key h1 h2)] is the on-disk word of the spill
+    table. *)

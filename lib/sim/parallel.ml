@@ -87,6 +87,21 @@ let default_visited_mode = Atomic.make Lockfree
 let set_default_visited v = Atomic.set default_visited_mode v
 let default_visited () = Atomic.get default_visited_mode
 
+(* Auto-sequential fallback: on sub-10^4-state spaces the domain spawn +
+   steal traffic costs more than the whole search (E21 measures jobs=2 at
+   2-8x slower than jobs=1 on such families), so the seeding pass keeps
+   going — it runs the identical claim/expand path — until it has counted
+   this many states; only spaces that outlive the threshold pay for
+   domains.  [SUBC_SEQ_THRESHOLD] overrides (0 restores the old eager
+   spawn), as does [?seq_threshold] per call. *)
+let default_seq_threshold () =
+  match Sys.getenv_opt "SUBC_SEQ_THRESHOLD" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> max 0 n
+    | None -> 4096)
+  | None -> 4096
+
 (* [sleep] is the node's sleep set in the concrete coordinates of the
    item's configuration — carried in the work item so a stolen subtree
    prunes identically to an owner-executed one.
@@ -644,8 +659,8 @@ let emit_obs label g stats (dstats : dstats array) ~all dt =
 let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
     ?(max_crashes = 0) ?(max_recoveries = 0) ?deadline ?expected_states
     ?(escalate_threshold = 1e-6) ?(reduction = Explore.no_reduction)
-    ?(paranoid = false) ?fp ?seed_target ~jobs ~on_terminal ~on_visit label
-    config =
+    ?(paranoid = false) ?fp ?seed_target ?seq_threshold ~jobs ~on_terminal
+    ~on_visit label config =
   let jobs = max 1 jobs in
   let visited =
     match visited with
@@ -674,14 +689,33 @@ let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
       sleep = [];
     }
   in
+  (* The auto-sequential fallback threshold, resolved early because it
+     also sizes the visited tables: when it is active and no
+     [?expected_states] hint says otherwise, the space is presumed small
+     until the seeder proves it big, so the tables start tiny (a
+     right-sized allocation costs more than the whole search on the
+     small spaces the fallback exists for — segment-chained growth
+     amortizes the big-space case). *)
+  let threshold =
+    match seed_target with
+    | Some _ -> 0
+    | None -> (
+      match seq_threshold with
+      | Some n -> max 0 n
+      | None -> default_seq_threshold ())
+  in
   let g =
     {
       table =
         (match visited with
         | Sharded ->
+          let shard_slots = if threshold > 0 then 64 else 1024 in
           Shards
             (Array.init n_shards (fun _ ->
-                 { lock = Mutex.create (); tbl = Fingerprint.Ktbl.create 1024 }))
+                 {
+                   lock = Mutex.create ();
+                   tbl = Fingerprint.Ktbl.create shard_slots;
+                 }))
         | Lockfree | Compressed ->
           let mode =
             match visited with Compressed -> `Folded | _ -> `Two_lane
@@ -689,7 +723,10 @@ let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
           Claims
             (match expected_states with
             | Some _ -> Claim_table.create ?expected_states mode
-            | None -> Claim_table.create ~initial_capacity:8192 mode));
+            | None ->
+              Claim_table.create
+                ~initial_capacity:(if threshold > 0 then 256 else 8192)
+                mode));
       visited;
       deques = Array.init jobs (fun _ -> Ws_deque.create ~dummy:root ());
       idle = Atomic.make 0;
@@ -737,12 +774,14 @@ let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
   in
   (* [?seed_target] shrinks (or widens) the seeded frontier; the stress
      tests set it to 1 so nearly all distribution happens through steals
-     of freshly pushed work rather than the round-robin seeding. *)
+     of freshly pushed work rather than the round-robin seeding.  Setting
+     it also disables the sequential-fallback threshold — such callers
+     want the domains regardless of the space's size. *)
   let target = match seed_target with Some t -> max 1 t | None -> 4 * jobs in
   (try
      while
        (not (Queue.is_empty queue))
-       && Queue.length queue < target
+       && (Queue.length queue < target || seed_stats.states < threshold)
        && Atomic.get g.stop = None
      do
        process seed_ctx (Queue.pop queue)
@@ -803,10 +842,10 @@ let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
 
 let iter_terminals ?visited ?max_states ?max_depth ?max_crashes
     ?max_recoveries ?deadline ?expected_states ?escalate_threshold ?reduction
-    ?paranoid ?fp ?seed_target ~jobs config ~f =
+    ?paranoid ?fp ?seed_target ?seq_threshold ~jobs config ~f =
   run ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
     ?expected_states ?escalate_threshold ?reduction ?paranoid ?fp ?seed_target
-    ~jobs ~on_terminal:f
+    ?seq_threshold ~jobs ~on_terminal:f
     ~on_visit:(fun _ _ -> ())
     "iter_terminals" config
 
@@ -815,19 +854,19 @@ let iter_terminals ?visited ?max_states ?max_depth ?max_crashes
    quantify over every intermediate configuration. *)
 let iter_reachable ?visited ?max_states ?max_depth ?max_crashes
     ?max_recoveries ?deadline ?expected_states ?escalate_threshold ?reduction
-    ?paranoid ?fp ?seed_target ~jobs config ~f =
+    ?paranoid ?fp ?seed_target ?seq_threshold ~jobs config ~f =
   let reduction =
     Option.map (fun r -> { r with Explore.source_sets = false }) reduction
   in
   run ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
     ?expected_states ?escalate_threshold ?reduction ?paranoid ?fp ?seed_target
-    ~jobs
+    ?seq_threshold ~jobs
     ~on_terminal:(fun _ _ -> ())
     ~on_visit:f "iter_reachable" config
 
 let find_terminal ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries
     ?deadline ?expected_states ?escalate_threshold ?reduction ?paranoid ?fp
-    ?seed_target ~jobs config ~violates =
+    ?seed_target ?seq_threshold ~jobs config ~violates =
   let found = ref None in
   (* [on_terminal] runs under the callback lock, so the first writer
      wins and the witness is stable once set. *)
@@ -840,7 +879,7 @@ let find_terminal ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries
   let stats =
     run ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
       ?expected_states ?escalate_threshold ?reduction ?paranoid ?fp
-      ?seed_target ~jobs ~on_terminal
+      ?seed_target ?seq_threshold ~jobs ~on_terminal
       ~on_visit:(fun _ _ -> ())
       "find_terminal" config
   in
@@ -848,11 +887,11 @@ let find_terminal ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries
 
 let check_terminals ?visited ?max_states ?max_depth ?max_crashes
     ?max_recoveries ?deadline ?expected_states ?escalate_threshold ?reduction
-    ?paranoid ?fp ?seed_target ~jobs config ~ok =
+    ?paranoid ?fp ?seed_target ?seq_threshold ~jobs config ~ok =
   match
     find_terminal ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries
       ?deadline ?expected_states ?escalate_threshold ?reduction ?paranoid ?fp
-      ?seed_target ~jobs config
+      ?seed_target ?seq_threshold ~jobs config
       ~violates:(fun c -> not (ok c))
   with
   | None, stats -> Ok stats

@@ -97,6 +97,18 @@ val set_default_visited : visited -> unit
 
 val default_visited : unit -> visited
 
+val default_seq_threshold : unit -> int
+(** The auto-sequential fallback threshold: the seeding pass (which runs
+    the identical claim/expand path on the calling domain) keeps going
+    until it has counted this many states before any worker domain is
+    spawned, so small state spaces — where E21 measures the spawn + steal
+    machinery at 2-8x the cost of the whole search — complete
+    sequentially with identical stats.  Defaults to [4096]; the
+    [SUBC_SEQ_THRESHOLD] environment variable overrides it process-wide
+    ([0] restores the historical eager spawn) and [?seq_threshold]
+    overrides it per call.  Passing [?seed_target] disables the fallback:
+    those callers want the domains regardless of size. *)
+
 (** Every entry point also takes [?fp], selecting the fingerprint mode
     exactly as in {!Explore} (defaulting to {!Explore.default_fp}).
     Under [Incremental] (symmetry off) work items travel delta-encoded
@@ -118,6 +130,7 @@ val iter_terminals :
   ?paranoid:bool ->
   ?fp:Explore.fp_mode ->
   ?seed_target:int ->
+  ?seq_threshold:int ->
   jobs:int ->
   Config.t ->
   f:(Config.t -> Trace.t -> unit) ->
@@ -142,6 +155,7 @@ val iter_reachable :
   ?paranoid:bool ->
   ?fp:Explore.fp_mode ->
   ?seed_target:int ->
+  ?seq_threshold:int ->
   jobs:int ->
   Config.t ->
   f:(Config.t -> Trace.t Lazy.t -> unit) ->
@@ -164,6 +178,7 @@ val find_terminal :
   ?paranoid:bool ->
   ?fp:Explore.fp_mode ->
   ?seed_target:int ->
+  ?seq_threshold:int ->
   jobs:int ->
   Config.t ->
   violates:(Config.t -> bool) ->
@@ -184,6 +199,7 @@ val check_terminals :
   ?paranoid:bool ->
   ?fp:Explore.fp_mode ->
   ?seed_target:int ->
+  ?seq_threshold:int ->
   jobs:int ->
   Config.t ->
   ok:(Config.t -> bool) ->

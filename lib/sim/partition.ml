@@ -1,0 +1,1012 @@
+(* Partitioned exploration: fingerprint-lane state ownership across N
+   partitions, with batched cross-partition frontier exchange and an
+   optional out-of-core (mmap-spilled) visited table per partition.
+
+   The layout is the classic distributed model checker's, collapsed into
+   one process: every search node is {e owned} by exactly one partition,
+   chosen by a pure hash of its claim key (the fingerprint of the
+   canonical (state, sleep) pair — with reductions off this is literally
+   the state's fingerprint lane).  Each partition owns a private visited
+   table — a {!Claim_table} reused unchanged, the sharded exact-key
+   representation under [~paranoid], or a {!Spill_table} of mmap'd
+   62-bit words under [?spill] — plus [jobs / partitions] worker domains
+   with per-worker Chase–Lev deques.  Workers steal only from siblings
+   in their own partition; work crosses a partition boundary exactly
+   once, as a batch.
+
+   {b Producer-side keys.}  Unlike {!Parallel}, which computes the claim
+   key lazily at claim time, the {e producer} of a successor computes
+   its claim key (it holds the materialized successor configuration
+   anyway, straight out of [Explore.source_successors]) and the routing
+   follows from it.  The work item then travels delta-encoded
+   ({!Config.Delta}) with the key attached, so the owner claims without
+   materializing anything: a duplicate — local or from another
+   partition — is rejected on the strength of the carried key alone,
+   and a cross-partition item is "rebased to the owner's side" only
+   when its claim wins, by materializing the shared immutable delta
+   chain.  Pending cross-partition items are additionally deduplicated
+   {e inside} each batch buffer by their folded 62-bit word
+   ([Claim_table.fold_key]) before they are ever sent: an item whose
+   full fingerprint matches a buffered one is dropped and counted as
+   the dedup hit it would have become, cutting resident frontier bytes
+   without touching the counts (the ROADMAP's "spill rebased delta
+   roots to the compressed representation" follow-up).
+
+   {b Batched exchange.}  Each worker keeps one buffer per destination
+   partition; a buffer flushes into the destination's mutex-protected
+   inbox when it reaches [?batch_size] items (default 64) or when the
+   worker goes idle, so a starved partition is never waiting on a
+   half-full buffer held by a busy peer — the idle path flushes before
+   the worker is allowed to conclude anything about termination.
+   Owners drain their inbox into their own deque whenever their deque
+   empties.  [partition.batches_sent] and [partition.batch_bytes] count
+   the exchange traffic.
+
+   {b Termination: a global credit counter.}  The idle-counter protocol
+   of {!Parallel} cannot see work parked in buffers and inboxes, so it
+   is folded into a single conservation law: [in_flight] counts every
+   work item in existence (deques, batch buffers, inboxes, the seed
+   queue), incremented {e before} an item becomes reachable and
+   decremented only after it is fully processed (its children counted
+   first).  [in_flight = 0] therefore proves global exhaustion — it can
+   never be observed while any item exists or is being expanded — and
+   an idle worker (empty deque, drained inbox, flushed buffers, failed
+   steals) that reads 0 ends the search.  Budget truncation keeps the
+   first-cause stop protocol and the claim-first-ticket-second discipline
+   of {!Parallel}, so a truncated run reports exactly [max_states]
+   states at any partition count.
+
+   {b Determinism.}  The partition tables partition the claim-key space
+   by a pure function of the key, so the union of the per-partition
+   claim-once sets is exactly the single-table claim-once set; each
+   claimed key is expanded by the same pure function
+   ([Explore.source_successors] of the canonical pair) whichever
+   partition owns it and however batches interleave.  [states],
+   [transitions], [terminals], [hung_terminals], [crashed_terminals],
+   [recovered_terminals], [dedup_hits] and [source_skips] are therefore
+   identical at any [partitions] x [jobs] x reduction x fp mode — the
+   property E22 and the partition test matrix assert. *)
+
+module Obs = Subc_obs
+
+exception Stop = Parallel.Stop
+
+type stop_cause = Budget | Deadline | Callback of exn
+
+let n_shards = 32
+
+type shard = { lock : Mutex.t; tbl : unit Fingerprint.Ktbl.t }
+
+type vtable =
+  | Shards of shard array
+  | Claims of Claim_table.t
+  | Spill of Spill_table.t
+
+(* A work item carries everything its owner needs to claim and expand it
+   without re-deriving anything: the delta-encoded configuration, the
+   carried incremental fingerprint (for paranoid cross-validation and
+   O(1) child patching), the precomputed claim key, the canonicalizing
+   renaming and enabled-restricted sleep (the [Explore.source_successors]
+   inputs), and the owner partition its key routes to. *)
+type work = {
+  delta : Config.Delta.t;
+  fp : Fingerprint.t option;
+  ckey : Fingerprint.key;
+  owner : int;
+  pi : Symmetry.perm option;
+  rsleep : Explore.tr list;
+  rev_trace : Trace.event list;
+  depth : int;
+}
+
+type inbox = {
+  m : Mutex.t;
+  mutable batches : work list list;
+  n_items : int Atomic.t; (* lock-free emptiness fast path + sampling *)
+}
+
+type part = {
+  table : vtable;
+  deques : work Ws_deque.t array; (* one per local worker *)
+  inbox : inbox;
+}
+
+(* Per-worker statistics, merged after the join (sums except
+   [max_depth]); the two batch fields feed the partition.* metrics. *)
+type dstats = {
+  mutable states : int;
+  mutable transitions : int;
+  mutable terminals : int;
+  mutable hung_terminals : int;
+  mutable crashed_terminals : int;
+  mutable recovered_terminals : int;
+  mutable max_depth : int;
+  mutable dedup_hits : int;
+  mutable source_skips : int;
+  mutable fp_patches : int;
+  mutable fp_refolds : int;
+  mutable fp_mismatches : int;
+  mutable pushed_items : int;
+  mutable pushed_words : int;
+  mutable depth_limited : bool;
+  mutable steals : int;
+  mutable contention : int;
+  mutable batches_sent : int;
+  mutable batch_bytes : int;
+  claim : Claim_table.opstats;
+  mutable seconds : float;
+}
+
+let fresh_dstats () =
+  {
+    states = 0;
+    transitions = 0;
+    terminals = 0;
+    hung_terminals = 0;
+    crashed_terminals = 0;
+    recovered_terminals = 0;
+    max_depth = 0;
+    dedup_hits = 0;
+    source_skips = 0;
+    fp_patches = 0;
+    fp_refolds = 0;
+    fp_mismatches = 0;
+    pushed_items = 0;
+    pushed_words = 0;
+    depth_limited = false;
+    steals = 0;
+    contention = 0;
+    batches_sent = 0;
+    batch_bytes = 0;
+    claim = Claim_table.fresh_opstats ();
+    seconds = 0.0;
+  }
+
+type global = {
+  parts : part array;
+  n_parts : int;
+  jobs_per_part : int;
+  batch_size : int;
+  spill : string option;
+  visited : Parallel.visited;
+  stop : stop_cause option Atomic.t;
+  finished : bool Atomic.t;
+  in_flight : int Atomic.t; (* the credit counter; see the header *)
+  n_states : int Atomic.t;
+  max_states : int;
+  depth_limit : int;
+  max_crashes : int;
+  max_recoveries : int;
+  deadline_at : float;
+  escalate_threshold : float;
+  escalated : bool Atomic.t;
+  reduction : Explore.reduction;
+  paranoid : bool;
+  fp_mode : Explore.fp_mode;
+  frontier_peak : int Atomic.t;
+  cb_lock : Mutex.t;
+  on_terminal : Config.t -> Trace.t -> unit;
+  on_visit : Config.t -> Trace.t Lazy.t -> unit;
+}
+
+(* Per-destination batch buffer.  [keys] is the satellite compressed-key
+   dedup: folded 62-bit word -> full lanes of the buffered item. *)
+type buffer = {
+  mutable items : work list;
+  mutable count : int;
+  mutable words : int;
+  keys : (int, int * int) Hashtbl.t;
+}
+
+type ctx = {
+  g : global;
+  pid : int; (* owning partition *)
+  wid : int; (* deque index within the partition *)
+  stats : dstats;
+  commute : Explore.commute_cache;
+  bufs : buffer array; (* one per destination; [||] for the seeder *)
+  mutable rng : int;
+  mutable tick : int;
+  mutable route_push : int -> work -> unit; (* owner -> item -> () *)
+}
+
+let set_stop g cause = ignore (Atomic.compare_and_set g.stop None (Some cause))
+
+(* Ownership routing: a pure, well-mixed function of the claim key.
+   With reductions off the claim key {e is} the state's fingerprint, so
+   this is hash-partitioned state ownership by fingerprint lane; under
+   reductions it partitions (state, sleep) nodes, which is exactly the
+   granularity the claim-once argument needs. *)
+let[@inline] route key n =
+  if n <= 1 then 0
+  else
+    let x = Fingerprint.key_hash key in
+    Claim_table.fold_key x (x lxor 0x9E3779B97F4A7C5) land max_int mod n
+
+(* The claim key, canonicalizing renaming and restricted sleep of a
+   configuration — computed by the producer, which already holds the
+   materialized configuration.  Mirrors [Parallel.claim]'s key derivation
+   exactly so the claimed-key set (and hence every count) matches. *)
+let make_key g fp config ~sleep =
+  match fp with
+  | Some f when not g.paranoid ->
+    if g.reduction.Explore.source_sets && sleep <> [] then
+      let fp', pi, rs =
+        Explore.source_fingerprint_from f g.reduction
+          ~max_crashes:g.max_crashes config ~sleep
+      in
+      (Fingerprint.Fp fp', pi, rs)
+    else (Fingerprint.Fp f, None, [])
+  | _ ->
+    Explore.source_key ~paranoid:g.paranoid g.reduction
+      ~max_crashes:g.max_crashes config ~sleep
+
+(* Claim [item]'s key in its owner partition's table.  Claim first,
+   ticket second (on the shared [n_states]): every ticket below the
+   budget goes to exactly one successful claim, so a truncated run
+   reports exactly [max_states] states — the same discipline at any
+   partition count. *)
+let claim ctx item =
+  let g = ctx.g in
+  let ticket () =
+    if Atomic.fetch_and_add g.n_states 1 >= g.max_states then `Budget
+    else `Fresh
+  in
+  match (g.parts.(item.owner).table, item.ckey) with
+  | Claims t, Fingerprint.Fp f -> (
+    match
+      Claim_table.claim t ctx.stats.claim ~h1:f.Fingerprint.h1
+        ~h2:f.Fingerprint.h2
+    with
+    | `Dup -> `Dup
+    | `Fresh -> ticket ())
+  | Spill s, Fingerprint.Fp f -> (
+    match
+      Spill_table.claim s ctx.stats.claim ~h1:f.Fingerprint.h1
+        ~h2:f.Fingerprint.h2
+    with
+    | `Dup -> `Dup
+    | `Fresh -> ticket ())
+  | Shards shards, key ->
+    let sh = shards.(Fingerprint.shard_index key mod n_shards) in
+    if not (Mutex.try_lock sh.lock) then begin
+      ctx.stats.contention <- ctx.stats.contention + 1;
+      Mutex.lock sh.lock
+    end;
+    let r =
+      if Fingerprint.Ktbl.mem sh.tbl key then `Dup
+      else if Atomic.fetch_and_add g.n_states 1 >= g.max_states then `Budget
+      else begin
+        Fingerprint.Ktbl.add sh.tbl key ();
+        `Fresh
+      end
+    in
+    Mutex.unlock sh.lock;
+    r
+  | (Claims _ | Spill _), Fingerprint.Exact _ ->
+    (* Exact keys only arise under [~paranoid], which forces [Shards]. *)
+    assert false
+
+let m_escalated = Obs.Metrics.counter "partition.visited_escalated"
+
+(* Compressed-mode auto-escalation, per owner table: same policy as
+   {!Parallel.maybe_escalate}, evaluated against the global state count
+   (conservative — each table holds a subset). *)
+let maybe_escalate ctx owner =
+  let g = ctx.g in
+  if g.escalate_threshold > 0.0 && ctx.stats.states land 255 = 0 then
+    match g.parts.(owner).table with
+    | Claims t when Claim_table.is_folded t ->
+      let n = Atomic.get g.n_states in
+      let bound = Explore.collision_bound ~bits:62 ~states:n in
+      if bound > g.escalate_threshold then begin
+        Claim_table.escalate t;
+        if Atomic.compare_and_set g.escalated false true then begin
+          Obs.Metrics.incr m_escalated;
+          Printf.eprintf
+            "subconsensus: partition %d compressed visited table escalated \
+             to lockfree at %d states (collision bound %.2g > %.2g)\n\
+             %!"
+            owner n bound g.escalate_threshold
+        end
+      end
+    | Claims _ | Shards _ | Spill _ -> ()
+
+(* Flush one destination buffer into its partition's inbox. *)
+let flush ctx dest =
+  let b = ctx.bufs.(dest) in
+  if b.count > 0 then begin
+    let inbox = ctx.g.parts.(dest).inbox in
+    Mutex.lock inbox.m;
+    inbox.batches <- b.items :: inbox.batches;
+    Atomic.fetch_and_add inbox.n_items b.count |> ignore;
+    Mutex.unlock inbox.m;
+    ctx.stats.batches_sent <- ctx.stats.batches_sent + 1;
+    (* Item overhead (list cons + record header + key) plus the deltas'
+       unique retention — the bytes the batch actually moves. *)
+    ctx.stats.batch_bytes <- ctx.stats.batch_bytes + (8 * (b.words + (10 * b.count)));
+    b.items <- [];
+    b.count <- 0;
+    b.words <- 0;
+    Hashtbl.reset b.keys
+  end
+
+let flush_all ctx =
+  Array.iteri (fun dest _ -> flush ctx dest) ctx.bufs
+
+(* Buffer a cross-partition item, deduplicating by compressed key: a
+   pending item whose full fingerprint matches a buffered one can only
+   become a [`Dup] at the owner, so it is dropped here and counted as
+   the dedup hit it would have been — same totals, fewer resident
+   items.  Exact (paranoid) keys skip the compression. *)
+let buffer_add ctx dest w =
+  let b = ctx.bufs.(dest) in
+  let dropped =
+    match w.ckey with
+    | Fingerprint.Fp f -> (
+      let folded = Claim_table.fold_key f.Fingerprint.h1 f.Fingerprint.h2 in
+      match Hashtbl.find_opt b.keys folded with
+      | Some (h1, h2) -> h1 = f.Fingerprint.h1 && h2 = f.Fingerprint.h2
+      | None ->
+        Hashtbl.add b.keys folded (f.Fingerprint.h1, f.Fingerprint.h2);
+        false)
+    | Fingerprint.Exact _ -> false
+  in
+  if dropped then ctx.stats.dedup_hits <- ctx.stats.dedup_hits + 1
+  else begin
+    Atomic.incr ctx.g.in_flight;
+    b.items <- w :: b.items;
+    b.count <- b.count + 1;
+    b.words <- b.words + 7 + Config.Delta.approx_words w.delta;
+    if b.count >= ctx.g.batch_size then flush ctx dest
+  end
+
+(* Expand one claimed-or-not work item; the caller decrements
+   [in_flight] after this returns (children are counted inside, so the
+   counter can never be observed at zero mid-expansion). *)
+let process ctx item =
+  let g = ctx.g in
+  ctx.tick <- ctx.tick + 1;
+  if ctx.tick land 255 = 0 then begin
+    if g.deadline_at < infinity && Unix.gettimeofday () > g.deadline_at then
+      set_stop g Deadline;
+    let sz =
+      Array.fold_left
+        (fun acc (p : part) ->
+          Array.fold_left
+            (fun a d -> a + Ws_deque.size d)
+            (acc + Atomic.get p.inbox.n_items)
+            p.deques)
+        0 g.parts
+    in
+    let rec bump () =
+      let cur = Atomic.get g.frontier_peak in
+      if sz > cur && not (Atomic.compare_and_set g.frontier_peak cur sz) then
+        bump ()
+    in
+    bump ()
+  end;
+  if item.depth > ctx.stats.max_depth then ctx.stats.max_depth <- item.depth;
+  if item.depth > g.depth_limit then ctx.stats.depth_limited <- true
+  else
+    match claim ctx item with
+    | `Dup -> ctx.stats.dedup_hits <- ctx.stats.dedup_hits + 1
+    | `Budget -> set_stop g Budget
+    | `Fresh ->
+      (* Only a winning claim materializes: cross-partition duplicates
+         die as carried keys, never as configurations. *)
+      let config = Config.Delta.materialize item.delta in
+      ctx.stats.states <- ctx.stats.states + 1;
+      maybe_escalate ctx item.owner;
+      (match item.fp with
+      | Some f when g.paranoid ->
+        ctx.stats.fp_refolds <- ctx.stats.fp_refolds + 1;
+        if not (Fingerprint.equal f (Fingerprint.hom_of_config config)) then
+          ctx.stats.fp_mismatches <- ctx.stats.fp_mismatches + 1
+      | _ -> ());
+      g.on_visit config (lazy (List.rev item.rev_trace));
+      if Config.running config = [] then begin
+        ctx.stats.terminals <- ctx.stats.terminals + 1;
+        if Config.any_hung config then
+          ctx.stats.hung_terminals <- ctx.stats.hung_terminals + 1;
+        if Config.any_crashed config then
+          ctx.stats.crashed_terminals <- ctx.stats.crashed_terminals + 1;
+        if Config.any_recovered config then
+          ctx.stats.recovered_terminals <- ctx.stats.recovered_terminals + 1;
+        Mutex.lock g.cb_lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock g.cb_lock)
+          (fun () -> g.on_terminal config (List.rev item.rev_trace))
+      end;
+      let groups, skips =
+        Explore.source_successors ctx.commute g.reduction ~pi:item.pi
+          ~max_crashes:g.max_crashes ~max_recoveries:g.max_recoveries config
+          ~sleep:item.rsleep
+      in
+      ctx.stats.source_skips <- ctx.stats.source_skips + skips;
+      List.iter
+        (fun grp ->
+          List.iter
+            (fun (config', event, slots) ->
+              ctx.stats.transitions <- ctx.stats.transitions + 1;
+              let fp' =
+                match item.fp with
+                | None -> None
+                | Some f ->
+                  ctx.stats.fp_patches <- ctx.stats.fp_patches + 1;
+                  Some
+                    (Explore.fp_inject_fault
+                       (Explore.patched_fingerprint config f slots config'))
+              in
+              let delta' =
+                match g.fp_mode with
+                | Explore.Full -> Config.Delta.root config'
+                | Explore.Incremental ->
+                  let i = slots.Step.sl_proc in
+                  Config.Delta.extend item.delta
+                    ~proc_sets:[ (i, config'.Config.procs.(i)) ]
+                    ~store_sets:slots.Step.sl_store
+              in
+              let ckey, pi, rsleep =
+                make_key g fp' config' ~sleep:grp.Explore.g_sleep
+              in
+              let owner = route ckey g.n_parts in
+              ctx.stats.pushed_items <- ctx.stats.pushed_items + 1;
+              ctx.stats.pushed_words <-
+                ctx.stats.pushed_words + 7 + Config.Delta.approx_words delta';
+              ctx.route_push owner
+                {
+                  delta = delta';
+                  fp = fp';
+                  ckey;
+                  owner;
+                  pi;
+                  rsleep;
+                  rev_trace = event :: item.rev_trace;
+                  depth = item.depth + 1;
+                })
+            grp.Explore.g_succs)
+        groups
+
+(* Drain this partition's inbox into the calling worker's own deque.
+   Returns whether anything arrived. *)
+let drain_inbox ctx =
+  let inbox = ctx.g.parts.(ctx.pid).inbox in
+  if Atomic.get inbox.n_items = 0 then false
+  else begin
+    Mutex.lock inbox.m;
+    let batches = inbox.batches in
+    inbox.batches <- [];
+    Atomic.set inbox.n_items 0;
+    Mutex.unlock inbox.m;
+    match batches with
+    | [] -> false
+    | _ ->
+      let deque = ctx.g.parts.(ctx.pid).deques.(ctx.wid) in
+      List.iter (List.iter (fun w -> Ws_deque.push deque w)) batches;
+      true
+  end
+
+let[@inline] next_rand ctx =
+  let x = ctx.rng in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  ctx.rng <- (if x = 0 then 0x9E3779B9 else x);
+  ctx.rng
+
+(* One steal sweep over the sibling deques of this partition (ownership
+   confines stealing: cross-partition work moves only through batches).
+   [None] after a full unsuccessful sweep — the worker's outer loop
+   re-checks the inbox and the credit counter and spins. *)
+let steal ctx =
+  let deques = ctx.g.parts.(ctx.pid).deques in
+  let n = Array.length deques in
+  if n <= 1 then None
+  else begin
+    let start = next_rand ctx mod n in
+    let rec go k =
+      if k = n then None
+      else
+        let v = (start + k) mod n in
+        if v = ctx.wid || Ws_deque.size deques.(v) = 0 then go (k + 1)
+        else
+          match Ws_deque.steal deques.(v) with
+          | `Stolen w ->
+            ctx.stats.steals <- ctx.stats.steals + 1;
+            Some w
+          | `Empty -> go (k + 1)
+          | `Retry ->
+            ctx.stats.claim.Claim_table.cas_retries <-
+              ctx.stats.claim.Claim_table.cas_retries + 1;
+            go k
+    in
+    go 0
+  end
+
+let rec worker ctx =
+  let g = ctx.g in
+  if Atomic.get g.stop <> None || Atomic.get g.finished then ()
+  else
+    match Ws_deque.pop g.parts.(ctx.pid).deques.(ctx.wid) with
+    | Some item ->
+      (try process ctx item with e -> set_stop g (Callback e));
+      Atomic.decr g.in_flight;
+      worker ctx
+    | None ->
+      if drain_inbox ctx then worker ctx
+      else begin
+        (* Idle: publish everything we are holding before drawing any
+           conclusion — a buffered batch must not starve its owner. *)
+        flush_all ctx;
+        match steal ctx with
+        | Some item ->
+          (try process ctx item with e -> set_stop g (Callback e));
+          Atomic.decr g.in_flight;
+          worker ctx
+        | None ->
+          if Atomic.get g.in_flight = 0 then Atomic.set g.finished true
+          else Domain.cpu_relax ();
+          worker ctx
+      end
+
+(* Piecewise collision bound of one claim table (same accounting as
+   {!Parallel}); summed over partitions — keys never compare across
+   tables, so the per-table pair bounds union-bound the whole run. *)
+let claims_bound t ~states =
+  let nf = min (Claim_table.folded_occupancy t) states in
+  let nt = states - nf in
+  let fnf = float_of_int nf and fnt = float_of_int nt in
+  min 1.0
+    ((((fnf *. (fnf -. 1.0) /. 2.0) +. (fnf *. fnt)) *. ldexp 1.0 (-62))
+    +. (fnt *. (fnt -. 1.0) /. 2.0 *. ldexp 1.0 (-124)))
+
+let collision_bound g ~states =
+  if g.paranoid then 0.0
+  else
+    min 1.0
+      (Array.fold_left
+         (fun acc p ->
+           acc
+           +.
+           match p.table with
+           | Shards _ ->
+             (* Conservative: charge the whole run at the fingerprint
+                width (pairs across partitions never actually meet). *)
+             Explore.collision_bound ~bits:Explore.fingerprint_bits ~states
+             /. float_of_int g.n_parts
+           | Claims t ->
+             claims_bound t ~states:(min states (Claim_table.occupancy t))
+           | Spill s ->
+             Explore.collision_bound ~bits:62
+               ~states:(Spill_table.occupancy s))
+         0.0 g.parts)
+
+let visited_bytes g =
+  Array.fold_left
+    (fun acc p ->
+      acc
+      +
+      match p.table with
+      | Claims t -> Claim_table.memory_bytes t
+      | Spill s -> Spill_table.memory_bytes s
+      | Shards shards ->
+        8
+        * Array.fold_left
+            (fun a sh ->
+              let s = Fingerprint.Ktbl.stats sh.tbl in
+              a + s.Hashtbl.num_buckets + (7 * s.Hashtbl.num_bindings))
+            0 shards)
+    0 g.parts
+
+let spill_bytes g =
+  Array.fold_left
+    (fun acc p ->
+      acc + match p.table with Spill s -> Spill_table.spill_bytes s | _ -> 0)
+    0 g.parts
+
+let merge_stats g (all : dstats list) =
+  let sum f = List.fold_left (fun acc d -> acc + f d) 0 all in
+  let limit_reason =
+    match Atomic.get g.stop with
+    | Some Budget -> Explore.Max_states
+    | Some Deadline -> Explore.Deadline
+    | Some (Callback _) | None ->
+      if List.exists (fun d -> d.depth_limited) all then Explore.Max_depth
+      else Explore.No_limit
+  in
+  let states = sum (fun d -> d.states) in
+  let frontier_bytes =
+    let items = sum (fun d -> d.pushed_items) in
+    if items = 0 then 0
+    else
+      let words = sum (fun d -> d.pushed_words) in
+      let peak = max 1 (Atomic.get g.frontier_peak) in
+      int_of_float
+        (8.0 *. float_of_int peak
+        *. (float_of_int words /. float_of_int items))
+  in
+  {
+    Explore.states;
+    frontier_bytes;
+    transitions = sum (fun d -> d.transitions);
+    terminals = sum (fun d -> d.terminals);
+    hung_terminals = sum (fun d -> d.hung_terminals);
+    crashed_terminals = sum (fun d -> d.crashed_terminals);
+    recovered_terminals = sum (fun d -> d.recovered_terminals);
+    max_depth = List.fold_left (fun acc d -> max acc d.max_depth) 0 all;
+    dedup_hits = sum (fun d -> d.dedup_hits);
+    source_skips = sum (fun d -> d.source_skips);
+    cycles = 0;
+    collision_bound = collision_bound g ~states;
+    limited = Explore.reason_truncates limit_reason;
+    limit_reason;
+  }
+
+let m_searches = Obs.Metrics.counter "partition.searches"
+let m_states = Obs.Metrics.counter "partition.states"
+let m_batches_sent = Obs.Metrics.counter "partition.batches_sent"
+let m_batch_bytes = Obs.Metrics.counter "partition.batch_bytes"
+let m_spill_bytes = Obs.Metrics.counter "partition.spill_bytes"
+let m_spill_probes = Obs.Metrics.counter "partition.spill_probes"
+let m_steals = Obs.Metrics.counter "partition.steals"
+let m_fp_patches = Obs.Metrics.counter "fp.patches"
+let m_fp_refolds = Obs.Metrics.counter "fp.refolds"
+let m_fp_mismatches = Obs.Metrics.counter "fp.paranoid_mismatches"
+
+let emit_obs label g stats ~all dt =
+  Obs.Metrics.incr m_searches;
+  Obs.Metrics.add m_states stats.Explore.states;
+  let spilling = g.spill <> None && not g.paranoid in
+  List.iter
+    (fun d ->
+      Obs.Metrics.add m_batches_sent d.batches_sent;
+      Obs.Metrics.add m_batch_bytes d.batch_bytes;
+      Obs.Metrics.add m_steals d.steals;
+      if spilling then
+        Obs.Metrics.add m_spill_probes d.claim.Claim_table.probes;
+      Obs.Metrics.add m_fp_patches d.fp_patches;
+      Obs.Metrics.add m_fp_refolds d.fp_refolds;
+      Obs.Metrics.add m_fp_mismatches d.fp_mismatches)
+    all;
+  Obs.Metrics.add m_spill_bytes (spill_bytes g);
+  let rate = if dt > 0.0 then float_of_int stats.Explore.states /. dt else 0.0 in
+  Obs.Metrics.set_gauge "partition.states_per_sec" rate;
+  Obs.Metrics.set_gauge "partition.visited_bytes"
+    (float_of_int (visited_bytes g));
+  Obs.Metrics.set_gauge "partition.spill_bytes_gauge"
+    (float_of_int (spill_bytes g));
+  Obs.Metrics.set_gauge "explore.frontier_bytes"
+    (float_of_int stats.Explore.frontier_bytes);
+  if Obs.Sink.get () != Obs.Sink.null then
+    Obs.Sink.emit "partition"
+      [
+        ("search", Obs.Sink.Str label);
+        ("partitions", Obs.Sink.Int g.n_parts);
+        ("jobs_per_partition", Obs.Sink.Int g.jobs_per_part);
+        ("visited", Obs.Sink.Str
+           (if spilling then "spill"
+            else Format.asprintf "%a" Parallel.pp_visited g.visited));
+        ("states", Obs.Sink.Int stats.Explore.states);
+        ("transitions", Obs.Sink.Int stats.Explore.transitions);
+        ("terminals", Obs.Sink.Int stats.Explore.terminals);
+        ("dedup_hits", Obs.Sink.Int stats.Explore.dedup_hits);
+        ("source_skips", Obs.Sink.Int stats.Explore.source_skips);
+        ("batches_sent", Obs.Sink.Int (List.fold_left (fun a d -> a + d.batches_sent) 0 all));
+        ("batch_bytes", Obs.Sink.Int (List.fold_left (fun a d -> a + d.batch_bytes) 0 all));
+        ("contention", Obs.Sink.Int (List.fold_left (fun a d -> a + d.contention) 0 all));
+        ("worker_seconds", Obs.Sink.Float (List.fold_left (fun a d -> max a d.seconds) 0.0 all));
+        ("visited_bytes", Obs.Sink.Int (visited_bytes g));
+        ("spill_bytes", Obs.Sink.Int (spill_bytes g));
+        ("collision_bound", Obs.Sink.Float stats.Explore.collision_bound);
+        ("limited", Obs.Sink.Bool stats.Explore.limited);
+        ("seconds", Obs.Sink.Float dt);
+        ("states_per_sec", Obs.Sink.Float rate);
+      ]
+
+let fresh_buffers n =
+  Array.init n (fun _ ->
+      { items = []; count = 0; words = 0; keys = Hashtbl.create 64 })
+
+let run ?visited ?(max_states = 5_000_000) ?(max_depth = 10_000)
+    ?(max_crashes = 0) ?(max_recoveries = 0) ?deadline ?expected_states
+    ?(escalate_threshold = 1e-6) ?(reduction = Explore.no_reduction)
+    ?(paranoid = false) ?fp ?seed_target ?seq_threshold ?(batch_size = 64)
+    ?spill ~partitions ~jobs ~on_terminal ~on_visit label config =
+  let n_parts = max 1 partitions in
+  let jobs_per_part = max 1 (max 1 jobs / n_parts) in
+  let n_workers = n_parts * jobs_per_part in
+  let visited =
+    match visited with Some v -> v | None -> Parallel.default_visited ()
+  in
+  (* Exact canonical keys under [~paranoid] only fit the hashtable
+     representation — it wins over both the visited mode and [?spill],
+     exactly as in {!Parallel}. *)
+  let visited = if paranoid then Parallel.Sharded else visited in
+  let fp_mode = match fp with Some m -> m | None -> Explore.default_fp () in
+  let root_fp =
+    if fp_mode = Explore.Incremental && reduction.Explore.symmetry = None then
+      Some (Fingerprint.hom_of_config config)
+    else None
+  in
+  (* Resolved before the tables because it also sizes them: with the
+     auto-sequential fallback active and no [?expected_states] hint the
+     space is presumed small until the seeder proves it big, so each
+     partition's table starts tiny (segment-chained growth amortizes the
+     big-space case; see the matching note in {!Parallel.run}). *)
+  let threshold =
+    match seed_target with
+    | Some _ -> 0
+    | None -> (
+      match seq_threshold with
+      | Some n -> max 0 n
+      | None -> Parallel.default_seq_threshold ())
+  in
+  let shard_slots = if threshold > 0 then 64 else 1024 in
+  let make_table pid =
+    if paranoid then
+      Shards
+        (Array.init n_shards (fun _ ->
+             {
+               lock = Mutex.create ();
+               tbl = Fingerprint.Ktbl.create shard_slots;
+             }))
+    else
+      match spill with
+      | Some dir ->
+        Spill
+          (Spill_table.create
+             ?expected_states:
+               (Option.map (fun n -> max 64 (n / n_parts)) expected_states)
+             ~dir ~part:pid ())
+      | None -> (
+        match visited with
+        | Parallel.Sharded ->
+          Shards
+            (Array.init n_shards (fun _ ->
+                 {
+                   lock = Mutex.create ();
+                   tbl = Fingerprint.Ktbl.create shard_slots;
+                 }))
+        | Parallel.Lockfree | Parallel.Compressed ->
+          let mode =
+            match visited with Parallel.Compressed -> `Folded | _ -> `Two_lane
+          in
+          Claims
+            (match expected_states with
+            | Some n ->
+              Claim_table.create ~expected_states:(max 64 (n / n_parts)) mode
+            | None ->
+              Claim_table.create
+                ~initial_capacity:
+                  (if threshold > 0 then 256 else max 256 (8192 / n_parts))
+                mode))
+  in
+  let g =
+    {
+      parts =
+        Array.init n_parts (fun pid ->
+            {
+              table = make_table pid;
+              deques = [||] (* placed after the root exists, for ~dummy *);
+              inbox =
+                { m = Mutex.create (); batches = []; n_items = Atomic.make 0 };
+            });
+      n_parts;
+      jobs_per_part;
+      batch_size = max 1 batch_size;
+      spill;
+      visited;
+      stop = Atomic.make None;
+      finished = Atomic.make false;
+      in_flight = Atomic.make 1 (* the root *);
+      n_states = Atomic.make 0;
+      max_states;
+      depth_limit = max_depth;
+      max_crashes;
+      max_recoveries;
+      deadline_at =
+        (match deadline with
+        | None -> infinity
+        | Some secs -> Unix.gettimeofday () +. secs);
+      escalate_threshold;
+      escalated = Atomic.make false;
+      reduction;
+      paranoid;
+      fp_mode;
+      frontier_peak = Atomic.make 0;
+      cb_lock = Mutex.create ();
+      on_terminal;
+      on_visit;
+    }
+  in
+  let rkey, rpi, rsleep =
+    make_key g root_fp config ~sleep:[]
+  in
+  let root =
+    {
+      delta = Config.Delta.root config;
+      fp = root_fp;
+      ckey = rkey;
+      owner = route rkey n_parts;
+      pi = rpi;
+      rsleep;
+      rev_trace = [];
+      depth = 0;
+    }
+  in
+  let parts =
+    Array.map
+      (fun p ->
+        {
+          p with
+          deques =
+            Array.init jobs_per_part (fun _ -> Ws_deque.create ~dummy:root ());
+        })
+      g.parts
+  in
+  let g = { g with parts } in
+  let t0 = Unix.gettimeofday () in
+  let queue = Queue.create () in
+  Queue.push root queue;
+  (* Seed: bounded BFS on the main domain, claiming into each item's
+     owner table (single-threaded, so no batching is needed yet), until
+     the frontier is wide enough for every worker {e and} the
+     sequential-fallback threshold is crossed — spaces smaller than the
+     threshold finish right here and never pay a domain spawn
+     ([threshold] was resolved above, where it sized the tables). *)
+  let target =
+    match seed_target with Some t -> max 1 t | None -> 4 * n_workers
+  in
+  let seed_stats = fresh_dstats () in
+  if root_fp <> None then seed_stats.fp_refolds <- 1;
+  let seed_ctx =
+    {
+      g;
+      pid = 0;
+      wid = 0;
+      stats = seed_stats;
+      commute = Explore.commute_cache ();
+      bufs = [||];
+      rng = 0x9E3779B9;
+      tick = 0;
+      route_push = (fun _ _ -> assert false);
+    }
+  in
+  seed_ctx.route_push <-
+    (fun _ w ->
+      Atomic.incr g.in_flight;
+      Queue.push w queue);
+  (try
+     while
+       (not (Queue.is_empty queue))
+       && (Queue.length queue < target || seed_stats.states < threshold)
+       && Atomic.get g.stop = None
+     do
+       let item = Queue.pop queue in
+       process seed_ctx item;
+       Atomic.decr g.in_flight
+     done
+   with e -> set_stop g (Callback e));
+  Explore.flush_commute_metrics seed_ctx.commute;
+  seed_stats.seconds <- Unix.gettimeofday () -. t0;
+  let dstats = Array.init n_workers (fun _ -> fresh_dstats ()) in
+  if Queue.length queue > Atomic.get g.frontier_peak then
+    Atomic.set g.frontier_peak (Queue.length queue);
+  if (not (Queue.is_empty queue)) && Atomic.get g.stop = None then begin
+    (* Hand the remaining frontier to its owners — each item goes to its
+       owner partition, round-robin across that partition's workers;
+       spawn publishes the deque contents. *)
+    let rr = Array.make n_parts 0 in
+    Queue.iter
+      (fun w ->
+        let p = w.owner in
+        Ws_deque.push g.parts.(p).deques.(rr.(p) mod jobs_per_part) w;
+        rr.(p) <- rr.(p) + 1)
+      queue;
+    let domains =
+      Array.init n_workers (fun i ->
+          Domain.spawn (fun () ->
+              let w0 = Unix.gettimeofday () in
+              let pid = i / jobs_per_part and wid = i mod jobs_per_part in
+              let ctx =
+                {
+                  g;
+                  pid;
+                  wid;
+                  stats = dstats.(i);
+                  commute = Explore.commute_cache ();
+                  bufs = fresh_buffers n_parts;
+                  rng = 0x9E3779B9 * (i + 1);
+                  tick = 0;
+                  route_push = (fun _ _ -> assert false);
+                }
+              in
+              ctx.route_push <-
+                (fun owner w ->
+                  if owner = pid then begin
+                    Atomic.incr g.in_flight;
+                    Ws_deque.push g.parts.(pid).deques.(wid) w
+                  end
+                  else buffer_add ctx owner w);
+              worker ctx;
+              Explore.flush_commute_metrics ctx.commute;
+              dstats.(i).seconds <- Unix.gettimeofday () -. w0))
+    in
+    Array.iter Domain.join domains
+  end;
+  let dt = Unix.gettimeofday () -. t0 in
+  let all = seed_stats :: Array.to_list dstats in
+  let stats = merge_stats g all in
+  emit_obs label g stats ~all dt;
+  (match Atomic.get g.stop with
+  | Some (Callback Stop) | Some Budget | Some Deadline | None -> ()
+  | Some (Callback e) -> raise e);
+  let mismatches = List.fold_left (fun acc d -> acc + d.fp_mismatches) 0 all in
+  if mismatches > 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Partition: %d incremental fingerprint patch(es) disagree with the \
+          paranoid re-fold"
+         mismatches);
+  stats
+
+let iter_terminals ?visited ?max_states ?max_depth ?max_crashes
+    ?max_recoveries ?deadline ?expected_states ?escalate_threshold ?reduction
+    ?paranoid ?fp ?seed_target ?seq_threshold ?batch_size ?spill ~partitions
+    ~jobs config ~f =
+  run ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
+    ?expected_states ?escalate_threshold ?reduction ?paranoid ?fp ?seed_target
+    ?seq_threshold ?batch_size ?spill ~partitions ~jobs ~on_terminal:f
+    ~on_visit:(fun _ _ -> ())
+    "iter_terminals" config
+
+let iter_reachable ?visited ?max_states ?max_depth ?max_crashes
+    ?max_recoveries ?deadline ?expected_states ?escalate_threshold ?reduction
+    ?paranoid ?fp ?seed_target ?seq_threshold ?batch_size ?spill ~partitions
+    ~jobs config ~f =
+  (* Source sets are stripped exactly as in {!Explore.iter_reachable}:
+     reachability consumers quantify over every configuration. *)
+  let reduction =
+    Option.map (fun r -> { r with Explore.source_sets = false }) reduction
+  in
+  run ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
+    ?expected_states ?escalate_threshold ?reduction ?paranoid ?fp ?seed_target
+    ?seq_threshold ?batch_size ?spill ~partitions ~jobs
+    ~on_terminal:(fun _ _ -> ())
+    ~on_visit:f "iter_reachable" config
+
+let find_terminal ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries
+    ?deadline ?expected_states ?escalate_threshold ?reduction ?paranoid ?fp
+    ?seed_target ?seq_threshold ?batch_size ?spill ~partitions ~jobs config
+    ~violates =
+  let found = ref None in
+  let on_terminal c trace =
+    if Option.is_none !found && violates c then begin
+      found := Some (c, trace);
+      raise Stop
+    end
+  in
+  let stats =
+    run ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries ?deadline
+      ?expected_states ?escalate_threshold ?reduction ?paranoid ?fp
+      ?seed_target ?seq_threshold ?batch_size ?spill ~partitions ~jobs
+      ~on_terminal
+      ~on_visit:(fun _ _ -> ())
+      "find_terminal" config
+  in
+  (!found, stats)
+
+let check_terminals ?visited ?max_states ?max_depth ?max_crashes
+    ?max_recoveries ?deadline ?expected_states ?escalate_threshold ?reduction
+    ?paranoid ?fp ?seed_target ?seq_threshold ?batch_size ?spill ~partitions
+    ~jobs config ~ok =
+  match
+    find_terminal ?visited ?max_states ?max_depth ?max_crashes ?max_recoveries
+      ?deadline ?expected_states ?escalate_threshold ?reduction ?paranoid ?fp
+      ?seed_target ?seq_threshold ?batch_size ?spill ~partitions ~jobs config
+      ~violates:(fun c -> not (ok c))
+  with
+  | None, stats -> Ok stats
+  | Some (c, trace), stats -> Error (c, trace, stats)

@@ -1,0 +1,161 @@
+(** Partitioned (optionally out-of-core) state-space exploration.
+
+    Extends {!Parallel}'s claim-once multicore driver with hash-partitioned
+    state {e ownership}: every search node belongs to exactly one of
+    [partitions] partitions, chosen by a pure hash of its claim key — with
+    reductions off, literally its fingerprint lane.  Each partition owns a
+    private visited table (a {!Claim_table} reused unchanged, the sharded
+    exact-key representation under [~paranoid], or an mmap-spilled
+    {!Spill_table} under [?spill]) and [jobs / partitions] worker domains
+    with per-worker Chase–Lev deques; work stealing stays {e within} a
+    partition, and work crosses partitions only as batches.
+
+    {b Batched exchange.}  A successor owned by another partition is
+    accumulated into a per-worker, per-destination buffer of delta-encoded
+    items ({!Config.Delta}, rebased to the owner's side only if its claim
+    wins) and flushed into the destination's inbox at [?batch_size] items
+    (default [64]) or whenever the sending worker goes idle — so no
+    partition can be starved by a half-full buffer.  Pending batch items
+    are deduplicated by their folded 62-bit compressed key before sending;
+    a dropped item is counted as the [dedup_hits] it would have become,
+    so counts are unchanged.  Traffic is surfaced as the
+    [partition.batches_sent] and [partition.batch_bytes] metrics.
+
+    {b Termination.}  The idle-counter protocol is folded into a single
+    global credit counter: [in_flight] counts every live work item
+    (deques, buffers, inboxes, the seed queue), incremented before an item
+    becomes reachable and decremented only after its expansion completes.
+    Reading [0] proves exhaustion.  Budget truncation keeps {!Parallel}'s
+    claim-first-ticket-second discipline on one shared state counter, so a
+    truncated run reports exactly [max_states] states at any partition
+    count, with the same first-cause stop protocol.
+
+    {b Out-of-core mode.}  [?spill] gives a directory under which each
+    partition maps its visited set as a file of 62-bit compressed claim
+    words ({!Spill_table}) — heap residency drops to bookkeeping
+    ([partition.visited_bytes] gauge) while the mapped bytes
+    ([partition.spill_bytes]) are file-backed and evictable.  Collision
+    characteristics match [--visited compressed] and are surfaced through
+    [stats.collision_bound].  [~paranoid] overrides [?spill] (exact keys
+    cannot be compressed).
+
+    {b Determinism.}  The partition tables partition the claim-key space
+    by a pure function of the key, so the union of per-partition
+    claim-once sets is exactly the single-table claim-once set, and each
+    claimed node is expanded by the same pure function whichever partition
+    owns it.  [states], [transitions], [terminals], [hung_terminals],
+    [crashed_terminals], [recovered_terminals], [dedup_hits] and
+    [source_skips] are identical at any [partitions] x [jobs] x reduction
+    x fingerprint mode — and equal to {!Explore} and {!Parallel} on the
+    acyclic graphs this repository checks.  See DESIGN.md, "Partitioned
+    ownership and out-of-core tables".
+
+    [partitions <= 1] still runs this engine (one partition, no exchange);
+    {!Search} dispatches here only when partitioning or spilling is
+    requested, so the plain parallel path keeps {!Parallel}'s zero-batch
+    overhead. *)
+
+(** Raise from a callback to stop the search gracefully (the same
+    exception as {!Parallel.Stop}, so callbacks work under either
+    engine). *)
+exception Stop
+
+val iter_terminals :
+  ?visited:Parallel.visited ->
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?max_crashes:int ->
+  ?max_recoveries:int ->
+  ?deadline:float ->
+  ?expected_states:int ->
+  ?escalate_threshold:float ->
+  ?reduction:Explore.reduction ->
+  ?paranoid:bool ->
+  ?fp:Explore.fp_mode ->
+  ?seed_target:int ->
+  ?seq_threshold:int ->
+  ?batch_size:int ->
+  ?spill:string ->
+  partitions:int ->
+  jobs:int ->
+  Config.t ->
+  f:(Config.t -> Trace.t -> unit) ->
+  Explore.stats
+(** Partitioned {!Parallel.iter_terminals}.  [f] sees every reachable
+    terminal exactly once, serialized under the callback lock.  [jobs] is
+    the {e total} domain count, split evenly across partitions (at least
+    one worker each).  [?seq_threshold] is the auto-sequential fallback
+    exactly as in {!Parallel} ({!Parallel.default_seq_threshold}). *)
+
+val iter_reachable :
+  ?visited:Parallel.visited ->
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?max_crashes:int ->
+  ?max_recoveries:int ->
+  ?deadline:float ->
+  ?expected_states:int ->
+  ?escalate_threshold:float ->
+  ?reduction:Explore.reduction ->
+  ?paranoid:bool ->
+  ?fp:Explore.fp_mode ->
+  ?seed_target:int ->
+  ?seq_threshold:int ->
+  ?batch_size:int ->
+  ?spill:string ->
+  partitions:int ->
+  jobs:int ->
+  Config.t ->
+  f:(Config.t -> Trace.t Lazy.t -> unit) ->
+  Explore.stats
+(** Partitioned {!Parallel.iter_reachable}; [f] runs concurrently on
+    worker domains and must be domain-safe.  Source sets are stripped
+    exactly as in the sequential version. *)
+
+val find_terminal :
+  ?visited:Parallel.visited ->
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?max_crashes:int ->
+  ?max_recoveries:int ->
+  ?deadline:float ->
+  ?expected_states:int ->
+  ?escalate_threshold:float ->
+  ?reduction:Explore.reduction ->
+  ?paranoid:bool ->
+  ?fp:Explore.fp_mode ->
+  ?seed_target:int ->
+  ?seq_threshold:int ->
+  ?batch_size:int ->
+  ?spill:string ->
+  partitions:int ->
+  jobs:int ->
+  Config.t ->
+  violates:(Config.t -> bool) ->
+  (Config.t * Trace.t) option * Explore.stats
+(** Partitioned {!Parallel.find_terminal}: whether a violating terminal
+    exists is deterministic; which one is returned is not. *)
+
+val check_terminals :
+  ?visited:Parallel.visited ->
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?max_crashes:int ->
+  ?max_recoveries:int ->
+  ?deadline:float ->
+  ?expected_states:int ->
+  ?escalate_threshold:float ->
+  ?reduction:Explore.reduction ->
+  ?paranoid:bool ->
+  ?fp:Explore.fp_mode ->
+  ?seed_target:int ->
+  ?seq_threshold:int ->
+  ?batch_size:int ->
+  ?spill:string ->
+  partitions:int ->
+  jobs:int ->
+  Config.t ->
+  ok:(Config.t -> bool) ->
+  (Explore.stats, Config.t * Trace.t * Explore.stats) result
+(** Partitioned {!Parallel.check_terminals}: the [Ok]/[Error] outcome is
+    deterministic, the counterexample in [Error] need not be. *)

@@ -92,7 +92,10 @@ let crash_successors c =
    crashed process, paired with the recoverer's index.  A recovery
    rewrites the recoverer's proc slot plus whichever store slots the
    persistence projection actually changed — [] for fully persistent
-   stores, which [Store.recover] returns physically unchanged. *)
+   stores, which [Store.recover] returns physically unchanged, and only
+   the genuinely erased slots otherwise ([Store.recover] preserves
+   per-slot sharing on projection fixed points, so the diff is the delta
+   against the persistence projection, not the whole volatile store). *)
 let recover_successors_slots (c : Config.t) =
   List.map
     (fun i ->

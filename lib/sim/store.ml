@@ -65,7 +65,15 @@ let diff old_store new_store =
 (* Recovery projection of the whole store: each object's state through its
    model's [persist].  Fully persistent stores (every [persist] is [None],
    the default) are returned physically unchanged, so crash-only
-   explorations pay nothing for the recovery machinery. *)
+   explorations pay nothing for the recovery machinery.
+
+   Per-slot physical sharing is preserved whenever the projection is a
+   fixed point — [persist] rebuilding a structurally equal value must not
+   break the [==] pruning in [diff], or every recovery link in the
+   delta-encoded frontier would carry the whole store instead of the
+   slots the crash actually erased.  The [Value.equal] check restores
+   sharing that a rebuilding [persist] lost; it runs only on the
+   recovery path of stores with at least one volatile object. *)
 let recover store =
   if
     Imap.for_all (fun _ (model, _) -> Obj_model.all_persistent model) store.objs
@@ -75,7 +83,10 @@ let recover store =
       store with
       objs =
         Imap.map
-          (fun (model, st) -> (model, Obj_model.persist_state model st))
+          (fun (model, st) ->
+            let st' = Obj_model.persist_state model st in
+            if st' == st || Value.equal st' st then (model, st)
+            else (model, st'))
           store.objs;
     }
 

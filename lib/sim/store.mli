@@ -48,7 +48,11 @@ val diff : t -> t -> (handle * Value.t) list
     ({!Obj_model.persist_state}) to its state — the shared-memory side of a
     crash-recovery transition ({!Config.recover}).  When every object is
     fully persistent (the default) the store is returned physically
-    unchanged. *)
+    unchanged; otherwise every slot whose projection is a fixed point
+    (physically {e or} structurally) keeps its old state value, so
+    [diff store (recover store)] lists exactly the slots the crash
+    erased — the delta-encoded frontier's recovery links stay as small
+    as its step links. *)
 val recover : t -> t
 
 (** [contents store] lists (handle, state) pairs in increasing handle order;

@@ -316,6 +316,44 @@ let escalation_preserves_counts () =
   let after = Option.value ~default:0.0 (Subc_obs.Metrics.find counter) in
   Alcotest.(check bool) "escalation counter bumped" true (after > before)
 
+(* ---------------------------------------------------------------- *)
+(* The recovery store transition is delta-encoded: slots whose
+   projection is a fixed point — physically or structurally — keep
+   their old state value, so [diff store (recover store)] lists exactly
+   the slots a crash erased and a clean recovery diffs to [] without
+   traversal.  This is what keeps the delta-encoded frontier's recovery
+   links as small as its step links.                                 *)
+
+let recovery_diff_lists_only_erased () =
+  let persistent =
+    Obj_model.deterministic ~kind:"preg" ~init:(Value.Int 0) (fun s _ ->
+        (s, s))
+  in
+  let volatile = Obj_model.with_persist (fun _ -> Value.Int 0) persistent in
+  let store, _hp = Store.alloc Store.empty persistent in
+  let store, hv = Store.alloc store volatile in
+  (* Untouched store: every projection is a structural fixed point
+     (the volatile slot's projection rebuilds [Int 0]), so recovery
+     must share physically and the diff must be empty. *)
+  Alcotest.(check int) "clean recovery diff is empty" 0
+    (List.length (Store.diff store (Store.recover store)));
+  (* Dirty both slots: only the volatile one appears in the diff. *)
+  let store = Store.set store _hp (Value.Int 7) in
+  let store = Store.set store hv (Value.Int 9) in
+  let recovered = Store.recover store in
+  (match Store.diff store recovered with
+  | [ (h, v) ] ->
+    Alcotest.(check int)
+      "erased slot is the volatile one"
+      (hv :> int)
+      (h :> int);
+    Alcotest.check value "projected to the persistent component"
+      (Value.Int 0) v
+  | l -> Alcotest.failf "recovery diff has %d entries, want 1" (List.length l));
+  (* Idempotence: re-recovering the recovered store is a no-op diff. *)
+  Alcotest.(check int) "second recovery diff is empty" 0
+    (List.length (Store.diff recovered (Store.recover recovered)))
+
 let suite =
   [
     ( "recovery.separation",
@@ -348,5 +386,10 @@ let suite =
         test "expired deadline truncates to Limited" deadline_truncates;
         test_slow "compressed-table escalation preserves counts"
           escalation_preserves_counts;
+      ] );
+    ( "recovery.store",
+      [
+        test "recovery diff lists only erased slots"
+          recovery_diff_lists_only_erased;
       ] );
   ]
